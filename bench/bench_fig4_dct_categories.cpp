@@ -1,0 +1,57 @@
+// Fig. 4 reproduction: the outcome categories of the DCT benchmark.
+//
+// The paper shows (a) a strictly correct result, (b) a relaxed-correct
+// result (PSNR above the 30 dB bar but not bit-identical), (c) an SDC, and
+// (d) the quality loss. We cannot print images in a terminal, so this bench
+// searches a seeded fault stream for one representative of each category and
+// reports its PSNR — the quantity Fig. 4 visualizes.
+#include <cstdio>
+
+#include "common.hpp"
+
+using namespace gemfi;
+
+int main(int argc, char** argv) {
+  const bench::Options opt = bench::parse_options(argc, argv);
+  bench::print_header("Fig. 4: DCT result categories (PSNR vs input image)");
+
+  const auto cfg = opt.campaign_config();
+  const auto ca = campaign::calibrate(apps::build_app("dct", opt.scale()), cfg);
+  std::printf("  golden run: %llu committed insts, FI window %llu fetches\n",
+              (unsigned long long)ca.golden_committed,
+              (unsigned long long)ca.kernel_fetches);
+
+  // (a) fault-free: strictly correct by construction.
+  double golden_metric = 0.0;
+  ca.app.acceptable(ca.app.golden_output, golden_metric);
+  std::printf("  (a) error-free execution: strictly correct, PSNR %.2f dB\n",
+              golden_metric);
+
+  util::Rng rng(opt.seed);
+  bool have_correct = false, have_sdc = false, have_strict = false;
+  const std::size_t budget = opt.per_cell(400, 60, 4000);
+  for (std::size_t i = 0; i < budget && !(have_correct && have_sdc && have_strict); ++i) {
+    const fi::Fault f = campaign::random_fault_any(rng, ca.kernel_fetches);
+    const auto er = campaign::run_experiment(ca, f, cfg);
+    const auto o = er.classification.outcome;
+    if (o == apps::Outcome::Correct && !have_correct) {
+      have_correct = true;
+      std::printf("  (b) relaxed-correct example: PSNR %.2f dB  [%s]\n",
+                  er.classification.metric, f.to_line().c_str());
+    } else if (o == apps::Outcome::SDC && !have_sdc) {
+      have_sdc = true;
+      double m = 0.0;
+      std::printf("  (c) SDC example: output outside the 30 dB bar  [%s]\n",
+                  f.to_line().c_str());
+      (void)m;
+    } else if (o == apps::Outcome::StrictlyCorrect && !have_strict) {
+      have_strict = true;
+      std::printf("  (a') strictly-correct under a propagated fault  [%s]\n",
+                  f.to_line().c_str());
+    }
+  }
+  if (!have_correct) std::printf("  (b) no relaxed-correct fault found within budget\n");
+  if (!have_sdc) std::printf("  (c) no SDC fault found within budget\n");
+  std::printf("  acceptance bar: PSNR > 30 dB vs the input image (paper Sec. IV-B-1)\n");
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Fig. 8 reproduction: effect of the GemFI optimizations on fault-injection
+// campaign execution time (paper Sec. V, log-scale chart):
+//   1. campaign without fast-forwarding (every experiment re-simulates boot
+//      + application initialization);
+//   2. campaign fast-forwarded from the fi_read_init_all() checkpoint
+//      (paper: 3x-244x, average 64.5x, depending on the pre/post-checkpoint
+//      time ratio);
+//   3. campaign on a network of 27 workstations x 4 slots (paper: a further
+//      ~108x, consistent with the number of simultaneous experiments).
+//
+// One host cannot provide 108 cores, so (3) reports the modeled makespan of
+// the measured per-experiment durations on the paper's cluster geometry
+// next to the locally measured wall time (see campaign/now_runner.hpp).
+#include <cstdio>
+
+#include "common.hpp"
+
+using namespace gemfi;
+
+int main(int argc, char** argv) {
+  const bench::Options opt = bench::parse_options(argc, argv);
+  bench::print_header("Fig. 8: campaign time without/with checkpointing and on a NoW");
+
+  const std::size_t n = opt.per_cell(12, 4, 200);
+  std::printf("  experiments per campaign: %zu (paper: ~2500)\n\n", n);
+  std::printf("%-10s %12s %12s %10s %14s %10s %12s\n", "app", "no-ff(s)", "ckpt(s)",
+              "speedup", "now-model(s)", "now-par", "init-frac");
+
+  auto cfg = opt.campaign_config();
+  for (const std::string& name : opt.app_list()) {
+    const auto ca = campaign::calibrate(apps::build_app(name, opt.scale()), cfg);
+    util::Rng rng(opt.seed ^ (std::hash<std::string>{}(name) * 7));
+    std::vector<fi::Fault> faults;
+    for (std::size_t i = 0; i < n; ++i)
+      faults.push_back(campaign::random_fault_any(rng, ca.kernel_fetches));
+
+    auto no_ff_cfg = cfg;
+    no_ff_cfg.use_checkpoint = false;
+    const auto no_ff = campaign::run_campaign(ca, faults, no_ff_cfg);
+
+    auto ff_cfg = cfg;
+    ff_cfg.use_checkpoint = true;
+    const auto ff = campaign::run_campaign(ca, faults, ff_cfg);
+
+    campaign::NowConfig now;  // paper geometry: 27 workstations x 4 slots
+    const auto dist = campaign::run_campaign_now(ca, faults, ff_cfg, now);
+
+    const double ckpt_speedup = ff.wall_seconds > 0 ? no_ff.wall_seconds / ff.wall_seconds : 0;
+    // Effective parallelism on the cluster: total serial experiment work
+    // divided by the modeled makespan. Saturates at min(n, 108); the paper's
+    // ~108x needs campaigns much longer than the slot count (theirs: ~2500).
+    double total_work = 0;
+    for (const auto& er : dist.campaign.results) total_work += er.wall_seconds;
+    const double now_par = dist.modeled_makespan_seconds > 0
+                               ? total_work / dist.modeled_makespan_seconds
+                               : 0;
+    const double init_frac = double(ca.ticks_to_checkpoint) / double(ca.golden_ticks);
+    std::printf("%-10s %12.2f %12.2f %9.1fx %14.3f %9.1fx %12.2f\n", name.c_str(),
+                no_ff.wall_seconds, ff.wall_seconds, ckpt_speedup,
+                dist.modeled_makespan_seconds, now_par, init_frac);
+
+    // Sanity: outcome distributions must agree between the three modes.
+    for (unsigned o = 0; o < apps::kNumOutcomes; ++o) {
+      if (no_ff.counts[o] != ff.counts[o] || ff.counts[o] != dist.campaign.counts[o]) {
+        std::printf("  WARNING: outcome mismatch between campaign modes (class %u)\n", o);
+        break;
+      }
+    }
+  }
+  std::printf(
+      "\n  paper: checkpoint fast-forwarding gives 3x-244x (avg 64.5x), governed by\n"
+      "  the pre/post-checkpoint time ratio (init-frac column); the NoW adds ~108x\n"
+      "  (27 workstations x 4 simultaneous experiments). The checkpoint speedup\n"
+      "  here scales with init-frac the same way; now-par is the effective\n"
+      "  parallelism of the modeled 27x4 cluster, which saturates at min(n, 108)\n"
+      "  — run with --n=216 or --full to see it approach the paper's ~108x.\n");
+  return 0;
+}

@@ -1,0 +1,130 @@
+// Engineering micro-benchmarks (google-benchmark): not a paper figure, but a
+// regression guard on the substrate's hot paths — decoder, execution engine,
+// cache model, branch predictor, whole-CPU simulation rates, checkpoint
+// capture/restore, and the FaultManager fast path that Fig. 7's overhead
+// story depends on.
+#include <benchmark/benchmark.h>
+
+#include "apps/app.hpp"
+#include "chkpt/checkpoint.hpp"
+#include "cpu/branch_predictor.hpp"
+#include "mem/cache.hpp"
+#include "sim/simulation.hpp"
+#include "util/rng.hpp"
+
+using namespace gemfi;
+
+namespace {
+
+void BM_Decode(benchmark::State& state) {
+  util::Rng rng(1);
+  std::vector<isa::Word> words(4096);
+  for (auto& w : words) w = isa::Word(rng.next());
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(isa::decode(words[i++ & 4095]));
+  }
+}
+BENCHMARK(BM_Decode);
+
+void BM_CacheAccess(benchmark::State& state) {
+  mem::Cache cache({.size_bytes = 32 * 1024, .line_bytes = 64, .ways = 4});
+  util::Rng rng(2);
+  std::vector<std::uint64_t> addrs(4096);
+  for (auto& a : addrs) a = rng.below(1 << 20);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const bool is_write = (i & 7) == 0;
+    benchmark::DoNotOptimize(cache.access(addrs[i & 4095], is_write));
+    ++i;
+  }
+}
+BENCHMARK(BM_CacheAccess);
+
+void BM_PredictorLookupUpdate(benchmark::State& state) {
+  cpu::TournamentPredictor pred;
+  util::Rng rng(3);
+  std::uint64_t pc = 0x2000;
+  for (auto _ : state) {
+    const auto p = pred.predict(pc);
+    const bool taken = rng.chance(0.6);
+    pred.update(pc, taken, pc + 64, p.taken != taken);
+    pc += 4;
+    if (pc > 0x4000) pc = 0x2000;
+  }
+}
+BENCHMARK(BM_PredictorLookupUpdate);
+
+void simulate_app(benchmark::State& state, sim::CpuKind kind, bool fi) {
+  const apps::App app = apps::build_app("pi");
+  std::uint64_t insts = 0;
+  for (auto _ : state) {
+    sim::SimConfig cfg;
+    cfg.cpu = kind;
+    cfg.fi_enabled = fi;
+    sim::Simulation s(cfg, app.program);
+    s.spawn_main_thread();
+    const auto rr = s.run();
+    insts += rr.committed;
+  }
+  state.counters["insts/s"] =
+      benchmark::Counter(double(insts), benchmark::Counter::kIsRate);
+}
+
+void BM_SimAtomic(benchmark::State& state) {
+  simulate_app(state, sim::CpuKind::AtomicSimple, false);
+}
+BENCHMARK(BM_SimAtomic)->Unit(benchmark::kMillisecond);
+
+void BM_SimPipelined(benchmark::State& state) {
+  simulate_app(state, sim::CpuKind::Pipelined, false);
+}
+BENCHMARK(BM_SimPipelined)->Unit(benchmark::kMillisecond);
+
+void BM_SimPipelinedFiEnabled(benchmark::State& state) {
+  simulate_app(state, sim::CpuKind::Pipelined, true);
+}
+BENCHMARK(BM_SimPipelinedFiEnabled)->Unit(benchmark::kMillisecond);
+
+void BM_CheckpointCapture(benchmark::State& state) {
+  const apps::App app = apps::build_app("pi");
+  sim::SimConfig cfg;
+  cfg.cpu = sim::CpuKind::AtomicSimple;
+  sim::Simulation s(cfg, app.program);
+  s.spawn_main_thread();
+  std::size_t bytes = 0;
+  for (auto _ : state) {
+    const auto ckpt = chkpt::Checkpoint::capture(s);
+    bytes += ckpt.size_bytes();
+    benchmark::DoNotOptimize(ckpt);
+  }
+  state.SetBytesProcessed(std::int64_t(bytes));
+}
+BENCHMARK(BM_CheckpointCapture)->Unit(benchmark::kMillisecond);
+
+void BM_CheckpointRestore(benchmark::State& state) {
+  const apps::App app = apps::build_app("pi");
+  sim::SimConfig cfg;
+  cfg.cpu = sim::CpuKind::AtomicSimple;
+  sim::Simulation s(cfg, app.program);
+  s.spawn_main_thread();
+  const auto ckpt = chkpt::Checkpoint::capture(s);
+  std::size_t bytes = 0;
+  for (auto _ : state) {
+    ckpt.restore_into(s);
+    bytes += ckpt.size_bytes();
+  }
+  state.SetBytesProcessed(std::int64_t(bytes));
+}
+BENCHMARK(BM_CheckpointRestore)->Unit(benchmark::kMillisecond);
+
+void BM_FaultParse(benchmark::State& state) {
+  const std::string line =
+      "RegisterInjectedFault Inst:2457 Flip:21 Threadid:0 system.cpu1 occ:1 int 1";
+  for (auto _ : state) benchmark::DoNotOptimize(fi::parse_fault(line));
+}
+BENCHMARK(BM_FaultParse);
+
+}  // namespace
+
+BENCHMARK_MAIN();

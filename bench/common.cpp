@@ -1,0 +1,76 @@
+#include "common.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+
+namespace gemfi::bench {
+
+campaign::CampaignConfig Options::campaign_config() const {
+  campaign::CampaignConfig cfg;
+  cfg.cpu = sim::CpuKind::Pipelined;
+  cfg.switch_to_atomic_after_fault = true;
+  cfg.use_checkpoint = true;
+  cfg.workers = workers == 0 ? std::max(1u, std::thread::hardware_concurrency()) : workers;
+  return cfg;
+}
+
+std::vector<std::string> Options::app_list() const {
+  return apps.empty() ? apps::app_names() : apps;
+}
+
+Options parse_options(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--quick") {
+      opt.quick = true;
+    } else if (arg == "--full") {
+      opt.full = true;
+    } else if (arg.rfind("--n=", 0) == 0) {
+      opt.n_override = std::strtoull(arg.c_str() + 4, nullptr, 10);
+    } else if (arg.rfind("--seed=", 0) == 0) {
+      opt.seed = std::strtoull(arg.c_str() + 7, nullptr, 10);
+    } else if (arg.rfind("--workers=", 0) == 0) {
+      opt.workers = unsigned(std::strtoul(arg.c_str() + 10, nullptr, 10));
+    } else if (arg.rfind("--apps=", 0) == 0) {
+      std::string list = arg.substr(7);
+      std::size_t pos = 0;
+      while (pos != std::string::npos) {
+        const std::size_t comma = list.find(',', pos);
+        opt.apps.push_back(list.substr(pos, comma - pos));
+        pos = comma == std::string::npos ? comma : comma + 1;
+      }
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf(
+          "options: --quick | --full | --n=<count> | --apps=a,b,c | "
+          "--seed=<u64> | --workers=<k>\n");
+      std::exit(0);
+    } else {
+      std::fprintf(stderr, "unknown option: %s (try --help)\n", arg.c_str());
+      std::exit(2);
+    }
+  }
+  return opt;
+}
+
+void print_header(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+void print_outcome_legend() {
+  std::printf("%-22s %8s %8s %8s %8s %8s %8s\n", "cell", "crash%", "nonprop%",
+              "strict%", "correct%", "sdc%", "n");
+}
+
+void print_outcome_row(const std::string& label, const campaign::CampaignReport& report) {
+  std::printf("%-22s %8.1f %8.1f %8.1f %8.1f %8.1f %8zu\n", label.c_str(),
+              100.0 * report.fraction(apps::Outcome::Crashed),
+              100.0 * report.fraction(apps::Outcome::NonPropagated),
+              100.0 * report.fraction(apps::Outcome::StrictlyCorrect),
+              100.0 * report.fraction(apps::Outcome::Correct),
+              100.0 * report.fraction(apps::Outcome::SDC), report.total());
+}
+
+}  // namespace gemfi::bench

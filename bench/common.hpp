@@ -1,0 +1,58 @@
+// Shared scaffolding for the per-figure/table bench binaries.
+//
+// Every bench accepts:
+//   --quick        smallest sample sizes (CI smoke run)
+//   --full         paper-scale inputs and Leveugle 99%/1% sample sizes
+//   --n=<count>    override experiments per cell
+//   --apps=a,b,c   restrict the benchmark set
+//   --seed=<u64>   campaign RNG seed
+//   --workers=<k>  local experiment parallelism (default: hardware)
+// Default (no flags) is sized to finish on one core in a few minutes while
+// preserving the shape of the paper's results.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "campaign/now_runner.hpp"
+#include "campaign/runner.hpp"
+
+namespace gemfi::bench {
+
+struct Options {
+  bool quick = false;
+  bool full = false;
+  std::uint64_t n_override = 0;
+  std::vector<std::string> apps;  // empty = all six
+  std::uint64_t seed = 20260706;
+  unsigned workers = 0;  // 0 = hardware_concurrency
+
+  /// Experiments per cell for a given default/quick/full sizing.
+  [[nodiscard]] std::size_t per_cell(std::size_t dflt, std::size_t quick_n,
+                                     std::size_t full_n) const {
+    if (n_override != 0) return std::size_t(n_override);
+    if (quick) return quick_n;
+    if (full) return full_n;
+    return dflt;
+  }
+
+  [[nodiscard]] apps::AppScale scale() const {
+    apps::AppScale s;
+    s.paper = full;
+    return s;
+  }
+
+  [[nodiscard]] campaign::CampaignConfig campaign_config() const;
+
+  [[nodiscard]] std::vector<std::string> app_list() const;
+};
+
+Options parse_options(int argc, char** argv);
+
+/// "name  12.3%  4.5% ..." row printing helpers.
+void print_header(const std::string& title);
+void print_outcome_row(const std::string& label, const campaign::CampaignReport& report);
+void print_outcome_legend();
+
+}  // namespace gemfi::bench

@@ -1,0 +1,67 @@
+// Custom fault models: the paper stresses that GemFI "is not limited to
+// specific fault models" — transient (occ:1), intermittent (occ:N) and
+// permanent (occ:perm) faults are all expressed in the same input-file
+// grammar. This example compares the three on the Monte-Carlo PI kernel:
+// a stuck-at-one bit in the register holding the LCG state.
+//
+//   $ ./custom_fault_model
+#include <cstdio>
+
+#include "campaign/runner.hpp"
+
+using namespace gemfi;
+
+int main() {
+  campaign::CampaignConfig cfg;
+  cfg.cpu = sim::CpuKind::Pipelined;
+  // Intermittent/permanent faults keep injecting, so the detailed->atomic
+  // switch never fires; stay on the detailed model the whole run.
+  cfg.switch_to_atomic_after_fault = false;
+  cfg.workers = 1;
+
+  const auto ca = campaign::calibrate(apps::build_app("pi"), cfg);
+  const std::uint64_t mid = ca.kernel_fetches / 2;
+
+  struct Scenario {
+    const char* label;
+    std::string line;
+  };
+  char buf[160];
+  std::vector<Scenario> scenarios;
+  const auto add = [&](const char* label, const char* fmt, auto... args) {
+    std::snprintf(buf, sizeof buf, fmt, args...);
+    scenarios.push_back({label, buf});
+  };
+  // s1 (R10) holds the guest's LCG state; bit 40 is mid-significance.
+  add("transient (1 hit)",
+      "RegisterInjectedFault Inst:%llu Flip:40 Threadid:0 system.cpu0 occ:1 int 10",
+      (unsigned long long)mid);
+  add("intermittent (x200)",
+      "RegisterInjectedFault Inst:%llu Flip:40 Threadid:0 system.cpu0 occ:200 int 10",
+      (unsigned long long)mid);
+  add("permanent stuck-at",
+      "RegisterInjectedFault Inst:%llu AllOne Threadid:0 system.cpu0 occ:perm int 10",
+      (unsigned long long)mid);
+  add("PC reset to entry",
+      "PCInjectedFault Inst:%llu Imm:0x2000 Threadid:0 system.cpu0 occ:1",
+      (unsigned long long)mid);
+
+  std::printf("golden: %s\n", ca.app.golden_output.c_str());
+  std::printf("%-24s %-16s %10s  %s\n", "fault model", "outcome", "metric",
+              "fault line");
+  for (const auto& sc : scenarios) {
+    const auto er = campaign::run_experiment(ca, fi::parse_fault(sc.line), cfg);
+    std::printf("%-24s %-16s %10.4f  %s\n", sc.label,
+                apps::outcome_name(er.classification.outcome),
+                er.classification.metric, sc.line.c_str());
+  }
+  std::printf(
+      "\ntransient upsets barely move the estimate (the hit count is a\n"
+      "quantized ratio, so it often lands on the exact same value);\n"
+      "intermittent/permanent corruption of the RNG state biases every\n"
+      "subsequent sample into an SDC; and resetting the PC to the entry\n"
+      "point restarts boot+init — a deterministic kernel then recomputes\n"
+      "the very same answer, merely at twice the simulation cost (note:\n"
+      "the second fi_activate_inst toggles injection off, per Sec. III-A).\n");
+  return 0;
+}

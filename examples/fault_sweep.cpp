@@ -1,0 +1,48 @@
+// Fault sweep: systematically flip every bit of one architectural register
+// at one point of the DCT kernel and report how each bit position fares —
+// a miniature of the paper's validation methodology, showing how GemFI is
+// used to correlate fault location (here: bit significance) with outcome.
+//
+//   $ ./fault_sweep [reg]        (default: integer register s0 = R9, the
+//                                 DCT kernel's block-row counter)
+#include <cstdio>
+#include <cstdlib>
+
+#include "campaign/runner.hpp"
+
+using namespace gemfi;
+
+int main(int argc, char** argv) {
+  const unsigned reg = argc > 1 ? unsigned(std::atoi(argv[1])) : 9;
+
+  campaign::CampaignConfig cfg;
+  cfg.cpu = sim::CpuKind::Pipelined;
+  cfg.switch_to_atomic_after_fault = true;
+  cfg.use_checkpoint = true;
+  cfg.workers = 1;
+
+  std::printf("calibrating dct...\n");
+  const auto ca = campaign::calibrate(apps::build_app("dct"), cfg);
+  std::printf("kernel length: %llu fetched instructions\n\n",
+              (unsigned long long)ca.kernel_fetches);
+
+  std::printf("flipping each bit of int register R%u at the kernel midpoint:\n", reg);
+  std::printf("%4s  %-18s %10s\n", "bit", "outcome", "PSNR/metric");
+  for (unsigned bit = 0; bit < 64; ++bit) {
+    fi::Fault f;
+    f.location = fi::FaultLocation::IntReg;
+    f.reg = reg;
+    f.time = ca.kernel_fetches / 2;
+    f.behavior = fi::FaultBehavior::Flip;
+    f.operand = bit;
+    const auto er = campaign::run_experiment(ca, f, cfg);
+    std::printf("%4u  %-18s %10.2f\n", bit,
+                apps::outcome_name(er.classification.outcome),
+                er.classification.metric);
+  }
+  std::printf("\ntypical reading for a live loop counter: low bits repeat or skip\n"
+              "blocks (quality loss or SDC), higher bits blow the block index\n"
+              "past the image (wild addresses, crashes), and bits beyond the\n"
+              "loop bound are dead (non-propagated after the final rewrite).\n");
+  return 0;
+}

@@ -1,0 +1,169 @@
+// gemfi_cli — the command-line front end, mirroring how the paper's tool is
+// driven: "On GemFI invocation the user also provides — at command line — an
+// input file specifying the faults to be injected" (Sec. III-A).
+//
+// Usage:
+//   gemfi_cli --program=<file.s>    run a user-written uAlpha assembly file
+//   gemfi_cli --app=<dct|jacobi|pi|knapsack|deblock|canneal>
+//             [--faults=<file>]        fault config, one Listing-1 line each
+//             [--cpu=atomic|timing|pipelined]
+//             [--paper]                paper-scale inputs
+//             [--watchdog-mult=<k>]    watchdog = k * golden ticks
+//             [--log]                  print the injection log
+//
+// Examples:
+//   echo 'RegisterInjectedFault Inst:2457 Flip:21 Threadid:0 system.cpu0 occ:1 int 1' > f.cfg
+//   ./gemfi_cli --app=dct --faults=f.cfg --log
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "assembler/text_asm.hpp"
+#include "campaign/runner.hpp"
+
+using namespace gemfi;
+
+namespace {
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --app=<name> [--faults=<file>] [--cpu=atomic|timing|"
+               "pipelined] [--paper] [--watchdog-mult=<k>] [--log]\n",
+               argv0);
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string app_name;
+  std::string program_path;
+  std::string fault_path;
+  sim::CpuKind cpu = sim::CpuKind::Pipelined;
+  apps::AppScale scale;
+  std::uint64_t watchdog_mult = 8;
+  bool show_log = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--app=", 0) == 0) {
+      app_name = arg.substr(6);
+    } else if (arg.rfind("--program=", 0) == 0) {
+      program_path = arg.substr(10);
+    } else if (arg.rfind("--faults=", 0) == 0) {
+      fault_path = arg.substr(9);
+    } else if (arg.rfind("--cpu=", 0) == 0) {
+      const std::string kind = arg.substr(6);
+      if (kind == "atomic") cpu = sim::CpuKind::AtomicSimple;
+      else if (kind == "timing") cpu = sim::CpuKind::TimingSimple;
+      else if (kind == "pipelined") cpu = sim::CpuKind::Pipelined;
+      else usage(argv[0]);
+    } else if (arg == "--paper") {
+      scale.paper = true;
+    } else if (arg.rfind("--watchdog-mult=", 0) == 0) {
+      watchdog_mult = std::strtoull(arg.c_str() + 16, nullptr, 10);
+    } else if (arg == "--log") {
+      show_log = true;
+    } else {
+      usage(argv[0]);
+    }
+  }
+  if (app_name.empty() == program_path.empty()) usage(argv[0]);  // exactly one
+
+  std::vector<fi::Fault> faults;
+  if (!fault_path.empty()) {
+    std::ifstream in(fault_path);
+    if (!in) {
+      std::fprintf(stderr, "cannot open fault file: %s\n", fault_path.c_str());
+      return 2;
+    }
+    std::ostringstream body;
+    body << in.rdbuf();
+    try {
+      faults = fi::parse_fault_file(body.str());
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "%s\n", e.what());
+      return 2;
+    }
+  }
+
+  campaign::CampaignConfig cfg;
+  cfg.cpu = cpu;
+  cfg.watchdog_mult = watchdog_mult;
+  cfg.switch_to_atomic_after_fault = true;
+  cfg.workers = 1;
+
+  if (!program_path.empty()) {
+    // User-supplied .s file: assemble, run (with faults, if any), report.
+    assembler::Program prog;
+    try {
+      prog = assembler::assemble_file(program_path);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "%s\n", e.what());
+      return 2;
+    }
+    sim::SimConfig scfg;
+    scfg.cpu = cpu;
+    sim::Simulation s(scfg, prog);
+    s.spawn_main_thread();
+    s.fault_manager().load_faults(faults);
+    const sim::RunResult rr = s.run(500'000'000ull);
+    std::printf("%s", s.output(0).c_str());
+    std::fprintf(stderr, "exit: %s", sim::exit_reason_name(rr.reason));
+    if (rr.crashed())
+      std::fprintf(stderr, " (%s at pc=0x%llx)", cpu::trap_name(rr.trap.kind),
+                   (unsigned long long)rr.crash_pc);
+    std::fprintf(stderr, "\n");
+    if (show_log)
+      for (const auto& line : s.fault_manager().injection_log())
+        std::fprintf(stderr, "inject: %s\n", line.c_str());
+    return rr.crashed() ? 1 : 0;
+  }
+
+  std::fprintf(stderr, "calibrating %s on the %s model...\n", app_name.c_str(),
+               sim::cpu_kind_name(cpu));
+  campaign::CalibratedApp ca;
+  try {
+    ca = campaign::calibrate(apps::build_app(app_name, scale), cfg);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 2;
+  }
+  std::fprintf(stderr,
+               "golden run: %llu instructions (%llu in the FI window), %llu ticks\n",
+               (unsigned long long)ca.golden_committed,
+               (unsigned long long)ca.kernel_fetches,
+               (unsigned long long)ca.golden_ticks);
+
+  if (faults.empty()) {
+    std::printf("%s", ca.app.golden_output.c_str());
+    std::fprintf(stderr, "no faults configured: golden output above\n");
+    return 0;
+  }
+
+  sim::SimConfig scfg;
+  scfg.cpu = cpu;
+  scfg.switch_to_atomic_after_fault = faults.size() == 1;
+  sim::Simulation s(scfg, ca.app.program);
+  s.spawn_main_thread();
+  ca.checkpoint.restore_into(s);
+  s.fault_manager().load_faults(faults);
+  const sim::RunResult rr = s.run(watchdog_mult * ca.golden_ticks + 1'000'000);
+  const auto c = campaign::classify(ca.app, rr, s.fault_manager(), s.output(0));
+
+  std::printf("%s", s.output(0).c_str());
+  std::fprintf(stderr, "exit: %s", sim::exit_reason_name(rr.reason));
+  if (rr.crashed())
+    std::fprintf(stderr, " (%s at pc=0x%llx)", cpu::trap_name(rr.trap.kind),
+                 (unsigned long long)rr.crash_pc);
+  std::fprintf(stderr, "\noutcome: %s", apps::outcome_name(c.outcome));
+  if (c.outcome == apps::Outcome::Correct)
+    std::fprintf(stderr, " (metric %.3f)", c.metric);
+  std::fprintf(stderr, "\n");
+  if (show_log)
+    for (const auto& line : s.fault_manager().injection_log())
+      std::fprintf(stderr, "inject: %s\n", line.c_str());
+  return rr.crashed() ? 1 : 0;
+}

@@ -1,0 +1,80 @@
+#include "apps/app.hpp"
+
+#include <stdexcept>
+
+namespace gemfi::apps {
+
+const char* outcome_name(Outcome o) noexcept {
+  switch (o) {
+    case Outcome::Crashed: return "crashed";
+    case Outcome::NonPropagated: return "non-propagated";
+    case Outcome::StrictlyCorrect: return "strictly-correct";
+    case Outcome::Correct: return "correct";
+    case Outcome::SDC: return "SDC";
+  }
+  return "?";
+}
+
+void emit_lcg_step(assembler::Assembler& as, unsigned state_reg, unsigned tmp) {
+  as.li_u(tmp, kLcgMul);
+  as.mulq(state_reg, tmp, state_reg);
+  as.li_u(tmp, kLcgAdd);
+  as.addq(state_reg, tmp, state_reg);
+}
+
+void emit_boot(assembler::Assembler& as) {
+  using namespace assembler;
+  // "Boot": zero the arena (a kernel clearing pages)...
+  const DataRef arena = as.data_zeros(256 * 1024);
+  const std::int64_t words = 256 * 1024 / 8;
+  as.la(reg::t2, arena);
+  as.li(reg::t0, words);
+  const Label clear = as.here();
+  as.stq(reg::zero, 0, reg::t2);
+  as.lda(reg::t2, 8, reg::t2);
+  as.subq_i(reg::t0, 1, reg::t0);
+  as.bne(reg::t0, clear);
+  // ...then build the page-frame list (one descriptor per 4 KiB page)...
+  as.la(reg::t2, arena);
+  as.li(reg::t0, 0);
+  as.li(reg::t3, words / 512);  // pages
+  const Label frames = as.here();
+  as.sll_i(reg::t0, 12, reg::t1);   // frame address
+  as.bis_i(reg::t1, 1, reg::t1);    // present bit
+  as.stq(reg::t1, 0, reg::t2);
+  as.lda(reg::t2, 8, reg::t2);
+  as.addq_i(reg::t0, 1, reg::t0);
+  as.cmplt(reg::t0, reg::t3, reg::t1);
+  as.bne(reg::t1, frames);
+  // ...and checksum the whole arena (an integrity pass over "kernel" data).
+  as.la(reg::t2, arena);
+  as.li(reg::t0, words);
+  as.li(reg::t3, 0);
+  const Label sum = as.here();
+  as.ldq(reg::t1, 0, reg::t2);
+  as.addq(reg::t3, reg::t1, reg::t3);
+  as.lda(reg::t2, 8, reg::t2);
+  as.subq_i(reg::t0, 1, reg::t0);
+  as.bne(reg::t0, sum);
+}
+
+void emit_newline(assembler::Assembler& as) {
+  as.mov_i('\n', assembler::reg::a0);
+  as.print_char();
+}
+
+std::vector<std::string> app_names() {
+  return {"dct", "jacobi", "pi", "knapsack", "deblock", "canneal"};
+}
+
+App build_app(const std::string& name, const AppScale& scale) {
+  if (name == "dct") return build_dct(scale);
+  if (name == "jacobi") return build_jacobi(scale);
+  if (name == "pi") return build_pi(scale);
+  if (name == "knapsack") return build_knapsack(scale);
+  if (name == "deblock") return build_deblock(scale);
+  if (name == "canneal") return build_canneal(scale);
+  throw std::invalid_argument("unknown app: " + name);
+}
+
+}  // namespace gemfi::apps

@@ -1,0 +1,320 @@
+// Canneal: simulated-annealing minimization of netlist routing cost
+// (paper Sec. IV: the PARSEC benchmark, applied to 100 nets with up to 100
+// swaps per step).
+//
+// Elements live on a 16x16 grid; the cost is the sum of Manhattan distances
+// of all directed net connections. Annealing swaps two random element
+// locations and accepts the move when the cost delta is below a linearly
+// decreasing threshold (a deterministic, exp-free acceptance rule so the
+// guest and its host twin stay bit-identical).
+//
+// Acceptability (paper Sec. IV-B-1): a "correct" run reduces the total
+// routing cost and produces a correct chip — here: all element positions
+// valid and mutually distinct, the printed final cost consistent with the
+// printed placement, and lower than the initial cost.
+#include "apps/app.hpp"
+#include "apps/image.hpp"
+
+#include <cstdio>
+#include <set>
+#include <vector>
+
+namespace gemfi::apps {
+
+namespace {
+
+constexpr unsigned kElems = 64;     // netlist elements
+constexpr unsigned kFanout = 4;     // connections per element
+constexpr unsigned kGridMask = 255; // 16x16 grid cells
+constexpr std::int64_t kT0 = 16;    // initial acceptance threshold
+
+std::int64_t manhattan(std::int64_t c, std::int64_t d) {
+  std::int64_t dx = (c & 15) - (d & 15);
+  if (dx < 0) dx = -dx;
+  std::int64_t dy = (c >> 4) - (d >> 4);
+  if (dy < 0) dy = -dy;
+  return dx + dy;
+}
+
+std::int64_t total_cost(const std::vector<std::int64_t>& pos,
+                        const std::vector<unsigned>& net) {
+  std::int64_t sum = 0;
+  for (unsigned i = 0; i < kElems; ++i)
+    for (unsigned k = 0; k < kFanout; ++k)
+      sum += manhattan(pos[i], pos[net[std::size_t(i) * kFanout + k]]);
+  return sum;
+}
+
+struct CannealGolden {
+  std::string output;
+  std::vector<unsigned> net;
+  std::int64_t initial_cost = 0;
+  std::int64_t final_cost = 0;
+};
+
+/// Host twin of the guest kernel (identical LCG draw order).
+CannealGolden golden_canneal(std::uint64_t seed, unsigned outer, unsigned inner) {
+  std::uint64_t state = seed;
+  CannealGolden g;
+
+  std::vector<std::int64_t> pos(kElems);
+  for (unsigned i = 0; i < kElems; ++i) pos[i] = (i * 37 + 13) & kGridMask;
+  g.net.resize(std::size_t(kElems) * kFanout);
+  for (auto& n : g.net) {
+    lcg_next(state);
+    n = unsigned(state >> 30) & (kElems - 1);
+  }
+
+  std::int64_t cur = total_cost(pos, g.net);
+  g.initial_cost = cur;
+  for (unsigned s = 0; s < outer; ++s) {
+    const std::int64_t temp = std::int64_t((outer - s)) * kT0 / std::int64_t(outer);
+    for (unsigned it = 0; it < inner; ++it) {
+      lcg_next(state);
+      const unsigned a = unsigned(state >> 30) & (kElems - 1);
+      lcg_next(state);
+      const unsigned b = unsigned(state >> 30) & (kElems - 1);
+      std::swap(pos[a], pos[b]);
+      const std::int64_t next = total_cost(pos, g.net);
+      if (next - cur < temp) {
+        cur = next;
+      } else {
+        std::swap(pos[a], pos[b]);
+      }
+    }
+  }
+  g.final_cost = cur;
+
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "cost0=%lld\ncost=%lld\n",
+                static_cast<long long>(g.initial_cost),
+                static_cast<long long>(g.final_cost));
+  g.output = buf;
+  for (unsigned i = 0; i < kElems; ++i) {
+    std::snprintf(buf, sizeof buf, "%lld\n", static_cast<long long>(pos[i]));
+    g.output += buf;
+  }
+  return g;
+}
+
+}  // namespace
+
+App build_canneal(const AppScale& scale) {
+  using namespace assembler;
+  const unsigned outer = scale.paper ? 100 : 20;
+  const unsigned inner = scale.paper ? 100 : 20;
+  const std::uint64_t seed = scale.seed ^ 0xca22ea1;
+
+  Assembler as;
+  const DataRef pos_ref = as.data_zeros(kElems * 8);
+  const DataRef net_ref = as.data_zeros(std::size_t(kElems) * kFanout * 8);
+
+  const Label entry = as.make_label("main");
+  const Label fn_cost = as.make_label("total_cost");
+
+  // ---- total_cost() -> v0. Clobbers t0-t9.
+  {
+    as.bind(fn_cost);
+    as.li(reg::v0, 0);
+    as.li(reg::t8, 0);  // i
+    const Label li_ = as.here();
+    {
+      as.li(reg::t9, 0);  // k
+      const Label lk = as.here();
+      {
+        // c = pos[i]
+        as.la(reg::t2, pos_ref);
+        as.s8addq(reg::t8, reg::t2, reg::t0);
+        as.ldq(reg::t0, 0, reg::t0);
+        // d = pos[net[i*K+k]]
+        as.sll_i(reg::t8, 2, reg::t1);
+        as.addq(reg::t1, reg::t9, reg::t1);
+        as.la(reg::t2, net_ref);
+        as.s8addq(reg::t1, reg::t2, reg::t1);
+        as.ldq(reg::t1, 0, reg::t1);
+        as.la(reg::t2, pos_ref);
+        as.s8addq(reg::t1, reg::t2, reg::t1);
+        as.ldq(reg::t1, 0, reg::t1);
+        // dx = |(c&15)-(d&15)|
+        as.and_i(reg::t0, 15, reg::t3);
+        as.and_i(reg::t1, 15, reg::t4);
+        as.subq(reg::t3, reg::t4, reg::t3);
+        as.subq(reg::zero, reg::t3, reg::t4);
+        as.cmplt(reg::t3, reg::zero, reg::t5);
+        as.cmovne(reg::t5, reg::t4, reg::t3);
+        as.addq(reg::v0, reg::t3, reg::v0);
+        // dy = |(c>>4)-(d>>4)|
+        as.sra_i(reg::t0, 4, reg::t3);
+        as.sra_i(reg::t1, 4, reg::t4);
+        as.subq(reg::t3, reg::t4, reg::t3);
+        as.subq(reg::zero, reg::t3, reg::t4);
+        as.cmplt(reg::t3, reg::zero, reg::t5);
+        as.cmovne(reg::t5, reg::t4, reg::t3);
+        as.addq(reg::v0, reg::t3, reg::v0);
+        as.addq_i(reg::t9, 1, reg::t9);
+        as.cmplt_i(reg::t9, kFanout, reg::t0);
+        as.bne(reg::t0, lk);
+      }
+      as.addq_i(reg::t8, 1, reg::t8);
+      as.cmplt_i(reg::t8, kElems, reg::t0);
+      as.bne(reg::t0, li_);
+    }
+    as.ret();
+  }
+
+  as.bind(entry);
+  emit_boot(as);
+
+  // ---------------- init ----------------
+  // pos[i] = (i*37+13) & 255 — a collision-free scatter (gcd(37,256)=1)
+  as.li(reg::s0, 0);
+  const Label ip = as.here("init_pos");
+  {
+    as.mulq_i(reg::s0, 37, reg::t0);
+    as.addq_i(reg::t0, 13, reg::t0);
+    as.and_i(reg::t0, kGridMask, reg::t0);
+    as.la(reg::t2, pos_ref);
+    as.s8addq(reg::s0, reg::t2, reg::t1);
+    as.stq(reg::t0, 0, reg::t1);
+    as.addq_i(reg::s0, 1, reg::s0);
+    as.cmplt_i(reg::s0, kElems, reg::t0);
+    as.bne(reg::t0, ip);
+  }
+  // net[j] = LCG & (E-1)
+  as.li_u(reg::s1, seed);
+  as.li(reg::s0, 0);
+  const Label in_ = as.here("init_net");
+  {
+    emit_lcg_step(as, reg::s1, reg::t0);
+    as.srl_i(reg::s1, 30, reg::t1);
+    as.and_i(reg::t1, kElems - 1, reg::t1);
+    as.la(reg::t2, net_ref);
+    as.s8addq(reg::s0, reg::t2, reg::t3);
+    as.stq(reg::t1, 0, reg::t3);
+    as.addq_i(reg::s0, 1, reg::s0);
+    as.li(reg::t2, std::int64_t(std::uint64_t(kElems) * kFanout));
+    as.cmplt(reg::s0, reg::t2, reg::t0);
+    as.bne(reg::t0, in_);
+  }
+
+  as.fi_read_init();
+  as.mov_i(0, reg::a0);
+  as.fi_activate();
+
+  // ---------------- kernel ----------------
+  as.call(fn_cost);
+  as.mov(reg::v0, reg::s2);  // cur cost
+  as.mov(reg::v0, reg::s5);  // initial cost (saved for output)
+
+  as.li(reg::s0, 0);  // s (outer)
+  const Label ls = as.here("ls");
+  {
+    // temp = (outer - s) * T0 / outer
+    as.li(reg::t0, std::int64_t(outer));
+    as.subq(reg::t0, reg::s0, reg::t1);
+    as.mulq_i(reg::t1, unsigned(kT0), reg::t1);
+    as.divq_i(reg::t1, outer, reg::t1);  // outer <= 255 always holds here
+    as.mov(reg::t1, reg::fp);  // fp = temp
+    as.li(reg::s3, 0);         // inner counter
+    const Label lin = as.here("lin");
+    {
+      // a, b
+      emit_lcg_step(as, reg::s1, reg::t0);
+      as.srl_i(reg::s1, 30, reg::t1);
+      as.and_i(reg::t1, kElems - 1, reg::s4);  // a
+      emit_lcg_step(as, reg::s1, reg::t0);
+      as.srl_i(reg::s1, 30, reg::t1);
+      as.and_i(reg::t1, kElems - 1, reg::t10); // b
+      // swap pos[a], pos[b]
+      as.la(reg::t2, pos_ref);
+      as.s8addq(reg::s4, reg::t2, reg::t8);
+      as.s8addq(reg::t10, reg::t2, reg::t9);
+      as.ldq(reg::t0, 0, reg::t8);
+      as.ldq(reg::t1, 0, reg::t9);
+      as.stq(reg::t1, 0, reg::t8);
+      as.stq(reg::t0, 0, reg::t9);
+      as.push(reg::s4);
+      as.push(reg::t10);
+      as.call(fn_cost);
+      as.pop(reg::t10);
+      as.pop(reg::s4);
+      // delta < temp ? accept : revert
+      as.subq(reg::v0, reg::s2, reg::t0);
+      as.cmplt(reg::t0, reg::fp, reg::t1);
+      const Label accept = as.make_label("accept");
+      as.bne(reg::t1, accept);
+      // revert
+      as.la(reg::t2, pos_ref);
+      as.s8addq(reg::s4, reg::t2, reg::t8);
+      as.s8addq(reg::t10, reg::t2, reg::t9);
+      as.ldq(reg::t0, 0, reg::t8);
+      as.ldq(reg::t1, 0, reg::t9);
+      as.stq(reg::t1, 0, reg::t8);
+      as.stq(reg::t0, 0, reg::t9);
+      const Label cont = as.make_label("cont");
+      as.br(cont);
+      as.bind(accept);
+      as.mov(reg::v0, reg::s2);
+      as.bind(cont);
+      as.addq_i(reg::s3, 1, reg::s3);
+      as.cmplt_i(reg::s3, inner, reg::t0);
+      as.bne(reg::t0, lin);
+    }
+    as.addq_i(reg::s0, 1, reg::s0);
+    as.cmplt_i(reg::s0, outer, reg::t0);
+    as.bne(reg::t0, ls);
+  }
+
+  as.mov_i(0, reg::a0);
+  as.fi_activate();  // FI off
+
+  // ---------------- output ----------------
+  as.print_str("cost0=");
+  as.print_int_r(reg::s5);
+  emit_newline(as);
+  as.print_str("cost=");
+  as.print_int_r(reg::s2);
+  emit_newline(as);
+  as.li(reg::s0, 0);
+  const Label pout = as.here("pout");
+  {
+    as.la(reg::t2, pos_ref);
+    as.s8addq(reg::s0, reg::t2, reg::t0);
+    as.ldq(reg::a0, 0, reg::t0);
+    as.print_int();
+    emit_newline(as);
+    as.addq_i(reg::s0, 1, reg::s0);
+    as.cmplt_i(reg::s0, kElems, reg::t0);
+    as.bne(reg::t0, pout);
+  }
+  as.mov_i(0, reg::a0);
+  as.exit_();
+
+  App app;
+  app.name = "canneal";
+  app.program = as.finalize(entry);
+
+  CannealGolden golden = golden_canneal(seed, outer, inner);
+  app.golden_output = golden.output;
+  const std::vector<unsigned> net = std::move(golden.net);
+  const std::int64_t initial = golden.initial_cost;
+  const std::int64_t golden_final = golden.final_cost;
+  app.acceptable = [net, initial, golden_final](const std::string& out, double& metric) {
+    const auto ints = parse_int_list(out);
+    if (!ints || ints->size() != 2 + kElems) return false;
+    const std::int64_t cost0 = (*ints)[0];
+    const std::int64_t cost = (*ints)[1];
+    std::vector<std::int64_t> pos(ints->begin() + 2, ints->end());
+    std::set<std::int64_t> distinct(pos.begin(), pos.end());
+    if (distinct.size() != kElems) return false;  // elements collided: broken chip
+    for (const std::int64_t p : pos)
+      if (p < 0 || p > kGridMask) return false;
+    if (total_cost(pos, net) != cost) return false;  // inconsistent report
+    if (cost0 != initial) return false;
+    metric = double(cost) / double(golden_final);
+    return cost < initial;  // paper: cost reduced and the chip is correct
+  };
+  return app;
+}
+
+}  // namespace gemfi::apps

@@ -1,0 +1,381 @@
+// DCT: the JPEG-style 8x8 block transform kernel (forward DCT, quantization,
+// dequantization, inverse DCT) applied to a grayscale image — the paper's
+// image compression/decompression workload (Sec. IV, Fig. 4).
+//
+// Acceptability (paper Sec. IV-B-1): the reconstructed image is compared
+// against the *input* image; PSNR above 30 dB is "correct" (typical lossy
+// compression quality), bit-identical output is "strictly correct".
+//
+// The guest is structured as real code: three 8x8 matrix-multiply
+// subroutines called via bsr/ret (so return-address and stack corruption
+// behave as in real programs), block copy loops, and a quantization pass.
+#include "apps/app.hpp"
+#include "apps/image.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+namespace gemfi::apps {
+
+namespace {
+
+constexpr int kQuant[64] = {
+    16, 11, 10, 16, 24,  40,  51,  61,  12, 12, 14, 19, 26,  58,  60,  55,
+    14, 13, 16, 24, 40,  57,  69,  56,  14, 17, 22, 29, 51,  87,  80,  62,
+    18, 22, 37, 56, 68,  109, 103, 77,  24, 35, 55, 64, 81,  104, 113, 92,
+    49, 64, 78, 87, 103, 121, 120, 101, 72, 92, 95, 98, 112, 100, 103, 99};
+
+// The paper compresses a natural photograph; our procedurally generated
+// input is white noise, which is the worst case for transform coding. A
+// quality-scaled quantizer (Q/4, floor 1) keeps the fault-free
+// reconstruction comfortably above the paper's 30 dB acceptance bar
+// (~35 dB) while severe corruptions still fall below it.
+int quant_value(int k) { return std::max(1, kQuant[k] / 4); }
+
+std::vector<double> dct_matrix() {
+  std::vector<double> m(64);
+  for (int u = 0; u < 8; ++u)
+    for (int x = 0; x < 8; ++x) {
+      const double c = u == 0 ? std::sqrt(0.5) : 1.0;
+      m[std::size_t(u) * 8 + x] = 0.5 * c * std::cos((2 * x + 1) * u * M_PI / 16.0);
+    }
+  return m;
+}
+
+struct DctGolden {
+  std::string output;
+  std::vector<int> input_block_order;  // input pixels in block-scan order
+};
+
+/// Host twin of the guest kernel: identical arithmetic and ordering.
+DctGolden golden_dct(unsigned w, unsigned h, std::uint64_t seed) {
+  const std::vector<int> img = generate_image(w, h, seed);
+  const std::vector<double> m = dct_matrix();
+  DctGolden g;
+  std::string& out = g.output;
+
+  const auto mm = [](const double* a, const double* b, double* c, int mode) {
+    // mode 0: C=A*B, 1: C=A*B^T, 2: C=A^T*B — accumulation order matches the
+    // guest subroutines exactly.
+    for (int i = 0; i < 8; ++i)
+      for (int j = 0; j < 8; ++j) {
+        double acc = 0.0;
+        for (int k = 0; k < 8; ++k) {
+          const double av = mode == 2 ? a[k * 8 + i] : a[i * 8 + k];
+          const double bv = mode == 1 ? b[j * 8 + k] : b[k * 8 + j];
+          acc = acc + av * bv;
+        }
+        c[i * 8 + j] = acc;
+      }
+  };
+
+  double p[64], t1[64], f[64], r[64];
+  for (unsigned by = 0; by < h / 8; ++by)
+    for (unsigned bx = 0; bx < w / 8; ++bx) {
+      for (unsigned y = 0; y < 8; ++y)
+        for (unsigned x = 0; x < 8; ++x) {
+          const int pix = img[(by * 8 + y) * w + bx * 8 + x];
+          g.input_block_order.push_back(pix);
+          p[y * 8 + x] = double(std::int64_t(pix));
+        }
+      mm(m.data(), p, t1, 0);   // t1 = M*P
+      mm(t1, m.data(), f, 1);   // F = t1*M^T
+      for (int k = 0; k < 64; ++k) {
+        const double q = double(std::int64_t(quant_value(k)));
+        const double t = f[k] / q;
+        const double adj = std::copysign(0.5, t);
+        const double rounded = double(std::int64_t(t + adj));
+        f[k] = rounded * q;
+      }
+      mm(m.data(), f, t1, 2);   // t1 = M^T*F
+      mm(t1, m.data(), r, 0);   // R = t1*M
+      for (int k = 0; k < 64; ++k) {
+        const double v = r[k];
+        const double adj = std::copysign(0.5, v);
+        std::int64_t iv = std::int64_t(v + adj);
+        if (iv < 0) iv = 0;
+        if (iv > 255) iv = 255;
+        char buf[16];
+        std::snprintf(buf, sizeof buf, "%lld\n", static_cast<long long>(iv));
+        out += buf;
+      }
+    }
+  return g;
+}
+
+}  // namespace
+
+App build_dct(const AppScale& scale) {
+  using namespace assembler;
+  const unsigned w = scale.paper ? 64 : 16;
+  const unsigned h = scale.paper ? 64 : 16;
+  const std::uint64_t seed = scale.seed ^ 0xdc7;
+  const unsigned blocks_x = w / 8;
+  const unsigned blocks_y = h / 8;
+
+  Assembler as;
+  const std::vector<double> m = dct_matrix();
+  std::vector<double> quant_d(64);
+  for (int k = 0; k < 64; ++k) quant_d[std::size_t(k)] = double(quant_value(k));
+
+  const DataRef m_ref = as.data_f64(m);
+  const DataRef q_ref = as.data_f64(quant_d);
+  const DataRef img_ref = as.data_zeros(std::size_t(w) * h * 8);   // doubles
+  const DataRef out_ref = as.data_zeros(std::size_t(w) * h * 8);   // int64 results
+  const DataRef p_ref = as.data_zeros(64 * 8);
+  const DataRef t1_ref = as.data_zeros(64 * 8);
+  const DataRef f_ref = as.data_zeros(64 * 8);
+  const DataRef r_ref = as.data_zeros(64 * 8);
+
+  const Label entry = as.make_label("main");
+  const Label mm_ab = as.make_label("mm_ab");
+  const Label mm_abt = as.make_label("mm_abt");
+  const Label mm_atb = as.make_label("mm_atb");
+
+  // ---- 8x8 matmul subroutines: a0=C, a1=A, a2=B; clobber t0-t3,t8-t10,f1-f3
+  const auto emit_mm8 = [&](Label fn, int mode) {
+    as.bind(fn);
+    as.li(reg::t8, 0);  // i
+    const Label li_ = as.here();
+    {
+      as.li(reg::t9, 0);  // j
+      const Label lj = as.here();
+      {
+        as.fli(1, 0.0);     // acc
+        as.li(reg::t10, 0);  // k
+        const Label lk = as.here();
+        {
+          // av
+          if (mode == 2) {  // A^T: a[k*8+i]
+            as.sll_i(reg::t10, 3, reg::t0);
+            as.addq(reg::t0, reg::t8, reg::t0);
+          } else {  // a[i*8+k]
+            as.sll_i(reg::t8, 3, reg::t0);
+            as.addq(reg::t0, reg::t10, reg::t0);
+          }
+          as.s8addq(reg::t0, reg::a1, reg::t0);
+          as.ldt(2, 0, reg::t0);
+          // bv
+          if (mode == 1) {  // B^T: b[j*8+k]
+            as.sll_i(reg::t9, 3, reg::t1);
+            as.addq(reg::t1, reg::t10, reg::t1);
+          } else {  // b[k*8+j]
+            as.sll_i(reg::t10, 3, reg::t1);
+            as.addq(reg::t1, reg::t9, reg::t1);
+          }
+          as.s8addq(reg::t1, reg::a2, reg::t1);
+          as.ldt(3, 0, reg::t1);
+          as.mult(2, 3, 2);
+          as.addt(1, 2, 1);
+          as.addq_i(reg::t10, 1, reg::t10);
+          as.cmplt_i(reg::t10, 8, reg::t0);
+          as.bne(reg::t0, lk);
+        }
+        // C[i*8+j] = acc
+        as.sll_i(reg::t8, 3, reg::t0);
+        as.addq(reg::t0, reg::t9, reg::t0);
+        as.s8addq(reg::t0, reg::a0, reg::t0);
+        as.stt(1, 0, reg::t0);
+        as.addq_i(reg::t9, 1, reg::t9);
+        as.cmplt_i(reg::t9, 8, reg::t0);
+        as.bne(reg::t0, lj);
+      }
+      as.addq_i(reg::t8, 1, reg::t8);
+      as.cmplt_i(reg::t8, 8, reg::t0);
+      as.bne(reg::t0, li_);
+    }
+    as.ret();
+  };
+  emit_mm8(mm_ab, 0);
+  emit_mm8(mm_abt, 1);
+  emit_mm8(mm_atb, 2);
+
+  // ---------------- main ----------------
+  as.bind(entry);
+  emit_boot(as);
+
+  // init: img[i] = double(LCG byte)
+  as.li_u(reg::s1, seed);
+  as.la(reg::s2, img_ref);
+  as.li(reg::s0, 0);
+  const Label gen = as.here("gen");
+  {
+    emit_lcg_step(as, reg::s1, reg::t0);
+    as.srl_i(reg::s1, 33, reg::t1);
+    as.and_i(reg::t1, 0xff, reg::t1);
+    as.itoft(reg::t1, 1);
+    as.cvtqt(1, 1);
+    as.s8addq(reg::s0, reg::s2, reg::t3);
+    as.stt(1, 0, reg::t3);
+    as.addq_i(reg::s0, 1, reg::s0);
+    as.li(reg::t2, std::int64_t(std::uint64_t(w) * h));
+    as.cmplt(reg::s0, reg::t2, reg::t0);
+    as.bne(reg::t0, gen);
+  }
+
+  as.fi_read_init();
+  as.mov_i(0, reg::a0);
+  as.fi_activate();
+
+  // kernel: for by, bx: copy block -> P; F = M P M^T; quant+dequant;
+  // R = M^T F M; round/clamp -> out[]
+  as.li(reg::s0, 0);  // by
+  const Label lby = as.here("by");
+  {
+    as.li(reg::s1, 0);  // bx
+    const Label lbx = as.here("bx");
+    {
+      // copy block into P
+      as.li(reg::s3, 0);  // y
+      const Label cy = as.here("cy");
+      {
+        as.li(reg::s4, 0);  // x
+        const Label cx = as.here("cx");
+        {
+          // src index = (by*8+y)*w + bx*8+x
+          as.sll_i(reg::s0, 3, reg::t0);
+          as.addq(reg::t0, reg::s3, reg::t0);
+          as.li(reg::t2, std::int64_t(w));
+          as.mulq(reg::t0, reg::t2, reg::t0);
+          as.sll_i(reg::s1, 3, reg::t1);
+          as.addq(reg::t0, reg::t1, reg::t0);
+          as.addq(reg::t0, reg::s4, reg::t0);
+          as.la(reg::t2, img_ref);
+          as.s8addq(reg::t0, reg::t2, reg::t0);
+          as.ldt(1, 0, reg::t0);
+          // dst index = y*8+x
+          as.sll_i(reg::s3, 3, reg::t1);
+          as.addq(reg::t1, reg::s4, reg::t1);
+          as.la(reg::t2, p_ref);
+          as.s8addq(reg::t1, reg::t2, reg::t1);
+          as.stt(1, 0, reg::t1);
+          as.addq_i(reg::s4, 1, reg::s4);
+          as.cmplt_i(reg::s4, 8, reg::t0);
+          as.bne(reg::t0, cx);
+        }
+        as.addq_i(reg::s3, 1, reg::s3);
+        as.cmplt_i(reg::s3, 8, reg::t0);
+        as.bne(reg::t0, cy);
+      }
+      // t1 = M*P
+      as.la(reg::a0, t1_ref);
+      as.la(reg::a1, m_ref);
+      as.la(reg::a2, p_ref);
+      as.call(mm_ab);
+      // F = t1*M^T
+      as.la(reg::a0, f_ref);
+      as.la(reg::a1, t1_ref);
+      as.la(reg::a2, m_ref);
+      as.call(mm_abt);
+      // quantize + dequantize in place
+      as.li(reg::s3, 0);
+      const Label qk = as.here("qk");
+      {
+        as.la(reg::t2, f_ref);
+        as.s8addq(reg::s3, reg::t2, reg::t0);
+        as.ldt(1, 0, reg::t0);
+        as.la(reg::t2, q_ref);
+        as.s8addq(reg::s3, reg::t2, reg::t1);
+        as.ldt(2, 0, reg::t1);
+        as.divt(1, 2, 3);      // t = F/Q
+        as.fli(4, 0.5);
+        as.cpys(3, 4, 4);      // adj = copysign(0.5, t)
+        as.addt(3, 4, 3);
+        as.cvttq(3, 3);        // int64
+        as.cvtqt(3, 3);        // back to double
+        as.mult(3, 2, 3);      // dequant
+        as.stt(3, 0, reg::t0);
+        as.addq_i(reg::s3, 1, reg::s3);
+        as.cmplt_i(reg::s3, 64, reg::t0);
+        as.bne(reg::t0, qk);
+      }
+      // t1 = M^T*F ; R = t1*M
+      as.la(reg::a0, t1_ref);
+      as.la(reg::a1, m_ref);
+      as.la(reg::a2, f_ref);
+      as.call(mm_atb);
+      as.la(reg::a0, r_ref);
+      as.la(reg::a1, t1_ref);
+      as.la(reg::a2, m_ref);
+      as.call(mm_ab);
+      // round/clamp into out[] (block-scan order)
+      as.li(reg::s3, 0);
+      const Label ok_ = as.here("okl");
+      {
+        as.la(reg::t2, r_ref);
+        as.s8addq(reg::s3, reg::t2, reg::t0);
+        as.ldt(1, 0, reg::t0);
+        as.fli(4, 0.5);
+        as.cpys(1, 4, 4);
+        as.addt(1, 4, 1);
+        as.cvttq(1, 1);
+        as.ftoit(1, reg::t0);  // integer pixel
+        // clamp 0..255
+        as.cmplt(reg::t0, reg::zero, reg::t1);
+        as.cmovne(reg::t1, reg::zero, reg::t0);
+        as.li(reg::t2, 255);
+        as.cmplt(reg::t2, reg::t0, reg::t1);
+        as.cmovne(reg::t1, reg::t2, reg::t0);
+        // out[((by*bx block #)*64) + k] = pixel
+        as.li(reg::t2, std::int64_t(blocks_x));
+        as.mulq(reg::s0, reg::t2, reg::t1);
+        as.addq(reg::t1, reg::s1, reg::t1);
+        as.sll_i(reg::t1, 6, reg::t1);
+        as.addq(reg::t1, reg::s3, reg::t1);
+        as.la(reg::t2, out_ref);
+        as.s8addq(reg::t1, reg::t2, reg::t1);
+        as.stq(reg::t0, 0, reg::t1);
+        as.addq_i(reg::s3, 1, reg::s3);
+        as.cmplt_i(reg::s3, 64, reg::t0);
+        as.bne(reg::t0, ok_);
+      }
+      as.addq_i(reg::s1, 1, reg::s1);
+      as.cmplt_i(reg::s1, blocks_x, reg::t0);
+      as.bne(reg::t0, lbx);
+    }
+    as.addq_i(reg::s0, 1, reg::s0);
+    as.cmplt_i(reg::s0, blocks_y, reg::t0);
+    as.bne(reg::t0, lby);
+  }
+
+  as.mov_i(0, reg::a0);
+  as.fi_activate();  // FI off
+
+  // output
+  as.li(reg::s0, 0);
+  const Label pout = as.here("pout");
+  {
+    as.la(reg::t2, out_ref);
+    as.s8addq(reg::s0, reg::t2, reg::t0);
+    as.ldq(reg::a0, 0, reg::t0);
+    as.print_int();
+    emit_newline(as);
+    as.addq_i(reg::s0, 1, reg::s0);
+    as.li(reg::t2, std::int64_t(std::uint64_t(w) * h));
+    as.cmplt(reg::s0, reg::t2, reg::t0);
+    as.bne(reg::t0, pout);
+  }
+  as.mov_i(0, reg::a0);
+  as.exit_();
+
+  App app;
+  app.name = "dct";
+  app.program = as.finalize(entry);
+
+  DctGolden golden = golden_dct(w, h, seed);
+  app.golden_output = golden.output;
+  const std::vector<int> input = std::move(golden.input_block_order);
+  app.acceptable = [input](const std::string& out, double& metric) {
+    const auto pixels = parse_int_list(out);
+    if (!pixels || pixels->size() != input.size()) return false;
+    for (const int p : *pixels)
+      if (p < 0 || p > 255) return false;
+    metric = psnr(input, *pixels);
+    return metric > 30.0;  // paper: PSNR > 30 dB vs the input image
+  };
+  return app;
+}
+
+}  // namespace gemfi::apps

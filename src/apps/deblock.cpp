@@ -1,0 +1,232 @@
+// AVS-style deblocking filter (paper Sec. IV: a kernel of AVS video
+// decoding applied to one luma plane).
+//
+// Characteristics: the only benchmark with *no floating-point operations* —
+// the paper uses it to show 100% strict correctness under FP-register
+// faults (Fig. 5). Pure integer edge filtering across 8x8 block boundaries.
+//
+// Acceptability (paper Sec. IV-B-1): outputs with PSNR above 80 dB compared
+// with the error-free execution are "correct".
+#include "apps/app.hpp"
+#include "apps/image.hpp"
+
+#include <cstdio>
+#include <vector>
+
+namespace gemfi::apps {
+
+namespace {
+
+constexpr int kAlpha = 28;
+constexpr int kBeta = 14;
+
+struct DeblockGolden {
+  std::string output;
+  std::vector<int> filtered;
+};
+
+/// Host twin of the guest kernel (in-place, vertical then horizontal edges).
+DeblockGolden golden_deblock(unsigned w, unsigned h, std::uint64_t seed) {
+  std::vector<int> img = generate_image(w, h, seed);
+  const auto abs_ = [](int v) { return v < 0 ? -v : v; };
+  const auto filter = [&](std::size_t p1i, std::size_t p0i, std::size_t q0i,
+                          std::size_t q1i) {
+    const int p1 = img[p1i], p0 = img[p0i], q0 = img[q0i], q1 = img[q1i];
+    if (abs_(p0 - q0) < kAlpha && abs_(p1 - p0) < kBeta && abs_(q1 - q0) < kBeta) {
+      img[p0i] = (p1 + 2 * p0 + q0 + 2) >> 2;
+      img[q0i] = (q1 + 2 * q0 + p0 + 2) >> 2;
+    }
+  };
+  for (unsigned x = 8; x < w; x += 8)
+    for (unsigned y = 0; y < h; ++y)
+      filter(std::size_t(y) * w + x - 2, std::size_t(y) * w + x - 1,
+             std::size_t(y) * w + x, std::size_t(y) * w + x + 1);
+  for (unsigned y = 8; y < h; y += 8)
+    for (unsigned x = 0; x < w; ++x)
+      filter(std::size_t(y - 2) * w + x, std::size_t(y - 1) * w + x,
+             std::size_t(y) * w + x, std::size_t(y + 1) * w + x);
+
+  DeblockGolden g;
+  g.filtered = img;
+  for (const int v : img) {
+    char buf[16];
+    std::snprintf(buf, sizeof buf, "%d\n", v);
+    g.output += buf;
+  }
+  return g;
+}
+
+}  // namespace
+
+App build_deblock(const AppScale& scale) {
+  using namespace assembler;
+  const unsigned w = scale.paper ? 96 : 32;
+  const unsigned h = scale.paper ? 32 : 16;
+  const std::uint64_t seed = scale.seed ^ 0xdeb10c;
+
+  Assembler as;
+  const DataRef img_ref = as.data_zeros(std::size_t(w) * h * 8);
+
+  const Label entry = as.make_label("main");
+  const Label fn_filter = as.make_label("filter_edge");
+
+  // ---- filter_edge(a0=&p1, a1=&p0, a2=&q0, a3=&q1): conditionally smooth.
+  // Clobbers t0-t9.
+  {
+    as.bind(fn_filter);
+    as.ldq(reg::t0, 0, reg::a0);  // p1
+    as.ldq(reg::t1, 0, reg::a1);  // p0
+    as.ldq(reg::t2, 0, reg::a2);  // q0
+    as.ldq(reg::t3, 0, reg::a3);  // q1
+    const Label skip = as.make_label("fe_skip");
+    const auto abs_diff = [&](unsigned a, unsigned b, unsigned dst) {
+      as.subq(a, b, dst);
+      as.subq(reg::zero, dst, reg::t9);
+      as.cmplt(dst, reg::zero, reg::t8);
+      as.cmovne(reg::t8, reg::t9, dst);
+    };
+    abs_diff(reg::t1, reg::t2, reg::t4);  // |p0-q0|
+    as.cmplt_i(reg::t4, kAlpha, reg::t8);
+    as.beq(reg::t8, skip);
+    abs_diff(reg::t0, reg::t1, reg::t4);  // |p1-p0|
+    as.cmplt_i(reg::t4, kBeta, reg::t8);
+    as.beq(reg::t8, skip);
+    abs_diff(reg::t3, reg::t2, reg::t4);  // |q1-q0|
+    as.cmplt_i(reg::t4, kBeta, reg::t8);
+    as.beq(reg::t8, skip);
+    // p0' = (p1 + 2*p0 + q0 + 2) >> 2
+    as.sll_i(reg::t1, 1, reg::t4);
+    as.addq(reg::t4, reg::t0, reg::t4);
+    as.addq(reg::t4, reg::t2, reg::t4);
+    as.addq_i(reg::t4, 2, reg::t4);
+    as.sra_i(reg::t4, 2, reg::t4);
+    // q0' = (q1 + 2*q0 + p0 + 2) >> 2
+    as.sll_i(reg::t2, 1, reg::t5);
+    as.addq(reg::t5, reg::t3, reg::t5);
+    as.addq(reg::t5, reg::t1, reg::t5);
+    as.addq_i(reg::t5, 2, reg::t5);
+    as.sra_i(reg::t5, 2, reg::t5);
+    as.stq(reg::t4, 0, reg::a1);
+    as.stq(reg::t5, 0, reg::a2);
+    as.bind(skip);
+    as.ret();
+  }
+
+  as.bind(entry);
+  emit_boot(as);
+
+  // ---------------- init: LCG image ----------------
+  as.li_u(reg::s1, seed);
+  as.la(reg::s2, img_ref);
+  as.li(reg::s0, 0);
+  const Label gen = as.here("gen");
+  {
+    emit_lcg_step(as, reg::s1, reg::t0);
+    as.srl_i(reg::s1, 33, reg::t1);
+    as.and_i(reg::t1, 0xff, reg::t1);
+    as.s8addq(reg::s0, reg::s2, reg::t3);
+    as.stq(reg::t1, 0, reg::t3);
+    as.addq_i(reg::s0, 1, reg::s0);
+    as.li(reg::t2, std::int64_t(std::uint64_t(w) * h));
+    as.cmplt(reg::s0, reg::t2, reg::t0);
+    as.bne(reg::t0, gen);
+  }
+
+  as.fi_read_init();
+  as.mov_i(0, reg::a0);
+  as.fi_activate();
+
+  // ---------------- kernel ----------------
+  // vertical edges: x = 8,16,... ; for each y
+  as.li(reg::s0, 8);  // x
+  const Label vx = as.here("vx");
+  {
+    as.li(reg::s3, 0);  // y
+    const Label vy = as.here("vy");
+    {
+      // base index = y*w + x
+      as.li(reg::t2, std::int64_t(w));
+      as.mulq(reg::s3, reg::t2, reg::t0);
+      as.addq(reg::t0, reg::s0, reg::t0);
+      as.s8addq(reg::t0, reg::s2, reg::t0);  // &q0
+      as.lda(reg::a0, -16, reg::t0);         // &p1
+      as.lda(reg::a1, -8, reg::t0);          // &p0
+      as.mov(reg::t0, reg::a2);              // &q0
+      as.lda(reg::a3, 8, reg::t0);           // &q1
+      as.call(fn_filter);
+      as.addq_i(reg::s3, 1, reg::s3);
+      as.li(reg::t2, std::int64_t(h));
+      as.cmplt(reg::s3, reg::t2, reg::t0);
+      as.bne(reg::t0, vy);
+    }
+    as.addq_i(reg::s0, 8, reg::s0);
+    as.li(reg::t2, std::int64_t(w));
+    as.cmplt(reg::s0, reg::t2, reg::t0);
+    as.bne(reg::t0, vx);
+  }
+  // horizontal edges: y = 8,16,...; for each x
+  as.li(reg::s0, 8);  // y
+  const Label hy = as.here("hy");
+  {
+    as.li(reg::s3, 0);  // x
+    const Label hx = as.here("hx");
+    {
+      as.li(reg::t2, std::int64_t(w));
+      as.mulq(reg::s0, reg::t2, reg::t0);
+      as.addq(reg::t0, reg::s3, reg::t0);
+      as.s8addq(reg::t0, reg::s2, reg::t0);  // &q0 = &img[y][x]
+      const std::int32_t row = std::int32_t(w) * 8;
+      as.lda(reg::a0, -2 * row, reg::t0);  // &p1 = &img[y-2][x]
+      as.lda(reg::a1, -row, reg::t0);      // &p0
+      as.mov(reg::t0, reg::a2);
+      as.lda(reg::a3, row, reg::t0);       // &q1
+      as.call(fn_filter);
+      as.addq_i(reg::s3, 1, reg::s3);
+      as.li(reg::t2, std::int64_t(w));
+      as.cmplt(reg::s3, reg::t2, reg::t0);
+      as.bne(reg::t0, hx);
+    }
+    as.addq_i(reg::s0, 8, reg::s0);
+    as.li(reg::t2, std::int64_t(h));
+    as.cmplt(reg::s0, reg::t2, reg::t0);
+    as.bne(reg::t0, hy);
+  }
+
+  as.mov_i(0, reg::a0);
+  as.fi_activate();  // FI off
+
+  // output
+  as.li(reg::s0, 0);
+  const Label pout = as.here("pout");
+  {
+    as.s8addq(reg::s0, reg::s2, reg::t0);
+    as.ldq(reg::a0, 0, reg::t0);
+    as.print_int();
+    emit_newline(as);
+    as.addq_i(reg::s0, 1, reg::s0);
+    as.li(reg::t2, std::int64_t(std::uint64_t(w) * h));
+    as.cmplt(reg::s0, reg::t2, reg::t0);
+    as.bne(reg::t0, pout);
+  }
+  as.mov_i(0, reg::a0);
+  as.exit_();
+
+  App app;
+  app.name = "deblock";
+  app.program = as.finalize(entry);
+
+  DeblockGolden golden = golden_deblock(w, h, seed);
+  app.golden_output = golden.output;
+  const std::vector<int> reference = std::move(golden.filtered);
+  app.acceptable = [reference](const std::string& out, double& metric) {
+    const auto pixels = parse_int_list(out);
+    if (!pixels || pixels->size() != reference.size()) return false;
+    for (const int p : *pixels)
+      if (p < 0 || p > 255) return false;
+    metric = psnr(reference, *pixels);
+    return metric > 80.0;  // paper: PSNR > 80 dB vs the error-free output
+  };
+  return app;
+}
+
+}  // namespace gemfi::apps

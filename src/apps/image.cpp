@@ -1,0 +1,69 @@
+#include "apps/image.hpp"
+
+#include <cmath>
+#include <sstream>
+
+namespace gemfi::apps {
+
+double psnr(const std::vector<int>& a, const std::vector<int>& b) {
+  if (a.size() != b.size() || a.empty()) return 0.0;
+  double mse = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = double(a[i]) - double(b[i]);
+    mse += d * d;
+  }
+  mse /= double(a.size());
+  if (mse == 0.0) return HUGE_VAL;
+  return 10.0 * std::log10(255.0 * 255.0 / mse);
+}
+
+std::optional<std::vector<int>> parse_int_list(const std::string& text) {
+  std::vector<int> out;
+  std::istringstream in(text);
+  std::string tok;
+  while (in >> tok) {
+    const std::size_t eq = tok.find('=');
+    const std::string num = eq == std::string::npos ? tok : tok.substr(eq + 1);
+    try {
+      std::size_t pos = 0;
+      const long v = std::stol(num, &pos, 10);
+      if (pos != num.size()) return std::nullopt;
+      out.push_back(int(v));
+    } catch (const std::exception&) {
+      return std::nullopt;
+    }
+  }
+  return out;
+}
+
+std::optional<std::vector<double>> parse_double_list(const std::string& text) {
+  std::vector<double> out;
+  std::istringstream in(text);
+  std::string tok;
+  while (in >> tok) {
+    const std::size_t eq = tok.find('=');
+    const std::string num = eq == std::string::npos ? tok : tok.substr(eq + 1);
+    try {
+      std::size_t pos = 0;
+      const double v = std::stod(num, &pos);
+      if (pos != num.size()) return std::nullopt;
+      out.push_back(v);
+    } catch (const std::exception&) {
+      return std::nullopt;
+    }
+  }
+  return out;
+}
+
+std::vector<int> generate_image(unsigned width, unsigned height, std::uint64_t seed) {
+  std::vector<int> img;
+  img.reserve(std::size_t(width) * height);
+  std::uint64_t state = seed;
+  for (unsigned i = 0; i < width * height; ++i) {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    img.push_back(int((state >> 33) & 0xff));
+  }
+  return img;
+}
+
+}  // namespace gemfi::apps

@@ -1,0 +1,28 @@
+// Host-side image / output-parsing utilities shared by the DCT and
+// Deblocking quality metrics (the paper's PSNR criteria, Sec. IV-B-1).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace gemfi::apps {
+
+/// Peak signal-to-noise ratio between two equally sized 8-bit images, in dB.
+/// Identical images yield +infinity.
+double psnr(const std::vector<int>& a, const std::vector<int>& b);
+
+/// Parse a whitespace/newline-separated list of decimal integers; returns
+/// nullopt on any non-numeric token (corrupted output).
+std::optional<std::vector<int>> parse_int_list(const std::string& text);
+
+/// Parse doubles printed with %.17g, one per line after a "name=" prefix is
+/// stripped; tolerant of the exact format our guests emit.
+std::optional<std::vector<double>> parse_double_list(const std::string& text);
+
+/// Generate a deterministic pseudo-random 8-bit image with the shared guest
+/// LCG (the host twin of the guests' init loops).
+std::vector<int> generate_image(unsigned width, unsigned height, std::uint64_t seed);
+
+}  // namespace gemfi::apps

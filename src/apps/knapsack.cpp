@@ -1,0 +1,409 @@
+// 0/1 Knapsack solved with a genetic algorithm (paper Sec. IV: 24 items,
+// weight limit 500).
+//
+// Characteristics: integer-only, heavy array/pointer use (the paper reports
+// 42% execute-stage crash rate for Knapsack), and selection pressure that
+// discards corrupted candidates — the later a fault lands, the likelier the
+// population already carries a good solution, so acceptability grows with
+// injection time (Fig. 6, middle).
+#include "apps/app.hpp"
+#include "apps/image.hpp"
+
+#include <cstdio>
+#include <vector>
+
+namespace gemfi::apps {
+
+namespace {
+
+constexpr unsigned kItems = 24;
+constexpr unsigned kPop = 16;
+constexpr std::int64_t kLimit = 500;
+constexpr std::uint64_t kMaskAll = (1u << kItems) - 1;
+
+struct Items {
+  std::vector<std::int64_t> value;
+  std::vector<std::int64_t> weight;
+};
+
+Items make_items(std::uint64_t& state) {
+  Items it;
+  for (unsigned i = 0; i < kItems; ++i) {
+    lcg_next(state);
+    it.value.push_back(10 + std::int64_t((state >> 33) & 63));
+    lcg_next(state);
+    it.weight.push_back(1 + std::int64_t((state >> 33) & 63));
+  }
+  return it;
+}
+
+std::int64_t mask_weight(const Items& it, std::uint64_t mask) {
+  std::int64_t w = 0;
+  for (unsigned i = 0; i < kItems; ++i)
+    if ((mask >> i) & 1) w += it.weight[i];
+  return w;
+}
+
+std::int64_t mask_value(const Items& it, std::uint64_t mask) {
+  std::int64_t v = 0;
+  for (unsigned i = 0; i < kItems; ++i)
+    if ((mask >> i) & 1) v += it.value[i];
+  return v;
+}
+
+std::int64_t fitness(const Items& it, std::uint64_t mask) {
+  return mask_weight(it, mask) <= kLimit ? mask_value(it, mask) : 0;
+}
+
+struct KnapGolden {
+  std::string output;
+  Items items;
+  std::int64_t best_value = 0;
+};
+
+/// Host twin of the guest GA: identical LCG draw order.
+KnapGolden golden_knapsack(std::uint64_t seed, unsigned generations) {
+  std::uint64_t state = seed;
+  KnapGolden g;
+  g.items = make_items(state);
+
+  std::vector<std::uint64_t> pop(kPop), next(kPop);
+  for (unsigned i = 0; i < kPop; ++i) {
+    lcg_next(state);
+    pop[i] = (state >> 20) & kMaskAll;
+  }
+
+  std::vector<std::int64_t> fit(kPop);
+  for (unsigned gen = 0; gen < generations; ++gen) {
+    for (unsigned i = 0; i < kPop; ++i) fit[i] = fitness(g.items, pop[i]);
+    unsigned best = 0;
+    for (unsigned i = 1; i < kPop; ++i)
+      if (fit[i] > fit[best]) best = i;
+    next[0] = pop[best];
+    for (unsigned c = 1; c < kPop; ++c) {
+      lcg_next(state);
+      const unsigned i1 = unsigned(state >> 20) & (kPop - 1);
+      lcg_next(state);
+      const unsigned i2 = unsigned(state >> 20) & (kPop - 1);
+      const std::uint64_t p1 = fit[i1] >= fit[i2] ? pop[i1] : pop[i2];
+      lcg_next(state);
+      const unsigned i3 = unsigned(state >> 20) & (kPop - 1);
+      lcg_next(state);
+      const unsigned i4 = unsigned(state >> 20) & (kPop - 1);
+      const std::uint64_t p2 = fit[i3] >= fit[i4] ? pop[i3] : pop[i4];
+      lcg_next(state);
+      const unsigned cp = unsigned(state >> 20) & 31;
+      const std::uint64_t lo = (1ull << cp) - 1;
+      std::uint64_t child = (p1 & lo) | (p2 & ~lo);
+      lcg_next(state);
+      if (((state >> 40) & 7) == 0) child ^= 1ull << (unsigned(state >> 20) & 31);
+      next[c] = child & kMaskAll;
+    }
+    pop = next;
+  }
+
+  for (unsigned i = 0; i < kPop; ++i) fit[i] = fitness(g.items, pop[i]);
+  unsigned best = 0;
+  for (unsigned i = 1; i < kPop; ++i)
+    if (fit[i] > fit[best]) best = i;
+  g.best_value = fit[best];
+  char buf[96];
+  std::snprintf(buf, sizeof buf, "value=%lld\nweight=%lld\nmask=%llu\n",
+                static_cast<long long>(fit[best]),
+                static_cast<long long>(mask_weight(g.items, pop[best])),
+                static_cast<unsigned long long>(pop[best]));
+  g.output = buf;
+  return g;
+}
+
+}  // namespace
+
+App build_knapsack(const AppScale& scale) {
+  using namespace assembler;
+  const unsigned generations = scale.paper ? 100 : 30;
+  const std::uint64_t seed = scale.seed ^ 0x5ac;
+
+  Assembler as;
+  const DataRef values_ref = as.data_zeros(kItems * 8);
+  const DataRef weights_ref = as.data_zeros(kItems * 8);
+  const DataRef pop_ref = as.data_zeros(kPop * 8);
+  const DataRef next_ref = as.data_zeros(kPop * 8);
+  const DataRef fit_ref = as.data_zeros(kPop * 8);
+
+  const Label entry = as.make_label("main");
+  const Label fn_fitness = as.make_label("fitness");
+
+  // ---- fitness(a0=mask) -> v0 (0 if overweight); t11 = weight.
+  // Clobbers t0-t3, t10, t11.
+  {
+    as.bind(fn_fitness);
+    as.li(reg::v0, 0);   // value sum
+    as.li(reg::t11, 0);  // weight sum
+    as.li(reg::t10, 0);  // i
+    const Label loop = as.here();
+    {
+      as.srl(reg::a0, reg::t10, reg::t0);
+      const Label skip = as.make_label();
+      as.blbc(reg::t0, skip);
+      as.la(reg::t2, values_ref);
+      as.s8addq(reg::t10, reg::t2, reg::t1);
+      as.ldq(reg::t1, 0, reg::t1);
+      as.addq(reg::v0, reg::t1, reg::v0);
+      as.la(reg::t2, weights_ref);
+      as.s8addq(reg::t10, reg::t2, reg::t1);
+      as.ldq(reg::t1, 0, reg::t1);
+      as.addq(reg::t11, reg::t1, reg::t11);
+      as.bind(skip);
+      as.addq_i(reg::t10, 1, reg::t10);
+      as.cmplt_i(reg::t10, kItems, reg::t0);
+      as.bne(reg::t0, loop);
+    }
+    as.li(reg::t2, kLimit);
+    as.cmple(reg::t11, reg::t2, reg::t0);  // feasible?
+    as.cmoveq(reg::t0, reg::zero, reg::v0);  // infeasible -> fitness 0
+    as.ret();
+  }
+
+  as.bind(entry);
+  emit_boot(as);
+
+  // ---------------- init phase ----------------
+  as.li_u(reg::s1, seed);
+  // items
+  as.li(reg::s0, 0);
+  const Label gen_items = as.here("gen_items");
+  {
+    emit_lcg_step(as, reg::s1, reg::t0);
+    as.srl_i(reg::s1, 33, reg::t1);
+    as.and_i(reg::t1, 63, reg::t1);
+    as.addq_i(reg::t1, 10, reg::t1);
+    as.la(reg::t2, values_ref);
+    as.s8addq(reg::s0, reg::t2, reg::t3);
+    as.stq(reg::t1, 0, reg::t3);
+    emit_lcg_step(as, reg::s1, reg::t0);
+    as.srl_i(reg::s1, 33, reg::t1);
+    as.and_i(reg::t1, 63, reg::t1);
+    as.addq_i(reg::t1, 1, reg::t1);
+    as.la(reg::t2, weights_ref);
+    as.s8addq(reg::s0, reg::t2, reg::t3);
+    as.stq(reg::t1, 0, reg::t3);
+    as.addq_i(reg::s0, 1, reg::s0);
+    as.cmplt_i(reg::s0, kItems, reg::t0);
+    as.bne(reg::t0, gen_items);
+  }
+  // initial population
+  as.li(reg::s0, 0);
+  const Label gen_pop = as.here("gen_pop");
+  {
+    emit_lcg_step(as, reg::s1, reg::t0);
+    as.srl_i(reg::s1, 20, reg::t1);
+    as.li(reg::t2, std::int64_t(kMaskAll));
+    as.and_(reg::t1, reg::t2, reg::t1);
+    as.la(reg::t2, pop_ref);
+    as.s8addq(reg::s0, reg::t2, reg::t3);
+    as.stq(reg::t1, 0, reg::t3);
+    as.addq_i(reg::s0, 1, reg::s0);
+    as.cmplt_i(reg::s0, kPop, reg::t0);
+    as.bne(reg::t0, gen_pop);
+  }
+
+  as.fi_read_init();
+  as.mov_i(0, reg::a0);
+  as.fi_activate();
+
+  // ---------------- kernel: the GA generations ----------------
+  as.li(reg::s0, 0);  // generation
+  const Label lgen = as.here("lgen");
+  {
+    // fitness of the whole population
+    as.li(reg::s3, 0);
+    const Label lfit = as.here("lfit");
+    {
+      as.la(reg::t2, pop_ref);
+      as.s8addq(reg::s3, reg::t2, reg::t0);
+      as.ldq(reg::a0, 0, reg::t0);
+      as.call(fn_fitness);
+      as.la(reg::t2, fit_ref);
+      as.s8addq(reg::s3, reg::t2, reg::t0);
+      as.stq(reg::v0, 0, reg::t0);
+      as.addq_i(reg::s3, 1, reg::s3);
+      as.cmplt_i(reg::s3, kPop, reg::t0);
+      as.bne(reg::t0, lfit);
+    }
+    // best index -> s4
+    as.li(reg::s4, 0);
+    as.li(reg::s3, 1);
+    const Label lbest = as.here("lbest");
+    {
+      as.la(reg::t2, fit_ref);
+      as.s8addq(reg::s3, reg::t2, reg::t0);
+      as.ldq(reg::t0, 0, reg::t0);
+      as.s8addq(reg::s4, reg::t2, reg::t1);
+      as.ldq(reg::t1, 0, reg::t1);
+      as.cmplt(reg::t1, reg::t0, reg::t3);  // fit[best] < fit[i]?
+      as.cmovne(reg::t3, reg::s3, reg::s4);
+      as.addq_i(reg::s3, 1, reg::s3);
+      as.cmplt_i(reg::s3, kPop, reg::t0);
+      as.bne(reg::t0, lbest);
+    }
+    // elitism: next[0] = pop[best]
+    as.la(reg::t2, pop_ref);
+    as.s8addq(reg::s4, reg::t2, reg::t0);
+    as.ldq(reg::t0, 0, reg::t0);
+    as.la(reg::t2, next_ref);
+    as.stq(reg::t0, 0, reg::t2);
+    // offspring
+    as.li(reg::s3, 1);  // c
+    const Label lchild = as.here("lchild");
+    {
+      // tournament -> parent in s5 (helper emitted twice)
+      const auto tournament = [&](unsigned dst) {
+        emit_lcg_step(as, reg::s1, reg::t0);
+        as.srl_i(reg::s1, 20, reg::t1);
+        as.and_i(reg::t1, kPop - 1, reg::t8);  // i1
+        emit_lcg_step(as, reg::s1, reg::t0);
+        as.srl_i(reg::s1, 20, reg::t1);
+        as.and_i(reg::t1, kPop - 1, reg::t9);  // i2
+        as.la(reg::t2, fit_ref);
+        as.s8addq(reg::t8, reg::t2, reg::t0);
+        as.ldq(reg::t0, 0, reg::t0);  // fit[i1]
+        as.s8addq(reg::t9, reg::t2, reg::t1);
+        as.ldq(reg::t1, 0, reg::t1);  // fit[i2]
+        as.cmple(reg::t1, reg::t0, reg::t3);   // fit[i2] <= fit[i1] -> pick i1
+        as.cmoveq(reg::t3, reg::t9, reg::t8);  // else i2
+        as.la(reg::t2, pop_ref);
+        as.s8addq(reg::t8, reg::t2, reg::t0);
+        as.ldq(dst, 0, reg::t0);
+      };
+      tournament(reg::s5);   // p1
+      tournament(reg::t10);  // p2
+      // crossover point
+      emit_lcg_step(as, reg::s1, reg::t0);
+      as.srl_i(reg::s1, 20, reg::t1);
+      as.and_i(reg::t1, 31, reg::t1);     // cp
+      as.li(reg::t2, 1);
+      as.sll(reg::t2, reg::t1, reg::t2);
+      as.subq_i(reg::t2, 1, reg::t2);     // lo mask
+      as.and_(reg::s5, reg::t2, reg::t3);
+      as.bic(reg::t10, reg::t2, reg::t8);
+      as.bis(reg::t3, reg::t8, reg::t8);  // child
+      // mutation
+      emit_lcg_step(as, reg::s1, reg::t0);
+      as.srl_i(reg::s1, 40, reg::t1);
+      as.and_i(reg::t1, 7, reg::t1);
+      const Label no_mut = as.make_label("no_mut");
+      as.bne(reg::t1, no_mut);
+      as.srl_i(reg::s1, 20, reg::t1);
+      as.and_i(reg::t1, 31, reg::t1);
+      as.li(reg::t2, 1);
+      as.sll(reg::t2, reg::t1, reg::t2);
+      as.xor_(reg::t8, reg::t2, reg::t8);
+      as.bind(no_mut);
+      as.li(reg::t2, std::int64_t(kMaskAll));
+      as.and_(reg::t8, reg::t2, reg::t8);
+      as.la(reg::t2, next_ref);
+      as.s8addq(reg::s3, reg::t2, reg::t0);
+      as.stq(reg::t8, 0, reg::t0);
+      as.addq_i(reg::s3, 1, reg::s3);
+      as.cmplt_i(reg::s3, kPop, reg::t0);
+      as.bne(reg::t0, lchild);
+    }
+    // pop = next
+    as.li(reg::s3, 0);
+    const Label lcopy = as.here("lcopy");
+    {
+      as.la(reg::t2, next_ref);
+      as.s8addq(reg::s3, reg::t2, reg::t0);
+      as.ldq(reg::t0, 0, reg::t0);
+      as.la(reg::t2, pop_ref);
+      as.s8addq(reg::s3, reg::t2, reg::t1);
+      as.stq(reg::t0, 0, reg::t1);
+      as.addq_i(reg::s3, 1, reg::s3);
+      as.cmplt_i(reg::s3, kPop, reg::t0);
+      as.bne(reg::t0, lcopy);
+    }
+    as.addq_i(reg::s0, 1, reg::s0);
+    as.cmplt_i(reg::s0, generations, reg::t0);
+    as.bne(reg::t0, lgen);
+  }
+
+  // final best (value in s5, weight in fp, mask in s4)
+  as.li(reg::s3, 0);
+  const Label ffit = as.here("ffit");
+  {
+    as.la(reg::t2, pop_ref);
+    as.s8addq(reg::s3, reg::t2, reg::t0);
+    as.ldq(reg::a0, 0, reg::t0);
+    as.call(fn_fitness);
+    as.la(reg::t2, fit_ref);
+    as.s8addq(reg::s3, reg::t2, reg::t0);
+    as.stq(reg::v0, 0, reg::t0);
+    as.addq_i(reg::s3, 1, reg::s3);
+    as.cmplt_i(reg::s3, kPop, reg::t0);
+    as.bne(reg::t0, ffit);
+  }
+  as.li(reg::s4, 0);
+  as.li(reg::s3, 1);
+  const Label fbest = as.here("fbest");
+  {
+    as.la(reg::t2, fit_ref);
+    as.s8addq(reg::s3, reg::t2, reg::t0);
+    as.ldq(reg::t0, 0, reg::t0);
+    as.s8addq(reg::s4, reg::t2, reg::t1);
+    as.ldq(reg::t1, 0, reg::t1);
+    as.cmplt(reg::t1, reg::t0, reg::t3);
+    as.cmovne(reg::t3, reg::s3, reg::s4);
+    as.addq_i(reg::s3, 1, reg::s3);
+    as.cmplt_i(reg::s3, kPop, reg::t0);
+    as.bne(reg::t0, fbest);
+  }
+  as.la(reg::t2, pop_ref);
+  as.s8addq(reg::s4, reg::t2, reg::t0);
+  as.ldq(reg::s4, 0, reg::t0);  // s4 = best mask
+  as.mov(reg::s4, reg::a0);
+  as.call(fn_fitness);
+  as.mov(reg::v0, reg::s5);     // value
+  as.mov(reg::t11, reg::fp);    // weight
+
+  as.mov_i(0, reg::a0);
+  as.fi_activate();  // FI off
+
+  as.print_str("value=");
+  as.print_int_r(reg::s5);
+  emit_newline(as);
+  as.print_str("weight=");
+  as.print_int_r(reg::fp);
+  emit_newline(as);
+  as.print_str("mask=");
+  as.print_int_r(reg::s4);
+  emit_newline(as);
+
+  as.mov_i(0, reg::a0);
+  as.exit_();
+
+  App app;
+  app.name = "knapsack";
+  app.program = as.finalize(entry);
+
+  const KnapGolden golden = golden_knapsack(seed, generations);
+  app.golden_output = golden.output;
+  const Items items = golden.items;
+  const std::int64_t golden_best = golden.best_value;
+  app.acceptable = [items, golden_best](const std::string& out, double& metric) {
+    // Expect "value=V weight=W mask=M"; validate against the item tables.
+    const auto vals = parse_double_list(out);
+    if (!vals || vals->size() != 3) return false;
+    const auto v = std::int64_t((*vals)[0]);
+    const auto w = std::int64_t((*vals)[1]);
+    const double mask_d = (*vals)[2];
+    if (mask_d < 0 || mask_d > double(kMaskAll)) return false;
+    const auto mask = std::uint64_t(mask_d);
+    if (mask_weight(items, mask) != w || w > kLimit) return false;
+    if (mask_value(items, mask) != v) return false;
+    metric = golden_best == 0 ? 1.0 : double(v) / double(golden_best);
+    return metric >= 0.9;
+  };
+  return app;
+}
+
+}  // namespace gemfi::apps

@@ -1,0 +1,130 @@
+// Monte Carlo PI estimation (paper Sec. IV: 1e5 points in a unit square,
+// counting hits inside the inscribed quarter circle).
+//
+// Characteristics the paper's analysis relies on: almost no data memory
+// accesses (everything lives in registers), FP-heavy, and every iteration
+// contributes equally to the result — so fault timing should be
+// uncorrelated with outcome (Fig. 6, left).
+#include "apps/app.hpp"
+#include "apps/image.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace gemfi::apps {
+
+namespace {
+
+/// Host twin of the guest kernel: must match operation-for-operation.
+std::string golden_pi(std::uint64_t points, std::uint64_t seed, double& pi_out) {
+  std::uint64_t state = seed;
+  std::uint64_t inside = 0;
+  const double scale = 0x1.0p-53;
+  for (std::uint64_t i = 0; i < points; ++i) {
+    lcg_next(state);
+    const double x = double(state >> 11) * scale;
+    lcg_next(state);
+    const double y = double(state >> 11) * scale;
+    if (x * x + y * y <= 1.0) ++inside;
+  }
+  const double pi = double(std::int64_t(inside)) * 4.0 / double(std::int64_t(points));
+  pi_out = pi;
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "pi=%.17g\n", pi);
+  return buf;
+}
+
+}  // namespace
+
+App build_pi(const AppScale& scale) {
+  using namespace assembler;
+  const std::uint64_t points = scale.paper ? 100000 : 8000;
+  const std::uint64_t seed = scale.seed;
+
+  Assembler as;
+  const Label entry = as.here("main");
+  emit_boot(as);
+
+  // --- init phase (pre-checkpoint): just seeds; PI has a trivial init ---
+  as.li_u(reg::s1, seed);       // LCG state
+  as.li(reg::s2, 0);            // inside counter
+  as.li(reg::s0, std::int64_t(points));  // remaining points
+  as.fli(10, 0x1.0p-53);        // f10 = 2^-53
+  as.fli(11, 1.0);              // f11 = 1.0
+  as.fli(12, 4.0);              // f12 = 4.0
+  // Hoist the LCG constants into registers: the paper's PI "performs almost
+  // no data accesses from memory", so the kernel must not reload them from
+  // the literal pool on every iteration.
+  as.li_u(reg::s3, kLcgMul);
+  as.li_u(reg::s4, kLcgAdd);
+
+  as.fi_read_init();            // checkpoint boundary
+  as.mov_i(0, reg::a0);
+  as.fi_activate();             // FI on, thread id 0
+
+  const Label loop = as.here("loop");
+  // x = rand01()
+  as.mulq(reg::s1, reg::s3, reg::s1);
+  as.addq(reg::s1, reg::s4, reg::s1);
+  as.srl_i(reg::s1, 11, reg::t1);
+  as.itoft(reg::t1, 1);
+  as.cvtqt(1, 1);
+  as.mult(1, 10, 1);            // f1 = x
+  // y = rand01()
+  as.mulq(reg::s1, reg::s3, reg::s1);
+  as.addq(reg::s1, reg::s4, reg::s1);
+  as.srl_i(reg::s1, 11, reg::t1);
+  as.itoft(reg::t1, 2);
+  as.cvtqt(2, 2);
+  as.mult(2, 10, 2);            // f2 = y
+  // inside if x*x + y*y <= 1.0
+  as.mult(1, 1, 3);
+  as.mult(2, 2, 4);
+  as.addt(3, 4, 3);
+  as.cmptle(3, 11, 4);          // f4 = 2.0 if inside
+  const Label not_inside = as.make_label("not_inside");
+  as.fbeq(4, not_inside);
+  as.addq_i(reg::s2, 1, reg::s2);
+  as.bind(not_inside);
+  as.subq_i(reg::s0, 1, reg::s0);
+  as.bne(reg::s0, loop);
+
+  // pi = 4 * inside / points
+  as.itoft(reg::s2, 5);
+  as.cvtqt(5, 5);
+  as.mult(5, 12, 5);
+  as.li(reg::t0, std::int64_t(points));
+  as.itoft(reg::t0, 6);
+  as.cvtqt(6, 6);
+  as.divt(5, 6, 5);             // f5 = pi
+
+  as.mov_i(0, reg::a0);
+  as.fi_activate();             // FI off
+
+  as.print_str("pi=");
+  as.fmov(5, 16);               // f16 = argument of print_fp
+  as.print_fp();
+  emit_newline(as);
+
+  as.mov_i(0, reg::a0);
+  as.exit_();
+
+  App app;
+  app.name = "pi";
+  app.program = as.finalize(entry);
+
+  double golden_pi_value = 0.0;
+  const std::string golden = golden_pi(points, seed, golden_pi_value);
+  // Paper criterion: the first two decimal points must match the accuracy
+  // the error-free execution achieves for this sample count.
+  app.acceptable = [golden_pi_value](const std::string& out, double& metric) {
+    const auto vals = parse_double_list(out);
+    if (!vals || vals->size() != 1) return false;
+    metric = std::fabs(vals->front() - golden_pi_value);
+    return std::isfinite(vals->front()) && metric < 0.005;
+  };
+  app.golden_output = golden;  // provisional; calibrate() overwrites with a real run
+  return app;
+}
+
+}  // namespace gemfi::apps

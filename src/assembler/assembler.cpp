@@ -1,0 +1,195 @@
+#include "assembler/assembler.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace gemfi::assembler {
+
+namespace {
+constexpr bool fits_i16(std::int64_t v) { return v >= -32768 && v <= 32767; }
+constexpr bool fits_lit8(std::int64_t v) { return v >= 0 && v <= 255; }
+}  // namespace
+
+Label Assembler::make_label(std::string name) {
+  const Label l{std::uint32_t(label_pos_.size())};
+  label_pos_.push_back(-1);
+  label_name_.push_back(std::move(name));
+  return l;
+}
+
+void Assembler::bind(Label l) {
+  if (!l.valid() || l.id >= label_pos_.size()) throw std::invalid_argument("bad label");
+  if (label_pos_[l.id] >= 0) throw std::logic_error("label bound twice: " + label_name_[l.id]);
+  label_pos_[l.id] = std::int64_t(code_.size());
+}
+
+Label Assembler::here(std::string name) {
+  Label l = make_label(std::move(name));
+  bind(l);
+  return l;
+}
+
+void Assembler::align_data(unsigned align) {
+  while (data_.size() % align != 0) data_.push_back(0);
+}
+
+DataRef Assembler::data_bytes(std::span<const std::uint8_t> bytes, unsigned align) {
+  align_data(align);
+  const DataRef ref{data_.size()};
+  data_.insert(data_.end(), bytes.begin(), bytes.end());
+  return ref;
+}
+
+DataRef Assembler::data_zeros(std::uint64_t count, unsigned align) {
+  align_data(align);
+  const DataRef ref{data_.size()};
+  data_.insert(data_.end(), count, 0);
+  return ref;
+}
+
+DataRef Assembler::data_u64(std::span<const std::uint64_t> words) {
+  return data_bytes({reinterpret_cast<const std::uint8_t*>(words.data()), words.size() * 8});
+}
+
+DataRef Assembler::data_i64(std::span<const std::int64_t> words) {
+  return data_bytes({reinterpret_cast<const std::uint8_t*>(words.data()), words.size() * 8});
+}
+
+DataRef Assembler::data_f64(std::span<const double> vals) {
+  return data_bytes({reinterpret_cast<const std::uint8_t*>(vals.data()), vals.size() * 8});
+}
+
+void Assembler::name_data(const std::string& name, DataRef ref) {
+  named_data_[name] = ref.offset;
+}
+
+void Assembler::op_(isa::Opcode op, unsigned func, unsigned a, unsigned b, unsigned c) {
+  emit(isa::encode_operate(op, func, a, b, c));
+}
+
+void Assembler::opl_(isa::Opcode op, unsigned func, unsigned a, unsigned lit, unsigned c) {
+  if (lit > 255) throw std::invalid_argument("literal out of range");
+  emit(isa::encode_operate_lit(op, func, a, lit, c));
+}
+
+void Assembler::fop_(isa::Opcode op, unsigned func, unsigned fa, unsigned fb, unsigned fc) {
+  emit(isa::encode_fp(op, func, fa, fb, fc));
+}
+
+void Assembler::mem_(isa::Opcode op, unsigned ra_, unsigned rb, std::int32_t disp) {
+  if (!fits_i16(disp)) throw std::invalid_argument("memory displacement out of range");
+  emit(isa::encode_mem(op, ra_, rb, disp));
+}
+
+void Assembler::branch_(isa::Opcode op, unsigned ra_, Label l) {
+  if (!l.valid() || l.id >= label_pos_.size()) throw std::invalid_argument("bad label");
+  fixups_.push_back({FixupKind::Branch, code_.size(), l.id, 0});
+  emit(isa::encode_branch(op, ra_, 0));
+}
+
+void Assembler::pal_(isa::Opcode op, std::uint32_t number) {
+  emit(isa::encode_pal(op, number));
+}
+
+std::uint32_t Assembler::pool_index(std::uint64_t bits) {
+  if (const auto it = pool_intern_.find(bits); it != pool_intern_.end()) return it->second;
+  const auto idx = std::uint32_t(pool_.size());
+  if (idx >= 4096) throw std::runtime_error("literal pool exceeds gp-relative range");
+  pool_.push_back(bits);
+  pool_intern_.emplace(bits, idx);
+  return idx;
+}
+
+void Assembler::li(unsigned r, std::int64_t value) {
+  if (fits_lit8(value)) {
+    bis_i(reg::zero, unsigned(value), r);
+    return;
+  }
+  if (fits_i16(value)) {
+    lda(r, std::int32_t(value), reg::zero);
+    return;
+  }
+  const std::int64_t low = std::int64_t(std::int16_t(value & 0xffff));
+  const std::int64_t hi = (value - low) >> 16;
+  if (fits_i16(hi)) {
+    ldah(r, std::int32_t(hi), reg::zero);
+    if (low != 0) lda(r, std::int32_t(low), r);
+    return;
+  }
+  // Out of 32-bit range: gp-relative literal pool.
+  const std::uint32_t idx = pool_index(std::uint64_t(value));
+  ldq(r, std::int32_t(idx * 8), reg::gp);
+}
+
+void Assembler::la(unsigned r, DataRef ref) {
+  fixups_.push_back({FixupKind::DataAddrPair, code_.size(), 0, ref.offset});
+  ldah(r, 0, reg::zero);
+  lda(r, 0, r);
+}
+
+void Assembler::fli(unsigned f, double value) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &value, sizeof bits);
+  const std::uint32_t idx = pool_index(bits);
+  ldt(f, std::int32_t(idx * 8), reg::gp);
+}
+
+Program Assembler::finalize(Label entry) {
+  Program prog;
+  prog.code_base = code_base_;
+  prog.code = code_;
+  prog.pool = pool_;
+  prog.data = data_;
+
+  const std::uint64_t data_abs = prog.data_base() + prog.pool.size() * 8;
+
+  for (const Fixup& fx : fixups_) {
+    switch (fx.kind) {
+      case FixupKind::Branch: {
+        const std::int64_t target = label_pos_[fx.label_id];
+        if (target < 0)
+          throw std::logic_error("unbound label: " + label_name_[fx.label_id]);
+        const std::int64_t disp = target - std::int64_t(fx.inst_index) - 1;
+        if (disp < -(1 << 20) || disp >= (1 << 20))
+          throw std::runtime_error("branch displacement out of 21-bit range");
+        isa::Word& w = prog.code[fx.inst_index];
+        w = (w & ~0x001fffffu) | (std::uint32_t(disp) & 0x001fffffu);
+        break;
+      }
+      case FixupKind::DataAddrPair:
+      case FixupKind::CodeAddrPair: {
+        std::uint64_t addr;
+        if (fx.kind == FixupKind::DataAddrPair) {
+          addr = data_abs + fx.data_offset;
+        } else {
+          const std::int64_t target = label_pos_[fx.label_id];
+          if (target < 0)
+            throw std::logic_error("unbound label: " + label_name_[fx.label_id]);
+          addr = prog.code_base + std::uint64_t(target) * isa::kInstBytes;
+        }
+        if (addr >= (1ull << 31)) throw std::runtime_error("address beyond LDAH/LDA range");
+        const std::int64_t low = std::int64_t(std::int16_t(addr & 0xffff));
+        const std::int64_t hi = (std::int64_t(addr) - low) >> 16;
+        isa::Word& w_hi = prog.code[fx.inst_index];
+        isa::Word& w_lo = prog.code[fx.inst_index + 1];
+        w_hi = (w_hi & ~0xffffu) | (std::uint32_t(hi) & 0xffffu);
+        w_lo = (w_lo & ~0xffffu) | (std::uint32_t(low) & 0xffffu);
+        break;
+      }
+    }
+  }
+
+  if (!entry.valid() || label_pos_[entry.id] < 0) throw std::logic_error("entry label unbound");
+  prog.entry = prog.code_base + std::uint64_t(label_pos_[entry.id]) * isa::kInstBytes;
+
+  for (std::size_t i = 0; i < label_pos_.size(); ++i) {
+    if (label_pos_[i] >= 0 && !label_name_[i].empty())
+      prog.symbols[label_name_[i]] =
+          prog.code_base + std::uint64_t(label_pos_[i]) * isa::kInstBytes;
+  }
+  for (const auto& [name, off] : named_data_) prog.symbols[name] = data_abs + off;
+
+  return prog;
+}
+
+}  // namespace gemfi::assembler

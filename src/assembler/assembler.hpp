@@ -1,0 +1,268 @@
+#include <span>
+#include <unordered_map>
+// Macro-assembler for the uAlpha ISA.
+//
+// Guest benchmark programs (src/apps) are written against this API: emit
+// methods map 1:1 to instructions, labels resolve branch displacements,
+// `li/la/fli` materialize 64-bit constants and addresses (via LDAH/LDA pairs
+// or a gp-relative literal pool, exactly as Alpha compilers do), and
+// `finalize()` links everything into a loadable Program image.
+//
+// Conventions produced by this assembler (and assumed by the loader):
+//   * gp (R29) points at the literal pool (== Program::data_base()),
+//   * sp (R30) is set by the loader to the thread's stack top,
+//   * functions are entered via bsr/jsr with the return address in ra (R26).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "assembler/program.hpp"
+#include "isa/encoding.hpp"
+#include "isa/registers.hpp"
+
+namespace gemfi::assembler {
+
+/// Terse register aliases for guest code (OSF/1 Alpha names).
+namespace reg {
+inline constexpr unsigned v0 = 0;
+inline constexpr unsigned t0 = 1, t1 = 2, t2 = 3, t3 = 4, t4 = 5, t5 = 6, t6 = 7, t7 = 8;
+inline constexpr unsigned s0 = 9, s1 = 10, s2 = 11, s3 = 12, s4 = 13, s5 = 14;
+inline constexpr unsigned fp = 15;
+inline constexpr unsigned a0 = 16, a1 = 17, a2 = 18, a3 = 19, a4 = 20, a5 = 21;
+inline constexpr unsigned t8 = 22, t9 = 23, t10 = 24, t11 = 25;
+inline constexpr unsigned ra = 26, pv = 27, at = 28, gp = 29, sp = 30, zero = 31;
+}  // namespace reg
+
+struct Label {
+  std::uint32_t id = ~0u;
+  [[nodiscard]] bool valid() const noexcept { return id != ~0u; }
+};
+
+/// Offset into the application data section (resolved to an absolute
+/// address at finalize time; obtain one from the data_* emitters).
+struct DataRef {
+  std::uint64_t offset = 0;
+};
+
+class Assembler {
+ public:
+  explicit Assembler(std::uint64_t code_base = 0x2000) : code_base_(code_base) {}
+
+  // ---- labels ----
+  Label make_label(std::string name = {});
+  void bind(Label l);
+  Label here(std::string name = {});  // make + bind at current position
+
+  // ---- data section ----
+  DataRef data_bytes(std::span<const std::uint8_t> bytes, unsigned align = 8);
+  DataRef data_zeros(std::uint64_t count, unsigned align = 8);
+  DataRef data_u64(std::span<const std::uint64_t> words);
+  DataRef data_u64(std::uint64_t v) { return data_u64(std::span(&v, 1)); }
+  DataRef data_i64(std::span<const std::int64_t> words);
+  DataRef data_f64(std::span<const double> vals);
+  DataRef data_f64(double v) { return data_f64(std::span(&v, 1)); }
+  /// Define `name` as an absolute symbol for the given data offset.
+  void name_data(const std::string& name, DataRef ref);
+
+  // ---- raw emission ----
+  void emit(isa::Word w) { code_.push_back(w); }
+  [[nodiscard]] std::size_t pc_index() const noexcept { return code_.size(); }
+
+  // ---- integer operate group ----
+  void addl(unsigned a, unsigned b, unsigned c) { op_(isa::Opcode::INTA, 0x00, a, b, c); }
+  void addq(unsigned a, unsigned b, unsigned c) { op_(isa::Opcode::INTA, 0x20, a, b, c); }
+  void addq_i(unsigned a, unsigned lit, unsigned c) { opl_(isa::Opcode::INTA, 0x20, a, lit, c); }
+  void s4addq(unsigned a, unsigned b, unsigned c) { op_(isa::Opcode::INTA, 0x22, a, b, c); }
+  void s8addq(unsigned a, unsigned b, unsigned c) { op_(isa::Opcode::INTA, 0x32, a, b, c); }
+  void subl(unsigned a, unsigned b, unsigned c) { op_(isa::Opcode::INTA, 0x09, a, b, c); }
+  void subq(unsigned a, unsigned b, unsigned c) { op_(isa::Opcode::INTA, 0x29, a, b, c); }
+  void subq_i(unsigned a, unsigned lit, unsigned c) { opl_(isa::Opcode::INTA, 0x29, a, lit, c); }
+  void cmpeq(unsigned a, unsigned b, unsigned c) { op_(isa::Opcode::INTA, 0x2D, a, b, c); }
+  void cmpeq_i(unsigned a, unsigned lit, unsigned c) { opl_(isa::Opcode::INTA, 0x2D, a, lit, c); }
+  void cmplt(unsigned a, unsigned b, unsigned c) { op_(isa::Opcode::INTA, 0x4D, a, b, c); }
+  void cmplt_i(unsigned a, unsigned lit, unsigned c) { opl_(isa::Opcode::INTA, 0x4D, a, lit, c); }
+  void cmple(unsigned a, unsigned b, unsigned c) { op_(isa::Opcode::INTA, 0x6D, a, b, c); }
+  void cmple_i(unsigned a, unsigned lit, unsigned c) { opl_(isa::Opcode::INTA, 0x6D, a, lit, c); }
+  void cmpult(unsigned a, unsigned b, unsigned c) { op_(isa::Opcode::INTA, 0x1D, a, b, c); }
+  void cmpult_i(unsigned a, unsigned lit, unsigned c) { opl_(isa::Opcode::INTA, 0x1D, a, lit, c); }
+  void cmpule(unsigned a, unsigned b, unsigned c) { op_(isa::Opcode::INTA, 0x3D, a, b, c); }
+
+  void and_(unsigned a, unsigned b, unsigned c) { op_(isa::Opcode::INTL, 0x00, a, b, c); }
+  void and_i(unsigned a, unsigned lit, unsigned c) { opl_(isa::Opcode::INTL, 0x00, a, lit, c); }
+  void bic(unsigned a, unsigned b, unsigned c) { op_(isa::Opcode::INTL, 0x08, a, b, c); }
+  void bis(unsigned a, unsigned b, unsigned c) { op_(isa::Opcode::INTL, 0x20, a, b, c); }
+  void bis_i(unsigned a, unsigned lit, unsigned c) { opl_(isa::Opcode::INTL, 0x20, a, lit, c); }
+  void ornot(unsigned a, unsigned b, unsigned c) { op_(isa::Opcode::INTL, 0x28, a, b, c); }
+  void xor_(unsigned a, unsigned b, unsigned c) { op_(isa::Opcode::INTL, 0x40, a, b, c); }
+  void xor_i(unsigned a, unsigned lit, unsigned c) { opl_(isa::Opcode::INTL, 0x40, a, lit, c); }
+  void eqv(unsigned a, unsigned b, unsigned c) { op_(isa::Opcode::INTL, 0x48, a, b, c); }
+  void cmoveq(unsigned a, unsigned b, unsigned c) { op_(isa::Opcode::INTL, 0x24, a, b, c); }
+  void cmovne(unsigned a, unsigned b, unsigned c) { op_(isa::Opcode::INTL, 0x26, a, b, c); }
+  void cmovlt(unsigned a, unsigned b, unsigned c) { op_(isa::Opcode::INTL, 0x44, a, b, c); }
+  void cmovge(unsigned a, unsigned b, unsigned c) { op_(isa::Opcode::INTL, 0x46, a, b, c); }
+  void cmovle(unsigned a, unsigned b, unsigned c) { op_(isa::Opcode::INTL, 0x64, a, b, c); }
+  void cmovgt(unsigned a, unsigned b, unsigned c) { op_(isa::Opcode::INTL, 0x66, a, b, c); }
+  void cmovlbs(unsigned a, unsigned b, unsigned c) { op_(isa::Opcode::INTL, 0x14, a, b, c); }
+  void cmovlbc(unsigned a, unsigned b, unsigned c) { op_(isa::Opcode::INTL, 0x16, a, b, c); }
+
+  void sll(unsigned a, unsigned b, unsigned c) { op_(isa::Opcode::INTS, 0x39, a, b, c); }
+  void sll_i(unsigned a, unsigned lit, unsigned c) { opl_(isa::Opcode::INTS, 0x39, a, lit, c); }
+  void srl(unsigned a, unsigned b, unsigned c) { op_(isa::Opcode::INTS, 0x34, a, b, c); }
+  void srl_i(unsigned a, unsigned lit, unsigned c) { opl_(isa::Opcode::INTS, 0x34, a, lit, c); }
+  void sra(unsigned a, unsigned b, unsigned c) { op_(isa::Opcode::INTS, 0x3C, a, b, c); }
+  void sra_i(unsigned a, unsigned lit, unsigned c) { opl_(isa::Opcode::INTS, 0x3C, a, lit, c); }
+
+  void mull(unsigned a, unsigned b, unsigned c) { op_(isa::Opcode::INTM, 0x00, a, b, c); }
+  void mulq(unsigned a, unsigned b, unsigned c) { op_(isa::Opcode::INTM, 0x20, a, b, c); }
+  void mulq_i(unsigned a, unsigned lit, unsigned c) { opl_(isa::Opcode::INTM, 0x20, a, lit, c); }
+  void umulh(unsigned a, unsigned b, unsigned c) { op_(isa::Opcode::INTM, 0x30, a, b, c); }
+  void divq(unsigned a, unsigned b, unsigned c) { op_(isa::Opcode::INTM, 0x40, a, b, c); }
+  void divq_i(unsigned a, unsigned lit, unsigned c) { opl_(isa::Opcode::INTM, 0x40, a, lit, c); }
+  void remq(unsigned a, unsigned b, unsigned c) { op_(isa::Opcode::INTM, 0x41, a, b, c); }
+  void remq_i(unsigned a, unsigned lit, unsigned c) { opl_(isa::Opcode::INTM, 0x41, a, lit, c); }
+
+  /// mov rb -> rc (BIS zero, b, c).
+  void mov(unsigned b, unsigned c) { bis(reg::zero, b, c); }
+  void mov_i(unsigned lit, unsigned c) { bis_i(reg::zero, lit, c); }
+
+  // ---- floating point ----
+  void addt(unsigned fa, unsigned fb, unsigned fc) { fop_(isa::Opcode::FLTI, 0x0A0, fa, fb, fc); }
+  void subt(unsigned fa, unsigned fb, unsigned fc) { fop_(isa::Opcode::FLTI, 0x0A1, fa, fb, fc); }
+  void mult(unsigned fa, unsigned fb, unsigned fc) { fop_(isa::Opcode::FLTI, 0x0A2, fa, fb, fc); }
+  void divt(unsigned fa, unsigned fb, unsigned fc) { fop_(isa::Opcode::FLTI, 0x0A3, fa, fb, fc); }
+  void cmptun(unsigned fa, unsigned fb, unsigned fc) { fop_(isa::Opcode::FLTI, 0x0A4, fa, fb, fc); }
+  void cmpteq(unsigned fa, unsigned fb, unsigned fc) { fop_(isa::Opcode::FLTI, 0x0A5, fa, fb, fc); }
+  void cmptlt(unsigned fa, unsigned fb, unsigned fc) { fop_(isa::Opcode::FLTI, 0x0A6, fa, fb, fc); }
+  void cmptle(unsigned fa, unsigned fb, unsigned fc) { fop_(isa::Opcode::FLTI, 0x0A7, fa, fb, fc); }
+  void sqrtt(unsigned fb, unsigned fc) { fop_(isa::Opcode::FLTI, 0x0AB, 31, fb, fc); }
+  void cvttq(unsigned fb, unsigned fc) { fop_(isa::Opcode::FLTI, 0x0AF, 31, fb, fc); }
+  void cvtqt(unsigned fb, unsigned fc) { fop_(isa::Opcode::FLTI, 0x0BE, 31, fb, fc); }
+  void cpys(unsigned fa, unsigned fb, unsigned fc) { fop_(isa::Opcode::FLTL, 0x020, fa, fb, fc); }
+  void cpysn(unsigned fa, unsigned fb, unsigned fc) { fop_(isa::Opcode::FLTL, 0x021, fa, fb, fc); }
+  void fcmoveq(unsigned fa, unsigned fb, unsigned fc) { fop_(isa::Opcode::FLTL, 0x02A, fa, fb, fc); }
+  void fcmovne(unsigned fa, unsigned fb, unsigned fc) { fop_(isa::Opcode::FLTL, 0x02B, fa, fb, fc); }
+  void fmov(unsigned fb, unsigned fc) { cpys(fb, fb, fc); }
+  void fneg(unsigned fb, unsigned fc) { cpysn(fb, fb, fc); }
+  void fabs_(unsigned fb, unsigned fc) { cpys(31, fb, fc); }
+  void itoft(unsigned ra_, unsigned fc) { fop_(isa::Opcode::ITOF, 0x024, ra_, 31, fc); }
+  void ftoit(unsigned fa, unsigned rc) { fop_(isa::Opcode::FTOI, 0x070, fa, 31, rc); }
+
+  // ---- memory ----
+  void lda(unsigned ra_, std::int32_t disp, unsigned rb) { mem_(isa::Opcode::LDA, ra_, rb, disp); }
+  void ldah(unsigned ra_, std::int32_t disp, unsigned rb) { mem_(isa::Opcode::LDAH, ra_, rb, disp); }
+  void ldl(unsigned ra_, std::int32_t disp, unsigned rb) { mem_(isa::Opcode::LDL, ra_, rb, disp); }
+  void ldq(unsigned ra_, std::int32_t disp, unsigned rb) { mem_(isa::Opcode::LDQ, ra_, rb, disp); }
+  void stl(unsigned ra_, std::int32_t disp, unsigned rb) { mem_(isa::Opcode::STL, ra_, rb, disp); }
+  void stq(unsigned ra_, std::int32_t disp, unsigned rb) { mem_(isa::Opcode::STQ, ra_, rb, disp); }
+  void lds(unsigned fa, std::int32_t disp, unsigned rb) { mem_(isa::Opcode::LDS, fa, rb, disp); }
+  void ldt(unsigned fa, std::int32_t disp, unsigned rb) { mem_(isa::Opcode::LDT, fa, rb, disp); }
+  void sts(unsigned fa, std::int32_t disp, unsigned rb) { mem_(isa::Opcode::STS, fa, rb, disp); }
+  void stt(unsigned fa, std::int32_t disp, unsigned rb) { mem_(isa::Opcode::STT, fa, rb, disp); }
+
+  // ---- control flow ----
+  void br(Label l) { branch_(isa::Opcode::BR, reg::zero, l); }
+  void bsr(unsigned link, Label l) { branch_(isa::Opcode::BSR, link, l); }
+  void beq(unsigned a, Label l) { branch_(isa::Opcode::BEQ, a, l); }
+  void bne(unsigned a, Label l) { branch_(isa::Opcode::BNE, a, l); }
+  void blt(unsigned a, Label l) { branch_(isa::Opcode::BLT, a, l); }
+  void ble(unsigned a, Label l) { branch_(isa::Opcode::BLE, a, l); }
+  void bge(unsigned a, Label l) { branch_(isa::Opcode::BGE, a, l); }
+  void bgt(unsigned a, Label l) { branch_(isa::Opcode::BGT, a, l); }
+  void blbs(unsigned a, Label l) { branch_(isa::Opcode::BLBS, a, l); }
+  void blbc(unsigned a, Label l) { branch_(isa::Opcode::BLBC, a, l); }
+  void fbeq(unsigned fa, Label l) { branch_(isa::Opcode::FBEQ, fa, l); }
+  void fbne(unsigned fa, Label l) { branch_(isa::Opcode::FBNE, fa, l); }
+  void fblt(unsigned fa, Label l) { branch_(isa::Opcode::FBLT, fa, l); }
+  void fble(unsigned fa, Label l) { branch_(isa::Opcode::FBLE, fa, l); }
+  void fbge(unsigned fa, Label l) { branch_(isa::Opcode::FBGE, fa, l); }
+  void fbgt(unsigned fa, Label l) { branch_(isa::Opcode::FBGT, fa, l); }
+  void jmp(unsigned link, unsigned rb) { emit(isa::encode_jump(isa::JumpKind::JMP, link, rb)); }
+  void jsr(unsigned link, unsigned rb) { emit(isa::encode_jump(isa::JumpKind::JSR, link, rb)); }
+  void ret() { emit(isa::encode_jump(isa::JumpKind::RET, reg::zero, reg::ra)); }
+  /// Call a function label (clobbers ra).
+  void call(Label f) { bsr(reg::ra, f); }
+
+  // ---- pseudo / GemFI intrinsics (ids & args in a0 by convention) ----
+  void fi_activate() { pal_(isa::Opcode::PSEUDO, 0); }
+  void fi_read_init() { pal_(isa::Opcode::PSEUDO, 1); }
+  void exit_() { pal_(isa::Opcode::PSEUDO, 2); }
+  void print_char() { pal_(isa::Opcode::PSEUDO, 3); }
+  void print_int() { pal_(isa::Opcode::PSEUDO, 4); }
+  void print_fp() { pal_(isa::Opcode::PSEUDO, 5); }
+  void instret() { pal_(isa::Opcode::PSEUDO, 6); }
+  void yield() { pal_(isa::Opcode::PSEUDO, 7); }
+  void halt() { pal_(isa::Opcode::CALL_PAL, std::uint32_t(isa::PalFunc::HALT)); }
+
+  // ---- constant / address materialization ----
+  /// Load a 64-bit signed constant into r (1-2 instructions, or a
+  /// gp-relative literal-pool LDQ for values outside the 32-bit range).
+  void li(unsigned r, std::int64_t value);
+  void li_u(unsigned r, std::uint64_t value) { li(r, std::int64_t(value)); }
+  /// Load the absolute address of a data-section object (LDAH/LDA pair,
+  /// patched at finalize).
+  void la(unsigned r, DataRef ref);
+  /// Load a double constant via the literal pool.
+  void fli(unsigned f, double value);
+
+  // ---- convenience ----
+  /// Print the low byte of `r` as a character (clobbers a0 unless r==a0).
+  void print_char_r(unsigned r) {
+    if (r != reg::a0) mov(r, reg::a0);
+    print_char();
+  }
+  void print_int_r(unsigned r) {
+    if (r != reg::a0) mov(r, reg::a0);
+    print_int();
+  }
+  /// Print a literal string (clobbers a0).
+  void print_str(std::string_view s) {
+    for (char ch : s) {
+      mov_i(static_cast<unsigned char>(ch), reg::a0);
+      print_char();
+    }
+  }
+  void push(unsigned r) {
+    lda(reg::sp, -8, reg::sp);
+    stq(r, 0, reg::sp);
+  }
+  void pop(unsigned r) {
+    ldq(r, 0, reg::sp);
+    lda(reg::sp, 8, reg::sp);
+  }
+
+  /// Resolve all fixups and produce the linked image. `entry` must be bound.
+  Program finalize(Label entry);
+
+ private:
+  enum class FixupKind : std::uint8_t { Branch, DataAddrPair, CodeAddrPair };
+
+  struct Fixup {
+    FixupKind kind;
+    std::size_t inst_index;   // first instruction of the pair for *Pair kinds
+    std::uint32_t label_id = 0;
+    std::uint64_t data_offset = 0;
+  };
+
+  void op_(isa::Opcode op, unsigned func, unsigned a, unsigned b, unsigned c);
+  void opl_(isa::Opcode op, unsigned func, unsigned a, unsigned lit, unsigned c);
+  void fop_(isa::Opcode op, unsigned func, unsigned fa, unsigned fb, unsigned fc);
+  void mem_(isa::Opcode op, unsigned ra_, unsigned rb, std::int32_t disp);
+  void branch_(isa::Opcode op, unsigned ra_, Label l);
+  void pal_(isa::Opcode op, std::uint32_t number);
+  std::uint32_t pool_index(std::uint64_t bits);
+  void align_data(unsigned align);
+
+  std::uint64_t code_base_;
+  std::vector<isa::Word> code_;
+  std::vector<std::uint64_t> pool_;
+  std::vector<std::uint8_t> data_;
+  std::vector<std::int64_t> label_pos_;  // instruction index or -1
+  std::vector<std::string> label_name_;
+  std::vector<Fixup> fixups_;
+  std::unordered_map<std::uint64_t, std::uint32_t> pool_intern_;
+  std::unordered_map<std::string, std::uint64_t> named_data_;
+};
+
+}  // namespace gemfi::assembler

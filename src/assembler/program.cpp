@@ -1,0 +1,43 @@
+#include "assembler/program.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace gemfi::assembler {
+
+namespace {
+constexpr std::uint64_t align_up(std::uint64_t x, std::uint64_t a) {
+  return (x + a - 1) & ~(a - 1);
+}
+}  // namespace
+
+std::uint64_t Program::data_base() const noexcept { return align_up(code_end(), 4096); }
+
+std::uint64_t Program::data_end() const noexcept {
+  return data_base() + pool.size() * 8 + data.size();
+}
+
+std::uint64_t Program::heap_base() const noexcept { return align_up(data_end(), 4096); }
+
+std::uint64_t Program::symbol(const std::string& name) const {
+  const auto it = symbols.find(name);
+  if (it == symbols.end()) throw std::out_of_range("unknown symbol: " + name);
+  return it->second;
+}
+
+void Program::load_into(mem::MemSystem& ms) const {
+  if (data_end() > ms.phys().size())
+    throw std::runtime_error("program image does not fit in guest memory");
+  std::vector<std::uint8_t> code_bytes(code.size() * isa::kInstBytes);
+  std::memcpy(code_bytes.data(), code.data(), code_bytes.size());
+  ms.phys().write_block(code_base, code_bytes);
+
+  std::vector<std::uint8_t> pool_bytes(pool.size() * 8);
+  std::memcpy(pool_bytes.data(), pool.data(), pool_bytes.size());
+  ms.phys().write_block(data_base(), pool_bytes);
+  if (!data.empty()) ms.phys().write_block(data_base() + pool_bytes.size(), data);
+
+  ms.set_code_region(code_base, code_end());
+}
+
+}  // namespace gemfi::assembler

@@ -1,0 +1,44 @@
+// A linked guest program image and its address-space layout.
+//
+// Layout (see mem/memsys.hpp for the policy enforced at run time):
+//   code_base           : first instruction (entry point is a named symbol)
+//   pool_base = data_base: 64-bit literal pool, addressed gp-relative
+//   pool_base + 8*pool  : application data
+//   heap_base           : first free byte after data (4 KiB aligned)
+//   stack_top           : per-thread, assigned by the loader
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "isa/encoding.hpp"
+#include "mem/memsys.hpp"
+
+namespace gemfi::assembler {
+
+struct Program {
+  std::vector<isa::Word> code;
+  std::vector<std::uint64_t> pool;   // literal pool (gp-relative)
+  std::vector<std::uint8_t> data;    // application data section
+  std::uint64_t code_base = 0x2000;
+  std::uint64_t entry = 0;           // absolute address of the entry label
+  std::unordered_map<std::string, std::uint64_t> symbols;  // absolute addresses
+
+  [[nodiscard]] std::uint64_t code_end() const noexcept {
+    return code_base + code.size() * isa::kInstBytes;
+  }
+  [[nodiscard]] std::uint64_t data_base() const noexcept;   // == gp value
+  [[nodiscard]] std::uint64_t data_end() const noexcept;
+  [[nodiscard]] std::uint64_t heap_base() const noexcept;   // 4 KiB aligned
+
+  /// Absolute address of a named symbol; throws std::out_of_range if absent.
+  [[nodiscard]] std::uint64_t symbol(const std::string& name) const;
+
+  /// Copy code+pool+data into guest memory and mark the code region
+  /// read-only. Throws if the image does not fit.
+  void load_into(mem::MemSystem& ms) const;
+};
+
+}  // namespace gemfi::assembler

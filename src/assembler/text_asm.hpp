@@ -1,0 +1,48 @@
+// Text assembler: parse uAlpha assembly source into a Program, so guest
+// code can live in .s files (the paper's workflow has users cross-compile
+// programs and drop the binaries into GemFI's disk image; our equivalent is
+// assembling a source file and loading the image).
+//
+// Syntax (semicolon or '#' comments; labels end with ':'):
+//
+//         .data
+//   buf:  .zero  64              ; 64 zero bytes (8-aligned)
+//   tab:  .quad  1, 2, -3        ; 64-bit integers
+//   pi:   .double 3.14159        ; 64-bit floats
+//         .text
+//   main: li     t0, 100         ; pseudo: materialize any 64-bit constant
+//         la     t1, buf         ; pseudo: address of a data object
+//         fli    f2, 0.5         ; pseudo: FP constant via the literal pool
+//   loop: addq   t0, 1, t0       ; literal operand auto-selects the
+//         subq   t0, t3, t0      ;   operate-literal form
+//         ldq    a0, 8(t1)       ; memory: disp(base)
+//         stt    f2, 0(t1)
+//         beq    t0, loop        ; branches take labels
+//         jsr    ra, (t1)        ; jumps take (register)
+//         print_int               ; pseudo-ops take no operands
+//         exit
+//
+// The first label of the .text section (or `main` if present) is the entry.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+#include "assembler/program.hpp"
+
+namespace gemfi::assembler {
+
+/// Thrown on any syntax or semantic error; the message carries the line
+/// number and offending text.
+class AsmError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Assemble a full source text into a linked Program.
+Program assemble_text(const std::string& source);
+
+/// Assemble the contents of a file (convenience wrapper).
+Program assemble_file(const std::string& path);
+
+}  // namespace gemfi::assembler

@@ -1,0 +1,22 @@
+#include "campaign/classify.hpp"
+
+namespace gemfi::campaign {
+
+Classification classify(const apps::App& app, const sim::RunResult& rr,
+                        const fi::FaultManager& fm, const std::string& output) {
+  Classification c;
+  if (rr.reason == sim::ExitReason::Crashed || rr.reason == sim::ExitReason::Watchdog) {
+    c.outcome = apps::Outcome::Crashed;
+    return c;
+  }
+  if (app.outputs_strictly_equal(output)) {
+    c.outcome = fm.any_propagated() ? apps::Outcome::StrictlyCorrect
+                                    : apps::Outcome::NonPropagated;
+    return c;
+  }
+  c.outcome = app.acceptable && app.acceptable(output, c.metric) ? apps::Outcome::Correct
+                                                                 : apps::Outcome::SDC;
+  return c;
+}
+
+}  // namespace gemfi::campaign

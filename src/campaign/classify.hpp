@@ -1,0 +1,29 @@
+// Outcome classification (paper Sec. IV-B-1).
+//
+// Each experiment lands in exactly one of:
+//   Crashed          — failed to terminate (trap, watchdog timeout);
+//   NonPropagated    — the fault never manifested as an error (dead or
+//                      overwritten register, squashed instruction, corruption
+//                      that did not change the value, or a trigger time the
+//                      program never reached);
+//   StrictlyCorrect  — fault propagated but the output is bit-wise identical
+//                      to the error-free execution;
+//   Correct          — output within the application's acceptable margin;
+//   SDC              — terminated normally with an unacceptable output.
+#pragma once
+
+#include "apps/app.hpp"
+#include "fi/fault_manager.hpp"
+#include "sim/simulation.hpp"
+
+namespace gemfi::campaign {
+
+struct Classification {
+  apps::Outcome outcome = apps::Outcome::SDC;
+  double metric = 0.0;  // app-specific quality figure (PSNR dB, ratio, ...)
+};
+
+Classification classify(const apps::App& app, const sim::RunResult& rr,
+                        const fi::FaultManager& fm, const std::string& output);
+
+}  // namespace gemfi::campaign

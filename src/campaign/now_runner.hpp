@@ -1,0 +1,45 @@
+// Network-of-Workstations campaign execution (paper Sec. III-E / Fig. 8).
+//
+// The paper distributes a checkpointed campaign over 27 quad-core
+// workstations sharing an NFS volume: each workstation copies the checkpoint
+// locally, then its 4 slots repeatedly pull un-run experiments from the
+// share and push results back. NowRunner reproduces exactly that protocol
+// with an in-process "network share" (mutex-protected work queue + result
+// store) and one thread per (workstation, slot).
+//
+// A single host cannot physically provide 27x4 cores, so the runner reports
+// two numbers:
+//   * measured wall time, with the slot threads actually running (capped by
+//     host parallelism), and
+//   * the modeled NoW makespan: greedy list-scheduling of the measured
+//     per-experiment durations onto workstations*slots slots plus the
+//     checkpoint copy time — what the same campaign would take on the
+//     paper's cluster.
+#pragma once
+
+#include "campaign/runner.hpp"
+
+namespace gemfi::campaign {
+
+struct NowConfig {
+  unsigned workstations = 27;
+  unsigned slots_per_workstation = 4;  // simultaneous experiments per host
+  /// Cap on real threads (0 = hardware_concurrency). The protocol still
+  /// enumerates all workstation/slot identities.
+  unsigned max_real_threads = 0;
+  /// Modeled time to copy the checkpoint to a workstation's local disk
+  /// (step 3 of the protocol), in seconds per MiB.
+  double copy_seconds_per_mib = 0.05;
+};
+
+struct NowReport {
+  CampaignReport campaign;       // merged results (same format as local runs)
+  double measured_wall_seconds = 0.0;
+  double modeled_makespan_seconds = 0.0;  // on the full W x S cluster
+  unsigned real_threads_used = 0;
+};
+
+NowReport run_campaign_now(const CalibratedApp& ca, const std::vector<fi::Fault>& faults,
+                           const CampaignConfig& cfg, const NowConfig& now);
+
+}  // namespace gemfi::campaign

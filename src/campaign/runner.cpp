@@ -1,0 +1,176 @@
+#include "campaign/runner.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+
+#include "util/log.hpp"
+
+namespace gemfi::campaign {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+sim::SimConfig make_sim_config(const CampaignConfig& cfg) {
+  sim::SimConfig scfg;
+  scfg.cpu = cfg.cpu;
+  scfg.fi_enabled = true;
+  scfg.switch_to_atomic_after_fault = cfg.switch_to_atomic_after_fault;
+  return scfg;
+}
+
+}  // namespace
+
+CalibratedApp calibrate(apps::App app, const CampaignConfig& cfg) {
+  CalibratedApp ca;
+
+  sim::Simulation s(make_sim_config(cfg), app.program);
+  s.spawn_main_thread();
+  chkpt::Checkpoint ckpt;
+  std::uint64_t ticks_at_ckpt = 0;
+  s.set_checkpoint_handler([&](sim::Simulation& sim) {
+    ckpt = chkpt::Checkpoint::capture(sim);
+    ticks_at_ckpt = sim.now();
+  });
+
+  const sim::RunResult rr = s.run();
+  if (rr.reason != sim::ExitReason::AllThreadsExited)
+    throw std::runtime_error("calibration run of '" + app.name +
+                             "' did not terminate cleanly: " +
+                             sim::exit_reason_name(rr.reason));
+  if (s.output(0) != app.golden_output)
+    throw std::runtime_error("guest output of '" + app.name +
+                             "' diverges from its golden model");
+  if (ckpt.empty())
+    throw std::runtime_error("app '" + app.name + "' never called fi_read_init_all()");
+
+  app.golden_insts = rr.committed;
+  app.golden_kernel_insts = s.fault_manager().last_deactivated_fetched();
+  app.golden_ticks = rr.ticks;
+
+  ca.golden_ticks = rr.ticks;
+  ca.golden_committed = rr.committed;
+  ca.kernel_fetches = s.fault_manager().last_deactivated_fetched();
+  ca.ticks_to_checkpoint = ticks_at_ckpt;
+  ca.checkpoint = std::move(ckpt);
+  ca.app = std::move(app);
+  if (ca.kernel_fetches == 0)
+    throw std::runtime_error("app '" + ca.app.name + "' has an empty FI window");
+  return ca;
+}
+
+fi::Fault random_fault(util::Rng& rng, fi::FaultLocation location,
+                       std::uint64_t kernel_fetches) {
+  fi::Fault f;
+  f.location = location;
+  f.thread_id = 0;
+  f.core = 0;
+  f.occurrences = 1;
+  f.time_kind = fi::FaultTimeKind::Instruction;
+  f.time = 1 + rng.below(kernel_fetches);
+  f.behavior = fi::FaultBehavior::Flip;
+  switch (location) {
+    case fi::FaultLocation::IntReg:
+    case fi::FaultLocation::FpReg:
+      f.reg = unsigned(rng.below(32));
+      f.operand = rng.below(64);
+      break;
+    case fi::FaultLocation::Fetch:
+      f.operand = rng.below(32);
+      break;
+    case fi::FaultLocation::Decode:
+      f.decode_field = static_cast<fi::DecodeField>(rng.below(3));
+      f.operand = rng.below(5);
+      break;
+    case fi::FaultLocation::Execute:
+    case fi::FaultLocation::LoadStore:
+    case fi::FaultLocation::PC:
+      f.operand = rng.below(64);
+      break;
+  }
+  return f;
+}
+
+fi::Fault random_fault_any(util::Rng& rng, std::uint64_t kernel_fetches) {
+  const auto loc = static_cast<fi::FaultLocation>(rng.below(fi::kNumFaultLocations));
+  return random_fault(rng, loc, kernel_fetches);
+}
+
+ExperimentResult run_experiment(const CalibratedApp& ca, const fi::Fault& fault,
+                                const CampaignConfig& cfg) {
+  const auto t0 = Clock::now();
+  ExperimentResult er;
+  er.fault = fault;
+  er.time_fraction = ca.kernel_fetches == 0
+                         ? 0.0
+                         : double(fault.time) / double(ca.kernel_fetches);
+
+  sim::Simulation s(make_sim_config(cfg), ca.app.program);
+  s.spawn_main_thread();
+  const std::uint64_t start_ticks =
+      cfg.use_checkpoint ? ca.ticks_to_checkpoint : 0;
+  if (cfg.use_checkpoint) ca.checkpoint.restore_into(s);
+  s.fault_manager().load_faults({fault});
+
+  const std::uint64_t watchdog =
+      cfg.watchdog_mult * ca.golden_ticks + 1'000'000;
+  const sim::RunResult rr = s.run(watchdog);
+
+  er.exit_reason = rr.reason;
+  er.trap = rr.trap.kind;
+  er.fault_applied = s.fault_manager().any_applied();
+  er.sim_ticks = rr.ticks - start_ticks;
+  er.classification = classify(ca.app, rr, s.fault_manager(), s.output(0));
+  er.wall_seconds = seconds_since(t0);
+  return er;
+}
+
+std::size_t CampaignReport::total() const noexcept {
+  std::size_t n = 0;
+  for (const std::size_t c : counts) n += c;
+  return n;
+}
+
+double CampaignReport::fraction(apps::Outcome o) const noexcept {
+  const std::size_t n = total();
+  return n == 0 ? 0.0 : double(counts[std::size_t(o)]) / double(n);
+}
+
+CampaignReport run_campaign(const CalibratedApp& ca, const std::vector<fi::Fault>& faults,
+                            const CampaignConfig& cfg) {
+  const auto t0 = Clock::now();
+  CampaignReport report;
+  report.results.resize(faults.size());
+
+  const unsigned workers = cfg.workers == 0 ? 1 : cfg.workers;
+  std::atomic<std::size_t> next{0};
+  const auto worker = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= faults.size()) return;
+      report.results[i] = run_experiment(ca, faults[i], cfg);
+    }
+  };
+
+  if (workers == 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (unsigned i = 0; i < workers; ++i) pool.emplace_back(worker);
+    for (auto& t : pool) t.join();
+  }
+
+  for (const ExperimentResult& er : report.results)
+    ++report.counts[std::size_t(er.classification.outcome)];
+  report.wall_seconds = seconds_since(t0);
+  return report;
+}
+
+}  // namespace gemfi::campaign

@@ -1,0 +1,80 @@
+// Campaign runner: calibration, random fault generation, experiment
+// execution (optionally fast-forwarded from a checkpoint), and parallel
+// campaign execution — the machinery behind the paper's Sec. IV/V results.
+#pragma once
+
+#include <array>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "apps/app.hpp"
+#include "campaign/classify.hpp"
+#include "chkpt/checkpoint.hpp"
+#include "fi/fault.hpp"
+#include "util/rng.hpp"
+
+namespace gemfi::campaign {
+
+struct CampaignConfig {
+  sim::CpuKind cpu = sim::CpuKind::Pipelined;
+  bool switch_to_atomic_after_fault = true;  // Sec. IV-B-1 speed trick
+  bool use_checkpoint = true;                // Sec. III-D fast-forwarding
+  unsigned workers = 1;                      // local experiment parallelism
+  std::uint64_t watchdog_mult = 8;           // watchdog = mult * golden ticks
+};
+
+/// An app plus everything calibration learned about its fault-free run.
+struct CalibratedApp {
+  apps::App app;
+  chkpt::Checkpoint checkpoint;          // taken at fi_read_init_all()
+  std::uint64_t golden_ticks = 0;        // full run, campaign CPU model
+  std::uint64_t golden_committed = 0;
+  std::uint64_t kernel_fetches = 0;      // fetches inside the FI window
+  std::uint64_t ticks_to_checkpoint = 0; // pre-checkpoint (init+boot) ticks
+};
+
+/// Run the app fault-free on the campaign CPU model, capture the checkpoint
+/// at fi_read_init_all(), verify the output matches the golden model
+/// (paper Sec. IV-A validation), and measure the run costs.
+/// Throws std::runtime_error if the guest output mismatches the golden.
+CalibratedApp calibrate(apps::App app, const CampaignConfig& cfg);
+
+/// Uniform single-event-upset fault at the given location: uniform Time over
+/// the FI window, uniform bit, uniform register (Sec. IV-B-1 methodology).
+fi::Fault random_fault(util::Rng& rng, fi::FaultLocation location,
+                       std::uint64_t kernel_fetches);
+
+/// Uniform over all locations as well.
+fi::Fault random_fault_any(util::Rng& rng, std::uint64_t kernel_fetches);
+
+struct ExperimentResult {
+  Classification classification;
+  sim::ExitReason exit_reason = sim::ExitReason::AllThreadsExited;
+  cpu::TrapKind trap = cpu::TrapKind::None;
+  fi::Fault fault;
+  bool fault_applied = false;
+  double time_fraction = 0.0;   // fault time / kernel length (Fig. 6 x-axis)
+  std::uint64_t sim_ticks = 0;  // simulated ticks consumed by the experiment
+  double wall_seconds = 0.0;    // host wall time of the experiment
+};
+
+/// Run one fault-injection experiment.
+ExperimentResult run_experiment(const CalibratedApp& ca, const fi::Fault& fault,
+                                const CampaignConfig& cfg);
+
+struct CampaignReport {
+  std::array<std::size_t, apps::kNumOutcomes> counts{};  // by Outcome
+  std::vector<ExperimentResult> results;
+  double wall_seconds = 0.0;  // whole campaign, host wall time
+
+  [[nodiscard]] std::size_t total() const noexcept;
+  [[nodiscard]] double fraction(apps::Outcome o) const noexcept;
+};
+
+/// Run a whole campaign (one experiment per fault) with cfg.workers-way
+/// parallelism on this host.
+CampaignReport run_campaign(const CalibratedApp& ca, const std::vector<fi::Fault>& faults,
+                            const CampaignConfig& cfg);
+
+}  // namespace gemfi::campaign

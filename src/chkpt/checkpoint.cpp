@@ -1,0 +1,71 @@
+#include "chkpt/checkpoint.hpp"
+
+#include <cstdio>
+#include <memory>
+#include <stdexcept>
+
+namespace gemfi::chkpt {
+
+namespace {
+constexpr std::uint32_t kMagic = 0x47464943;  // "GFIC"
+constexpr std::uint32_t kVersion = 1;
+}  // namespace
+
+Checkpoint Checkpoint::capture(const sim::Simulation& s) {
+  util::ByteWriter payload;
+  s.serialize(payload);
+
+  util::ByteWriter out;
+  out.reserve(payload.size() + 32);
+  out.put_u32(kMagic);
+  out.put_u32(kVersion);
+  out.put_u64(payload.size());
+  out.put_u32(util::crc32(payload.bytes()));
+  out.put_bytes(payload.bytes());
+
+  Checkpoint c;
+  c.blob_ = out.take();
+  return c;
+}
+
+void Checkpoint::restore_into(sim::Simulation& s) const {
+  util::ByteReader r(blob_);
+  if (r.get_u32() != kMagic) throw util::DeserializeError("bad checkpoint magic");
+  if (r.get_u32() != kVersion) throw util::DeserializeError("unsupported checkpoint version");
+  const std::uint64_t len = r.get_u64();
+  const std::uint32_t crc = r.get_u32();
+  if (r.remaining() != len) throw util::DeserializeError("checkpoint payload length mismatch");
+  const std::span<const std::uint8_t> payload(blob_.data() + (blob_.size() - len), len);
+  if (util::crc32(payload) != crc) throw util::DeserializeError("checkpoint CRC mismatch");
+  util::ByteReader pr(payload);
+  s.deserialize(pr);
+}
+
+Checkpoint Checkpoint::from_bytes(std::vector<std::uint8_t> bytes) {
+  Checkpoint c;
+  c.blob_ = std::move(bytes);
+  return c;
+}
+
+void Checkpoint::save_file(const std::string& path) const {
+  std::unique_ptr<std::FILE, int (*)(std::FILE*)> f(std::fopen(path.c_str(), "wb"),
+                                                    &std::fclose);
+  if (!f) throw std::runtime_error("cannot write checkpoint file: " + path);
+  if (std::fwrite(blob_.data(), 1, blob_.size(), f.get()) != blob_.size())
+    throw std::runtime_error("short write to checkpoint file: " + path);
+}
+
+Checkpoint Checkpoint::load_file(const std::string& path) {
+  std::unique_ptr<std::FILE, int (*)(std::FILE*)> f(std::fopen(path.c_str(), "rb"),
+                                                    &std::fclose);
+  if (!f) throw std::runtime_error("cannot read checkpoint file: " + path);
+  std::fseek(f.get(), 0, SEEK_END);
+  const long size = std::ftell(f.get());
+  std::fseek(f.get(), 0, SEEK_SET);
+  std::vector<std::uint8_t> bytes(static_cast<std::size_t>(size), 0);
+  if (std::fread(bytes.data(), 1, bytes.size(), f.get()) != bytes.size())
+    throw std::runtime_error("short read from checkpoint file: " + path);
+  return from_bytes(std::move(bytes));
+}
+
+}  // namespace gemfi::chkpt

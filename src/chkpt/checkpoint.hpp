@@ -1,0 +1,49 @@
+// Whole-simulation checkpointing — the reproduction's stand-in for DMTCP
+// (paper Sec. III-D).
+//
+// The paper checkpoints the Linux process running the simulator; we
+// serialize the simulation object graph instead, which preserves the
+// property the paper exploits: a checkpoint taken right after OS boot and
+// application initialization (at fi_read_init_all()) can be restored many
+// times, each restore re-reading a different fault-configuration file, to
+// fast-forward an entire campaign past the common prefix.
+//
+// Format: magic + version + payload length + payload + CRC32(payload).
+// Restores validate all of it and throw util::DeserializeError on damage.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/simulation.hpp"
+
+namespace gemfi::chkpt {
+
+class Checkpoint {
+ public:
+  Checkpoint() = default;
+
+  /// Snapshot a (quiesced) simulation.
+  static Checkpoint capture(const sim::Simulation& s);
+
+  /// Restore into a simulation constructed with the same config + program.
+  /// Resets fault-injection state per the paper's fi_read_init_all contract.
+  void restore_into(sim::Simulation& s) const;
+
+  [[nodiscard]] bool empty() const noexcept { return blob_.empty(); }
+  [[nodiscard]] std::size_t size_bytes() const noexcept { return blob_.size(); }
+  [[nodiscard]] const std::vector<std::uint8_t>& bytes() const noexcept { return blob_; }
+
+  /// File round-trip (the "network share" of the NoW campaign protocol).
+  void save_file(const std::string& path) const;
+  static Checkpoint load_file(const std::string& path);
+
+  /// Construct from raw bytes (validated lazily at restore time).
+  static Checkpoint from_bytes(std::vector<std::uint8_t> bytes);
+
+ private:
+  std::vector<std::uint8_t> blob_;
+};
+
+}  // namespace gemfi::chkpt

@@ -1,0 +1,17 @@
+#include "cpu/arch_state.hpp"
+
+namespace gemfi::cpu {
+
+void ArchState::serialize(util::ByteWriter& w) const {
+  for (const auto r : iregs_) w.put_u64(r);
+  for (const auto r : fregs_) w.put_u64(r);
+  w.put_u64(pc_);
+}
+
+void ArchState::deserialize(util::ByteReader& r) {
+  for (auto& reg : iregs_) reg = r.get_u64();
+  for (auto& reg : fregs_) reg = r.get_u64();
+  pc_ = r.get_u64();
+}
+
+}  // namespace gemfi::cpu

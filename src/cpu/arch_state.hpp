@@ -1,0 +1,73 @@
+// Architectural register state of one hardware context.
+//
+// FP registers are stored as raw IEEE-754 bit patterns (std::uint64_t): the
+// fault injector corrupts *bits*, and keeping the canonical representation
+// integral means a flipped bit in a signalling-NaN pattern round-trips
+// exactly. Conversion to/from double happens only inside the ALU.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+#include "isa/registers.hpp"
+#include "util/bytesio.hpp"
+
+namespace gemfi::cpu {
+
+class ArchState {
+ public:
+  // R31 reads as zero and ignores writes; F31 likewise (+0.0).
+  [[nodiscard]] std::uint64_t ireg(unsigned r) const noexcept {
+    return r >= isa::kNumIntRegs || r == isa::kZeroReg ? 0 : iregs_[r];
+  }
+  void set_ireg(unsigned r, std::uint64_t v) noexcept {
+    if (r < isa::kNumIntRegs && r != isa::kZeroReg) iregs_[r] = v;
+  }
+
+  [[nodiscard]] std::uint64_t freg_bits(unsigned r) const noexcept {
+    return r >= isa::kNumFpRegs || r == isa::kFpZeroReg ? 0 : fregs_[r];
+  }
+  void set_freg_bits(unsigned r, std::uint64_t v) noexcept {
+    if (r < isa::kNumFpRegs && r != isa::kFpZeroReg) fregs_[r] = v;
+  }
+
+  [[nodiscard]] double freg(unsigned r) const noexcept {
+    return std::bit_cast<double>(freg_bits(r));
+  }
+  void set_freg(unsigned r, double v) noexcept {
+    set_freg_bits(r, std::bit_cast<std::uint64_t>(v));
+  }
+
+  [[nodiscard]] std::uint64_t pc() const noexcept { return pc_; }
+  void set_pc(std::uint64_t pc) noexcept { pc_ = pc; }
+
+  /// Generic access used by the register-file fault injector.
+  /// reg in [0,32) -> integer file, [32,64) -> FP file (bits).
+  [[nodiscard]] std::uint64_t reg_by_flat_index(unsigned idx) const noexcept {
+    return idx < 32 ? ireg(idx) : freg_bits(idx - 32);
+  }
+  void set_reg_by_flat_index(unsigned idx, std::uint64_t v) noexcept {
+    if (idx < 32)
+      set_ireg(idx, v);
+    else
+      set_freg_bits(idx - 32, v);
+  }
+
+  void reset() noexcept {
+    for (auto& r : iregs_) r = 0;
+    for (auto& r : fregs_) r = 0;
+    pc_ = 0;
+  }
+
+  void serialize(util::ByteWriter& w) const;
+  void deserialize(util::ByteReader& r);
+
+  bool operator==(const ArchState&) const = default;
+
+ private:
+  std::uint64_t iregs_[isa::kNumIntRegs]{};
+  std::uint64_t fregs_[isa::kNumFpRegs]{};
+  std::uint64_t pc_ = 0;
+};
+
+}  // namespace gemfi::cpu

@@ -1,0 +1,150 @@
+#include "cpu/atomic_cpu.hpp"
+
+namespace gemfi::cpu {
+
+namespace {
+/// Null hooks used when fault injection is compiled out of the run
+/// (the vanilla-gem5 baseline configuration of Fig. 7).
+class NullHooks final : public StageHooks {
+ public:
+  FetchResult on_fetch(std::uint64_t, std::uint32_t word) override { return {word, 0}; }
+  void on_decode(isa::Decoded&, std::uint64_t, std::uint64_t) override {}
+  void on_execute(ExecOut&, const isa::Decoded&, std::uint64_t, std::uint64_t) override {}
+  std::uint64_t on_load(std::uint64_t, std::uint64_t raw, unsigned, std::uint64_t) override {
+    return raw;
+  }
+  std::uint64_t on_store(std::uint64_t, std::uint64_t raw, unsigned, std::uint64_t) override {
+    return raw;
+  }
+  void on_commit(const isa::Decoded&, std::uint64_t, std::uint64_t) override {}
+  void on_squash(std::uint64_t) override {}
+};
+NullHooks g_null_hooks;
+
+/// Adapts StageHooks to the MemHooks consumed by do_mem().
+class MemHookAdapter final : public MemHooks {
+ public:
+  MemHookAdapter(StageHooks& hooks, std::uint64_t fi_seq) : hooks_(hooks), fi_seq_(fi_seq) {}
+  std::uint64_t on_load(std::uint64_t addr, std::uint64_t raw, unsigned bytes) override {
+    return hooks_.on_load(addr, raw, bytes, fi_seq_);
+  }
+  std::uint64_t on_store(std::uint64_t addr, std::uint64_t raw, unsigned bytes) override {
+    return hooks_.on_store(addr, raw, bytes, fi_seq_);
+  }
+
+ private:
+  StageHooks& hooks_;
+  std::uint64_t fi_seq_;
+};
+}  // namespace
+
+CommitEvent SimpleCpu::step_one() {
+  StageHooks& hooks = hooks_ != nullptr ? *hooks_ : g_null_hooks;
+  CommitEvent ev;
+  ev.pc = arch_.pc();
+
+  // --- fetch ---
+  std::uint32_t word = 0;
+  const mem::AccessError fe = ms_.fetch(ev.pc, word);
+  ++stats_.fetched;
+  if (timing_) busy_ += ms_.fetch_latency(ev.pc);
+  if (fe != mem::AccessError::None) {
+    ev.trap = {TrapKind::FetchFault, fe, ev.pc};
+    return ev;
+  }
+  const auto fr = hooks.on_fetch(ev.pc, word);
+  ev.fi_seq = fr.fi_seq;
+
+  // --- decode ---
+  ev.d = isa::decode(fr.word);
+  hooks.on_decode(ev.d, ev.pc, ev.fi_seq);
+
+  // --- execute ---
+  const Operands ops = read_operands(ev.d, arch_);
+  ExecOut out = execute(ev.d, ops, ev.pc);
+  hooks.on_execute(out, ev.d, ev.pc, ev.fi_seq);
+  if (out.trap.pending()) {
+    ev.trap = out.trap;
+    return ev;
+  }
+
+  // --- memory ---
+  if (ev.d.is_mem_access()) {
+    MemHookAdapter mh(hooks, ev.fi_seq);
+    if (timing_) busy_ += ms_.data_latency(out.mem_addr, ev.d.is_store());
+    const TrapInfo mt = do_mem(ev.d, out, ms_, &mh);
+    if (mt.pending()) {
+      ev.trap = mt;
+      return ev;
+    }
+  }
+
+  // --- writeback / commit ---
+  writeback(ev.d, out, arch_);
+  ev.is_pseudo = out.is_pseudo;
+  hooks.on_commit(ev.d, ev.pc, ev.fi_seq);
+  ++stats_.committed;
+  return ev;
+}
+
+CycleResult SimpleCpu::cycle() {
+  ++stats_.ticks;
+  if (busy_ > 0) {
+    --busy_;
+    if (busy_ == 0 && pending_) {
+      CycleResult r{std::move(pending_)};
+      pending_.reset();
+      return r;
+    }
+    return {};
+  }
+  if (pending_) {  // busy_ was zero with a queued commit (timing edge case)
+    CycleResult r{std::move(pending_)};
+    pending_.reset();
+    return r;
+  }
+  if (!fetch_enabled_) return {};
+
+  CommitEvent ev = step_one();
+  if (timing_ && busy_ > 0) {
+    // Charge the stall before surfacing the commit so ticks line up.
+    pending_ = std::move(ev);
+    --busy_;
+    if (busy_ == 0) {
+      CycleResult r{std::move(pending_)};
+      pending_.reset();
+      return r;
+    }
+    return {};
+  }
+  busy_ = 0;
+  return {std::move(ev)};
+}
+
+void SimpleCpu::flush_and_redirect(std::uint64_t new_pc) {
+  arch_.set_pc(new_pc);
+  busy_ = 0;
+  pending_.reset();
+}
+
+void SimpleCpu::serialize(util::ByteWriter& w) const {
+  arch_.serialize(w);
+  w.put_bool(timing_);
+  w.put_u64(stats_.ticks);
+  w.put_u64(stats_.committed);
+  w.put_u64(stats_.fetched);
+  w.put_u64(stats_.squashed);
+}
+
+void SimpleCpu::deserialize(util::ByteReader& r) {
+  arch_.deserialize(r);
+  timing_ = r.get_bool();
+  stats_.ticks = r.get_u64();
+  stats_.committed = r.get_u64();
+  stats_.fetched = r.get_u64();
+  stats_.squashed = r.get_u64();
+  busy_ = 0;
+  pending_.reset();
+}
+
+}  // namespace gemfi::cpu

@@ -1,0 +1,39 @@
+// AtomicSimpleCpu and TimingSimpleCpu: one instruction at a time through the
+// full fetch/decode/execute/memory/writeback sequence.
+//
+// Atomic ignores memory timing (1 IPC); TimingSimple charges L1I/L1D/L2/DRAM
+// latencies by idling for the appropriate number of ticks before committing —
+// the same behavioral distinction gem5 draws between its AtomicSimple and
+// TimingSimple models.
+#pragma once
+
+#include "cpu/cpu_model.hpp"
+
+namespace gemfi::cpu {
+
+class SimpleCpu final : public CpuModel {
+ public:
+  /// `timing` selects TimingSimple behavior (charge memory latencies).
+  SimpleCpu(mem::MemSystem& ms, bool timing) : CpuModel(ms), timing_(timing) {}
+
+  CycleResult cycle() override;
+  void flush_and_redirect(std::uint64_t new_pc) override;
+  void set_fetch_enabled(bool enabled) override { fetch_enabled_ = enabled; }
+  [[nodiscard]] bool quiesced() const override { return busy_ == 0; }
+  [[nodiscard]] const char* name() const noexcept override {
+    return timing_ ? "timing-simple" : "atomic-simple";
+  }
+
+  void serialize(util::ByteWriter& w) const override;
+  void deserialize(util::ByteReader& r) override;
+
+ private:
+  CommitEvent step_one();
+
+  bool timing_;
+  bool fetch_enabled_ = true;
+  std::uint32_t busy_ = 0;          // remaining stall ticks (timing mode)
+  std::optional<CommitEvent> pending_;  // commit delayed until busy_ drains
+};
+
+}  // namespace gemfi::cpu

@@ -1,0 +1,124 @@
+#include "cpu/branch_predictor.hpp"
+
+namespace gemfi::cpu {
+
+namespace {
+template <typename T>
+void bump(T& ctr, bool up, T max) {
+  if (up && ctr < max) ++ctr;
+  if (!up && ctr > 0) --ctr;
+}
+}  // namespace
+
+TournamentPredictor::TournamentPredictor(const PredictorConfig& cfg)
+    : cfg_(cfg),
+      local_hist_(cfg.local_entries, 0),
+      local_ctr_(cfg.local_entries, 3),
+      global_ctr_(cfg.global_entries, 1),
+      chooser_ctr_(cfg.chooser_entries, 2),
+      btb_(cfg.btb_entries),
+      ras_(cfg.ras_entries, 0) {}
+
+std::uint32_t TournamentPredictor::local_index(std::uint64_t pc) const noexcept {
+  return std::uint32_t((pc >> 2) & (cfg_.local_entries - 1));
+}
+
+std::uint32_t TournamentPredictor::global_index() const noexcept {
+  return std::uint32_t(ghist_ & (cfg_.global_entries - 1));
+}
+
+Prediction TournamentPredictor::predict(std::uint64_t pc) {
+  ++stats_.lookups;
+  Prediction p;
+  const std::uint32_t li = local_index(pc);
+  const std::uint32_t hist = local_hist_[li] & ((1u << cfg_.local_hist_bits) - 1);
+  const std::uint32_t lci = hist & (cfg_.local_entries - 1);
+  const bool local_taken = local_ctr_[lci] >= 4;
+  const std::uint32_t gi = std::uint32_t((ghist_ ^ (pc >> 2)) & (cfg_.global_entries - 1));
+  const bool global_taken = global_ctr_[gi] >= 2;
+  const bool use_global = chooser_ctr_[global_index()] >= 2;
+  p.taken = use_global ? global_taken : local_taken;
+
+  const BtbEntry& be = btb_[(pc >> 2) & (cfg_.btb_entries - 1)];
+  if (be.valid && be.tag == pc) {
+    p.btb_hit = true;
+    p.target = be.target;
+  }
+  return p;
+}
+
+void TournamentPredictor::update(std::uint64_t pc, bool taken, std::uint64_t target,
+                                 bool mispredicted) {
+  if (mispredicted) ++stats_.mispredicts;
+
+  const std::uint32_t li = local_index(pc);
+  const std::uint32_t hist = local_hist_[li] & ((1u << cfg_.local_hist_bits) - 1);
+  const std::uint32_t lci = hist & (cfg_.local_entries - 1);
+  const std::uint32_t gi = std::uint32_t((ghist_ ^ (pc >> 2)) & (cfg_.global_entries - 1));
+
+  const bool local_correct = (local_ctr_[lci] >= 4) == taken;
+  const bool global_correct = (global_ctr_[gi] >= 2) == taken;
+  if (local_correct != global_correct)
+    bump<std::uint8_t>(chooser_ctr_[global_index()], global_correct, 3);
+
+  bump<std::uint8_t>(local_ctr_[lci], taken, 7);
+  bump<std::uint8_t>(global_ctr_[gi], taken, 3);
+
+  local_hist_[li] = std::uint16_t(((hist << 1) | (taken ? 1 : 0)) &
+                                  ((1u << cfg_.local_hist_bits) - 1));
+  ghist_ = (ghist_ << 1) | (taken ? 1 : 0);
+
+  if (taken) {
+    BtbEntry& be = btb_[(pc >> 2) & (cfg_.btb_entries - 1)];
+    be.valid = true;
+    be.tag = pc;
+    be.target = target;
+  }
+}
+
+void TournamentPredictor::ras_push(std::uint64_t return_addr) {
+  ras_[ras_top_ % cfg_.ras_entries] = return_addr;
+  ++ras_top_;
+}
+
+std::uint64_t TournamentPredictor::ras_pop() {
+  if (ras_top_ == 0) return 0;
+  --ras_top_;
+  return ras_[ras_top_ % cfg_.ras_entries];
+}
+
+void TournamentPredictor::serialize(util::ByteWriter& w) const {
+  w.put_u64(ghist_);
+  w.put_u32(ras_top_);
+  for (const auto v : local_hist_) w.put_u16(v);
+  for (const auto v : local_ctr_) w.put_u8(v);
+  for (const auto v : global_ctr_) w.put_u8(v);
+  for (const auto v : chooser_ctr_) w.put_u8(v);
+  for (const auto& be : btb_) {
+    w.put_u64(be.tag);
+    w.put_u64(be.target);
+    w.put_bool(be.valid);
+  }
+  for (const auto v : ras_) w.put_u64(v);
+  w.put_u64(stats_.lookups);
+  w.put_u64(stats_.mispredicts);
+}
+
+void TournamentPredictor::deserialize(util::ByteReader& r) {
+  ghist_ = r.get_u64();
+  ras_top_ = r.get_u32();
+  for (auto& v : local_hist_) v = r.get_u16();
+  for (auto& v : local_ctr_) v = r.get_u8();
+  for (auto& v : global_ctr_) v = r.get_u8();
+  for (auto& v : chooser_ctr_) v = r.get_u8();
+  for (auto& be : btb_) {
+    be.tag = r.get_u64();
+    be.target = r.get_u64();
+    be.valid = r.get_bool();
+  }
+  for (auto& v : ras_) v = r.get_u64();
+  stats_.lookups = r.get_u64();
+  stats_.mispredicts = r.get_u64();
+}
+
+}  // namespace gemfi::cpu

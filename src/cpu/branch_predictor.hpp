@@ -1,0 +1,75 @@
+// Tournament branch predictor (local + gshare + chooser), plus a BTB and a
+// return-address stack — the "tournament branch predictor" of the paper's
+// validation platform (Sec. IV), modeled after the Alpha 21264 scheme.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/bytesio.hpp"
+
+namespace gemfi::cpu {
+
+struct PredictorConfig {
+  std::uint32_t local_entries = 1024;   // local history table + counters
+  std::uint32_t local_hist_bits = 10;
+  std::uint32_t global_entries = 4096;  // gshare counters (2^12)
+  std::uint32_t chooser_entries = 4096;
+  std::uint32_t btb_entries = 512;
+  std::uint32_t ras_entries = 16;
+};
+
+struct Prediction {
+  bool taken = false;
+  std::uint64_t target = 0;  // valid only when btb_hit
+  bool btb_hit = false;
+};
+
+struct PredictorStats {
+  std::uint64_t lookups = 0;
+  std::uint64_t mispredicts = 0;
+};
+
+class TournamentPredictor {
+ public:
+  explicit TournamentPredictor(const PredictorConfig& cfg = {});
+
+  /// Direction + target prediction for a (conditional or not) branch at pc.
+  Prediction predict(std::uint64_t pc);
+
+  /// Train with the actual outcome. `mispredicted` updates stats.
+  void update(std::uint64_t pc, bool taken, std::uint64_t target, bool mispredicted);
+
+  // Return-address stack (used for BSR/JSR vs RET).
+  void ras_push(std::uint64_t return_addr);
+  std::uint64_t ras_pop();  // 0 when empty
+
+  [[nodiscard]] const PredictorStats& stats() const noexcept { return stats_; }
+  void reset_stats() noexcept { stats_ = {}; }
+
+  void serialize(util::ByteWriter& w) const;
+  void deserialize(util::ByteReader& r);
+
+ private:
+  struct BtbEntry {
+    std::uint64_t tag = 0;
+    std::uint64_t target = 0;
+    bool valid = false;
+  };
+
+  [[nodiscard]] std::uint32_t local_index(std::uint64_t pc) const noexcept;
+  [[nodiscard]] std::uint32_t global_index() const noexcept;
+
+  PredictorConfig cfg_;
+  std::vector<std::uint16_t> local_hist_;
+  std::vector<std::uint8_t> local_ctr_;    // 3-bit saturating
+  std::vector<std::uint8_t> global_ctr_;   // 2-bit saturating
+  std::vector<std::uint8_t> chooser_ctr_;  // 2-bit: >=2 favors global
+  std::vector<BtbEntry> btb_;
+  std::vector<std::uint64_t> ras_;
+  std::uint32_t ras_top_ = 0;  // number of valid entries (wraps)
+  std::uint64_t ghist_ = 0;
+  PredictorStats stats_;
+};
+
+}  // namespace gemfi::cpu

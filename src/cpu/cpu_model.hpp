@@ -1,0 +1,116 @@
+// Common interface of the CPU models, and the stage-hook surface the fault
+// injector plugs into.
+//
+// Three models are provided, mirroring gem5's speed/accuracy ladder that the
+// paper leans on (Sec. II and the Sec. IV methodology of running detailed
+// until the fault commits/squashes, then switching to atomic):
+//   * AtomicSimpleCpu   — 1 instruction per tick, no memory timing;
+//   * TimingSimpleCpu   — same, but charges I-/D-cache latencies;
+//   * PipelinedCpu      — 5-stage in-order pipeline with a tournament branch
+//                         predictor, speculative fetch and squash.
+//
+// Every simulated instruction flows through the StageHooks exactly as in
+// Fig. 2 of the paper: fetch -> decode -> execute -> memory -> commit, with
+// a squash path for wrong-path and post-trap instructions.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "cpu/arch_state.hpp"
+#include "cpu/exec.hpp"
+#include "isa/decoder.hpp"
+#include "mem/memsys.hpp"
+
+namespace gemfi::cpu {
+
+/// Per-stage interception points (implemented by fi::FaultManager; a null
+/// hooks pointer reproduces the vanilla-gem5 baseline of Fig. 7).
+class StageHooks {
+ public:
+  virtual ~StageHooks() = default;
+
+  struct FetchResult {
+    std::uint32_t word = 0;
+    std::uint64_t fi_seq = 0;  // per-thread fetch index; 0 = FI inactive for thread
+  };
+
+  /// Called once per instruction fetch with the raw word; may corrupt it.
+  virtual FetchResult on_fetch(std::uint64_t pc, std::uint32_t word) = 0;
+  /// Called at decode; may corrupt the register-selection fields.
+  virtual void on_decode(isa::Decoded& d, std::uint64_t pc, std::uint64_t fi_seq) = 0;
+  /// Called after execute; may corrupt the result / effective address.
+  virtual void on_execute(ExecOut& out, const isa::Decoded& d, std::uint64_t pc,
+                          std::uint64_t fi_seq) = 0;
+  /// Called on the raw memory bus value of loads / stores; may corrupt it.
+  virtual std::uint64_t on_load(std::uint64_t addr, std::uint64_t raw, unsigned bytes,
+                                std::uint64_t fi_seq) = 0;
+  virtual std::uint64_t on_store(std::uint64_t addr, std::uint64_t raw, unsigned bytes,
+                                 std::uint64_t fi_seq) = 0;
+  /// Instruction architecturally completed (propagation tracking).
+  virtual void on_commit(const isa::Decoded& d, std::uint64_t pc, std::uint64_t fi_seq) = 0;
+  /// Instruction squashed (wrong path / behind a trap).
+  virtual void on_squash(std::uint64_t fi_seq) = 0;
+};
+
+/// One committed instruction, surfaced to the simulation loop.
+struct CommitEvent {
+  isa::Decoded d;
+  std::uint64_t pc = 0;
+  std::uint64_t fi_seq = 0;
+  TrapInfo trap;          // pending() => the program faulted at this instruction
+  bool is_pseudo = false; // PSEUDO/CALLSYS: OS layer dispatches it
+};
+
+struct CycleResult {
+  std::optional<CommitEvent> commit;
+};
+
+struct CpuStats {
+  std::uint64_t ticks = 0;
+  std::uint64_t committed = 0;
+  std::uint64_t fetched = 0;
+  std::uint64_t squashed = 0;
+};
+
+class CpuModel {
+ public:
+  explicit CpuModel(mem::MemSystem& ms) : ms_(ms) {}
+  virtual ~CpuModel() = default;
+
+  CpuModel(const CpuModel&) = delete;
+  CpuModel& operator=(const CpuModel&) = delete;
+
+  [[nodiscard]] ArchState& arch() noexcept { return arch_; }
+  [[nodiscard]] const ArchState& arch() const noexcept { return arch_; }
+  void set_hooks(StageHooks* hooks) noexcept { hooks_ = hooks; }
+
+  /// Advance one tick.
+  virtual CycleResult cycle() = 0;
+
+  /// Discard all in-flight work and restart fetching at `new_pc`
+  /// (context switch, PC-fault injection, post-pseudo resynchronization).
+  virtual void flush_and_redirect(std::uint64_t new_pc) = 0;
+
+  /// Gate instruction fetch (used to drain before a context switch).
+  virtual void set_fetch_enabled(bool enabled) = 0;
+
+  /// True when no instruction is in flight.
+  [[nodiscard]] virtual bool quiesced() const = 0;
+
+  [[nodiscard]] virtual const char* name() const noexcept = 0;
+
+  [[nodiscard]] const CpuStats& stats() const noexcept { return stats_; }
+
+  /// Checkpoint support; only legal while quiesced().
+  virtual void serialize(util::ByteWriter& w) const = 0;
+  virtual void deserialize(util::ByteReader& r) = 0;
+
+ protected:
+  mem::MemSystem& ms_;
+  ArchState arch_;
+  StageHooks* hooks_ = nullptr;
+  CpuStats stats_;
+};
+
+}  // namespace gemfi::cpu

@@ -1,0 +1,76 @@
+// The shared execution-semantics engine.
+//
+// All CPU models (atomic, timing-simple, pipelined) funnel every instruction
+// through these pure(ish) phases, so the functional behavior of the machine
+// is defined exactly once:
+//
+//   read operands -> execute() -> [do_mem()] -> writeback()
+//
+// The split mirrors the pipeline stages the paper injects faults into: the
+// fault injector corrupts Operands (decode-stage register-selection faults
+// act even earlier, on the instruction word), the ExecOut (execute-stage
+// faults, which for memory instructions hit the effective address — the
+// paper's observed segfault mechanism), and the memory value (load/store
+// transaction faults).
+#pragma once
+
+#include <cstdint>
+
+#include "cpu/arch_state.hpp"
+#include "cpu/trap.hpp"
+#include "isa/decoder.hpp"
+#include "mem/memsys.hpp"
+
+namespace gemfi::cpu {
+
+/// Register operand values read for one instruction (FP values as raw bits).
+struct Operands {
+  std::uint64_t s1 = 0;       // value of Decoded::src1 (or 0 if none)
+  std::uint64_t s2 = 0;       // value of Decoded::src2 (stores: data; ignored if literal)
+  std::uint64_t old_dst = 0;  // prior value of the destination (CMOV/FCMOV)
+};
+
+/// Read the operands of `d` from an architectural state.
+Operands read_operands(const isa::Decoded& d, const ArchState& st) noexcept;
+
+/// Result of the execute stage.
+struct ExecOut {
+  std::uint64_t value = 0;       // ALU result / link address / LDA result (bits)
+  bool writes_dst = false;       // writeback `value` to d.dst (loads fill value in do_mem)
+  std::uint64_t mem_addr = 0;    // effective address for memory instructions
+  std::uint64_t store_value = 0; // raw bits to store (width handled in do_mem)
+  bool branch_taken = false;
+  std::uint64_t next_pc = 0;     // resolved next PC (always valid)
+  TrapInfo trap;                 // illegal instruction / arithmetic
+  bool is_pseudo = false;        // PSEUDO/CALLSYS: dispatched by the OS layer at commit
+};
+
+/// Execute stage: pure function of the decoded instruction, operands and PC.
+ExecOut execute(const isa::Decoded& d, const Operands& ops, std::uint64_t pc) noexcept;
+
+/// Memory stage for instructions with d.is_mem_access(). Performs the access
+/// against `ms`, filling out.value for loads (after width conversion:
+/// LDL sign-extends, LDS converts single->double). Returns the trap, if any.
+/// `loaded_raw`/`stored_raw` expose the pre-conversion bus value so the
+/// fault injector can corrupt the transaction itself.
+struct MemHooks {
+  /// Corrupt the value arriving from memory (loads). `bytes` is 4 or 8.
+  virtual std::uint64_t on_load(std::uint64_t addr, std::uint64_t raw, unsigned bytes) {
+    (void)addr; (void)bytes;
+    return raw;
+  }
+  /// Corrupt the value leaving for memory (stores).
+  virtual std::uint64_t on_store(std::uint64_t addr, std::uint64_t raw, unsigned bytes) {
+    (void)addr; (void)bytes;
+    return raw;
+  }
+  virtual ~MemHooks() = default;
+};
+
+TrapInfo do_mem(const isa::Decoded& d, ExecOut& out, mem::MemSystem& ms,
+                MemHooks* hooks = nullptr);
+
+/// Writeback stage: apply out.value / next_pc to the architectural state.
+void writeback(const isa::Decoded& d, const ExecOut& out, ArchState& st) noexcept;
+
+}  // namespace gemfi::cpu

@@ -1,0 +1,276 @@
+#include "cpu/pipelined_cpu.hpp"
+
+#include <stdexcept>
+
+namespace gemfi::cpu {
+
+namespace {
+class PipeMemHooks final : public MemHooks {
+ public:
+  PipeMemHooks(StageHooks* hooks, std::uint64_t fi_seq) : hooks_(hooks), fi_seq_(fi_seq) {}
+  std::uint64_t on_load(std::uint64_t addr, std::uint64_t raw, unsigned bytes) override {
+    return hooks_ != nullptr ? hooks_->on_load(addr, raw, bytes, fi_seq_) : raw;
+  }
+  std::uint64_t on_store(std::uint64_t addr, std::uint64_t raw, unsigned bytes) override {
+    return hooks_ != nullptr ? hooks_->on_store(addr, raw, bytes, fi_seq_) : raw;
+  }
+
+ private:
+  StageHooks* hooks_;
+  std::uint64_t fi_seq_;
+};
+}  // namespace
+
+CycleResult PipelinedCpu::cycle() {
+  ++stats_.ticks;
+  CycleResult result;
+  // Back-to-front so an instruction can move into the slot freed this cycle.
+  stage_wb(result);
+  stage_mem();
+  stage_ex();
+  stage_id();
+  stage_if();
+  return result;
+}
+
+void PipelinedCpu::stage_wb(CycleResult& result) {
+  if (!mem_wb_) return;
+  InFlight& f = *mem_wb_;
+  CommitEvent ev;
+  ev.d = f.d;
+  ev.pc = f.pc;
+  ev.fi_seq = f.fi_seq;
+  if (f.trap.pending()) {
+    ev.trap = f.trap;  // faulting instruction: no architectural effects
+  } else {
+    writeback(f.d, f.out, arch_);
+    ev.is_pseudo = f.out.is_pseudo;
+    if (hooks_ != nullptr) hooks_->on_commit(f.d, f.pc, f.fi_seq);
+    ++stats_.committed;
+  }
+  result.commit = std::move(ev);
+  mem_wb_.reset();
+}
+
+void PipelinedCpu::stage_mem() {
+  if (mem_cycles_left_ > 0) {
+    --mem_cycles_left_;
+    if (mem_cycles_left_ == 0 && ex_mem_ && !mem_wb_) {
+      mem_wb_ = std::move(ex_mem_);
+      ex_mem_.reset();
+    }
+    return;
+  }
+  if (!ex_mem_ || mem_wb_) return;
+  InFlight& f = *ex_mem_;
+  if (!f.trap.pending() && f.d.is_mem_access()) {
+    const std::uint32_t latency = ms_.data_latency(f.out.mem_addr, f.d.is_store());
+    PipeMemHooks mh(hooks_, f.fi_seq);
+    const TrapInfo mt = do_mem(f.d, f.out, ms_, &mh);
+    if (mt.pending()) {
+      f.trap = mt;
+      squash_younger_than_ex();
+      halt_fetch_after_trap_ = true;
+    }
+    if (latency > 1) {
+      mem_cycles_left_ = latency - 1;
+      return;  // hold in MEM while the cache/DRAM access completes
+    }
+  }
+  mem_wb_ = std::move(ex_mem_);
+  ex_mem_.reset();
+}
+
+void PipelinedCpu::stage_ex() {
+  if (!id_ex_ || ex_mem_) return;
+  InFlight& f = *id_ex_;
+  if (!f.trap.pending() && !f.executed) {
+    // Operand read with forwarding from the MEM/WB latch; anything older has
+    // already been written back to the architectural file.
+    const auto read_reg = [&](unsigned idx, bool fp) -> std::uint64_t {
+      if (mem_wb_ && !mem_wb_->trap.pending() && mem_wb_->out.writes_dst &&
+          mem_wb_->d.dst == idx && mem_wb_->d.dst_fp == fp)
+        return mem_wb_->out.value;
+      return fp ? arch_.freg_bits(idx) : arch_.ireg(idx);
+    };
+    Operands ops;
+    if (f.d.src1 < 32) ops.s1 = read_reg(f.d.src1, f.d.src1_fp);
+    if (f.d.src2 < 32) ops.s2 = read_reg(f.d.src2, f.d.src2_fp);
+    if (f.d.dst < 32) ops.old_dst = read_reg(f.d.dst, f.d.dst_fp);
+
+    f.out = execute(f.d, ops, f.pc);
+    if (hooks_ != nullptr) hooks_->on_execute(f.out, f.d, f.pc, f.fi_seq);
+    f.executed = true;
+
+    if (f.out.trap.pending()) {
+      f.trap = f.out.trap;
+      squash_younger_than_ex();
+      halt_fetch_after_trap_ = true;
+    } else {
+      const bool mispredicted = f.out.next_pc != f.pred_next;
+      if (f.d.is_control())
+        pred_.update(f.pc, f.out.branch_taken, f.out.next_pc, mispredicted);
+      if (mispredicted) {
+        squash_younger_than_ex();
+        fetch_pc_ = f.out.next_pc;
+        fetch_pc_valid_ = true;
+      }
+    }
+  }
+  ex_mem_ = std::move(id_ex_);
+  id_ex_.reset();
+}
+
+void PipelinedCpu::stage_id() {
+  if (!if_id_ || id_ex_) return;
+  InFlight& f = *if_id_;
+  if (!f.trap.pending()) {
+    f.d = isa::decode(f.raw);
+    if (hooks_ != nullptr) hooks_->on_decode(f.d, f.pc, f.fi_seq);
+    // GemFI intrinsics and PAL calls serialize: wait until the back end is
+    // empty so they execute on a quiesced machine (checkpoint correctness).
+    if (f.d.klass == isa::InstClass::Pseudo || f.d.klass == isa::InstClass::Pal) {
+      if (ex_mem_ || mem_wb_) return;
+    }
+  }
+  id_ex_ = std::move(if_id_);
+  if_id_.reset();
+}
+
+std::uint64_t PipelinedCpu::predict_next(std::uint64_t pc, std::uint32_t word,
+                                         bool& is_branch) {
+  // Predecode the (possibly fault-corrupted) fetched word for next-PC
+  // selection; the architectural decode happens in ID.
+  const isa::Decoded d = isa::decode(word);
+  is_branch = false;
+  switch (d.klass) {
+    case isa::InstClass::CondBranch: {
+      is_branch = true;
+      const Prediction p = pred_.predict(pc);
+      return p.taken ? pc + 4 + 4 * std::uint64_t(std::int64_t(d.disp)) : pc + 4;
+    }
+    case isa::InstClass::Br:
+      is_branch = true;
+      if (d.opcode == isa::Opcode::BSR) pred_.ras_push(pc + 4);
+      return pc + 4 + 4 * std::uint64_t(std::int64_t(d.disp));
+    case isa::InstClass::Jump: {
+      is_branch = true;
+      const auto kind = static_cast<isa::JumpKind>((d.disp >> 14) & 3);
+      if (kind == isa::JumpKind::RET || kind == isa::JumpKind::JSR_COROUTINE) {
+        const std::uint64_t t = pred_.ras_pop();
+        return t != 0 ? t : pc + 4;
+      }
+      if (kind == isa::JumpKind::JSR) pred_.ras_push(pc + 4);
+      const Prediction p = pred_.predict(pc);
+      return p.btb_hit ? p.target : pc + 4;
+    }
+    default:
+      return pc + 4;
+  }
+}
+
+void PipelinedCpu::stage_if() {
+  if (fetch_inflight_) {
+    if (fetch_cycles_left_ > 0) --fetch_cycles_left_;
+    if (fetch_cycles_left_ == 0 && !if_id_) {
+      if_id_ = std::move(fetch_inflight_);
+      fetch_inflight_.reset();
+    }
+    return;
+  }
+  if (!fetch_enabled_ || halt_fetch_after_trap_ || !fetch_pc_valid_) return;
+
+  InFlight f;
+  f.pc = fetch_pc_;
+  ++stats_.fetched;
+  std::uint32_t word = 0;
+  const mem::AccessError fe = ms_.fetch(fetch_pc_, word);
+  const std::uint32_t latency = ms_.fetch_latency(fetch_pc_);
+  if (fe != mem::AccessError::None) {
+    f.trap = {TrapKind::FetchFault, fe, fetch_pc_};
+    fetch_pc_valid_ = false;  // nowhere sensible to fetch from
+  } else {
+    if (hooks_ != nullptr) {
+      const auto fr = hooks_->on_fetch(fetch_pc_, word);
+      f.raw = fr.word;
+      f.fi_seq = fr.fi_seq;
+    } else {
+      f.raw = word;
+    }
+    f.pred_next = predict_next(fetch_pc_, f.raw, f.is_branch_pred);
+    fetch_pc_ = f.pred_next;
+  }
+  fetch_cycles_left_ = latency > 0 ? latency - 1 : 0;
+  if (fetch_cycles_left_ == 0 && !if_id_) {
+    if_id_ = std::move(f);
+  } else {
+    fetch_inflight_ = std::move(f);
+  }
+}
+
+void PipelinedCpu::squash_younger_than_ex() {
+  const auto squash = [&](std::optional<InFlight>& latch) {
+    if (!latch) return;
+    if (hooks_ != nullptr) hooks_->on_squash(latch->fi_seq);
+    ++stats_.squashed;
+    latch.reset();
+  };
+  squash(if_id_);
+  squash(fetch_inflight_);
+  fetch_cycles_left_ = 0;
+}
+
+void PipelinedCpu::flush_and_redirect(std::uint64_t new_pc) {
+  const auto squash = [&](std::optional<InFlight>& latch) {
+    if (!latch) return;
+    if (hooks_ != nullptr) hooks_->on_squash(latch->fi_seq);
+    ++stats_.squashed;
+    latch.reset();
+  };
+  squash(fetch_inflight_);
+  squash(if_id_);
+  squash(id_ex_);
+  squash(ex_mem_);
+  squash(mem_wb_);
+  fetch_cycles_left_ = 0;
+  mem_cycles_left_ = 0;
+  halt_fetch_after_trap_ = false;
+  arch_.set_pc(new_pc);
+  fetch_pc_ = new_pc;
+  fetch_pc_valid_ = true;
+}
+
+void PipelinedCpu::serialize(util::ByteWriter& w) const {
+  if (!quiesced()) throw std::logic_error("PipelinedCpu checkpoint requires a quiesced pipeline");
+  arch_.serialize(w);
+  w.put_u64(fetch_pc_);
+  w.put_bool(fetch_pc_valid_);
+  w.put_bool(fetch_enabled_);
+  pred_.serialize(w);
+  w.put_u64(stats_.ticks);
+  w.put_u64(stats_.committed);
+  w.put_u64(stats_.fetched);
+  w.put_u64(stats_.squashed);
+}
+
+void PipelinedCpu::deserialize(util::ByteReader& r) {
+  arch_.deserialize(r);
+  fetch_pc_ = r.get_u64();
+  fetch_pc_valid_ = r.get_bool();
+  fetch_enabled_ = r.get_bool();
+  pred_.deserialize(r);
+  stats_.ticks = r.get_u64();
+  stats_.committed = r.get_u64();
+  stats_.fetched = r.get_u64();
+  stats_.squashed = r.get_u64();
+  fetch_inflight_.reset();
+  if_id_.reset();
+  id_ex_.reset();
+  ex_mem_.reset();
+  mem_wb_.reset();
+  fetch_cycles_left_ = 0;
+  mem_cycles_left_ = 0;
+  halt_fetch_after_trap_ = false;
+}
+
+}  // namespace gemfi::cpu

@@ -1,0 +1,81 @@
+// PipelinedCpu: 5-stage in-order pipeline (IF, ID, EX, MEM, WB) with a
+// tournament branch predictor, speculative fetch and a squash path.
+//
+// This is the reproduction's stand-in for gem5's detailed CPU model: it has
+// everything the paper's methodology actually uses —
+//   * the five pipeline stages GemFI attaches its fault queues to,
+//   * wrong-path execution with commit-or-squash semantics (the campaign
+//     runner simulates "detailed until the affected instruction commits or
+//     squashes, then switch to atomic", Sec. IV-B),
+//   * cache-latency stalls in IF and MEM,
+//   * full forwarding with a load-use interlock,
+//   * precise traps (younger instructions are squashed when an older
+//     instruction faults).
+//
+// Pseudo-instructions (the GemFI intrinsics) are serialized: they wait in ID
+// until the back end drains, flow alone, and the simulation re-synchronizes
+// fetch after dispatching them — which guarantees checkpoints taken from
+// fi_read_init_all() see a quiesced machine.
+#pragma once
+
+#include "cpu/branch_predictor.hpp"
+#include "cpu/cpu_model.hpp"
+
+namespace gemfi::cpu {
+
+class PipelinedCpu final : public CpuModel {
+ public:
+  PipelinedCpu(mem::MemSystem& ms, const PredictorConfig& pred_cfg = {})
+      : CpuModel(ms), pred_(pred_cfg) {}
+
+  CycleResult cycle() override;
+  void flush_and_redirect(std::uint64_t new_pc) override;
+  void set_fetch_enabled(bool enabled) override { fetch_enabled_ = enabled; }
+  [[nodiscard]] bool quiesced() const override {
+    return !if_id_ && !id_ex_ && !ex_mem_ && !mem_wb_ && !fetch_inflight_;
+  }
+  [[nodiscard]] const char* name() const noexcept override { return "pipelined"; }
+
+  [[nodiscard]] const TournamentPredictor& predictor() const noexcept { return pred_; }
+
+  void serialize(util::ByteWriter& w) const override;
+  void deserialize(util::ByteReader& r) override;
+
+ private:
+  struct InFlight {
+    std::uint32_t raw = 0;
+    std::uint64_t pc = 0;
+    std::uint64_t fi_seq = 0;
+    std::uint64_t pred_next = 0;  // fetch direction chosen after this inst
+    bool is_branch_pred = false;  // predecoded as control (predictor trained)
+    isa::Decoded d;
+    ExecOut out;
+    TrapInfo trap;      // fetch faults arrive here before decode
+    bool executed = false;
+  };
+
+  void stage_wb(CycleResult& result);
+  void stage_mem();
+  void stage_ex();
+  void stage_id();
+  void stage_if();
+  void squash_younger_than_ex();
+  std::uint64_t predict_next(std::uint64_t pc, std::uint32_t word, bool& is_branch);
+
+  TournamentPredictor pred_;
+  bool fetch_enabled_ = true;
+  std::uint64_t fetch_pc_ = 0;
+  bool fetch_pc_valid_ = false;   // synchronized with arch_.pc() on redirect
+
+  std::optional<InFlight> fetch_inflight_;  // fetch issued, waiting on I-cache
+  std::uint32_t fetch_cycles_left_ = 0;
+  std::optional<InFlight> if_id_;
+  std::optional<InFlight> id_ex_;
+  std::optional<InFlight> ex_mem_;
+  std::uint32_t mem_cycles_left_ = 0;
+  std::optional<InFlight> mem_wb_;
+  bool serialize_drain_ = false;  // a pseudo op is waiting in ID
+  bool halt_fetch_after_trap_ = false;
+};
+
+}  // namespace gemfi::cpu

@@ -1,0 +1,43 @@
+// Trap taxonomy. Every way a guest program can die maps onto one of these;
+// the campaign classifier folds them all into the paper's "Crashed" outcome.
+#pragma once
+
+#include <cstdint>
+
+#include "mem/physmem.hpp"
+
+namespace gemfi::cpu {
+
+enum class TrapKind : std::uint8_t {
+  None = 0,
+  IllegalInstruction,  // undecodable opcode/function (paper: fetch faults on
+                       // unimplemented opcodes always kill the program)
+  MemFault,            // segmentation violation / unaligned / wild store
+  FetchFault,          // PC escaped mapped memory or became misaligned
+  Arithmetic,          // integer division by zero (uAlpha DIVQ/REMQ extension)
+  Halt,                // CALL_PAL HALT
+};
+
+const char* trap_name(TrapKind k) noexcept;
+
+struct TrapInfo {
+  TrapKind kind = TrapKind::None;
+  mem::AccessError mem_error = mem::AccessError::None;
+  std::uint64_t addr = 0;  // faulting data address or PC
+
+  [[nodiscard]] bool pending() const noexcept { return kind != TrapKind::None; }
+};
+
+inline const char* trap_name(TrapKind k) noexcept {
+  switch (k) {
+    case TrapKind::None: return "none";
+    case TrapKind::IllegalInstruction: return "illegal-instruction";
+    case TrapKind::MemFault: return "memory-fault";
+    case TrapKind::FetchFault: return "fetch-fault";
+    case TrapKind::Arithmetic: return "arithmetic-trap";
+    case TrapKind::Halt: return "halt";
+  }
+  return "?";
+}
+
+}  // namespace gemfi::cpu

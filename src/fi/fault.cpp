@@ -1,0 +1,211 @@
+#include "fi/fault.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/bits.hpp"
+
+namespace gemfi::fi {
+
+const char* fault_location_name(FaultLocation l) noexcept {
+  switch (l) {
+    case FaultLocation::IntReg:
+    case FaultLocation::FpReg: return "RegisterInjectedFault";
+    case FaultLocation::Fetch: return "FetchStageInjectedFault";
+    case FaultLocation::Decode: return "DecodeStageInjectedFault";
+    case FaultLocation::Execute: return "ExecutionStageInjectedFault";
+    case FaultLocation::LoadStore: return "LoadStoreInjectedFault";
+    case FaultLocation::PC: return "PCInjectedFault";
+  }
+  return "?";
+}
+
+const char* fault_behavior_name(FaultBehavior b) noexcept {
+  switch (b) {
+    case FaultBehavior::Flip: return "Flip";
+    case FaultBehavior::Xor: return "Xor";
+    case FaultBehavior::Imm: return "Imm";
+    case FaultBehavior::AllZero: return "AllZero";
+    case FaultBehavior::AllOne: return "AllOne";
+  }
+  return "?";
+}
+
+std::uint64_t Fault::corrupt(std::uint64_t value, unsigned width) const noexcept {
+  const std::uint64_t mask = width >= 64 ? ~0ull : (1ull << width) - 1;
+  std::uint64_t v = value & mask;
+  switch (behavior) {
+    case FaultBehavior::Flip: v = util::flip_bit(v, unsigned(operand % width)); break;
+    case FaultBehavior::Xor: v ^= operand; break;
+    case FaultBehavior::Imm: v = operand; break;
+    case FaultBehavior::AllZero: v = 0; break;
+    case FaultBehavior::AllOne: v = ~0ull; break;
+  }
+  return v & mask;
+}
+
+std::string Fault::to_line() const {
+  char buf[256];
+  std::string behavior_tok;
+  switch (behavior) {
+    case FaultBehavior::Flip: behavior_tok = "Flip:" + std::to_string(operand); break;
+    case FaultBehavior::Xor: {
+      char t[32];
+      std::snprintf(t, sizeof t, "Xor:0x%" PRIx64, operand);
+      behavior_tok = t;
+      break;
+    }
+    case FaultBehavior::Imm: {
+      char t[32];
+      std::snprintf(t, sizeof t, "Imm:0x%" PRIx64, operand);
+      behavior_tok = t;
+      break;
+    }
+    case FaultBehavior::AllZero: behavior_tok = "AllZero"; break;
+    case FaultBehavior::AllOne: behavior_tok = "AllOne"; break;
+  }
+  const std::string occ_tok =
+      occurrences == kPermanent ? "occ:perm" : "occ:" + std::to_string(occurrences);
+  std::string suffix;
+  if (location == FaultLocation::IntReg) suffix = " int " + std::to_string(reg);
+  if (location == FaultLocation::FpReg) suffix = " float " + std::to_string(reg);
+  if (location == FaultLocation::Decode) {
+    static const char* kFields[] = {"ra", "rb", "rc"};
+    suffix = std::string(" field ") + kFields[unsigned(decode_field)];
+  }
+  std::snprintf(buf, sizeof buf, "%s %s:%" PRIu64 " %s Threadid:%d system.cpu%u %s%s",
+                fault_location_name(location),
+                time_kind == FaultTimeKind::Instruction ? "Inst" : "Tick", time,
+                behavior_tok.c_str(), thread_id, core, occ_tok.c_str(), suffix.c_str());
+  return buf;
+}
+
+namespace {
+
+[[noreturn]] void bad(const std::string& line, const std::string& why) {
+  throw std::invalid_argument("malformed fault line: " + why + " in \"" + line + "\"");
+}
+
+std::uint64_t parse_u64(const std::string& line, const std::string& tok) {
+  try {
+    return std::stoull(tok, nullptr, 0);  // accepts decimal and 0x...
+  } catch (const std::exception&) {
+    bad(line, "bad number '" + tok + "'");
+  }
+}
+
+}  // namespace
+
+Fault parse_fault(const std::string& line) {
+  std::istringstream in(line);
+  std::vector<std::string> toks;
+  for (std::string t; in >> t;) toks.push_back(t);
+  if (toks.empty()) bad(line, "empty line");
+
+  Fault f;
+  const std::string& type = toks[0];
+  if (type == "RegisterInjectedFault") {
+    f.location = FaultLocation::IntReg;  // refined by the trailing "int/float N"
+  } else if (type == "PCInjectedFault") {
+    f.location = FaultLocation::PC;
+  } else if (type == "FetchStageInjectedFault") {
+    f.location = FaultLocation::Fetch;
+  } else if (type == "DecodeStageInjectedFault") {
+    f.location = FaultLocation::Decode;
+  } else if (type == "ExecutionStageInjectedFault") {
+    f.location = FaultLocation::Execute;
+  } else if (type == "LoadStoreInjectedFault") {
+    f.location = FaultLocation::LoadStore;
+  } else {
+    bad(line, "unknown fault type '" + type + "'");
+  }
+
+  bool have_time = false;
+  bool have_behavior = false;
+  bool have_reg = false;
+
+  for (std::size_t i = 1; i < toks.size(); ++i) {
+    const std::string& t = toks[i];
+    const auto next = [&](const char* what) -> const std::string& {
+      if (i + 1 >= toks.size()) bad(line, std::string("missing operand after '") + what + "'");
+      return toks[++i];
+    };
+    if (t.rfind("Inst:", 0) == 0) {
+      f.time_kind = FaultTimeKind::Instruction;
+      f.time = parse_u64(line, t.substr(5));
+      have_time = true;
+    } else if (t.rfind("Tick:", 0) == 0) {
+      f.time_kind = FaultTimeKind::Tick;
+      f.time = parse_u64(line, t.substr(5));
+      have_time = true;
+    } else if (t.rfind("Flip:", 0) == 0) {
+      f.behavior = FaultBehavior::Flip;
+      f.operand = parse_u64(line, t.substr(5));
+      have_behavior = true;
+    } else if (t.rfind("Xor:", 0) == 0) {
+      f.behavior = FaultBehavior::Xor;
+      f.operand = parse_u64(line, t.substr(4));
+      have_behavior = true;
+    } else if (t.rfind("Imm:", 0) == 0) {
+      f.behavior = FaultBehavior::Imm;
+      f.operand = parse_u64(line, t.substr(4));
+      have_behavior = true;
+    } else if (t == "AllZero") {
+      f.behavior = FaultBehavior::AllZero;
+      have_behavior = true;
+    } else if (t == "AllOne") {
+      f.behavior = FaultBehavior::AllOne;
+      have_behavior = true;
+    } else if (t.rfind("Threadid:", 0) == 0) {
+      f.thread_id = int(parse_u64(line, t.substr(9)));
+    } else if (t.rfind("system.cpu", 0) == 0) {
+      f.core = unsigned(parse_u64(line, t.substr(10)));
+    } else if (t.rfind("occ:", 0) == 0) {
+      const std::string v = t.substr(4);
+      f.occurrences = v == "perm" ? kPermanent : parse_u64(line, v);
+      if (f.occurrences == 0) bad(line, "occ must be >= 1");
+    } else if (t == "int") {
+      if (type != "RegisterInjectedFault") bad(line, "'int' only valid for register faults");
+      f.location = FaultLocation::IntReg;
+      f.reg = unsigned(parse_u64(line, next("int")));
+      if (f.reg >= 32) bad(line, "register index out of range");
+      have_reg = true;
+    } else if (t == "float") {
+      if (type != "RegisterInjectedFault") bad(line, "'float' only valid for register faults");
+      f.location = FaultLocation::FpReg;
+      f.reg = unsigned(parse_u64(line, next("float")));
+      if (f.reg >= 32) bad(line, "register index out of range");
+      have_reg = true;
+    } else if (t == "field") {
+      if (type != "DecodeStageInjectedFault") bad(line, "'field' only valid for decode faults");
+      const std::string& v = next("field");
+      if (v == "ra") f.decode_field = DecodeField::Ra;
+      else if (v == "rb") f.decode_field = DecodeField::Rb;
+      else if (v == "rc") f.decode_field = DecodeField::Rc;
+      else bad(line, "decode field must be ra|rb|rc");
+    } else {
+      bad(line, "unknown token '" + t + "'");
+    }
+  }
+
+  if (!have_time) bad(line, "missing Inst:/Tick: time attribute");
+  if (!have_behavior) bad(line, "missing behavior attribute");
+  if (type == "RegisterInjectedFault" && !have_reg)
+    bad(line, "register fault needs 'int N' or 'float N'");
+  return f;
+}
+
+std::vector<Fault> parse_fault_file(const std::string& body) {
+  std::vector<Fault> faults;
+  std::istringstream in(body);
+  for (std::string line; std::getline(in, line);) {
+    const auto first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos || line[first] == '#') continue;
+    faults.push_back(parse_fault(line.substr(first)));
+  }
+  return faults;
+}
+
+}  // namespace gemfi::fi

@@ -1,0 +1,85 @@
+// Fault descriptions: the four attributes of Sec. III-A —
+// Location, Thread, Time, Behavior — plus the occurrence count that models
+// transient (occ:1), intermittent (occ:N) and permanent (occ:perm) faults.
+//
+// Faults are normally supplied in an input file whose line format follows
+// the paper's Listing 1, e.g.
+//
+//   RegisterInjectedFault Inst:2457 Flip:21 Threadid:0 system.cpu1 occ:1 int 1
+//   FetchStageInjectedFault Tick:10000 Xor:0xff00 Threadid:0 system.cpu0 occ:1
+//   DecodeStageInjectedFault Inst:93 Flip:2 Threadid:0 system.cpu0 occ:1 field rb
+//   ExecutionStageInjectedFault Inst:400 AllOne Threadid:0 system.cpu0 occ:3
+//   LoadStoreInjectedFault Inst:77 Flip:31 Threadid:0 system.cpu0 occ:1
+//   PCInjectedFault Inst:1200 Flip:4 Threadid:0 system.cpu0 occ:1
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace gemfi::fi {
+
+/// Micro-architectural fault location (paper Sec. III-A-1 / Fig. 1).
+enum class FaultLocation : std::uint8_t {
+  IntReg,     // integer register file
+  FpReg,      // floating-point register file
+  Fetch,      // the fetched instruction word
+  Decode,     // register selection during decode
+  Execute,    // result / effective address at the execution stage
+  LoadStore,  // data value of a memory transaction
+  PC,         // program counter
+};
+inline constexpr unsigned kNumFaultLocations = 7;
+
+const char* fault_location_name(FaultLocation l) noexcept;
+
+enum class FaultTimeKind : std::uint8_t {
+  Instruction,  // Inst:N — relative fetched-instruction index (1-based)
+  Tick,         // Tick:N — simulation ticks since fi_activate_inst()
+};
+
+/// How the targeted value is corrupted (Sec. III-A-4).
+enum class FaultBehavior : std::uint8_t {
+  Flip,     // flip bit `operand`
+  Xor,      // XOR with mask `operand`
+  Imm,      // overwrite with immediate `operand`
+  AllZero,  // set every bit to 0
+  AllOne,   // set every bit to 1
+};
+
+const char* fault_behavior_name(FaultBehavior b) noexcept;
+
+/// Decode-stage sub-target: which register-selection field is corrupted.
+enum class DecodeField : std::uint8_t { Ra = 0, Rb = 1, Rc = 2 };
+
+inline constexpr std::uint64_t kPermanent = ~0ull;
+
+struct Fault {
+  FaultLocation location = FaultLocation::IntReg;
+  unsigned reg = 0;                         // register index (IntReg/FpReg)
+  DecodeField decode_field = DecodeField::Ra;
+  int thread_id = 0;                        // id passed to fi_activate_inst()
+  unsigned core = 0;                        // system.cpuN
+  FaultTimeKind time_kind = FaultTimeKind::Instruction;
+  std::uint64_t time = 0;
+  FaultBehavior behavior = FaultBehavior::Flip;
+  std::uint64_t operand = 0;                // bit index / mask / immediate
+  std::uint64_t occurrences = 1;            // kPermanent = until program end
+
+  /// Apply the behavior to a value of `width` bits.
+  [[nodiscard]] std::uint64_t corrupt(std::uint64_t value, unsigned width) const noexcept;
+
+  /// Render in the input-file format (round-trips through parse_fault).
+  [[nodiscard]] std::string to_line() const;
+};
+
+/// Parse one input-file line. Throws std::invalid_argument with a
+/// descriptive message on malformed input. Blank lines and lines starting
+/// with '#' are rejected here; parse_fault_file() skips them.
+Fault parse_fault(const std::string& line);
+
+/// Parse a whole fault-configuration file body (the file GemFI receives on
+/// its command line). Skips blank lines and '#' comments.
+std::vector<Fault> parse_fault_file(const std::string& body);
+
+}  // namespace gemfi::fi

@@ -1,0 +1,82 @@
+#include "fi/vdd_model.hpp"
+
+#include <cmath>
+
+namespace gemfi::fi {
+
+double VddModel::error_rate(double vdd) const noexcept {
+  if (vdd >= cfg_.vnom) return 0.0;
+  const double span = cfg_.vnom - cfg_.vmin;
+  const double x = span <= 0.0 ? 0.0 : (vdd - cfg_.vmin) / span;
+  return cfg_.rate_at_vmin * std::exp(-cfg_.beta * x);
+}
+
+double VddModel::relative_power(double vdd) const noexcept {
+  return (vdd * vdd) / (cfg_.vnom * cfg_.vnom);
+}
+
+std::vector<Fault> VddModel::sample_faults(util::Rng& rng, double vdd,
+                                           std::uint64_t kernel_insts) const {
+  const double lambda = error_rate(vdd) * double(kernel_insts);
+  // Knuth Poisson sampling; lambda stays small (<= tens) for any sane sweep.
+  std::size_t count = 0;
+  if (lambda > 0.0) {
+    const double limit = std::exp(-lambda);
+    double p = 1.0;
+    for (;;) {
+      p *= rng.uniform();
+      if (p <= limit) break;
+      ++count;
+      if (count > 10000) break;  // defensive cap for absurd configurations
+    }
+  }
+
+  std::vector<Fault> faults;
+  faults.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    Fault f;
+    f.thread_id = 0;
+    f.core = 0;
+    f.occurrences = 1;
+    f.time_kind = FaultTimeKind::Instruction;
+    f.time = 1 + rng.below(kernel_insts);
+    f.behavior = FaultBehavior::Flip;
+    switch (static_cast<FaultLocation>(rng.below(kNumFaultLocations))) {
+      case FaultLocation::IntReg:
+        f.location = FaultLocation::IntReg;
+        f.reg = unsigned(rng.below(32));
+        f.operand = rng.below(64);
+        break;
+      case FaultLocation::FpReg:
+        f.location = FaultLocation::FpReg;
+        f.reg = unsigned(rng.below(32));
+        f.operand = rng.below(64);
+        break;
+      case FaultLocation::Fetch:
+        f.location = FaultLocation::Fetch;
+        f.operand = rng.below(32);
+        break;
+      case FaultLocation::Decode:
+        f.location = FaultLocation::Decode;
+        f.decode_field = static_cast<DecodeField>(rng.below(3));
+        f.operand = rng.below(5);
+        break;
+      case FaultLocation::Execute:
+        f.location = FaultLocation::Execute;
+        f.operand = rng.below(64);
+        break;
+      case FaultLocation::LoadStore:
+        f.location = FaultLocation::LoadStore;
+        f.operand = rng.below(64);
+        break;
+      case FaultLocation::PC:
+        f.location = FaultLocation::PC;
+        f.operand = rng.below(64);
+        break;
+    }
+    faults.push_back(f);
+  }
+  return faults;
+}
+
+}  // namespace gemfi::fi

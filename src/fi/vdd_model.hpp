@@ -1,0 +1,54 @@
+// Supply-voltage fault-rate model — the extension the paper's conclusion
+// plans: "enhance [GemFI] with realistic fault models, associating the
+// supply voltage (Vdd) with the error rate in different system components
+// ... to study the limits of aggressively reducing power consumption at the
+// expense of correctness".
+//
+// We use the standard exponential low-voltage SRAM/logic failure model from
+// the voltage-scaling literature: below a safe voltage Vnom, the per-bit
+// upset probability grows exponentially as Vdd approaches Vmin,
+//
+//     rate(vdd) = rate_at_vmin * exp(-beta * (vdd - vmin) / (vnom - vmin))
+//
+// and dynamic power scales ~ Vdd^2 (the energy-proxy the sweep reports).
+// Fault counts for a window of N instructions are Poisson(rate * N), and
+// each fault is a uniform single-bit flip across the supported locations —
+// exactly the SEU methodology of Sec. IV-B, now with a physical knob.
+#pragma once
+
+#include <vector>
+
+#include "fi/fault.hpp"
+#include "util/rng.hpp"
+
+namespace gemfi::fi {
+
+struct VddModelConfig {
+  double vnom = 1.0;           // nominal (fault-free) supply
+  double vmin = 0.6;           // lowest modeled supply
+  double rate_at_vmin = 1e-3;  // upsets per instruction at vmin
+  double beta = 12.0;          // exponential steepness
+};
+
+class VddModel {
+ public:
+  explicit VddModel(const VddModelConfig& cfg = {}) : cfg_(cfg) {}
+
+  /// Expected upsets per instruction at the given supply voltage.
+  [[nodiscard]] double error_rate(double vdd) const noexcept;
+
+  /// Relative dynamic power vs nominal (~ Vdd^2).
+  [[nodiscard]] double relative_power(double vdd) const noexcept;
+
+  /// Sample a fault configuration for a kernel of `kernel_insts`
+  /// instructions at supply `vdd`: Poisson-many uniform SEUs.
+  [[nodiscard]] std::vector<Fault> sample_faults(util::Rng& rng, double vdd,
+                                                 std::uint64_t kernel_insts) const;
+
+  [[nodiscard]] const VddModelConfig& config() const noexcept { return cfg_; }
+
+ private:
+  VddModelConfig cfg_;
+};
+
+}  // namespace gemfi::fi

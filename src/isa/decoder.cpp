@@ -1,0 +1,359 @@
+#include "isa/decoder.hpp"
+
+#include "isa/registers.hpp"
+
+namespace gemfi::isa {
+
+namespace {
+
+bool valid_inta(unsigned f) {
+  switch (static_cast<IntaFunc>(f)) {
+    case IntaFunc::ADDL:
+    case IntaFunc::S4ADDQ:
+    case IntaFunc::SUBL:
+    case IntaFunc::S8ADDQ:
+    case IntaFunc::ADDQ:
+    case IntaFunc::SUBQ:
+    case IntaFunc::CMPULT:
+    case IntaFunc::CMPEQ:
+    case IntaFunc::CMPULE:
+    case IntaFunc::CMPLT:
+    case IntaFunc::CMPLE:
+      return true;
+  }
+  return false;
+}
+
+bool valid_intl(unsigned f) {
+  switch (static_cast<IntlFunc>(f)) {
+    case IntlFunc::AND:
+    case IntlFunc::BIC:
+    case IntlFunc::CMOVLBS:
+    case IntlFunc::CMOVLBC:
+    case IntlFunc::BIS:
+    case IntlFunc::CMOVEQ:
+    case IntlFunc::CMOVNE:
+    case IntlFunc::ORNOT:
+    case IntlFunc::XOR:
+    case IntlFunc::CMOVLT:
+    case IntlFunc::CMOVGE:
+    case IntlFunc::EQV:
+    case IntlFunc::CMOVLE:
+    case IntlFunc::CMOVGT:
+      return true;
+  }
+  return false;
+}
+
+bool valid_ints(unsigned f) {
+  switch (static_cast<IntsFunc>(f)) {
+    case IntsFunc::SRL:
+    case IntsFunc::SLL:
+    case IntsFunc::SRA:
+      return true;
+  }
+  return false;
+}
+
+bool valid_intm(unsigned f) {
+  switch (static_cast<IntmFunc>(f)) {
+    case IntmFunc::MULL:
+    case IntmFunc::MULQ:
+    case IntmFunc::UMULH:
+    case IntmFunc::DIVQ:
+    case IntmFunc::REMQ:
+      return true;
+  }
+  return false;
+}
+
+bool valid_flti(unsigned f) {
+  switch (static_cast<FltiFunc>(f)) {
+    case FltiFunc::ADDT:
+    case FltiFunc::SUBT:
+    case FltiFunc::MULT:
+    case FltiFunc::DIVT:
+    case FltiFunc::CMPTUN:
+    case FltiFunc::CMPTEQ:
+    case FltiFunc::CMPTLT:
+    case FltiFunc::CMPTLE:
+    case FltiFunc::SQRTT:
+    case FltiFunc::CVTTQ:
+    case FltiFunc::CVTQT:
+      return true;
+  }
+  return false;
+}
+
+bool valid_fltl(unsigned f) {
+  switch (static_cast<FltlFunc>(f)) {
+    case FltlFunc::CPYS:
+    case FltlFunc::CPYSN:
+    case FltlFunc::FCMOVEQ:
+    case FltlFunc::FCMOVNE:
+      return true;
+  }
+  return false;
+}
+
+bool is_cmov(unsigned f) {
+  switch (static_cast<IntlFunc>(f)) {
+    case IntlFunc::CMOVLBS:
+    case IntlFunc::CMOVLBC:
+    case IntlFunc::CMOVEQ:
+    case IntlFunc::CMOVNE:
+    case IntlFunc::CMOVLT:
+    case IntlFunc::CMOVGE:
+    case IntlFunc::CMOVLE:
+    case IntlFunc::CMOVGT:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+Format format_of(Opcode op) noexcept {
+  switch (op) {
+    case Opcode::CALL_PAL:
+    case Opcode::PSEUDO:
+      return Format::PalCode;
+    case Opcode::LDA:
+    case Opcode::LDAH:
+    case Opcode::JMP:
+    case Opcode::LDS:
+    case Opcode::LDT:
+    case Opcode::STS:
+    case Opcode::STT:
+    case Opcode::LDL:
+    case Opcode::LDQ:
+    case Opcode::STL:
+    case Opcode::STQ:
+      return Format::Memory;
+    case Opcode::INTA:
+    case Opcode::INTL:
+    case Opcode::INTS:
+    case Opcode::INTM:
+      return Format::Operate;
+    case Opcode::ITOF:
+    case Opcode::FLTI:
+    case Opcode::FLTL:
+    case Opcode::FTOI:
+      return Format::FpOperate;
+    case Opcode::BR:
+    case Opcode::FBEQ:
+    case Opcode::FBLT:
+    case Opcode::FBLE:
+    case Opcode::BSR:
+    case Opcode::FBNE:
+    case Opcode::FBGE:
+    case Opcode::FBGT:
+    case Opcode::BLBC:
+    case Opcode::BEQ:
+    case Opcode::BLT:
+    case Opcode::BLE:
+    case Opcode::BLBS:
+    case Opcode::BNE:
+    case Opcode::BGE:
+    case Opcode::BGT:
+      return Format::Branch;
+  }
+  return Format::Unknown;
+}
+
+unsigned Decoded::mem_bytes() const noexcept {
+  switch (opcode) {
+    case Opcode::LDL:
+    case Opcode::STL:
+    case Opcode::LDS:
+    case Opcode::STS:
+      return 4;
+    case Opcode::LDQ:
+    case Opcode::STQ:
+    case Opcode::LDT:
+    case Opcode::STT:
+      return 8;
+    default:
+      return 0;
+  }
+}
+
+Decoded decode(Word w) noexcept {
+  Decoded d;
+  d.raw = w;
+  const unsigned opnum = field_opcode(w);
+  d.opcode = static_cast<Opcode>(opnum);
+  d.format = format_of(d.opcode);
+  d.ra = std::uint8_t(field_ra(w));
+  d.rb = std::uint8_t(field_rb(w));
+  d.rc = std::uint8_t(field_rc(w));
+
+  switch (d.format) {
+    case Format::PalCode: {
+      d.palcode = field_palcode(w);
+      if (d.opcode == Opcode::CALL_PAL) {
+        d.klass = InstClass::Pal;
+        d.valid = d.palcode == std::uint32_t(PalFunc::HALT) ||
+                  d.palcode == std::uint32_t(PalFunc::CALLSYS);
+      } else {  // PSEUDO
+        d.klass = InstClass::Pseudo;
+        d.valid = d.palcode <= std::uint32_t(PseudoFunc::YIELD);
+        // Pseudo-ops consume a0 (and f16 for PRINT_FP) and some write v0.
+        d.src1 = kRegA0;
+        if (d.palcode == std::uint32_t(PseudoFunc::GET_INSTRET)) d.dst = kRegV0;
+      }
+      break;
+    }
+
+    case Format::Branch: {
+      d.disp = field_branch_disp(w);
+      const bool fp_branch = d.opcode == Opcode::FBEQ || d.opcode == Opcode::FBLT ||
+                             d.opcode == Opcode::FBLE || d.opcode == Opcode::FBNE ||
+                             d.opcode == Opcode::FBGE || d.opcode == Opcode::FBGT;
+      if (d.opcode == Opcode::BR || d.opcode == Opcode::BSR) {
+        d.klass = InstClass::Br;
+        d.dst = d.ra;  // Ra <- PC + 4 (link); BR conventionally uses Ra = R31
+      } else {
+        d.klass = InstClass::CondBranch;
+        d.src1 = d.ra;
+        d.src1_fp = fp_branch;
+      }
+      d.valid = true;
+      break;
+    }
+
+    case Format::Memory: {
+      d.disp = field_mem_disp(w);
+      d.valid = true;
+      switch (d.opcode) {
+        case Opcode::LDA:
+        case Opcode::LDAH:
+          d.klass = InstClass::Lda;
+          d.dst = d.ra;
+          d.src1 = d.rb;
+          break;
+        case Opcode::JMP:
+          d.klass = InstClass::Jump;
+          d.dst = d.ra;   // link register
+          d.src1 = d.rb;  // target
+          break;
+        case Opcode::LDL:
+        case Opcode::LDQ:
+          d.klass = InstClass::Load;
+          d.dst = d.ra;
+          d.src1 = d.rb;
+          break;
+        case Opcode::LDS:
+        case Opcode::LDT:
+          d.klass = InstClass::FpLoad;
+          d.dst = d.ra;
+          d.dst_fp = true;
+          d.src1 = d.rb;
+          break;
+        case Opcode::STL:
+        case Opcode::STQ:
+          d.klass = InstClass::Store;
+          d.src1 = d.rb;  // base
+          d.src2 = d.ra;  // value
+          break;
+        case Opcode::STS:
+        case Opcode::STT:
+          d.klass = InstClass::FpStore;
+          d.src1 = d.rb;
+          d.src2 = d.ra;
+          d.src2_fp = true;
+          break;
+        default:
+          d.valid = false;
+          d.klass = InstClass::Illegal;
+      }
+      break;
+    }
+
+    case Format::Operate: {
+      d.is_literal = field_is_literal(w);
+      d.literal = std::uint8_t(field_literal(w));
+      d.func = std::uint16_t(field_int_func(w));
+      d.klass = InstClass::IntOp;
+      d.src1 = d.ra;
+      if (!d.is_literal) d.src2 = d.rb;
+      d.dst = d.rc;
+      switch (d.opcode) {
+        case Opcode::INTA: d.valid = valid_inta(d.func); break;
+        case Opcode::INTL:
+          d.valid = valid_intl(d.func);
+          // CMOV also reads the old destination value.
+          break;
+        case Opcode::INTS: d.valid = valid_ints(d.func); break;
+        case Opcode::INTM: d.valid = valid_intm(d.func); break;
+        default: d.valid = false;
+      }
+      if (!d.valid) d.klass = InstClass::Illegal;
+      (void)is_cmov;  // CMOV dst-read handled in the execution engine
+      break;
+    }
+
+    case Format::FpOperate: {
+      d.func = std::uint16_t(field_fp_func(w));
+      switch (d.opcode) {
+        case Opcode::FLTI:
+          d.valid = valid_flti(d.func);
+          d.klass = InstClass::FpOp;
+          d.src1 = d.ra;
+          d.src1_fp = true;
+          d.src2 = d.rb;
+          d.src2_fp = true;
+          d.dst = d.rc;
+          d.dst_fp = true;
+          break;
+        case Opcode::FLTL:
+          d.valid = valid_fltl(d.func);
+          d.klass = InstClass::FpOp;
+          d.src1 = d.ra;
+          d.src1_fp = true;
+          d.src2 = d.rb;
+          d.src2_fp = true;
+          d.dst = d.rc;
+          d.dst_fp = true;
+          break;
+        case Opcode::ITOF:
+          d.valid = d.func == std::uint16_t(ItofFunc::ITOFT);
+          d.klass = InstClass::FpMove;
+          d.src1 = d.ra;  // integer source
+          d.dst = d.rc;
+          d.dst_fp = true;
+          break;
+        case Opcode::FTOI:
+          d.valid = d.func == std::uint16_t(FtoiFunc::FTOIT);
+          d.klass = InstClass::FpMove;
+          d.src1 = d.ra;
+          d.src1_fp = true;
+          d.dst = d.rc;
+          break;
+        default:
+          d.valid = false;
+      }
+      if (!d.valid) d.klass = InstClass::Illegal;
+      break;
+    }
+
+    case Format::Unknown:
+      d.valid = false;
+      d.klass = InstClass::Illegal;
+      break;
+  }
+
+  // Normalize "reads/writes the hardwired zero register" to "none" so the
+  // hazard logic and propagation tracker never see false dependencies.
+  if (d.src1 == kZeroReg && !d.src1_fp) d.src1 = 32;
+  if (d.src1 == kFpZeroReg && d.src1_fp) d.src1 = 32;
+  if (d.src2 == kZeroReg && !d.src2_fp) d.src2 = 32;
+  if (d.src2 == kFpZeroReg && d.src2_fp) d.src2 = 32;
+  if (d.dst == kZeroReg && !d.dst_fp) d.dst = 32;
+  if (d.dst == kFpZeroReg && d.dst_fp) d.dst = 32;
+
+  return d;
+}
+
+}  // namespace gemfi::isa

@@ -1,0 +1,244 @@
+#include "isa/disasm.hpp"
+
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+
+#include "isa/registers.hpp"
+
+namespace gemfi::isa {
+
+namespace {
+
+std::string fmt(const char* f, ...) __attribute__((format(printf, 1, 2)));
+std::string fmt(const char* f, ...) {
+  char buf[128];
+  va_list args;
+  va_start(args, f);
+  std::vsnprintf(buf, sizeof buf, f, args);
+  va_end(args);
+  return buf;
+}
+
+const char* inta_name(unsigned f) {
+  switch (static_cast<IntaFunc>(f)) {
+    case IntaFunc::ADDL: return "addl";
+    case IntaFunc::S4ADDQ: return "s4addq";
+    case IntaFunc::SUBL: return "subl";
+    case IntaFunc::S8ADDQ: return "s8addq";
+    case IntaFunc::ADDQ: return "addq";
+    case IntaFunc::SUBQ: return "subq";
+    case IntaFunc::CMPULT: return "cmpult";
+    case IntaFunc::CMPEQ: return "cmpeq";
+    case IntaFunc::CMPULE: return "cmpule";
+    case IntaFunc::CMPLT: return "cmplt";
+    case IntaFunc::CMPLE: return "cmple";
+  }
+  return "inta?";
+}
+
+const char* intl_name(unsigned f) {
+  switch (static_cast<IntlFunc>(f)) {
+    case IntlFunc::AND: return "and";
+    case IntlFunc::BIC: return "bic";
+    case IntlFunc::CMOVLBS: return "cmovlbs";
+    case IntlFunc::CMOVLBC: return "cmovlbc";
+    case IntlFunc::BIS: return "bis";
+    case IntlFunc::CMOVEQ: return "cmoveq";
+    case IntlFunc::CMOVNE: return "cmovne";
+    case IntlFunc::ORNOT: return "ornot";
+    case IntlFunc::XOR: return "xor";
+    case IntlFunc::CMOVLT: return "cmovlt";
+    case IntlFunc::CMOVGE: return "cmovge";
+    case IntlFunc::EQV: return "eqv";
+    case IntlFunc::CMOVLE: return "cmovle";
+    case IntlFunc::CMOVGT: return "cmovgt";
+  }
+  return "intl?";
+}
+
+const char* ints_name(unsigned f) {
+  switch (static_cast<IntsFunc>(f)) {
+    case IntsFunc::SRL: return "srl";
+    case IntsFunc::SLL: return "sll";
+    case IntsFunc::SRA: return "sra";
+  }
+  return "ints?";
+}
+
+const char* intm_name(unsigned f) {
+  switch (static_cast<IntmFunc>(f)) {
+    case IntmFunc::MULL: return "mull";
+    case IntmFunc::MULQ: return "mulq";
+    case IntmFunc::UMULH: return "umulh";
+    case IntmFunc::DIVQ: return "divq";
+    case IntmFunc::REMQ: return "remq";
+  }
+  return "intm?";
+}
+
+const char* flti_name(unsigned f) {
+  switch (static_cast<FltiFunc>(f)) {
+    case FltiFunc::ADDT: return "addt";
+    case FltiFunc::SUBT: return "subt";
+    case FltiFunc::MULT: return "mult";
+    case FltiFunc::DIVT: return "divt";
+    case FltiFunc::CMPTUN: return "cmptun";
+    case FltiFunc::CMPTEQ: return "cmpteq";
+    case FltiFunc::CMPTLT: return "cmptlt";
+    case FltiFunc::CMPTLE: return "cmptle";
+    case FltiFunc::SQRTT: return "sqrtt";
+    case FltiFunc::CVTTQ: return "cvttq";
+    case FltiFunc::CVTQT: return "cvtqt";
+  }
+  return "flti?";
+}
+
+const char* fltl_name(unsigned f) {
+  switch (static_cast<FltlFunc>(f)) {
+    case FltlFunc::CPYS: return "cpys";
+    case FltlFunc::CPYSN: return "cpysn";
+    case FltlFunc::FCMOVEQ: return "fcmoveq";
+    case FltlFunc::FCMOVNE: return "fcmovne";
+  }
+  return "fltl?";
+}
+
+const char* branch_name(Opcode op) {
+  switch (op) {
+    case Opcode::BR: return "br";
+    case Opcode::BSR: return "bsr";
+    case Opcode::FBEQ: return "fbeq";
+    case Opcode::FBLT: return "fblt";
+    case Opcode::FBLE: return "fble";
+    case Opcode::FBNE: return "fbne";
+    case Opcode::FBGE: return "fbge";
+    case Opcode::FBGT: return "fbgt";
+    case Opcode::BLBC: return "blbc";
+    case Opcode::BEQ: return "beq";
+    case Opcode::BLT: return "blt";
+    case Opcode::BLE: return "ble";
+    case Opcode::BLBS: return "blbs";
+    case Opcode::BNE: return "bne";
+    case Opcode::BGE: return "bge";
+    case Opcode::BGT: return "bgt";
+    default: return "b?";
+  }
+}
+
+const char* mem_name(Opcode op) {
+  switch (op) {
+    case Opcode::LDA: return "lda";
+    case Opcode::LDAH: return "ldah";
+    case Opcode::LDL: return "ldl";
+    case Opcode::LDQ: return "ldq";
+    case Opcode::STL: return "stl";
+    case Opcode::STQ: return "stq";
+    case Opcode::LDS: return "lds";
+    case Opcode::LDT: return "ldt";
+    case Opcode::STS: return "sts";
+    case Opcode::STT: return "stt";
+    default: return "m?";
+  }
+}
+
+const char* pseudo_name(std::uint32_t n) {
+  switch (static_cast<PseudoFunc>(n)) {
+    case PseudoFunc::FI_ACTIVATE: return "fi_activate_inst";
+    case PseudoFunc::FI_READ_INIT: return "fi_read_init_all";
+    case PseudoFunc::EXIT: return "m5_exit";
+    case PseudoFunc::PRINT_CHAR: return "m5_print_char";
+    case PseudoFunc::PRINT_INT: return "m5_print_int";
+    case PseudoFunc::PRINT_FP: return "m5_print_fp";
+    case PseudoFunc::GET_INSTRET: return "m5_instret";
+    case PseudoFunc::YIELD: return "m5_yield";
+  }
+  return "pseudo?";
+}
+
+}  // namespace
+
+std::string mnemonic(const Decoded& d) {
+  if (!d.valid) return "<illegal>";
+  switch (d.format) {
+    case Format::PalCode:
+      if (d.opcode == Opcode::CALL_PAL)
+        return d.palcode == std::uint32_t(PalFunc::HALT) ? "call_pal halt" : "call_pal callsys";
+      return pseudo_name(d.palcode);
+    case Format::Branch:
+      return branch_name(d.opcode);
+    case Format::Memory:
+      if (d.opcode == Opcode::JMP) {
+        switch (static_cast<JumpKind>((d.disp >> 14) & 3)) {
+          case JumpKind::JMP: return "jmp";
+          case JumpKind::JSR: return "jsr";
+          case JumpKind::RET: return "ret";
+          case JumpKind::JSR_COROUTINE: return "jsr_coroutine";
+        }
+      }
+      return mem_name(d.opcode);
+    case Format::Operate:
+      switch (d.opcode) {
+        case Opcode::INTA: return inta_name(d.func);
+        case Opcode::INTL: return intl_name(d.func);
+        case Opcode::INTS: return ints_name(d.func);
+        case Opcode::INTM: return intm_name(d.func);
+        default: return "op?";
+      }
+    case Format::FpOperate:
+      switch (d.opcode) {
+        case Opcode::FLTI: return flti_name(d.func);
+        case Opcode::FLTL: return fltl_name(d.func);
+        case Opcode::ITOF: return "itoft";
+        case Opcode::FTOI: return "ftoit";
+        default: return "fop?";
+      }
+    case Format::Unknown:
+      break;
+  }
+  return "<illegal>";
+}
+
+std::string disassemble(const Decoded& d, std::uint64_t pc) {
+  if (!d.valid) return fmt("<illegal 0x%08x>", d.raw);
+  const std::string m = mnemonic(d);
+  switch (d.format) {
+    case Format::PalCode:
+      return m;
+    case Format::Branch: {
+      const std::uint64_t target = pc + 4 + 4 * std::int64_t(d.disp);
+      if (d.opcode == Opcode::BR || d.opcode == Opcode::BSR)
+        return fmt("%s %s, 0x%" PRIx64, m.c_str(), int_reg_name(d.ra).data(), target);
+      const bool fp = d.src1_fp;
+      return fmt("%s %s, 0x%" PRIx64, m.c_str(),
+                 fp ? fp_reg_name(d.ra).data() : int_reg_name(d.ra).data(), target);
+    }
+    case Format::Memory: {
+      if (d.opcode == Opcode::JMP)
+        return fmt("%s %s, (%s)", m.c_str(), int_reg_name(d.ra).data(),
+                   int_reg_name(d.rb).data());
+      const bool fp = d.klass == InstClass::FpLoad || d.klass == InstClass::FpStore;
+      return fmt("%s %s, %d(%s)", m.c_str(),
+                 fp ? fp_reg_name(d.ra).data() : int_reg_name(d.ra).data(), d.disp,
+                 int_reg_name(d.rb).data());
+    }
+    case Format::Operate:
+      if (d.is_literal)
+        return fmt("%s %s, 0x%x, %s", m.c_str(), int_reg_name(d.ra).data(), d.literal,
+                   int_reg_name(d.rc).data());
+      return fmt("%s %s, %s, %s", m.c_str(), int_reg_name(d.ra).data(),
+                 int_reg_name(d.rb).data(), int_reg_name(d.rc).data());
+    case Format::FpOperate:
+      if (d.opcode == Opcode::ITOF)
+        return fmt("%s %s, %s", m.c_str(), int_reg_name(d.ra).data(), fp_reg_name(d.rc).data());
+      if (d.opcode == Opcode::FTOI)
+        return fmt("%s %s, %s", m.c_str(), fp_reg_name(d.ra).data(), int_reg_name(d.rc).data());
+      return fmt("%s %s, %s, %s", m.c_str(), fp_reg_name(d.ra).data(),
+                 fp_reg_name(d.rb).data(), fp_reg_name(d.rc).data());
+    case Format::Unknown:
+      break;
+  }
+  return fmt("<illegal 0x%08x>", d.raw);
+}
+
+}  // namespace gemfi::isa

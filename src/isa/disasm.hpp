@@ -1,0 +1,19 @@
+// Disassembler. GemFI prints the affected assembly instruction whenever it
+// injects a fault (used post-mortem to correlate faults with outcomes,
+// Sec. IV-B); this module provides that rendering.
+#pragma once
+
+#include <string>
+
+#include "isa/decoder.hpp"
+
+namespace gemfi::isa {
+
+/// Mnemonic of a decoded instruction ("addq", "ldq", "beq", ...).
+std::string mnemonic(const Decoded& d);
+
+/// Full rendering, e.g. "addq t0, 0x8, t1" or "ldq a0, 16(sp)".
+/// `pc` is used to render branch targets as absolute addresses.
+std::string disassemble(const Decoded& d, std::uint64_t pc = 0);
+
+}  // namespace gemfi::isa

@@ -1,0 +1,94 @@
+// Instruction encodings — the five formats of the paper's Table I.
+//
+//   PALcode:  opcode[31:26] | palcode number[25:0]
+//   Branch:   opcode[31:26] | Ra[25:21] | branch displacement[20:0]
+//   Memory:   opcode[31:26] | Ra[25:21] | Rb[20:16] | displacement[15:0]
+//   Operate:  opcode[31:26] | Ra[25:21] | Rb[20:16] | SBZ[15:13] | 0[12] |
+//             function[11:5] | Rc[4:0]
+//   Operate/l:opcode[31:26] | Ra[25:21] | LIT[20:13] | 1[12] |
+//             function[11:5] | Rc[4:0]
+//   FP op:    opcode[31:26] | Fa[25:21] | Fb[20:16] | function[15:5] | Fc[4:0]
+//
+// Branch displacements are in instructions relative to the updated PC
+// (PC + 4 + 4*disp); memory displacements are in bytes.
+#pragma once
+
+#include <cstdint>
+
+#include "isa/opcodes.hpp"
+#include "util/bits.hpp"
+
+namespace gemfi::isa {
+
+using Word = std::uint32_t;  // all instructions are 32 bits
+
+inline constexpr unsigned kInstBytes = 4;
+
+enum class Format : std::uint8_t {
+  PalCode,
+  Branch,
+  Memory,
+  Operate,
+  FpOperate,
+  Unknown,
+};
+
+/// Which of Table I's formats a given opcode uses.
+Format format_of(Opcode op) noexcept;
+
+// ---- Field extraction (shared by decoder and fetch-fault analysis) ----
+
+constexpr unsigned field_opcode(Word w) noexcept { return unsigned(util::bits(w, 26, 6)); }
+constexpr unsigned field_ra(Word w) noexcept { return unsigned(util::bits(w, 21, 5)); }
+constexpr unsigned field_rb(Word w) noexcept { return unsigned(util::bits(w, 16, 5)); }
+constexpr unsigned field_rc(Word w) noexcept { return unsigned(util::bits(w, 0, 5)); }
+constexpr bool field_is_literal(Word w) noexcept { return util::get_bit(w, 12); }
+constexpr unsigned field_literal(Word w) noexcept { return unsigned(util::bits(w, 13, 8)); }
+constexpr unsigned field_int_func(Word w) noexcept { return unsigned(util::bits(w, 5, 7)); }
+constexpr unsigned field_fp_func(Word w) noexcept { return unsigned(util::bits(w, 5, 11)); }
+constexpr std::int32_t field_mem_disp(Word w) noexcept {
+  return std::int32_t(util::sign_extend(util::bits(w, 0, 16), 16));
+}
+constexpr std::int32_t field_branch_disp(Word w) noexcept {
+  return std::int32_t(util::sign_extend(util::bits(w, 0, 21), 21));
+}
+constexpr std::uint32_t field_palcode(Word w) noexcept { return std::uint32_t(util::bits(w, 0, 26)); }
+
+// ---- Encoders (used by the assembler and by encode/decode round-trip tests) ----
+
+constexpr Word encode_pal(Opcode op, std::uint32_t number) noexcept {
+  return (Word(op) << 26) | (number & 0x03ffffffu);
+}
+
+constexpr Word encode_branch(Opcode op, unsigned ra, std::int32_t disp) noexcept {
+  return (Word(op) << 26) | ((ra & 31u) << 21) | (std::uint32_t(disp) & 0x001fffffu);
+}
+
+constexpr Word encode_mem(Opcode op, unsigned ra, unsigned rb, std::int32_t disp) noexcept {
+  return (Word(op) << 26) | ((ra & 31u) << 21) | ((rb & 31u) << 16) |
+         (std::uint32_t(disp) & 0xffffu);
+}
+
+constexpr Word encode_operate(Opcode op, unsigned func, unsigned ra, unsigned rb,
+                              unsigned rc) noexcept {
+  return (Word(op) << 26) | ((ra & 31u) << 21) | ((rb & 31u) << 16) |
+         ((func & 0x7fu) << 5) | (rc & 31u);
+}
+
+constexpr Word encode_operate_lit(Opcode op, unsigned func, unsigned ra, unsigned lit,
+                                  unsigned rc) noexcept {
+  return (Word(op) << 26) | ((ra & 31u) << 21) | ((lit & 0xffu) << 13) | (1u << 12) |
+         ((func & 0x7fu) << 5) | (rc & 31u);
+}
+
+constexpr Word encode_fp(Opcode op, unsigned func, unsigned fa, unsigned fb,
+                         unsigned fc) noexcept {
+  return (Word(op) << 26) | ((fa & 31u) << 21) | ((fb & 31u) << 16) |
+         ((func & 0x7ffu) << 5) | (fc & 31u);
+}
+
+constexpr Word encode_jump(JumpKind kind, unsigned ra, unsigned rb) noexcept {
+  return encode_mem(Opcode::JMP, ra, rb, std::int32_t(unsigned(kind) << 14));
+}
+
+}  // namespace gemfi::isa

@@ -1,0 +1,161 @@
+// Opcode and function-code assignments of the uAlpha ISA.
+//
+// Numbering follows the real DEC Alpha AXP architecture wherever we implement
+// the same instruction (so the fetch-stage fault analysis of the paper's
+// Sec. IV-B — which reasons about opcode/function/Ra/displacement bit fields —
+// carries over unchanged). Two documented deviations:
+//   * DIVQ/REMQ (INTM func 0x40/0x41): Alpha has no integer divide; guest
+//     kernels need one and emulating it in software would distort the
+//     instruction mix.
+//   * Opcode 0x01 hosts the GemFI/m5 pseudo-instruction space (fi_activate,
+//     fi_read_init_all, exit, prints), mirroring gem5's m5op mechanism.
+#pragma once
+
+#include <cstdint>
+
+namespace gemfi::isa {
+
+enum class Opcode : std::uint8_t {
+  CALL_PAL = 0x00,
+  PSEUDO = 0x01,  // GemFI / m5 pseudo-instruction space (PALcode format)
+  LDA = 0x08,
+  LDAH = 0x09,
+  INTA = 0x10,  // integer arithmetic group
+  INTL = 0x11,  // integer logical group
+  INTS = 0x12,  // integer shift group
+  INTM = 0x13,  // integer multiply (+ divide extension) group
+  ITOF = 0x14,  // integer -> FP register transfer group
+  FLTI = 0x16,  // IEEE floating-point operate group
+  FLTL = 0x17,  // FP copy-sign / datatype-independent group
+  JMP = 0x1A,   // memory-format jumps: JMP/JSR/RET/JSR_COROUTINE
+  FTOI = 0x1C,  // FP -> integer register transfer group
+  LDS = 0x22,
+  LDT = 0x23,
+  STS = 0x26,
+  STT = 0x27,
+  LDL = 0x28,
+  LDQ = 0x29,
+  STL = 0x2C,
+  STQ = 0x2D,
+  BR = 0x30,
+  FBEQ = 0x31,
+  FBLT = 0x32,
+  FBLE = 0x33,
+  BSR = 0x34,
+  FBNE = 0x35,
+  FBGE = 0x36,
+  FBGT = 0x37,
+  BLBC = 0x38,
+  BEQ = 0x39,
+  BLT = 0x3A,
+  BLE = 0x3B,
+  BLBS = 0x3C,
+  BNE = 0x3D,
+  BGE = 0x3E,
+  BGT = 0x3F,
+};
+
+// --- Function codes per operate group (7-bit for integer, 11-bit for FP) ---
+
+enum class IntaFunc : std::uint8_t {
+  ADDL = 0x00,
+  S4ADDQ = 0x22,
+  SUBL = 0x09,
+  S8ADDQ = 0x32,
+  ADDQ = 0x20,
+  SUBQ = 0x29,
+  CMPULT = 0x1D,
+  CMPEQ = 0x2D,
+  CMPULE = 0x3D,
+  CMPLT = 0x4D,
+  CMPLE = 0x6D,
+};
+
+enum class IntlFunc : std::uint8_t {
+  AND = 0x00,
+  BIC = 0x08,
+  CMOVLBS = 0x14,
+  CMOVLBC = 0x16,
+  BIS = 0x20,
+  CMOVEQ = 0x24,
+  CMOVNE = 0x26,
+  ORNOT = 0x28,
+  XOR = 0x40,
+  CMOVLT = 0x44,
+  CMOVGE = 0x46,
+  EQV = 0x48,
+  CMOVLE = 0x64,
+  CMOVGT = 0x66,
+};
+
+enum class IntsFunc : std::uint8_t {
+  SRL = 0x34,
+  SLL = 0x39,
+  SRA = 0x3C,
+};
+
+enum class IntmFunc : std::uint8_t {
+  MULL = 0x00,
+  MULQ = 0x20,
+  UMULH = 0x30,
+  DIVQ = 0x40,  // uAlpha extension (see header comment)
+  REMQ = 0x41,  // uAlpha extension
+};
+
+enum class FltiFunc : std::uint16_t {
+  ADDT = 0x0A0,
+  SUBT = 0x0A1,
+  MULT = 0x0A2,
+  DIVT = 0x0A3,
+  CMPTUN = 0x0A4,
+  CMPTEQ = 0x0A5,
+  CMPTLT = 0x0A6,
+  CMPTLE = 0x0A7,
+  SQRTT = 0x0AB,
+  CVTTQ = 0x0AF,  // double -> signed 64-bit integer (round toward zero)
+  CVTQT = 0x0BE,  // signed 64-bit integer -> double
+};
+
+enum class FltlFunc : std::uint16_t {
+  CPYS = 0x020,   // Fc = sign(Fa) | magnitude(Fb)
+  CPYSN = 0x021,  // Fc = ~sign(Fa) | magnitude(Fb)
+  FCMOVEQ = 0x02A,
+  FCMOVNE = 0x02B,
+};
+
+enum class ItofFunc : std::uint16_t {
+  ITOFT = 0x024,  // Fc = bit pattern of Ra
+};
+
+enum class FtoiFunc : std::uint16_t {
+  FTOIT = 0x070,  // Rc = bit pattern of Fa
+};
+
+/// Memory-format jump variants, selected by disp[15:14] as on real Alpha.
+enum class JumpKind : std::uint8_t {
+  JMP = 0,
+  JSR = 1,
+  RET = 2,
+  JSR_COROUTINE = 3,
+};
+
+/// CALL_PAL numbers (subset).
+enum class PalFunc : std::uint32_t {
+  HALT = 0x0000,
+  CALLSYS = 0x0083,
+};
+
+/// GemFI/m5 pseudo-instruction numbers, carried in the PALcode number field
+/// of opcode 0x01. These are the guest-visible API of the tool (Sec. III-A).
+enum class PseudoFunc : std::uint32_t {
+  FI_ACTIVATE = 0,    // fi_activate_inst(id): toggle FI for this thread; id in a0
+  FI_READ_INIT = 1,   // fi_read_init_all(): checkpoint + reset FI bookkeeping
+  EXIT = 2,           // m5_exit(code): terminate thread; code in a0
+  PRINT_CHAR = 3,     // emit low byte of a0 to the thread's output stream
+  PRINT_INT = 4,      // emit a0 as signed decimal
+  PRINT_FP = 5,       // emit f16 as %.17g
+  GET_INSTRET = 6,    // v0 = committed instruction count of this thread
+  YIELD = 7,          // voluntarily end the thread's scheduling quantum
+};
+
+}  // namespace gemfi::isa

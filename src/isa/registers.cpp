@@ -1,0 +1,28 @@
+#include "isa/registers.hpp"
+
+#include <array>
+
+namespace gemfi::isa {
+
+namespace {
+constexpr std::array<std::string_view, kNumIntRegs> kIntNames = {
+    "v0", "t0", "t1", "t2", "t3", "t4", "t5", "t6", "t7", "s0", "s1",
+    "s2", "s3", "s4", "s5", "fp", "a0", "a1", "a2", "a3", "a4", "a5",
+    "t8", "t9", "t10", "t11", "ra", "pv", "at", "gp", "sp", "zero"};
+
+constexpr std::array<std::string_view, kNumFpRegs> kFpNames = {
+    "f0",  "f1",  "f2",  "f3",  "f4",  "f5",  "f6",  "f7",
+    "f8",  "f9",  "f10", "f11", "f12", "f13", "f14", "f15",
+    "f16", "f17", "f18", "f19", "f20", "f21", "f22", "f23",
+    "f24", "f25", "f26", "f27", "f28", "f29", "f30", "f31"};
+}  // namespace
+
+std::string_view int_reg_name(unsigned r) noexcept {
+  return r < kNumIntRegs ? kIntNames[r] : "r?";
+}
+
+std::string_view fp_reg_name(unsigned r) noexcept {
+  return r < kNumFpRegs ? kFpNames[r] : "f?";
+}
+
+}  // namespace gemfi::isa

@@ -1,0 +1,38 @@
+// Register file layout and software conventions of the uAlpha ISA.
+//
+// Mirrors the DEC Alpha: 32 x 64-bit integer registers with R31 hardwired to
+// zero, 32 x 64-bit floating-point registers with F31 hardwired to +0.0, and
+// the standard OSF/1 calling convention roles (the paper's crash analysis in
+// Sec. IV-B leans on exactly these roles: gp/sp/ra corruption => crash).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace gemfi::isa {
+
+inline constexpr unsigned kNumIntRegs = 32;
+inline constexpr unsigned kNumFpRegs = 32;
+inline constexpr unsigned kZeroReg = 31;   // R31 reads as 0, writes discarded
+inline constexpr unsigned kFpZeroReg = 31; // F31 reads as +0.0
+
+// Software conventions (OSF/1 Alpha ABI).
+inline constexpr unsigned kRegV0 = 0;    // function return value
+inline constexpr unsigned kRegT0 = 1;    // first temporary (t0..t7 = R1..R8)
+inline constexpr unsigned kRegS0 = 9;    // first callee-saved (s0..s5 = R9..R14)
+inline constexpr unsigned kRegFP = 15;   // frame pointer (s6)
+inline constexpr unsigned kRegA0 = 16;   // first argument (a0..a5 = R16..R21)
+inline constexpr unsigned kRegT8 = 22;   // t8..t11 = R22..R25
+inline constexpr unsigned kRegRA = 26;   // return address
+inline constexpr unsigned kRegPV = 27;   // procedure value / t12
+inline constexpr unsigned kRegAT = 28;   // assembler temporary
+inline constexpr unsigned kRegGP = 29;   // global pointer
+inline constexpr unsigned kRegSP = 30;   // stack pointer
+
+/// Symbolic name of integer register r, e.g. "v0", "sp", "zero".
+std::string_view int_reg_name(unsigned r) noexcept;
+
+/// Symbolic name of FP register r, e.g. "f0", "f31".
+std::string_view fp_reg_name(unsigned r) noexcept;
+
+}  // namespace gemfi::isa

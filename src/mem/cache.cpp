@@ -1,0 +1,98 @@
+#include "mem/cache.hpp"
+
+#include <stdexcept>
+
+namespace gemfi::mem {
+
+namespace {
+bool is_pow2(std::uint64_t x) { return x != 0 && (x & (x - 1)) == 0; }
+}  // namespace
+
+Cache::Cache(const CacheConfig& cfg) : cfg_(cfg) {
+  if (!is_pow2(cfg.line_bytes) || cfg.ways == 0 || cfg.size_bytes == 0 ||
+      cfg.size_bytes % (cfg.line_bytes * cfg.ways) != 0)
+    throw std::invalid_argument("invalid cache geometry");
+  num_sets_ = cfg.size_bytes / (cfg.line_bytes * cfg.ways);
+  if (!is_pow2(num_sets_)) throw std::invalid_argument("cache sets must be a power of two");
+  lines_.resize(std::size_t(num_sets_) * cfg.ways);
+}
+
+Cache::AccessResult Cache::access(std::uint64_t addr, bool is_write) {
+  const std::uint64_t la = line_addr(addr);
+  const std::uint32_t set = std::uint32_t(la & (num_sets_ - 1));
+  const std::uint64_t tag = la >> __builtin_ctz(num_sets_);
+  Line* base = &lines_[std::size_t(set) * cfg_.ways];
+
+  Line* victim = base;
+  for (std::uint32_t w = 0; w < cfg_.ways; ++w) {
+    Line& line = base[w];
+    if (line.valid && line.tag == tag) {
+      line.lru = ++use_clock_;
+      line.dirty = line.dirty || is_write;
+      ++stats_.hits;
+      return {.hit = true, .writeback = false};
+    }
+    if (!line.valid) {
+      victim = &line;  // prefer an invalid way
+    } else if (victim->valid && line.lru < victim->lru) {
+      victim = &line;
+    }
+  }
+
+  ++stats_.misses;
+  const bool writeback = victim->valid && victim->dirty;
+  if (writeback) ++stats_.writebacks;
+  victim->valid = true;
+  victim->tag = tag;
+  victim->dirty = is_write;
+  victim->lru = ++use_clock_;
+  return {.hit = false, .writeback = writeback};
+}
+
+bool Cache::probe(std::uint64_t addr) const noexcept {
+  const std::uint64_t la = line_addr(addr);
+  const std::uint32_t set = std::uint32_t(la & (num_sets_ - 1));
+  const std::uint64_t tag = la >> __builtin_ctz(num_sets_);
+  const Line* base = &lines_[std::size_t(set) * cfg_.ways];
+  for (std::uint32_t w = 0; w < cfg_.ways; ++w)
+    if (base[w].valid && base[w].tag == tag) return true;
+  return false;
+}
+
+void Cache::flush() {
+  for (Line& line : lines_) {
+    if (line.valid && line.dirty) ++stats_.writebacks;
+    line = {};
+  }
+}
+
+void Cache::serialize(util::ByteWriter& w) const {
+  w.put_u64(use_clock_);
+  w.put_u64(lines_.size());
+  for (const Line& line : lines_) {
+    w.put_u64(line.tag);
+    w.put_bool(line.valid);
+    w.put_bool(line.dirty);
+    w.put_u64(line.lru);
+  }
+  w.put_u64(stats_.hits);
+  w.put_u64(stats_.misses);
+  w.put_u64(stats_.writebacks);
+}
+
+void Cache::deserialize(util::ByteReader& r) {
+  use_clock_ = r.get_u64();
+  const std::uint64_t n = r.get_u64();
+  if (n != lines_.size()) throw util::DeserializeError("cache geometry mismatch");
+  for (Line& line : lines_) {
+    line.tag = r.get_u64();
+    line.valid = r.get_bool();
+    line.dirty = r.get_bool();
+    line.lru = r.get_u64();
+  }
+  stats_.hits = r.get_u64();
+  stats_.misses = r.get_u64();
+  stats_.writebacks = r.get_u64();
+}
+
+}  // namespace gemfi::mem

@@ -1,0 +1,84 @@
+// Set-associative write-back, write-allocate cache timing model with true-LRU
+// replacement.
+//
+// The validation platform of the paper (Sec. IV) is a single-core Alpha with
+// split L1 I/D caches and a unified L2; this model provides those levels.
+// Caches here are *timing-only*: they track which lines are resident and
+// dirty and charge latencies, while data always lives in PhysMem. This keeps
+// fault injection on memory transactions exact (values are corrupted at the
+// CPU/memory boundary, not inside a cache data array we would then have to
+// keep coherent).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/bytesio.hpp"
+
+namespace gemfi::mem {
+
+struct CacheConfig {
+  std::uint32_t size_bytes = 32 * 1024;
+  std::uint32_t line_bytes = 64;
+  std::uint32_t ways = 4;
+  std::uint32_t hit_latency = 2;  // cycles charged on a hit
+  const char* name = "cache";
+};
+
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t writebacks = 0;
+
+  [[nodiscard]] std::uint64_t accesses() const noexcept { return hits + misses; }
+  [[nodiscard]] double miss_rate() const noexcept {
+    return accesses() == 0 ? 0.0 : double(misses) / double(accesses());
+  }
+};
+
+class Cache {
+ public:
+  explicit Cache(const CacheConfig& cfg);
+
+  struct AccessResult {
+    bool hit = false;
+    bool writeback = false;  // a dirty victim was evicted
+  };
+
+  /// Look up `addr`; on miss, allocate the line (evicting LRU). `is_write`
+  /// marks the line dirty. Purely a timing/state operation.
+  AccessResult access(std::uint64_t addr, bool is_write);
+
+  /// True if the line containing addr is resident (no state change).
+  [[nodiscard]] bool probe(std::uint64_t addr) const noexcept;
+
+  /// Drop all lines (counts dirty lines as writebacks).
+  void flush();
+
+  [[nodiscard]] const CacheStats& stats() const noexcept { return stats_; }
+  void reset_stats() noexcept { stats_ = {}; }
+  [[nodiscard]] const CacheConfig& config() const noexcept { return cfg_; }
+
+  void serialize(util::ByteWriter& w) const;
+  void deserialize(util::ByteReader& r);
+
+ private:
+  struct Line {
+    std::uint64_t tag = 0;
+    bool valid = false;
+    bool dirty = false;
+    std::uint64_t lru = 0;  // larger == more recently used
+  };
+
+  [[nodiscard]] std::uint64_t line_addr(std::uint64_t addr) const noexcept {
+    return addr / cfg_.line_bytes;
+  }
+
+  CacheConfig cfg_;
+  std::uint32_t num_sets_;
+  std::vector<Line> lines_;  // sets * ways, row-major by set
+  std::uint64_t use_clock_ = 0;
+  CacheStats stats_;
+};
+
+}  // namespace gemfi::mem

@@ -1,0 +1,78 @@
+#include "mem/memsys.hpp"
+
+namespace gemfi::mem {
+
+MemSystem::MemSystem(const MemSysConfig& cfg)
+    : cfg_(cfg), phys_(cfg.phys_bytes), l1i_(cfg.l1i), l1d_(cfg.l1d), l2_(cfg.l2) {}
+
+AccessError MemSystem::check(std::uint64_t addr, unsigned n, bool is_store) const noexcept {
+  if (addr < cfg_.null_guard) return AccessError::NullPage;
+  if (!phys_.in_bounds(addr, n)) return AccessError::OutOfBounds;
+  if (n != 1 && (addr & (n - 1)) != 0) return AccessError::Misaligned;
+  if (is_store && addr >= code_base_ && addr < code_end_) return AccessError::ReadOnly;
+  return AccessError::None;
+}
+
+AccessError MemSystem::read(std::uint64_t addr, unsigned n, std::uint64_t& out) const noexcept {
+  if (const AccessError e = check(addr, n, false); e != AccessError::None) return e;
+  return phys_.load(addr, n, out);
+}
+
+AccessError MemSystem::write(std::uint64_t addr, unsigned n, std::uint64_t value) noexcept {
+  if (const AccessError e = check(addr, n, true); e != AccessError::None) return e;
+  return phys_.store(addr, n, value);
+}
+
+AccessError MemSystem::fetch(std::uint64_t addr, std::uint32_t& word) const noexcept {
+  if (addr < cfg_.null_guard) return AccessError::NullPage;
+  std::uint64_t v = 0;
+  const AccessError e = phys_.load(addr, 4, v);
+  if (e != AccessError::None) return e;
+  word = std::uint32_t(v);
+  return AccessError::None;
+}
+
+std::uint32_t MemSystem::fetch_latency(std::uint64_t addr) {
+  std::uint32_t cycles = cfg_.l1i.hit_latency;
+  if (!l1i_.access(addr, false).hit) {
+    cycles += cfg_.l2.hit_latency;
+    if (!l2_.access(addr, false).hit) cycles += cfg_.dram_latency;
+  }
+  return cycles;
+}
+
+std::uint32_t MemSystem::data_latency(std::uint64_t addr, bool is_write) {
+  std::uint32_t cycles = cfg_.l1d.hit_latency;
+  const auto l1 = l1d_.access(addr, is_write);
+  if (!l1.hit) {
+    cycles += cfg_.l2.hit_latency;
+    if (!l2_.access(addr, is_write).hit) cycles += cfg_.dram_latency;
+  }
+  return cycles;
+}
+
+void MemSystem::reset_stats() noexcept {
+  l1i_.reset_stats();
+  l1d_.reset_stats();
+  l2_.reset_stats();
+}
+
+void MemSystem::serialize(util::ByteWriter& w) const {
+  phys_.serialize(w);
+  l1i_.serialize(w);
+  l1d_.serialize(w);
+  l2_.serialize(w);
+  w.put_u64(code_base_);
+  w.put_u64(code_end_);
+}
+
+void MemSystem::deserialize(util::ByteReader& r) {
+  phys_.deserialize(r);
+  l1i_.deserialize(r);
+  l1d_.deserialize(r);
+  l2_.deserialize(r);
+  code_base_ = r.get_u64();
+  code_end_ = r.get_u64();
+}
+
+}  // namespace gemfi::mem

@@ -1,0 +1,78 @@
+// The simulated machine's memory system: guest address-space policy +
+// PhysMem functional storage + L1I/L1D/L2 timing hierarchy.
+//
+// Address-space layout (set up by the program loader):
+//   [0, null_guard)            unmapped guard page  -> NullPage fault
+//   [code_base, code_end)      code, read/execute   -> ReadOnly on store
+//   [code_end, phys size)      data / heap / stack  -> read/write
+//
+// Timing: every instruction fetch probes L1I (then L2, then DRAM); every data
+// access probes L1D likewise. Atomic CPUs ignore the returned latencies but
+// still exercise the functional checks, matching gem5's atomic mode.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "mem/cache.hpp"
+#include "mem/physmem.hpp"
+
+namespace gemfi::mem {
+
+struct MemSysConfig {
+  std::uint64_t phys_bytes = 4ull * 1024 * 1024;
+  std::uint64_t null_guard = 0x1000;
+  CacheConfig l1i{.size_bytes = 16 * 1024, .line_bytes = 64, .ways = 2, .hit_latency = 1, .name = "l1i"};
+  CacheConfig l1d{.size_bytes = 16 * 1024, .line_bytes = 64, .ways = 2, .hit_latency = 2, .name = "l1d"};
+  CacheConfig l2{.size_bytes = 256 * 1024, .line_bytes = 64, .ways = 8, .hit_latency = 10, .name = "l2"};
+  std::uint32_t dram_latency = 60;  // cycles
+};
+
+class MemSystem {
+ public:
+  explicit MemSystem(const MemSysConfig& cfg = {});
+
+  PhysMem& phys() noexcept { return phys_; }
+  const PhysMem& phys() const noexcept { return phys_; }
+  const MemSysConfig& config() const noexcept { return cfg_; }
+
+  /// Mark the executable image region (stores there fault as ReadOnly).
+  void set_code_region(std::uint64_t base, std::uint64_t end) noexcept {
+    code_base_ = base;
+    code_end_ = end;
+  }
+  [[nodiscard]] std::uint64_t code_base() const noexcept { return code_base_; }
+  [[nodiscard]] std::uint64_t code_end() const noexcept { return code_end_; }
+
+  /// Address-space policy check shared by all access paths.
+  [[nodiscard]] AccessError check(std::uint64_t addr, unsigned n, bool is_store) const noexcept;
+
+  // --- Functional accesses (policy-checked) ---
+  AccessError read(std::uint64_t addr, unsigned n, std::uint64_t& out) const noexcept;
+  AccessError write(std::uint64_t addr, unsigned n, std::uint64_t value) noexcept;
+  /// Instruction fetch (32-bit), checked against bounds and alignment only.
+  AccessError fetch(std::uint64_t addr, std::uint32_t& word) const noexcept;
+
+  // --- Timing (cycles) for the timing/pipelined CPU models ---
+  std::uint32_t fetch_latency(std::uint64_t addr);
+  std::uint32_t data_latency(std::uint64_t addr, bool is_write);
+
+  [[nodiscard]] const CacheStats& l1i_stats() const noexcept { return l1i_.stats(); }
+  [[nodiscard]] const CacheStats& l1d_stats() const noexcept { return l1d_.stats(); }
+  [[nodiscard]] const CacheStats& l2_stats() const noexcept { return l2_.stats(); }
+  void reset_stats() noexcept;
+
+  void serialize(util::ByteWriter& w) const;
+  void deserialize(util::ByteReader& r);
+
+ private:
+  MemSysConfig cfg_;
+  PhysMem phys_;
+  Cache l1i_;
+  Cache l1d_;
+  Cache l2_;
+  std::uint64_t code_base_ = 0;
+  std::uint64_t code_end_ = 0;
+};
+
+}  // namespace gemfi::mem

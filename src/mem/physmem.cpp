@@ -1,0 +1,56 @@
+#include "mem/physmem.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace gemfi::mem {
+
+const char* access_error_name(AccessError e) noexcept {
+  switch (e) {
+    case AccessError::None: return "none";
+    case AccessError::OutOfBounds: return "out-of-bounds";
+    case AccessError::Misaligned: return "misaligned";
+    case AccessError::NullPage: return "null-page";
+    case AccessError::ReadOnly: return "read-only";
+  }
+  return "?";
+}
+
+AccessError PhysMem::load(std::uint64_t addr, unsigned n, std::uint64_t& out) const noexcept {
+  if (!in_bounds(addr, n)) return AccessError::OutOfBounds;
+  if (n != 1 && (addr & (n - 1)) != 0) return AccessError::Misaligned;
+  std::uint64_t v = 0;
+  std::memcpy(&v, bytes_.data() + addr, n);  // little-endian host assumed (tested)
+  out = v;
+  return AccessError::None;
+}
+
+AccessError PhysMem::store(std::uint64_t addr, unsigned n, std::uint64_t value) noexcept {
+  if (!in_bounds(addr, n)) return AccessError::OutOfBounds;
+  if (n != 1 && (addr & (n - 1)) != 0) return AccessError::Misaligned;
+  std::memcpy(bytes_.data() + addr, &value, n);
+  return AccessError::None;
+}
+
+void PhysMem::write_block(std::uint64_t addr, std::span<const std::uint8_t> data) {
+  if (!in_bounds(addr, data.size()))
+    throw std::out_of_range("PhysMem::write_block beyond memory");
+  std::memcpy(bytes_.data() + addr, data.data(), data.size());
+}
+
+void PhysMem::read_block(std::uint64_t addr, std::span<std::uint8_t> out) const {
+  if (!in_bounds(addr, out.size()))
+    throw std::out_of_range("PhysMem::read_block beyond memory");
+  std::memcpy(out.data(), bytes_.data() + addr, out.size());
+}
+
+void PhysMem::serialize(util::ByteWriter& w) const { w.put_blob(bytes_); }
+
+void PhysMem::deserialize(util::ByteReader& r) {
+  auto blob = r.get_blob();
+  if (blob.size() != bytes_.size())
+    throw util::DeserializeError("checkpoint memory size mismatch");
+  bytes_ = std::move(blob);
+}
+
+}  // namespace gemfi::mem

@@ -1,0 +1,61 @@
+// Flat, byte-addressable physical memory with checked accesses.
+//
+// Functional data lives here; the caches in cache.hpp model timing only
+// (a common and exactly-reproducible split also used by gem5's "classic"
+// memory system in atomic mode). All multi-byte accesses are little-endian.
+//
+// Every guest access is bounds- and alignment-checked: fault injection
+// produces wild addresses by design, and the simulator must convert them
+// into clean guest crashes (the paper's "Crashed" outcome class), never into
+// host UB.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/bytesio.hpp"
+
+namespace gemfi::mem {
+
+enum class AccessError : std::uint8_t {
+  None = 0,
+  OutOfBounds,   // beyond physical memory
+  Misaligned,    // natural alignment violated
+  NullPage,      // access inside the unmapped guard page at address 0
+  ReadOnly,      // store into the code segment
+};
+
+const char* access_error_name(AccessError e) noexcept;
+
+class PhysMem {
+ public:
+  explicit PhysMem(std::uint64_t size_bytes) : bytes_(size_bytes, 0) {}
+
+  [[nodiscard]] std::uint64_t size() const noexcept { return bytes_.size(); }
+
+  /// Raw unchecked view for loaders and checkpointing.
+  [[nodiscard]] std::span<const std::uint8_t> raw() const noexcept { return bytes_; }
+  [[nodiscard]] std::span<std::uint8_t> raw() noexcept { return bytes_; }
+
+  [[nodiscard]] bool in_bounds(std::uint64_t addr, std::uint64_t n) const noexcept {
+    return addr <= bytes_.size() && n <= bytes_.size() - addr;
+  }
+
+  // Checked typed accessors. On error the out-parameter is untouched and the
+  // error is returned; the CPU turns it into a trap.
+  AccessError load(std::uint64_t addr, unsigned n, std::uint64_t& out) const noexcept;
+  AccessError store(std::uint64_t addr, unsigned n, std::uint64_t value) noexcept;
+
+  /// Bulk copy used by program loading; caller guarantees bounds.
+  void write_block(std::uint64_t addr, std::span<const std::uint8_t> data);
+  void read_block(std::uint64_t addr, std::span<std::uint8_t> out) const;
+
+  void serialize(util::ByteWriter& w) const;
+  void deserialize(util::ByteReader& r);
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+};
+
+}  // namespace gemfi::mem

@@ -1,0 +1,87 @@
+#include "os/scheduler.hpp"
+
+#include <stdexcept>
+
+namespace gemfi::os {
+
+std::uint64_t Scheduler::add_thread(const cpu::ArchState& initial_ctx) {
+  Thread t;
+  t.tid = threads_.size();
+  t.pcb_addr = kPcbBase + t.tid * kPcbStride;
+  t.ctx = initial_ctx;
+  threads_.push_back(std::move(t));
+  return threads_.back().tid;
+}
+
+bool Scheduler::all_finished() const noexcept {
+  for (const Thread& t : threads_)
+    if (!t.finished) return false;
+  return true;
+}
+
+std::size_t Scheduler::runnable_count() const noexcept {
+  std::size_t n = 0;
+  for (const Thread& t : threads_)
+    if (!t.finished) ++n;
+  return n;
+}
+
+bool Scheduler::on_commit() {
+  if (current_ < 0) return false;
+  ++current().committed;
+  ++quantum_used_;
+  return quantum_used_ >= quantum_ && runnable_count() > 1;
+}
+
+void Scheduler::finish_current(int exit_code) {
+  if (current_ < 0) throw std::logic_error("no running thread to finish");
+  current().finished = true;
+  current().exit_code = exit_code;
+}
+
+ContextSwitchEvent Scheduler::switch_to_next(cpu::CpuModel& cpu) {
+  ContextSwitchEvent ev;
+  if (current_ >= 0) {
+    Thread& old = current();
+    ev.old_pcb = old.pcb_addr;
+    if (!old.finished) old.ctx = cpu.arch();  // save context
+  }
+
+  // Round-robin from the thread after the current one.
+  const std::size_t n = threads_.size();
+  if (n == 0) throw std::logic_error("no threads");
+  std::size_t start = current_ >= 0 ? std::size_t(current_ + 1) : 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t idx = (start + i) % n;
+    if (!threads_[idx].finished) {
+      current_ = std::int64_t(idx);
+      quantum_used_ = 0;
+      Thread& next = threads_[idx];
+      cpu.arch() = next.ctx;
+      cpu.flush_and_redirect(next.ctx.pc());
+      ev.new_pcb = next.pcb_addr;
+      ev.new_tid = next.tid;
+      return ev;
+    }
+  }
+  throw std::logic_error("switch_to_next with no runnable thread");
+}
+
+void Scheduler::serialize(util::ByteWriter& w) const {
+  w.put_u64(threads_.size());
+  for (const Thread& t : threads_) t.serialize(w);
+  w.put_i64(current_);
+  w.put_u64(quantum_);
+  w.put_u64(quantum_used_);
+}
+
+void Scheduler::deserialize(util::ByteReader& r) {
+  const std::uint64_t n = r.get_u64();
+  threads_.resize(n);
+  for (Thread& t : threads_) t.deserialize(r);
+  current_ = r.get_i64();
+  quantum_ = r.get_u64();
+  quantum_used_ = r.get_u64();
+}
+
+}  // namespace gemfi::os

@@ -1,0 +1,68 @@
+// Round-robin preemptive scheduler for the lightweight in-simulator kernel.
+//
+// One CPU, many threads. Preemption happens at commit boundaries after a
+// fixed instruction quantum (a stand-in for the timer interrupt of the
+// paper's full-system Linux); the simulation drains the pipeline and calls
+// switch_to(), which swaps architectural contexts and reports the PCB
+// transition so the fault-injection layer can re-bind its per-thread state —
+// the mechanism Sec. III-C of the paper describes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cpu/cpu_model.hpp"
+#include "os/thread.hpp"
+
+namespace gemfi::os {
+
+struct ContextSwitchEvent {
+  std::uint64_t old_pcb = 0;  // 0 when nothing was running
+  std::uint64_t new_pcb = 0;
+  std::uint64_t new_tid = 0;
+};
+
+class Scheduler {
+ public:
+  explicit Scheduler(std::uint64_t quantum_insts = 50000) : quantum_(quantum_insts) {}
+
+  /// Create a thread with the given initial context. Returns its tid.
+  std::uint64_t add_thread(const cpu::ArchState& initial_ctx);
+
+  [[nodiscard]] std::size_t thread_count() const noexcept { return threads_.size(); }
+  [[nodiscard]] Thread& thread(std::uint64_t tid) { return threads_.at(tid); }
+  [[nodiscard]] const Thread& thread(std::uint64_t tid) const { return threads_.at(tid); }
+
+  [[nodiscard]] bool has_current() const noexcept { return current_ >= 0; }
+  [[nodiscard]] Thread& current() { return threads_.at(std::size_t(current_)); }
+  [[nodiscard]] const Thread& current() const { return threads_.at(std::size_t(current_)); }
+
+  [[nodiscard]] bool all_finished() const noexcept;
+  [[nodiscard]] std::size_t runnable_count() const noexcept;
+
+  /// Account one committed instruction of the running thread; true when the
+  /// quantum is exhausted (time to preempt) and another thread is runnable.
+  bool on_commit();
+
+  /// Force the current quantum to end (YIELD pseudo-op).
+  void yield() noexcept { quantum_used_ = quantum_; }
+
+  /// Mark the running thread finished (EXIT pseudo-op / trap).
+  void finish_current(int exit_code);
+
+  /// Swap out the current thread (saving `cpu.arch()`), pick the next
+  /// runnable one round-robin, load its context into the CPU and redirect
+  /// fetch. Returns the PCB transition. Requires cpu.quiesced().
+  ContextSwitchEvent switch_to_next(cpu::CpuModel& cpu);
+
+  void serialize(util::ByteWriter& w) const;
+  void deserialize(util::ByteReader& r);
+
+ private:
+  std::vector<Thread> threads_;
+  std::int64_t current_ = -1;
+  std::uint64_t quantum_;
+  std::uint64_t quantum_used_ = 0;
+};
+
+}  // namespace gemfi::os

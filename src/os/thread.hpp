@@ -1,0 +1,53 @@
+// Guest threads.
+//
+// The paper runs applications under a full Linux kernel on gem5 and
+// identifies threads "at the hardware/simulator level by their unique
+// Process Control Block (PCB) address", re-binding fault-injection state on
+// every context switch. Our lightweight kernel reproduces exactly that
+// contract: every thread has a distinct PCB address, and the scheduler
+// announces PCB changes to whoever subscribes (the FaultManager).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "cpu/arch_state.hpp"
+
+namespace gemfi::os {
+
+/// Base of the fake kernel PCB region; PCB addresses only need to be unique,
+/// stable identifiers (they are never dereferenced by the simulator).
+inline constexpr std::uint64_t kPcbBase = 0xfffff00000000000ull;
+inline constexpr std::uint64_t kPcbStride = 0x180;
+
+struct Thread {
+  std::uint64_t tid = 0;       // kernel thread id (creation order)
+  std::uint64_t pcb_addr = 0;  // unique PCB address (GemFI's thread identity)
+  cpu::ArchState ctx;          // saved context while descheduled
+  bool finished = false;
+  int exit_code = 0;
+  std::string output;          // bytes emitted via the print pseudo-ops
+  std::uint64_t committed = 0; // committed instruction count
+
+  void serialize(util::ByteWriter& w) const {
+    w.put_u64(tid);
+    w.put_u64(pcb_addr);
+    ctx.serialize(w);
+    w.put_bool(finished);
+    w.put_u64(std::uint64_t(std::int64_t(exit_code)));
+    w.put_string(output);
+    w.put_u64(committed);
+  }
+
+  void deserialize(util::ByteReader& r) {
+    tid = r.get_u64();
+    pcb_addr = r.get_u64();
+    ctx.deserialize(r);
+    finished = r.get_bool();
+    exit_code = int(std::int64_t(r.get_u64()));
+    output = r.get_string();
+    committed = r.get_u64();
+  }
+};
+
+}  // namespace gemfi::os

@@ -1,0 +1,302 @@
+#include "sim/simulation.hpp"
+
+#include <string>
+
+#include <cinttypes>
+#include <cstdio>
+#include <stdexcept>
+
+#include "util/log.hpp"
+
+namespace gemfi::sim {
+
+const char* cpu_kind_name(CpuKind k) noexcept {
+  switch (k) {
+    case CpuKind::AtomicSimple: return "atomic-simple";
+    case CpuKind::TimingSimple: return "timing-simple";
+    case CpuKind::Pipelined: return "pipelined";
+  }
+  return "?";
+}
+
+const char* exit_reason_name(ExitReason r) noexcept {
+  switch (r) {
+    case ExitReason::AllThreadsExited: return "all-threads-exited";
+    case ExitReason::Crashed: return "crashed";
+    case ExitReason::Watchdog: return "watchdog";
+    case ExitReason::TickLimit: return "tick-limit";
+  }
+  return "?";
+}
+
+Simulation::Simulation(SimConfig cfg, const assembler::Program& program)
+    : cfg_(cfg), program_(program), ms_(cfg.mem), sched_(cfg.quantum_insts) {
+  program_.load_into(ms_);
+  next_stack_top_ = ms_.phys().size() & ~15ull;
+  make_cpu(cfg_.cpu);
+}
+
+void Simulation::make_cpu(CpuKind kind) {
+  cpu::ArchState saved;
+  const bool had = cpu_ != nullptr;
+  if (had) saved = cpu_->arch();
+  switch (kind) {
+    case CpuKind::AtomicSimple:
+      cpu_ = std::make_unique<cpu::SimpleCpu>(ms_, /*timing=*/false);
+      break;
+    case CpuKind::TimingSimple:
+      cpu_ = std::make_unique<cpu::SimpleCpu>(ms_, /*timing=*/true);
+      break;
+    case CpuKind::Pipelined:
+      cpu_ = std::make_unique<cpu::PipelinedCpu>(ms_, cfg_.predictor);
+      break;
+  }
+  active_cpu_ = kind;
+  if (cfg_.fi_enabled) cpu_->set_hooks(&fm_);
+  if (had) {
+    cpu_->arch() = saved;
+    cpu_->flush_and_redirect(saved.pc());
+  }
+}
+
+std::uint64_t Simulation::spawn_thread(std::uint64_t entry,
+                                       std::initializer_list<std::uint64_t> args) {
+  if (args.size() > 6) throw std::invalid_argument("at most 6 thread arguments");
+  cpu::ArchState ctx;
+  ctx.set_pc(entry);
+  ctx.set_ireg(isa::kRegGP, program_.data_base());
+  if (next_stack_top_ < cfg_.stack_bytes + program_.heap_base())
+    throw std::runtime_error("out of stack space for new thread");
+  ctx.set_ireg(isa::kRegSP, next_stack_top_);
+  next_stack_top_ -= cfg_.stack_bytes;
+  unsigned argreg = isa::kRegA0;
+  for (const std::uint64_t a : args) ctx.set_ireg(argreg++, a);
+  return sched_.add_thread(ctx);
+}
+
+std::uint64_t Simulation::spawn_main_thread(std::initializer_list<std::uint64_t> args) {
+  return spawn_thread(program_.entry, args);
+}
+
+std::uint64_t Simulation::total_committed() const noexcept {
+  std::uint64_t total = 0;
+  for (std::uint64_t tid = 0; tid < sched_.thread_count(); ++tid)
+    total += sched_.thread(tid).committed;
+  return total;
+}
+
+void Simulation::ensure_thread_scheduled() {
+  if (!sched_.has_current() && !sched_.all_finished()) perform_context_switch();
+}
+
+void Simulation::perform_context_switch() {
+  const os::ContextSwitchEvent ev = sched_.switch_to_next(*cpu_);
+  if (cfg_.fi_enabled) fm_.on_context_switch(ev.new_pcb);
+  cpu_->set_fetch_enabled(true);
+  GEMFI_DEBUG("sim", "context switch -> tid=%" PRIu64 " pcb=0x%" PRIx64, ev.new_tid,
+              ev.new_pcb);
+}
+
+void Simulation::dispatch_pseudo(const cpu::CommitEvent& ev) {
+  using isa::PseudoFunc;
+  if (ev.d.klass == isa::InstClass::Pal) return;  // CALLSYS: reserved, no-op
+
+  os::Thread& t = sched_.current();
+  const std::uint64_t a0 = cpu_->arch().ireg(isa::kRegA0);
+  switch (static_cast<PseudoFunc>(ev.d.palcode)) {
+    case PseudoFunc::FI_ACTIVATE:
+      if (cfg_.fi_enabled) fm_.on_fi_activate(t.pcb_addr, int(std::int64_t(a0)));
+      break;
+    case PseudoFunc::FI_READ_INIT:
+      if (checkpoint_handler_) checkpoint_handler_(*this);
+      break;
+    case PseudoFunc::EXIT:
+      sched_.finish_current(int(std::int64_t(a0)));
+      break;
+    case PseudoFunc::PRINT_CHAR:
+      t.output.push_back(char(a0 & 0xff));
+      break;
+    case PseudoFunc::PRINT_INT: {
+      char buf[32];
+      std::snprintf(buf, sizeof buf, "%" PRId64, std::int64_t(a0));
+      t.output += buf;
+      break;
+    }
+    case PseudoFunc::PRINT_FP: {
+      char buf[40];
+      std::snprintf(buf, sizeof buf, "%.17g", cpu_->arch().freg(isa::kRegA0));
+      t.output += buf;
+      break;
+    }
+    case PseudoFunc::GET_INSTRET:
+      cpu_->arch().set_ireg(isa::kRegV0, t.committed);
+      break;
+    case PseudoFunc::YIELD:
+      sched_.yield();
+      break;
+  }
+}
+
+RunResult Simulation::run(std::uint64_t watchdog_ticks) {
+  RunResult result;
+  const std::uint64_t deadline = watchdog_ticks == 0 ? ~0ull : tick_ + watchdog_ticks;
+
+  ensure_thread_scheduled();
+
+  while (!sched_.all_finished()) {
+    if (tick_ >= deadline) {
+      result.reason = ExitReason::Watchdog;
+      break;
+    }
+    ++tick_;
+
+    if (cfg_.fi_enabled) {
+      fm_.set_now(tick_);
+      // Direct faults mutate committed state between instructions; flush so
+      // in-flight instructions re-execute against the corrupted state (and
+      // so a corrupted PC redirects fetch).
+      if (fm_.has_direct_faults() && fm_.apply_direct_faults(cpu_->arch()))
+        cpu_->flush_and_redirect(cpu_->arch().pc());
+    }
+
+    const cpu::CycleResult cr = cpu_->cycle();
+    bool need_switch = false;
+
+    if (cr.commit) {
+      const cpu::CommitEvent& ev = *cr.commit;
+      if (ev.trap.pending()) {
+        if (ev.trap.kind == cpu::TrapKind::Halt) {
+          sched_.finish_current(0);
+          cpu_->flush_and_redirect(cpu_->arch().pc());
+          if (!sched_.all_finished()) perform_context_switch();
+          continue;
+        }
+        result.reason = ExitReason::Crashed;
+        result.trap = ev.trap;
+        result.crash_pc = ev.pc;
+        break;
+      }
+      if (ev.is_pseudo) {
+        // Pseudo-ops are serialized in ID; discard any speculative fetches
+        // beyond them so FI boundaries and checkpoints see a quiesced
+        // machine, then dispatch (fi_read_init_all may capture a checkpoint).
+        cpu_->flush_and_redirect(cpu_->arch().pc());
+        dispatch_pseudo(ev);
+        if (sched_.current().finished) {
+          if (!sched_.all_finished()) perform_context_switch();
+          continue;
+        }
+      }
+      if (sched_.on_commit()) need_switch = true;
+    }
+
+    if (need_switch) {
+      drain_for_switch_ = true;
+      cpu_->set_fetch_enabled(false);
+    }
+    if (drain_for_switch_ && cpu_->quiesced()) {
+      drain_for_switch_ = false;
+      perform_context_switch();
+    }
+
+    // Detailed -> atomic model switch once all transient faults resolved.
+    if (!mode_switch_done_ && cfg_.switch_to_atomic_after_fault &&
+        active_cpu_ == CpuKind::Pipelined && cfg_.fi_enabled && !fm_.states().empty() &&
+        fm_.safe_to_switch_cpu()) {
+      cpu_->set_fetch_enabled(false);
+      if (cpu_->quiesced()) {
+        make_cpu(CpuKind::AtomicSimple);
+        mode_switch_done_ = true;
+        GEMFI_DEBUG("sim", "switched to atomic model at tick %" PRIu64, tick_);
+      }
+    }
+  }
+
+  if (sched_.all_finished()) result.reason = ExitReason::AllThreadsExited;
+  result.ticks = tick_;
+  result.committed = total_committed();
+  return result;
+}
+
+std::string Simulation::stats_report() const {
+  std::string out;
+  char line[160];
+  const auto put = [&](const char* name, std::uint64_t v) {
+    std::snprintf(line, sizeof line, "%-40s %20" PRIu64 "\n", name, v);
+    out += line;
+  };
+  const auto putf = [&](const char* name, double v) {
+    std::snprintf(line, sizeof line, "%-40s %20.6f\n", name, v);
+    out += line;
+  };
+
+  put("sim.ticks", tick_);
+  put("sim.insts", total_committed());
+  std::snprintf(line, sizeof line, "%-40s %20s\n", "cpu.model",
+                cpu_kind_name(active_cpu_));
+  out += line;
+  const cpu::CpuStats& cs = cpu_->stats();
+  put("cpu.ticks", cs.ticks);
+  put("cpu.committed", cs.committed);
+  put("cpu.fetched", cs.fetched);
+  put("cpu.squashed", cs.squashed);
+  putf("cpu.ipc", cs.ticks == 0 ? 0.0 : double(cs.committed) / double(cs.ticks));
+  if (const auto* pipe = dynamic_cast<const cpu::PipelinedCpu*>(cpu_.get())) {
+    const cpu::PredictorStats& ps = pipe->predictor().stats();
+    put("cpu.branch.lookups", ps.lookups);
+    put("cpu.branch.mispredicts", ps.mispredicts);
+    putf("cpu.branch.mispredict_rate",
+         ps.lookups == 0 ? 0.0 : double(ps.mispredicts) / double(ps.lookups));
+  }
+  const auto put_cache = [&](const char* name, const mem::CacheStats& st) {
+    std::string p = std::string("mem.") + name;
+    put((p + ".hits").c_str(), st.hits);
+    put((p + ".misses").c_str(), st.misses);
+    put((p + ".writebacks").c_str(), st.writebacks);
+    putf((p + ".miss_rate").c_str(), st.miss_rate());
+  };
+  put_cache("l1i", ms_.l1i_stats());
+  put_cache("l1d", ms_.l1d_stats());
+  put_cache("l2", ms_.l2_stats());
+  for (std::uint64_t tid = 0; tid < sched_.thread_count(); ++tid) {
+    const os::Thread& t = sched_.thread(tid);
+    char key[64];  // separate buffer: put() renders into `line`
+    std::snprintf(key, sizeof key, "thread.%" PRIu64 ".committed", tid);
+    put(key, t.committed);
+    std::snprintf(key, sizeof key, "thread.%" PRIu64 ".finished", tid);
+    put(key, t.finished ? 1 : 0);
+    std::snprintf(key, sizeof key, "thread.%" PRIu64 ".output_bytes", tid);
+    put(key, t.output.size());
+  }
+  return out;
+}
+
+void Simulation::serialize(util::ByteWriter& w) const {
+  w.put_u8(std::uint8_t(active_cpu_));
+  ms_.serialize(w);
+  cpu_->serialize(w);
+  sched_.serialize(w);
+  w.put_u64(tick_);
+  w.put_u64(next_stack_top_);
+  w.put_bool(mode_switch_done_);
+}
+
+void Simulation::deserialize(util::ByteReader& r) {
+  const auto kind = static_cast<CpuKind>(r.get_u8());
+  if (kind != active_cpu_) make_cpu(kind);
+  ms_.deserialize(r);
+  cpu_->deserialize(r);
+  sched_.deserialize(r);
+  tick_ = r.get_u64();
+  next_stack_top_ = r.get_u64();
+  mode_switch_done_ = r.get_bool();
+  drain_for_switch_ = false;
+  cpu_->flush_and_redirect(cpu_->arch().pc());
+  cpu_->set_fetch_enabled(true);
+  // Paper contract: restoring a checkpoint resets all GemFI bookkeeping so
+  // the fault configuration file can be re-read for a fresh experiment.
+  fm_.reset_campaign_state();
+  fm_.set_now(tick_);
+}
+
+}  // namespace gemfi::sim

@@ -1,0 +1,146 @@
+// Simulation: the full simulated system — memory hierarchy, one CPU (any of
+// the three models, switchable mid-run), the lightweight kernel, and the
+// GemFI fault-injection layer.
+//
+// The run loop implements the paper's methodology end to end:
+//   * pseudo-instructions dispatch here (fi_activate_inst toggles FI for the
+//     running thread keyed by its PCB; fi_read_init_all invokes the
+//     checkpoint handler);
+//   * context switches drain the pipeline, swap contexts and notify the
+//     FaultManager of the PCB change;
+//   * register/PC faults are applied at tick boundaries; a corrupted PC
+//     flushes and redirects the pipeline;
+//   * with switch_to_atomic_after_fault set, the simulation swaps the
+//     detailed (pipelined) model for the atomic one once every transient
+//     fault has committed or squashed — the campaign speed trick of
+//     Sec. IV-B-1;
+//   * any guest trap ends the run as a crash; a watchdog bounds runaway
+//     (e.g. fault-induced infinite-loop) executions.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "assembler/program.hpp"
+#include "cpu/atomic_cpu.hpp"
+#include "cpu/pipelined_cpu.hpp"
+#include "fi/fault_manager.hpp"
+#include "os/scheduler.hpp"
+
+namespace gemfi::sim {
+
+enum class CpuKind : std::uint8_t { AtomicSimple, TimingSimple, Pipelined };
+
+const char* cpu_kind_name(CpuKind k) noexcept;
+
+struct SimConfig {
+  CpuKind cpu = CpuKind::Pipelined;
+  mem::MemSysConfig mem;
+  cpu::PredictorConfig predictor;
+  std::uint64_t quantum_insts = 50000;   // preemption quantum
+  std::uint64_t stack_bytes = 256 * 1024;
+  bool fi_enabled = true;                // false = "unmodified gem5" baseline
+  bool switch_to_atomic_after_fault = false;
+};
+
+enum class ExitReason : std::uint8_t {
+  AllThreadsExited,
+  Crashed,
+  Watchdog,
+  TickLimit,  // run(max_ticks) budget exhausted without watchdog semantics
+};
+
+const char* exit_reason_name(ExitReason r) noexcept;
+
+struct RunResult {
+  ExitReason reason = ExitReason::AllThreadsExited;
+  cpu::TrapInfo trap;          // valid when reason == Crashed
+  std::uint64_t crash_pc = 0;
+  std::uint64_t ticks = 0;     // total simulated ticks so far
+  std::uint64_t committed = 0; // total committed instructions so far
+
+  [[nodiscard]] bool crashed() const noexcept { return reason == ExitReason::Crashed; }
+};
+
+class Simulation {
+ public:
+  Simulation(SimConfig cfg, const assembler::Program& program);
+
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
+  /// Create a guest thread at `entry` with up to 6 integer arguments in
+  /// a0..a5. Threads get disjoint stacks carved from the top of memory.
+  std::uint64_t spawn_thread(std::uint64_t entry, std::initializer_list<std::uint64_t> args = {});
+
+  /// Convenience: spawn a thread at the program's entry symbol.
+  std::uint64_t spawn_main_thread(std::initializer_list<std::uint64_t> args = {});
+
+  /// Run until all threads exit, a crash, or the tick budget is exhausted.
+  /// `watchdog_ticks` == 0 means "no limit".
+  RunResult run(std::uint64_t watchdog_ticks = 0);
+
+  /// Invoked when a guest executes fi_read_init_all() (checkpoint request).
+  using CheckpointHandler = std::function<void(Simulation&)>;
+  void set_checkpoint_handler(CheckpointHandler handler) {
+    checkpoint_handler_ = std::move(handler);
+  }
+
+  // --- component access ---
+  [[nodiscard]] fi::FaultManager& fault_manager() noexcept { return fm_; }
+  [[nodiscard]] const fi::FaultManager& fault_manager() const noexcept { return fm_; }
+  [[nodiscard]] os::Scheduler& scheduler() noexcept { return sched_; }
+  [[nodiscard]] const os::Scheduler& scheduler() const noexcept { return sched_; }
+  [[nodiscard]] mem::MemSystem& memsys() noexcept { return ms_; }
+  [[nodiscard]] cpu::CpuModel& cpu() noexcept { return *cpu_; }
+  [[nodiscard]] const cpu::CpuModel& cpu() const noexcept { return *cpu_; }
+  [[nodiscard]] const SimConfig& config() const noexcept { return cfg_; }
+  [[nodiscard]] const assembler::Program& program() const noexcept { return program_; }
+  [[nodiscard]] std::uint64_t now() const noexcept { return tick_; }
+  [[nodiscard]] CpuKind active_cpu_kind() const noexcept { return active_cpu_; }
+
+  /// Output of thread `tid` (bytes emitted through the print pseudo-ops).
+  [[nodiscard]] const std::string& output(std::uint64_t tid = 0) const {
+    return sched_.thread(tid).output;
+  }
+
+  /// Total committed instructions across all threads.
+  [[nodiscard]] std::uint64_t total_committed() const noexcept;
+
+  /// gem5-style statistics dump: simulation, CPU, branch-predictor, cache
+  /// and per-thread counters. The paper's Sec. IV-A validation compares
+  /// exactly this report between GemFI and the unmodified simulator ("the
+  /// statistical results provided by the simulator ... were identical").
+  [[nodiscard]] std::string stats_report() const;
+
+  // --- checkpoint plumbing (used by chkpt::Checkpoint) ---
+  /// Serialize full machine state. Requires a quiesced pipeline; run() only
+  /// invokes the checkpoint handler at such a boundary.
+  void serialize(util::ByteWriter& w) const;
+  /// Restore machine state. Fault-injection state is deliberately NOT part
+  /// of a checkpoint: per the paper, a restore re-arms the FaultManager so
+  /// one checkpoint can seed many differently-configured experiments.
+  void deserialize(util::ByteReader& r);
+
+ private:
+  void dispatch_pseudo(const cpu::CommitEvent& ev);
+  void make_cpu(CpuKind kind);
+  void ensure_thread_scheduled();
+  void perform_context_switch();
+
+  SimConfig cfg_;
+  assembler::Program program_;
+  mem::MemSystem ms_;
+  std::unique_ptr<cpu::CpuModel> cpu_;
+  CpuKind active_cpu_ = CpuKind::Pipelined;
+  os::Scheduler sched_;
+  fi::FaultManager fm_;
+  CheckpointHandler checkpoint_handler_;
+  std::uint64_t tick_ = 0;
+  std::uint64_t next_stack_top_ = 0;
+  bool drain_for_switch_ = false;
+  bool mode_switch_done_ = false;
+};
+
+}  // namespace gemfi::sim

@@ -1,0 +1,39 @@
+// Bit-manipulation helpers shared by the ISA encoder/decoder and the fault
+// injector (which corrupts values at specific bit positions).
+#pragma once
+
+#include <cstdint>
+
+namespace gemfi::util {
+
+/// Extract bits [lo, lo+width) of x (width <= 64).
+constexpr std::uint64_t bits(std::uint64_t x, unsigned lo, unsigned width) noexcept {
+  const std::uint64_t mask = width >= 64 ? ~0ull : ((1ull << width) - 1);
+  return (x >> lo) & mask;
+}
+
+/// Insert `value`'s low `width` bits into x at position lo.
+constexpr std::uint64_t insert_bits(std::uint64_t x, unsigned lo, unsigned width,
+                                    std::uint64_t value) noexcept {
+  const std::uint64_t mask = (width >= 64 ? ~0ull : ((1ull << width) - 1)) << lo;
+  return (x & ~mask) | ((value << lo) & mask);
+}
+
+/// Sign-extend the low `width` bits of x to 64 bits.
+constexpr std::int64_t sign_extend(std::uint64_t x, unsigned width) noexcept {
+  if (width == 0 || width >= 64) return static_cast<std::int64_t>(x);
+  const std::uint64_t sign_bit = 1ull << (width - 1);
+  const std::uint64_t mask = (1ull << width) - 1;
+  x &= mask;
+  return static_cast<std::int64_t>((x ^ sign_bit) - sign_bit);
+}
+
+constexpr std::uint64_t flip_bit(std::uint64_t x, unsigned bit) noexcept {
+  return bit >= 64 ? x : x ^ (1ull << bit);
+}
+
+constexpr bool get_bit(std::uint64_t x, unsigned bit) noexcept {
+  return bit < 64 && ((x >> bit) & 1ull) != 0;
+}
+
+}  // namespace gemfi::util

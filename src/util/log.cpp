@@ -1,0 +1,52 @@
+#include "util/log.hpp"
+
+#include <atomic>
+#include <cstdarg>
+#include <vector>
+
+namespace gemfi::util {
+
+namespace {
+std::atomic<int> g_level{static_cast<int>(LogLevel::Warn)};
+std::mutex g_sink_mutex;
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::Debug: return "DEBUG";
+    case LogLevel::Info: return "INFO";
+    case LogLevel::Warn: return "WARN";
+    case LogLevel::Error: return "ERROR";
+    case LogLevel::Off: return "OFF";
+  }
+  return "?";
+}
+}  // namespace
+
+LogLevel log_level() noexcept { return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed)); }
+
+void set_log_level(LogLevel level) noexcept { g_level.store(static_cast<int>(level), std::memory_order_relaxed); }
+
+void log_message(LogLevel level, const char* module, const std::string& text) {
+  std::lock_guard lock(g_sink_mutex);
+  std::fprintf(stderr, "[%s] %s: %s\n", level_name(level), module, text.c_str());
+}
+
+namespace detail {
+std::string format_args(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list copy;
+  va_copy(copy, args);
+  const int needed = std::vsnprintf(nullptr, 0, fmt, copy);
+  va_end(copy);
+  std::string out;
+  if (needed > 0) {
+    out.resize(static_cast<size_t>(needed));
+    std::vsnprintf(out.data(), out.size() + 1, fmt, args);
+  }
+  va_end(args);
+  return out;
+}
+}  // namespace detail
+
+}  // namespace gemfi::util

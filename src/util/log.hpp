@@ -1,0 +1,40 @@
+// Minimal leveled logger for the GemFI reproduction.
+//
+// The simulator is deterministic and single-threaded per Simulation instance,
+// but campaigns run many simulations concurrently, so the sink is guarded by
+// a mutex. Logging defaults to Warn so benches and tests stay quiet; flip to
+// Debug when chasing a guest program or injector bug.
+#pragma once
+
+#include <cstdio>
+#include <mutex>
+#include <string>
+
+namespace gemfi::util {
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+/// Global log threshold. Messages below this level are discarded.
+LogLevel log_level() noexcept;
+void set_log_level(LogLevel level) noexcept;
+
+/// printf-style logging entry point; prefer the GEMFI_LOG_* macros.
+void log_message(LogLevel level, const char* module, const std::string& text);
+
+namespace detail {
+std::string format_args(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+}  // namespace detail
+
+}  // namespace gemfi::util
+
+#define GEMFI_LOG(level, module, ...)                                        \
+  do {                                                                       \
+    if (static_cast<int>(level) >= static_cast<int>(::gemfi::util::log_level())) \
+      ::gemfi::util::log_message(level, module,                              \
+                                 ::gemfi::util::detail::format_args(__VA_ARGS__)); \
+  } while (0)
+
+#define GEMFI_DEBUG(module, ...) GEMFI_LOG(::gemfi::util::LogLevel::Debug, module, __VA_ARGS__)
+#define GEMFI_INFO(module, ...) GEMFI_LOG(::gemfi::util::LogLevel::Info, module, __VA_ARGS__)
+#define GEMFI_WARN(module, ...) GEMFI_LOG(::gemfi::util::LogLevel::Warn, module, __VA_ARGS__)
+#define GEMFI_ERROR(module, ...) GEMFI_LOG(::gemfi::util::LogLevel::Error, module, __VA_ARGS__)

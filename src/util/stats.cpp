@@ -1,0 +1,113 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gemfi::util {
+
+Summary summarize(std::span<const double> sample) {
+  Summary s;
+  s.count = sample.size();
+  if (sample.empty()) return s;
+  s.min = sample[0];
+  s.max = sample[0];
+  double sum = 0.0;
+  for (double v : sample) {
+    sum += v;
+    s.min = std::min(s.min, v);
+    s.max = std::max(s.max, v);
+  }
+  s.mean = sum / static_cast<double>(s.count);
+  if (s.count > 1) {
+    double sq = 0.0;
+    for (double v : sample) {
+      const double d = v - s.mean;
+      sq += d * d;
+    }
+    s.variance = sq / static_cast<double>(s.count - 1);
+    s.stddev = std::sqrt(s.variance);
+  }
+  return s;
+}
+
+namespace {
+
+// Inverse CDF of the standard normal (Acklam's rational approximation).
+double normal_quantile(double p) {
+  static constexpr double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                                 -2.759285104469687e+02, 1.383577518672690e+02,
+                                 -3.066479806614716e+01, 2.506628277459239e+00};
+  static constexpr double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                                 -1.556989798598866e+02, 6.680131188771972e+01,
+                                 -1.328068155288572e+01};
+  static constexpr double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                                 -2.400758277161838e+00, -2.549732539343734e+00,
+                                 4.374664141464968e+00,  2.938163982698783e+00};
+  static constexpr double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                                 2.445134137142996e+00, 3.754408661907416e+00};
+  const double plow = 0.02425;
+  if (p <= 0.0) return -HUGE_VAL;
+  if (p >= 1.0) return HUGE_VAL;
+  if (p < plow) {
+    const double q = std::sqrt(-2 * std::log(p));
+    return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1);
+  }
+  if (p > 1 - plow) {
+    const double q = std::sqrt(-2 * std::log(1 - p));
+    return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1);
+  }
+  const double q = p - 0.5;
+  const double r = q * q;
+  return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) * q /
+         (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1);
+}
+
+}  // namespace
+
+double normal_critical(double confidence) {
+  return normal_quantile(0.5 + confidence / 2.0);
+}
+
+double student_t_critical(std::size_t df, double confidence) {
+  if (df == 0) return HUGE_VAL;
+  // Cornish-Fisher style expansion of the t quantile around the normal one;
+  // accurate to ~1e-3 for df >= 3 which is ample for CI error bars.
+  const double z = normal_critical(confidence);
+  const double z3 = z * z * z;
+  const double z5 = z3 * z * z;
+  const double z7 = z5 * z * z;
+  const double n = static_cast<double>(df);
+  double t = z + (z3 + z) / (4 * n) + (5 * z5 + 16 * z3 + 3 * z) / (96 * n * n) +
+             (3 * z7 + 19 * z5 + 17 * z3 - 15 * z) / (384 * n * n * n);
+  // Exact small-df corrections where the expansion is weakest (95% / 99%).
+  if (df == 1) t = confidence >= 0.99 ? 63.657 : 12.706;
+  if (df == 2) t = confidence >= 0.99 ? 9.925 : 4.303;
+  return t;
+}
+
+double ci_half_width(const Summary& s, double confidence) {
+  if (s.count < 2) return 0.0;
+  const double t = student_t_critical(s.count - 1, confidence);
+  return t * s.stddev / std::sqrt(static_cast<double>(s.count));
+}
+
+std::size_t required_sample_size(std::uint64_t population, double error_margin,
+                                 double confidence, double p) {
+  if (population == 0) return 0;
+  const double t = normal_critical(confidence);
+  const double N = static_cast<double>(population);
+  const double e = error_margin;
+  const double n = N / (1.0 + e * e * (N - 1.0) / (t * t * p * (1.0 - p)));
+  const double rounded = std::ceil(n);
+  return rounded >= N ? static_cast<std::size_t>(population)
+                      : static_cast<std::size_t>(rounded);
+}
+
+double percent_overhead(double a, double b) {
+  if (b == 0.0) return 0.0;
+  return 100.0 * (a - b) / b;
+}
+
+}  // namespace gemfi::util

@@ -1,0 +1,53 @@
+// Statistics helpers used by the evaluation benches.
+//
+// Two paper-facing pieces live here:
+//  * Student-t 95% confidence intervals for Fig. 7 (overhead error bars);
+//  * the statistical fault-injection sample-size formula of
+//    Leveugle et al., "Statistical fault injection: quantified error and
+//    confidence" (DATE 2009), which the paper uses to size every campaign at
+//    2501-2504 runs for 99% confidence / 1% margin.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace gemfi::util {
+
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double variance = 0.0;   // sample variance (n-1 denominator)
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+};
+
+/// One-pass summary of a sample. Empty input yields a zeroed Summary.
+Summary summarize(std::span<const double> sample);
+
+/// Half-width of the two-sided confidence interval around the sample mean,
+/// i.e. mean +/- ci_half_width(). Uses a Student-t quantile table with
+/// graceful fallback to the normal quantile for large samples.
+double ci_half_width(const Summary& s, double confidence = 0.95);
+
+/// Two-sided Student-t critical value for `df` degrees of freedom.
+double student_t_critical(std::size_t df, double confidence);
+
+/// Two-sided standard-normal critical value, e.g. 1.96 for 95%, 2.576 for 99%.
+double normal_critical(double confidence);
+
+/// Leveugle et al. (DATE'09) sample size for a fault population of size N,
+/// error margin e (e.g. 0.01) and confidence from the cut-off t (e.g. 2.576
+/// for 99%), with worst-case p = 0.5:
+///     n = N / (1 + e^2 * (N - 1) / (t^2 * p * (1 - p)))
+/// With N -> infinity this tends to (t/2e)^2, e.g. ~16590 for 99%/1%;
+/// for the finite populations of the paper's kernels it lands near 2500.
+std::size_t required_sample_size(std::uint64_t population, double error_margin,
+                                 double confidence, double p = 0.5);
+
+/// Relative overhead (a vs b) in percent: 100 * (a - b) / b.
+double percent_overhead(double a, double b);
+
+}  // namespace gemfi::util

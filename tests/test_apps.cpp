@@ -1,0 +1,109 @@
+// Paper Sec. IV-A validation: in the absence of faults, the guest benchmarks
+// must produce output bit-identical to their golden models on every CPU
+// model, and GemFI machinery (enabled but idle) must not perturb the
+// simulation results.
+#include <gtest/gtest.h>
+
+#include "apps/app.hpp"
+#include "apps/image.hpp"
+#include "sim/simulation.hpp"
+
+namespace {
+
+using namespace gemfi;
+
+struct Case {
+  std::string app;
+  sim::CpuKind cpu;
+};
+
+class GoldenEquivalence : public ::testing::TestWithParam<Case> {};
+
+TEST_P(GoldenEquivalence, FaultFreeOutputMatchesGoldenModel) {
+  const Case& c = GetParam();
+  const apps::App app = apps::build_app(c.app);
+  sim::SimConfig cfg;
+  cfg.cpu = c.cpu;
+  cfg.fi_enabled = true;  // FI machinery active, no faults loaded
+  sim::Simulation s(cfg, app.program);
+  s.spawn_main_thread();
+  const sim::RunResult rr = s.run(2'000'000'000ull);
+  ASSERT_EQ(rr.reason, sim::ExitReason::AllThreadsExited)
+      << "trap: " << cpu::trap_name(rr.trap.kind) << " at pc=0x" << std::hex
+      << rr.crash_pc;
+  EXPECT_EQ(s.output(0), app.golden_output);
+  // The FI window (between the fi_activate_inst calls) must be non-empty.
+  EXPECT_GT(s.fault_manager().last_deactivated_fetched(), 0u);
+}
+
+std::vector<Case> all_cases() {
+  std::vector<Case> cases;
+  for (const auto& name : apps::app_names())
+    for (const auto cpu : {sim::CpuKind::AtomicSimple, sim::CpuKind::Pipelined})
+      cases.push_back({name, cpu});
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Apps, GoldenEquivalence, ::testing::ValuesIn(all_cases()),
+                         [](const auto& info) {
+                           return info.param.app + "_" +
+                                  (info.param.cpu == sim::CpuKind::AtomicSimple
+                                       ? "Atomic"
+                                       : "Pipelined");
+                         });
+
+// FI-disabled ("unmodified gem5") and FI-enabled simulations must produce
+// identical outputs and identical committed instruction counts — the paper's
+// Sec. IV-A check that GemFI does not corrupt the simulation process.
+TEST(GemFiNeutrality, EnabledVsDisabledIdentical) {
+  for (const auto& name : apps::app_names()) {
+    const apps::App app = apps::build_app(name);
+    std::string outputs[2];
+    std::uint64_t committed[2];
+    for (const bool fi : {false, true}) {
+      sim::SimConfig cfg;
+      cfg.cpu = sim::CpuKind::Pipelined;
+      cfg.fi_enabled = fi;
+      sim::Simulation s(cfg, app.program);
+      s.spawn_main_thread();
+      const sim::RunResult rr = s.run(2'000'000'000ull);
+      ASSERT_EQ(rr.reason, sim::ExitReason::AllThreadsExited) << name;
+      outputs[fi ? 1 : 0] = s.output(0);
+      committed[fi ? 1 : 0] = rr.committed;
+    }
+    EXPECT_EQ(outputs[0], outputs[1]) << name;
+    EXPECT_EQ(committed[0], committed[1]) << name;
+  }
+}
+
+// The deblocking filter is the paper's no-FP benchmark (100% strict
+// correctness under FP-register faults hinges on this property).
+TEST(AppProperties, DeblockUsesNoFpInstructions) {
+  const apps::App app = apps::build_app("deblock");
+  for (const isa::Word w : app.program.code) {
+    const isa::Decoded d = isa::decode(w);
+    EXPECT_NE(d.klass, isa::InstClass::FpOp);
+    EXPECT_NE(d.klass, isa::InstClass::FpMove);
+    EXPECT_NE(d.klass, isa::InstClass::FpLoad);
+    EXPECT_NE(d.klass, isa::InstClass::FpStore);
+  }
+}
+
+TEST(AppProperties, AcceptableAcceptsGoldenOutput) {
+  for (const auto& name : apps::app_names()) {
+    const apps::App app = apps::build_app(name);
+    double metric = 0.0;
+    EXPECT_TRUE(app.acceptable(app.golden_output, metric)) << name;
+  }
+}
+
+TEST(AppProperties, AcceptableRejectsGarbage) {
+  for (const auto& name : apps::app_names()) {
+    const apps::App app = apps::build_app(name);
+    double metric = 0.0;
+    EXPECT_FALSE(app.acceptable("garbage\n###\n", metric)) << name;
+    EXPECT_FALSE(app.acceptable("", metric)) << name;
+  }
+}
+
+}  // namespace

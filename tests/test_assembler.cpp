@@ -1,0 +1,204 @@
+// Macro-assembler tests: labels and fixups, data section layout, literal
+// pool interning, constant materialization strategies, address loading,
+// image layout invariants and loader behavior.
+#include <gtest/gtest.h>
+
+#include "assembler/assembler.hpp"
+#include "isa/disasm.hpp"
+#include "sim/simulation.hpp"
+
+namespace {
+
+using namespace gemfi;
+using namespace gemfi::assembler;
+
+/// Assemble a fragment that computes a value into v0 and exits; return v0
+/// by running it on the atomic model.
+std::uint64_t run_fragment(const std::function<void(Assembler&)>& body) {
+  Assembler as;
+  const Label entry = as.here("main");
+  body(as);
+  as.mov(reg::v0, reg::a0);
+  as.print_int();
+  as.mov_i(0, reg::a0);
+  as.exit_();
+  sim::SimConfig cfg;
+  cfg.cpu = sim::CpuKind::AtomicSimple;
+  sim::Simulation s(cfg, as.finalize(entry));
+  s.spawn_main_thread();
+  const auto rr = s.run(10'000'000);
+  EXPECT_EQ(rr.reason, sim::ExitReason::AllThreadsExited);
+  return std::stoull(s.output(0));
+}
+
+TEST(Li, MaterializationCoversAllRanges) {
+  // 8-bit literal, 16-bit, 32-bit, and pool-backed 64-bit constants.
+  for (const std::int64_t v :
+       {std::int64_t(0), std::int64_t(255), std::int64_t(256), std::int64_t(-1),
+        std::int64_t(-32768), std::int64_t(32767), std::int64_t(0x12345678),
+        std::int64_t(-0x12345678), std::int64_t(0x7fffffff), std::int64_t(-2147483648ll),
+        std::int64_t(0x123456789abcdef0ll), std::int64_t(-0x123456789abcdef0ll),
+        INT64_MAX, INT64_MIN}) {
+    const auto got = run_fragment([&](Assembler& as) { as.li(reg::v0, v); });
+    EXPECT_EQ(std::int64_t(got), v);
+  }
+}
+
+TEST(Li, SmallConstantsDoNotTouchThePool) {
+  Assembler as;
+  const Label entry = as.here("e");
+  as.li(reg::t0, 100);
+  as.li(reg::t1, 30000);
+  as.li(reg::t2, 0x1234567);
+  as.exit_();
+  const Program p = as.finalize(entry);
+  EXPECT_TRUE(p.pool.empty());
+}
+
+TEST(Li, PoolInternsDuplicates) {
+  Assembler as;
+  const Label entry = as.here("e");
+  as.li_u(reg::t0, 0xdeadbeefcafebabeull);
+  as.li_u(reg::t1, 0xdeadbeefcafebabeull);
+  as.fli(1, 3.14159);
+  as.fli(2, 3.14159);
+  as.exit_();
+  const Program p = as.finalize(entry);
+  EXPECT_EQ(p.pool.size(), 2u);  // one integer + one double constant
+}
+
+TEST(Labels, BackwardAndForwardBranches) {
+  const auto got = run_fragment([](Assembler& as) {
+    const Label fwd = as.make_label("fwd");
+    as.li(reg::v0, 1);
+    as.br(fwd);
+    as.li(reg::v0, 2);  // skipped
+    as.bind(fwd);
+    as.li(reg::t0, 3);
+    const Label back = as.here("back");
+    as.addq(reg::v0, reg::t0, reg::v0);
+    as.subq_i(reg::t0, 1, reg::t0);
+    as.bne(reg::t0, back);  // backward
+  });
+  EXPECT_EQ(got, 1u + 3 + 2 + 1);
+}
+
+TEST(Labels, ErrorsAreDiagnosed) {
+  Assembler as;
+  const Label entry = as.here("main");
+  const Label never_bound = as.make_label("nb");
+  as.br(never_bound);
+  EXPECT_THROW((void)as.finalize(entry), std::logic_error);
+
+  Assembler as2;
+  const Label l = as2.here("x");
+  EXPECT_THROW(as2.bind(l), std::logic_error);  // bound twice
+
+  Assembler as3;
+  EXPECT_THROW((void)as3.finalize(Label{}), std::logic_error);  // invalid entry
+}
+
+TEST(Data, AlignmentAndOffsets) {
+  Assembler as;
+  const std::uint8_t bytes[] = {1, 2, 3};
+  const DataRef a = as.data_bytes(bytes, 1);
+  const DataRef b = as.data_u64(0x1122334455667788ull);  // aligns to 8
+  EXPECT_EQ(a.offset, 0u);
+  EXPECT_EQ(b.offset, 8u);
+  const DataRef c = as.data_zeros(4, 4);
+  EXPECT_EQ(c.offset % 4, 0u);
+}
+
+TEST(Data, LaLoadsAbsoluteAddressAndMemoryHoldsData) {
+  Assembler as;
+  const DataRef cell = as.data_u64(0xfeedfacecafef00dull);
+  const Label entry = as.here("main");
+  as.la(reg::t0, cell);
+  as.ldq(reg::v0, 0, reg::t0);
+  as.mov(reg::v0, reg::a0);
+  as.print_int();
+  as.mov_i(0, reg::a0);
+  as.exit_();
+  sim::SimConfig cfg;
+  cfg.cpu = sim::CpuKind::AtomicSimple;
+  sim::Simulation s(cfg, as.finalize(entry));
+  s.spawn_main_thread();
+  (void)s.run(1'000'000);
+  EXPECT_EQ(std::stoull(s.output(0)), 0xfeedfacecafef00dull);
+}
+
+TEST(Data, NamedSymbolsResolve) {
+  Assembler as;
+  const DataRef cell = as.data_u64(std::uint64_t(7));
+  as.name_data("the_cell", cell);
+  const Label entry = as.here("main");
+  as.exit_();
+  const Program p = as.finalize(entry);
+  EXPECT_EQ(p.symbol("the_cell"), p.data_base() + p.pool.size() * 8 + cell.offset);
+  EXPECT_EQ(p.symbol("main"), p.entry);
+  EXPECT_THROW((void)p.symbol("missing"), std::out_of_range);
+}
+
+TEST(Layout, RegionsAreOrderedAndAligned) {
+  Assembler as;
+  (void)as.data_zeros(1000);
+  const Label entry = as.here("main");
+  for (int i = 0; i < 100; ++i) as.addq_i(reg::t0, 1, reg::t0);
+  as.exit_();
+  const Program p = as.finalize(entry);
+  EXPECT_LT(p.code_base, p.code_end());
+  EXPECT_LE(p.code_end(), p.data_base());
+  EXPECT_EQ(p.data_base() % 4096, 0u);
+  EXPECT_EQ(p.heap_base() % 4096, 0u);
+  EXPECT_LE(p.data_end(), p.heap_base());
+}
+
+TEST(Loader, CodeIsReadOnlyAfterLoad) {
+  Assembler as;
+  const Label entry = as.here("main");
+  as.exit_();
+  const Program p = as.finalize(entry);
+  mem::MemSystem ms;
+  p.load_into(ms);
+  EXPECT_EQ(ms.code_base(), p.code_base);
+  EXPECT_EQ(ms.code_end(), p.code_end());
+  std::uint64_t word = 0;
+  ASSERT_EQ(ms.read(p.entry, 4, word), mem::AccessError::None);
+  EXPECT_EQ(ms.write(p.entry, 4, 0), mem::AccessError::ReadOnly);
+}
+
+TEST(Loader, RejectsOversizedImages) {
+  Assembler as;
+  (void)as.data_zeros(1 << 20);
+  const Label entry = as.here("main");
+  as.exit_();
+  const Program p = as.finalize(entry);
+  mem::MemSysConfig small;
+  small.phys_bytes = 64 * 1024;
+  mem::MemSystem ms(small);
+  EXPECT_THROW(p.load_into(ms), std::runtime_error);
+}
+
+TEST(Emit, RangeChecks) {
+  Assembler as;
+  EXPECT_THROW(as.addq_i(1, 256, 2), std::invalid_argument);   // literal > 8 bits
+  EXPECT_THROW(as.ldq(1, 40000, 2), std::invalid_argument);    // disp > 16 bits
+  const Label entry = as.here("main");
+  (void)entry;
+}
+
+TEST(Emit, PrintStrEmitsPerCharacter) {
+  Assembler as;
+  const Label entry = as.here("main");
+  as.print_str("hi!");
+  as.mov_i(0, reg::a0);
+  as.exit_();
+  sim::SimConfig cfg;
+  cfg.cpu = sim::CpuKind::AtomicSimple;
+  sim::Simulation s(cfg, as.finalize(entry));
+  s.spawn_main_thread();
+  (void)s.run(1'000'000);
+  EXPECT_EQ(s.output(0), "hi!");
+}
+
+}  // namespace

@@ -1,0 +1,161 @@
+// Campaign machinery tests: calibration, random fault generation,
+// experiment execution with checkpoint fast-forwarding, outcome
+// classification invariants, parallel local campaigns and the NoW runner.
+#include <gtest/gtest.h>
+
+#include "campaign/now_runner.hpp"
+#include "campaign/runner.hpp"
+#include "util/stats.hpp"
+
+namespace {
+
+using namespace gemfi;
+using campaign::CampaignConfig;
+
+CampaignConfig quick_config() {
+  CampaignConfig cfg;
+  cfg.cpu = sim::CpuKind::Pipelined;
+  cfg.switch_to_atomic_after_fault = true;
+  cfg.use_checkpoint = true;
+  cfg.workers = 4;
+  return cfg;
+}
+
+TEST(Calibration, ProducesCheckpointAndCosts) {
+  const auto ca = campaign::calibrate(apps::build_app("pi"), quick_config());
+  EXPECT_FALSE(ca.checkpoint.empty());
+  EXPECT_GT(ca.golden_ticks, 0u);
+  EXPECT_GT(ca.kernel_fetches, 0u);
+  EXPECT_GT(ca.ticks_to_checkpoint, 0u);
+  EXPECT_LT(ca.ticks_to_checkpoint, ca.golden_ticks);
+  EXPECT_EQ(ca.app.golden_kernel_insts, ca.kernel_fetches);
+}
+
+TEST(RandomFaults, RespectLocationAndRanges) {
+  util::Rng rng(7);
+  for (int i = 0; i < 500; ++i) {
+    const auto f = campaign::random_fault_any(rng, 1000);
+    EXPECT_GE(f.time, 1u);
+    EXPECT_LE(f.time, 1000u);
+    EXPECT_EQ(f.occurrences, 1u);
+    EXPECT_EQ(f.behavior, fi::FaultBehavior::Flip);
+    if (f.location == fi::FaultLocation::IntReg || f.location == fi::FaultLocation::FpReg)
+      EXPECT_LT(f.reg, 32u);
+    if (f.location == fi::FaultLocation::Fetch) EXPECT_LT(f.operand, 32u);
+    if (f.location == fi::FaultLocation::Decode) EXPECT_LT(f.operand, 5u);
+  }
+}
+
+TEST(Experiments, FaultFreeExperimentIsNonPropagated) {
+  const auto ca = campaign::calibrate(apps::build_app("pi"), quick_config());
+  // A fault far beyond the kernel never applies => NonPropagated.
+  fi::Fault f;
+  f.location = fi::FaultLocation::IntReg;
+  f.reg = 9;
+  f.time = ca.kernel_fetches * 1000;
+  f.behavior = fi::FaultBehavior::Flip;
+  f.operand = 5;
+  const auto er = campaign::run_experiment(ca, f, quick_config());
+  EXPECT_EQ(er.classification.outcome, apps::Outcome::NonPropagated);
+  EXPECT_FALSE(er.fault_applied);
+}
+
+TEST(Experiments, CheckpointFastForwardSkipsInitTicks) {
+  const auto ca = campaign::calibrate(apps::build_app("jacobi"), quick_config());
+  fi::Fault f;
+  f.location = fi::FaultLocation::FpReg;
+  f.reg = 25;  // unused FP register: harmless
+  f.time = 1;
+  f.behavior = fi::FaultBehavior::Flip;
+  f.operand = 0;
+
+  CampaignConfig with = quick_config();
+  CampaignConfig without = quick_config();
+  without.use_checkpoint = false;
+  const auto er_with = campaign::run_experiment(ca, f, with);
+  const auto er_without = campaign::run_experiment(ca, f, without);
+  EXPECT_EQ(er_with.classification.outcome, er_without.classification.outcome);
+  // The checkpointed run simulates strictly fewer ticks (skips init).
+  EXPECT_LT(er_with.sim_ticks, er_without.sim_ticks);
+  EXPECT_NEAR(double(er_without.sim_ticks - er_with.sim_ticks),
+              double(ca.ticks_to_checkpoint),
+              0.05 * double(ca.ticks_to_checkpoint) + 1000.0);
+}
+
+TEST(Campaigns, SmallCampaignCoversOutcomeSpace) {
+  const auto ca = campaign::calibrate(apps::build_app("pi"), quick_config());
+  util::Rng rng(42);
+  std::vector<fi::Fault> faults;
+  for (int i = 0; i < 120; ++i)
+    faults.push_back(campaign::random_fault_any(rng, ca.kernel_fetches));
+  const auto report = campaign::run_campaign(ca, faults, quick_config());
+  EXPECT_EQ(report.total(), faults.size());
+  EXPECT_EQ(report.results.size(), faults.size());
+  // A uniform SEU campaign over all locations must produce both benign and
+  // malignant outcomes.
+  EXPECT_GT(report.counts[std::size_t(apps::Outcome::Crashed)], 0u);
+  EXPECT_GT(report.counts[std::size_t(apps::Outcome::NonPropagated)] +
+                report.counts[std::size_t(apps::Outcome::StrictlyCorrect)],
+            0u);
+  double frac_sum = 0;
+  for (unsigned o = 0; o < apps::kNumOutcomes; ++o)
+    frac_sum += report.fraction(static_cast<apps::Outcome>(o));
+  EXPECT_NEAR(frac_sum, 1.0, 1e-9);
+}
+
+TEST(Campaigns, DeterministicGivenSameFaults) {
+  const auto ca = campaign::calibrate(apps::build_app("deblock"), quick_config());
+  util::Rng rng(13);
+  std::vector<fi::Fault> faults;
+  for (int i = 0; i < 20; ++i)
+    faults.push_back(campaign::random_fault_any(rng, ca.kernel_fetches));
+  const auto r1 = campaign::run_campaign(ca, faults, quick_config());
+  const auto r2 = campaign::run_campaign(ca, faults, quick_config());
+  for (std::size_t i = 0; i < faults.size(); ++i)
+    EXPECT_EQ(r1.results[i].classification.outcome, r2.results[i].classification.outcome)
+        << i;
+}
+
+TEST(Campaigns, NowRunnerMatchesLocalOutcomes) {
+  const auto ca = campaign::calibrate(apps::build_app("pi"), quick_config());
+  util::Rng rng(99);
+  std::vector<fi::Fault> faults;
+  for (int i = 0; i < 40; ++i)
+    faults.push_back(campaign::random_fault_any(rng, ca.kernel_fetches));
+
+  auto cfg = quick_config();
+  cfg.workers = 1;
+  const auto local = campaign::run_campaign(ca, faults, cfg);
+
+  campaign::NowConfig now;
+  now.workstations = 4;
+  now.slots_per_workstation = 2;
+  const auto dist = campaign::run_campaign_now(ca, faults, cfg, now);
+  EXPECT_EQ(dist.campaign.total(), faults.size());
+  EXPECT_GT(dist.modeled_makespan_seconds, 0.0);
+  for (std::size_t i = 0; i < faults.size(); ++i)
+    EXPECT_EQ(local.results[i].classification.outcome,
+              dist.campaign.results[i].classification.outcome)
+        << i;
+}
+
+TEST(SampleSize, LeveugleFormulaMatchesPaperScale) {
+  // Infinite-population limit at 99%/1% is (t/2e)^2 ~ 16588.
+  const std::size_t inf = util::required_sample_size(4'000'000'000ull, 0.01, 0.99);
+  EXPECT_NEAR(double(inf), 16588.0, 120.0);
+  // The paper reports 2501-2504 runs per campaign at 99%/1%; the formula
+  // yields that sample size for a finite fault population of ~2.94k.
+  const std::size_t n = util::required_sample_size(2944, 0.01, 0.99);
+  EXPECT_GE(n, 2490u);
+  EXPECT_LE(n, 2510u);
+  // Monotonicity and clamping.
+  EXPECT_LE(util::required_sample_size(1000, 0.01, 0.99), 1000u);
+  EXPECT_LT(util::required_sample_size(10'000, 0.01, 0.99),
+            util::required_sample_size(100'000, 0.01, 0.99));
+  EXPECT_EQ(util::required_sample_size(0, 0.01, 0.99), 0u);
+  // Relaxing the margin shrinks the sample (the quick-mode default).
+  EXPECT_LT(util::required_sample_size(1'000'000, 0.05, 0.95),
+            util::required_sample_size(1'000'000, 0.01, 0.99));
+}
+
+}  // namespace

@@ -1,0 +1,157 @@
+// Checkpoint/restore tests — the paper's Sec. III-D contract:
+//   * determinism: run-to-end == capture at fi_read_init_all + restore + run;
+//   * one checkpoint seeds many differently-configured experiments (FI state
+//     is re-armed on restore);
+//   * damage (truncation, bit corruption) is detected, never silently used;
+//   * file round-trip works (the NoW "network share" path).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "apps/app.hpp"
+#include "chkpt/checkpoint.hpp"
+#include "sim/simulation.hpp"
+
+namespace {
+
+using namespace gemfi;
+
+struct CkptRun {
+  chkpt::Checkpoint ckpt;
+  std::string full_output;
+  std::uint64_t full_ticks = 0;
+};
+
+CkptRun run_and_capture(const apps::App& app, sim::CpuKind cpu) {
+  sim::SimConfig cfg;
+  cfg.cpu = cpu;
+  sim::Simulation s(cfg, app.program);
+  s.spawn_main_thread();
+  CkptRun r;
+  s.set_checkpoint_handler(
+      [&](sim::Simulation& sim) { r.ckpt = chkpt::Checkpoint::capture(sim); });
+  const auto rr = s.run(2'000'000'000ull);
+  EXPECT_EQ(rr.reason, sim::ExitReason::AllThreadsExited);
+  r.full_output = s.output(0);
+  r.full_ticks = rr.ticks;
+  return r;
+}
+
+class CkptModels : public ::testing::TestWithParam<sim::CpuKind> {};
+
+TEST_P(CkptModels, RestoreThenRunReproducesFullRunExactly) {
+  const apps::App app = apps::build_app("pi");
+  const CkptRun base = run_and_capture(app, GetParam());
+  ASSERT_FALSE(base.ckpt.empty());
+
+  sim::SimConfig cfg;
+  cfg.cpu = GetParam();
+  sim::Simulation s(cfg, app.program);
+  s.spawn_main_thread();
+  base.ckpt.restore_into(s);
+  const auto rr = s.run(2'000'000'000ull);
+  EXPECT_EQ(rr.reason, sim::ExitReason::AllThreadsExited);
+  EXPECT_EQ(s.output(0), base.full_output);
+  EXPECT_EQ(rr.ticks, base.full_ticks);  // tick-exact determinism
+}
+
+TEST_P(CkptModels, OneCheckpointSeedsDifferentExperiments) {
+  const apps::App app = apps::build_app("pi");
+  const CkptRun base = run_and_capture(app, GetParam());
+
+  std::string outputs[2];
+  const char* faults[2] = {
+      // Different faults from the same checkpoint.
+      "RegisterInjectedFault Inst:50 Flip:62 Threadid:0 system.cpu0 occ:1 float 10",
+      nullptr,  // fault-free restore
+  };
+  for (int i = 0; i < 2; ++i) {
+    sim::SimConfig cfg;
+    cfg.cpu = GetParam();
+    sim::Simulation s(cfg, app.program);
+    s.spawn_main_thread();
+    base.ckpt.restore_into(s);
+    if (faults[i] != nullptr)
+      s.fault_manager().load_faults({fi::parse_fault(faults[i])});
+    const auto rr = s.run(2'000'000'000ull);
+    EXPECT_NE(rr.reason, sim::ExitReason::Watchdog);
+    outputs[i] = s.output(0);
+  }
+  // The f10 fault flips the 2^-53 constant's exponent: PI diverges.
+  EXPECT_NE(outputs[0], base.full_output);
+  EXPECT_EQ(outputs[1], base.full_output);
+}
+
+INSTANTIATE_TEST_SUITE_P(Models, CkptModels,
+                         ::testing::Values(sim::CpuKind::AtomicSimple,
+                                           sim::CpuKind::Pipelined),
+                         [](const auto& info) {
+                           return info.param == sim::CpuKind::AtomicSimple ? "Atomic"
+                                                                           : "Pipelined";
+                         });
+
+TEST(Checkpoint, CorruptionIsDetected) {
+  const apps::App app = apps::build_app("pi");
+  const CkptRun base = run_and_capture(app, sim::CpuKind::AtomicSimple);
+
+  // Flip one payload byte.
+  auto bytes = base.ckpt.bytes();
+  bytes[bytes.size() / 2] ^= 0x40;
+  const auto damaged = chkpt::Checkpoint::from_bytes(std::move(bytes));
+  sim::SimConfig cfg;
+  cfg.cpu = sim::CpuKind::AtomicSimple;
+  sim::Simulation s(cfg, app.program);
+  s.spawn_main_thread();
+  EXPECT_THROW(damaged.restore_into(s), util::DeserializeError);
+
+  // Truncate.
+  auto short_bytes = base.ckpt.bytes();
+  short_bytes.resize(short_bytes.size() - 7);
+  const auto truncated = chkpt::Checkpoint::from_bytes(std::move(short_bytes));
+  EXPECT_THROW(truncated.restore_into(s), util::DeserializeError);
+
+  // Bad magic.
+  auto magic_bytes = base.ckpt.bytes();
+  magic_bytes[0] ^= 0xff;
+  const auto bad_magic = chkpt::Checkpoint::from_bytes(std::move(magic_bytes));
+  EXPECT_THROW(bad_magic.restore_into(s), util::DeserializeError);
+}
+
+TEST(Checkpoint, FileRoundTrip) {
+  const apps::App app = apps::build_app("pi");
+  const CkptRun base = run_and_capture(app, sim::CpuKind::AtomicSimple);
+
+  const std::string path = ::testing::TempDir() + "/gemfi_ckpt_test.bin";
+  base.ckpt.save_file(path);
+  const auto loaded = chkpt::Checkpoint::load_file(path);
+  EXPECT_EQ(loaded.bytes(), base.ckpt.bytes());
+  std::remove(path.c_str());
+
+  sim::SimConfig cfg;
+  cfg.cpu = sim::CpuKind::AtomicSimple;
+  sim::Simulation s(cfg, app.program);
+  s.spawn_main_thread();
+  loaded.restore_into(s);
+  const auto rr = s.run(2'000'000'000ull);
+  EXPECT_EQ(rr.reason, sim::ExitReason::AllThreadsExited);
+  EXPECT_EQ(s.output(0), base.full_output);
+}
+
+TEST(Checkpoint, RestoreResetsFaultInjectionState) {
+  const apps::App app = apps::build_app("pi");
+  const CkptRun base = run_and_capture(app, sim::CpuKind::AtomicSimple);
+
+  sim::SimConfig cfg;
+  cfg.cpu = sim::CpuKind::AtomicSimple;
+  sim::Simulation s(cfg, app.program);
+  s.spawn_main_thread();
+  s.fault_manager().load_faults({fi::parse_fault(
+      "RegisterInjectedFault Inst:5 Flip:1 Threadid:0 system.cpu0 occ:1 int 1")});
+  base.ckpt.restore_into(s);
+  // The paper: restore resets all internal FI information.
+  EXPECT_TRUE(s.fault_manager().states().empty() ||
+              !s.fault_manager().any_applied());
+  EXPECT_EQ(s.fault_manager().enabled_thread_count(), 0u);
+}
+
+}  // namespace

@@ -1,0 +1,266 @@
+// Execution-engine semantics tests: every ALU operation, branch condition,
+// conversion, memory width, and trap path of exec.cpp, directly against the
+// pure execute()/do_mem()/writeback() phases.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+
+#include "cpu/exec.hpp"
+#include "isa/disasm.hpp"
+
+namespace {
+
+using namespace gemfi;
+using namespace gemfi::cpu;
+using namespace gemfi::isa;
+
+std::uint64_t run_op(Opcode op, unsigned func, std::uint64_t a, std::uint64_t b,
+                     std::uint64_t old_dst = 0) {
+  const Decoded d = decode(encode_operate(op, func, 1, 2, 3));
+  Operands ops{a, b, old_dst};
+  const ExecOut out = execute(d, ops, 0x2000);
+  EXPECT_FALSE(out.trap.pending());
+  EXPECT_TRUE(out.writes_dst);
+  return out.value;
+}
+
+double run_fop(unsigned func, double a, double b) {
+  const Decoded d = decode(encode_fp(Opcode::FLTI, func, 1, 2, 3));
+  Operands ops{std::bit_cast<std::uint64_t>(a), std::bit_cast<std::uint64_t>(b), 0};
+  const ExecOut out = execute(d, ops, 0x2000);
+  return std::bit_cast<double>(out.value);
+}
+
+TEST(IntAlu, ArithmeticSemantics) {
+  EXPECT_EQ(run_op(Opcode::INTA, 0x20, 3, 4), 7u);                       // addq
+  EXPECT_EQ(run_op(Opcode::INTA, 0x29, 3, 4), std::uint64_t(-1));        // subq
+  EXPECT_EQ(run_op(Opcode::INTA, 0x22, 3, 4), 16u);                      // s4addq
+  EXPECT_EQ(run_op(Opcode::INTA, 0x32, 3, 4), 28u);                      // s8addq
+  // addl: 32-bit wrap with sign extension.
+  EXPECT_EQ(run_op(Opcode::INTA, 0x00, 0x7fffffff, 1),
+            std::uint64_t(std::int64_t(std::int32_t(0x80000000))));
+  EXPECT_EQ(run_op(Opcode::INTA, 0x09, 0, 1), std::uint64_t(-1));        // subl
+}
+
+TEST(IntAlu, Comparisons) {
+  EXPECT_EQ(run_op(Opcode::INTA, 0x2D, 5, 5), 1u);                        // cmpeq
+  EXPECT_EQ(run_op(Opcode::INTA, 0x2D, 5, 6), 0u);
+  EXPECT_EQ(run_op(Opcode::INTA, 0x4D, std::uint64_t(-1), 0), 1u);        // cmplt signed
+  EXPECT_EQ(run_op(Opcode::INTA, 0x1D, std::uint64_t(-1), 0), 0u);        // cmpult unsigned
+  EXPECT_EQ(run_op(Opcode::INTA, 0x6D, 7, 7), 1u);                        // cmple
+  EXPECT_EQ(run_op(Opcode::INTA, 0x3D, 8, 7), 0u);                        // cmpule
+}
+
+TEST(IntAlu, LogicAndConditionalMoves) {
+  EXPECT_EQ(run_op(Opcode::INTL, 0x00, 0xf0f0, 0xff00), 0xf000u);         // and
+  EXPECT_EQ(run_op(Opcode::INTL, 0x08, 0xf0f0, 0xff00), 0x00f0u);         // bic
+  EXPECT_EQ(run_op(Opcode::INTL, 0x20, 0xf0f0, 0x0f0f), 0xffffu);         // bis
+  EXPECT_EQ(run_op(Opcode::INTL, 0x40, 0xff, 0x0f), 0xf0u);               // xor
+  EXPECT_EQ(run_op(Opcode::INTL, 0x28, 0, 0), ~0ull);                     // ornot
+  EXPECT_EQ(run_op(Opcode::INTL, 0x48, 5, 5), ~0ull);                     // eqv
+  // cmoveq: dst = b if a == 0 else old.
+  EXPECT_EQ(run_op(Opcode::INTL, 0x24, 0, 42, 7), 42u);
+  EXPECT_EQ(run_op(Opcode::INTL, 0x24, 1, 42, 7), 7u);
+  EXPECT_EQ(run_op(Opcode::INTL, 0x26, 1, 42, 7), 42u);                   // cmovne
+  EXPECT_EQ(run_op(Opcode::INTL, 0x44, std::uint64_t(-2), 42, 7), 42u);   // cmovlt
+  EXPECT_EQ(run_op(Opcode::INTL, 0x46, 2, 42, 7), 42u);                   // cmovge
+  EXPECT_EQ(run_op(Opcode::INTL, 0x64, 0, 42, 7), 42u);                   // cmovle
+  EXPECT_EQ(run_op(Opcode::INTL, 0x66, 0, 42, 7), 7u);                    // cmovgt
+  EXPECT_EQ(run_op(Opcode::INTL, 0x14, 3, 42, 7), 42u);                   // cmovlbs
+  EXPECT_EQ(run_op(Opcode::INTL, 0x16, 3, 42, 7), 7u);                    // cmovlbc
+}
+
+TEST(IntAlu, ShiftsUseLowSixBits) {
+  EXPECT_EQ(run_op(Opcode::INTS, 0x39, 1, 8), 256u);                      // sll
+  EXPECT_EQ(run_op(Opcode::INTS, 0x39, 1, 64), 1u);                       // shift & 63
+  EXPECT_EQ(run_op(Opcode::INTS, 0x34, 0x8000000000000000ull, 63), 1u);   // srl
+  EXPECT_EQ(run_op(Opcode::INTS, 0x3C, 0x8000000000000000ull, 63), ~0ull);  // sra
+}
+
+TEST(IntAlu, MultiplyAndDivide) {
+  EXPECT_EQ(run_op(Opcode::INTM, 0x20, 7, 6), 42u);                       // mulq
+  EXPECT_EQ(run_op(Opcode::INTM, 0x00, 0x10000, 0x10000), 0u);            // mull wraps 32
+  // umulh: high half of 2^32 * 2^32 = 2^64 -> 1.
+  EXPECT_EQ(run_op(Opcode::INTM, 0x30, 1ull << 32, 1ull << 32), 1u);
+  EXPECT_EQ(run_op(Opcode::INTM, 0x40, std::uint64_t(-7), 2), std::uint64_t(-3));  // divq
+  EXPECT_EQ(run_op(Opcode::INTM, 0x41, std::uint64_t(-7), 2), std::uint64_t(-1));  // remq
+  // INT64_MIN / -1 wraps without trapping.
+  EXPECT_EQ(run_op(Opcode::INTM, 0x40, std::uint64_t(INT64_MIN), std::uint64_t(-1)),
+            std::uint64_t(INT64_MIN));
+  EXPECT_EQ(run_op(Opcode::INTM, 0x41, std::uint64_t(INT64_MIN), std::uint64_t(-1)), 0u);
+}
+
+TEST(IntAlu, DivideByZeroTraps) {
+  const Decoded d = decode(encode_operate(Opcode::INTM, 0x40, 1, 2, 3));
+  const ExecOut out = execute(d, {5, 0, 0}, 0x2000);
+  EXPECT_EQ(out.trap.kind, TrapKind::Arithmetic);
+}
+
+TEST(FpAlu, ArithmeticAndCompares) {
+  EXPECT_DOUBLE_EQ(run_fop(0x0A0, 1.5, 2.25), 3.75);
+  EXPECT_DOUBLE_EQ(run_fop(0x0A1, 1.5, 2.25), -0.75);
+  EXPECT_DOUBLE_EQ(run_fop(0x0A2, 1.5, 2.0), 3.0);
+  EXPECT_DOUBLE_EQ(run_fop(0x0A3, 1.0, 4.0), 0.25);
+  EXPECT_DOUBLE_EQ(run_fop(0x0A5, 2.0, 2.0), 2.0);   // cmpteq true -> 2.0
+  EXPECT_DOUBLE_EQ(run_fop(0x0A5, 2.0, 3.0), 0.0);
+  EXPECT_DOUBLE_EQ(run_fop(0x0A6, 1.0, 2.0), 2.0);   // cmptlt
+  EXPECT_DOUBLE_EQ(run_fop(0x0A7, 2.0, 2.0), 2.0);   // cmptle
+  const double nan = std::nan("");
+  EXPECT_DOUBLE_EQ(run_fop(0x0A4, nan, 1.0), 2.0);   // cmptun on NaN
+  EXPECT_DOUBLE_EQ(run_fop(0x0A4, 1.0, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(run_fop(0x0A5, nan, nan), 0.0);   // NaN == NaN is false
+}
+
+TEST(FpAlu, SqrtAndConversions) {
+  EXPECT_DOUBLE_EQ(run_fop(0x0AB, 0.0, 16.0), 4.0);  // sqrtt uses Fb
+  EXPECT_TRUE(std::isnan(run_fop(0x0AB, 0.0, -1.0)));
+
+  // cvttq: trunc toward zero, result is an int64 bit pattern.
+  const Decoded cvt = decode(encode_fp(Opcode::FLTI, 0x0AF, 31, 2, 3));
+  ExecOut out = execute(cvt, {0, std::bit_cast<std::uint64_t>(-2.7), 0}, 0);
+  EXPECT_EQ(std::int64_t(out.value), -2);
+  // Out-of-range and NaN produce a defined value (INT64_MIN), never UB.
+  out = execute(cvt, {0, std::bit_cast<std::uint64_t>(1e300), 0}, 0);
+  EXPECT_EQ(std::int64_t(out.value), INT64_MIN);
+  out = execute(cvt, {0, std::bit_cast<std::uint64_t>(std::nan("")), 0}, 0);
+  EXPECT_EQ(std::int64_t(out.value), INT64_MIN);
+
+  // cvtqt: int64 bits -> double.
+  const Decoded cq = decode(encode_fp(Opcode::FLTI, 0x0BE, 31, 2, 3));
+  out = execute(cq, {0, std::uint64_t(-5), 0}, 0);
+  EXPECT_DOUBLE_EQ(std::bit_cast<double>(out.value), -5.0);
+}
+
+TEST(FpAlu, CopySignFamily) {
+  const auto bits = [](double v) { return std::bit_cast<std::uint64_t>(v); };
+  const Decoded cpys = decode(encode_fp(Opcode::FLTL, 0x020, 1, 2, 3));
+  ExecOut out = execute(cpys, {bits(-1.0), bits(3.5), 0}, 0);
+  EXPECT_DOUBLE_EQ(std::bit_cast<double>(out.value), -3.5);
+  const Decoded cpysn = decode(encode_fp(Opcode::FLTL, 0x021, 1, 2, 3));
+  out = execute(cpysn, {bits(-1.0), bits(3.5), 0}, 0);
+  EXPECT_DOUBLE_EQ(std::bit_cast<double>(out.value), 3.5);
+  const Decoded fcmoveq = decode(encode_fp(Opcode::FLTL, 0x02A, 1, 2, 3));
+  out = execute(fcmoveq, {bits(0.0), bits(9.0), bits(7.0)}, 0);
+  EXPECT_DOUBLE_EQ(std::bit_cast<double>(out.value), 9.0);
+  out = execute(fcmoveq, {bits(1.0), bits(9.0), bits(7.0)}, 0);
+  EXPECT_DOUBLE_EQ(std::bit_cast<double>(out.value), 7.0);
+}
+
+TEST(Control, BranchConditionsAndTargets) {
+  struct Case {
+    Opcode op;
+    std::uint64_t s1;
+    bool taken;
+  };
+  const Case cases[] = {
+      {Opcode::BEQ, 0, true},        {Opcode::BEQ, 1, false},
+      {Opcode::BNE, 1, true},        {Opcode::BLT, std::uint64_t(-1), true},
+      {Opcode::BLT, 1, false},       {Opcode::BLE, 0, true},
+      {Opcode::BGT, 1, true},        {Opcode::BGE, 0, true},
+      {Opcode::BLBS, 3, true},       {Opcode::BLBC, 2, true},
+      {Opcode::FBEQ, std::bit_cast<std::uint64_t>(0.0), true},
+      {Opcode::FBEQ, std::bit_cast<std::uint64_t>(-0.0), true},
+      {Opcode::FBNE, std::bit_cast<std::uint64_t>(1.0), true},
+      {Opcode::FBLT, std::bit_cast<std::uint64_t>(-2.0), true},
+      {Opcode::FBGE, std::bit_cast<std::uint64_t>(2.0), true},
+      {Opcode::FBLE, std::bit_cast<std::uint64_t>(std::nan("")), false},
+  };
+  for (const Case& c : cases) {
+    const Decoded d = decode(encode_branch(c.op, 1, 10));
+    const ExecOut out = execute(d, {c.s1, 0, 0}, 0x2000);
+    EXPECT_EQ(out.branch_taken, c.taken) << mnemonic(d) << " s1=" << c.s1;
+    EXPECT_EQ(out.next_pc, c.taken ? 0x2000 + 4 + 40 : 0x2004u);
+  }
+}
+
+TEST(Control, UnconditionalAndJumps) {
+  const Decoded bsr = decode(encode_branch(Opcode::BSR, 26, -4));
+  ExecOut out = execute(bsr, {0, 0, 0}, 0x2000);
+  EXPECT_TRUE(out.branch_taken);
+  EXPECT_EQ(out.next_pc, 0x2000u + 4 - 16);
+  EXPECT_EQ(out.value, 0x2004u);  // link
+  EXPECT_TRUE(out.writes_dst);
+
+  const Decoded jmp = decode(encode_jump(JumpKind::JMP, 26, 5));
+  out = execute(jmp, {0x30007, 0, 0}, 0x2000);
+  EXPECT_EQ(out.next_pc, 0x30004u);  // low bits cleared
+  EXPECT_EQ(out.value, 0x2004u);
+}
+
+TEST(Memory, WidthsSignExtensionAndFloatConversion) {
+  mem::MemSystem ms;
+  // LDL sign-extends.
+  ASSERT_EQ(ms.write(0x4000, 4, 0xfffffff6u), mem::AccessError::None);
+  Decoded ld = decode(encode_mem(Opcode::LDL, 1, 2, 0));
+  ExecOut out = execute(ld, {0x4000, 0, 0}, 0);
+  ASSERT_FALSE(do_mem(ld, out, ms).pending());
+  EXPECT_EQ(std::int64_t(out.value), -10);
+
+  // STL stores the low 32 bits.
+  Decoded st = decode(encode_mem(Opcode::STL, 1, 2, 8));
+  out = execute(st, {0x4000, 0x1122334455667788ull, 0}, 0);
+  ASSERT_FALSE(do_mem(st, out, ms).pending());
+  std::uint64_t v = 0;
+  ASSERT_EQ(ms.read(0x4008, 4, v), mem::AccessError::None);
+  EXPECT_EQ(v, 0x55667788u);
+
+  // LDS converts binary32 to binary64 register format.
+  const float f = 2.5f;
+  ASSERT_EQ(ms.write(0x4010, 4, std::bit_cast<std::uint32_t>(f)), mem::AccessError::None);
+  Decoded lds = decode(encode_mem(Opcode::LDS, 1, 2, 0));
+  out = execute(lds, {0x4010, 0, 0}, 0);
+  ASSERT_FALSE(do_mem(lds, out, ms).pending());
+  EXPECT_DOUBLE_EQ(std::bit_cast<double>(out.value), 2.5);
+
+  // STS converts back down to binary32.
+  Decoded sts = decode(encode_mem(Opcode::STS, 1, 2, 4));
+  out = execute(sts, {0x4010, std::bit_cast<std::uint64_t>(1.75), 0}, 0);
+  ASSERT_FALSE(do_mem(sts, out, ms).pending());
+  ASSERT_EQ(ms.read(0x4014, 4, v), mem::AccessError::None);
+  EXPECT_FLOAT_EQ(std::bit_cast<float>(std::uint32_t(v)), 1.75f);
+}
+
+TEST(Memory, TrapsSurfaceThroughDoMem) {
+  mem::MemSystem ms;
+  Decoded ld = decode(encode_mem(Opcode::LDQ, 1, 2, 0));
+  ExecOut out = execute(ld, {1, 0, 0}, 0);  // misaligned AND in the null page
+  const TrapInfo t = do_mem(ld, out, ms);
+  EXPECT_EQ(t.kind, TrapKind::MemFault);
+  EXPECT_EQ(t.mem_error, mem::AccessError::NullPage);
+
+  out = execute(ld, {ms.phys().size(), 0, 0}, 0);
+  EXPECT_EQ(do_mem(ld, out, ms).mem_error, mem::AccessError::OutOfBounds);
+
+  out = execute(ld, {0x4001, 0, 0}, 0);
+  EXPECT_EQ(do_mem(ld, out, ms).mem_error, mem::AccessError::Misaligned);
+}
+
+TEST(Writeback, ZeroRegisterStaysZero) {
+  ArchState st;
+  const Decoded d = decode(encode_operate(Opcode::INTA, 0x20, 1, 2, 31));
+  const ExecOut out = execute(d, {3, 4, 0}, 0x2000);
+  writeback(d, out, st);
+  EXPECT_EQ(st.ireg(31), 0u);
+  EXPECT_EQ(st.pc(), 0x2004u);
+}
+
+TEST(Writeback, LdaAndLdah) {
+  const Decoded lda = decode(encode_mem(Opcode::LDA, 1, 2, -16));
+  ExecOut out = execute(lda, {0x100, 0, 0}, 0);
+  EXPECT_EQ(out.value, 0xf0u);
+  const Decoded ldah = decode(encode_mem(Opcode::LDAH, 1, 2, 2));
+  out = execute(ldah, {0x100, 0, 0}, 0);
+  EXPECT_EQ(out.value, 0x100u + 0x20000u);
+}
+
+TEST(Pseudo, HaltAndPseudoClassification) {
+  const Decoded halt = decode(encode_pal(Opcode::CALL_PAL, 0));
+  EXPECT_EQ(execute(halt, {}, 0).trap.kind, TrapKind::Halt);
+  const Decoded fi = decode(encode_pal(Opcode::PSEUDO, 0));
+  const ExecOut out = execute(fi, {}, 0x2000);
+  EXPECT_TRUE(out.is_pseudo);
+  EXPECT_EQ(out.next_pc, 0x2004u);
+}
+
+}  // namespace

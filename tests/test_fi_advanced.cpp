@@ -1,0 +1,325 @@
+// Advanced fault-injection behavior: interplay with speculation (squashed
+// wrong-path faults), the detailed->atomic model-switch equivalence, armed
+// memory-transaction faults, intermittent/permanent faults, multithreaded
+// thread-targeting, and paper-expected per-app invariants (Sec. IV-B).
+#include <gtest/gtest.h>
+
+#include "assembler/assembler.hpp"
+#include "campaign/runner.hpp"
+#include "sim/simulation.hpp"
+
+namespace {
+
+using namespace gemfi;
+using namespace gemfi::assembler;
+
+// ---- mem-transaction fault arming ----
+
+TEST(MemFaults, ArmAtNonMemoryInstructionHitNextTransaction) {
+  // The trigger instruction is an ALU op; the fault must fire on the next
+  // load that follows it.
+  Assembler as;
+  const DataRef cell = as.data_u64(std::uint64_t(64));
+  const Label entry = as.here("main");
+  as.la(reg::s2, cell);
+  as.mov_i(0, reg::a0);
+  as.fi_activate();
+  for (int i = 0; i < 9; ++i) as.addq_i(reg::t0, 1, reg::t0);  // seq 1..9: ALU
+  as.ldq(reg::s0, 0, reg::s2);                                 // seq 10: the load
+  as.mov_i(0, reg::a0);
+  as.fi_activate();
+  as.print_int_r(reg::s0);
+  as.mov_i(0, reg::a0);
+  as.exit_();
+
+  sim::SimConfig cfg;
+  cfg.cpu = sim::CpuKind::AtomicSimple;
+  sim::Simulation s(cfg, as.finalize(entry));
+  s.spawn_main_thread();
+  s.fault_manager().load_faults({fi::parse_fault(
+      "LoadStoreInjectedFault Inst:3 Flip:0 Threadid:0 system.cpu0 occ:1")});
+  const auto rr = s.run(1'000'000);
+  EXPECT_EQ(rr.reason, sim::ExitReason::AllThreadsExited);
+  EXPECT_EQ(s.output(0), "65");  // 64 ^ 1
+  ASSERT_EQ(s.fault_manager().states().size(), 1u);
+  EXPECT_EQ(s.fault_manager().states()[0].affected_seq, 10u);
+}
+
+TEST(MemFaults, OccurrenceCountLimitsTransactions) {
+  Assembler as;
+  const DataRef cells = as.data_zeros(4 * 8);
+  const Label entry = as.here("main");
+  as.la(reg::s2, cells);
+  as.mov_i(0, reg::a0);
+  as.fi_activate();
+  // Four stores of value 10 to separate cells.
+  as.mov_i(10, reg::t1);
+  for (int i = 0; i < 4; ++i) as.stq(reg::t1, i * 8, reg::s2);
+  as.mov_i(0, reg::a0);
+  as.fi_activate();
+  for (int i = 0; i < 4; ++i) {
+    as.ldq(reg::a0, i * 8, reg::s2);
+    as.print_int();
+    as.print_str(" ");
+  }
+  as.mov_i(0, reg::a0);
+  as.exit_();
+
+  sim::SimConfig cfg;
+  cfg.cpu = sim::CpuKind::AtomicSimple;
+  sim::Simulation s(cfg, as.finalize(entry));
+  s.spawn_main_thread();
+  // occ:2 from the first store: first two stores corrupted (10^4=14).
+  s.fault_manager().load_faults({fi::parse_fault(
+      "LoadStoreInjectedFault Inst:1 Flip:2 Threadid:0 system.cpu0 occ:2")});
+  const auto rr = s.run(1'000'000);
+  EXPECT_EQ(rr.reason, sim::ExitReason::AllThreadsExited);
+  EXPECT_EQ(s.output(0), "14 14 10 10 ");
+}
+
+// ---- intermittent / permanent register faults ----
+
+TEST(PersistentFaults, PermanentStuckAtDominatesTransient) {
+  // Guest: accumulate s0 += 1 in a loop; s3 is stuck at all-ones from the
+  // midpoint, and s3 is added once at the end.
+  Assembler as;
+  const Label entry = as.here("main");
+  as.mov_i(0, reg::a0);
+  as.fi_activate();
+  as.li(reg::s0, 0);
+  as.li(reg::s3, 5);
+  as.li(reg::s1, 100);
+  const Label loop = as.here("loop");
+  as.addq_i(reg::s0, 1, reg::s0);
+  as.subq_i(reg::s1, 1, reg::s1);
+  as.bne(reg::s1, loop);
+  as.addq(reg::s0, reg::s3, reg::s0);
+  as.mov_i(0, reg::a0);
+  as.fi_activate();
+  as.print_int_r(reg::s0);
+  as.mov_i(0, reg::a0);
+  as.exit_();
+  const Program prog = as.finalize(entry);
+
+  // Transient flip of s3 bit 1 early: 5 -> 7, result 107.
+  {
+    sim::SimConfig cfg;
+    sim::Simulation s(cfg, prog);
+    s.spawn_main_thread();
+    s.fault_manager().load_faults({fi::parse_fault(
+        "RegisterInjectedFault Inst:10 Flip:1 Threadid:0 system.cpu0 occ:1 int 12")});
+    (void)s.run(10'000'000);
+    EXPECT_EQ(s.output(0), "107");
+  }
+  // Permanent stuck-at-one of s3: result 100 + (-1) = 99.
+  {
+    sim::SimConfig cfg;
+    sim::Simulation s(cfg, prog);
+    s.spawn_main_thread();
+    s.fault_manager().load_faults({fi::parse_fault(
+        "RegisterInjectedFault Inst:10 AllOne Threadid:0 system.cpu0 occ:perm int 12")});
+    (void)s.run(10'000'000);
+    EXPECT_EQ(s.output(0), "99");
+  }
+}
+
+// ---- model-switch equivalence (Sec. IV-B-1 methodology) ----
+
+TEST(ModelSwitch, SwitchToAtomicPreservesOutcomes) {
+  campaign::CampaignConfig base;
+  base.cpu = sim::CpuKind::Pipelined;
+  base.workers = 1;
+  base.use_checkpoint = true;
+
+  auto with_switch = base;
+  with_switch.switch_to_atomic_after_fault = true;
+  auto without_switch = base;
+  without_switch.switch_to_atomic_after_fault = false;
+
+  const auto ca = campaign::calibrate(apps::build_app("pi"), base);
+  util::Rng rng(321);
+  unsigned switched_runs = 0;
+  for (int i = 0; i < 25; ++i) {
+    const fi::Fault f = campaign::random_fault_any(rng, ca.kernel_fetches);
+    const auto a = campaign::run_experiment(ca, f, with_switch);
+    const auto b = campaign::run_experiment(ca, f, without_switch);
+    EXPECT_EQ(a.classification.outcome, b.classification.outcome) << f.to_line();
+    // The switch only saves time; simulated work must not grow.
+    if (a.sim_ticks < b.sim_ticks) ++switched_runs;
+  }
+  EXPECT_GT(switched_runs, 0u);  // the optimization actually kicked in
+}
+
+// ---- speculation interplay ----
+
+TEST(Speculation, WrongPathFaultsAreSquashedAndNonPropagated) {
+  // Run many fetch-stage faults on the pipelined model over a
+  // mispredict-heavy kernel; some must land on squashed wrong-path
+  // instructions and be classified non-propagated via the squash path.
+  Assembler as;
+  const Label entry = as.here("main");
+  as.li_u(reg::s1, 0xabcdef12345);
+  as.mov_i(0, reg::a0);
+  as.fi_activate();
+  as.li(reg::s0, 300);
+  const Label loop = as.here("loop");
+  const Label skip = as.make_label("skip");
+  as.li_u(reg::t1, 6364136223846793005ull);
+  as.mulq(reg::s1, reg::t1, reg::s1);
+  as.srl_i(reg::s1, 33, reg::t0);
+  as.blbs(reg::t0, skip);  // ~50% taken: constant mispredictions
+  as.addq_i(reg::s2, 1, reg::s2);
+  as.bind(skip);
+  as.subq_i(reg::s0, 1, reg::s0);
+  as.bne(reg::s0, loop);
+  as.mov_i(0, reg::a0);
+  as.fi_activate();
+  as.print_int_r(reg::s2);
+  as.mov_i(0, reg::a0);
+  as.exit_();
+  const Program prog = as.finalize(entry);
+
+  unsigned squashed_cases = 0;
+  util::Rng rng(777);
+  for (int i = 0; i < 120; ++i) {
+    sim::SimConfig cfg;
+    cfg.cpu = sim::CpuKind::Pipelined;
+    sim::Simulation s(cfg, prog);
+    s.spawn_main_thread();
+    fi::Fault f;
+    f.location = fi::FaultLocation::Fetch;
+    f.time = 1 + rng.below(2800);
+    f.behavior = fi::FaultBehavior::Flip;
+    f.operand = rng.below(32);
+    s.fault_manager().load_faults({f});
+    (void)s.run(10'000'000);
+    const auto& st = s.fault_manager().states()[0];
+    if (st.applied > 0 && st.squashed) {
+      ++squashed_cases;
+      EXPECT_FALSE(st.propagated());
+    }
+  }
+  // With ~50% mispredictions, a solid fraction of uniformly timed fetch
+  // faults must land on wrong-path instructions.
+  EXPECT_GT(squashed_cases, 5u);
+}
+
+// ---- thread targeting under preemption ----
+
+TEST(ThreadTargeting, FaultFollowsThreadAcrossContextSwitches) {
+  Assembler as;
+  const Label entry = as.here("main");
+  as.mov(reg::a0, reg::s2);
+  as.fi_activate();
+  as.li(reg::s0, 0);
+  as.li(reg::s1, 400);
+  const Label loop = as.here("loop");
+  as.addq_i(reg::s0, 1, reg::s0);
+  as.subq_i(reg::s1, 1, reg::s1);
+  as.bne(reg::s1, loop);
+  as.mov(reg::s2, reg::a0);
+  as.fi_activate();
+  as.print_int_r(reg::s0);
+  as.mov_i(0, reg::a0);
+  as.exit_();
+  const Program prog = as.finalize(entry);
+
+  for (const int victim : {0, 1, 2}) {
+    sim::SimConfig cfg;
+    cfg.cpu = sim::CpuKind::Pipelined;
+    cfg.quantum_insts = 37;  // aggressive preemption
+    sim::Simulation s(cfg, prog);
+    s.spawn_main_thread({0});
+    s.spawn_thread(prog.entry, {1});
+    s.spawn_thread(prog.entry, {2});
+    char line[160];
+    std::snprintf(line, sizeof line,
+                  "RegisterInjectedFault Inst:100 Flip:9 Threadid:%d system.cpu0 "
+                  "occ:1 int 9",
+                  victim);
+    s.fault_manager().load_faults({fi::parse_fault(line)});
+    const auto rr = s.run(100'000'000);
+    ASSERT_EQ(rr.reason, sim::ExitReason::AllThreadsExited);
+    for (int t = 0; t < 3; ++t) {
+      if (t == victim)
+        EXPECT_NE(s.output(std::uint64_t(t)), "400") << "victim " << victim;
+      else
+        EXPECT_EQ(s.output(std::uint64_t(t)), "400") << "victim " << victim;
+    }
+  }
+}
+
+// ---- paper-expected per-app invariants (Sec. IV-B-2) ----
+
+TEST(PaperInvariants, DeblockFpRegisterFaultsAreAlwaysBenign) {
+  campaign::CampaignConfig cfg;
+  cfg.cpu = sim::CpuKind::Pipelined;
+  cfg.workers = 2;
+  const auto ca = campaign::calibrate(apps::build_app("deblock"), cfg);
+  util::Rng rng(42);
+  std::vector<fi::Fault> faults;
+  for (int i = 0; i < 40; ++i)
+    faults.push_back(campaign::random_fault(rng, fi::FaultLocation::FpReg,
+                                            ca.kernel_fetches));
+  const auto report = campaign::run_campaign(ca, faults, cfg);
+  // No FP instructions: FP faults can never propagate (paper: 100% benign).
+  EXPECT_EQ(report.counts[std::size_t(apps::Outcome::Crashed)], 0u);
+  EXPECT_EQ(report.counts[std::size_t(apps::Outcome::SDC)], 0u);
+  EXPECT_EQ(report.counts[std::size_t(apps::Outcome::Correct)], 0u);
+}
+
+TEST(PaperInvariants, PiHasNoMemoryTransactionsInKernel) {
+  campaign::CampaignConfig cfg;
+  cfg.cpu = sim::CpuKind::Pipelined;
+  cfg.workers = 2;
+  const auto ca = campaign::calibrate(apps::build_app("pi"), cfg);
+  util::Rng rng(43);
+  std::vector<fi::Fault> faults;
+  for (int i = 0; i < 25; ++i)
+    faults.push_back(campaign::random_fault(rng, fi::FaultLocation::LoadStore,
+                                            ca.kernel_fetches));
+  const auto report = campaign::run_campaign(ca, faults, cfg);
+  // "PI performs almost no data accesses from memory": in our kernel,
+  // none at all, so load/store faults never manifest.
+  EXPECT_EQ(report.counts[std::size_t(apps::Outcome::NonPropagated)], faults.size());
+}
+
+TEST(PaperInvariants, PcFaultsAreMostlyFatal) {
+  campaign::CampaignConfig cfg;
+  cfg.cpu = sim::CpuKind::Pipelined;
+  cfg.workers = 2;
+  const auto ca = campaign::calibrate(apps::build_app("knapsack"), cfg);
+  util::Rng rng(44);
+  std::vector<fi::Fault> faults;
+  for (int i = 0; i < 40; ++i)
+    faults.push_back(campaign::random_fault(rng, fi::FaultLocation::PC,
+                                            ca.kernel_fetches));
+  const auto report = campaign::run_campaign(ca, faults, cfg);
+  EXPECT_GT(report.fraction(apps::Outcome::Crashed), 0.5);
+}
+
+TEST(PaperInvariants, UnusedInstructionBitsAreAlwaysStrictlyCorrect) {
+  // Faults in the SBZ bits [15:13] of register-form operates never change
+  // semantics (paper: "experiments affecting unused bits always resulted
+  // into strict correct results"). Verify at the decoder level across all
+  // integer operate instructions.
+  for (const auto op : {isa::Opcode::INTA, isa::Opcode::INTL, isa::Opcode::INTS,
+                        isa::Opcode::INTM}) {
+    for (unsigned func = 0; func < 0x80; ++func) {
+      const isa::Word w = isa::encode_operate(op, func, 3, 5, 7);
+      const isa::Decoded base = isa::decode(w);
+      if (!base.valid) continue;
+      for (unsigned bit = 13; bit <= 15; ++bit) {
+        const isa::Decoded flipped = isa::decode(w ^ (1u << bit));
+        EXPECT_EQ(flipped.valid, base.valid);
+        EXPECT_EQ(flipped.func, base.func);
+        EXPECT_EQ(flipped.ra, base.ra);
+        EXPECT_EQ(flipped.rb, base.rb);
+        EXPECT_EQ(flipped.rc, base.rc);
+        EXPECT_EQ(flipped.is_literal, base.is_literal);
+      }
+    }
+  }
+}
+
+}  // namespace

@@ -1,0 +1,213 @@
+// ISA tests: Table I field layouts, exhaustive encode/decode round-trips
+// (parameterized), validity rules, register-usage metadata, and the
+// disassembler renderings the injection log depends on.
+#include <gtest/gtest.h>
+
+#include "isa/disasm.hpp"
+#include "isa/encoding.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace gemfi;
+using namespace gemfi::isa;
+
+TEST(Fields, TableOneBoundaries) {
+  // opcode[31:26] | Ra[25:21] | Rb[20:16] | disp[15:0]
+  const Word w = encode_mem(Opcode::LDQ, 5, 30, -8);
+  EXPECT_EQ(field_opcode(w), 0x29u);
+  EXPECT_EQ(field_ra(w), 5u);
+  EXPECT_EQ(field_rb(w), 30u);
+  EXPECT_EQ(field_mem_disp(w), -8);
+
+  const Word b = encode_branch(Opcode::BEQ, 9, -100);
+  EXPECT_EQ(field_opcode(b), 0x39u);
+  EXPECT_EQ(field_ra(b), 9u);
+  EXPECT_EQ(field_branch_disp(b), -100);
+
+  const Word p = encode_pal(Opcode::PSEUDO, 0x123456);
+  EXPECT_EQ(field_opcode(p), 0x01u);
+  EXPECT_EQ(field_palcode(p), 0x123456u);
+
+  const Word o = encode_operate(Opcode::INTA, 0x20, 1, 2, 3);
+  EXPECT_FALSE(field_is_literal(o));
+  EXPECT_EQ(field_int_func(o), 0x20u);
+  EXPECT_EQ(field_rc(o), 3u);
+
+  const Word ol = encode_operate_lit(Opcode::INTA, 0x20, 1, 255, 3);
+  EXPECT_TRUE(field_is_literal(ol));
+  EXPECT_EQ(field_literal(ol), 255u);
+}
+
+struct OperateCase {
+  Opcode op;
+  unsigned func;
+  const char* mnem;
+};
+
+class OperateRoundTrip : public ::testing::TestWithParam<OperateCase> {};
+
+TEST_P(OperateRoundTrip, RegisterForm) {
+  const auto& c = GetParam();
+  const Word w = encode_operate(c.op, c.func, 7, 11, 13);
+  const Decoded d = decode(w);
+  ASSERT_TRUE(d.valid) << c.mnem;
+  EXPECT_EQ(d.opcode, c.op);
+  EXPECT_EQ(d.func, c.func);
+  EXPECT_EQ(d.ra, 7);
+  EXPECT_EQ(d.rb, 11);
+  EXPECT_EQ(d.rc, 13);
+  EXPECT_FALSE(d.is_literal);
+  EXPECT_EQ(mnemonic(d), c.mnem);
+  EXPECT_EQ(d.src1, 7);
+  EXPECT_EQ(d.src2, 11);
+  EXPECT_EQ(d.dst, 13);
+}
+
+TEST_P(OperateRoundTrip, LiteralForm) {
+  const auto& c = GetParam();
+  const Word w = encode_operate_lit(c.op, c.func, 7, 0xAB, 13);
+  const Decoded d = decode(w);
+  ASSERT_TRUE(d.valid) << c.mnem;
+  EXPECT_TRUE(d.is_literal);
+  EXPECT_EQ(d.literal, 0xAB);
+  EXPECT_EQ(d.src2, 32) << "literal form reads no second register";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllIntOps, OperateRoundTrip,
+    ::testing::Values(
+        OperateCase{Opcode::INTA, 0x00, "addl"}, OperateCase{Opcode::INTA, 0x20, "addq"},
+        OperateCase{Opcode::INTA, 0x22, "s4addq"}, OperateCase{Opcode::INTA, 0x09, "subl"},
+        OperateCase{Opcode::INTA, 0x32, "s8addq"}, OperateCase{Opcode::INTA, 0x29, "subq"},
+        OperateCase{Opcode::INTA, 0x1D, "cmpult"}, OperateCase{Opcode::INTA, 0x2D, "cmpeq"},
+        OperateCase{Opcode::INTA, 0x3D, "cmpule"}, OperateCase{Opcode::INTA, 0x4D, "cmplt"},
+        OperateCase{Opcode::INTA, 0x6D, "cmple"}, OperateCase{Opcode::INTL, 0x00, "and"},
+        OperateCase{Opcode::INTL, 0x08, "bic"}, OperateCase{Opcode::INTL, 0x20, "bis"},
+        OperateCase{Opcode::INTL, 0x28, "ornot"}, OperateCase{Opcode::INTL, 0x40, "xor"},
+        OperateCase{Opcode::INTL, 0x48, "eqv"}, OperateCase{Opcode::INTL, 0x24, "cmoveq"},
+        OperateCase{Opcode::INTL, 0x26, "cmovne"}, OperateCase{Opcode::INTL, 0x44, "cmovlt"},
+        OperateCase{Opcode::INTL, 0x46, "cmovge"}, OperateCase{Opcode::INTL, 0x64, "cmovle"},
+        OperateCase{Opcode::INTL, 0x66, "cmovgt"}, OperateCase{Opcode::INTL, 0x14, "cmovlbs"},
+        OperateCase{Opcode::INTL, 0x16, "cmovlbc"}, OperateCase{Opcode::INTS, 0x34, "srl"},
+        OperateCase{Opcode::INTS, 0x39, "sll"}, OperateCase{Opcode::INTS, 0x3C, "sra"},
+        OperateCase{Opcode::INTM, 0x00, "mull"}, OperateCase{Opcode::INTM, 0x20, "mulq"},
+        OperateCase{Opcode::INTM, 0x30, "umulh"}, OperateCase{Opcode::INTM, 0x40, "divq"},
+        OperateCase{Opcode::INTM, 0x41, "remq"}),
+    [](const auto& info) { return std::string(info.param.mnem); });
+
+struct FpCase {
+  unsigned func;
+  const char* mnem;
+};
+
+class FpRoundTrip : public ::testing::TestWithParam<FpCase> {};
+
+TEST_P(FpRoundTrip, FltiEncodings) {
+  const auto& c = GetParam();
+  const Word w = encode_fp(Opcode::FLTI, c.func, 4, 5, 6);
+  const Decoded d = decode(w);
+  ASSERT_TRUE(d.valid);
+  EXPECT_EQ(d.func, c.func);
+  EXPECT_EQ(mnemonic(d), c.mnem);
+  EXPECT_TRUE(d.src1_fp);
+  EXPECT_TRUE(d.src2_fp);
+  EXPECT_TRUE(d.dst_fp);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFpOps, FpRoundTrip,
+    ::testing::Values(FpCase{0x0A0, "addt"}, FpCase{0x0A1, "subt"}, FpCase{0x0A2, "mult"},
+                      FpCase{0x0A3, "divt"}, FpCase{0x0A4, "cmptun"},
+                      FpCase{0x0A5, "cmpteq"}, FpCase{0x0A6, "cmptlt"},
+                      FpCase{0x0A7, "cmptle"}, FpCase{0x0AB, "sqrtt"},
+                      FpCase{0x0AF, "cvttq"}, FpCase{0x0BE, "cvtqt"}),
+    [](const auto& info) { return std::string(info.param.mnem); });
+
+TEST(Validity, UndefinedFunctionCodesAreIllegal) {
+  EXPECT_FALSE(decode(encode_operate(Opcode::INTA, 0x7F, 0, 0, 0)).valid);
+  EXPECT_FALSE(decode(encode_operate(Opcode::INTS, 0x00, 0, 0, 0)).valid);
+  EXPECT_FALSE(decode(encode_fp(Opcode::FLTI, 0x7FF, 0, 0, 0)).valid);
+  EXPECT_FALSE(decode(encode_fp(Opcode::ITOF, 0x000, 0, 0, 0)).valid);
+  EXPECT_FALSE(decode(encode_pal(Opcode::CALL_PAL, 0x3FFFFFF)).valid);
+}
+
+TEST(Validity, UnassignedOpcodesAreIllegal) {
+  for (const unsigned op : {0x02u, 0x03u, 0x04u, 0x07u, 0x0Au, 0x0Fu, 0x15u, 0x18u,
+                            0x19u, 0x1Bu, 0x1Du, 0x1Fu, 0x20u, 0x21u, 0x24u, 0x25u,
+                            0x2Au, 0x2Bu, 0x2Eu, 0x2Fu}) {
+    const Word w = Word(op) << 26;
+    EXPECT_FALSE(decode(w).valid) << "opcode 0x" << std::hex << op;
+  }
+}
+
+TEST(Validity, ZeroRegisterNormalization) {
+  // R31 sources/destinations are normalized to "none" (index 32).
+  const Decoded d = decode(encode_operate(Opcode::INTA, 0x20, 31, 31, 31));
+  EXPECT_EQ(d.src1, 32);
+  EXPECT_EQ(d.src2, 32);
+  EXPECT_EQ(d.dst, 32);
+}
+
+TEST(RegisterUsage, LoadsStoresAndBranches) {
+  const Decoded ld = decode(encode_mem(Opcode::LDQ, 1, 2, 16));
+  EXPECT_EQ(ld.dst, 1);
+  EXPECT_EQ(ld.src1, 2);
+  EXPECT_TRUE(ld.is_load());
+  EXPECT_EQ(ld.mem_bytes(), 8u);
+
+  const Decoded st = decode(encode_mem(Opcode::STL, 1, 2, 16));
+  EXPECT_EQ(st.src2, 1);  // value
+  EXPECT_EQ(st.src1, 2);  // base
+  EXPECT_TRUE(st.is_store());
+  EXPECT_EQ(st.mem_bytes(), 4u);
+
+  const Decoded fst = decode(encode_mem(Opcode::STT, 7, 2, 0));
+  EXPECT_TRUE(fst.src2_fp);
+  EXPECT_FALSE(fst.src1_fp);
+
+  const Decoded br = decode(encode_branch(Opcode::FBLT, 3, 10));
+  EXPECT_TRUE(br.src1_fp);
+  EXPECT_EQ(br.src1, 3);
+  EXPECT_TRUE(br.is_control());
+
+  const Decoded jsr = decode(encode_jump(JumpKind::JSR, 26, 27));
+  EXPECT_EQ(jsr.dst, 26);
+  EXPECT_EQ(jsr.src1, 27);
+  EXPECT_EQ(mnemonic(jsr), "jsr");
+  EXPECT_EQ(mnemonic(decode(encode_jump(JumpKind::RET, 31, 26))), "ret");
+}
+
+TEST(Disasm, RendersOperandsAndTargets) {
+  EXPECT_EQ(disassemble(decode(encode_operate(Opcode::INTA, 0x20, 1, 2, 3))),
+            "addq t0, t1, t2");
+  EXPECT_EQ(disassemble(decode(encode_operate_lit(Opcode::INTA, 0x20, 1, 8, 3))),
+            "addq t0, 0x8, t2");
+  EXPECT_EQ(disassemble(decode(encode_mem(Opcode::LDQ, 16, 30, 16))), "ldq a0, 16(sp)");
+  // Branch target: pc + 4 + 4*disp = 0x1000 + 4 + 40 = 0x102c.
+  EXPECT_EQ(disassemble(decode(encode_branch(Opcode::BEQ, 0, 10)), 0x1000),
+            "beq v0, 0x102c");
+  // 0xffffffff = BGT zero with disp -1: target = 0 + 4 + 4*(-1) = 0.
+  EXPECT_EQ(disassemble(decode(0xffffffffu), 0), "bgt zero, 0x0");
+}
+
+TEST(Disasm, FuzzNeverCrashesAndInvalidIsMarked) {
+  util::Rng rng(0xd15a);
+  unsigned valid = 0;
+  for (int i = 0; i < 200000; ++i) {
+    const Word w = Word(rng.next());
+    const Decoded d = decode(w);
+    const std::string text = disassemble(d, 0x2000);
+    EXPECT_FALSE(text.empty());
+    if (d.valid) {
+      ++valid;
+      EXPECT_EQ(text.find("<illegal"), std::string::npos);
+    }
+  }
+  // A meaningful share of random words decode (branch/memory formats are
+  // dense), but far from all of them.
+  EXPECT_GT(valid, 100000u / 2);
+  EXPECT_LT(valid, 190000u);
+}
+
+}  // namespace

@@ -1,0 +1,163 @@
+// Memory-subsystem tests: PhysMem access checking, cache geometry/LRU/
+// write-back behavior, the MemSystem policy layer and latency model, and
+// serialization round-trips.
+#include <gtest/gtest.h>
+
+#include "mem/cache.hpp"
+#include "mem/memsys.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace gemfi;
+using namespace gemfi::mem;
+
+TEST(PhysMem, CheckedAccessSemantics) {
+  PhysMem pm(4096);
+  std::uint64_t v = 0;
+  EXPECT_EQ(pm.store(0, 8, 0x1122334455667788ull), AccessError::None);
+  EXPECT_EQ(pm.load(0, 8, v), AccessError::None);
+  EXPECT_EQ(v, 0x1122334455667788ull);
+  EXPECT_EQ(pm.load(0, 4, v), AccessError::None);
+  EXPECT_EQ(v, 0x55667788u);  // little-endian
+  EXPECT_EQ(pm.load(1, 4, v), AccessError::Misaligned);
+  EXPECT_EQ(pm.load(4096, 1, v), AccessError::OutOfBounds);
+  EXPECT_EQ(pm.load(4095, 8, v), AccessError::OutOfBounds);
+  EXPECT_EQ(pm.store(4090, 8, 0), AccessError::OutOfBounds);
+  // Failed loads leave the out-parameter untouched.
+  v = 42;
+  EXPECT_EQ(pm.load(9999, 8, v), AccessError::OutOfBounds);
+  EXPECT_EQ(v, 42u);
+}
+
+TEST(Cache, GeometryValidation) {
+  EXPECT_THROW(Cache({.size_bytes = 1000, .line_bytes = 64, .ways = 4}),
+               std::invalid_argument);
+  EXPECT_THROW(Cache({.size_bytes = 4096, .line_bytes = 60, .ways = 4}),
+               std::invalid_argument);
+  EXPECT_THROW(Cache({.size_bytes = 4096, .line_bytes = 64, .ways = 0}),
+               std::invalid_argument);
+  EXPECT_NO_THROW(Cache({.size_bytes = 4096, .line_bytes = 64, .ways = 4}));
+}
+
+TEST(Cache, HitsMissesAndLineGranularity) {
+  Cache c({.size_bytes = 4096, .line_bytes = 64, .ways = 2});
+  EXPECT_FALSE(c.access(0x1000, false).hit);
+  EXPECT_TRUE(c.access(0x1000, false).hit);
+  EXPECT_TRUE(c.access(0x103F, false).hit);   // same line
+  EXPECT_FALSE(c.access(0x1040, false).hit);  // next line
+  EXPECT_EQ(c.stats().hits, 2u);
+  EXPECT_EQ(c.stats().misses, 2u);
+  EXPECT_TRUE(c.probe(0x1000));
+  EXPECT_FALSE(c.probe(0x2000000));
+}
+
+TEST(Cache, LruEvictionOrder) {
+  // 2-way, 32 sets of 64B lines: three lines mapping to one set.
+  Cache c({.size_bytes = 4096, .line_bytes = 64, .ways = 2});
+  const std::uint64_t setstride = 32 * 64;
+  c.access(0 * setstride, false);  // A
+  c.access(1 * setstride, false);  // B
+  c.access(0 * setstride, false);  // touch A -> B is LRU
+  c.access(2 * setstride, false);  // C evicts B
+  EXPECT_TRUE(c.probe(0));
+  EXPECT_FALSE(c.probe(setstride));
+  EXPECT_TRUE(c.probe(2 * setstride));
+}
+
+TEST(Cache, WritebackOnDirtyEviction) {
+  Cache c({.size_bytes = 4096, .line_bytes = 64, .ways = 2});
+  const std::uint64_t setstride = 32 * 64;
+  c.access(0, true);  // dirty A
+  c.access(setstride, false);
+  const auto r = c.access(2 * setstride, false);  // evicts dirty A
+  EXPECT_TRUE(r.writeback);
+  EXPECT_EQ(c.stats().writebacks, 1u);
+  c.flush();
+  EXPECT_FALSE(c.probe(2 * setstride));
+}
+
+TEST(Cache, SerializationRoundTrip) {
+  Cache c({.size_bytes = 4096, .line_bytes = 64, .ways = 2});
+  util::Rng rng(5);
+  for (int i = 0; i < 1000; ++i) c.access(rng.below(1 << 16) & ~7ull, rng.chance(0.3));
+  util::ByteWriter w;
+  c.serialize(w);
+  Cache c2({.size_bytes = 4096, .line_bytes = 64, .ways = 2});
+  util::ByteReader r(w.bytes());
+  c2.deserialize(r);
+  // Identical behavior after restore: same hit/miss on a probe sequence.
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint64_t addr = rng.below(1 << 16) & ~7ull;
+    EXPECT_EQ(c.probe(addr), c2.probe(addr));
+  }
+}
+
+TEST(MemSystem, PolicyChecks) {
+  MemSystem ms;
+  ms.set_code_region(0x2000, 0x3000);
+  std::uint64_t v = 0;
+  EXPECT_EQ(ms.read(0x10, 8, v), AccessError::NullPage);
+  EXPECT_EQ(ms.write(0x2000, 8, 1), AccessError::ReadOnly);
+  EXPECT_EQ(ms.write(0x2ff8, 8, 1), AccessError::ReadOnly);
+  EXPECT_EQ(ms.write(0x3000, 8, 1), AccessError::None);
+  EXPECT_EQ(ms.read(0x2000, 8, v), AccessError::None);  // code is readable
+  std::uint32_t word = 0;
+  EXPECT_EQ(ms.fetch(0x2000, word), AccessError::None);
+  EXPECT_EQ(ms.fetch(0x10, word), AccessError::NullPage);
+  EXPECT_EQ(ms.fetch(ms.phys().size(), word), AccessError::OutOfBounds);
+}
+
+TEST(MemSystem, LatencyLadder) {
+  MemSysConfig cfg;
+  MemSystem ms(cfg);
+  // Cold: L1 miss + L2 miss + DRAM.
+  const std::uint32_t cold = ms.data_latency(0x10000, false);
+  EXPECT_EQ(cold, cfg.l1d.hit_latency + cfg.l2.hit_latency + cfg.dram_latency);
+  // Warm: L1 hit.
+  EXPECT_EQ(ms.data_latency(0x10000, false), cfg.l1d.hit_latency);
+  // Fetch path uses the I-cache.
+  const std::uint32_t coldf = ms.fetch_latency(0x2000);
+  EXPECT_EQ(coldf, cfg.l1i.hit_latency + cfg.l2.hit_latency + cfg.dram_latency);
+  EXPECT_EQ(ms.fetch_latency(0x2000), cfg.l1i.hit_latency);
+  // L2 hit after L1 eviction: fill many distinct lines mapping to one L1 set.
+  MemSystem ms2(cfg);
+  const std::uint64_t l1_sets = cfg.l1d.size_bytes / (cfg.l1d.line_bytes * cfg.l1d.ways);
+  const std::uint64_t stride = l1_sets * cfg.l1d.line_bytes;
+  for (unsigned i = 0; i < cfg.l1d.ways + 1; ++i) ms2.data_latency(0x10000 + i * stride, false);
+  const std::uint32_t l2hit = ms2.data_latency(0x10000, false);
+  EXPECT_EQ(l2hit, cfg.l1d.hit_latency + cfg.l2.hit_latency);
+}
+
+TEST(MemSystem, StatsAccumulateAndReset) {
+  MemSystem ms;
+  ms.data_latency(0x8000, false);
+  ms.data_latency(0x8000, true);
+  ms.fetch_latency(0x2000);
+  EXPECT_EQ(ms.l1d_stats().accesses(), 2u);
+  EXPECT_EQ(ms.l1i_stats().accesses(), 1u);
+  EXPECT_GT(ms.l2_stats().misses, 0u);
+  ms.reset_stats();
+  EXPECT_EQ(ms.l1d_stats().accesses(), 0u);
+}
+
+TEST(MemSystem, SerializationPreservesMemoryAndCaches) {
+  MemSystem ms;
+  ms.set_code_region(0x2000, 0x2100);
+  ASSERT_EQ(ms.write(0x8000, 8, 0xabcdefull), AccessError::None);
+  ms.data_latency(0x8000, true);
+  util::ByteWriter w;
+  ms.serialize(w);
+
+  MemSystem ms2;
+  util::ByteReader r(w.bytes());
+  ms2.deserialize(r);
+  std::uint64_t v = 0;
+  ASSERT_EQ(ms2.read(0x8000, 8, v), AccessError::None);
+  EXPECT_EQ(v, 0xabcdefull);
+  EXPECT_EQ(ms2.code_base(), 0x2000u);
+  // Warm line survived the round-trip.
+  EXPECT_EQ(ms2.data_latency(0x8000, false), ms2.config().l1d.hit_latency);
+}
+
+}  // namespace

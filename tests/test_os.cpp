@@ -1,0 +1,180 @@
+// Kernel-layer tests: thread creation, PCB uniqueness, round-robin
+// preemption, context-switch events, yield/exit semantics, and scheduler
+// serialization.
+#include <gtest/gtest.h>
+
+#include "assembler/assembler.hpp"
+#include "os/scheduler.hpp"
+#include "sim/simulation.hpp"
+
+namespace {
+
+using namespace gemfi;
+using namespace gemfi::assembler;
+
+TEST(Scheduler, PcbAddressesAreUniqueAndStable) {
+  os::Scheduler sched;
+  cpu::ArchState ctx;
+  const auto t0 = sched.add_thread(ctx);
+  const auto t1 = sched.add_thread(ctx);
+  const auto t2 = sched.add_thread(ctx);
+  EXPECT_NE(sched.thread(t0).pcb_addr, sched.thread(t1).pcb_addr);
+  EXPECT_NE(sched.thread(t1).pcb_addr, sched.thread(t2).pcb_addr);
+  EXPECT_EQ(sched.thread(t0).pcb_addr, os::kPcbBase);
+}
+
+TEST(Scheduler, RoundRobinSkipsFinishedThreads) {
+  os::Scheduler sched(10);
+  mem::MemSystem ms;
+  cpu::SimpleCpu cpu(ms, false);
+  cpu::ArchState ctx;
+  ctx.set_pc(0x2000);
+  sched.add_thread(ctx);
+  sched.add_thread(ctx);
+  sched.add_thread(ctx);
+
+  auto ev = sched.switch_to_next(cpu);
+  EXPECT_EQ(ev.new_tid, 0u);
+  ev = sched.switch_to_next(cpu);
+  EXPECT_EQ(ev.new_tid, 1u);
+  sched.finish_current(0);  // thread 1 done
+  ev = sched.switch_to_next(cpu);
+  EXPECT_EQ(ev.new_tid, 2u);
+  ev = sched.switch_to_next(cpu);
+  EXPECT_EQ(ev.new_tid, 0u);  // wraps, skipping 1
+  EXPECT_EQ(ev.old_pcb, sched.thread(2).pcb_addr);
+}
+
+TEST(Scheduler, QuantumExpiryOnlyWithOtherRunnables) {
+  os::Scheduler solo(3);
+  mem::MemSystem ms;
+  cpu::SimpleCpu cpu(ms, false);
+  cpu::ArchState ctx;
+  solo.add_thread(ctx);
+  solo.switch_to_next(cpu);
+  // Single thread: never requests a switch, no matter how stale the quantum.
+  for (int i = 0; i < 10; ++i) EXPECT_FALSE(solo.on_commit());
+
+  os::Scheduler duo(3);
+  duo.add_thread(ctx);
+  duo.add_thread(ctx);
+  duo.switch_to_next(cpu);
+  EXPECT_FALSE(duo.on_commit());
+  EXPECT_FALSE(duo.on_commit());
+  EXPECT_TRUE(duo.on_commit());  // quantum (3) exhausted, 2 runnable
+  duo.switch_to_next(cpu);       // resets the quantum accounting
+  EXPECT_FALSE(duo.on_commit());
+}
+
+TEST(Scheduler, ContextIsSavedAndRestoredAcrossSwitches) {
+  os::Scheduler sched(100);
+  mem::MemSystem ms;
+  cpu::SimpleCpu cpu(ms, false);
+  cpu::ArchState a;
+  a.set_pc(0x2000);
+  a.set_ireg(9, 111);
+  cpu::ArchState b;
+  b.set_pc(0x3000);
+  b.set_ireg(9, 222);
+  sched.add_thread(a);
+  sched.add_thread(b);
+
+  sched.switch_to_next(cpu);  // -> thread 0
+  EXPECT_EQ(cpu.arch().ireg(9), 111u);
+  cpu.arch().set_ireg(9, 123);  // thread 0 mutates its state
+  sched.switch_to_next(cpu);    // -> thread 1
+  EXPECT_EQ(cpu.arch().ireg(9), 222u);
+  EXPECT_EQ(cpu.arch().pc(), 0x3000u);
+  sched.switch_to_next(cpu);  // -> thread 0 again
+  EXPECT_EQ(cpu.arch().ireg(9), 123u);  // mutation survived
+}
+
+TEST(Scheduler, SerializationRoundTrip) {
+  os::Scheduler sched(7);
+  cpu::ArchState ctx;
+  ctx.set_ireg(5, 55);
+  sched.add_thread(ctx);
+  sched.add_thread(ctx);
+  sched.thread(0).output = "hello";
+  sched.thread(1).finished = true;
+  sched.thread(1).exit_code = 3;
+
+  util::ByteWriter w;
+  sched.serialize(w);
+  os::Scheduler sched2(1);
+  util::ByteReader r(w.bytes());
+  sched2.deserialize(r);
+  EXPECT_EQ(sched2.thread_count(), 2u);
+  EXPECT_EQ(sched2.thread(0).output, "hello");
+  EXPECT_TRUE(sched2.thread(1).finished);
+  EXPECT_EQ(sched2.thread(1).exit_code, 3);
+  EXPECT_EQ(sched2.thread(0).ctx.ireg(5), 55u);
+}
+
+// Guest-level: yield rotates threads cooperatively.
+TEST(GuestThreads, YieldInterleavesDeterministically) {
+  Assembler as;
+  const Label entry = as.here("main");
+  // Each thread prints its id three times, yielding in between.
+  for (int round = 0; round < 3; ++round) {
+    as.print_int();  // a0 still holds the id: yields preserve the context
+    as.yield();
+  }
+  as.mov_i(0, reg::a0);
+  as.exit_();
+  const Program prog = as.finalize(entry);
+
+  sim::SimConfig cfg;
+  cfg.cpu = sim::CpuKind::AtomicSimple;
+  cfg.quantum_insts = 1'000'000;  // only yields cause switches
+  sim::Simulation s(cfg, prog);
+  s.spawn_main_thread({7});
+  s.spawn_thread(prog.entry, {8});
+  const auto rr = s.run(1'000'000);
+  EXPECT_EQ(rr.reason, sim::ExitReason::AllThreadsExited);
+  EXPECT_EQ(s.output(0), "777");
+  EXPECT_EQ(s.output(1), "888");
+}
+
+TEST(GuestThreads, ExitCodePropagates) {
+  Assembler as;
+  const Label entry = as.here("main");
+  as.mov_i(17, reg::a0);
+  as.exit_();
+  sim::SimConfig cfg;
+  sim::Simulation s(cfg, as.finalize(entry));
+  s.spawn_main_thread();
+  (void)s.run(100'000);
+  EXPECT_TRUE(s.scheduler().thread(0).finished);
+  EXPECT_EQ(s.scheduler().thread(0).exit_code, 17);
+}
+
+TEST(GuestThreads, StacksAreDisjoint) {
+  Assembler as;
+  const Label entry = as.here("main");
+  // Push the thread id, spin a bit, pop it back and print.
+  as.push(reg::a0);
+  as.li(reg::t0, 100);
+  const Label spin = as.here("spin");
+  as.subq_i(reg::t0, 1, reg::t0);
+  as.bne(reg::t0, spin);
+  as.pop(reg::a0);
+  as.print_int();
+  as.mov_i(0, reg::a0);
+  as.exit_();
+  const Program prog = as.finalize(entry);
+
+  sim::SimConfig cfg;
+  cfg.quantum_insts = 13;  // interleave aggressively
+  sim::Simulation s(cfg, prog);
+  s.spawn_main_thread({1});
+  s.spawn_thread(prog.entry, {2});
+  s.spawn_thread(prog.entry, {3});
+  const auto rr = s.run(10'000'000);
+  EXPECT_EQ(rr.reason, sim::ExitReason::AllThreadsExited);
+  EXPECT_EQ(s.output(0), "1");
+  EXPECT_EQ(s.output(1), "2");
+  EXPECT_EQ(s.output(2), "3");
+}
+
+}  // namespace

@@ -1,0 +1,242 @@
+// End-to-end simulation tests: small hand-written guest programs running on
+// all three CPU models, pseudo-op dispatch, trap handling, and the
+// atomic/pipelined co-simulation property (same program => same
+// architectural results and output on every model).
+#include <gtest/gtest.h>
+
+#include "assembler/assembler.hpp"
+#include "sim/simulation.hpp"
+
+namespace {
+
+using namespace gemfi;
+using namespace gemfi::assembler;
+
+sim::SimConfig config_for(sim::CpuKind kind, bool fi = true) {
+  sim::SimConfig cfg;
+  cfg.cpu = kind;
+  cfg.fi_enabled = fi;
+  return cfg;
+}
+
+/// Tiny program: compute 6*7, print it, exit.
+Program make_mul_program() {
+  Assembler as;
+  const Label entry = as.here("main");
+  as.mov_i(6, reg::t0);
+  as.mulq_i(reg::t0, 7, reg::t1);
+  as.print_int_r(reg::t1);
+  as.mov_i(0, reg::a0);
+  as.exit_();
+  return as.finalize(entry);
+}
+
+class AllCpuModels : public ::testing::TestWithParam<sim::CpuKind> {};
+
+TEST_P(AllCpuModels, MultiplyAndPrint) {
+  sim::Simulation s(config_for(GetParam()), make_mul_program());
+  s.spawn_main_thread();
+  const sim::RunResult rr = s.run(1'000'000);
+  EXPECT_EQ(rr.reason, sim::ExitReason::AllThreadsExited);
+  EXPECT_EQ(s.output(0), "42");
+}
+
+TEST_P(AllCpuModels, LoopSumMatchesClosedForm) {
+  Assembler as;
+  const Label entry = as.here("main");
+  as.li(reg::t0, 0);    // sum
+  as.li(reg::t1, 1);    // i
+  const Label loop = as.here("loop");
+  as.addq(reg::t0, reg::t1, reg::t0);
+  as.addq_i(reg::t1, 1, reg::t1);
+  as.cmple_i(reg::t1, 100, reg::t2);
+  as.bne(reg::t2, loop);
+  as.print_int_r(reg::t0);
+  as.mov_i(0, reg::a0);
+  as.exit_();
+
+  sim::Simulation s(config_for(GetParam()), as.finalize(entry));
+  s.spawn_main_thread();
+  const sim::RunResult rr = s.run(1'000'000);
+  EXPECT_EQ(rr.reason, sim::ExitReason::AllThreadsExited);
+  EXPECT_EQ(s.output(0), "5050");
+}
+
+TEST_P(AllCpuModels, FunctionCallAndMemory) {
+  Assembler as;
+  const DataRef buf = as.data_zeros(8 * 8);
+  const Label entry = as.make_label("main");
+  const Label fn = as.make_label("store_fn");
+
+  // store_fn(a0=index, a1=value): buf[index] = value
+  as.bind(fn);
+  as.la(reg::t0, buf);
+  as.s8addq(reg::a0, reg::t0, reg::t0);
+  as.stq(reg::a1, 0, reg::t0);
+  as.ret();
+
+  as.bind(entry);
+  as.li(reg::s0, 0);
+  const Label loop = as.here("loop");
+  as.mov(reg::s0, reg::a0);
+  as.mulq_i(reg::s0, 3, reg::a1);
+  as.call(fn);
+  as.addq_i(reg::s0, 1, reg::s0);
+  as.cmplt_i(reg::s0, 8, reg::t0);
+  as.bne(reg::t0, loop);
+  // print buf[5]
+  as.la(reg::t0, buf);
+  as.ldq(reg::a0, 5 * 8, reg::t0);
+  as.print_int();
+  as.mov_i(0, reg::a0);
+  as.exit_();
+
+  sim::Simulation s(config_for(GetParam()), as.finalize(entry));
+  s.spawn_main_thread();
+  const sim::RunResult rr = s.run(1'000'000);
+  EXPECT_EQ(rr.reason, sim::ExitReason::AllThreadsExited);
+  EXPECT_EQ(s.output(0), "15");
+}
+
+TEST_P(AllCpuModels, FloatingPoint) {
+  Assembler as;
+  const Label entry = as.here("main");
+  as.fli(1, 1.5);
+  as.fli(2, 2.25);
+  as.addt(1, 2, 3);    // 3.75
+  as.mult(3, 3, 3);    // 14.0625
+  as.sqrtt(3, 3);      // 3.75
+  as.fmov(3, 16);
+  as.print_fp();
+  as.mov_i(0, reg::a0);
+  as.exit_();
+
+  sim::Simulation s(config_for(GetParam()), as.finalize(entry));
+  s.spawn_main_thread();
+  const sim::RunResult rr = s.run(1'000'000);
+  EXPECT_EQ(rr.reason, sim::ExitReason::AllThreadsExited);
+  EXPECT_EQ(s.output(0), "3.75");
+}
+
+TEST_P(AllCpuModels, NullPointerLoadCrashes) {
+  Assembler as;
+  const Label entry = as.here("main");
+  as.li(reg::t0, 0);
+  as.ldq(reg::t1, 16, reg::t0);  // load from 0x10: null page
+  as.mov_i(0, reg::a0);
+  as.exit_();
+
+  sim::Simulation s(config_for(GetParam()), as.finalize(entry));
+  s.spawn_main_thread();
+  const sim::RunResult rr = s.run(1'000'000);
+  ASSERT_EQ(rr.reason, sim::ExitReason::Crashed);
+  EXPECT_EQ(rr.trap.kind, cpu::TrapKind::MemFault);
+  EXPECT_EQ(rr.trap.mem_error, mem::AccessError::NullPage);
+}
+
+TEST_P(AllCpuModels, IllegalInstructionCrashes) {
+  Assembler as;
+  const Label entry = as.here("main");
+  as.emit(0xffffffffu);  // opcode 0x3f is BGT; use a truly invalid encoding
+  as.emit(isa::encode_operate(isa::Opcode::INTA, 0x7f, 0, 0, 0));  // bad func
+  as.mov_i(0, reg::a0);
+  as.exit_();
+
+  sim::Simulation s(config_for(GetParam()), as.finalize(entry));
+  s.spawn_main_thread();
+  const sim::RunResult rr = s.run(1'000'000);
+  // 0xffffffff decodes as BGT zero (valid, not taken); the INTA with an
+  // undefined function code must trap.
+  ASSERT_EQ(rr.reason, sim::ExitReason::Crashed);
+  EXPECT_EQ(rr.trap.kind, cpu::TrapKind::IllegalInstruction);
+}
+
+TEST_P(AllCpuModels, DivideByZeroTraps) {
+  Assembler as;
+  const Label entry = as.here("main");
+  as.li(reg::t0, 5);
+  as.li(reg::t1, 0);
+  as.divq(reg::t0, reg::t1, reg::t2);
+  as.mov_i(0, reg::a0);
+  as.exit_();
+
+  sim::Simulation s(config_for(GetParam()), as.finalize(entry));
+  s.spawn_main_thread();
+  const sim::RunResult rr = s.run(1'000'000);
+  ASSERT_EQ(rr.reason, sim::ExitReason::Crashed);
+  EXPECT_EQ(rr.trap.kind, cpu::TrapKind::Arithmetic);
+}
+
+TEST_P(AllCpuModels, WatchdogCatchesInfiniteLoop) {
+  Assembler as;
+  const Label entry = as.here("main");
+  const Label loop = as.here("loop");
+  as.br(loop);
+
+  sim::Simulation s(config_for(GetParam()), as.finalize(entry));
+  s.spawn_main_thread();
+  const sim::RunResult rr = s.run(10'000);
+  EXPECT_EQ(rr.reason, sim::ExitReason::Watchdog);
+}
+
+TEST_P(AllCpuModels, StoreToCodeSegmentFaults) {
+  Assembler as;
+  const Label entry = as.here("main");
+  as.li(reg::t0, 0x2000);  // code base
+  as.stq(reg::t1, 0, reg::t0);
+  as.mov_i(0, reg::a0);
+  as.exit_();
+
+  sim::Simulation s(config_for(GetParam()), as.finalize(entry));
+  s.spawn_main_thread();
+  const sim::RunResult rr = s.run(1'000'000);
+  ASSERT_EQ(rr.reason, sim::ExitReason::Crashed);
+  EXPECT_EQ(rr.trap.mem_error, mem::AccessError::ReadOnly);
+}
+
+TEST_P(AllCpuModels, TwoThreadsInterleave) {
+  Assembler as;
+  const DataRef cells = as.data_zeros(16);
+  const Label entry = as.here("main");
+  // a0 = thread index; spins incrementing its own cell, prints final value.
+  as.li(reg::s0, 0);
+  const Label loop = as.here("loop");
+  as.la(reg::t0, cells);
+  as.s8addq(reg::a0, reg::t0, reg::t0);
+  as.ldq(reg::t1, 0, reg::t0);
+  as.addq_i(reg::t1, 1, reg::t1);
+  as.stq(reg::t1, 0, reg::t0);
+  as.addq_i(reg::s0, 1, reg::s0);
+  as.cmplt_i(reg::s0, 200, reg::t1);
+  as.bne(reg::t1, loop);
+  as.la(reg::t0, cells);
+  as.s8addq(reg::a0, reg::t0, reg::t0);
+  as.ldq(reg::a0, 0, reg::t0);
+  as.print_int();
+  as.mov_i(0, reg::a0);
+  as.exit_();
+
+  sim::SimConfig cfg = config_for(GetParam());
+  cfg.quantum_insts = 100;  // force many context switches
+  sim::Simulation s(cfg, as.finalize(entry));
+  s.spawn_main_thread({0});
+  s.spawn_thread(s.program().entry, {1});
+  const sim::RunResult rr = s.run(10'000'000);
+  EXPECT_EQ(rr.reason, sim::ExitReason::AllThreadsExited);
+  EXPECT_EQ(s.output(0), "200");
+  EXPECT_EQ(s.output(1), "200");
+}
+
+INSTANTIATE_TEST_SUITE_P(Models, AllCpuModels,
+                         ::testing::Values(sim::CpuKind::AtomicSimple,
+                                           sim::CpuKind::TimingSimple,
+                                           sim::CpuKind::Pipelined),
+                         [](const auto& info) {
+                           return std::string(sim::cpu_kind_name(info.param)) == "atomic-simple"
+                                      ? "Atomic"
+                                      : sim::cpu_kind_name(info.param) == std::string("timing-simple")
+                                            ? "Timing"
+                                            : "Pipelined";
+                         });
+
+}  // namespace

@@ -1,0 +1,112 @@
+// Simulator-statistics tests: the paper's Sec. IV-A check — GemFI enabled
+// (no faults) vs the unmodified simulator must produce identical statistical
+// results — plus sanity on the report's contents and the core attribute.
+#include <gtest/gtest.h>
+
+#include "apps/app.hpp"
+#include "assembler/assembler.hpp"
+#include "sim/simulation.hpp"
+
+namespace {
+
+using namespace gemfi;
+using namespace gemfi::assembler;
+
+std::string run_stats(const Program& prog, sim::CpuKind kind, bool fi) {
+  sim::SimConfig cfg;
+  cfg.cpu = kind;
+  cfg.fi_enabled = fi;
+  sim::Simulation s(cfg, prog);
+  s.spawn_main_thread();
+  const auto rr = s.run(2'000'000'000ull);
+  EXPECT_EQ(rr.reason, sim::ExitReason::AllThreadsExited);
+  return s.stats_report();
+}
+
+TEST(Stats, GemFiEnabledMatchesUnmodifiedSimulatorExactly) {
+  // Paper Sec. IV-A: "For all benchmarks the results were identical. This
+  // indicates that GemFI does not corrupt the simulation process."
+  for (const auto& name : {"pi", "deblock"}) {
+    const apps::App app = apps::build_app(name);
+    for (const auto kind : {sim::CpuKind::AtomicSimple, sim::CpuKind::Pipelined}) {
+      const std::string base = run_stats(app.program, kind, false);
+      const std::string gemfi = run_stats(app.program, kind, true);
+      EXPECT_EQ(base, gemfi) << name << " on " << sim::cpu_kind_name(kind);
+    }
+  }
+}
+
+TEST(Stats, ReportContainsExpectedCountersAndValues) {
+  Assembler as;
+  const Label entry = as.here("main");
+  as.li(reg::t0, 50);
+  const Label loop = as.here("loop");
+  as.subq_i(reg::t0, 1, reg::t0);
+  as.bne(reg::t0, loop);
+  as.mov_i(0, reg::a0);
+  as.exit_();
+
+  sim::SimConfig cfg;
+  cfg.cpu = sim::CpuKind::Pipelined;
+  sim::Simulation s(cfg, as.finalize(entry));
+  s.spawn_main_thread();
+  const auto rr = s.run(1'000'000);
+  ASSERT_EQ(rr.reason, sim::ExitReason::AllThreadsExited);
+
+  const std::string report = s.stats_report();
+  for (const char* key :
+       {"sim.ticks", "sim.insts", "cpu.model", "cpu.ipc", "cpu.branch.lookups",
+        "cpu.branch.mispredict_rate", "mem.l1i.miss_rate", "mem.l1d.hits",
+        "mem.l2.misses", "thread.0.committed", "thread.0.finished"}) {
+    EXPECT_NE(report.find(key), std::string::npos) << key << "\n" << report;
+  }
+  // The loop commits ~104 instructions; spot-check the counter rendering.
+  char line[64];
+  std::snprintf(line, sizeof line, "%-40s %20llu", "sim.insts",
+                static_cast<unsigned long long>(rr.committed));
+  EXPECT_NE(report.find(line), std::string::npos) << report;
+}
+
+TEST(Stats, AtomicModelReportsNoPredictor) {
+  const apps::App app = apps::build_app("pi");
+  const std::string report = run_stats(app.program, sim::CpuKind::AtomicSimple, false);
+  EXPECT_EQ(report.find("cpu.branch.lookups"), std::string::npos);
+  EXPECT_NE(report.find("atomic-simple"), std::string::npos);
+}
+
+TEST(CoreAttribute, FaultOnOtherCoreNeverTriggers) {
+  Assembler as;
+  const Label entry = as.here("main");
+  as.li(reg::s0, 100);
+  as.mov_i(0, reg::a0);
+  as.fi_activate();
+  for (int i = 0; i < 20; ++i) as.addq_i(reg::t0, 1, reg::t0);
+  as.mov(reg::s0, reg::s1);
+  as.mov_i(0, reg::a0);
+  as.fi_activate();
+  as.print_int_r(reg::s1);
+  as.mov_i(0, reg::a0);
+  as.exit_();
+  const Program prog = as.finalize(entry);
+
+  for (const unsigned core : {0u, 1u}) {
+    sim::SimConfig cfg;
+    sim::Simulation s(cfg, prog);
+    s.spawn_main_thread();
+    char line[160];
+    std::snprintf(line, sizeof line,
+                  "RegisterInjectedFault Inst:2 Flip:3 Threadid:0 system.cpu%u "
+                  "occ:1 int 9",
+                  core);
+    s.fault_manager().load_faults({fi::parse_fault(line)});
+    (void)s.run(10'000'000);
+    if (core == 0) {
+      EXPECT_EQ(s.output(0), "108");  // this simulation's single core is cpu0
+    } else {
+      EXPECT_EQ(s.output(0), "100");  // cpu1 fault: armed but never triggers
+      EXPECT_FALSE(s.fault_manager().any_applied());
+    }
+  }
+}
+
+}  // namespace

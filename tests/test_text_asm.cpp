@@ -1,0 +1,222 @@
+// Text-assembler tests: the .s front end must produce programs that run
+// identically to macro-assembled ones, cover every operand form, and
+// diagnose malformed input with line numbers.
+#include <gtest/gtest.h>
+
+#include "assembler/assembler.hpp"
+#include "assembler/text_asm.hpp"
+#include "sim/simulation.hpp"
+
+namespace {
+
+using namespace gemfi;
+using assembler::assemble_text;
+
+std::string run(const assembler::Program& prog,
+                sim::CpuKind kind = sim::CpuKind::AtomicSimple,
+                const char* fault = nullptr) {
+  sim::SimConfig cfg;
+  cfg.cpu = kind;
+  sim::Simulation s(cfg, prog);
+  s.spawn_main_thread();
+  if (fault != nullptr) s.fault_manager().load_faults({fi::parse_fault(fault)});
+  const auto rr = s.run(100'000'000);
+  EXPECT_EQ(rr.reason, sim::ExitReason::AllThreadsExited);
+  return s.output(0);
+}
+
+TEST(TextAsm, LoopAndPrint) {
+  const auto prog = assemble_text(R"(
+        .text
+main:   li      s0, 0
+        li      s1, 1
+loop:   addq    s0, s1, s0      ; sum += i
+        addq    s1, 1, s1
+        cmple   s1, 100, t0
+        bne     t0, loop
+        mov     s0, a0
+        print_int
+        li      a0, 0
+        exit
+)");
+  EXPECT_EQ(run(prog), "5050");
+}
+
+TEST(TextAsm, DataSectionAndMemoryOps) {
+  const auto prog = assemble_text(R"(
+        .data
+buf:    .zero   32
+vals:   .quad   10, 20, -30
+        .text
+main:   la      t1, vals
+        ldq     t0, 8(t1)       ; 20
+        la      t2, buf
+        stq     t0, 16(t2)
+        ldq     a0, 16(t2)
+        print_int
+        li      a0, 0
+        exit
+)");
+  EXPECT_EQ(run(prog), "20");
+}
+
+TEST(TextAsm, FloatingPointPath) {
+  const auto prog = assemble_text(R"(
+        .data
+c:      .double 2.25, 4.0
+        .text
+main:   la      t0, c
+        ldt     f1, 0(t0)
+        ldt     f2, 8(t0)
+        mult    f1, f2, f3      ; 9
+        sqrtt   f3, f3          ; 3
+        fli     f4, 0.5
+        addt    f3, f4, f16     ; 3.5
+        print_fp
+        li      a0, 0
+        exit
+)");
+  EXPECT_EQ(run(prog), "3.5");
+}
+
+TEST(TextAsm, CallRetAndJumps) {
+  const auto prog = assemble_text(R"(
+        .text
+main:   li      a0, 6
+        call    twice
+        mov     v0, a0
+        call    twice
+        mov     v0, a0
+        print_int
+        li      a0, 0
+        exit
+twice:  addq    a0, a0, v0
+        ret
+)");
+  EXPECT_EQ(run(prog), "24");
+}
+
+TEST(TextAsm, FiIntrinsicsWorkFromSource) {
+  const char* source = R"(
+        .text
+main:   fi_read_init
+        li      a0, 0
+        fi_activate
+        li      s0, 100
+        addq    t0, 1, t0       ; filler so the fault lands well after the
+        addq    t0, 1, t0       ; write to s0 commits and well before the read
+        addq    t0, 1, t0
+        addq    t0, 1, t0
+        addq    t0, 1, t0
+        addq    t0, 1, t0
+        mov     s0, s1
+        li      a0, 0
+        fi_activate
+        mov     s1, a0
+        print_int
+        li      a0, 0
+        exit
+)";
+  const auto prog = assemble_text(source);
+  EXPECT_EQ(run(prog), "100");
+  // Flip bit 3 of s0 while it holds 100: 108 flows into s1.
+  EXPECT_EQ(run(prog, sim::CpuKind::Pipelined,
+                "RegisterInjectedFault Inst:5 Flip:3 Threadid:0 system.cpu0 occ:1 int 9"),
+            "108");
+}
+
+TEST(TextAsm, PrintStrAndEscapes) {
+  const auto prog = assemble_text(R"(
+        .text
+main:   print_str "a, b\n"
+        li      a0, 0
+        exit
+)");
+  EXPECT_EQ(run(prog), "a, b\n");
+}
+
+TEST(TextAsm, EntryPrefersMainElseFirstLabel) {
+  const auto prog = assemble_text(R"(
+        .text
+helper: li      a0, 1
+        print_int
+        li      a0, 0
+        exit
+main:   li      a0, 2
+        print_int
+        li      a0, 0
+        exit
+)");
+  EXPECT_EQ(run(prog), "2");
+
+  const auto prog2 = assemble_text(R"(
+        .text
+start:  li      a0, 7
+        print_int
+        li      a0, 0
+        exit
+)");
+  EXPECT_EQ(run(prog2), "7");
+}
+
+TEST(TextAsm, MatchesMacroAssembledEncodingExactly) {
+  const auto text = assemble_text(R"(
+        .text
+main:   addq    t0, t1, t2
+        addq    t0, 8, t2
+        ldq     a0, -16(sp)
+        beq     t0, main
+        exit
+)");
+  assembler::Assembler as;
+  const auto entry = as.here("main");
+  as.addq(assembler::reg::t0, assembler::reg::t1, assembler::reg::t2);
+  as.addq_i(assembler::reg::t0, 8, assembler::reg::t2);
+  as.ldq(assembler::reg::a0, -16, assembler::reg::sp);
+  as.beq(assembler::reg::t0, entry);
+  as.exit_();
+  const auto macro = as.finalize(entry);
+  ASSERT_EQ(text.code.size(), macro.code.size());
+  for (std::size_t i = 0; i < text.code.size(); ++i)
+    EXPECT_EQ(text.code[i], macro.code[i]) << "instruction " << i;
+}
+
+TEST(TextAsm, DiagnosticsCarryLineNumbers) {
+  const auto expect_error = [](const char* src, const char* needle) {
+    try {
+      (void)assemble_text(src);
+      FAIL() << "expected AsmError for: " << src;
+    } catch (const assembler::AsmError& e) {
+      EXPECT_NE(std::string(e.what()).find(needle), std::string::npos) << e.what();
+    }
+  };
+  expect_error(".text\nmain: frobnicate t0\nexit\n", "unknown mnemonic");
+  expect_error(".text\nmain: addq t0, t1\n", "expected 3 operands");
+  expect_error(".text\nmain: addq t0, 999, t1\n", "literal must be in [0,255]");
+  expect_error(".text\nmain: ldq a0, sp\n", "disp(base)");
+  expect_error(".text\nmain: la t0, nothing\n", "unknown data symbol");
+  expect_error(".text\nmain: addq q9, t0, t1\n", "bad integer register");
+  expect_error(".data\nx: .quad\n", ".quad needs at least one value");
+  expect_error("main: li t0, 1\n", "unknown data directive");  // before .text
+  expect_error(".text\n        li t0, 1\n        exit\n", "entry point");
+  try {
+    (void)assemble_text(".text\nmain: bogus\n");
+  } catch (const assembler::AsmError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(TextAsm, CommentsAndBlankLinesIgnored) {
+  const auto prog = assemble_text(R"(
+; leading comment
+        .text
+# another comment style
+main:   li a0, 42   ; trailing comment
+        print_int
+        li a0, 0
+        exit
+)");
+  EXPECT_EQ(run(prog), "42");
+}
+
+}  // namespace

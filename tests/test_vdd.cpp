@@ -1,0 +1,72 @@
+// Vdd fault-rate model tests (the paper's Sec. VII future-work extension).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "fi/vdd_model.hpp"
+
+namespace {
+
+using namespace gemfi;
+using fi::VddModel;
+
+TEST(VddModel, RateIsZeroAtNominalAndMonotoneBelow) {
+  const VddModel m;
+  EXPECT_EQ(m.error_rate(1.0), 0.0);
+  EXPECT_EQ(m.error_rate(1.2), 0.0);
+  double prev = 0.0;
+  for (double v = 0.99; v >= 0.60; v -= 0.01) {
+    const double r = m.error_rate(v);
+    EXPECT_GT(r, prev) << "rate must grow as Vdd drops (v=" << v << ")";
+    prev = r;
+  }
+  EXPECT_NEAR(m.error_rate(m.config().vmin), m.config().rate_at_vmin, 1e-12);
+}
+
+TEST(VddModel, PowerScalesQuadratically) {
+  const VddModel m;
+  EXPECT_DOUBLE_EQ(m.relative_power(1.0), 1.0);
+  EXPECT_DOUBLE_EQ(m.relative_power(0.5), 0.25);
+}
+
+TEST(VddModel, SamplingIsDeterministicAndPoissonShaped) {
+  const VddModel m;
+  util::Rng a(9), b(9);
+  const auto fa = m.sample_faults(a, 0.7, 100000);
+  const auto fb = m.sample_faults(b, 0.7, 100000);
+  ASSERT_EQ(fa.size(), fb.size());
+  for (std::size_t i = 0; i < fa.size(); ++i)
+    EXPECT_EQ(fa[i].to_line(), fb[i].to_line());
+
+  // Empirical mean of the Poisson count tracks lambda.
+  const double lambda = m.error_rate(0.7) * 100000.0;
+  util::Rng rng(123);
+  double total = 0;
+  const int trials = 400;
+  for (int i = 0; i < trials; ++i) total += double(m.sample_faults(rng, 0.7, 100000).size());
+  const double mean = total / trials;
+  EXPECT_NEAR(mean, lambda, 4.0 * std::sqrt(lambda / trials) + 0.2);
+}
+
+TEST(VddModel, SampledFaultsAreWellFormedSEUs) {
+  const VddModel m;
+  util::Rng rng(31);
+  for (int i = 0; i < 50; ++i) {
+    for (const fi::Fault& f : m.sample_faults(rng, 0.62, 5000)) {
+      EXPECT_EQ(f.behavior, fi::FaultBehavior::Flip);
+      EXPECT_EQ(f.occurrences, 1u);
+      EXPECT_GE(f.time, 1u);
+      EXPECT_LE(f.time, 5000u);
+      // Round-trips through the input-file grammar.
+      EXPECT_EQ(fi::parse_fault(f.to_line()).to_line(), f.to_line());
+    }
+  }
+}
+
+TEST(VddModel, NominalVoltageSamplesNothing) {
+  const VddModel m;
+  util::Rng rng(7);
+  for (int i = 0; i < 20; ++i) EXPECT_TRUE(m.sample_faults(rng, 1.0, 1 << 20).empty());
+}
+
+}  // namespace
