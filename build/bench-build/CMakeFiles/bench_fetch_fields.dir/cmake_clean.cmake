@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fetch_fields"
+  "../bench/bench_fetch_fields.pdb"
+  "CMakeFiles/bench_fetch_fields.dir/bench_fetch_fields.cpp.o"
+  "CMakeFiles/bench_fetch_fields.dir/bench_fetch_fields.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fetch_fields.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

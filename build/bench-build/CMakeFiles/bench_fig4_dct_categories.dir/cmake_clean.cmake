@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig4_dct_categories"
+  "../bench/bench_fig4_dct_categories.pdb"
+  "CMakeFiles/bench_fig4_dct_categories.dir/bench_fig4_dct_categories.cpp.o"
+  "CMakeFiles/bench_fig4_dct_categories.dir/bench_fig4_dct_categories.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_dct_categories.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

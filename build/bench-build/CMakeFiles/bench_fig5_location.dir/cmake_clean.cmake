@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig5_location"
+  "../bench/bench_fig5_location.pdb"
+  "CMakeFiles/bench_fig5_location.dir/bench_fig5_location.cpp.o"
+  "CMakeFiles/bench_fig5_location.dir/bench_fig5_location.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_location.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

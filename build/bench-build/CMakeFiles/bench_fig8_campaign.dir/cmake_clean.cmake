@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig8_campaign"
+  "../bench/bench_fig8_campaign.pdb"
+  "CMakeFiles/bench_fig8_campaign.dir/bench_fig8_campaign.cpp.o"
+  "CMakeFiles/bench_fig8_campaign.dir/bench_fig8_campaign.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_campaign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

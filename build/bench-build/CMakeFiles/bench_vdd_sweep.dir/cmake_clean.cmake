@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_vdd_sweep"
+  "../bench/bench_vdd_sweep.pdb"
+  "CMakeFiles/bench_vdd_sweep.dir/bench_vdd_sweep.cpp.o"
+  "CMakeFiles/bench_vdd_sweep.dir/bench_vdd_sweep.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_vdd_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

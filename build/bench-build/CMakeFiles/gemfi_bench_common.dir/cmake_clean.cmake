@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gemfi_bench_common.dir/common.cpp.o"
+  "CMakeFiles/gemfi_bench_common.dir/common.cpp.o.d"
+  "libgemfi_bench_common.a"
+  "libgemfi_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gemfi_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

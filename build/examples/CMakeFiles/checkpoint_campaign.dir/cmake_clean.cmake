@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/checkpoint_campaign.dir/checkpoint_campaign.cpp.o"
+  "CMakeFiles/checkpoint_campaign.dir/checkpoint_campaign.cpp.o.d"
+  "checkpoint_campaign"
+  "checkpoint_campaign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/checkpoint_campaign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gemfi_cli.dir/gemfi_cli.cpp.o"
+  "CMakeFiles/gemfi_cli.dir/gemfi_cli.cpp.o.d"
+  "gemfi_cli"
+  "gemfi_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gemfi_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multithreaded_fi.dir/multithreaded_fi.cpp.o"
+  "CMakeFiles/multithreaded_fi.dir/multithreaded_fi.cpp.o.d"
+  "multithreaded_fi"
+  "multithreaded_fi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multithreaded_fi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

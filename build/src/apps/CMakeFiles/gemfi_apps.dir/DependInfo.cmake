@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/app.cpp" "src/apps/CMakeFiles/gemfi_apps.dir/app.cpp.o" "gcc" "src/apps/CMakeFiles/gemfi_apps.dir/app.cpp.o.d"
+  "/root/repo/src/apps/canneal.cpp" "src/apps/CMakeFiles/gemfi_apps.dir/canneal.cpp.o" "gcc" "src/apps/CMakeFiles/gemfi_apps.dir/canneal.cpp.o.d"
+  "/root/repo/src/apps/dct.cpp" "src/apps/CMakeFiles/gemfi_apps.dir/dct.cpp.o" "gcc" "src/apps/CMakeFiles/gemfi_apps.dir/dct.cpp.o.d"
+  "/root/repo/src/apps/deblock.cpp" "src/apps/CMakeFiles/gemfi_apps.dir/deblock.cpp.o" "gcc" "src/apps/CMakeFiles/gemfi_apps.dir/deblock.cpp.o.d"
+  "/root/repo/src/apps/image.cpp" "src/apps/CMakeFiles/gemfi_apps.dir/image.cpp.o" "gcc" "src/apps/CMakeFiles/gemfi_apps.dir/image.cpp.o.d"
+  "/root/repo/src/apps/jacobi.cpp" "src/apps/CMakeFiles/gemfi_apps.dir/jacobi.cpp.o" "gcc" "src/apps/CMakeFiles/gemfi_apps.dir/jacobi.cpp.o.d"
+  "/root/repo/src/apps/knapsack.cpp" "src/apps/CMakeFiles/gemfi_apps.dir/knapsack.cpp.o" "gcc" "src/apps/CMakeFiles/gemfi_apps.dir/knapsack.cpp.o.d"
+  "/root/repo/src/apps/pi.cpp" "src/apps/CMakeFiles/gemfi_apps.dir/pi.cpp.o" "gcc" "src/apps/CMakeFiles/gemfi_apps.dir/pi.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/gemfi_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/chkpt/CMakeFiles/gemfi_chkpt.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/gemfi_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/fi/CMakeFiles/gemfi_fi.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/gemfi_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/assembler/CMakeFiles/gemfi_asm.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/gemfi_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/gemfi_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/gemfi_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gemfi_apps.dir/app.cpp.o"
+  "CMakeFiles/gemfi_apps.dir/app.cpp.o.d"
+  "CMakeFiles/gemfi_apps.dir/canneal.cpp.o"
+  "CMakeFiles/gemfi_apps.dir/canneal.cpp.o.d"
+  "CMakeFiles/gemfi_apps.dir/dct.cpp.o"
+  "CMakeFiles/gemfi_apps.dir/dct.cpp.o.d"
+  "CMakeFiles/gemfi_apps.dir/deblock.cpp.o"
+  "CMakeFiles/gemfi_apps.dir/deblock.cpp.o.d"
+  "CMakeFiles/gemfi_apps.dir/image.cpp.o"
+  "CMakeFiles/gemfi_apps.dir/image.cpp.o.d"
+  "CMakeFiles/gemfi_apps.dir/jacobi.cpp.o"
+  "CMakeFiles/gemfi_apps.dir/jacobi.cpp.o.d"
+  "CMakeFiles/gemfi_apps.dir/knapsack.cpp.o"
+  "CMakeFiles/gemfi_apps.dir/knapsack.cpp.o.d"
+  "CMakeFiles/gemfi_apps.dir/pi.cpp.o"
+  "CMakeFiles/gemfi_apps.dir/pi.cpp.o.d"
+  "libgemfi_apps.a"
+  "libgemfi_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gemfi_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

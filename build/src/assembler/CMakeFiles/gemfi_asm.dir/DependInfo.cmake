@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/assembler/assembler.cpp" "src/assembler/CMakeFiles/gemfi_asm.dir/assembler.cpp.o" "gcc" "src/assembler/CMakeFiles/gemfi_asm.dir/assembler.cpp.o.d"
+  "/root/repo/src/assembler/program.cpp" "src/assembler/CMakeFiles/gemfi_asm.dir/program.cpp.o" "gcc" "src/assembler/CMakeFiles/gemfi_asm.dir/program.cpp.o.d"
+  "/root/repo/src/assembler/text_asm.cpp" "src/assembler/CMakeFiles/gemfi_asm.dir/text_asm.cpp.o" "gcc" "src/assembler/CMakeFiles/gemfi_asm.dir/text_asm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/isa/CMakeFiles/gemfi_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/gemfi_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/gemfi_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

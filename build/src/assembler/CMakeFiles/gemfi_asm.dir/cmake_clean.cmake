@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gemfi_asm.dir/assembler.cpp.o"
+  "CMakeFiles/gemfi_asm.dir/assembler.cpp.o.d"
+  "CMakeFiles/gemfi_asm.dir/program.cpp.o"
+  "CMakeFiles/gemfi_asm.dir/program.cpp.o.d"
+  "CMakeFiles/gemfi_asm.dir/text_asm.cpp.o"
+  "CMakeFiles/gemfi_asm.dir/text_asm.cpp.o.d"
+  "libgemfi_asm.a"
+  "libgemfi_asm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gemfi_asm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gemfi_campaign.dir/classify.cpp.o"
+  "CMakeFiles/gemfi_campaign.dir/classify.cpp.o.d"
+  "CMakeFiles/gemfi_campaign.dir/now_runner.cpp.o"
+  "CMakeFiles/gemfi_campaign.dir/now_runner.cpp.o.d"
+  "CMakeFiles/gemfi_campaign.dir/runner.cpp.o"
+  "CMakeFiles/gemfi_campaign.dir/runner.cpp.o.d"
+  "libgemfi_campaign.a"
+  "libgemfi_campaign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gemfi_campaign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

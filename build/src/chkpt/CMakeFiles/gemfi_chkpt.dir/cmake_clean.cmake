@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gemfi_chkpt.dir/checkpoint.cpp.o"
+  "CMakeFiles/gemfi_chkpt.dir/checkpoint.cpp.o.d"
+  "libgemfi_chkpt.a"
+  "libgemfi_chkpt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gemfi_chkpt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cpu/arch_state.cpp" "src/cpu/CMakeFiles/gemfi_cpu.dir/arch_state.cpp.o" "gcc" "src/cpu/CMakeFiles/gemfi_cpu.dir/arch_state.cpp.o.d"
+  "/root/repo/src/cpu/atomic_cpu.cpp" "src/cpu/CMakeFiles/gemfi_cpu.dir/atomic_cpu.cpp.o" "gcc" "src/cpu/CMakeFiles/gemfi_cpu.dir/atomic_cpu.cpp.o.d"
+  "/root/repo/src/cpu/branch_predictor.cpp" "src/cpu/CMakeFiles/gemfi_cpu.dir/branch_predictor.cpp.o" "gcc" "src/cpu/CMakeFiles/gemfi_cpu.dir/branch_predictor.cpp.o.d"
+  "/root/repo/src/cpu/exec.cpp" "src/cpu/CMakeFiles/gemfi_cpu.dir/exec.cpp.o" "gcc" "src/cpu/CMakeFiles/gemfi_cpu.dir/exec.cpp.o.d"
+  "/root/repo/src/cpu/pipelined_cpu.cpp" "src/cpu/CMakeFiles/gemfi_cpu.dir/pipelined_cpu.cpp.o" "gcc" "src/cpu/CMakeFiles/gemfi_cpu.dir/pipelined_cpu.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/isa/CMakeFiles/gemfi_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/gemfi_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/gemfi_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gemfi_cpu.dir/arch_state.cpp.o"
+  "CMakeFiles/gemfi_cpu.dir/arch_state.cpp.o.d"
+  "CMakeFiles/gemfi_cpu.dir/atomic_cpu.cpp.o"
+  "CMakeFiles/gemfi_cpu.dir/atomic_cpu.cpp.o.d"
+  "CMakeFiles/gemfi_cpu.dir/branch_predictor.cpp.o"
+  "CMakeFiles/gemfi_cpu.dir/branch_predictor.cpp.o.d"
+  "CMakeFiles/gemfi_cpu.dir/exec.cpp.o"
+  "CMakeFiles/gemfi_cpu.dir/exec.cpp.o.d"
+  "CMakeFiles/gemfi_cpu.dir/pipelined_cpu.cpp.o"
+  "CMakeFiles/gemfi_cpu.dir/pipelined_cpu.cpp.o.d"
+  "libgemfi_cpu.a"
+  "libgemfi_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gemfi_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gemfi_fi.dir/fault.cpp.o"
+  "CMakeFiles/gemfi_fi.dir/fault.cpp.o.d"
+  "CMakeFiles/gemfi_fi.dir/fault_manager.cpp.o"
+  "CMakeFiles/gemfi_fi.dir/fault_manager.cpp.o.d"
+  "CMakeFiles/gemfi_fi.dir/vdd_model.cpp.o"
+  "CMakeFiles/gemfi_fi.dir/vdd_model.cpp.o.d"
+  "libgemfi_fi.a"
+  "libgemfi_fi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gemfi_fi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgemfi_fi.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gemfi_isa.dir/decoder.cpp.o"
+  "CMakeFiles/gemfi_isa.dir/decoder.cpp.o.d"
+  "CMakeFiles/gemfi_isa.dir/disasm.cpp.o"
+  "CMakeFiles/gemfi_isa.dir/disasm.cpp.o.d"
+  "CMakeFiles/gemfi_isa.dir/registers.cpp.o"
+  "CMakeFiles/gemfi_isa.dir/registers.cpp.o.d"
+  "libgemfi_isa.a"
+  "libgemfi_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gemfi_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mem/cache.cpp" "src/mem/CMakeFiles/gemfi_mem.dir/cache.cpp.o" "gcc" "src/mem/CMakeFiles/gemfi_mem.dir/cache.cpp.o.d"
+  "/root/repo/src/mem/memsys.cpp" "src/mem/CMakeFiles/gemfi_mem.dir/memsys.cpp.o" "gcc" "src/mem/CMakeFiles/gemfi_mem.dir/memsys.cpp.o.d"
+  "/root/repo/src/mem/physmem.cpp" "src/mem/CMakeFiles/gemfi_mem.dir/physmem.cpp.o" "gcc" "src/mem/CMakeFiles/gemfi_mem.dir/physmem.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/gemfi_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/gemfi_isa.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gemfi_mem.dir/cache.cpp.o"
+  "CMakeFiles/gemfi_mem.dir/cache.cpp.o.d"
+  "CMakeFiles/gemfi_mem.dir/memsys.cpp.o"
+  "CMakeFiles/gemfi_mem.dir/memsys.cpp.o.d"
+  "CMakeFiles/gemfi_mem.dir/physmem.cpp.o"
+  "CMakeFiles/gemfi_mem.dir/physmem.cpp.o.d"
+  "libgemfi_mem.a"
+  "libgemfi_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gemfi_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

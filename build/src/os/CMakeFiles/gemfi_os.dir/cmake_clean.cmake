@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gemfi_os.dir/scheduler.cpp.o"
+  "CMakeFiles/gemfi_os.dir/scheduler.cpp.o.d"
+  "libgemfi_os.a"
+  "libgemfi_os.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gemfi_os.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gemfi_sim.dir/simulation.cpp.o"
+  "CMakeFiles/gemfi_sim.dir/simulation.cpp.o.d"
+  "libgemfi_sim.a"
+  "libgemfi_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gemfi_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

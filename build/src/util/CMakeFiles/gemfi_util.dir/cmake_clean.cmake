@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gemfi_util.dir/bytesio.cpp.o"
+  "CMakeFiles/gemfi_util.dir/bytesio.cpp.o.d"
+  "CMakeFiles/gemfi_util.dir/log.cpp.o"
+  "CMakeFiles/gemfi_util.dir/log.cpp.o.d"
+  "CMakeFiles/gemfi_util.dir/stats.cpp.o"
+  "CMakeFiles/gemfi_util.dir/stats.cpp.o.d"
+  "libgemfi_util.a"
+  "libgemfi_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gemfi_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fi.dir/test_fi.cpp.o"
+  "CMakeFiles/test_fi.dir/test_fi.cpp.o.d"
+  "test_fi"
+  "test_fi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fi_advanced.dir/test_fi_advanced.cpp.o"
+  "CMakeFiles/test_fi_advanced.dir/test_fi_advanced.cpp.o.d"
+  "test_fi_advanced"
+  "test_fi_advanced.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fi_advanced.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_text_asm.dir/test_text_asm.cpp.o"
+  "CMakeFiles/test_text_asm.dir/test_text_asm.cpp.o.d"
+  "test_text_asm"
+  "test_text_asm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_text_asm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_util.cpp" "tests/CMakeFiles/test_util.dir/test_util.cpp.o" "gcc" "tests/CMakeFiles/test_util.dir/test_util.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/campaign/CMakeFiles/gemfi_campaign.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/gemfi_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/gemfi_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/chkpt/CMakeFiles/gemfi_chkpt.dir/DependInfo.cmake"
+  "/root/repo/build/src/fi/CMakeFiles/gemfi_fi.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/gemfi_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/gemfi_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/gemfi_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/assembler/CMakeFiles/gemfi_asm.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/gemfi_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/gemfi_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

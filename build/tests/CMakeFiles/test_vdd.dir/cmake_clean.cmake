@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vdd.dir/test_vdd.cpp.o"
+  "CMakeFiles/test_vdd.dir/test_vdd.cpp.o.d"
+  "test_vdd"
+  "test_vdd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vdd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
