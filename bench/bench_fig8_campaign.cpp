@@ -12,7 +12,10 @@
 // the measured per-experiment durations on the paper's cluster geometry
 // next to the locally measured wall time (see campaign/now_runner.hpp).
 #include <cstdio>
+#include <cstdlib>
+#include <memory>
 
+#include "campaign/observer.hpp"
 #include "common.hpp"
 
 using namespace gemfi;
@@ -27,12 +30,16 @@ int main(int argc, char** argv) {
               "speedup", "now-model(s)", "now-par", "init-frac");
 
   auto cfg = opt.campaign_config();
+  // GEMFI_JSONL=<path-prefix> streams per-experiment telemetry records from
+  // the checkpointed campaign of every app to <prefix>-<app>.jsonl.
+  const char* jsonl_prefix = std::getenv("GEMFI_JSONL");
   for (const std::string& name : opt.app_list()) {
     const auto ca = campaign::calibrate(apps::build_app(name, opt.scale()), cfg);
-    util::Rng rng(opt.seed ^ (std::hash<std::string>{}(name) * 7));
-    std::vector<fi::Fault> faults;
-    for (std::size_t i = 0; i < n; ++i)
-      faults.push_back(campaign::random_fault_any(rng, ca.kernel_fetches));
+    // Per-experiment seeding: experiment i of this campaign is replayable in
+    // isolation via `gemfi_cli --app=<name> --replay=i --seed=<seed>`.
+    const std::uint64_t app_seed = opt.seed ^ (std::hash<std::string>{}(name) * 7);
+    cfg.campaign_seed = app_seed;
+    const auto faults = campaign::seeded_fault_set(app_seed, n, ca.kernel_fetches);
 
     auto no_ff_cfg = cfg;
     no_ff_cfg.use_checkpoint = false;
@@ -40,7 +47,14 @@ int main(int argc, char** argv) {
 
     auto ff_cfg = cfg;
     ff_cfg.use_checkpoint = true;
+    std::unique_ptr<campaign::JsonlSink> sink;
+    if (jsonl_prefix) {
+      sink = std::make_unique<campaign::JsonlSink>(std::string(jsonl_prefix) + "-" +
+                                                   name + ".jsonl");
+      ff_cfg.observer = sink.get();
+    }
     const auto ff = campaign::run_campaign(ca, faults, ff_cfg);
+    ff_cfg.observer = nullptr;
 
     campaign::NowConfig now;  // paper geometry: 27 workstations x 4 slots
     const auto dist = campaign::run_campaign_now(ca, faults, ff_cfg, now);

@@ -60,17 +60,18 @@ void print_header(const std::string& title) {
 }
 
 void print_outcome_legend() {
-  std::printf("%-22s %8s %8s %8s %8s %8s %8s\n", "cell", "crash%", "nonprop%",
-              "strict%", "correct%", "sdc%", "n");
+  std::printf("%-22s %8s %8s %8s %8s %8s %8s %8s\n", "cell", "crash%", "nonprop%",
+              "strict%", "correct%", "sdc%", "tmout%", "n");
 }
 
 void print_outcome_row(const std::string& label, const campaign::CampaignReport& report) {
-  std::printf("%-22s %8.1f %8.1f %8.1f %8.1f %8.1f %8zu\n", label.c_str(),
+  std::printf("%-22s %8.1f %8.1f %8.1f %8.1f %8.1f %8.1f %8zu\n", label.c_str(),
               100.0 * report.fraction(apps::Outcome::Crashed),
               100.0 * report.fraction(apps::Outcome::NonPropagated),
               100.0 * report.fraction(apps::Outcome::StrictlyCorrect),
               100.0 * report.fraction(apps::Outcome::Correct),
-              100.0 * report.fraction(apps::Outcome::SDC), report.total());
+              100.0 * report.fraction(apps::Outcome::SDC),
+              100.0 * report.fraction(apps::Outcome::Timeout), report.total());
 }
 
 }  // namespace gemfi::bench

@@ -9,7 +9,9 @@ set(CMAKE_DEPENDS_LANGUAGES
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/campaign/classify.cpp" "src/campaign/CMakeFiles/gemfi_campaign.dir/classify.cpp.o" "gcc" "src/campaign/CMakeFiles/gemfi_campaign.dir/classify.cpp.o.d"
+  "/root/repo/src/campaign/jsonl.cpp" "src/campaign/CMakeFiles/gemfi_campaign.dir/jsonl.cpp.o" "gcc" "src/campaign/CMakeFiles/gemfi_campaign.dir/jsonl.cpp.o.d"
   "/root/repo/src/campaign/now_runner.cpp" "src/campaign/CMakeFiles/gemfi_campaign.dir/now_runner.cpp.o" "gcc" "src/campaign/CMakeFiles/gemfi_campaign.dir/now_runner.cpp.o.d"
+  "/root/repo/src/campaign/observer.cpp" "src/campaign/CMakeFiles/gemfi_campaign.dir/observer.cpp.o" "gcc" "src/campaign/CMakeFiles/gemfi_campaign.dir/observer.cpp.o.d"
   "/root/repo/src/campaign/runner.cpp" "src/campaign/CMakeFiles/gemfi_campaign.dir/runner.cpp.o" "gcc" "src/campaign/CMakeFiles/gemfi_campaign.dir/runner.cpp.o.d"
   )
 

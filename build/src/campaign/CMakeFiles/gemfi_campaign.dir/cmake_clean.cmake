@@ -1,8 +1,12 @@
 file(REMOVE_RECURSE
   "CMakeFiles/gemfi_campaign.dir/classify.cpp.o"
   "CMakeFiles/gemfi_campaign.dir/classify.cpp.o.d"
+  "CMakeFiles/gemfi_campaign.dir/jsonl.cpp.o"
+  "CMakeFiles/gemfi_campaign.dir/jsonl.cpp.o.d"
   "CMakeFiles/gemfi_campaign.dir/now_runner.cpp.o"
   "CMakeFiles/gemfi_campaign.dir/now_runner.cpp.o.d"
+  "CMakeFiles/gemfi_campaign.dir/observer.cpp.o"
+  "CMakeFiles/gemfi_campaign.dir/observer.cpp.o.d"
   "CMakeFiles/gemfi_campaign.dir/runner.cpp.o"
   "CMakeFiles/gemfi_campaign.dir/runner.cpp.o.d"
   "libgemfi_campaign.a"

@@ -230,6 +230,7 @@ src/campaign/CMakeFiles/gemfi_campaign.dir/runner.cpp.o: \
  /root/repo/src/cpu/branch_predictor.hpp /root/repo/src/os/scheduler.hpp \
  /root/repo/src/os/thread.hpp /root/repo/src/chkpt/checkpoint.hpp \
  /root/repo/src/util/rng.hpp /usr/include/c++/12/atomic \
+ /usr/include/c++/12/cassert /usr/include/assert.h \
  /usr/include/c++/12/chrono /usr/include/c++/12/bits/chrono.h \
  /usr/include/c++/12/ratio /usr/include/c++/12/limits \
  /usr/include/c++/12/ctime /usr/include/c++/12/bits/parse_numbers.h \
@@ -242,5 +243,10 @@ src/campaign/CMakeFiles/gemfi_campaign.dir/runner.cpp.o: \
  /usr/include/c++/12/bits/this_thread_sleep.h \
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
  /usr/include/x86_64-linux-gnu/bits/semaphore.h \
- /root/repo/src/util/log.hpp /usr/include/c++/12/mutex \
- /usr/include/c++/12/bits/unique_lock.h
+ /root/repo/src/campaign/observer.hpp /usr/include/c++/12/fstream \
+ /usr/include/c++/12/bits/codecvt.h \
+ /usr/include/x86_64-linux-gnu/c++/12/bits/basic_file.h \
+ /usr/include/x86_64-linux-gnu/c++/12/bits/c++io.h \
+ /usr/include/c++/12/bits/fstream.tcc /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/unique_lock.h /root/repo/src/util/stats.hpp \
+ /root/repo/src/util/log.hpp

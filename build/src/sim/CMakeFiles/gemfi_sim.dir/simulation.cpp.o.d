@@ -222,9 +222,11 @@ src/sim/CMakeFiles/gemfi_sim.dir/simulation.cpp.o: \
  /root/repo/src/cpu/branch_predictor.hpp \
  /root/repo/src/fi/fault_manager.hpp /root/repo/src/fi/fault.hpp \
  /root/repo/src/isa/disasm.hpp /root/repo/src/os/scheduler.hpp \
- /root/repo/src/os/thread.hpp /usr/include/c++/12/cinttypes \
+ /root/repo/src/os/thread.hpp /usr/include/c++/12/chrono \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/limits /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/parse_numbers.h /usr/include/c++/12/sstream \
+ /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
+ /usr/include/c++/12/bits/sstream.tcc /usr/include/c++/12/cinttypes \
  /usr/include/inttypes.h /root/repo/src/util/log.hpp \
- /usr/include/c++/12/mutex /usr/include/c++/12/bits/chrono.h \
- /usr/include/c++/12/ratio /usr/include/c++/12/limits \
- /usr/include/c++/12/ctime /usr/include/c++/12/bits/parse_numbers.h \
- /usr/include/c++/12/bits/unique_lock.h
+ /usr/include/c++/12/mutex /usr/include/c++/12/bits/unique_lock.h

@@ -293,14 +293,22 @@ tests/CMakeFiles/test_campaign.dir/test_campaign.cpp.o: \
  /root/miniconda/include/gtest/gtest_prod.h \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
- /root/repo/src/campaign/now_runner.hpp \
- /root/repo/src/campaign/runner.hpp /root/repo/src/apps/app.hpp \
+ /usr/include/c++/12/thread /usr/include/c++/12/stop_token \
+ /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
+ /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h \
  /root/repo/src/assembler/assembler.hpp /usr/include/c++/12/span \
  /root/repo/src/assembler/program.hpp /root/repo/src/isa/encoding.hpp \
  /root/repo/src/isa/opcodes.hpp /root/repo/src/util/bits.hpp \
  /root/repo/src/mem/memsys.hpp /root/repo/src/mem/cache.hpp \
  /root/repo/src/util/bytesio.hpp /usr/include/c++/12/cstring \
  /root/repo/src/mem/physmem.hpp /root/repo/src/isa/registers.hpp \
+ /root/repo/src/campaign/jsonl.hpp /root/repo/src/campaign/now_runner.hpp \
+ /root/repo/src/campaign/runner.hpp /root/repo/src/apps/app.hpp \
  /root/repo/src/campaign/classify.hpp /root/repo/src/fi/fault_manager.hpp \
  /root/repo/src/cpu/cpu_model.hpp /root/repo/src/cpu/arch_state.hpp \
  /root/repo/src/cpu/exec.hpp /root/repo/src/cpu/trap.hpp \
@@ -309,4 +317,9 @@ tests/CMakeFiles/test_campaign.dir/test_campaign.cpp.o: \
  /root/repo/src/cpu/atomic_cpu.hpp /root/repo/src/cpu/pipelined_cpu.hpp \
  /root/repo/src/cpu/branch_predictor.hpp /root/repo/src/os/scheduler.hpp \
  /root/repo/src/os/thread.hpp /root/repo/src/chkpt/checkpoint.hpp \
- /root/repo/src/util/rng.hpp /root/repo/src/util/stats.hpp
+ /root/repo/src/util/rng.hpp /root/repo/src/campaign/observer.hpp \
+ /usr/include/c++/12/fstream \
+ /usr/include/x86_64-linux-gnu/c++/12/bits/basic_file.h \
+ /usr/include/x86_64-linux-gnu/c++/12/bits/c++io.h \
+ /usr/include/c++/12/bits/fstream.tcc /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/unique_lock.h /root/repo/src/util/stats.hpp

@@ -10,17 +10,32 @@
 //             [--paper]                paper-scale inputs
 //             [--watchdog-mult=<k>]    watchdog = k * golden ticks
 //             [--log]                  print the injection log
+//   gemfi_cli --app=<name> --campaign=<n>   seeded random-fault campaign
+//             [--seed=<u64>]           campaign seed (default 42)
+//             [--workers=<k>]          parallel experiments (default 1)
+//             [--out=<file.jsonl>]     stream one JSON record per experiment
+//             [--progress]             periodic progress lines on stderr
+//             [--deadline=<sec>]       wall-clock deadline per experiment
+//             [--retries=<k>]          retries on simulator-internal errors
+//   gemfi_cli --app=<name> --replay=<index> --seed=<u64>
+//             re-run one campaign experiment in isolation from its JSONL
+//             record's (seed, index); prints the record to stdout.
 //
 // Examples:
 //   echo 'RegisterInjectedFault Inst:2457 Flip:21 Threadid:0 system.cpu0 occ:1 int 1' > f.cfg
 //   ./gemfi_cli --app=dct --faults=f.cfg --log
+//   ./gemfi_cli --app=dct --campaign=100 --seed=7 --workers=4
+//       --out=results.jsonl --progress
+//   ./gemfi_cli --app=dct --replay=17 --seed=7
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <string>
 
 #include "assembler/text_asm.hpp"
+#include "campaign/observer.hpp"
 #include "campaign/runner.hpp"
 
 using namespace gemfi;
@@ -30,8 +45,12 @@ namespace {
 [[noreturn]] void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s --app=<name> [--faults=<file>] [--cpu=atomic|timing|"
-               "pipelined] [--paper] [--watchdog-mult=<k>] [--log]\n",
-               argv0);
+               "pipelined] [--paper] [--watchdog-mult=<k>] [--log]\n"
+               "       %s --app=<name> --campaign=<n> [--seed=<u64>] [--workers=<k>]\n"
+               "           [--out=<file.jsonl>] [--progress] [--deadline=<sec>]\n"
+               "           [--retries=<k>]\n"
+               "       %s --app=<name> --replay=<index> --seed=<u64>\n",
+               argv0, argv0, argv0);
   std::exit(2);
 }
 
@@ -41,10 +60,18 @@ int main(int argc, char** argv) {
   std::string app_name;
   std::string program_path;
   std::string fault_path;
+  std::string out_path;
   sim::CpuKind cpu = sim::CpuKind::Pipelined;
   apps::AppScale scale;
   std::uint64_t watchdog_mult = 8;
   bool show_log = false;
+  bool progress = false;
+  std::uint64_t campaign_n = 0;
+  std::uint64_t campaign_seed = 42;
+  std::int64_t replay_index = -1;
+  unsigned workers = 1;
+  unsigned retries = 2;
+  double deadline = 0.0;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -66,11 +93,28 @@ int main(int argc, char** argv) {
       watchdog_mult = std::strtoull(arg.c_str() + 16, nullptr, 10);
     } else if (arg == "--log") {
       show_log = true;
+    } else if (arg.rfind("--campaign=", 0) == 0) {
+      campaign_n = std::strtoull(arg.c_str() + 11, nullptr, 10);
+    } else if (arg.rfind("--seed=", 0) == 0) {
+      campaign_seed = std::strtoull(arg.c_str() + 7, nullptr, 10);
+    } else if (arg.rfind("--replay=", 0) == 0) {
+      replay_index = std::strtoll(arg.c_str() + 9, nullptr, 10);
+    } else if (arg.rfind("--workers=", 0) == 0) {
+      workers = unsigned(std::strtoul(arg.c_str() + 10, nullptr, 10));
+    } else if (arg.rfind("--retries=", 0) == 0) {
+      retries = unsigned(std::strtoul(arg.c_str() + 10, nullptr, 10));
+    } else if (arg.rfind("--deadline=", 0) == 0) {
+      deadline = std::strtod(arg.c_str() + 11, nullptr);
+    } else if (arg.rfind("--out=", 0) == 0) {
+      out_path = arg.substr(6);
+    } else if (arg == "--progress") {
+      progress = true;
     } else {
       usage(argv[0]);
     }
   }
   if (app_name.empty() == program_path.empty()) usage(argv[0]);  // exactly one
+  if (campaign_n != 0 && replay_index >= 0) usage(argv[0]);
 
   std::vector<fi::Fault> faults;
   if (!fault_path.empty()) {
@@ -93,7 +137,10 @@ int main(int argc, char** argv) {
   cfg.cpu = cpu;
   cfg.watchdog_mult = watchdog_mult;
   cfg.switch_to_atomic_after_fault = true;
-  cfg.workers = 1;
+  cfg.workers = workers == 0 ? 1 : workers;
+  cfg.campaign_seed = campaign_seed;
+  cfg.deadline_seconds = deadline;
+  cfg.max_retries = retries;
 
   if (!program_path.empty()) {
     // User-supplied .s file: assemble, run (with faults, if any), report.
@@ -136,6 +183,57 @@ int main(int argc, char** argv) {
                (unsigned long long)ca.golden_committed,
                (unsigned long long)ca.kernel_fetches,
                (unsigned long long)ca.golden_ticks);
+
+  if (replay_index >= 0) {
+    // Re-run one campaign experiment in isolation: (seed, index) from its
+    // JSONL record regenerate the identical fault deterministically.
+    const std::uint64_t index = std::uint64_t(replay_index);
+    const fi::Fault f = campaign::seeded_fault_any(campaign_seed, index, ca.kernel_fetches);
+    const auto er = campaign::run_experiment_with_retry(ca, f, cfg);
+    const campaign::ExperimentRecord rec{
+        std::size_t(index), 0, campaign::experiment_seed(campaign_seed, index), er};
+    std::printf("%s\n", campaign::experiment_record_to_json(rec).c_str());
+    std::fprintf(stderr, "replay %llu: %s (exit %s)\n", (unsigned long long)index,
+                 apps::outcome_name(er.classification.outcome),
+                 sim::exit_reason_name(er.exit_reason));
+    return 0;
+  }
+
+  if (campaign_n != 0) {
+    campaign::TeeObserver tee;
+    std::unique_ptr<campaign::JsonlSink> sink;
+    std::unique_ptr<campaign::ProgressPrinter> reporter;
+    if (!out_path.empty()) {
+      try {
+        sink = std::make_unique<campaign::JsonlSink>(out_path);
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "%s\n", e.what());
+        return 2;
+      }
+      tee.add(sink.get());
+    }
+    if (progress) {
+      reporter = std::make_unique<campaign::ProgressPrinter>(stderr);
+      tee.add(reporter.get());
+    }
+    cfg.observer = &tee;
+
+    const auto fset = campaign::seeded_fault_set(campaign_seed, std::size_t(campaign_n),
+                                                 ca.kernel_fetches);
+    const auto report = campaign::run_campaign(ca, fset, cfg);
+    std::fprintf(stderr, "campaign: %zu experiments in %.2fs (%u workers, seed %llu)\n",
+                 report.total(), report.wall_seconds, cfg.workers,
+                 (unsigned long long)campaign_seed);
+    for (unsigned o = 0; o < apps::kNumOutcomes; ++o) {
+      const auto outcome = static_cast<apps::Outcome>(o);
+      std::printf("%-16s %6zu  %5.1f%%\n", apps::outcome_name(outcome),
+                  report.counts[o], 100.0 * report.fraction(outcome));
+    }
+    if (sink)
+      std::fprintf(stderr, "wrote %zu records to %s\n", sink->lines_written(),
+                   out_path.c_str());
+    return 0;
+  }
 
   if (faults.empty()) {
     std::printf("%s", ca.app.golden_output.c_str());

@@ -11,6 +11,7 @@ const char* outcome_name(Outcome o) noexcept {
     case Outcome::StrictlyCorrect: return "strictly-correct";
     case Outcome::Correct: return "correct";
     case Outcome::SDC: return "SDC";
+    case Outcome::Timeout: return "timeout";
   }
   return "?";
 }

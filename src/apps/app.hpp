@@ -25,15 +25,19 @@
 
 namespace gemfi::apps {
 
-/// Paper's outcome classes (Sec. IV-B-1).
+/// Paper's outcome classes (Sec. IV-B-1), plus Timeout: an experiment cut
+/// off by the tick watchdog or the wall-clock deadline. The paper folds
+/// these into "Crashed"; we keep them separate so fault-induced livelocks
+/// are distinguishable from genuine traps in campaign statistics.
 enum class Outcome : std::uint8_t {
   Crashed,
   NonPropagated,
   StrictlyCorrect,
   Correct,
   SDC,
+  Timeout,
 };
-inline constexpr unsigned kNumOutcomes = 5;
+inline constexpr unsigned kNumOutcomes = 6;
 
 const char* outcome_name(Outcome o) noexcept;
 

@@ -5,7 +5,14 @@ namespace gemfi::campaign {
 Classification classify(const apps::App& app, const sim::RunResult& rr,
                         const fi::FaultManager& fm, const std::string& output) {
   Classification c;
-  if (rr.reason == sim::ExitReason::Crashed || rr.reason == sim::ExitReason::Watchdog) {
+  if (rr.reason == sim::ExitReason::Watchdog || rr.reason == sim::ExitReason::Deadline) {
+    // A run cut off by the tick watchdog or the wall-clock deadline never
+    // terminated on its own: report it as Timeout, not Crashed, so livelocks
+    // don't silently inflate the crash statistics (the paper folds the two).
+    c.outcome = apps::Outcome::Timeout;
+    return c;
+  }
+  if (rr.reason == sim::ExitReason::Crashed) {
     c.outcome = apps::Outcome::Crashed;
     return c;
   }

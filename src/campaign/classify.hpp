@@ -1,7 +1,9 @@
 // Outcome classification (paper Sec. IV-B-1).
 //
 // Each experiment lands in exactly one of:
-//   Crashed          — failed to terminate (trap, watchdog timeout);
+//   Crashed          — terminated by a guest trap;
+//   Timeout          — cut off by the tick watchdog or the wall-clock
+//                      deadline (fault-induced livelock or wedged host);
 //   NonPropagated    — the fault never manifested as an error (dead or
 //                      overwritten register, squashed instruction, corruption
 //                      that did not change the value, or a trigger time the

@@ -3,9 +3,12 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <memory>
 #include <mutex>
 #include <queue>
 #include <thread>
+
+#include "campaign/observer.hpp"
 
 namespace gemfi::campaign {
 
@@ -47,6 +50,8 @@ NowReport run_campaign_now(const CalibratedApp& ca, const std::vector<fi::Fault>
   const auto t0 = Clock::now();
 
   NetworkShare share(faults.size());
+  CampaignObserver* const obs = cfg.observer;
+  if (obs) obs->on_campaign_begin(faults.size());
 
   const unsigned total_slots = now.workstations * now.slots_per_workstation;
   const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
@@ -55,24 +60,28 @@ NowReport run_campaign_now(const CalibratedApp& ca, const std::vector<fi::Fault>
   report.real_threads_used = real_threads;
 
   // Step 3: each workstation gets a local copy of the checkpoint. We copy
-  // the blob per *workstation identity* so the data movement is real.
+  // the blob per *workstation identity* so the data movement is real. The
+  // once-flags are per-campaign state: a function-local static mutex here
+  // would be shared across every concurrent run_campaign_now() in the
+  // process, serializing unrelated campaigns' checkpoint copies on one lock.
   const unsigned ws_count = std::min(now.workstations, real_threads);
   std::vector<std::vector<std::uint8_t>> local_copies(ws_count);
+  const std::unique_ptr<std::once_flag[]> copy_once(new std::once_flag[ws_count]);
 
   std::atomic<unsigned> slot_id{0};
   const auto slot_worker = [&] {
     const unsigned id = slot_id.fetch_add(1, std::memory_order_relaxed);
     const unsigned ws = id % ws_count;
     // First slot of a workstation performs the local checkpoint copy.
-    static std::mutex copy_mutex;
-    {
-      std::lock_guard lock(copy_mutex);
-      if (local_copies[ws].empty()) local_copies[ws] = ca.checkpoint.bytes();
-    }
+    std::call_once(copy_once[ws], [&] { local_copies[ws] = ca.checkpoint.bytes(); });
     for (;;) {
       const auto index = share.pull();
       if (!index) return;
-      share.push(*index, run_experiment(ca, faults[*index], cfg));
+      ExperimentResult er = run_experiment_with_retry(ca, faults[*index], cfg);
+      if (obs)
+        obs->on_experiment(
+            {*index, id, experiment_seed(cfg.campaign_seed, *index), er});
+      share.push(*index, std::move(er));
     }
   };
 
@@ -87,6 +96,7 @@ NowReport run_campaign_now(const CalibratedApp& ca, const std::vector<fi::Fault>
   report.measured_wall_seconds =
       std::chrono::duration<double>(Clock::now() - t0).count();
   report.campaign.wall_seconds = report.measured_wall_seconds;
+  if (obs) obs->on_campaign_end(report.campaign);
 
   // Modeled makespan on the full W x S cluster: greedy longest-first list
   // scheduling of the measured experiment durations, plus the (parallel)

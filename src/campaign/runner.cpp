@@ -1,10 +1,13 @@
 #include "campaign/runner.hpp"
 
 #include <atomic>
+#include <cassert>
 #include <chrono>
 #include <stdexcept>
 #include <thread>
 
+#include "campaign/observer.hpp"
+#include "isa/registers.hpp"
 #include "util/log.hpp"
 
 namespace gemfi::campaign {
@@ -78,7 +81,11 @@ fi::Fault random_fault(util::Rng& rng, fi::FaultLocation location,
   switch (location) {
     case fi::FaultLocation::IntReg:
     case fi::FaultLocation::FpReg:
-      f.reg = unsigned(rng.below(32));
+      // R31/F31 are architecturally zero: a flip there can never propagate,
+      // so drawing it would inflate the Masked fraction. Draw from the 31
+      // writable registers instead.
+      static_assert(isa::kZeroReg == 31 && isa::kFpZeroReg == 31);
+      f.reg = unsigned(rng.below(isa::kZeroReg));
       f.operand = rng.below(64);
       break;
     case fi::FaultLocation::Fetch:
@@ -102,6 +109,21 @@ fi::Fault random_fault_any(util::Rng& rng, std::uint64_t kernel_fetches) {
   return random_fault(rng, loc, kernel_fetches);
 }
 
+fi::Fault seeded_fault_any(std::uint64_t campaign_seed, std::uint64_t index,
+                           std::uint64_t kernel_fetches) {
+  util::Rng rng(experiment_seed(campaign_seed, index));
+  return random_fault_any(rng, kernel_fetches);
+}
+
+std::vector<fi::Fault> seeded_fault_set(std::uint64_t campaign_seed, std::size_t n,
+                                        std::uint64_t kernel_fetches) {
+  std::vector<fi::Fault> faults;
+  faults.reserve(n);
+  for (std::size_t i = 0; i < n; ++i)
+    faults.push_back(seeded_fault_any(campaign_seed, i, kernel_fetches));
+  return faults;
+}
+
 ExperimentResult run_experiment(const CalibratedApp& ca, const fi::Fault& fault,
                                 const CampaignConfig& cfg) {
   const auto t0 = Clock::now();
@@ -120,15 +142,62 @@ ExperimentResult run_experiment(const CalibratedApp& ca, const fi::Fault& fault,
 
   const std::uint64_t watchdog =
       cfg.watchdog_mult * ca.golden_ticks + 1'000'000;
-  const sim::RunResult rr = s.run(watchdog);
+  const sim::RunResult rr = s.run(watchdog, cfg.deadline_seconds);
 
   er.exit_reason = rr.reason;
   er.trap = rr.trap.kind;
   er.fault_applied = s.fault_manager().any_applied();
-  er.sim_ticks = rr.ticks - start_ticks;
+  // A checkpoint restore resumes the tick counter at ticks_to_checkpoint, so
+  // rr.ticks >= start_ticks is an invariant; guard it anyway so a violation
+  // surfaces as a zero instead of an underflowed ~1.8e19 that would wreck
+  // every mean-duration statistic downstream.
+  assert(rr.ticks >= start_ticks && "experiment ended before its checkpoint tick");
+  er.sim_ticks = rr.ticks >= start_ticks ? rr.ticks - start_ticks : 0;
   er.classification = classify(ca.app, rr, s.fault_manager(), s.output(0));
   er.wall_seconds = seconds_since(t0);
   return er;
+}
+
+ExperimentResult run_experiment_with_retry(const CalibratedApp& ca, const fi::Fault& fault,
+                                           const CampaignConfig& cfg) {
+  const auto t0 = Clock::now();
+  CampaignConfig attempt_cfg = cfg;
+  for (unsigned attempt = 0;; ++attempt) {
+    const bool last = attempt >= cfg.max_retries;
+    try {
+      ExperimentResult er = run_experiment(ca, fault, attempt_cfg);
+      // A deadline exit may be host contention rather than an effect of the
+      // injected fault: retry with a longer leash. Tick-watchdog exits are
+      // deterministic in simulated time and are never retried.
+      if (er.exit_reason == sim::ExitReason::Deadline && !last) {
+        attempt_cfg.deadline_seconds *= cfg.retry_backoff;
+        continue;
+      }
+      er.retries = attempt;
+      er.wall_seconds = seconds_since(t0);
+      return er;
+    } catch (const std::exception& e) {
+      if (!last) {
+        if (attempt_cfg.deadline_seconds > 0.0)
+          attempt_cfg.deadline_seconds *= cfg.retry_backoff;
+        continue;
+      }
+      // Simulator-internal failure survived every retry: report it as a
+      // crash carrying the message, so the campaign completes and the
+      // record points at the substrate rather than the injected fault.
+      ExperimentResult er;
+      er.fault = fault;
+      er.retries = attempt;
+      er.sim_error = e.what();
+      er.exit_reason = sim::ExitReason::Crashed;
+      er.classification.outcome = apps::Outcome::Crashed;
+      er.time_fraction = ca.kernel_fetches == 0
+                             ? 0.0
+                             : double(fault.time) / double(ca.kernel_fetches);
+      er.wall_seconds = seconds_since(t0);
+      return er;
+    }
+  }
 }
 
 std::size_t CampaignReport::total() const noexcept {
@@ -148,28 +217,36 @@ CampaignReport run_campaign(const CalibratedApp& ca, const std::vector<fi::Fault
   CampaignReport report;
   report.results.resize(faults.size());
 
+  CampaignObserver* const obs = cfg.observer;
+  if (obs) obs->on_campaign_begin(faults.size());
+
   const unsigned workers = cfg.workers == 0 ? 1 : cfg.workers;
   std::atomic<std::size_t> next{0};
-  const auto worker = [&] {
+  const auto worker = [&](unsigned worker_id) {
     for (;;) {
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= faults.size()) return;
-      report.results[i] = run_experiment(ca, faults[i], cfg);
+      ExperimentResult er = run_experiment_with_retry(ca, faults[i], cfg);
+      if (obs)
+        obs->on_experiment(
+            {i, worker_id, experiment_seed(cfg.campaign_seed, i), er});
+      report.results[i] = std::move(er);
     }
   };
 
   if (workers == 1) {
-    worker();
+    worker(0);
   } else {
     std::vector<std::thread> pool;
     pool.reserve(workers);
-    for (unsigned i = 0; i < workers; ++i) pool.emplace_back(worker);
+    for (unsigned i = 0; i < workers; ++i) pool.emplace_back(worker, i);
     for (auto& t : pool) t.join();
   }
 
   for (const ExperimentResult& er : report.results)
     ++report.counts[std::size_t(er.classification.outcome)];
   report.wall_seconds = seconds_since(t0);
+  if (obs) obs->on_campaign_end(report);
   return report;
 }
 

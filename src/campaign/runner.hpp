@@ -16,12 +16,37 @@
 
 namespace gemfi::campaign {
 
+class CampaignObserver;
+
 struct CampaignConfig {
   sim::CpuKind cpu = sim::CpuKind::Pipelined;
   bool switch_to_atomic_after_fault = true;  // Sec. IV-B-1 speed trick
   bool use_checkpoint = true;                // Sec. III-D fast-forwarding
   unsigned workers = 1;                      // local experiment parallelism
   std::uint64_t watchdog_mult = 8;           // watchdog = mult * golden ticks
+
+  /// Root seed of the campaign. Each experiment derives its own RNG stream
+  /// as splitmix64(campaign_seed ^ index) (see experiment_seed()), so any
+  /// single experiment can be regenerated in isolation from its telemetry
+  /// record without replaying the campaign's draw order.
+  std::uint64_t campaign_seed = 0;
+
+  /// Host wall-clock deadline per experiment attempt, seconds (0 = none).
+  /// Cuts off experiments the tick watchdog cannot: a generous simulated-
+  /// time budget on a wedged or contended host. Deadline exits classify as
+  /// Outcome::Timeout and never stall the remaining workers.
+  double deadline_seconds = 0.0;
+
+  /// Bounded retries for experiments that die on simulator-internal errors
+  /// (exceptions from the simulator, e.g. a damaged checkpoint) or on the
+  /// wall-clock deadline — failures of the substrate, not effects of the
+  /// injected fault. Each retry multiplies the deadline by retry_backoff.
+  unsigned max_retries = 2;
+  double retry_backoff = 2.0;
+
+  /// Telemetry sink; not owned, may be null. See observer.hpp for the
+  /// thread-safety contract.
+  CampaignObserver* observer = nullptr;
 };
 
 /// An app plus everything calibration learned about its fault-free run.
@@ -42,11 +67,33 @@ CalibratedApp calibrate(apps::App app, const CampaignConfig& cfg);
 
 /// Uniform single-event-upset fault at the given location: uniform Time over
 /// the FI window, uniform bit, uniform register (Sec. IV-B-1 methodology).
+/// Register draws exclude R31/F31 — the architecturally-zero registers —
+/// since a flip there is a guaranteed no-op that would silently inflate the
+/// Masked (non-propagated) fraction vs. the paper's Fig. 5 methodology.
 fi::Fault random_fault(util::Rng& rng, fi::FaultLocation location,
                        std::uint64_t kernel_fetches);
 
 /// Uniform over all locations as well.
 fi::Fault random_fault_any(util::Rng& rng, std::uint64_t kernel_fetches);
+
+/// The RNG seed of experiment `index` in a campaign rooted at
+/// `campaign_seed`: splitmix64(campaign_seed ^ index). Deterministic and
+/// order-independent, so one experiment is replayable from its record alone.
+[[nodiscard]] constexpr std::uint64_t experiment_seed(std::uint64_t campaign_seed,
+                                                      std::uint64_t index) noexcept {
+  std::uint64_t state = campaign_seed ^ index;
+  return util::splitmix64(state);
+}
+
+/// The fault experiment `index` would draw in a seeded campaign (uniform
+/// over all locations). Regenerates bit-for-bit from (campaign_seed, index).
+fi::Fault seeded_fault_any(std::uint64_t campaign_seed, std::uint64_t index,
+                           std::uint64_t kernel_fetches);
+
+/// The first `n` seeded faults of a campaign, i.e. seeded_fault_any(seed, i)
+/// for i in [0, n).
+std::vector<fi::Fault> seeded_fault_set(std::uint64_t campaign_seed, std::size_t n,
+                                        std::uint64_t kernel_fetches);
 
 struct ExperimentResult {
   Classification classification;
@@ -56,12 +103,31 @@ struct ExperimentResult {
   bool fault_applied = false;
   double time_fraction = 0.0;   // fault time / kernel length (Fig. 6 x-axis)
   std::uint64_t sim_ticks = 0;  // simulated ticks consumed by the experiment
-  double wall_seconds = 0.0;    // host wall time of the experiment
+  double wall_seconds = 0.0;    // host wall time (all attempts)
+  unsigned retries = 0;         // attempts beyond the first (see max_retries)
+  std::string sim_error;        // simulator-internal failure, retries exhausted
 };
 
-/// Run one fault-injection experiment.
+/// Run one fault-injection experiment (single attempt, no retry; simulator-
+/// internal errors propagate as exceptions).
 ExperimentResult run_experiment(const CalibratedApp& ca, const fi::Fault& fault,
                                 const CampaignConfig& cfg);
+
+/// Run one experiment with the campaign robustness policy: up to
+/// cfg.max_retries re-runs on simulator-internal exceptions or wall-clock
+/// deadline exits, backing the deadline off by cfg.retry_backoff each time.
+/// Never throws on simulator errors: after the last retry the result carries
+/// the message in sim_error and classifies as Crashed.
+ExperimentResult run_experiment_with_retry(const CalibratedApp& ca, const fi::Fault& fault,
+                                           const CampaignConfig& cfg);
+
+/// One completed experiment as seen by a CampaignObserver.
+struct ExperimentRecord {
+  std::size_t index = 0;   // position in the campaign's fault list
+  unsigned worker = 0;     // worker/slot id that ran it
+  std::uint64_t seed = 0;  // experiment_seed(cfg.campaign_seed, index)
+  ExperimentResult result;
+};
 
 struct CampaignReport {
   std::array<std::size_t, apps::kNumOutcomes> counts{};  // by Outcome

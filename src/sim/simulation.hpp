@@ -49,6 +49,7 @@ enum class ExitReason : std::uint8_t {
   Crashed,
   Watchdog,
   TickLimit,  // run(max_ticks) budget exhausted without watchdog semantics
+  Deadline,   // host wall-clock deadline expired (run()'s second argument)
 };
 
 const char* exit_reason_name(ExitReason r) noexcept;
@@ -78,8 +79,12 @@ class Simulation {
   std::uint64_t spawn_main_thread(std::initializer_list<std::uint64_t> args = {});
 
   /// Run until all threads exit, a crash, or the tick budget is exhausted.
-  /// `watchdog_ticks` == 0 means "no limit".
-  RunResult run(std::uint64_t watchdog_ticks = 0);
+  /// `watchdog_ticks` == 0 means "no limit". `wall_deadline_seconds` > 0 adds
+  /// a host wall-clock deadline on top of the tick watchdog (checked every
+  /// few thousand ticks): a run that outlives it exits with
+  /// ExitReason::Deadline — the backstop for experiments whose simulated-time
+  /// watchdog is generous but whose host is wedged or the run livelocked.
+  RunResult run(std::uint64_t watchdog_ticks = 0, double wall_deadline_seconds = 0.0);
 
   /// Invoked when a guest executes fi_read_init_all() (checkpoint request).
   using CheckpointHandler = std::function<void(Simulation&)>;

@@ -50,4 +50,29 @@ std::size_t required_sample_size(std::uint64_t population, double error_margin,
 /// Relative overhead (a vs b) in percent: 100 * (a - b) / b.
 double percent_overhead(double a, double b);
 
+/// Online (Welford-style) mean for streaming telemetry: campaign observers
+/// feed per-experiment wall times in as they complete and read the running
+/// mean for ETA estimates without storing the sample.
+class RunningMean {
+ public:
+  void add(double x) noexcept {
+    ++count_;
+    mean_ += (x - mean_) / double(count_);
+  }
+
+  [[nodiscard]] std::size_t count() const noexcept { return count_; }
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+
+  /// Expected seconds to finish `remaining` more items at the current mean,
+  /// spread over `parallelism` workers.
+  [[nodiscard]] double eta_seconds(std::size_t remaining, unsigned parallelism = 1) const noexcept {
+    if (count_ == 0 || parallelism == 0) return 0.0;
+    return mean_ * double(remaining) / double(parallelism);
+  }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+};
+
 }  // namespace gemfi::util

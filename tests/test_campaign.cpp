@@ -1,9 +1,18 @@
 // Campaign machinery tests: calibration, random fault generation,
 // experiment execution with checkpoint fast-forwarding, outcome
-// classification invariants, parallel local campaigns and the NoW runner.
+// classification invariants, parallel local campaigns, the NoW runner, and
+// the telemetry/robustness layer (JSONL streaming, wall-clock deadlines,
+// retry, per-experiment seeding, concurrent campaigns).
 #include <gtest/gtest.h>
 
+#include <set>
+#include <sstream>
+#include <thread>
+
+#include "assembler/assembler.hpp"
+#include "campaign/jsonl.hpp"
 #include "campaign/now_runner.hpp"
+#include "campaign/observer.hpp"
 #include "campaign/runner.hpp"
 #include "util/stats.hpp"
 
@@ -137,6 +146,234 @@ TEST(Campaigns, NowRunnerMatchesLocalOutcomes) {
     EXPECT_EQ(local.results[i].classification.outcome,
               dist.campaign.results[i].classification.outcome)
         << i;
+}
+
+// ---- telemetry / robustness layer ----
+
+TEST(RandomFaults, NeverTargetTheZeroRegister) {
+  // R31/F31 are architecturally zero: a flip there is a guaranteed no-op
+  // that inflates the Masked fraction (paper Fig. 5 methodology excludes
+  // it). Regression for the rng.below(32) draw.
+  util::Rng rng(123);
+  std::set<unsigned> seen;
+  for (int i = 0; i < 4000; ++i) {
+    const auto loc = (i % 2) ? fi::FaultLocation::IntReg : fi::FaultLocation::FpReg;
+    const auto f = campaign::random_fault(rng, loc, 1000);
+    ASSERT_NE(f.reg, 31u) << "fault targets the hardwired zero register";
+    seen.insert(f.reg);
+  }
+  // All 31 writable registers remain reachable.
+  EXPECT_EQ(seen.size(), 31u);
+  EXPECT_TRUE(seen.count(0));
+  EXPECT_TRUE(seen.count(30));
+}
+
+TEST(Seeding, ExperimentSeedsRegenerateFaultsInIsolation) {
+  const std::uint64_t campaign_seed = 0xfeedface;
+  const auto set = campaign::seeded_fault_set(campaign_seed, 50, 1000);
+  ASSERT_EQ(set.size(), 50u);
+  // Any single experiment regenerates bit-for-bit from (seed, index) alone,
+  // independent of draw order.
+  for (const std::size_t i : {0u, 17u, 49u})
+    EXPECT_EQ(campaign::seeded_fault_any(campaign_seed, i, 1000).to_line(),
+              set[i].to_line());
+  // Distinct indices and distinct campaign seeds give distinct streams.
+  EXPECT_NE(campaign::experiment_seed(campaign_seed, 3),
+            campaign::experiment_seed(campaign_seed, 4));
+  EXPECT_NE(campaign::experiment_seed(campaign_seed, 3),
+            campaign::experiment_seed(campaign_seed + 1, 3));
+}
+
+TEST(Jsonl, WriterAndParserRoundTrip) {
+  campaign::jsonl::ObjectWriter w;
+  w.field("s", "a\"b\\c\nd").field("n", std::uint64_t(18446744073709551615ull))
+      .field("d", 0.25).field("b", true);
+  const auto v = campaign::jsonl::parse(w.str());
+  ASSERT_TRUE(v.is_object());
+  EXPECT_EQ(v.at("s").as_string(), "a\"b\\c\nd");
+  EXPECT_EQ(v.at("n").as_u64(), 18446744073709551615ull);  // no double rounding
+  EXPECT_DOUBLE_EQ(v.at("d").as_double(), 0.25);
+  EXPECT_TRUE(v.at("b").as_bool());
+  EXPECT_THROW(campaign::jsonl::parse("{\"k\":}"), std::invalid_argument);
+  EXPECT_THROW(campaign::jsonl::parse("{} trailing"), std::invalid_argument);
+}
+
+TEST(Observers, JsonlStreamsOneValidRecordPerExperiment) {
+  const auto ca = campaign::calibrate(apps::build_app("pi"), quick_config());
+  auto cfg = quick_config();
+  cfg.campaign_seed = 2026;
+  const std::size_t n = 24;
+  const auto faults = campaign::seeded_fault_set(cfg.campaign_seed, n, ca.kernel_fetches);
+
+  std::ostringstream out;
+  campaign::JsonlSink sink(out);
+  cfg.observer = &sink;
+  const auto report = campaign::run_campaign(ca, faults, cfg);
+  EXPECT_EQ(sink.lines_written(), n);
+
+  // Every line parses as a standalone JSON object with the full schema.
+  std::istringstream lines(out.str());
+  std::string line;
+  std::size_t parsed = 0;
+  std::set<std::uint64_t> indices;
+  while (std::getline(lines, line)) {
+    const auto v = campaign::jsonl::parse(line);
+    ASSERT_TRUE(v.is_object());
+    for (const char* key : {"index", "worker", "seed", "fault", "location", "outcome",
+                            "exit", "trap", "applied", "time_fraction", "sim_ticks",
+                            "wall_seconds", "retries"})
+      EXPECT_TRUE(v.has(key)) << "missing key " << key << " in: " << line;
+    const std::uint64_t idx = v.at("index").as_u64();
+    indices.insert(idx);
+    ASSERT_LT(idx, n);
+    EXPECT_EQ(v.at("seed").as_u64(), campaign::experiment_seed(cfg.campaign_seed, idx));
+    // sim_ticks underflow canary: an underflowed uint64 would be ~1.8e19.
+    EXPECT_LT(v.at("sim_ticks").as_u64(), std::uint64_t(1) << 62);
+    // The record alone is enough to re-run the experiment deterministically,
+    // both from its fault line and from (seed, index).
+    const fi::Fault replayed = fi::parse_fault(v.at("fault").as_string());
+    EXPECT_EQ(replayed.to_line(), faults[idx].to_line());
+    EXPECT_EQ(campaign::seeded_fault_any(cfg.campaign_seed, idx, ca.kernel_fetches)
+                  .to_line(),
+              replayed.to_line());
+    EXPECT_EQ(v.at("outcome").as_string(),
+              apps::outcome_name(report.results[idx].classification.outcome));
+    ++parsed;
+  }
+  EXPECT_EQ(parsed, n);
+  EXPECT_EQ(indices.size(), n);  // exactly one record per experiment
+
+  // Spot-replay one experiment from its record and compare the outcome.
+  const auto er = campaign::run_experiment(ca, faults[7], quick_config());
+  EXPECT_EQ(er.classification.outcome, report.results[7].classification.outcome);
+}
+
+TEST(Observers, ProgressPrinterCountsEveryExperiment) {
+  const auto ca = campaign::calibrate(apps::build_app("pi"), quick_config());
+  auto cfg = quick_config();
+  const auto faults = campaign::seeded_fault_set(5, 10, ca.kernel_fetches);
+  campaign::ProgressPrinter progress(stderr, /*min_interval_seconds=*/3600.0);
+  campaign::TeeObserver tee;
+  tee.add(&progress);
+  cfg.observer = &tee;
+  // Throttled to one line (the final one); mainly exercises the locking and
+  // histogram paths under the 4-worker pool.
+  const auto report = campaign::run_campaign(ca, faults, cfg);
+  EXPECT_EQ(report.total(), faults.size());
+}
+
+TEST(Deadline, InfiniteLoopIsCutByTheWallClock) {
+  using namespace gemfi::assembler;
+  Assembler as;
+  const Label entry = as.here("main");
+  const Label loop = as.here("loop");
+  as.addq_i(reg::t0, 1, reg::t0);
+  as.br(loop);
+
+  sim::SimConfig scfg;
+  scfg.cpu = sim::CpuKind::Pipelined;
+  sim::Simulation s(scfg, as.finalize(entry));
+  s.spawn_main_thread();
+  // No tick watchdog at all: only the wall-clock deadline can end this run.
+  const auto rr = s.run(0, /*wall_deadline_seconds=*/0.05);
+  EXPECT_EQ(rr.reason, sim::ExitReason::Deadline);
+}
+
+TEST(Deadline, HungExperimentsClassifyAsTimeoutWithoutStallingWorkers) {
+  const auto ca = campaign::calibrate(apps::build_app("pi"), quick_config());
+  auto cfg = quick_config();
+  cfg.workers = 3;
+  cfg.watchdog_mult = 1'000'000;     // tick watchdog far out of reach
+  cfg.deadline_seconds = 1e-6;       // every experiment "hangs" past this
+  cfg.max_retries = 1;               // one backed-off retry, then Timeout
+  // Harmless faults (unused FP register, trigger at the end of the kernel):
+  // the runs would terminate cleanly if the deadline didn't cut them first,
+  // and they can never trap before the first wall-clock check.
+  std::vector<fi::Fault> faults;
+  for (int i = 0; i < 12; ++i) {
+    fi::Fault f;
+    f.location = fi::FaultLocation::FpReg;
+    f.reg = 25;
+    f.time = ca.kernel_fetches;
+    f.behavior = fi::FaultBehavior::Flip;
+    f.operand = 0;
+    faults.push_back(f);
+  }
+  const auto report = campaign::run_campaign(ca, faults, cfg);
+  // The campaign completes: no worker stalls on a cut-off experiment.
+  EXPECT_EQ(report.total(), faults.size());
+  EXPECT_EQ(report.counts[std::size_t(apps::Outcome::Timeout)], faults.size());
+  for (const auto& er : report.results) {
+    EXPECT_EQ(er.exit_reason, sim::ExitReason::Deadline);
+    EXPECT_EQ(er.retries, 1u);  // deadline exits consume the retry budget
+  }
+}
+
+TEST(Retry, SimulatorInternalErrorIsBoundedAndReported) {
+  const auto good = campaign::calibrate(apps::build_app("pi"), quick_config());
+  campaign::CalibratedApp bad = good;
+  // Damage the checkpoint: every restore now throws DeserializeError — a
+  // substrate failure, not an effect of the injected fault.
+  auto bytes = good.checkpoint.bytes();
+  bytes[bytes.size() / 2] ^= 0xff;
+  bad.checkpoint = chkpt::Checkpoint::from_bytes(std::move(bytes));
+
+  auto cfg = quick_config();
+  cfg.max_retries = 2;
+  const auto f = campaign::seeded_fault_any(1, 0, good.kernel_fetches);
+  EXPECT_THROW(campaign::run_experiment(bad, f, cfg), std::exception);
+  const auto er = campaign::run_experiment_with_retry(bad, f, cfg);
+  EXPECT_EQ(er.retries, 2u);
+  EXPECT_FALSE(er.sim_error.empty());
+  EXPECT_EQ(er.classification.outcome, apps::Outcome::Crashed);
+
+  // A campaign over the damaged app still completes and reports every
+  // experiment instead of tearing down the worker pool.
+  const auto faults = campaign::seeded_fault_set(2, 6, good.kernel_fetches);
+  const auto report = campaign::run_campaign(bad, faults, cfg);
+  EXPECT_EQ(report.total(), faults.size());
+}
+
+TEST(Concurrency, ParallelNowCampaignsMatchTheirGoldenRuns) {
+  // Two run_campaign_now() instances in flight simultaneously, distinct
+  // seeds: each must match its own single-threaded golden run bit-for-bit.
+  // Guards the per-campaign checkpoint-copy synchronization (the old
+  // function-local static mutex was shared across campaigns) and the
+  // order-independent per-experiment seeding.
+  const auto ca = campaign::calibrate(apps::build_app("pi"), quick_config());
+  auto cfg = quick_config();
+  cfg.workers = 1;
+
+  const auto faults_a = campaign::seeded_fault_set(101, 16, ca.kernel_fetches);
+  const auto faults_b = campaign::seeded_fault_set(202, 16, ca.kernel_fetches);
+  const auto golden_a = campaign::run_campaign(ca, faults_a, cfg);
+  const auto golden_b = campaign::run_campaign(ca, faults_b, cfg);
+
+  campaign::NowConfig now;
+  now.workstations = 3;
+  now.slots_per_workstation = 2;
+  campaign::NowReport dist_a, dist_b;
+  std::thread ta([&] { dist_a = campaign::run_campaign_now(ca, faults_a, cfg, now); });
+  std::thread tb([&] { dist_b = campaign::run_campaign_now(ca, faults_b, cfg, now); });
+  ta.join();
+  tb.join();
+
+  const auto expect_bit_identical = [](const campaign::CampaignReport& golden,
+                                       const campaign::NowReport& dist) {
+    ASSERT_EQ(dist.campaign.results.size(), golden.results.size());
+    for (std::size_t i = 0; i < golden.results.size(); ++i) {
+      const auto& g = golden.results[i];
+      const auto& d = dist.campaign.results[i];
+      EXPECT_EQ(d.classification.outcome, g.classification.outcome) << i;
+      EXPECT_DOUBLE_EQ(d.classification.metric, g.classification.metric) << i;
+      EXPECT_EQ(d.exit_reason, g.exit_reason) << i;
+      EXPECT_EQ(d.fault_applied, g.fault_applied) << i;
+      EXPECT_EQ(d.sim_ticks, g.sim_ticks) << i;
+      EXPECT_EQ(d.fault.to_line(), g.fault.to_line()) << i;
+    }
+  };
+  expect_bit_identical(golden_a, dist_a);
+  expect_bit_identical(golden_b, dist_b);
 }
 
 TEST(SampleSize, LeveugleFormulaMatchesPaperScale) {
