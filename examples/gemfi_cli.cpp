@@ -17,6 +17,9 @@
 //             [--progress]             periodic progress lines on stderr
 //             [--deadline=<sec>]       wall-clock deadline per experiment
 //             [--retries=<k>]          retries on simulator-internal errors
+//             [--ckpt-format=v1|v2]    checkpoint encoding (default v2)
+//             [--no-ckpt-compress]     v2: store pages raw (no RLE)
+//             [--no-shared-baseline]   full blob restore per experiment
 //   gemfi_cli --app=<name> --replay=<index> --seed=<u64>
 //             re-run one campaign experiment in isolation from its JSONL
 //             record's (seed, index); prints the record to stdout.
@@ -48,7 +51,8 @@ namespace {
                "pipelined] [--paper] [--watchdog-mult=<k>] [--log]\n"
                "       %s --app=<name> --campaign=<n> [--seed=<u64>] [--workers=<k>]\n"
                "           [--out=<file.jsonl>] [--progress] [--deadline=<sec>]\n"
-               "           [--retries=<k>]\n"
+               "           [--retries=<k>] [--ckpt-format=v1|v2] [--no-ckpt-compress]\n"
+               "           [--no-shared-baseline]\n"
                "       %s --app=<name> --replay=<index> --seed=<u64>\n",
                argv0, argv0, argv0);
   std::exit(2);
@@ -72,6 +76,9 @@ int main(int argc, char** argv) {
   unsigned workers = 1;
   unsigned retries = 2;
   double deadline = 0.0;
+  chkpt::CheckpointFormat ckpt_format = chkpt::CheckpointFormat::V2;
+  bool ckpt_compress = true;
+  bool shared_baseline = true;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -109,6 +116,15 @@ int main(int argc, char** argv) {
       out_path = arg.substr(6);
     } else if (arg == "--progress") {
       progress = true;
+    } else if (arg.rfind("--ckpt-format=", 0) == 0) {
+      const std::string fmt = arg.substr(14);
+      if (fmt == "v1") ckpt_format = chkpt::CheckpointFormat::V1;
+      else if (fmt == "v2") ckpt_format = chkpt::CheckpointFormat::V2;
+      else usage(argv[0]);
+    } else if (arg == "--no-ckpt-compress") {
+      ckpt_compress = false;
+    } else if (arg == "--no-shared-baseline") {
+      shared_baseline = false;
     } else {
       usage(argv[0]);
     }
@@ -141,6 +157,9 @@ int main(int argc, char** argv) {
   cfg.campaign_seed = campaign_seed;
   cfg.deadline_seconds = deadline;
   cfg.max_retries = retries;
+  cfg.ckpt_format = ckpt_format;
+  cfg.ckpt_compress = ckpt_compress;
+  cfg.shared_baseline = shared_baseline;
 
   if (!program_path.empty()) {
     // User-supplied .s file: assemble, run (with faults, if any), report.
@@ -183,6 +202,21 @@ int main(int argc, char** argv) {
                (unsigned long long)ca.golden_committed,
                (unsigned long long)ca.kernel_fetches,
                (unsigned long long)ca.golden_ticks);
+  if (!ca.checkpoint.empty()) {
+    const chkpt::CheckpointStats cs = ca.checkpoint.stats();
+    std::fprintf(stderr,
+                 "checkpoint: %s, %llu/%llu pages stored (%llu RLE), "
+                 "%llu -> %llu bytes (%.1fx)\n",
+                 chkpt::checkpoint_format_name(cs.format),
+                 (unsigned long long)cs.pages_stored,
+                 (unsigned long long)cs.pages_total,
+                 (unsigned long long)cs.pages_rle,
+                 (unsigned long long)cs.raw_bytes,
+                 (unsigned long long)cs.encoded_bytes,
+                 cs.encoded_bytes == 0
+                     ? 0.0
+                     : double(cs.raw_bytes) / double(cs.encoded_bytes));
+  }
 
   if (replay_index >= 0) {
     // Re-run one campaign experiment in isolation: (seed, index) from its

@@ -110,7 +110,9 @@ void Assembler::li(unsigned r, std::int64_t value) {
     return;
   }
   const std::int64_t low = std::int64_t(std::int16_t(value & 0xffff));
-  const std::int64_t hi = (value - low) >> 16;
+  // Wrapping subtraction: value - low overflows for INT64_MAX (low == -1);
+  // the wrapped hi fails fits_i16 and falls through to the literal pool.
+  const std::int64_t hi = std::int64_t(std::uint64_t(value) - std::uint64_t(low)) >> 16;
   if (fits_i16(hi)) {
     ldah(r, std::int32_t(hi), reg::zero);
     if (low != 0) lda(r, std::int32_t(low), r);

@@ -29,11 +29,11 @@ void Program::load_into(mem::MemSystem& ms) const {
   if (data_end() > ms.phys().size())
     throw std::runtime_error("program image does not fit in guest memory");
   std::vector<std::uint8_t> code_bytes(code.size() * isa::kInstBytes);
-  std::memcpy(code_bytes.data(), code.data(), code_bytes.size());
+  if (!code.empty()) std::memcpy(code_bytes.data(), code.data(), code_bytes.size());
   ms.phys().write_block(code_base, code_bytes);
 
   std::vector<std::uint8_t> pool_bytes(pool.size() * 8);
-  std::memcpy(pool_bytes.data(), pool.data(), pool_bytes.size());
+  if (!pool.empty()) std::memcpy(pool_bytes.data(), pool.data(), pool_bytes.size());
   ms.phys().write_block(data_base(), pool_bytes);
   if (!data.empty()) ms.phys().write_block(data_base() + pool_bytes.size(), data);
 

@@ -34,6 +34,12 @@ std::string experiment_record_to_json(const ExperimentRecord& rec) {
       .field("sim_ticks", er.sim_ticks)
       .field("wall_seconds", er.wall_seconds)
       .field("retries", std::uint64_t(er.retries));
+  if (er.ckpt_version != 0) {
+    w.field("ckpt_format",
+            chkpt::checkpoint_format_name(chkpt::CheckpointFormat(er.ckpt_version)))
+        .field("restore_pages", er.restore_pages)
+        .field("restore_bytes", er.restore_bytes);
+  }
   if (!er.sim_error.empty()) w.field("error", er.sim_error);
   return w.str();
 }

@@ -3,6 +3,8 @@
 #include <atomic>
 #include <cassert>
 #include <chrono>
+#include <memory>
+#include <optional>
 #include <stdexcept>
 #include <thread>
 
@@ -28,6 +30,85 @@ sim::SimConfig make_sim_config(const CampaignConfig& cfg) {
   return scfg;
 }
 
+/// Everything after the simulation is positioned (fresh or restored): arm
+/// the fault, run under the watchdog, classify. Shared by the per-experiment
+/// and the persistent-worker paths. Does not fill wall_seconds.
+ExperimentResult execute_faulted_run(sim::Simulation& s, const CalibratedApp& ca,
+                                     const fi::Fault& fault, const CampaignConfig& cfg,
+                                     std::uint64_t start_ticks) {
+  ExperimentResult er;
+  er.fault = fault;
+  er.time_fraction = ca.kernel_fetches == 0
+                         ? 0.0
+                         : double(fault.time) / double(ca.kernel_fetches);
+  s.fault_manager().load_faults({fault});
+
+  const std::uint64_t watchdog =
+      cfg.watchdog_mult * ca.golden_ticks + 1'000'000;
+  const sim::RunResult rr = s.run(watchdog, cfg.deadline_seconds);
+
+  er.exit_reason = rr.reason;
+  er.trap = rr.trap.kind;
+  er.fault_applied = s.fault_manager().any_applied();
+  // A checkpoint restore resumes the tick counter at ticks_to_checkpoint, so
+  // rr.ticks >= start_ticks is an invariant; guard it anyway so a violation
+  // surfaces as a zero instead of an underflowed ~1.8e19 that would wreck
+  // every mean-duration statistic downstream.
+  assert(rr.ticks >= start_ticks && "experiment ended before its checkpoint tick");
+  er.sim_ticks = rr.ticks >= start_ticks ? rr.ticks - start_ticks : 0;
+  er.classification = classify(ca.app, rr, s.fault_manager(), s.output(0));
+  return er;
+}
+
+/// The campaign robustness policy shared by run_experiment_with_retry and
+/// ExperimentWorker::run_with_retry: retry deadline exits and simulator-
+/// internal exceptions with a backed-off deadline; after the last retry,
+/// report the error as a Crashed record instead of throwing.
+template <typename Attempt, typename OnError>
+ExperimentResult retry_policy(const CalibratedApp& ca, const fi::Fault& fault,
+                              const CampaignConfig& cfg, Attempt attempt_fn,
+                              OnError on_error) {
+  const auto t0 = Clock::now();
+  CampaignConfig attempt_cfg = cfg;
+  for (unsigned attempt = 0;; ++attempt) {
+    const bool last = attempt >= cfg.max_retries;
+    try {
+      ExperimentResult er = attempt_fn(attempt_cfg);
+      // A deadline exit may be host contention rather than an effect of the
+      // injected fault: retry with a longer leash. Tick-watchdog exits are
+      // deterministic in simulated time and are never retried.
+      if (er.exit_reason == sim::ExitReason::Deadline && !last) {
+        attempt_cfg.deadline_seconds *= cfg.retry_backoff;
+        continue;
+      }
+      er.retries = attempt;
+      er.wall_seconds = seconds_since(t0);
+      return er;
+    } catch (const std::exception& e) {
+      on_error();
+      if (!last) {
+        if (attempt_cfg.deadline_seconds > 0.0)
+          attempt_cfg.deadline_seconds *= cfg.retry_backoff;
+        continue;
+      }
+      // Simulator-internal failure survived every retry: report it as a
+      // crash carrying the message, so the campaign completes and the
+      // record points at the substrate rather than the injected fault.
+      ExperimentResult er;
+      er.fault = fault;
+      er.retries = attempt;
+      er.sim_error = e.what();
+      er.exit_reason = sim::ExitReason::Crashed;
+      er.classification.outcome = apps::Outcome::Crashed;
+      er.time_fraction = ca.kernel_fetches == 0
+                             ? 0.0
+                             : double(fault.time) / double(ca.kernel_fetches);
+      er.wall_seconds = seconds_since(t0);
+      return er;
+    }
+  }
+}
+
 }  // namespace
 
 CalibratedApp calibrate(apps::App app, const CampaignConfig& cfg) {
@@ -38,7 +119,7 @@ CalibratedApp calibrate(apps::App app, const CampaignConfig& cfg) {
   chkpt::Checkpoint ckpt;
   std::uint64_t ticks_at_ckpt = 0;
   s.set_checkpoint_handler([&](sim::Simulation& sim) {
-    ckpt = chkpt::Checkpoint::capture(sim);
+    ckpt = chkpt::Checkpoint::capture(sim, {cfg.ckpt_format, cfg.ckpt_compress});
     ticks_at_ckpt = sim.now();
   });
 
@@ -127,77 +208,77 @@ std::vector<fi::Fault> seeded_fault_set(std::uint64_t campaign_seed, std::size_t
 ExperimentResult run_experiment(const CalibratedApp& ca, const fi::Fault& fault,
                                 const CampaignConfig& cfg) {
   const auto t0 = Clock::now();
-  ExperimentResult er;
-  er.fault = fault;
-  er.time_fraction = ca.kernel_fetches == 0
-                         ? 0.0
-                         : double(fault.time) / double(ca.kernel_fetches);
-
   sim::Simulation s(make_sim_config(cfg), ca.app.program);
   s.spawn_main_thread();
   const std::uint64_t start_ticks =
       cfg.use_checkpoint ? ca.ticks_to_checkpoint : 0;
   if (cfg.use_checkpoint) ca.checkpoint.restore_into(s);
-  s.fault_manager().load_faults({fault});
 
-  const std::uint64_t watchdog =
-      cfg.watchdog_mult * ca.golden_ticks + 1'000'000;
-  const sim::RunResult rr = s.run(watchdog, cfg.deadline_seconds);
-
-  er.exit_reason = rr.reason;
-  er.trap = rr.trap.kind;
-  er.fault_applied = s.fault_manager().any_applied();
-  // A checkpoint restore resumes the tick counter at ticks_to_checkpoint, so
-  // rr.ticks >= start_ticks is an invariant; guard it anyway so a violation
-  // surfaces as a zero instead of an underflowed ~1.8e19 that would wreck
-  // every mean-duration statistic downstream.
-  assert(rr.ticks >= start_ticks && "experiment ended before its checkpoint tick");
-  er.sim_ticks = rr.ticks >= start_ticks ? rr.ticks - start_ticks : 0;
-  er.classification = classify(ca.app, rr, s.fault_manager(), s.output(0));
+  ExperimentResult er = execute_faulted_run(s, ca, fault, cfg, start_ticks);
+  if (cfg.use_checkpoint) {
+    er.ckpt_version = std::uint8_t(ca.checkpoint.format());
+    er.restore_pages = s.memsys().phys().page_count();
+    er.restore_bytes = ca.checkpoint.size_bytes();
+  }
   er.wall_seconds = seconds_since(t0);
   return er;
 }
 
 ExperimentResult run_experiment_with_retry(const CalibratedApp& ca, const fi::Fault& fault,
                                            const CampaignConfig& cfg) {
-  const auto t0 = Clock::now();
-  CampaignConfig attempt_cfg = cfg;
-  for (unsigned attempt = 0;; ++attempt) {
-    const bool last = attempt >= cfg.max_retries;
-    try {
-      ExperimentResult er = run_experiment(ca, fault, attempt_cfg);
-      // A deadline exit may be host contention rather than an effect of the
-      // injected fault: retry with a longer leash. Tick-watchdog exits are
-      // deterministic in simulated time and are never retried.
-      if (er.exit_reason == sim::ExitReason::Deadline && !last) {
-        attempt_cfg.deadline_seconds *= cfg.retry_backoff;
-        continue;
-      }
-      er.retries = attempt;
-      er.wall_seconds = seconds_since(t0);
-      return er;
-    } catch (const std::exception& e) {
-      if (!last) {
-        if (attempt_cfg.deadline_seconds > 0.0)
-          attempt_cfg.deadline_seconds *= cfg.retry_backoff;
-        continue;
-      }
-      // Simulator-internal failure survived every retry: report it as a
-      // crash carrying the message, so the campaign completes and the
-      // record points at the substrate rather than the injected fault.
-      ExperimentResult er;
-      er.fault = fault;
-      er.retries = attempt;
-      er.sim_error = e.what();
-      er.exit_reason = sim::ExitReason::Crashed;
-      er.classification.outcome = apps::Outcome::Crashed;
-      er.time_fraction = ca.kernel_fetches == 0
-                             ? 0.0
-                             : double(fault.time) / double(ca.kernel_fetches);
-      er.wall_seconds = seconds_since(t0);
-      return er;
-    }
+  return retry_policy(
+      ca, fault, cfg,
+      [&](const CampaignConfig& attempt_cfg) {
+        return run_experiment(ca, fault, attempt_cfg);
+      },
+      [] {});
+}
+
+ExperimentWorker::ExperimentWorker(const CalibratedApp& ca,
+                                   const chkpt::CheckpointImage& image,
+                                   const CampaignConfig& cfg)
+    : ca_(ca), image_(image), cfg_(cfg) {}
+
+ExperimentWorker::~ExperimentWorker() = default;
+
+ExperimentResult ExperimentWorker::run_attempt(const fi::Fault& fault,
+                                               const CampaignConfig& attempt_cfg) {
+  std::uint64_t pages = 0;
+  if (!sim_) {
+    sim_ = std::make_unique<sim::Simulation>(make_sim_config(cfg_), ca_.app.program);
+    sim_->spawn_main_thread();
+    pages = image_.restore_into(*sim_);
+  } else {
+    pages = image_.restore_dirty_into(*sim_);
   }
+
+  ExperimentResult er =
+      execute_faulted_run(*sim_, ca_, fault, attempt_cfg, ca_.ticks_to_checkpoint);
+  er.ckpt_version = std::uint8_t(image_.stats().format);
+  er.restore_pages = pages;
+  er.restore_bytes = pages * mem::PhysMem::kPageBytes;
+  return er;
+}
+
+ExperimentResult ExperimentWorker::run(const fi::Fault& fault) {
+  const auto t0 = Clock::now();
+  try {
+    ExperimentResult er = run_attempt(fault, cfg_);
+    er.wall_seconds = seconds_since(t0);
+    return er;
+  } catch (...) {
+    // The cached Simulation may be mid-deserialize or otherwise torn;
+    // discard it so the next run starts from a pristine full restore.
+    sim_.reset();
+    throw;
+  }
+}
+
+ExperimentResult ExperimentWorker::run_with_retry(const fi::Fault& fault) {
+  return retry_policy(
+      ca_, fault, cfg_,
+      [&](const CampaignConfig& attempt_cfg) { return run_attempt(fault, attempt_cfg); },
+      [&] { sim_.reset(); });
 }
 
 std::size_t CampaignReport::total() const noexcept {
@@ -220,13 +301,30 @@ CampaignReport run_campaign(const CalibratedApp& ca, const std::vector<fi::Fault
   CampaignObserver* const obs = cfg.observer;
   if (obs) obs->on_campaign_begin(faults.size());
 
+  // Shared-baseline fast path: parse the checkpoint once up front; each
+  // worker keeps one Simulation alive and restores by dirty-page copy.
+  // A checkpoint that fails to parse is NOT fatal to the campaign: fall back
+  // to the per-experiment restore path, which reports the damage as a
+  // bounded per-experiment substrate failure (Crashed + sim_error).
+  std::optional<chkpt::CheckpointImage> baseline;
+  if (cfg.use_checkpoint && cfg.shared_baseline && !ca.checkpoint.empty()) {
+    try {
+      baseline.emplace(chkpt::CheckpointImage::parse(ca.checkpoint));
+    } catch (const std::exception&) {
+      baseline.reset();
+    }
+  }
+
   const unsigned workers = cfg.workers == 0 ? 1 : cfg.workers;
   std::atomic<std::size_t> next{0};
   const auto worker = [&](unsigned worker_id) {
+    std::optional<ExperimentWorker> ew;
+    if (baseline) ew.emplace(ca, *baseline, cfg);
     for (;;) {
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= faults.size()) return;
-      ExperimentResult er = run_experiment_with_retry(ca, faults[i], cfg);
+      ExperimentResult er = ew ? ew->run_with_retry(faults[i])
+                               : run_experiment_with_retry(ca, faults[i], cfg);
       if (obs)
         obs->on_experiment(
             {i, worker_id, experiment_seed(cfg.campaign_seed, i), er});

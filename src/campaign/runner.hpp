@@ -4,6 +4,7 @@
 #pragma once
 
 #include <array>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -24,6 +25,18 @@ struct CampaignConfig {
   bool use_checkpoint = true;                // Sec. III-D fast-forwarding
   unsigned workers = 1;                      // local experiment parallelism
   std::uint64_t watchdog_mult = 8;           // watchdog = mult * golden ticks
+
+  /// Checkpoint encoding captured at calibration. v2 (sparse, page-granular,
+  /// optionally RLE-compressed) is the default; v1 writes the legacy flat
+  /// blob for compatibility testing.
+  chkpt::CheckpointFormat ckpt_format = chkpt::CheckpointFormat::V2;
+  bool ckpt_compress = true;
+
+  /// Restore each experiment from a shared parsed baseline, copying back
+  /// only the pages the worker's previous experiment dirtied, instead of
+  /// re-deserializing the whole blob per experiment. Bit-identical to the
+  /// full restore; off only for A/B measurement (bench_fig9_checkpoint).
+  bool shared_baseline = true;
 
   /// Root seed of the campaign. Each experiment derives its own RNG stream
   /// as splitmix64(campaign_seed ^ index) (see experiment_seed()), so any
@@ -106,6 +119,12 @@ struct ExperimentResult {
   double wall_seconds = 0.0;    // host wall time (all attempts)
   unsigned retries = 0;         // attempts beyond the first (see max_retries)
   std::string sim_error;        // simulator-internal failure, retries exhausted
+
+  // Checkpoint-restore telemetry (0/absent when the experiment ran from
+  // reset without a checkpoint).
+  std::uint8_t ckpt_version = 0;     // CheckpointFormat that seeded the run
+  std::uint64_t restore_pages = 0;   // pages materialized by the restore
+  std::uint64_t restore_bytes = 0;   // bytes copied/decoded by the restore
 };
 
 /// Run one fault-injection experiment (single attempt, no retry; simulator-
@@ -120,6 +139,40 @@ ExperimentResult run_experiment(const CalibratedApp& ca, const fi::Fault& fault,
 /// the message in sim_error and classifies as Crashed.
 ExperimentResult run_experiment_with_retry(const CalibratedApp& ca, const fi::Fault& fault,
                                            const CampaignConfig& cfg);
+
+/// A campaign worker's persistent experiment context for the shared-baseline
+/// fast restore path (tentpole of the v2 checkpoint format).
+///
+/// The worker keeps one Simulation alive across experiments. The first run
+/// restores the full baseline image; every later run copies back only the
+/// pages the previous experiment dirtied (PhysMem's dirty bitmap) plus the
+/// small machine-state stream — equivalent bit-for-bit to a full restore,
+/// at a fraction of the cost. On a simulator-internal error the cached
+/// Simulation is discarded so the retry starts from a pristine full restore.
+class ExperimentWorker {
+ public:
+  ExperimentWorker(const CalibratedApp& ca, const chkpt::CheckpointImage& image,
+                   const CampaignConfig& cfg);
+  ~ExperimentWorker();
+
+  ExperimentWorker(const ExperimentWorker&) = delete;
+  ExperimentWorker& operator=(const ExperimentWorker&) = delete;
+
+  /// Single attempt; simulator-internal errors propagate as exceptions
+  /// (the cached Simulation is invalidated first).
+  ExperimentResult run(const fi::Fault& fault);
+
+  /// Retry policy of run_experiment_with_retry on top of run().
+  ExperimentResult run_with_retry(const fi::Fault& fault);
+
+ private:
+  ExperimentResult run_attempt(const fi::Fault& fault, const CampaignConfig& attempt_cfg);
+
+  const CalibratedApp& ca_;
+  const chkpt::CheckpointImage& image_;
+  const CampaignConfig& cfg_;
+  std::unique_ptr<sim::Simulation> sim_;  // null until the first run
+};
 
 /// One completed experiment as seen by a CampaignObserver.
 struct ExperimentRecord {

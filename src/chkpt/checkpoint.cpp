@@ -1,44 +1,239 @@
 #include "chkpt/checkpoint.hpp"
 
+#include <bit>
 #include <cstdio>
+#include <cstring>
 #include <memory>
 #include <stdexcept>
+
+#include "mem/physmem.hpp"
 
 namespace gemfi::chkpt {
 
 namespace {
-constexpr std::uint32_t kMagic = 0x47464943;  // "GFIC"
-constexpr std::uint32_t kVersion = 1;
-}  // namespace
 
-Checkpoint Checkpoint::capture(const sim::Simulation& s) {
+constexpr std::uint32_t kMagic = 0x47464943;  // "GFIC"
+
+// v1: magic + version + u64 payload_len + u32 crc = 20 bytes. v2 headers are
+// longer, but 20 is the floor any well-formed checkpoint file must clear.
+constexpr std::size_t kMinHeaderBytes = 20;
+
+// v2 header flag bits.
+constexpr std::uint32_t kFlagCompress = 1u << 0;
+
+// v2 per-page encodings.
+constexpr std::uint8_t kPageRaw = 0;
+constexpr std::uint8_t kPageRle = 1;
+
+bool all_zero(std::span<const std::uint8_t> page) {
+  std::size_t i = 0;
+  for (; i + 8 <= page.size(); i += 8) {
+    std::uint64_t v;
+    std::memcpy(&v, page.data() + i, 8);
+    if (v != 0) return false;
+  }
+  for (; i < page.size(); ++i)
+    if (page[i] != 0) return false;
+  return true;
+}
+
+Checkpoint capture_v1(const sim::Simulation& s) {
   util::ByteWriter payload;
   s.serialize(payload);
 
   util::ByteWriter out;
   out.reserve(payload.size() + 32);
   out.put_u32(kMagic);
-  out.put_u32(kVersion);
+  out.put_u32(1);
   out.put_u64(payload.size());
   out.put_u32(util::crc32(payload.bytes()));
   out.put_bytes(payload.bytes());
+  return Checkpoint::from_bytes(out.take());
+}
 
-  Checkpoint c;
-  c.blob_ = out.take();
-  return c;
+Checkpoint capture_v2(const sim::Simulation& s, const CaptureOptions& opts) {
+  const mem::PhysMem& phys = s.memsys().phys();
+
+  // Memory section: u64 stored-page count, then per stored page
+  // { u64 page_index; u8 encoding; u32 payload_len; payload }.
+  util::ByteWriter records;
+  records.reserve(std::size_t(phys.size() / 16));  // guess: mostly-zero image
+  std::uint64_t stored = 0;
+  std::uint64_t rle = 0;
+  for (std::uint64_t i = 0, n = phys.page_count(); i < n; ++i) {
+    const auto page = phys.page(i);
+    if (all_zero(page)) continue;
+    ++stored;
+    records.put_u64(i);
+    if (opts.compress) {
+      const auto enc = util::rle_compress(page);
+      if (enc.size() < page.size()) {
+        ++rle;
+        records.put_u8(kPageRle);
+        records.put_u32(std::uint32_t(enc.size()));
+        records.put_bytes(enc);
+        continue;
+      }
+    }
+    records.put_u8(kPageRaw);
+    records.put_u32(std::uint32_t(page.size()));
+    records.put_bytes(page);
+  }
+
+  util::ByteWriter mem_sec;
+  mem_sec.reserve(records.size() + 8);
+  mem_sec.put_u64(stored);
+  mem_sec.put_bytes(records.bytes());
+
+  util::ByteWriter state;
+  s.serialize_machine(state);
+
+  util::ByteWriter out;
+  out.reserve(mem_sec.size() + state.size() + 64);
+  out.put_u32(kMagic);
+  out.put_u32(2);
+  out.put_u32(std::uint32_t(mem::PhysMem::kPageBytes));
+  out.put_u32(opts.compress ? kFlagCompress : 0);
+  out.put_u64(phys.size());
+  out.put_u64(mem_sec.size());
+  // CRC over the 32-byte fixed prologue: mem_bytes sizes the decoded image
+  // allocation, so it must be validated *before* it is trusted — a bit flip
+  // there would otherwise request an absurd allocation instead of a clean
+  // DeserializeError.
+  out.put_u32(util::crc32(out.bytes()));
+  out.put_bytes(mem_sec.bytes());
+  out.put_u32(util::crc32(mem_sec.bytes()));
+  out.put_u64(state.size());
+  out.put_bytes(state.bytes());
+  out.put_u32(util::crc32(state.bytes()));
+  return Checkpoint::from_bytes(out.take());
+}
+
+/// Validate the fixed v1/v2 prologue and return the version word.
+std::uint32_t read_version(util::ByteReader& r) {
+  if (r.get_u32() != kMagic) throw util::DeserializeError("bad checkpoint magic");
+  return r.get_u32();
+}
+
+struct V2Header {
+  std::uint32_t flags = 0;
+  std::uint64_t mem_bytes = 0;
+  std::uint64_t mem_len = 0;
+};
+
+/// Read and validate the fixed v2 prologue (reader already past
+/// magic+version). The header CRC is checked before mem_bytes or mem_len is
+/// trusted, so a damaged size field fails cleanly instead of driving a huge
+/// allocation.
+V2Header read_v2_header(util::ByteReader& r, std::span<const std::uint8_t> blob) {
+  V2Header h;
+  const std::uint32_t page_size = r.get_u32();
+  if (page_size != mem::PhysMem::kPageBytes)
+    throw util::DeserializeError("unsupported checkpoint page size");
+  h.flags = r.get_u32();
+  h.mem_bytes = r.get_u64();
+  h.mem_len = r.get_u64();
+  const std::uint32_t header_crc = r.get_u32();
+  if (util::crc32(blob.first(32)) != header_crc)
+    throw util::DeserializeError("checkpoint header CRC mismatch");
+  return h;
+}
+
+}  // namespace
+
+const char* checkpoint_format_name(CheckpointFormat f) noexcept {
+  switch (f) {
+    case CheckpointFormat::V1: return "v1";
+    case CheckpointFormat::V2: return "v2";
+  }
+  return "?";
+}
+
+Checkpoint Checkpoint::capture(const sim::Simulation& s, const CaptureOptions& opts) {
+  return opts.format == CheckpointFormat::V1 ? capture_v1(s) : capture_v2(s, opts);
 }
 
 void Checkpoint::restore_into(sim::Simulation& s) const {
   util::ByteReader r(blob_);
-  if (r.get_u32() != kMagic) throw util::DeserializeError("bad checkpoint magic");
-  if (r.get_u32() != kVersion) throw util::DeserializeError("unsupported checkpoint version");
-  const std::uint64_t len = r.get_u64();
-  const std::uint32_t crc = r.get_u32();
-  if (r.remaining() != len) throw util::DeserializeError("checkpoint payload length mismatch");
-  const std::span<const std::uint8_t> payload(blob_.data() + (blob_.size() - len), len);
-  if (util::crc32(payload) != crc) throw util::DeserializeError("checkpoint CRC mismatch");
-  util::ByteReader pr(payload);
-  s.deserialize(pr);
+  const std::uint32_t version = read_version(r);
+  if (version == 1) {
+    const std::uint64_t len = r.get_u64();
+    const std::uint32_t crc = r.get_u32();
+    if (r.remaining() != len) throw util::DeserializeError("checkpoint payload length mismatch");
+    const auto payload = r.get_span(std::size_t(len));
+    if (util::crc32(payload) != crc) throw util::DeserializeError("checkpoint CRC mismatch");
+    util::ByteReader pr(payload);
+    s.deserialize(pr);
+    return;
+  }
+  if (version == 2) {
+    CheckpointImage::parse(*this).restore_into(s);
+    return;
+  }
+  throw util::DeserializeError("unsupported checkpoint version");
+}
+
+CheckpointFormat Checkpoint::format() const {
+  util::ByteReader r(blob_);
+  const std::uint32_t version = read_version(r);
+  if (version == 1) return CheckpointFormat::V1;
+  if (version == 2) return CheckpointFormat::V2;
+  throw util::DeserializeError("unsupported checkpoint version");
+}
+
+CheckpointStats Checkpoint::stats() const {
+  util::ByteReader r(blob_);
+  const std::uint32_t version = read_version(r);
+  CheckpointStats st;
+  st.encoded_bytes = blob_.size();
+
+  if (version == 1) {
+    st.format = CheckpointFormat::V1;
+    const std::uint64_t len = r.get_u64();
+    const std::uint32_t crc = r.get_u32();
+    if (r.remaining() != len) throw util::DeserializeError("checkpoint payload length mismatch");
+    const auto payload = r.get_span(std::size_t(len));
+    if (util::crc32(payload) != crc) throw util::DeserializeError("checkpoint CRC mismatch");
+    // Payload = u8 cpu-kind, then the length-prefixed memory blob.
+    util::ByteReader pr(payload);
+    (void)pr.get_u8();
+    st.mem_bytes = pr.get_u64();
+    if (pr.remaining() < st.mem_bytes)
+      throw util::DeserializeError("checkpoint stream truncated");
+    st.raw_bytes = len;
+    st.pages_total = (st.mem_bytes + mem::PhysMem::kPageBytes - 1) / mem::PhysMem::kPageBytes;
+    st.pages_stored = st.pages_total;  // v1 stores the image flat
+    return st;
+  }
+  if (version != 2) throw util::DeserializeError("unsupported checkpoint version");
+
+  st.format = CheckpointFormat::V2;
+  const V2Header h = read_v2_header(r, blob_);
+  st.mem_bytes = h.mem_bytes;
+  st.pages_total =
+      (st.mem_bytes + mem::PhysMem::kPageBytes - 1) / mem::PhysMem::kPageBytes;
+  const auto mem_sec = r.get_span(std::size_t(h.mem_len));
+  if (util::crc32(mem_sec) != r.get_u32())
+    throw util::DeserializeError("checkpoint memory section CRC mismatch");
+  const std::uint64_t state_len = r.get_u64();
+  const auto state_sec = r.get_span(std::size_t(state_len));
+  if (util::crc32(state_sec) != r.get_u32())
+    throw util::DeserializeError("checkpoint state section CRC mismatch");
+  if (!r.at_end()) throw util::DeserializeError("trailing bytes after checkpoint");
+  st.raw_bytes = st.mem_bytes + state_len;
+
+  // Walk the page records without decompressing.
+  util::ByteReader mr(mem_sec);
+  st.pages_stored = mr.get_u64();
+  for (std::uint64_t k = 0; k < st.pages_stored; ++k) {
+    (void)mr.get_u64();  // page index
+    const std::uint8_t enc = mr.get_u8();
+    if (enc == kPageRle) ++st.pages_rle;
+    else if (enc != kPageRaw) throw util::DeserializeError("unknown checkpoint page encoding");
+    (void)mr.get_span(mr.get_u32());
+  }
+  if (!mr.at_end()) throw util::DeserializeError("trailing bytes in checkpoint memory section");
+  return st;
 }
 
 Checkpoint Checkpoint::from_bytes(std::vector<std::uint8_t> bytes) {
@@ -48,24 +243,164 @@ Checkpoint Checkpoint::from_bytes(std::vector<std::uint8_t> bytes) {
 }
 
 void Checkpoint::save_file(const std::string& path) const {
-  std::unique_ptr<std::FILE, int (*)(std::FILE*)> f(std::fopen(path.c_str(), "wb"),
-                                                    &std::fclose);
-  if (!f) throw std::runtime_error("cannot write checkpoint file: " + path);
-  if (std::fwrite(blob_.data(), 1, blob_.size(), f.get()) != blob_.size())
-    throw std::runtime_error("short write to checkpoint file: " + path);
+  // Write to a sibling temp file and rename over the destination so a failed
+  // save (crash, full disk) never leaves a truncated checkpoint behind.
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (!f) throw std::runtime_error("cannot write checkpoint file: " + tmp);
+  const bool wrote =
+      blob_.empty() || std::fwrite(blob_.data(), 1, blob_.size(), f) == blob_.size();
+  const bool flushed = std::fflush(f) == 0 && std::ferror(f) == 0;
+  const bool closed = std::fclose(f) == 0;
+  if (!wrote || !flushed || !closed) {
+    std::remove(tmp.c_str());
+    throw std::runtime_error("short write to checkpoint file: " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw std::runtime_error("cannot move checkpoint into place: " + path);
+  }
 }
 
 Checkpoint Checkpoint::load_file(const std::string& path) {
   std::unique_ptr<std::FILE, int (*)(std::FILE*)> f(std::fopen(path.c_str(), "rb"),
                                                     &std::fclose);
   if (!f) throw std::runtime_error("cannot read checkpoint file: " + path);
-  std::fseek(f.get(), 0, SEEK_END);
+  if (std::fseek(f.get(), 0, SEEK_END) != 0)
+    throw std::runtime_error("cannot seek checkpoint file: " + path);
   const long size = std::ftell(f.get());
-  std::fseek(f.get(), 0, SEEK_SET);
+  if (size < 0) throw std::runtime_error("cannot size checkpoint file: " + path);
+  if (std::size_t(size) < kMinHeaderBytes)
+    throw util::DeserializeError("checkpoint file shorter than its header: " + path);
+  if (std::fseek(f.get(), 0, SEEK_SET) != 0)
+    throw std::runtime_error("cannot seek checkpoint file: " + path);
   std::vector<std::uint8_t> bytes(static_cast<std::size_t>(size), 0);
   if (std::fread(bytes.data(), 1, bytes.size(), f.get()) != bytes.size())
     throw std::runtime_error("short read from checkpoint file: " + path);
   return from_bytes(std::move(bytes));
+}
+
+// --- CheckpointImage -------------------------------------------------------
+
+CheckpointImage CheckpointImage::parse(const Checkpoint& c) {
+  CheckpointImage img;
+  img.stats_.encoded_bytes = c.size_bytes();
+
+  util::ByteReader r(c.bytes());
+  const std::uint32_t version = read_version(r);
+
+  if (version == 1) {
+    img.stats_.format = CheckpointFormat::V1;
+    const std::uint64_t len = r.get_u64();
+    const std::uint32_t crc = r.get_u32();
+    if (r.remaining() != len) throw util::DeserializeError("checkpoint payload length mismatch");
+    const auto payload = r.get_span(std::size_t(len));
+    if (util::crc32(payload) != crc) throw util::DeserializeError("checkpoint CRC mismatch");
+    // v1 payload = [u8 cpu-kind][u64 mem_len][memory image][machine tail].
+    // Splicing out the memory blob leaves exactly the serialize_machine
+    // stream: the kind byte followed by the tail.
+    util::ByteReader pr(payload);
+    const std::uint8_t kind = pr.get_u8();
+    const std::uint64_t mem_len = pr.get_u64();
+    const auto mem = pr.get_span(std::size_t(mem_len));
+    img.mem_.assign(mem.begin(), mem.end());
+    const auto rest = pr.get_span(pr.remaining());
+    img.state_.reserve(1 + rest.size());
+    img.state_.push_back(kind);
+    img.state_.insert(img.state_.end(), rest.begin(), rest.end());
+    img.stats_.raw_bytes = len;
+    img.stats_.mem_bytes = img.mem_.size();
+    img.stats_.pages_total =
+        (img.stats_.mem_bytes + mem::PhysMem::kPageBytes - 1) / mem::PhysMem::kPageBytes;
+    img.stats_.pages_stored = img.stats_.pages_total;
+    return img;
+  }
+  if (version != 2) throw util::DeserializeError("unsupported checkpoint version");
+
+  img.stats_.format = CheckpointFormat::V2;
+  const V2Header h = read_v2_header(r, c.bytes());
+  const std::uint64_t mem_bytes = h.mem_bytes;
+  const auto mem_sec = r.get_span(std::size_t(h.mem_len));
+  if (util::crc32(mem_sec) != r.get_u32())
+    throw util::DeserializeError("checkpoint memory section CRC mismatch");
+  const std::uint64_t state_len = r.get_u64();
+  const auto state_sec = r.get_span(std::size_t(state_len));
+  if (util::crc32(state_sec) != r.get_u32())
+    throw util::DeserializeError("checkpoint state section CRC mismatch");
+  if (!r.at_end()) throw util::DeserializeError("trailing bytes after checkpoint");
+
+  const std::uint64_t pages_total =
+      (mem_bytes + mem::PhysMem::kPageBytes - 1) / mem::PhysMem::kPageBytes;
+  img.mem_.assign(std::size_t(mem_bytes), 0);
+  util::ByteReader mr(mem_sec);
+  const std::uint64_t stored = mr.get_u64();
+  for (std::uint64_t k = 0; k < stored; ++k) {
+    const std::uint64_t pi = mr.get_u64();
+    if (pi >= pages_total) throw util::DeserializeError("checkpoint page index out of range");
+    const std::uint8_t enc = mr.get_u8();
+    const std::uint32_t plen = mr.get_u32();
+    const auto payload = mr.get_span(plen);
+    const std::uint64_t base = pi << mem::PhysMem::kPageShift;
+    const std::size_t page_len =
+        std::size_t(std::min<std::uint64_t>(mem::PhysMem::kPageBytes, mem_bytes - base));
+    const std::span<std::uint8_t> out(img.mem_.data() + base, page_len);
+    if (enc == kPageRaw) {
+      if (plen != page_len)
+        throw util::DeserializeError("checkpoint raw page length mismatch");
+      std::memcpy(out.data(), payload.data(), page_len);
+    } else if (enc == kPageRle) {
+      util::rle_decompress(payload, out);
+      ++img.stats_.pages_rle;
+    } else {
+      throw util::DeserializeError("unknown checkpoint page encoding");
+    }
+  }
+  if (!mr.at_end()) throw util::DeserializeError("trailing bytes in checkpoint memory section");
+
+  img.state_.assign(state_sec.begin(), state_sec.end());
+  img.stats_.raw_bytes = mem_bytes + state_len;
+  img.stats_.mem_bytes = mem_bytes;
+  img.stats_.pages_total = pages_total;
+  img.stats_.pages_stored = stored;
+  return img;
+}
+
+std::uint64_t CheckpointImage::restore_into(sim::Simulation& s) const {
+  s.memsys().phys().copy_from(mem_);  // clears the dirty bitmap
+  restore_machine(s);
+  return stats_.pages_total;
+}
+
+std::uint64_t CheckpointImage::restore_dirty_into(sim::Simulation& s) const {
+  mem::PhysMem& phys = s.memsys().phys();
+  if (phys.size() != mem_.size())
+    throw util::DeserializeError("checkpoint memory size mismatch");
+  const auto raw = phys.raw();
+  const auto words = phys.dirty_words();
+  std::uint64_t copied = 0;
+  for (std::size_t wi = 0; wi < words.size(); ++wi) {
+    std::uint64_t w = words[wi];
+    while (w != 0) {
+      const unsigned bit = unsigned(std::countr_zero(w));
+      w &= w - 1;
+      const std::uint64_t pi = (std::uint64_t(wi) << 6) | bit;
+      const std::uint64_t base = pi << mem::PhysMem::kPageShift;
+      const std::size_t n =
+          std::size_t(std::min<std::uint64_t>(mem::PhysMem::kPageBytes, mem_.size() - base));
+      std::memcpy(raw.data() + base, mem_.data() + base, n);
+      ++copied;
+    }
+  }
+  phys.clear_dirty();  // memory is the baseline image again
+  restore_machine(s);
+  return copied;
+}
+
+void CheckpointImage::restore_machine(sim::Simulation& s) const {
+  util::ByteReader r(state_);
+  s.deserialize_machine(r);
+  if (!r.at_end())
+    throw util::DeserializeError("trailing bytes in checkpoint machine state");
 }
 
 }  // namespace gemfi::chkpt

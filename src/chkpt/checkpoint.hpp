@@ -8,8 +8,18 @@
 // times, each restore re-reading a different fault-configuration file, to
 // fast-forward an entire campaign past the common prefix.
 //
-// Format: magic + version + payload length + payload + CRC32(payload).
-// Restores validate all of it and throw util::DeserializeError on damage.
+// Two on-disk formats, distinguished by the version word:
+//   v1 (legacy, still loadable): magic + version + payload length +
+//      CRC32(payload) + payload, where the payload is the flat
+//      Simulation::serialize stream (memory embedded as one blob).
+//   v2 (default): page-granular memory. All-zero 4 KiB pages are skipped,
+//      stored pages are optionally RLE-compressed, and the header, memory
+//      and machine-state sections carry independent CRC32s, so a campaign can
+//      parse the memory section once into an immutable baseline
+//      (CheckpointImage) and restore each experiment by copying only the
+//      pages the previous one dirtied.
+//
+// Restores validate everything and throw util::DeserializeError on damage.
 #pragma once
 
 #include <cstdint>
@@ -20,14 +30,36 @@
 
 namespace gemfi::chkpt {
 
+enum class CheckpointFormat : std::uint8_t { V1 = 1, V2 = 2 };
+
+const char* checkpoint_format_name(CheckpointFormat f) noexcept;
+
+struct CaptureOptions {
+  CheckpointFormat format = CheckpointFormat::V2;
+  /// v2 only: RLE-encode stored pages that actually shrink.
+  bool compress = true;
+};
+
+/// How a checkpoint encodes on the wire (what a NoW workstation copies).
+struct CheckpointStats {
+  CheckpointFormat format = CheckpointFormat::V1;
+  std::uint64_t raw_bytes = 0;      // memory image + machine state, flat
+  std::uint64_t encoded_bytes = 0;  // blob size actually moved/stored
+  std::uint64_t mem_bytes = 0;      // guest physical memory size
+  std::uint64_t pages_total = 0;
+  std::uint64_t pages_stored = 0;   // non-zero pages present in the image
+  std::uint64_t pages_rle = 0;      // of those, RLE-compressed
+};
+
 class Checkpoint {
  public:
   Checkpoint() = default;
 
   /// Snapshot a (quiesced) simulation.
-  static Checkpoint capture(const sim::Simulation& s);
+  static Checkpoint capture(const sim::Simulation& s, const CaptureOptions& opts = {});
 
   /// Restore into a simulation constructed with the same config + program.
+  /// Dispatches on the stored format version (v1 and v2 both load).
   /// Resets fault-injection state per the paper's fi_read_init_all contract.
   void restore_into(sim::Simulation& s) const;
 
@@ -35,7 +67,14 @@ class Checkpoint {
   [[nodiscard]] std::size_t size_bytes() const noexcept { return blob_.size(); }
   [[nodiscard]] const std::vector<std::uint8_t>& bytes() const noexcept { return blob_; }
 
+  /// Format of this blob (header peek; throws DeserializeError if damaged).
+  [[nodiscard]] CheckpointFormat format() const;
+  /// Encoding statistics (validates headers and CRCs along the way).
+  [[nodiscard]] CheckpointStats stats() const;
+
   /// File round-trip (the "network share" of the NoW campaign protocol).
+  /// save_file writes a temp file and renames it into place, so a crashed or
+  /// out-of-disk save never clobbers an existing good checkpoint.
   void save_file(const std::string& path) const;
   static Checkpoint load_file(const std::string& path);
 
@@ -44,6 +83,40 @@ class Checkpoint {
 
  private:
   std::vector<std::uint8_t> blob_;
+};
+
+/// A checkpoint parsed once into an immutable, fully decoded baseline:
+/// the flat memory image plus the serialized machine-state section.
+///
+/// This is the campaign shared-restore path (Sec. III-D at scale): the
+/// runner parses the image once, every worker keeps one Simulation alive
+/// across experiments, and each restore copies back only the pages the
+/// previous experiment dirtied (PhysMem's dirty bitmap) plus the small
+/// machine-state stream — instead of re-deserializing a multi-MiB blob per
+/// experiment. All methods are const; one image may be shared by any number
+/// of concurrent workers.
+class CheckpointImage {
+ public:
+  /// Decode a v1 or v2 checkpoint; throws util::DeserializeError on damage.
+  static CheckpointImage parse(const Checkpoint& c);
+
+  /// Full restore (first experiment of a worker, or a fresh simulation).
+  /// Returns the number of pages materialized (the whole image).
+  std::uint64_t restore_into(sim::Simulation& s) const;
+
+  /// Incremental restore into a simulation previously restored from *this*
+  /// image: copies only pages marked dirty since that restore, clears the
+  /// bitmap, and re-deserializes the machine state. Returns pages copied.
+  std::uint64_t restore_dirty_into(sim::Simulation& s) const;
+
+  [[nodiscard]] const CheckpointStats& stats() const noexcept { return stats_; }
+
+ private:
+  void restore_machine(sim::Simulation& s) const;
+
+  std::vector<std::uint8_t> mem_;    // decoded flat memory image
+  std::vector<std::uint8_t> state_;  // serialize_machine stream
+  CheckpointStats stats_{};
 };
 
 }  // namespace gemfi::chkpt

@@ -1,5 +1,6 @@
 #include "mem/cache.hpp"
 
+#include <bit>
 #include <stdexcept>
 
 namespace gemfi::mem {
@@ -8,19 +9,26 @@ namespace {
 bool is_pow2(std::uint64_t x) { return x != 0 && (x & (x - 1)) == 0; }
 }  // namespace
 
-Cache::Cache(const CacheConfig& cfg) : cfg_(cfg) {
+CacheGeometry CacheGeometry::from_config(const CacheConfig& cfg) {
   if (!is_pow2(cfg.line_bytes) || cfg.ways == 0 || cfg.size_bytes == 0 ||
-      cfg.size_bytes % (cfg.line_bytes * cfg.ways) != 0)
+      cfg.size_bytes % (std::uint64_t(cfg.line_bytes) * cfg.ways) != 0)
     throw std::invalid_argument("invalid cache geometry");
-  num_sets_ = cfg.size_bytes / (cfg.line_bytes * cfg.ways);
-  if (!is_pow2(num_sets_)) throw std::invalid_argument("cache sets must be a power of two");
-  lines_.resize(std::size_t(num_sets_) * cfg.ways);
+  CacheGeometry g;
+  g.num_sets = cfg.size_bytes / (std::uint64_t(cfg.line_bytes) * cfg.ways);
+  if (!is_pow2(g.num_sets))
+    throw std::invalid_argument("cache sets must be a power of two");
+  g.line_bytes = cfg.line_bytes;
+  g.set_shift = unsigned(std::countr_zero(g.num_sets));
+  return g;
+}
+
+Cache::Cache(const CacheConfig& cfg) : cfg_(cfg), geom_(CacheGeometry::from_config(cfg)) {
+  lines_.resize(std::size_t(geom_.num_sets) * cfg.ways);
 }
 
 Cache::AccessResult Cache::access(std::uint64_t addr, bool is_write) {
-  const std::uint64_t la = line_addr(addr);
-  const std::uint32_t set = std::uint32_t(la & (num_sets_ - 1));
-  const std::uint64_t tag = la >> __builtin_ctz(num_sets_);
+  const std::uint64_t set = geom_.set_of(addr);
+  const std::uint64_t tag = geom_.tag_of(addr);
   Line* base = &lines_[std::size_t(set) * cfg_.ways];
 
   Line* victim = base;
@@ -50,9 +58,8 @@ Cache::AccessResult Cache::access(std::uint64_t addr, bool is_write) {
 }
 
 bool Cache::probe(std::uint64_t addr) const noexcept {
-  const std::uint64_t la = line_addr(addr);
-  const std::uint32_t set = std::uint32_t(la & (num_sets_ - 1));
-  const std::uint64_t tag = la >> __builtin_ctz(num_sets_);
+  const std::uint64_t set = geom_.set_of(addr);
+  const std::uint64_t tag = geom_.tag_of(addr);
   const Line* base = &lines_[std::size_t(set) * cfg_.ways];
   for (std::uint32_t w = 0; w < cfg_.ways; ++w)
     if (base[w].valid && base[w].tag == tag) return true;

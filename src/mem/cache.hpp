@@ -18,11 +18,36 @@
 namespace gemfi::mem {
 
 struct CacheConfig {
-  std::uint32_t size_bytes = 32 * 1024;
+  std::uint64_t size_bytes = 32 * 1024;
   std::uint32_t line_bytes = 64;
   std::uint32_t ways = 4;
   std::uint32_t hit_latency = 2;  // cycles charged on a hit
   const char* name = "cache";
+};
+
+/// Address-mapping math for a set-associative cache, kept separate from the
+/// line array so very large set counts (> 2^32) are validated and testable
+/// without allocating the array. The set shift is precomputed with
+/// std::countr_zero on the full 64-bit set count; the previous
+/// __builtin_ctz(num_sets) truncated the operand to unsigned int.
+struct CacheGeometry {
+  std::uint64_t num_sets = 1;
+  std::uint32_t line_bytes = 64;
+  unsigned set_shift = 0;  // log2(num_sets)
+
+  /// Validates the geometry (power-of-two lines and sets, nonzero ways,
+  /// divisible size); throws std::invalid_argument otherwise.
+  static CacheGeometry from_config(const CacheConfig& cfg);
+
+  [[nodiscard]] std::uint64_t line_addr(std::uint64_t addr) const noexcept {
+    return addr / line_bytes;
+  }
+  [[nodiscard]] std::uint64_t set_of(std::uint64_t addr) const noexcept {
+    return line_addr(addr) & (num_sets - 1);
+  }
+  [[nodiscard]] std::uint64_t tag_of(std::uint64_t addr) const noexcept {
+    return line_addr(addr) >> set_shift;
+  }
 };
 
 struct CacheStats {
@@ -70,12 +95,8 @@ class Cache {
     std::uint64_t lru = 0;  // larger == more recently used
   };
 
-  [[nodiscard]] std::uint64_t line_addr(std::uint64_t addr) const noexcept {
-    return addr / cfg_.line_bytes;
-  }
-
   CacheConfig cfg_;
-  std::uint32_t num_sets_;
+  CacheGeometry geom_;
   std::vector<Line> lines_;  // sets * ways, row-major by set
   std::uint64_t use_clock_ = 0;
   CacheStats stats_;

@@ -59,6 +59,15 @@ void MemSystem::reset_stats() noexcept {
 
 void MemSystem::serialize(util::ByteWriter& w) const {
   phys_.serialize(w);
+  serialize_timing(w);
+}
+
+void MemSystem::deserialize(util::ByteReader& r) {
+  phys_.deserialize(r);
+  deserialize_timing(r);
+}
+
+void MemSystem::serialize_timing(util::ByteWriter& w) const {
   l1i_.serialize(w);
   l1d_.serialize(w);
   l2_.serialize(w);
@@ -66,8 +75,7 @@ void MemSystem::serialize(util::ByteWriter& w) const {
   w.put_u64(code_end_);
 }
 
-void MemSystem::deserialize(util::ByteReader& r) {
-  phys_.deserialize(r);
+void MemSystem::deserialize_timing(util::ByteReader& r) {
   l1i_.deserialize(r);
   l1d_.deserialize(r);
   l2_.deserialize(r);

@@ -65,6 +65,12 @@ class MemSystem {
   void serialize(util::ByteWriter& w) const;
   void deserialize(util::ByteReader& r);
 
+  /// Timing + policy state only (caches and the code-region bounds), without
+  /// the physical-memory image. The v2 checkpoint path serializes memory
+  /// page-granular on its own and stores this beside it.
+  void serialize_timing(util::ByteWriter& w) const;
+  void deserialize_timing(util::ByteReader& r);
+
  private:
   MemSysConfig cfg_;
   PhysMem phys_;

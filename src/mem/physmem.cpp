@@ -1,5 +1,6 @@
 #include "mem/physmem.hpp"
 
+#include <bit>
 #include <cstring>
 #include <stdexcept>
 
@@ -29,13 +30,36 @@ AccessError PhysMem::store(std::uint64_t addr, unsigned n, std::uint64_t value) 
   if (!in_bounds(addr, n)) return AccessError::OutOfBounds;
   if (n != 1 && (addr & (n - 1)) != 0) return AccessError::Misaligned;
   std::memcpy(bytes_.data() + addr, &value, n);
+  mark_dirty(addr, n);  // aligned stores never straddle a page
   return AccessError::None;
 }
 
 void PhysMem::write_block(std::uint64_t addr, std::span<const std::uint8_t> data) {
   if (!in_bounds(addr, data.size()))
     throw std::out_of_range("PhysMem::write_block beyond memory");
+  if (data.empty()) return;
   std::memcpy(bytes_.data() + addr, data.data(), data.size());
+  mark_dirty(addr, data.size());
+}
+
+std::uint64_t PhysMem::dirty_page_count() const noexcept {
+  std::uint64_t n = 0;
+  for (const std::uint64_t w : dirty_) n += std::uint64_t(std::popcount(w));
+  return n;
+}
+
+void PhysMem::mark_all_dirty() noexcept {
+  std::fill(dirty_.begin(), dirty_.end(), ~0ull);
+  // Mask off bits beyond the last page so dirty_page_count() stays exact.
+  const std::uint64_t used = page_count() & 63;
+  if (used != 0 && !dirty_.empty()) dirty_.back() = (1ull << used) - 1;
+}
+
+void PhysMem::copy_from(std::span<const std::uint8_t> image) {
+  if (image.size() != bytes_.size())
+    throw util::DeserializeError("checkpoint memory size mismatch");
+  std::memcpy(bytes_.data(), image.data(), image.size());
+  clear_dirty();
 }
 
 void PhysMem::read_block(std::uint64_t addr, std::span<std::uint8_t> out) const {
@@ -51,6 +75,9 @@ void PhysMem::deserialize(util::ByteReader& r) {
   if (blob.size() != bytes_.size())
     throw util::DeserializeError("checkpoint memory size mismatch");
   bytes_ = std::move(blob);
+  // The whole image changed relative to whatever baseline the caller tracked;
+  // only copy_from() (a full baseline write) may clear the bitmap.
+  mark_all_dirty();
 }
 
 }  // namespace gemfi::mem

@@ -10,6 +10,7 @@
 // host UB.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <span>
 #include <vector>
@@ -30,13 +31,45 @@ const char* access_error_name(AccessError e) noexcept;
 
 class PhysMem {
  public:
-  explicit PhysMem(std::uint64_t size_bytes) : bytes_(size_bytes, 0) {}
+  /// Granularity of checkpoint serialization and dirty tracking.
+  static constexpr std::uint64_t kPageBytes = 4096;
+  static constexpr unsigned kPageShift = 12;
+
+  explicit PhysMem(std::uint64_t size_bytes)
+      : bytes_(size_bytes, 0), dirty_((page_count_of(size_bytes) + 63) / 64, 0) {}
 
   [[nodiscard]] std::uint64_t size() const noexcept { return bytes_.size(); }
 
-  /// Raw unchecked view for loaders and checkpointing.
+  /// Raw unchecked view for loaders and checkpointing. Writes through the
+  /// mutable span bypass dirty tracking; callers must clear_dirty() or
+  /// mark_all_dirty() afterwards as appropriate (the checkpoint restore
+  /// paths do).
   [[nodiscard]] std::span<const std::uint8_t> raw() const noexcept { return bytes_; }
   [[nodiscard]] std::span<std::uint8_t> raw() noexcept { return bytes_; }
+
+  // --- page-granular view (4 KiB; the last page may be partial) ---
+  [[nodiscard]] std::uint64_t page_count() const noexcept {
+    return page_count_of(bytes_.size());
+  }
+  [[nodiscard]] std::span<const std::uint8_t> page(std::uint64_t i) const noexcept {
+    const std::uint64_t base = i << kPageShift;
+    return {bytes_.data() + base, std::size_t(std::min(kPageBytes, bytes_.size() - base))};
+  }
+
+  // --- dirty-page bitmap (pages mutated since the last clear_dirty()) ---
+  // One bit per page, packed into u64 words; maintained by store() and
+  // write_block(), consumed by the checkpoint shared-baseline restore path.
+  [[nodiscard]] bool page_dirty(std::uint64_t i) const noexcept {
+    return (dirty_[i >> 6] >> (i & 63)) & 1;
+  }
+  [[nodiscard]] std::span<const std::uint64_t> dirty_words() const noexcept { return dirty_; }
+  [[nodiscard]] std::uint64_t dirty_page_count() const noexcept;
+  void clear_dirty() noexcept { std::fill(dirty_.begin(), dirty_.end(), 0); }
+  void mark_all_dirty() noexcept;
+
+  /// Replace the whole image (sizes must match) and clear the dirty bitmap:
+  /// memory is now exactly the image it was copied from.
+  void copy_from(std::span<const std::uint8_t> image);
 
   [[nodiscard]] bool in_bounds(std::uint64_t addr, std::uint64_t n) const noexcept {
     return addr <= bytes_.size() && n <= bytes_.size() - addr;
@@ -55,7 +88,17 @@ class PhysMem {
   void deserialize(util::ByteReader& r);
 
  private:
+  static constexpr std::uint64_t page_count_of(std::uint64_t bytes) noexcept {
+    return (bytes + kPageBytes - 1) >> kPageShift;
+  }
+  void mark_dirty(std::uint64_t addr, std::uint64_t n) noexcept {
+    const std::uint64_t first = addr >> kPageShift;
+    const std::uint64_t last = (addr + n - 1) >> kPageShift;
+    for (std::uint64_t p = first; p <= last; ++p) dirty_[p >> 6] |= 1ull << (p & 63);
+  }
+
   std::vector<std::uint8_t> bytes_;
+  std::vector<std::uint64_t> dirty_;  // bit per page, see page_dirty()
 };
 
 }  // namespace gemfi::mem

@@ -285,9 +285,7 @@ std::string Simulation::stats_report() const {
   return out;
 }
 
-void Simulation::serialize(util::ByteWriter& w) const {
-  w.put_u8(std::uint8_t(active_cpu_));
-  ms_.serialize(w);
+void Simulation::serialize_tail(util::ByteWriter& w) const {
   cpu_->serialize(w);
   sched_.serialize(w);
   w.put_u64(tick_);
@@ -295,10 +293,7 @@ void Simulation::serialize(util::ByteWriter& w) const {
   w.put_bool(mode_switch_done_);
 }
 
-void Simulation::deserialize(util::ByteReader& r) {
-  const auto kind = static_cast<CpuKind>(r.get_u8());
-  if (kind != active_cpu_) make_cpu(kind);
-  ms_.deserialize(r);
+void Simulation::deserialize_tail(util::ByteReader& r) {
   cpu_->deserialize(r);
   sched_.deserialize(r);
   tick_ = r.get_u64();
@@ -311,6 +306,32 @@ void Simulation::deserialize(util::ByteReader& r) {
   // the fault configuration file can be re-read for a fresh experiment.
   fm_.reset_campaign_state();
   fm_.set_now(tick_);
+}
+
+void Simulation::serialize(util::ByteWriter& w) const {
+  w.put_u8(std::uint8_t(active_cpu_));
+  ms_.serialize(w);
+  serialize_tail(w);
+}
+
+void Simulation::deserialize(util::ByteReader& r) {
+  const auto kind = static_cast<CpuKind>(r.get_u8());
+  if (kind != active_cpu_) make_cpu(kind);
+  ms_.deserialize(r);
+  deserialize_tail(r);
+}
+
+void Simulation::serialize_machine(util::ByteWriter& w) const {
+  w.put_u8(std::uint8_t(active_cpu_));
+  ms_.serialize_timing(w);
+  serialize_tail(w);
+}
+
+void Simulation::deserialize_machine(util::ByteReader& r) {
+  const auto kind = static_cast<CpuKind>(r.get_u8());
+  if (kind != active_cpu_) make_cpu(kind);
+  ms_.deserialize_timing(r);
+  deserialize_tail(r);
 }
 
 }  // namespace gemfi::sim

@@ -98,6 +98,7 @@ class Simulation {
   [[nodiscard]] os::Scheduler& scheduler() noexcept { return sched_; }
   [[nodiscard]] const os::Scheduler& scheduler() const noexcept { return sched_; }
   [[nodiscard]] mem::MemSystem& memsys() noexcept { return ms_; }
+  [[nodiscard]] const mem::MemSystem& memsys() const noexcept { return ms_; }
   [[nodiscard]] cpu::CpuModel& cpu() noexcept { return *cpu_; }
   [[nodiscard]] const cpu::CpuModel& cpu() const noexcept { return *cpu_; }
   [[nodiscard]] const SimConfig& config() const noexcept { return cfg_; }
@@ -128,7 +129,17 @@ class Simulation {
   /// one checkpoint can seed many differently-configured experiments.
   void deserialize(util::ByteReader& r);
 
+  /// Machine state *minus* the physical-memory image: CPU kind, cache/timing
+  /// state, CPU, scheduler and simulation counters. The v2 checkpoint format
+  /// stores this as its own CRC-guarded section beside the page-granular
+  /// memory section; restore semantics match deserialize() (FI state is
+  /// re-armed). Callers restore memory separately.
+  void serialize_machine(util::ByteWriter& w) const;
+  void deserialize_machine(util::ByteReader& r);
+
  private:
+  void serialize_tail(util::ByteWriter& w) const;
+  void deserialize_tail(util::ByteReader& r);
   void dispatch_pseudo(const cpu::CommitEvent& ev);
   void make_cpu(CpuKind kind);
   void ensure_thread_scheduled();

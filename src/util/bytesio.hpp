@@ -25,6 +25,17 @@ class DeserializeError : public std::runtime_error {
 
 std::uint32_t crc32(std::span<const std::uint8_t> data, std::uint32_t seed = 0);
 
+/// PackBits-style byte RLE used for v2 checkpoint page payloads. A control
+/// byte c < 0x80 introduces a literal run of c+1 bytes; c >= 0x80 repeats
+/// the following byte (c - 0x80 + 3) times, so runs shorter than 3 are never
+/// "compressed" and incompressible input grows by at most 1/128.
+std::vector<std::uint8_t> rle_compress(std::span<const std::uint8_t> data);
+
+/// Decode an rle_compress() stream into exactly out.size() bytes. Throws
+/// DeserializeError if the stream is truncated, overruns the output, or
+/// decodes to fewer bytes than expected.
+void rle_decompress(std::span<const std::uint8_t> data, std::span<std::uint8_t> out);
+
 // The stream format is little-endian; on little-endian hosts (the only kind
 // we target; enforced here) scalars can be appended with a plain memcpy.
 static_assert(std::endian::native == std::endian::little,
@@ -72,6 +83,14 @@ class ByteReader {
   void get_bytes(std::span<std::uint8_t> out);
   std::vector<std::uint8_t> get_blob();
   std::string get_string();
+  /// Consume n bytes and return a view into the underlying buffer (valid as
+  /// long as the buffer the reader was constructed over lives).
+  std::span<const std::uint8_t> get_span(std::size_t n) {
+    need(n);
+    const auto s = data_.subspan(pos_, n);
+    pos_ += n;
+    return s;
+  }
 
   [[nodiscard]] std::size_t remaining() const noexcept { return data_.size() - pos_; }
   [[nodiscard]] bool at_end() const noexcept { return remaining() == 0; }

@@ -125,6 +125,44 @@ TEST(Campaigns, DeterministicGivenSameFaults) {
         << i;
 }
 
+TEST(Campaigns, SharedBaselineMatchesFullRestoreOutcomes) {
+  // The dirty-page fast restore must be invisible in campaign results: same
+  // faults, same outcomes, experiment by experiment.
+  const auto ca = campaign::calibrate(apps::build_app("jacobi"), quick_config());
+  const auto faults = campaign::seeded_fault_set(21, 24, ca.kernel_fetches);
+
+  auto shared_cfg = quick_config();
+  shared_cfg.shared_baseline = true;
+  auto full_cfg = quick_config();
+  full_cfg.shared_baseline = false;
+
+  const auto shared = campaign::run_campaign(ca, faults, shared_cfg);
+  const auto full = campaign::run_campaign(ca, faults, full_cfg);
+  for (std::size_t i = 0; i < faults.size(); ++i) {
+    EXPECT_EQ(shared.results[i].classification.outcome,
+              full.results[i].classification.outcome)
+        << i;
+    EXPECT_EQ(shared.results[i].sim_ticks, full.results[i].sim_ticks) << i;
+  }
+}
+
+TEST(Experiments, WorkerDirtyRestoreMatchesPerExperimentRestore) {
+  const auto cfg = quick_config();
+  const auto ca = campaign::calibrate(apps::build_app("jacobi"), cfg);
+  const auto faults = campaign::seeded_fault_set(5, 6, ca.kernel_fetches);
+
+  const auto image = chkpt::CheckpointImage::parse(ca.checkpoint);
+  campaign::ExperimentWorker worker(ca, image, cfg);
+  for (const auto& f : faults) {
+    const auto from_worker = worker.run(f);
+    const auto standalone = campaign::run_experiment(ca, f, cfg);
+    EXPECT_EQ(from_worker.classification.outcome, standalone.classification.outcome);
+    EXPECT_EQ(from_worker.sim_ticks, standalone.sim_ticks);
+    EXPECT_EQ(from_worker.exit_reason, standalone.exit_reason);
+    EXPECT_EQ(from_worker.ckpt_version, std::uint8_t(chkpt::CheckpointFormat::V2));
+  }
+}
+
 TEST(Campaigns, NowRunnerMatchesLocalOutcomes) {
   const auto ca = campaign::calibrate(apps::build_app("pi"), quick_config());
   util::Rng rng(99);
@@ -221,8 +259,10 @@ TEST(Observers, JsonlStreamsOneValidRecordPerExperiment) {
     ASSERT_TRUE(v.is_object());
     for (const char* key : {"index", "worker", "seed", "fault", "location", "outcome",
                             "exit", "trap", "applied", "time_fraction", "sim_ticks",
-                            "wall_seconds", "retries"})
+                            "wall_seconds", "retries", "ckpt_format", "restore_pages",
+                            "restore_bytes"})
       EXPECT_TRUE(v.has(key)) << "missing key " << key << " in: " << line;
+    EXPECT_EQ(v.at("ckpt_format").as_string(), "v2");
     const std::uint64_t idx = v.at("index").as_u64();
     indices.insert(idx);
     ASSERT_LT(idx, n);

@@ -22,14 +22,15 @@ struct CkptRun {
   std::uint64_t full_ticks = 0;
 };
 
-CkptRun run_and_capture(const apps::App& app, sim::CpuKind cpu) {
+CkptRun run_and_capture(const apps::App& app, sim::CpuKind cpu,
+                        const chkpt::CaptureOptions& opts = {}) {
   sim::SimConfig cfg;
   cfg.cpu = cpu;
   sim::Simulation s(cfg, app.program);
   s.spawn_main_thread();
   CkptRun r;
   s.set_checkpoint_handler(
-      [&](sim::Simulation& sim) { r.ckpt = chkpt::Checkpoint::capture(sim); });
+      [&](sim::Simulation& sim) { r.ckpt = chkpt::Checkpoint::capture(sim, opts); });
   const auto rr = s.run(2'000'000'000ull);
   EXPECT_EQ(rr.reason, sim::ExitReason::AllThreadsExited);
   r.full_output = s.output(0);
@@ -82,12 +83,34 @@ TEST_P(CkptModels, OneCheckpointSeedsDifferentExperiments) {
   EXPECT_EQ(outputs[1], base.full_output);
 }
 
+TEST_P(CkptModels, V1FormatRoundTripsLikeV2) {
+  const apps::App app = apps::build_app("pi");
+  const CkptRun base =
+      run_and_capture(app, GetParam(), {chkpt::CheckpointFormat::V1});
+  ASSERT_FALSE(base.ckpt.empty());
+  EXPECT_EQ(base.ckpt.format(), chkpt::CheckpointFormat::V1);
+
+  sim::SimConfig cfg;
+  cfg.cpu = GetParam();
+  sim::Simulation s(cfg, app.program);
+  s.spawn_main_thread();
+  base.ckpt.restore_into(s);
+  const auto rr = s.run(2'000'000'000ull);
+  EXPECT_EQ(rr.reason, sim::ExitReason::AllThreadsExited);
+  EXPECT_EQ(s.output(0), base.full_output);
+  EXPECT_EQ(rr.ticks, base.full_ticks);
+}
+
 INSTANTIATE_TEST_SUITE_P(Models, CkptModels,
                          ::testing::Values(sim::CpuKind::AtomicSimple,
+                                           sim::CpuKind::TimingSimple,
                                            sim::CpuKind::Pipelined),
                          [](const auto& info) {
-                           return info.param == sim::CpuKind::AtomicSimple ? "Atomic"
-                                                                           : "Pipelined";
+                           switch (info.param) {
+                             case sim::CpuKind::AtomicSimple: return "Atomic";
+                             case sim::CpuKind::TimingSimple: return "Timing";
+                             default: return "Pipelined";
+                           }
                          });
 
 TEST(Checkpoint, CorruptionIsDetected) {
@@ -135,6 +158,175 @@ TEST(Checkpoint, FileRoundTrip) {
   const auto rr = s.run(2'000'000'000ull);
   EXPECT_EQ(rr.reason, sim::ExitReason::AllThreadsExited);
   EXPECT_EQ(s.output(0), base.full_output);
+}
+
+TEST(Checkpoint, V2ImageIsSparseAndMuchSmallerThanV1) {
+  const apps::App app = apps::build_app("pi");
+  const CkptRun v2 = run_and_capture(app, sim::CpuKind::AtomicSimple);
+  const CkptRun v1 =
+      run_and_capture(app, sim::CpuKind::AtomicSimple, {chkpt::CheckpointFormat::V1});
+
+  EXPECT_EQ(v2.ckpt.format(), chkpt::CheckpointFormat::V2);
+  const auto st = v2.ckpt.stats();
+  EXPECT_EQ(st.format, chkpt::CheckpointFormat::V2);
+  EXPECT_LT(st.pages_stored, st.pages_total);  // most of the 4 MiB is zero
+  EXPECT_LT(st.encoded_bytes, st.raw_bytes);
+  EXPECT_LT(v2.ckpt.size_bytes(), v1.ckpt.size_bytes() / 4);
+
+  const auto v1st = v1.ckpt.stats();
+  EXPECT_EQ(v1st.format, chkpt::CheckpointFormat::V1);
+  EXPECT_EQ(v1st.pages_stored, v1st.pages_total);  // flat image
+}
+
+TEST(Checkpoint, UncompressedV2RoundTrips) {
+  const apps::App app = apps::build_app("pi");
+  const CkptRun base = run_and_capture(app, sim::CpuKind::AtomicSimple,
+                                       {chkpt::CheckpointFormat::V2, false});
+  EXPECT_EQ(base.ckpt.stats().pages_rle, 0u);
+
+  sim::SimConfig cfg;
+  cfg.cpu = sim::CpuKind::AtomicSimple;
+  sim::Simulation s(cfg, app.program);
+  s.spawn_main_thread();
+  base.ckpt.restore_into(s);
+  const auto rr = s.run(2'000'000'000ull);
+  EXPECT_EQ(rr.reason, sim::ExitReason::AllThreadsExited);
+  EXPECT_EQ(s.output(0), base.full_output);
+}
+
+TEST(Checkpoint, V1LoadsThroughCheckpointImage) {
+  // Cross-load: a legacy v1 blob parsed by the v2 shared-baseline machinery
+  // must restore exactly like Checkpoint::restore_into does.
+  const apps::App app = apps::build_app("pi");
+  const CkptRun base =
+      run_and_capture(app, sim::CpuKind::AtomicSimple, {chkpt::CheckpointFormat::V1});
+
+  const auto image = chkpt::CheckpointImage::parse(base.ckpt);
+  EXPECT_EQ(image.stats().format, chkpt::CheckpointFormat::V1);
+
+  sim::SimConfig cfg;
+  cfg.cpu = sim::CpuKind::AtomicSimple;
+  sim::Simulation s(cfg, app.program);
+  s.spawn_main_thread();
+  image.restore_into(s);
+  const auto rr = s.run(2'000'000'000ull);
+  EXPECT_EQ(rr.reason, sim::ExitReason::AllThreadsExited);
+  EXPECT_EQ(s.output(0), base.full_output);
+  EXPECT_EQ(rr.ticks, base.full_ticks);
+}
+
+TEST(Checkpoint, DirtyPageRestoreIsEquivalentToFullRestore) {
+  // Jacobi, not PI: the kernel must actually store to memory so the dirty
+  // bitmap has pages to copy back (PI's kernel is register-only).
+  const apps::App app = apps::build_app("jacobi");
+  const CkptRun base = run_and_capture(app, sim::CpuKind::AtomicSimple);
+  const auto image = chkpt::CheckpointImage::parse(base.ckpt);
+
+  sim::SimConfig cfg;
+  cfg.cpu = sim::CpuKind::AtomicSimple;
+  sim::Simulation s(cfg, app.program);
+  s.spawn_main_thread();
+  image.restore_into(s);
+
+  // Experiment 1: run with a fault injected mid-kernel (dirties state).
+  s.fault_manager().load_faults({fi::parse_fault(
+      "RegisterInjectedFault Inst:50 Flip:62 Threadid:0 system.cpu0 occ:1 float 10")});
+  (void)s.run(2'000'000'000ull);
+
+  // Experiment 2: dirty-page restore, then a fault-free run must reproduce
+  // the golden output tick-exactly — proof the restore is bit-equivalent.
+  // The restore re-arms FI state (the fi_read_init contract), so the next
+  // experiment's fault list must be loaded afterwards — here, none.
+  const std::uint64_t copied = image.restore_dirty_into(s);
+  s.fault_manager().load_faults({});
+  EXPECT_GT(copied, 0u);
+  EXPECT_LT(copied, image.stats().pages_total);  // only dirtied pages move
+  const auto rr = s.run(2'000'000'000ull);
+  EXPECT_EQ(rr.reason, sim::ExitReason::AllThreadsExited);
+  EXPECT_EQ(s.output(0), base.full_output);
+  EXPECT_EQ(rr.ticks, base.full_ticks);
+}
+
+TEST(Checkpoint, BitFlipsInEachV2SectionAreDetected) {
+  const apps::App app = apps::build_app("pi");
+  const CkptRun base = run_and_capture(app, sim::CpuKind::AtomicSimple);
+  sim::SimConfig cfg;
+  cfg.cpu = sim::CpuKind::AtomicSimple;
+  sim::Simulation s(cfg, app.program);
+  s.spawn_main_thread();
+
+  // Header (the mem_bytes size field): must fail on the header CRC instead
+  // of attempting an absurd allocation.
+  auto header_flip = base.ckpt.bytes();
+  header_flip[16 + 7] ^= 0x40;  // top byte of mem_bytes
+  EXPECT_THROW(
+      chkpt::CheckpointImage::parse(chkpt::Checkpoint::from_bytes(std::move(header_flip))),
+      util::DeserializeError);
+
+  // Memory section (early in the blob).
+  auto mem_flip = base.ckpt.bytes();
+  mem_flip[64] ^= 0x01;
+  EXPECT_THROW(chkpt::Checkpoint::from_bytes(std::move(mem_flip)).restore_into(s),
+               util::DeserializeError);
+
+  // Machine-state section (just before the trailing CRC).
+  auto state_flip = base.ckpt.bytes();
+  state_flip[state_flip.size() - 6] ^= 0x01;
+  EXPECT_THROW(chkpt::Checkpoint::from_bytes(std::move(state_flip)).restore_into(s),
+               util::DeserializeError);
+}
+
+TEST(Checkpoint, MalformedPageIndexIsRejectedNotOom) {
+  // Hand-craft a v2 blob whose CRCs are all valid but whose single page
+  // record points far outside the image: must throw, not write wild.
+  util::ByteWriter records;
+  records.put_u64(1);                  // one stored page
+  records.put_u64(1ull << 40);         // absurd page index
+  records.put_u8(0);                   // raw
+  records.put_u32(4096);
+  records.put_bytes(std::vector<std::uint8_t>(4096, 0xab));
+
+  util::ByteWriter out;
+  out.put_u32(0x47464943);
+  out.put_u32(2);
+  out.put_u32(4096);
+  out.put_u32(0);
+  out.put_u64(4ull * 1024 * 1024);     // mem_bytes
+  out.put_u64(records.size());
+  out.put_u32(util::crc32(out.bytes()));
+  out.put_bytes(records.bytes());
+  out.put_u32(util::crc32(records.bytes()));
+  out.put_u64(0);                      // empty state section
+  out.put_u32(util::crc32({}));
+
+  EXPECT_THROW(chkpt::CheckpointImage::parse(chkpt::Checkpoint::from_bytes(out.take())),
+               util::DeserializeError);
+}
+
+TEST(Checkpoint, WrongGeometryImageIsRejected) {
+  const apps::App app = apps::build_app("pi");
+  for (const auto fmt : {chkpt::CheckpointFormat::V1, chkpt::CheckpointFormat::V2}) {
+    const CkptRun base = run_and_capture(app, sim::CpuKind::AtomicSimple, {fmt});
+    sim::SimConfig cfg;
+    cfg.cpu = sim::CpuKind::AtomicSimple;
+    cfg.mem.phys_bytes = 2ull * 1024 * 1024;  // checkpoint was taken on 4 MiB
+    sim::Simulation s(cfg, app.program);
+    s.spawn_main_thread();
+    EXPECT_THROW(base.ckpt.restore_into(s), util::DeserializeError);
+    EXPECT_THROW(chkpt::CheckpointImage::parse(base.ckpt).restore_into(s),
+                 util::DeserializeError);
+  }
+}
+
+TEST(Checkpoint, TruncatedFileIsRejected) {
+  const std::string path = ::testing::TempDir() + "/gemfi_ckpt_trunc.bin";
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::fwrite("GFIC\x02\0\0\0stub", 1, 12, f);  // 12 bytes < 20-byte header
+  std::fclose(f);
+  EXPECT_THROW(chkpt::Checkpoint::load_file(path), util::DeserializeError);
+  std::remove(path.c_str());
+  EXPECT_THROW(chkpt::Checkpoint::load_file(path), std::runtime_error);  // missing
 }
 
 TEST(Checkpoint, RestoreResetsFaultInjectionState) {

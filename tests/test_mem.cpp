@@ -30,6 +30,61 @@ TEST(PhysMem, CheckedAccessSemantics) {
   EXPECT_EQ(v, 42u);
 }
 
+TEST(PhysMem, DirtyBitmapTracksStoresAndBlockWrites) {
+  PhysMem pm(16 * PhysMem::kPageBytes);
+  EXPECT_EQ(pm.dirty_page_count(), 0u);
+
+  // A store marks exactly its page.
+  EXPECT_EQ(pm.store(5 * PhysMem::kPageBytes + 8, 8, 1), AccessError::None);
+  EXPECT_TRUE(pm.page_dirty(5));
+  EXPECT_FALSE(pm.page_dirty(4));
+  EXPECT_EQ(pm.dirty_page_count(), 1u);
+
+  // A block write crossing a page boundary marks both pages.
+  const std::vector<std::uint8_t> blob(256, 0xcd);
+  pm.write_block(7 * PhysMem::kPageBytes - 100, blob);
+  EXPECT_TRUE(pm.page_dirty(6));
+  EXPECT_TRUE(pm.page_dirty(7));
+  EXPECT_EQ(pm.dirty_page_count(), 3u);
+
+  pm.clear_dirty();
+  EXPECT_EQ(pm.dirty_page_count(), 0u);
+
+  pm.mark_all_dirty();
+  EXPECT_EQ(pm.dirty_page_count(), pm.page_count());
+
+  // copy_from replaces the image and leaves a clean bitmap (memory == image);
+  // a wrong-sized image is rejected.
+  const std::vector<std::uint8_t> image(16 * PhysMem::kPageBytes, 0x11);
+  pm.copy_from(image);
+  EXPECT_EQ(pm.dirty_page_count(), 0u);
+  std::uint64_t v = 0;
+  EXPECT_EQ(pm.load(0, 8, v), AccessError::None);
+  EXPECT_EQ(v, 0x1111111111111111ull);
+  const std::vector<std::uint8_t> wrong(8 * PhysMem::kPageBytes, 0);
+  EXPECT_THROW(pm.copy_from(wrong), gemfi::util::DeserializeError);
+}
+
+TEST(Cache, GeometryMathSurvivesHugeSetCounts) {
+  // Regression: the set-index shift used to be computed with
+  // __builtin_ctz(int) on the set count, which truncates geometries with
+  // >= 2^32 sets. CacheGeometry does the math in 64 bits without
+  // allocating the (infeasible) line array.
+  CacheConfig cfg;
+  cfg.line_bytes = 64;
+  cfg.ways = 1;
+  cfg.size_bytes = (1ull << 33) * 64;  // 2^33 sets of one 64-byte line
+  const auto g = CacheGeometry::from_config(cfg);
+  EXPECT_EQ(g.num_sets, 1ull << 33);
+  EXPECT_EQ(g.set_shift, 33u);
+
+  const std::uint64_t addr = (0x3bull << (33 + 6)) | (0x1234567ull << 6) | 17;
+  EXPECT_EQ(g.set_of(addr), 0x1234567ull);
+  EXPECT_EQ(g.tag_of(addr), 0x3bull);
+  // Two addresses 2^32 lines apart must land in different sets, not alias.
+  EXPECT_NE(g.set_of(0), g.set_of(1ull << (32 + 6)));
+}
+
 TEST(Cache, GeometryValidation) {
   EXPECT_THROW(Cache({.size_bytes = 1000, .line_bytes = 64, .ways = 4}),
                std::invalid_argument);
