@@ -18,10 +18,12 @@ using namespace gemfi;
 
 namespace {
 
-double run_once(const apps::App& app, bool fi_enabled) {
+double run_once(const apps::App& app, bool fi_enabled, bool predecode = true,
+                std::uint64_t* committed = nullptr) {
   sim::SimConfig cfg;
   cfg.cpu = sim::CpuKind::Pipelined;
   cfg.fi_enabled = fi_enabled;
+  cfg.predecode = predecode;
   sim::Simulation s(cfg, app.program);
   s.spawn_main_thread();
   const auto t0 = std::chrono::steady_clock::now();
@@ -31,6 +33,7 @@ double run_once(const apps::App& app, bool fi_enabled) {
     std::fprintf(stderr, "unexpected exit: %s\n", sim::exit_reason_name(rr.reason));
     std::exit(1);
   }
+  if (committed) *committed = rr.committed;
   return std::chrono::duration<double>(t1 - t0).count();
 }
 
@@ -63,6 +66,26 @@ int main(int argc, char** argv) {
     std::printf("%-10s %12.4f %12.4f %12.2f %14.2f\n", name.c_str(), sb.mean, sg.mean,
                 so.mean, util::ci_half_width(so, 0.95));
   }
+  // Simulation-rate companion table: the predecoded-instruction cache is a
+  // host-side speedup with zero simulated-outcome impact (the lockstep suite
+  // proves bit-identity), so it is reported beside — not inside — the
+  // overhead figure, which keeps both configurations on the default cache.
+  std::printf("\n  simulation rate (pipelined, FI hooks on, no faults):\n");
+  std::printf("%-10s %14s %14s %8s\n", "app", "insts/s", "insts/s(nopd)", "speedup");
+  for (const std::string& name : opt.app_list()) {
+    const apps::App app = apps::build_app(name, opt.scale());
+    double on_s = 0.0, off_s = 0.0;
+    std::uint64_t insts = 0;
+    for (std::size_t r = 0; r < reps; ++r) {
+      on_s += run_once(app, true, /*predecode=*/true, &insts);
+      off_s += run_once(app, true, /*predecode=*/false);
+    }
+    const double on_rate = double(insts) * double(reps) / on_s;
+    const double off_rate = double(insts) * double(reps) / off_s;
+    std::printf("%-10s %14.0f %14.0f %7.2fx\n", name.c_str(), on_rate, off_rate,
+                off_s / on_s);
+  }
+
   std::printf("\n  paper: overhead ranges from -0.1%% to 3.3%% (not statistically\n"
               "  significant where negative); expect the same small-single-digit shape.\n");
   return 0;

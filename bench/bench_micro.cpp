@@ -55,13 +55,15 @@ void BM_PredictorLookupUpdate(benchmark::State& state) {
 }
 BENCHMARK(BM_PredictorLookupUpdate);
 
-void simulate_app(benchmark::State& state, sim::CpuKind kind, bool fi) {
+void simulate_app(benchmark::State& state, sim::CpuKind kind, bool fi,
+                  bool predecode = true) {
   const apps::App app = apps::build_app("pi");
   std::uint64_t insts = 0;
   for (auto _ : state) {
     sim::SimConfig cfg;
     cfg.cpu = kind;
     cfg.fi_enabled = fi;
+    cfg.predecode = predecode;
     sim::Simulation s(cfg, app.program);
     s.spawn_main_thread();
     const auto rr = s.run();
@@ -71,15 +73,29 @@ void simulate_app(benchmark::State& state, sim::CpuKind kind, bool fi) {
       benchmark::Counter(double(insts), benchmark::Counter::kIsRate);
 }
 
+// The Sim* rows pair up as the predecode on/off comparison: the default rows
+// run with the predecoded-instruction cache (the shipping configuration),
+// the NoPredecode rows with `--no-predecode` semantics — live fetch+decode
+// on every instruction.
 void BM_SimAtomic(benchmark::State& state) {
   simulate_app(state, sim::CpuKind::AtomicSimple, false);
 }
 BENCHMARK(BM_SimAtomic)->Unit(benchmark::kMillisecond);
 
+void BM_SimAtomicNoPredecode(benchmark::State& state) {
+  simulate_app(state, sim::CpuKind::AtomicSimple, false, /*predecode=*/false);
+}
+BENCHMARK(BM_SimAtomicNoPredecode)->Unit(benchmark::kMillisecond);
+
 void BM_SimPipelined(benchmark::State& state) {
   simulate_app(state, sim::CpuKind::Pipelined, false);
 }
 BENCHMARK(BM_SimPipelined)->Unit(benchmark::kMillisecond);
+
+void BM_SimPipelinedNoPredecode(benchmark::State& state) {
+  simulate_app(state, sim::CpuKind::Pipelined, false, /*predecode=*/false);
+}
+BENCHMARK(BM_SimPipelinedNoPredecode)->Unit(benchmark::kMillisecond);
 
 void BM_SimPipelinedFiEnabled(benchmark::State& state) {
   simulate_app(state, sim::CpuKind::Pipelined, true);

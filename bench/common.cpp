@@ -13,6 +13,7 @@ campaign::CampaignConfig Options::campaign_config() const {
   cfg.switch_to_atomic_after_fault = true;
   cfg.use_checkpoint = true;
   cfg.workers = workers == 0 ? std::max(1u, std::thread::hardware_concurrency()) : workers;
+  cfg.predecode = predecode;
   return cfg;
 }
 
@@ -34,6 +35,8 @@ Options parse_options(int argc, char** argv) {
       opt.seed = std::strtoull(arg.c_str() + 7, nullptr, 10);
     } else if (arg.rfind("--workers=", 0) == 0) {
       opt.workers = unsigned(std::strtoul(arg.c_str() + 10, nullptr, 10));
+    } else if (arg == "--no-predecode") {
+      opt.predecode = false;
     } else if (arg.rfind("--apps=", 0) == 0) {
       std::string list = arg.substr(7);
       std::size_t pos = 0;
@@ -45,7 +48,7 @@ Options parse_options(int argc, char** argv) {
     } else if (arg == "--help" || arg == "-h") {
       std::printf(
           "options: --quick | --full | --n=<count> | --apps=a,b,c | "
-          "--seed=<u64> | --workers=<k>\n");
+          "--seed=<u64> | --workers=<k> | --no-predecode\n");
       std::exit(0);
     } else {
       std::fprintf(stderr, "unknown option: %s (try --help)\n", arg.c_str());

@@ -7,6 +7,10 @@
 //   --apps=a,b,c   restrict the benchmark set
 //   --seed=<u64>   campaign RNG seed
 //   --workers=<k>  local experiment parallelism (default: hardware)
+//   --no-predecode disable the predecode fast path — the predecoded
+//                  instruction cache and the atomic model's batched dispatch
+//                  loop (A/B check: outcome distributions must be identical
+//                  at equal seeds)
 // Default (no flags) is sized to finish on one core in a few minutes while
 // preserving the shape of the paper's results.
 #pragma once
@@ -27,6 +31,7 @@ struct Options {
   std::vector<std::string> apps;  // empty = all six
   std::uint64_t seed = 20260706;
   unsigned workers = 0;  // 0 = hardware_concurrency
+  bool predecode = true;
 
   /// Experiments per cell for a given default/quick/full sizing.
   [[nodiscard]] std::size_t per_cell(std::size_t dflt, std::size_t quick_n,

@@ -10,6 +10,9 @@
 //             [--paper]                paper-scale inputs
 //             [--watchdog-mult=<k>]    watchdog = k * golden ticks
 //             [--log]                  print the injection log
+//             [--no-predecode]         disable the predecode fast path (the
+//                                      predecoded-inst cache and the atomic
+//                                      model's batched dispatch loop)
 //   gemfi_cli --app=<name> --campaign=<n>   seeded random-fault campaign
 //             [--seed=<u64>]           campaign seed (default 42)
 //             [--workers=<k>]          parallel experiments (default 1)
@@ -48,7 +51,7 @@ namespace {
 [[noreturn]] void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s --app=<name> [--faults=<file>] [--cpu=atomic|timing|"
-               "pipelined] [--paper] [--watchdog-mult=<k>] [--log]\n"
+               "pipelined] [--paper] [--watchdog-mult=<k>] [--log] [--no-predecode]\n"
                "       %s --app=<name> --campaign=<n> [--seed=<u64>] [--workers=<k>]\n"
                "           [--out=<file.jsonl>] [--progress] [--deadline=<sec>]\n"
                "           [--retries=<k>] [--ckpt-format=v1|v2] [--no-ckpt-compress]\n"
@@ -79,6 +82,7 @@ int main(int argc, char** argv) {
   chkpt::CheckpointFormat ckpt_format = chkpt::CheckpointFormat::V2;
   bool ckpt_compress = true;
   bool shared_baseline = true;
+  bool predecode = true;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -125,6 +129,8 @@ int main(int argc, char** argv) {
       ckpt_compress = false;
     } else if (arg == "--no-shared-baseline") {
       shared_baseline = false;
+    } else if (arg == "--no-predecode") {
+      predecode = false;
     } else {
       usage(argv[0]);
     }
@@ -160,6 +166,7 @@ int main(int argc, char** argv) {
   cfg.ckpt_format = ckpt_format;
   cfg.ckpt_compress = ckpt_compress;
   cfg.shared_baseline = shared_baseline;
+  cfg.predecode = predecode;
 
   if (!program_path.empty()) {
     // User-supplied .s file: assemble, run (with faults, if any), report.
@@ -172,6 +179,7 @@ int main(int argc, char** argv) {
     }
     sim::SimConfig scfg;
     scfg.cpu = cpu;
+    scfg.predecode = predecode;
     sim::Simulation s(scfg, prog);
     s.spawn_main_thread();
     s.fault_manager().load_faults(faults);
@@ -278,6 +286,7 @@ int main(int argc, char** argv) {
   sim::SimConfig scfg;
   scfg.cpu = cpu;
   scfg.switch_to_atomic_after_fault = faults.size() == 1;
+  scfg.predecode = predecode;
   sim::Simulation s(scfg, ca.app.program);
   s.spawn_main_thread();
   ca.checkpoint.restore_into(s);

@@ -17,7 +17,7 @@ double monotonic_seconds() {
 
 }  // namespace
 
-std::string experiment_record_to_json(const ExperimentRecord& rec) {
+std::string experiment_record_to_json(const ExperimentRecord& rec, bool include_host_timing) {
   const ExperimentResult& er = rec.result;
   jsonl::ObjectWriter w;
   w.field("index", std::uint64_t(rec.index))
@@ -31,9 +31,9 @@ std::string experiment_record_to_json(const ExperimentRecord& rec) {
       .field("trap", cpu::trap_name(er.trap))
       .field("applied", er.fault_applied)
       .field("time_fraction", er.time_fraction)
-      .field("sim_ticks", er.sim_ticks)
-      .field("wall_seconds", er.wall_seconds)
-      .field("retries", std::uint64_t(er.retries));
+      .field("sim_ticks", er.sim_ticks);
+  if (include_host_timing) w.field("wall_seconds", er.wall_seconds);
+  w.field("retries", std::uint64_t(er.retries));
   if (er.ckpt_version != 0) {
     w.field("ckpt_format",
             chkpt::checkpoint_format_name(chkpt::CheckpointFormat(er.ckpt_version)))

@@ -25,7 +25,13 @@ namespace gemfi::campaign {
 /// The record is self-contained for replay: `fault` round-trips through
 /// fi::parse_fault(), and (seed, index) regenerate the fault via
 /// seeded_fault_any() when the campaign used seeded generation.
-std::string experiment_record_to_json(const ExperimentRecord& rec);
+///
+/// With `include_host_timing` false, the host-dependent fields (wall_seconds)
+/// are omitted; every remaining field is a pure function of the seeded
+/// simulation, so two runs of the same campaign produce byte-identical lines
+/// — the form the determinism regression tests compare.
+std::string experiment_record_to_json(const ExperimentRecord& rec,
+                                      bool include_host_timing = true);
 
 class CampaignObserver {
  public:

@@ -27,6 +27,7 @@ sim::SimConfig make_sim_config(const CampaignConfig& cfg) {
   scfg.cpu = cfg.cpu;
   scfg.fi_enabled = true;
   scfg.switch_to_atomic_after_fault = cfg.switch_to_atomic_after_fault;
+  scfg.predecode = cfg.predecode;
   return scfg;
 }
 

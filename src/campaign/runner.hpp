@@ -23,6 +23,7 @@ struct CampaignConfig {
   sim::CpuKind cpu = sim::CpuKind::Pipelined;
   bool switch_to_atomic_after_fault = true;  // Sec. IV-B-1 speed trick
   bool use_checkpoint = true;                // Sec. III-D fast-forwarding
+  bool predecode = true;                     // predecoded-instruction cache
   unsigned workers = 1;                      // local experiment parallelism
   std::uint64_t watchdog_mult = 8;           // watchdog = mult * golden ticks
 

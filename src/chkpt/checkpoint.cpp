@@ -388,6 +388,7 @@ std::uint64_t CheckpointImage::restore_dirty_into(sim::Simulation& s) const {
       const std::size_t n =
           std::size_t(std::min<std::uint64_t>(mem::PhysMem::kPageBytes, mem_.size() - base));
       std::memcpy(raw.data() + base, mem_.data() + base, n);
+      phys.bump_page_versions(base, n);  // raw() bypasses mark_dirty
       ++copied;
     }
   }

@@ -3,24 +3,6 @@
 namespace gemfi::cpu {
 
 namespace {
-/// Null hooks used when fault injection is compiled out of the run
-/// (the vanilla-gem5 baseline configuration of Fig. 7).
-class NullHooks final : public StageHooks {
- public:
-  FetchResult on_fetch(std::uint64_t, std::uint32_t word) override { return {word, 0}; }
-  void on_decode(isa::Decoded&, std::uint64_t, std::uint64_t) override {}
-  void on_execute(ExecOut&, const isa::Decoded&, std::uint64_t, std::uint64_t) override {}
-  std::uint64_t on_load(std::uint64_t, std::uint64_t raw, unsigned, std::uint64_t) override {
-    return raw;
-  }
-  std::uint64_t on_store(std::uint64_t, std::uint64_t raw, unsigned, std::uint64_t) override {
-    return raw;
-  }
-  void on_commit(const isa::Decoded&, std::uint64_t, std::uint64_t) override {}
-  void on_squash(std::uint64_t) override {}
-};
-NullHooks g_null_hooks;
-
 /// Adapts StageHooks to the MemHooks consumed by do_mem().
 class MemHookAdapter final : public MemHooks {
  public:
@@ -39,52 +21,139 @@ class MemHookAdapter final : public MemHooks {
 }  // namespace
 
 CommitEvent SimpleCpu::step_one() {
-  StageHooks& hooks = hooks_ != nullptr ? *hooks_ : g_null_hooks;
   CommitEvent ev;
   ev.pc = arch_.pc();
 
-  // --- fetch ---
-  std::uint32_t word = 0;
-  const mem::AccessError fe = ms_.fetch(ev.pc, word);
+  // --- fetch + decode ---
+  // Fast path: serve the Decoded straight from the page-granular predecode
+  // cache (the raw word rides along in Decoded::raw for the fetch hook).
+  // Slow path — cache disabled, unmapped/misaligned PC, or a fetch-stage
+  // fault that corrupted the word in flight — fetches and decodes live.
   ++stats_.fetched;
   if (timing_) busy_ += ms_.fetch_latency(ev.pc);
-  if (fe != mem::AccessError::None) {
-    ev.trap = {TrapKind::FetchFault, fe, ev.pc};
-    return ev;
+  const isa::Decoded* pre = ms_.predecode(ev.pc);
+  std::uint32_t word = 0;
+  if (pre != nullptr) {
+    word = pre->raw;
+  } else {
+    const mem::AccessError fe = ms_.fetch(ev.pc, word);
+    if (fe != mem::AccessError::None) {
+      ev.trap = {TrapKind::FetchFault, fe, ev.pc};
+      return ev;
+    }
   }
-  const auto fr = hooks.on_fetch(ev.pc, word);
-  ev.fi_seq = fr.fi_seq;
+  if (hooks_ != nullptr) {
+    const auto fr = hooks_->on_fetch(ev.pc, word);
+    ev.fi_seq = fr.fi_seq;
+    if (pre != nullptr && fr.word == word) {
+      ev.d = *pre;
+    } else {
+      // FI corrupted the instruction word between memory and decode: the
+      // cached entry describes the uncorrupted word, so decode live.
+      if (pre != nullptr) ms_.note_predecode_bypass();
+      ev.d = isa::decode(fr.word);
+    }
+    hooks_->on_decode(ev.d, ev.pc, ev.fi_seq);
+  } else {
+    ev.d = pre != nullptr ? *pre : isa::decode(word);
+  }
 
-  // --- decode ---
-  ev.d = isa::decode(fr.word);
-  hooks.on_decode(ev.d, ev.pc, ev.fi_seq);
+  exec_one(ev);
+  return ev;
+}
 
+void SimpleCpu::exec_one(CommitEvent& ev) {
   // --- execute ---
   const Operands ops = read_operands(ev.d, arch_);
   ExecOut out = execute(ev.d, ops, ev.pc);
-  hooks.on_execute(out, ev.d, ev.pc, ev.fi_seq);
+  if (hooks_ != nullptr) hooks_->on_execute(out, ev.d, ev.pc, ev.fi_seq);
   if (out.trap.pending()) {
     ev.trap = out.trap;
-    return ev;
+    return;
   }
 
   // --- memory ---
   if (ev.d.is_mem_access()) {
-    MemHookAdapter mh(hooks, ev.fi_seq);
     if (timing_) busy_ += ms_.data_latency(out.mem_addr, ev.d.is_store());
-    const TrapInfo mt = do_mem(ev.d, out, ms_, &mh);
+    TrapInfo mt;
+    if (hooks_ != nullptr) {
+      MemHookAdapter mh(*hooks_, ev.fi_seq);
+      mt = do_mem(ev.d, out, ms_, &mh);
+    } else {
+      mt = do_mem(ev.d, out, ms_);
+    }
     if (mt.pending()) {
       ev.trap = mt;
-      return ev;
+      return;
     }
   }
 
   // --- writeback / commit ---
   writeback(ev.d, out, arch_);
   ev.is_pseudo = out.is_pseudo;
-  hooks.on_commit(ev.d, ev.pc, ev.fi_seq);
+  if (hooks_ != nullptr) hooks_->on_commit(ev.d, ev.pc, ev.fi_seq);
   ++stats_.committed;
-  return ev;
+}
+
+BatchResult SimpleCpu::run_atomic_batch(std::uint64_t max_ticks, CommitEvent& ev) {
+  BatchResult br;
+  if (timing_ || hooks_ != nullptr || !fetch_enabled_ || busy_ != 0 || pending_) return br;
+  while (br.ticks < max_ticks) {
+    ++br.ticks;
+    const std::uint64_t pc = arch_.pc();
+    const isa::Decoded* d = ms_.predecode(pc);
+    isa::Decoded live;
+    if (d == nullptr) {
+      // Cache miss path: disabled cache, unmapped/misaligned PC. Fetch and
+      // decode live, reproducing the exact AccessError on a bad PC.
+      std::uint32_t word = 0;
+      const mem::AccessError fe = ms_.fetch(pc, word);
+      if (fe != mem::AccessError::None) {
+        ev = CommitEvent{};
+        ev.pc = pc;
+        ev.trap = {TrapKind::FetchFault, fe, pc};
+        br.stopped = true;
+        break;
+      }
+      live = isa::decode(word);
+      d = &live;
+    }
+    const Operands ops = read_operands(*d, arch_);
+    ExecOut out = execute(*d, ops, pc);
+    if (out.trap.pending()) {
+      ev = CommitEvent{};
+      ev.d = *d;
+      ev.pc = pc;
+      ev.trap = out.trap;
+      br.stopped = true;
+      break;
+    }
+    if (d->is_mem_access()) {
+      const TrapInfo mt = do_mem(*d, out, ms_);
+      if (mt.pending()) {
+        ev = CommitEvent{};
+        ev.d = *d;
+        ev.pc = pc;
+        ev.trap = mt;
+        br.stopped = true;
+        break;
+      }
+    }
+    writeback(*d, out, arch_);
+    ++br.commits;
+    if (out.is_pseudo) {
+      ev = CommitEvent{};
+      ev.d = *d;
+      ev.pc = pc;
+      ev.is_pseudo = true;
+      br.stopped = true;
+      break;
+    }
+  }
+  stats_.ticks += br.ticks;
+  stats_.fetched += br.ticks;
+  stats_.committed += br.commits;
+  return br;
 }
 
 CycleResult SimpleCpu::cycle() {

@@ -11,12 +11,29 @@
 
 namespace gemfi::cpu {
 
+/// Result of one SimpleCpu::run_atomic_batch() call.
+struct BatchResult {
+  std::uint64_t ticks = 0;    // instruction attempts (commits, +1 if trapped)
+  std::uint64_t commits = 0;  // instructions that architecturally committed
+  bool stopped = false;       // the out-param event holds a trap or pseudo-op
+};
+
 class SimpleCpu final : public CpuModel {
  public:
   /// `timing` selects TimingSimple behavior (charge memory latencies).
   SimpleCpu(mem::MemSystem& ms, bool timing) : CpuModel(ms), timing_(timing) {}
 
   CycleResult cycle() override;
+
+  /// Fast dispatch loop of the predecode fast path: execute up to
+  /// `max_ticks` instructions back-to-back, serving Decoded entries straight
+  /// from the predecode cache, without materializing a CycleResult per tick.
+  /// Only engages in atomic mode with no stage hooks attached (the FI
+  /// machinery needs the per-instruction event flow); otherwise returns an
+  /// empty result and the caller falls back to cycle(). Stops early at a
+  /// trap or pseudo-op, describing it in `ev` (stopped == true); a trapping
+  /// instruction consumes a tick but does not commit, exactly like cycle().
+  BatchResult run_atomic_batch(std::uint64_t max_ticks, CommitEvent& ev);
   void flush_and_redirect(std::uint64_t new_pc) override;
   void set_fetch_enabled(bool enabled) override { fetch_enabled_ = enabled; }
   [[nodiscard]] bool quiesced() const override { return busy_ == 0; }
@@ -29,6 +46,7 @@ class SimpleCpu final : public CpuModel {
 
  private:
   CommitEvent step_one();
+  void exec_one(CommitEvent& ev);
 
   bool timing_;
   bool fetch_enabled_ = true;

@@ -125,7 +125,8 @@ void PipelinedCpu::stage_id() {
   if (!if_id_ || id_ex_) return;
   InFlight& f = *if_id_;
   if (!f.trap.pending()) {
-    f.d = isa::decode(f.raw);
+    // f.d was decoded in IF (predecode cache or live); ID only applies the
+    // decode-stage fault hook, which re-decodes from f.d.raw if it fires.
     if (hooks_ != nullptr) hooks_->on_decode(f.d, f.pc, f.fi_seq);
     // GemFI intrinsics and PAL calls serialize: wait until the back end is
     // empty so they execute on a quiesced machine (checkpoint correctness).
@@ -137,11 +138,10 @@ void PipelinedCpu::stage_id() {
   if_id_.reset();
 }
 
-std::uint64_t PipelinedCpu::predict_next(std::uint64_t pc, std::uint32_t word,
+std::uint64_t PipelinedCpu::predict_next(std::uint64_t pc, const isa::Decoded& d,
                                          bool& is_branch) {
-  // Predecode the (possibly fault-corrupted) fetched word for next-PC
-  // selection; the architectural decode happens in ID.
-  const isa::Decoded d = isa::decode(word);
+  // Next-PC selection from the decode of the (possibly fault-corrupted)
+  // word IF actually saw — the same Decoded record ID will serve to EX.
   is_branch = false;
   switch (d.klass) {
     case isa::InstClass::CondBranch: {
@@ -183,21 +183,31 @@ void PipelinedCpu::stage_if() {
   InFlight f;
   f.pc = fetch_pc_;
   ++stats_.fetched;
+  const isa::Decoded* pre = ms_.predecode(fetch_pc_);
   std::uint32_t word = 0;
-  const mem::AccessError fe = ms_.fetch(fetch_pc_, word);
+  mem::AccessError fe = mem::AccessError::None;
+  if (pre != nullptr)
+    word = pre->raw;
+  else
+    fe = ms_.fetch(fetch_pc_, word);
   const std::uint32_t latency = ms_.fetch_latency(fetch_pc_);
   if (fe != mem::AccessError::None) {
     f.trap = {TrapKind::FetchFault, fe, fetch_pc_};
     fetch_pc_valid_ = false;  // nowhere sensible to fetch from
   } else {
+    f.raw = word;
     if (hooks_ != nullptr) {
       const auto fr = hooks_->on_fetch(fetch_pc_, word);
       f.raw = fr.word;
       f.fi_seq = fr.fi_seq;
-    } else {
-      f.raw = word;
     }
-    f.pred_next = predict_next(fetch_pc_, f.raw, f.is_branch_pred);
+    if (pre != nullptr && f.raw == word) {
+      f.d = *pre;
+    } else {
+      if (pre != nullptr) ms_.note_predecode_bypass();  // FI-corrupted word
+      f.d = isa::decode(f.raw);
+    }
+    f.pred_next = predict_next(fetch_pc_, f.d, f.is_branch_pred);
     fetch_pc_ = f.pred_next;
   }
   fetch_cycles_left_ = latency > 0 ? latency - 1 : 0;

@@ -43,12 +43,16 @@ class PipelinedCpu final : public CpuModel {
 
  private:
   struct InFlight {
-    std::uint32_t raw = 0;
+    std::uint32_t raw = 0;        // post-fetch-hook word (what IF really saw)
     std::uint64_t pc = 0;
     std::uint64_t fi_seq = 0;
     std::uint64_t pred_next = 0;  // fetch direction chosen after this inst
-    bool is_branch_pred = false;  // predecoded as control (predictor trained)
-    isa::Decoded d;
+    bool is_branch_pred = false;  // decoded as control (predictor trained);
+                                  // derived from `d`, never from the raw
+                                  // word, so a fetch-stage fault that flips
+                                  // an opcode into/out of the branch class
+                                  // trains on what was actually decoded
+    isa::Decoded d;               // decoded in IF (predecode cache or live)
     ExecOut out;
     TrapInfo trap;      // fetch faults arrive here before decode
     bool executed = false;
@@ -60,7 +64,7 @@ class PipelinedCpu final : public CpuModel {
   void stage_id();
   void stage_if();
   void squash_younger_than_ex();
-  std::uint64_t predict_next(std::uint64_t pc, std::uint32_t word, bool& is_branch);
+  std::uint64_t predict_next(std::uint64_t pc, const isa::Decoded& d, bool& is_branch);
 
   TournamentPredictor pred_;
   bool fetch_enabled_ = true;

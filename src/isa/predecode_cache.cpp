@@ -1,0 +1,37 @@
+#include "isa/predecode_cache.hpp"
+
+#include <cstring>
+
+namespace gemfi::isa {
+
+const Decoded* PredecodeCache::fill(std::uint64_t pc, std::uint64_t version,
+                                    std::span<const std::uint8_t> page_bytes) {
+  const std::uint64_t page = pc >> kPageShift;
+  if (page >= pages_.size()) pages_.resize(std::size_t(page) + 1);
+  Page& p = pages_[page];
+  const std::size_t words = page_bytes.size() / sizeof(Word);
+  p.entries.resize(words);
+  for (std::size_t i = 0; i < words; ++i) {
+    Word w;
+    std::memcpy(&w, page_bytes.data() + i * sizeof(Word), sizeof(Word));
+    p.entries[i] = decode(w);  // little-endian, same as PhysMem::load
+  }
+  p.version = version;
+  p.valid = true;
+  ++stats_.fills;
+  const std::uint64_t idx = (pc & (kPageBytes - 1)) / sizeof(Word);
+  return idx < p.entries.size() ? &p.entries[idx] : nullptr;
+}
+
+void PredecodeCache::invalidate_all() noexcept {
+  for (Page& p : pages_) p.valid = false;
+}
+
+std::size_t PredecodeCache::cached_pages() const noexcept {
+  std::size_t n = 0;
+  for (const Page& p : pages_)
+    if (p.valid) ++n;
+  return n;
+}
+
+}  // namespace gemfi::isa

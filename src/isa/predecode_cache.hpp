@@ -1,0 +1,94 @@
+// Page-granular predecoded-instruction cache.
+//
+// decode() is a pure function of the 32-bit instruction word, yet every CPU
+// model used to re-run it on every fetch, making it the hot path of all
+// campaign benches (gem5 ships a decode cache for exactly this reason). This
+// cache decodes each 4 KiB code page once into a flat array of Decoded
+// entries; a fetch from a cached page is an index plus a version compare.
+//
+// Coherence is version-based rather than hook-based: the owner (MemSystem)
+// tags each fill with the backing page's mutation version and passes the
+// current version on every lookup. Any store into the page, a checkpoint
+// restore, or a full image swap bumps the version, so stale entries can
+// never be served — there is no invalidation callback to forget. The cache
+// itself is never serialized; after a restore the version mismatch makes
+// every page refill on first fetch.
+//
+// Fault-injection contract: entries describe the word *as it sits in
+// memory*. A fetch-stage fault corrupts the word after it leaves memory, so
+// CPU models must bypass the cached entry (and decode live) whenever the
+// post-hook word differs from the cached raw word; note_bypass() keeps count
+// of those for the stats report.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "isa/decoder.hpp"
+
+namespace gemfi::isa {
+
+struct PredecodeStats {
+  std::uint64_t hits = 0;      // fetches served from a cached page
+  std::uint64_t fills = 0;     // page decodes (cold or re-validated)
+  std::uint64_t stale = 0;     // lookups that found an outdated page
+  std::uint64_t bypasses = 0;  // FI-corrupted fetches decoded live
+};
+
+class PredecodeCache {
+ public:
+  static constexpr unsigned kPageShift = 12;
+  static constexpr std::uint64_t kPageBytes = 1ull << kPageShift;
+  static constexpr std::uint64_t kWordsPerPage = kPageBytes / sizeof(Word);
+
+  /// Cached entry for `pc`, iff its page is cached at exactly `version`.
+  /// `pc` must be 4-byte aligned. The pointer is valid until the next fill
+  /// of the same page (callers copy the entry, never hold it across ticks).
+  /// Defined inline below: this is the per-instruction hot path of the
+  /// atomic model's fast dispatch loop.
+  [[nodiscard]] const Decoded* lookup(std::uint64_t pc, std::uint64_t version) noexcept;
+
+  /// Decode `page_bytes` (the current content of pc's page, possibly a
+  /// partial last page) and cache it under `version`; returns the entry for
+  /// `pc`, or nullptr if pc's word is beyond the page's content.
+  const Decoded* fill(std::uint64_t pc, std::uint64_t version,
+                      std::span<const std::uint8_t> page_bytes);
+
+  /// Drop every cached page (checkpoint restore hygiene; correctness never
+  /// depends on this — version mismatches already force refills).
+  void invalidate_all() noexcept;
+
+  void note_bypass() noexcept { ++stats_.bypasses; }
+  [[nodiscard]] const PredecodeStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] std::size_t cached_pages() const noexcept;
+
+ private:
+  struct Page {
+    std::uint64_t version = 0;
+    bool valid = false;
+    std::vector<Decoded> entries;  // one per aligned word in the page
+  };
+
+  std::vector<Page> pages_;  // indexed by page number, grown on demand
+  PredecodeStats stats_;
+};
+
+inline const Decoded* PredecodeCache::lookup(std::uint64_t pc,
+                                             std::uint64_t version) noexcept {
+  const std::uint64_t page = pc >> kPageShift;
+  if (page >= pages_.size()) return nullptr;
+  Page& p = pages_[page];
+  if (!p.valid) return nullptr;
+  if (p.version != version) {
+    ++stats_.stale;
+    p.valid = false;  // outdated content; next fetch refills
+    return nullptr;
+  }
+  const std::uint64_t idx = (pc & (kPageBytes - 1)) / sizeof(Word);
+  if (idx >= p.entries.size()) return nullptr;
+  ++stats_.hits;
+  return &p.entries[idx];
+}
+
+}  // namespace gemfi::isa

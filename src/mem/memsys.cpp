@@ -32,6 +32,11 @@ AccessError MemSystem::fetch(std::uint64_t addr, std::uint32_t& word) const noex
   return AccessError::None;
 }
 
+const isa::Decoded* MemSystem::predecode_fill(std::uint64_t pc, std::uint64_t page,
+                                              std::uint64_t version) {
+  return pdc_.fill(pc, version, phys_.page(page));
+}
+
 std::uint32_t MemSystem::fetch_latency(std::uint64_t addr) {
   std::uint32_t cycles = cfg_.l1i.hit_latency;
   if (!l1i_.access(addr, false).hit) {
@@ -65,6 +70,9 @@ void MemSystem::serialize(util::ByteWriter& w) const {
 void MemSystem::deserialize(util::ByteReader& r) {
   phys_.deserialize(r);
   deserialize_timing(r);
+  // The predecode cache is deliberately not serialized: drop it wholesale
+  // (the version bumps from phys_.deserialize already make it unservable).
+  pdc_.invalidate_all();
 }
 
 void MemSystem::serialize_timing(util::ByteWriter& w) const {

@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <memory>
 
+#include "isa/predecode_cache.hpp"
 #include "mem/cache.hpp"
 #include "mem/physmem.hpp"
 
@@ -57,6 +58,33 @@ class MemSystem {
   std::uint32_t fetch_latency(std::uint64_t addr);
   std::uint32_t data_latency(std::uint64_t addr, bool is_write);
 
+  // --- predecoded-instruction fast path ---
+  /// Cached Decoded for the instruction word at `pc`, filling pc's page on
+  /// demand. Returns nullptr when the fast path does not apply — predecode
+  /// disabled, pc misaligned, in the null guard, or out of bounds — and the
+  /// caller must fall back to fetch() + isa::decode() (which reproduces the
+  /// precise AccessError). Entries reflect the word currently in memory:
+  /// stores and checkpoint restores bump the backing page's version, so the
+  /// next fetch refills. Fetch-stage fault corruption happens downstream of
+  /// memory; CPU models bypass the entry when the hook changes the word.
+  /// Defined inline below (the atomic fast dispatch loop calls this once
+  /// per instruction).
+  [[nodiscard]] const isa::Decoded* predecode(std::uint64_t pc) noexcept;
+  /// Out-of-line page decode behind predecode()'s miss path.
+  const isa::Decoded* predecode_fill(std::uint64_t pc, std::uint64_t page,
+                                     std::uint64_t version);
+  void set_predecode_enabled(bool enabled) noexcept { predecode_enabled_ = enabled; }
+  [[nodiscard]] bool predecode_enabled() const noexcept { return predecode_enabled_; }
+  [[nodiscard]] const isa::PredecodeStats& predecode_stats() const noexcept {
+    return pdc_.stats();
+  }
+  /// Count a fetch that had to re-decode live because fault injection
+  /// corrupted the word between memory and decode.
+  void note_predecode_bypass() noexcept { pdc_.note_bypass(); }
+  /// Drop all predecoded pages (checkpoint-restore hygiene; versions already
+  /// guarantee staleness is never served).
+  void invalidate_predecode() noexcept { pdc_.invalidate_all(); }
+
   [[nodiscard]] const CacheStats& l1i_stats() const noexcept { return l1i_.stats(); }
   [[nodiscard]] const CacheStats& l1d_stats() const noexcept { return l1d_.stats(); }
   [[nodiscard]] const CacheStats& l2_stats() const noexcept { return l2_.stats(); }
@@ -77,8 +105,23 @@ class MemSystem {
   Cache l1i_;
   Cache l1d_;
   Cache l2_;
+  isa::PredecodeCache pdc_;
+  bool predecode_enabled_ = true;
   std::uint64_t code_base_ = 0;
   std::uint64_t code_end_ = 0;
 };
+
+inline const isa::Decoded* MemSystem::predecode(std::uint64_t pc) noexcept {
+  static_assert(isa::PredecodeCache::kPageShift == PhysMem::kPageShift,
+                "predecode pages must match PhysMem's version granularity");
+  if (!predecode_enabled_) return nullptr;
+  // Bail to the slow path for anything fetch() would reject; the slow path
+  // owns the exact AccessError the trap carries.
+  if ((pc & 3) != 0 || pc < cfg_.null_guard || !phys_.in_bounds(pc, 4)) return nullptr;
+  const std::uint64_t page = pc >> PhysMem::kPageShift;
+  const std::uint64_t version = phys_.page_version(page);
+  if (const isa::Decoded* d = pdc_.lookup(pc, version)) return d;
+  return predecode_fill(pc, page, version);
+}
 
 }  // namespace gemfi::mem

@@ -53,6 +53,7 @@ void PhysMem::mark_all_dirty() noexcept {
   // Mask off bits beyond the last page so dirty_page_count() stays exact.
   const std::uint64_t used = page_count() & 63;
   if (used != 0 && !dirty_.empty()) dirty_.back() = (1ull << used) - 1;
+  bump_all_versions();  // callers use this after raw() writes: all bets off
 }
 
 void PhysMem::copy_from(std::span<const std::uint8_t> image) {
@@ -60,6 +61,7 @@ void PhysMem::copy_from(std::span<const std::uint8_t> image) {
     throw util::DeserializeError("checkpoint memory size mismatch");
   std::memcpy(bytes_.data(), image.data(), image.size());
   clear_dirty();
+  bump_all_versions();  // content changed even though the bitmap says clean
 }
 
 void PhysMem::read_block(std::uint64_t addr, std::span<std::uint8_t> out) const {

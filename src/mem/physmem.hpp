@@ -36,7 +36,9 @@ class PhysMem {
   static constexpr unsigned kPageShift = 12;
 
   explicit PhysMem(std::uint64_t size_bytes)
-      : bytes_(size_bytes, 0), dirty_((page_count_of(size_bytes) + 63) / 64, 0) {}
+      : bytes_(size_bytes, 0),
+        dirty_((page_count_of(size_bytes) + 63) / 64, 0),
+        versions_(page_count_of(size_bytes), 0) {}
 
   [[nodiscard]] std::uint64_t size() const noexcept { return bytes_.size(); }
 
@@ -71,6 +73,22 @@ class PhysMem {
   /// memory is now exactly the image it was copied from.
   void copy_from(std::span<const std::uint8_t> image);
 
+  // --- page mutation versions (predecode-cache coherence) ---
+  // A monotonic per-page counter bumped by every mutation of the page:
+  // store(), write_block(), copy_from(), deserialize(), mark_all_dirty().
+  // Consumers (the predecoded-instruction cache) tag derived state with the
+  // version it was computed at and treat any mismatch as stale, so code
+  // rewritten by a store or a checkpoint restore is never served from a
+  // stale decode. Unlike the dirty bitmap, versions are never cleared.
+  [[nodiscard]] std::uint64_t page_version(std::uint64_t i) const noexcept {
+    return versions_[i];
+  }
+  /// Record an out-of-band mutation of [addr, addr+n) performed through the
+  /// mutable raw() span (checkpoint dirty-page restore does this).
+  void bump_page_versions(std::uint64_t addr, std::uint64_t n) noexcept {
+    if (n != 0) bump_versions(addr, n);
+  }
+
   [[nodiscard]] bool in_bounds(std::uint64_t addr, std::uint64_t n) const noexcept {
     return addr <= bytes_.size() && n <= bytes_.size() - addr;
   }
@@ -94,11 +112,23 @@ class PhysMem {
   void mark_dirty(std::uint64_t addr, std::uint64_t n) noexcept {
     const std::uint64_t first = addr >> kPageShift;
     const std::uint64_t last = (addr + n - 1) >> kPageShift;
-    for (std::uint64_t p = first; p <= last; ++p) dirty_[p >> 6] |= 1ull << (p & 63);
+    for (std::uint64_t p = first; p <= last; ++p) {
+      dirty_[p >> 6] |= 1ull << (p & 63);
+      ++versions_[p];
+    }
+  }
+  void bump_versions(std::uint64_t addr, std::uint64_t n) noexcept {
+    const std::uint64_t first = addr >> kPageShift;
+    const std::uint64_t last = (addr + n - 1) >> kPageShift;
+    for (std::uint64_t p = first; p <= last; ++p) ++versions_[p];
+  }
+  void bump_all_versions() noexcept {
+    for (std::uint64_t& v : versions_) ++v;
   }
 
   std::vector<std::uint8_t> bytes_;
   std::vector<std::uint64_t> dirty_;  // bit per page, see page_dirty()
+  std::vector<std::uint64_t> versions_;  // per-page mutation counters
 };
 
 }  // namespace gemfi::mem

@@ -33,6 +33,13 @@ bool Scheduler::on_commit() {
   return quantum_used_ >= quantum_ && runnable_count() > 1;
 }
 
+bool Scheduler::on_commits(std::uint64_t n) {
+  if (current_ < 0 || n == 0) return false;
+  current().committed += n;
+  quantum_used_ += n;
+  return quantum_used_ >= quantum_ && runnable_count() > 1;
+}
+
 void Scheduler::finish_current(int exit_code) {
   if (current_ < 0) throw std::logic_error("no running thread to finish");
   current().finished = true;

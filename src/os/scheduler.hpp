@@ -44,6 +44,20 @@ class Scheduler {
   /// quantum is exhausted (time to preempt) and another thread is runnable.
   bool on_commit();
 
+  /// Account `n` committed instructions at once — the batched fast-path
+  /// equivalent of n on_commit() calls, returning the last call's verdict.
+  /// Exact as long as callers cap batches at commits_before_preempt().
+  bool on_commits(std::uint64_t n);
+
+  /// How many more commits the running thread can make before on_commit()
+  /// would signal preemption; ~0 when it never will (no other runnable
+  /// thread). Used to size fast-path batches so preemption still lands on
+  /// exactly the same instruction as the one-commit-per-tick loop.
+  [[nodiscard]] std::uint64_t commits_before_preempt() const noexcept {
+    if (current_ < 0 || runnable_count() <= 1) return ~0ull;
+    return quantum_used_ >= quantum_ ? 1 : quantum_ - quantum_used_;
+  }
+
   /// Force the current quantum to end (YIELD pseudo-op).
   void yield() noexcept { quantum_used_ = quantum_; }
 

@@ -34,6 +34,7 @@ const char* exit_reason_name(ExitReason r) noexcept {
 Simulation::Simulation(SimConfig cfg, const assembler::Program& program)
     : cfg_(cfg), program_(program), ms_(cfg.mem), sched_(cfg.quantum_insts) {
   program_.load_into(ms_);
+  ms_.set_predecode_enabled(cfg_.predecode);
   next_stack_top_ = ms_.phys().size() & ~15ull;
   make_cpu(cfg_.cpu);
 }
@@ -151,6 +152,16 @@ RunResult Simulation::run(std::uint64_t watchdog_ticks, double wall_deadline_sec
 
   ensure_thread_scheduled();
 
+  // The predecode fast path: with the cache on, no FI hooks and no commit
+  // observer, the atomic model dispatches instructions in batches straight
+  // from the predecoded pages — no per-tick virtual call, CycleResult or
+  // scheduler bookkeeping. Batch boundaries land exactly where the per-tick
+  // loop would act (quantum expiry, watchdog budget, wall-clock sampling
+  // points, traps, pseudo-ops), so the two loops are bit-identical in every
+  // architectural and statistical observable; the lockstep suite checks it.
+  const bool fast_eligible = cfg_.predecode && !cfg_.fi_enabled && !commit_observer_ &&
+                             active_cpu_ == CpuKind::AtomicSimple;
+
   while (!sched_.all_finished()) {
     if (tick_ >= deadline) {
       result.reason = ExitReason::Watchdog;
@@ -161,6 +172,67 @@ RunResult Simulation::run(std::uint64_t watchdog_ticks, double wall_deadline_sec
     if (wall_limited && (tick_ & 0xfffull) == 0 && WallClock::now() >= wall_deadline) {
       result.reason = ExitReason::Deadline;
       break;
+    }
+
+    if (fast_eligible && !drain_for_switch_) {
+      std::uint64_t n = deadline - tick_;
+      const std::uint64_t pre = sched_.commits_before_preempt();
+      if (pre < n) n = pre;
+      if (wall_limited) {
+        // Stop on the next 4096-tick boundary so the wall clock is sampled
+        // at the same cadence as the per-tick loop.
+        const std::uint64_t chunk = 0x1000 - (tick_ & 0xfffull);
+        if (chunk < n) n = chunk;
+      } else if (n > 65536) {
+        n = 65536;  // keep the outer loop conditions fresh
+      }
+      auto& scpu = static_cast<cpu::SimpleCpu&>(*cpu_);
+      cpu::CommitEvent ev;
+      const cpu::BatchResult br = scpu.run_atomic_batch(n, ev);
+      tick_ += br.ticks;
+      if (br.ticks != 0 || br.stopped) {
+        bool need_switch = false;
+        if (br.stopped && ev.trap.pending()) {
+          // The trapped instruction never committed; account the ones
+          // before it and handle the trap as the per-tick loop does.
+          sched_.on_commits(br.commits);
+          if (ev.trap.kind == cpu::TrapKind::Halt) {
+            sched_.finish_current(0);
+            cpu_->flush_and_redirect(cpu_->arch().pc());
+            if (!sched_.all_finished()) perform_context_switch();
+            continue;
+          }
+          result.reason = ExitReason::Crashed;
+          result.trap = ev.trap;
+          result.crash_pc = ev.pc;
+          break;
+        }
+        if (br.stopped) {
+          // Pseudo-op: dispatch sees the committed counts of everything
+          // before it (GET_INSTRET), its own commit is accounted after —
+          // the same order as the per-tick loop.
+          need_switch = sched_.on_commits(br.commits - 1);
+          cpu_->flush_and_redirect(cpu_->arch().pc());
+          dispatch_pseudo(ev);
+          if (sched_.current().finished) {
+            if (!sched_.all_finished()) perform_context_switch();
+            continue;
+          }
+          if (sched_.on_commit()) need_switch = true;
+        } else {
+          need_switch = sched_.on_commits(br.commits);
+        }
+        if (need_switch) {
+          drain_for_switch_ = true;
+          cpu_->set_fetch_enabled(false);
+        }
+        if (drain_for_switch_ && cpu_->quiesced()) {
+          drain_for_switch_ = false;
+          perform_context_switch();
+        }
+        continue;
+      }
+      // Batch could not engage (e.g. fetch gated); fall through to cycle().
     }
     ++tick_;
 
@@ -190,6 +262,7 @@ RunResult Simulation::run(std::uint64_t watchdog_ticks, double wall_deadline_sec
         result.crash_pc = ev.pc;
         break;
       }
+      if (commit_observer_) commit_observer_(ev, cpu_->arch());
       if (ev.is_pseudo) {
         // Pseudo-ops are serialized in ID; discard any speculative fetches
         // beyond them so FI boundaries and checkpoints see a quiesced
@@ -272,6 +345,11 @@ std::string Simulation::stats_report() const {
   put_cache("l1i", ms_.l1i_stats());
   put_cache("l1d", ms_.l1d_stats());
   put_cache("l2", ms_.l2_stats());
+  const isa::PredecodeStats& pd = ms_.predecode_stats();
+  put("mem.predecode.hits", pd.hits);
+  put("mem.predecode.fills", pd.fills);
+  put("mem.predecode.stale", pd.stale);
+  put("mem.predecode.bypasses", pd.bypasses);
   for (std::uint64_t tid = 0; tid < sched_.thread_count(); ++tid) {
     const os::Thread& t = sched_.thread(tid);
     char key[64];  // separate buffer: put() renders into `line`

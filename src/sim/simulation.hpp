@@ -42,6 +42,7 @@ struct SimConfig {
   std::uint64_t stack_bytes = 256 * 1024;
   bool fi_enabled = true;                // false = "unmodified gem5" baseline
   bool switch_to_atomic_after_fault = false;
+  bool predecode = true;                 // page-granular predecoded-inst cache
 };
 
 enum class ExitReason : std::uint8_t {
@@ -91,6 +92,13 @@ class Simulation {
   void set_checkpoint_handler(CheckpointHandler handler) {
     checkpoint_handler_ = std::move(handler);
   }
+
+  /// Invoked once per architectural commit with the commit event and the
+  /// post-writeback architectural state. The observation point is identical
+  /// across all three CPU models (squashed wrong-path work never reaches it),
+  /// which is what the lockstep differential tests compare against.
+  using CommitObserver = std::function<void(const cpu::CommitEvent&, const cpu::ArchState&)>;
+  void set_commit_observer(CommitObserver obs) { commit_observer_ = std::move(obs); }
 
   // --- component access ---
   [[nodiscard]] fi::FaultManager& fault_manager() noexcept { return fm_; }
@@ -153,6 +161,7 @@ class Simulation {
   os::Scheduler sched_;
   fi::FaultManager fm_;
   CheckpointHandler checkpoint_handler_;
+  CommitObserver commit_observer_;
   std::uint64_t tick_ = 0;
   std::uint64_t next_stack_top_ = 0;
   bool drain_for_switch_ = false;

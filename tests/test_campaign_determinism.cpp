@@ -1,0 +1,98 @@
+// Campaign determinism regression: a seeded campaign is a pure function of
+// (app, seed, fault list, config). Running it twice must stream byte-
+// identical canonical JSONL records (host-timing fields excluded); replaying
+// one experiment in isolation from its (seed, index) — the gemfi_cli
+// --replay path — must reproduce its record; and the predecoded-instruction
+// cache must not perturb any of it: the same campaign with predecode off
+// yields the very same bytes.
+#include <gtest/gtest.h>
+
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "campaign/observer.hpp"
+#include "campaign/runner.hpp"
+
+namespace {
+
+using namespace gemfi;
+using namespace gemfi::campaign;
+
+/// Collects the canonical (host-timing-free) JSON line of every record.
+class CanonicalCollector final : public CampaignObserver {
+ public:
+  void on_experiment(const ExperimentRecord& rec) override {
+    std::lock_guard lock(mutex_);
+    if (rec.index >= lines_.size()) lines_.resize(rec.index + 1);
+    lines_[rec.index] = experiment_record_to_json(rec, /*include_host_timing=*/false);
+  }
+  [[nodiscard]] const std::vector<std::string>& lines() const noexcept { return lines_; }
+
+ private:
+  std::mutex mutex_;
+  std::vector<std::string> lines_;
+};
+
+constexpr std::uint64_t kSeed = 12345;
+constexpr std::size_t kExperiments = 6;
+
+CampaignConfig base_config(bool predecode) {
+  CampaignConfig cfg;
+  cfg.cpu = sim::CpuKind::Pipelined;
+  cfg.workers = 1;  // record order and worker ids are part of the bytes
+  cfg.campaign_seed = kSeed;
+  // Full restore per experiment so the in-campaign records carry the same
+  // checkpoint telemetry as the isolated --replay path.
+  cfg.shared_baseline = false;
+  cfg.predecode = predecode;
+  return cfg;
+}
+
+std::vector<std::string> run_campaign_canonical(const CalibratedApp& ca,
+                                                const CampaignConfig& base) {
+  CanonicalCollector collector;
+  CampaignConfig cfg = base;
+  cfg.observer = &collector;
+  const auto faults = seeded_fault_set(kSeed, kExperiments, ca.kernel_fetches);
+  const CampaignReport report = run_campaign(ca, faults, cfg);
+  EXPECT_EQ(report.total(), kExperiments);
+  return collector.lines();
+}
+
+TEST(CampaignDeterminism, SeededCampaignIsByteIdenticalAcrossRunsAndReplay) {
+  const CampaignConfig cfg = base_config(/*predecode=*/true);
+  const CalibratedApp ca = calibrate(apps::build_app("pi"), cfg);
+
+  const std::vector<std::string> first = run_campaign_canonical(ca, cfg);
+  const std::vector<std::string> second = run_campaign_canonical(ca, cfg);
+  ASSERT_EQ(first.size(), kExperiments);
+  ASSERT_EQ(second.size(), kExperiments);
+  for (std::size_t i = 0; i < kExperiments; ++i)
+    EXPECT_EQ(first[i], second[i]) << "record " << i << " drifted between runs";
+
+  // The gemfi_cli --replay path: regenerate experiment i's fault from
+  // (campaign_seed, i) alone and run it in isolation; its canonical record
+  // must match the in-campaign bytes.
+  for (const std::size_t index : {std::size_t(0), kExperiments - 1}) {
+    const fi::Fault f = seeded_fault_any(kSeed, index, ca.kernel_fetches);
+    const ExperimentResult er = run_experiment_with_retry(ca, f, cfg);
+    const ExperimentRecord rec{index, 0, experiment_seed(kSeed, index), er};
+    EXPECT_EQ(experiment_record_to_json(rec, /*include_host_timing=*/false), first[index])
+        << "replay of experiment " << index << " diverged from the campaign record";
+  }
+}
+
+TEST(CampaignDeterminism, PredecodeDoesNotChangeCampaignRecords) {
+  // The fast path must be invisible in every simulated-state field:
+  // outcomes, classification metrics, sim_ticks, applied flags — the whole
+  // canonical record, byte for byte.
+  const CalibratedApp ca = calibrate(apps::build_app("pi"), base_config(true));
+  const std::vector<std::string> on = run_campaign_canonical(ca, base_config(true));
+  const std::vector<std::string> off = run_campaign_canonical(ca, base_config(false));
+  ASSERT_EQ(on.size(), off.size());
+  for (std::size_t i = 0; i < on.size(); ++i)
+    EXPECT_EQ(on[i], off[i]) << "record " << i << " differs with --no-predecode";
+}
+
+}  // namespace

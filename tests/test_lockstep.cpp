@@ -1,0 +1,332 @@
+// Lockstep differential tests for the predecode fast path: every guest app
+// on every CPU model, with the predecoded-instruction cache on and off, must
+// produce bit-identical commit traces — a running digest over the full
+// architectural state (PC + both register files) folded at every commit,
+// plus the final physical-memory image, output and exit status. The same
+// harness drives the two hard cases for the cache: a fetch-stage fault
+// that corrupts a word whose page is already predecoded (the bypass path),
+// and self-modifying code that rewrites an already-cached instruction
+// (the page-version invalidation path).
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "apps/app.hpp"
+#include "assembler/assembler.hpp"
+#include "fi/fault.hpp"
+#include "sim/simulation.hpp"
+#include "util/bytesio.hpp"
+
+namespace {
+
+using namespace gemfi;
+using namespace gemfi::assembler;
+
+constexpr std::uint64_t kFoldMul = 6364136223846793005ull;
+constexpr std::uint64_t kFoldAdd = 1442695040888963407ull;
+
+std::uint64_t fold(std::uint64_t h, std::uint64_t v) noexcept {
+  return (h ^ v) * kFoldMul + kFoldAdd;
+}
+
+/// Everything a run can observably produce, digested for equality checks.
+struct Trace {
+  std::uint64_t commits = 0;
+  std::uint64_t state_hash = 0;  // per-commit fold of PC + all registers
+  std::uint32_t mem_crc = 0;     // final physical-memory image
+  std::uint64_t bypasses = 0;    // predecode entries bypassed for FI
+  std::string output;
+  sim::ExitReason reason = sim::ExitReason::AllThreadsExited;
+  cpu::TrapKind trap = cpu::TrapKind::None;
+
+  // Architecturally observable state only: `bypasses` is a host-side cache
+  // counter that legitimately differs between predecode on and off.
+  bool operator==(const Trace& o) const {
+    return commits == o.commits && state_hash == o.state_hash && mem_crc == o.mem_crc &&
+           output == o.output && reason == o.reason && trap == o.trap;
+  }
+};
+
+struct RunSpec {
+  sim::CpuKind cpu = sim::CpuKind::AtomicSimple;
+  bool predecode = true;
+  std::vector<fi::Fault> faults;
+  sim::Simulation::CheckpointHandler on_checkpoint;  // may be null
+};
+
+Trace run_traced(const assembler::Program& prog, const RunSpec& spec) {
+  sim::SimConfig cfg;
+  cfg.cpu = spec.cpu;
+  cfg.predecode = spec.predecode;
+  sim::Simulation s(cfg, prog);
+  s.spawn_main_thread();
+  if (spec.on_checkpoint) s.set_checkpoint_handler(spec.on_checkpoint);
+  if (!spec.faults.empty()) s.fault_manager().load_faults(spec.faults);
+
+  Trace t;
+  s.set_commit_observer([&t](const cpu::CommitEvent& ev, const cpu::ArchState& arch) {
+    ++t.commits;
+    std::uint64_t h = t.state_hash;
+    h = fold(h, ev.pc);
+    h = fold(h, arch.pc());
+    for (unsigned r = 0; r < 31; ++r) h = fold(h, arch.ireg(r));
+    for (unsigned r = 0; r < 31; ++r) h = fold(h, arch.freg_bits(r));
+    t.state_hash = h;
+  });
+
+  const sim::RunResult rr = s.run(500'000'000ull);
+  t.mem_crc = util::crc32(s.memsys().phys().raw());
+  t.bypasses = s.memsys().predecode_stats().bypasses;
+  t.output = s.output(0);
+  t.reason = rr.reason;
+  t.trap = rr.trap.kind;
+  return t;
+}
+
+constexpr sim::CpuKind kModels[] = {sim::CpuKind::AtomicSimple, sim::CpuKind::TimingSimple,
+                                    sim::CpuKind::Pipelined};
+
+// ---------------- all six apps, three models, predecode on vs off ----------
+
+class LockstepApps : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(LockstepApps, PredecodeOnOffAndCrossModelBitIdentical) {
+  const apps::App app = apps::build_app(GetParam());
+  Trace reference;
+  bool have_reference = false;
+  for (const sim::CpuKind cpu : kModels) {
+    const Trace on = run_traced(app.program, {.cpu = cpu, .predecode = true});
+    const Trace off = run_traced(app.program, {.cpu = cpu, .predecode = false});
+    ASSERT_EQ(on.reason, sim::ExitReason::AllThreadsExited)
+        << app.name << " on " << sim::cpu_kind_name(cpu);
+    EXPECT_EQ(on, off) << app.name << " on " << sim::cpu_kind_name(cpu)
+                       << ": predecode changed the commit trace";
+    EXPECT_EQ(on.bypasses, 0u) << "fault-free run must never bypass";
+    // Fault-free, the commit trace is also identical across the models.
+    if (!have_reference) {
+      reference = on;
+      have_reference = true;
+    } else {
+      EXPECT_EQ(on, reference) << app.name << ": " << sim::cpu_kind_name(cpu)
+                               << " diverged from " << sim::cpu_kind_name(kModels[0]);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllApps, LockstepApps, ::testing::ValuesIn(apps::app_names()),
+                         [](const auto& info) { return info.param; });
+
+// ---------------- fetch-stage fault onto a predecoded page ----------------
+
+TEST(LockstepFaults, FetchFaultBypassesCacheBitIdentically) {
+  const apps::App app = apps::build_app("pi");
+  const fi::Fault fault =
+      fi::parse_fault("FetchStageInjectedFault Inst:50 Flip:3 Threadid:0 system.cpu0 occ:1");
+  for (const sim::CpuKind cpu : kModels) {
+    const Trace on = run_traced(app.program, {.cpu = cpu, .predecode = true, .faults = {fault}});
+    const Trace off =
+        run_traced(app.program, {.cpu = cpu, .predecode = false, .faults = {fault}});
+    EXPECT_EQ(on, off) << sim::cpu_kind_name(cpu)
+                       << ": fetch fault outcome differs with predecode";
+    // The corrupted fetch hit a page that was already predecoded (the kernel
+    // loop runs from it), so the cache must have taken its bypass path.
+    EXPECT_GE(on.bypasses, 1u) << sim::cpu_kind_name(cpu);
+    EXPECT_EQ(off.bypasses, 0u);  // cache disabled: nothing to bypass
+  }
+}
+
+TEST(LockstepFaults, FetchFaultSweepAcrossBitsAndTimes) {
+  // A denser sweep on the atomic model (the fast-path owner): several
+  // injection times and bit positions, each compared on vs off.
+  const apps::App app = apps::build_app("pi");
+  for (const std::uint64_t inst : {1ull, 17ull, 400ull}) {
+    for (const unsigned bit : {0u, 13u, 26u, 31u}) {
+      fi::Fault f;
+      f.location = fi::FaultLocation::Fetch;
+      f.time_kind = fi::FaultTimeKind::Instruction;
+      f.time = inst;
+      f.behavior = fi::FaultBehavior::Flip;
+      f.operand = bit;
+      const Trace on = run_traced(
+          app.program, {.cpu = sim::CpuKind::AtomicSimple, .predecode = true, .faults = {f}});
+      const Trace off = run_traced(
+          app.program, {.cpu = sim::CpuKind::AtomicSimple, .predecode = false, .faults = {f}});
+      EXPECT_EQ(on, off) << "Inst:" << inst << " Flip:" << bit;
+    }
+  }
+}
+
+// ---------------- self-modifying code invalidates cached pages ------------
+
+/// A loop whose body is patched mid-run by the checkpoint handler (the
+/// host-side stand-in for a store into the code segment): iteration 1 runs
+/// the original `addq t0, 1`, the handler then rewrites it to `addq t0, 5`,
+/// and iterations 2 and 3 must execute the new word — 1 + 5 + 5 = 11.
+/// A predecode cache that misses the rewrite keeps serving the stale decode
+/// and prints 3 instead.
+assembler::Program smc_program() {
+  Assembler as;
+  const Label entry = as.here("main");
+  as.li(reg::s0, 3);
+  as.li(reg::t0, 0);
+  const Label loop = as.here("loop");
+  as.fi_read_init();  // host handler patches the next instruction
+  as.here("patchme");
+  as.addq_i(reg::t0, 1, reg::t0);
+  as.subq_i(reg::s0, 1, reg::s0);
+  as.bne(reg::s0, loop);
+  as.print_int_r(reg::t0);
+  as.mov_i(0, reg::a0);
+  as.exit_();
+  return as.finalize(entry);
+}
+
+isa::Word addq5_word() {
+  Assembler as;
+  const Label entry = as.here("main");
+  as.addq_i(reg::t0, 5, reg::t0);
+  return as.finalize(entry).code.at(0);
+}
+
+TEST(LockstepSmc, StoreIntoCachedPageInvalidates) {
+  const assembler::Program prog = smc_program();
+  const std::uint64_t patch_addr = prog.symbol("patchme");
+  const isa::Word new_word = addq5_word();
+  for (const sim::CpuKind cpu : kModels) {
+    Trace traces[2];
+    int i = 0;
+    for (const bool predecode : {true, false}) {
+      int calls = 0;
+      RunSpec spec;
+      spec.cpu = cpu;
+      spec.predecode = predecode;
+      spec.on_checkpoint = [&calls, patch_addr, new_word](sim::Simulation& s) {
+        if (++calls == 2)
+          ASSERT_EQ(s.memsys().phys().store(patch_addr, 4, new_word), mem::AccessError::None);
+      };
+      traces[i++] = run_traced(prog, spec);
+    }
+    EXPECT_EQ(traces[0], traces[1]) << sim::cpu_kind_name(cpu);
+    EXPECT_EQ(traces[0].output, "11")
+        << sim::cpu_kind_name(cpu) << ": stale predecoded word executed after rewrite";
+  }
+}
+
+// ---------------- batched fast dispatch loop vs the per-tick loop ---------
+//
+// With predecode on, no FI hooks and no commit observer, the atomic model
+// runs the batched fast dispatch loop; with --no-predecode it runs the
+// legacy one-commit-per-tick loop. The two must agree on every observable:
+// outputs, tick and commit counts, the memory image, the exit status.
+
+struct FastRun {
+  sim::RunResult rr;
+  std::vector<std::string> outputs;  // one per thread
+  std::uint32_t mem_crc = 0;
+  std::uint64_t hits = 0;  // predecode-cache hits (0 when disabled)
+};
+
+FastRun run_plain_atomic(const assembler::Program& prog, bool predecode,
+                         std::uint64_t quantum,
+                         const std::vector<std::uint64_t>& thread_args) {
+  sim::SimConfig cfg;
+  cfg.cpu = sim::CpuKind::AtomicSimple;
+  cfg.fi_enabled = false;  // no stage hooks: the fast path may engage
+  cfg.predecode = predecode;
+  cfg.quantum_insts = quantum;
+  sim::Simulation s(cfg, prog);
+  for (const std::uint64_t arg : thread_args) s.spawn_thread(prog.entry, {arg});
+  FastRun fr;
+  fr.rr = s.run(500'000'000ull);
+  for (std::size_t t = 0; t < thread_args.size(); ++t)
+    fr.outputs.push_back(s.output(t));
+  fr.mem_crc = util::crc32(s.memsys().phys().raw());
+  fr.hits = s.memsys().predecode_stats().hits;
+  return fr;
+}
+
+TEST(LockstepFastDispatch, MatchesPerTickLoopOnAllApps) {
+  for (const std::string& name : apps::app_names()) {
+    const apps::App app = apps::build_app(name);
+    const FastRun fast = run_plain_atomic(app.program, true, 50000, {0});
+    const FastRun slow = run_plain_atomic(app.program, false, 50000, {0});
+    ASSERT_EQ(fast.rr.reason, sim::ExitReason::AllThreadsExited) << name;
+    EXPECT_EQ(fast.rr.reason, slow.rr.reason) << name;
+    EXPECT_EQ(fast.rr.ticks, slow.rr.ticks) << name;
+    EXPECT_EQ(fast.rr.committed, slow.rr.committed) << name;
+    EXPECT_EQ(fast.outputs, slow.outputs) << name;
+    EXPECT_EQ(fast.mem_crc, slow.mem_crc) << name;
+    EXPECT_GT(fast.hits, 0u) << name << ": fast path never hit the cache";
+    EXPECT_EQ(slow.hits, 0u) << name;
+  }
+}
+
+/// Three threads hammer one shared counter — load, add the thread id, store
+/// — under a tiny preemption quantum, then print the final counter value
+/// they observe and their own GET_INSTRET. Both are sensitive to the exact
+/// commit at which preemption lands, so a batched loop that context-switches
+/// even one instruction early or late diverges from the per-tick loop.
+assembler::Program shared_counter_program() {
+  Assembler as;
+  const DataRef cell = as.data_u64(std::uint64_t(0));
+  const Label entry = as.here("main");
+  as.la(reg::s2, cell);
+  as.li(reg::s0, 40);
+  const Label loop = as.here("loop");
+  as.ldq(reg::t0, 0, reg::s2);
+  as.addq(reg::t0, reg::a0, reg::t0);
+  as.stq(reg::t0, 0, reg::s2);
+  as.subq_i(reg::s0, 1, reg::s0);
+  as.bne(reg::s0, loop);
+  as.ldq(reg::t1, 0, reg::s2);
+  as.print_int_r(reg::t1);
+  as.instret();
+  as.print_int_r(reg::v0);
+  as.mov_i(0, reg::a0);
+  as.exit_();
+  return as.finalize(entry);
+}
+
+TEST(LockstepFastDispatch, PreemptsOnTheExactSameInstruction) {
+  const assembler::Program prog = shared_counter_program();
+  for (const std::uint64_t quantum : {7ull, 50ull, 333ull}) {
+    const FastRun fast = run_plain_atomic(prog, true, quantum, {1, 2, 3});
+    const FastRun slow = run_plain_atomic(prog, false, quantum, {1, 2, 3});
+    ASSERT_EQ(fast.rr.reason, sim::ExitReason::AllThreadsExited) << "q=" << quantum;
+    EXPECT_EQ(fast.rr.ticks, slow.rr.ticks) << "q=" << quantum;
+    EXPECT_EQ(fast.rr.committed, slow.rr.committed) << "q=" << quantum;
+    EXPECT_EQ(fast.outputs, slow.outputs) << "q=" << quantum;
+    EXPECT_EQ(fast.mem_crc, slow.mem_crc) << "q=" << quantum;
+    // The counter is racy by design — a preemption between a thread's load
+    // and store loses updates — so the printed values are a direct function
+    // of where every context switch landed. (No atomicity to assert; the
+    // fast-vs-slow equality above is the whole point.)
+    for (const std::string& out : fast.outputs) EXPECT_FALSE(out.empty());
+  }
+}
+
+TEST(LockstepFastDispatch, WatchdogFiresAtTheSameTick) {
+  // An infinite loop: the batched loop must consume its watchdog budget in
+  // exactly as many ticks as the per-tick loop.
+  Assembler as;
+  const Label entry = as.here("main");
+  const Label spin = as.here("spin");
+  as.addq_i(reg::t0, 1, reg::t0);
+  as.br(spin);
+  const assembler::Program prog = as.finalize(entry);
+
+  for (const bool predecode : {true, false}) {
+    sim::SimConfig cfg;
+    cfg.cpu = sim::CpuKind::AtomicSimple;
+    cfg.fi_enabled = false;
+    cfg.predecode = predecode;
+    sim::Simulation s(cfg, prog);
+    s.spawn_main_thread();
+    const sim::RunResult rr = s.run(12345);
+    EXPECT_EQ(rr.reason, sim::ExitReason::Watchdog) << predecode;
+    EXPECT_EQ(rr.ticks, 12345u) << predecode;
+    EXPECT_EQ(rr.committed, 12345u) << predecode;
+  }
+}
+
+}  // namespace

@@ -1,0 +1,187 @@
+// Fuzz tests for the predecoded-instruction cache: seeded random instruction
+// words — architecturally valid encodings interleaved with garbage — must
+// decode identically through the live decoder and through a predecoded page,
+// including after a store rewrites a word mid-page (version-based
+// invalidation) and after a fetch-stage bit-flip targets a PC whose page is
+// already cached (the bypass path).
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "assembler/assembler.hpp"
+#include "fi/fault.hpp"
+#include "isa/decoder.hpp"
+#include "mem/memsys.hpp"
+#include "sim/simulation.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace gemfi;
+using namespace gemfi::assembler;
+
+void expect_same_decode(const isa::Decoded& a, const isa::Decoded& b, std::uint64_t pc) {
+  EXPECT_EQ(a.raw, b.raw) << "pc=0x" << std::hex << pc;
+  EXPECT_EQ(a.opcode, b.opcode) << "pc=0x" << std::hex << pc;
+  EXPECT_EQ(a.format, b.format) << "pc=0x" << std::hex << pc;
+  EXPECT_EQ(a.klass, b.klass) << "pc=0x" << std::hex << pc;
+  EXPECT_EQ(a.ra, b.ra);
+  EXPECT_EQ(a.rb, b.rb);
+  EXPECT_EQ(a.rc, b.rc);
+  EXPECT_EQ(a.is_literal, b.is_literal);
+  EXPECT_EQ(a.literal, b.literal);
+  EXPECT_EQ(a.disp, b.disp);
+  EXPECT_EQ(a.func, b.func);
+  EXPECT_EQ(a.palcode, b.palcode);
+  EXPECT_EQ(a.valid, b.valid);
+  EXPECT_EQ(a.src1, b.src1);
+  EXPECT_EQ(a.src2, b.src2);
+  EXPECT_EQ(a.dst, b.dst);
+  EXPECT_EQ(a.src1_fp, b.src1_fp);
+  EXPECT_EQ(a.src2_fp, b.src2_fp);
+  EXPECT_EQ(a.dst_fp, b.dst_fp);
+}
+
+/// A seeded word pool mixing valid encodings (sampled from an assembled
+/// program) with uniformly random garbage.
+std::vector<isa::Word> word_pool(std::uint64_t seed) {
+  Assembler as;
+  const Label entry = as.here("main");
+  as.addq(reg::t0, reg::t1, reg::t2);
+  as.subq_i(reg::t3, 7, reg::t4);
+  as.mulq(reg::t0, reg::t2, reg::t5);
+  as.ldq(reg::t6, 16, reg::s2);
+  as.stq(reg::t6, 24, reg::s2);
+  as.cmplt(reg::t0, reg::t1, reg::t7);
+  const Label skip = as.make_label("skip");
+  as.bne(reg::t7, skip);
+  as.sll_i(reg::t0, 13, reg::t1);
+  as.bind(skip);
+  as.print_int();
+  as.exit_();
+  const std::vector<isa::Word> valid = as.finalize(entry).code;
+
+  util::Rng rng(seed);
+  std::vector<isa::Word> pool;
+  for (int i = 0; i < 2048; ++i) {
+    if (rng.chance(0.5))
+      pool.push_back(valid[rng.below(valid.size())]);
+    else
+      pool.push_back(isa::Word(rng.below(1ull << 32)));  // garbage
+  }
+  return pool;
+}
+
+class PredecodeFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PredecodeFuzz, CachedPageMatchesLiveDecoder) {
+  mem::MemSystem ms;
+  const std::vector<isa::Word> pool = word_pool(GetParam());
+  const std::uint64_t base = 0x2000;  // past the null guard, page-aligned
+  std::vector<std::uint8_t> bytes(pool.size() * 4);
+  std::memcpy(bytes.data(), pool.data(), bytes.size());
+  ms.phys().write_block(base, bytes);
+
+  util::Rng rng(GetParam() ^ 0x9e3779b97f4a7c15ull);
+  for (int i = 0; i < 4000; ++i) {
+    const std::uint64_t pc = base + 4 * rng.below(pool.size());
+    const isa::Decoded* cached = ms.predecode(pc);
+    ASSERT_NE(cached, nullptr) << "pc=0x" << std::hex << pc;
+    std::uint32_t word = 0;
+    ASSERT_EQ(ms.fetch(pc, word), mem::AccessError::None);
+    expect_same_decode(*cached, isa::decode(word), pc);
+  }
+  const isa::PredecodeStats& st = ms.predecode_stats();
+  EXPECT_GT(st.hits, 0u);
+  EXPECT_GT(st.fills, 0u);
+  EXPECT_EQ(st.bypasses, 0u);
+
+  // The slow-path gates: misaligned, null-guard and out-of-bounds PCs are
+  // never served from the cache.
+  EXPECT_EQ(ms.predecode(base + 2), nullptr);
+  EXPECT_EQ(ms.predecode(0x10), nullptr);
+  EXPECT_EQ(ms.predecode(ms.phys().size()), nullptr);
+}
+
+TEST_P(PredecodeFuzz, StoreRewritingCachedWordInvalidates) {
+  mem::MemSystem ms;
+  const std::vector<isa::Word> pool = word_pool(GetParam());
+  const std::uint64_t base = 0x2000;
+  std::vector<std::uint8_t> bytes(pool.size() * 4);
+  std::memcpy(bytes.data(), pool.data(), bytes.size());
+  ms.phys().write_block(base, bytes);
+
+  util::Rng rng(GetParam() * 0x2545f4914f6cdd1dull + 1);
+  for (int round = 0; round < 200; ++round) {
+    // Warm the page containing a random victim PC, then rewrite the word
+    // mid-page through the store path and re-read through the cache.
+    const std::uint64_t pc = base + 4 * rng.below(pool.size());
+    ASSERT_NE(ms.predecode(pc), nullptr);
+    const isa::Word new_word = isa::Word(rng.below(1ull << 32));
+    ASSERT_EQ(ms.phys().store(pc, 4, new_word), mem::AccessError::None);
+    const isa::Decoded* cached = ms.predecode(pc);
+    ASSERT_NE(cached, nullptr);
+    EXPECT_EQ(cached->raw, new_word) << "stale predecode served after store";
+    expect_same_decode(*cached, isa::decode(new_word), pc);
+  }
+  EXPECT_GT(ms.predecode_stats().stale, 0u) << "rewrites never invalidated a page";
+}
+
+TEST_P(PredecodeFuzz, FetchBitFlipOnCachedPcMatchesLiveDecode) {
+  // A real simulation: a tight loop (every PC predecoded after the first
+  // iteration) with a random seeded fetch-stage bit flip. The run with the
+  // cache on must match the run with the cache off in output, committed
+  // count and exit status — and must take the bypass path, not serve the
+  // stale (uncorrupted) decode.
+  util::Rng rng(GetParam() ^ 0xabcdef);
+  fi::Fault f;
+  f.location = fi::FaultLocation::Fetch;
+  f.time_kind = fi::FaultTimeKind::Instruction;
+  f.time = 1 + rng.below(300);
+  f.behavior = fi::FaultBehavior::Flip;
+  f.operand = rng.below(32);
+
+  Assembler as;
+  const Label entry = as.here("main");
+  as.fi_activate();  // a0 == 0: FI on for thread 0
+  as.li(reg::s0, 100);
+  const Label loop = as.here("loop");
+  as.addq_i(reg::t0, 3, reg::t0);
+  as.xor_(reg::t0, reg::s0, reg::t1);
+  as.addq(reg::t1, reg::t2, reg::t2);
+  as.subq_i(reg::s0, 1, reg::s0);
+  as.bne(reg::s0, loop);
+  as.print_int_r(reg::t2);
+  as.mov_i(0, reg::a0);
+  as.exit_();
+  const Program prog = as.finalize(entry);
+
+  struct Out {
+    std::string output;
+    std::uint64_t committed;
+    sim::ExitReason reason;
+    std::uint64_t bypasses;
+  } runs[2];
+  int i = 0;
+  for (const bool predecode : {true, false}) {
+    sim::SimConfig cfg;
+    cfg.cpu = sim::CpuKind::AtomicSimple;
+    cfg.predecode = predecode;
+    sim::Simulation s(cfg, prog);
+    s.spawn_main_thread();
+    s.fault_manager().load_faults({f});
+    const sim::RunResult rr = s.run(10'000'000);
+    runs[i++] = {s.output(0), rr.committed, rr.reason,
+                 s.memsys().predecode_stats().bypasses};
+  }
+  EXPECT_EQ(runs[0].output, runs[1].output) << f.to_line();
+  EXPECT_EQ(runs[0].committed, runs[1].committed) << f.to_line();
+  EXPECT_EQ(runs[0].reason, runs[1].reason) << f.to_line();
+  EXPECT_GE(runs[0].bypasses, 1u) << f.to_line();
+  EXPECT_EQ(runs[1].bypasses, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PredecodeFuzz,
+                         ::testing::Range(std::uint64_t(1), std::uint64_t(13)));
+
+}  // namespace
