@@ -110,5 +110,5 @@ int main(int argc, char** argv) {
       "  flips that land on unimplemented encodings are always fatal (illegal\n"
       "  instruction); mem-disp/Rb flips crash with high probability; branch\n"
       "  displacement flips on untaken branches are harmless.\n");
-  return 0;
+  return bench::json_write(opt.json, "fetch_fields") ? 0 : 1;
 }

@@ -53,5 +53,5 @@ int main(int argc, char** argv) {
   if (!have_correct) std::printf("  (b) no relaxed-correct fault found within budget\n");
   if (!have_sdc) std::printf("  (c) no SDC fault found within budget\n");
   std::printf("  acceptance bar: PSNR > 30 dB vs the input image (paper Sec. IV-B-1)\n");
-  return 0;
+  return bench::json_write(opt.json, "fig4_dct_categories") ? 0 : 1;
 }

@@ -61,5 +61,5 @@ int main(int argc, char** argv) {
     bench::print_outcome_row("  TOTAL", total);
     std::printf("  campaign wall time: %.1f s\n\n", total.wall_seconds);
   }
-  return 0;
+  return bench::json_write(opt.json, "fig5_location") ? 0 : 1;
 }

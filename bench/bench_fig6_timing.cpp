@@ -65,5 +65,5 @@ int main(int argc, char** argv) {
     }
     std::printf("\n");
   }
-  return 0;
+  return bench::json_write(opt.json, "fig6_timing") ? 0 : 1;
 }

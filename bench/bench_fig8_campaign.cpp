@@ -88,5 +88,5 @@ int main(int argc, char** argv) {
       "  here scales with init-frac the same way; now-par is the effective\n"
       "  parallelism of the modeled 27x4 cluster, which saturates at min(n, 108)\n"
       "  — run with --n=216 or --full to see it approach the paper's ~108x.\n");
-  return 0;
+  return bench::json_write(opt.json, "fig8_campaign") ? 0 : 1;
 }

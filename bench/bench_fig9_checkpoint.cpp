@@ -235,11 +235,15 @@ int main(int argc, char** argv) {
     if (first_app || rc.speedup() < worst) worst = rc.speedup();
     first_app = false;
     all_match = all_match && rc.outcomes_match;
+    bench::json_record("v1_restore_ms", rc.v1_ms, "ms", name);
+    bench::json_record("v2_restore_ms", rc.v2_ms, "ms", name);
+    bench::json_record("restore_speedup", rc.speedup(), "x", name);
   }
 
   std::printf("\n  acceptance: shared-baseline restore >= 5x cheaper than full v1"
               " deserialize on every app: %s (worst %.1fx); outcome distributions"
               " identical: %s\n",
               worst >= 5.0 ? "PASS" : "FAIL", worst, all_match ? "PASS" : "FAIL");
-  return (worst >= 5.0 && all_match) ? 0 : 1;
+  const bool json_ok = bench::json_write(opt.json, "fig9_checkpoint");
+  return (worst >= 5.0 && all_match && json_ok) ? 0 : 1;
 }

@@ -89,7 +89,7 @@ unsigned roundtrip_all() {
 }  // namespace
 
 int main(int argc, char** argv) {
-  (void)bench::parse_options(argc, argv);
+  const bench::Options opt = bench::parse_options(argc, argv);
   print_table1();
 
   const unsigned n = roundtrip_all();
@@ -101,5 +101,5 @@ int main(int argc, char** argv) {
   const isa::Decoded d = isa::decode(w);
   std::printf("  example: 0x%08x = %s (opcode=0x%02x func=0x%02x lit=%u)\n", w,
               isa::disassemble(d).c_str(), unsigned(d.opcode), d.func, d.literal);
-  return 0;
+  return bench::json_write(opt.json, "table1_formats") ? 0 : 1;
 }

@@ -73,5 +73,5 @@ int main(int argc, char** argv) {
   std::printf("  reading: each application has a voltage cliff — power falls\n"
               "  quadratically while correctness holds, then upsets pile up and\n"
               "  acceptability collapses; error-tolerant kernels ride lower Vdd.\n");
-  return 0;
+  return bench::json_write(opt.json, "vdd_sweep") ? 0 : 1;
 }

@@ -13,6 +13,9 @@
 //             [--no-predecode]         disable the predecode fast path (the
 //                                      predecoded-inst cache and the atomic
 //                                      model's batched dispatch loop)
+//             [--no-fastpath]          disable the timing-model fast lane
+//                                      (MRU cache hits, stall warping, the
+//                                      batched TimingSimple loop)
 //   gemfi_cli --app=<name> --campaign=<n>   seeded random-fault campaign
 //             [--seed=<u64>]           campaign seed (default 42)
 //             [--workers=<k>]          parallel experiments (default 1)
@@ -52,6 +55,7 @@ namespace {
   std::fprintf(stderr,
                "usage: %s --app=<name> [--faults=<file>] [--cpu=atomic|timing|"
                "pipelined] [--paper] [--watchdog-mult=<k>] [--log] [--no-predecode]\n"
+               "           [--no-fastpath]\n"
                "       %s --app=<name> --campaign=<n> [--seed=<u64>] [--workers=<k>]\n"
                "           [--out=<file.jsonl>] [--progress] [--deadline=<sec>]\n"
                "           [--retries=<k>] [--ckpt-format=v1|v2] [--no-ckpt-compress]\n"
@@ -83,6 +87,7 @@ int main(int argc, char** argv) {
   bool ckpt_compress = true;
   bool shared_baseline = true;
   bool predecode = true;
+  bool fastpath = true;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -131,6 +136,8 @@ int main(int argc, char** argv) {
       shared_baseline = false;
     } else if (arg == "--no-predecode") {
       predecode = false;
+    } else if (arg == "--no-fastpath") {
+      fastpath = false;
     } else {
       usage(argv[0]);
     }
@@ -167,6 +174,7 @@ int main(int argc, char** argv) {
   cfg.ckpt_compress = ckpt_compress;
   cfg.shared_baseline = shared_baseline;
   cfg.predecode = predecode;
+  cfg.fastpath = fastpath;
 
   if (!program_path.empty()) {
     // User-supplied .s file: assemble, run (with faults, if any), report.
@@ -180,6 +188,7 @@ int main(int argc, char** argv) {
     sim::SimConfig scfg;
     scfg.cpu = cpu;
     scfg.predecode = predecode;
+    scfg.fastpath = fastpath;
     sim::Simulation s(scfg, prog);
     s.spawn_main_thread();
     s.fault_manager().load_faults(faults);
@@ -287,6 +296,7 @@ int main(int argc, char** argv) {
   scfg.cpu = cpu;
   scfg.switch_to_atomic_after_fault = faults.size() == 1;
   scfg.predecode = predecode;
+  scfg.fastpath = fastpath;
   sim::Simulation s(scfg, ca.app.program);
   s.spawn_main_thread();
   ca.checkpoint.restore_into(s);

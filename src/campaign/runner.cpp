@@ -28,6 +28,7 @@ sim::SimConfig make_sim_config(const CampaignConfig& cfg) {
   scfg.fi_enabled = true;
   scfg.switch_to_atomic_after_fault = cfg.switch_to_atomic_after_fault;
   scfg.predecode = cfg.predecode;
+  scfg.fastpath = cfg.fastpath;
   return scfg;
 }
 

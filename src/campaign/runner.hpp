@@ -24,6 +24,7 @@ struct CampaignConfig {
   bool switch_to_atomic_after_fault = true;  // Sec. IV-B-1 speed trick
   bool use_checkpoint = true;                // Sec. III-D fast-forwarding
   bool predecode = true;                     // predecoded-instruction cache
+  bool fastpath = true;                      // timing-model fast lane (A/B)
   unsigned workers = 1;                      // local experiment parallelism
   std::uint64_t watchdog_mult = 8;           // watchdog = mult * golden ticks
 

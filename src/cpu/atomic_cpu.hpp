@@ -34,6 +34,31 @@ class SimpleCpu final : public CpuModel {
   /// trap or pseudo-op, describing it in `ev` (stopped == true); a trapping
   /// instruction consumes a tick but does not commit, exactly like cycle().
   BatchResult run_atomic_batch(std::uint64_t max_ticks, CommitEvent& ev);
+
+  /// TimingSimple counterpart of run_atomic_batch: retire instructions
+  /// back-to-back, folding each instruction's charged I-/D-cache latency
+  /// into one per-instruction accumulation instead of per-tick busy_
+  /// decrements. Batch-boundary rules mirror the per-tick loop exactly:
+  /// `max_ticks` bounds simulated ticks consumed (a budget expiring
+  /// mid-stall leaves busy_/pending_ exactly as the slow path would at that
+  /// tick, with the commit not yet surfaced), `max_commits` bounds surfaced
+  /// commits (the scheduler's preemption boundary), and a trap or pseudo-op
+  /// stops the batch with the event in `ev`. Only engages in timing mode
+  /// with no stage hooks and fetch enabled; otherwise returns an empty
+  /// result and the caller falls back to cycle().
+  BatchResult run_timing_batch(std::uint64_t max_ticks, std::uint64_t max_commits,
+                               CommitEvent& ev);
+
+  /// Timing mode spends busy_ ticks idling per instruction; all but the
+  /// last (which surfaces the queued commit) are warpable.
+  [[nodiscard]] std::uint64_t stall_cycles() const noexcept override {
+    return timing_ && busy_ > 1 ? busy_ - 1 : 0;
+  }
+  void warp(std::uint64_t k) noexcept override {
+    stats_.ticks += k;
+    busy_ -= std::uint32_t(k);
+  }
+
   void flush_and_redirect(std::uint64_t new_pc) override;
   void set_fetch_enabled(bool enabled) override { fetch_enabled_ = enabled; }
   [[nodiscard]] bool quiesced() const override { return busy_ == 0; }

@@ -98,6 +98,21 @@ class CpuModel {
   /// True when no instruction is in flight.
   [[nodiscard]] virtual bool quiesced() const = 0;
 
+  /// Stall-warp query: how many upcoming cycle() calls are guaranteed to be
+  /// pure stall-counter decrements — no commit, latch movement, memory or
+  /// predictor access, stat change (beyond ticks), or hook call. The caller
+  /// may replace that many cycle() calls with one warp(), after bounding the
+  /// window by its own external events (FI tick triggers, watchdog deadline,
+  /// wall-clock sampling). 0 means the next cycle may do work. Only bounded
+  /// waits (counter-driven stalls) are reported; idle states with no
+  /// in-flight work return 0 so the per-tick loop keeps owning drain and
+  /// context-switch edges.
+  [[nodiscard]] virtual std::uint64_t stall_cycles() const noexcept { return 0; }
+
+  /// Advance the clock by `k` cycles in one step. Only legal for
+  /// k <= stall_cycles(); observably identical to k cycle() calls.
+  virtual void warp(std::uint64_t k) noexcept { stats_.ticks += k; }
+
   [[nodiscard]] virtual const char* name() const noexcept = 0;
 
   [[nodiscard]] const CpuStats& stats() const noexcept { return stats_; }

@@ -1,5 +1,6 @@
 #include "cpu/pipelined_cpu.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace gemfi::cpu {
@@ -31,6 +32,57 @@ CycleResult PipelinedCpu::cycle() {
   stage_id();
   stage_if();
   return result;
+}
+
+std::uint64_t PipelinedCpu::stall_cycles() const noexcept {
+  // A cycle is a pure stall iff every stage either is a no-op or only
+  // decrements its wait counter. Stage occupancy is constant across such a
+  // window — a latch can only free via the MEM counter reaching zero, which
+  // by construction lies outside the window — so this one-shot analysis
+  // covers every cycle in it.
+  if (mem_wb_) return 0;            // WB commits next cycle
+  if (id_ex_ && !ex_mem_) return 0;  // EX executes next cycle
+  if (if_id_ && !id_ex_) {
+    // ID would act — except a serializing pseudo/PAL op waiting for the
+    // back end to drain, which stays put while the MEM stall below bounds
+    // the window. With hooks attached ID re-fires the decode hook every
+    // waiting cycle, so that state is not warpable under FI.
+    const bool serial_wait =
+        hooks_ == nullptr && !if_id_->trap.pending() &&
+        (if_id_->d.klass == isa::InstClass::Pseudo ||
+         if_id_->d.klass == isa::InstClass::Pal) &&
+        ex_mem_;
+    if (!serial_wait) return 0;
+  }
+  std::uint64_t w = ~0ull;
+  if (ex_mem_) {
+    // Counter 0 => MEM issues the access next cycle; 1 => it moves the
+    // instruction to WB. Both are events, so the window is counter - 1.
+    if (mem_cycles_left_ < 2) return 0;
+    w = mem_cycles_left_ - 1;
+  }
+  if (fetch_inflight_) {
+    if (!if_id_) {
+      // The fetched instruction moves into the free IF/ID latch when the
+      // I-cache completes. With IF/ID occupied the counter just drains to
+      // zero and the move waits on the MEM stall, imposing no bound.
+      if (fetch_cycles_left_ < 2) return 0;
+      w = std::min<std::uint64_t>(w, std::uint64_t(fetch_cycles_left_) - 1);
+    }
+  } else if (fetch_enabled_ && fetch_pc_valid_ && !halt_fetch_after_trap_) {
+    return 0;  // IF issues a new fetch next cycle
+  }
+  return w == ~0ull ? 0 : w;  // no bounded counter active: nothing to warp
+}
+
+void PipelinedCpu::warp(std::uint64_t k) noexcept {
+  stats_.ticks += k;
+  // k <= stall_cycles() guarantees k < mem_cycles_left_ when it is armed;
+  // the fetch counter clamps at zero exactly as the per-cycle decrement does
+  // (it keeps draining while the IF/ID latch stays occupied).
+  if (mem_cycles_left_ != 0) mem_cycles_left_ -= std::uint32_t(k);
+  if (fetch_cycles_left_ != 0)
+    fetch_cycles_left_ -= std::uint32_t(std::min<std::uint64_t>(k, fetch_cycles_left_));
 }
 
 void PipelinedCpu::stage_wb(CycleResult& result) {

@@ -29,6 +29,8 @@ class PipelinedCpu final : public CpuModel {
       : CpuModel(ms), pred_(pred_cfg) {}
 
   CycleResult cycle() override;
+  [[nodiscard]] std::uint64_t stall_cycles() const noexcept override;
+  void warp(std::uint64_t k) noexcept override;
   void flush_and_redirect(std::uint64_t new_pc) override;
   void set_fetch_enabled(bool enabled) override { fetch_enabled_ = enabled; }
   [[nodiscard]] bool quiesced() const override {

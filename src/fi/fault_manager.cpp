@@ -225,6 +225,32 @@ std::uint64_t FaultManager::on_store(std::uint64_t addr, std::uint64_t raw, unsi
   return raw;
 }
 
+std::uint64_t FaultManager::next_direct_fault_tick(std::uint64_t from) const noexcept {
+  if (cur_ == nullptr) return ~0ull;  // (re)activation is a commit-side event
+  std::uint64_t next = ~0ull;
+  for (const std::size_t i : q_direct_) {
+    const FaultState& fs = states_[i];
+    const Fault& f = fs.fault;
+    if (f.thread_id != cur_->user_id || f.core != core_id_) continue;
+    if (f.occurrences != kPermanent && fs.applied >= f.occurrences) continue;
+    if (f.time_kind == FaultTimeKind::Instruction) {
+      // Keyed on the fetched-instruction index, which is frozen during a
+      // stall: armed-and-unapplied fires immediately, everything else not
+      // before the next fetch.
+      if (cur_->fetched < f.time) continue;
+      if (f.occurrences != kPermanent && cur_->fetched >= f.time + f.occurrences) continue;
+      if (fs.last_marker == cur_->fetched) continue;
+      return from;
+    }
+    const bool instruction_marked =
+        f.behavior == FaultBehavior::Flip || f.behavior == FaultBehavior::Xor;
+    if (instruction_marked && fs.last_marker == cur_->fetched) continue;
+    const std::uint64_t due = cur_->activation_tick + f.time;
+    next = std::min(next, due > from ? due : from);
+  }
+  return next;
+}
+
 bool FaultManager::apply_direct_faults(cpu::ArchState& st) {
   if (cur_ == nullptr) return false;
   bool applied_any = false;

@@ -97,6 +97,17 @@ class FaultManager final : public cpu::StageHooks {
   /// injected value before any instruction observes it).
   bool apply_direct_faults(cpu::ArchState& st);
 
+  /// Stall-warp event horizon: the earliest tick >= `from` at which
+  /// apply_direct_faults could perform an application, assuming no
+  /// instruction fetches (and hence no fetched-index advance, activation or
+  /// context switch) happen before then — exactly the invariant inside a
+  /// pure-stall window. ~0 when nothing can fire. Sticky tick-relative
+  /// behaviors (Imm/AllZero/AllOne) re-apply and log every tick once due, so
+  /// they pin the horizon to their due tick; Flip/Xor and
+  /// instruction-relative faults already applied at the current fetch index
+  /// impose no bound.
+  [[nodiscard]] std::uint64_t next_direct_fault_tick(std::uint64_t from) const noexcept;
+
   // --- cpu::StageHooks ---
   FetchResult on_fetch(std::uint64_t pc, std::uint32_t word) override;
   void on_decode(isa::Decoded& d, std::uint64_t pc, std::uint64_t fi_seq) override;

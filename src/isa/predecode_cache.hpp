@@ -60,6 +60,8 @@ class PredecodeCache {
   void invalidate_all() noexcept;
 
   void note_bypass() noexcept { ++stats_.bypasses; }
+  /// Zero the counters (per-experiment stat windows); cached pages stay.
+  void reset_stats() noexcept { stats_ = {}; }
   [[nodiscard]] const PredecodeStats& stats() const noexcept { return stats_; }
   [[nodiscard]] std::size_t cached_pages() const noexcept;
 

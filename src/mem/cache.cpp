@@ -24,9 +24,10 @@ CacheGeometry CacheGeometry::from_config(const CacheConfig& cfg) {
 
 Cache::Cache(const CacheConfig& cfg) : cfg_(cfg), geom_(CacheGeometry::from_config(cfg)) {
   lines_.resize(std::size_t(geom_.num_sets) * cfg.ways);
+  mru_.assign(std::size_t(geom_.num_sets), 0);
 }
 
-Cache::AccessResult Cache::access(std::uint64_t addr, bool is_write) {
+Cache::AccessResult Cache::access_scan(std::uint64_t addr, bool is_write) {
   const std::uint64_t set = geom_.set_of(addr);
   const std::uint64_t tag = geom_.tag_of(addr);
   Line* base = &lines_[std::size_t(set) * cfg_.ways];
@@ -38,6 +39,7 @@ Cache::AccessResult Cache::access(std::uint64_t addr, bool is_write) {
       line.lru = ++use_clock_;
       line.dirty = line.dirty || is_write;
       ++stats_.hits;
+      mru_[set] = w;
       return {.hit = true, .writeback = false};
     }
     if (!line.valid) {
@@ -54,6 +56,7 @@ Cache::AccessResult Cache::access(std::uint64_t addr, bool is_write) {
   victim->tag = tag;
   victim->dirty = is_write;
   victim->lru = ++use_clock_;
+  mru_[set] = std::uint32_t(victim - base);
   return {.hit = false, .writeback = writeback};
 }
 
@@ -70,6 +73,17 @@ void Cache::flush() {
   for (Line& line : lines_) {
     if (line.valid && line.dirty) ++stats_.writebacks;
     line = {};
+  }
+  mru_.assign(mru_.size(), 0);
+}
+
+void Cache::rebuild_mru() noexcept {
+  for (std::uint64_t set = 0; set < geom_.num_sets; ++set) {
+    const Line* base = &lines_[std::size_t(set) * cfg_.ways];
+    std::uint32_t best = 0;
+    for (std::uint32_t w = 1; w < cfg_.ways; ++w)
+      if (base[w].valid && (!base[best].valid || base[w].lru > base[best].lru)) best = w;
+    mru_[set] = best;
   }
 }
 
@@ -100,6 +114,7 @@ void Cache::deserialize(util::ByteReader& r) {
   stats_.hits = r.get_u64();
   stats_.misses = r.get_u64();
   stats_.writebacks = r.get_u64();
+  rebuild_mru();
 }
 
 }  // namespace gemfi::mem

@@ -1,9 +1,21 @@
 #include "mem/memsys.hpp"
 
+#include <bit>
+
 namespace gemfi::mem {
 
 MemSystem::MemSystem(const MemSysConfig& cfg)
-    : cfg_(cfg), phys_(cfg.phys_bytes), l1i_(cfg.l1i), l1d_(cfg.l1d), l2_(cfg.l2) {}
+    : cfg_(cfg), phys_(cfg.phys_bytes), l1i_(cfg.l1i), l1d_(cfg.l1d), l2_(cfg.l2) {
+  fetch_line_shift_ = unsigned(std::countr_zero(std::uint64_t(cfg.l1i.line_bytes)));
+}
+
+void MemSystem::set_fastpath_enabled(bool enabled) noexcept {
+  fastpath_enabled_ = enabled;
+  fetch_line_ = ~0ull;
+  l1i_.set_mru_enabled(enabled);
+  l1d_.set_mru_enabled(enabled);
+  l2_.set_mru_enabled(enabled);
+}
 
 AccessError MemSystem::check(std::uint64_t addr, unsigned n, bool is_store) const noexcept {
   if (addr < cfg_.null_guard) return AccessError::NullPage;
@@ -37,7 +49,8 @@ const isa::Decoded* MemSystem::predecode_fill(std::uint64_t pc, std::uint64_t pa
   return pdc_.fill(pc, version, phys_.page(page));
 }
 
-std::uint32_t MemSystem::fetch_latency(std::uint64_t addr) {
+std::uint32_t MemSystem::fetch_latency_fill(std::uint64_t addr, std::uint64_t line) {
+  fetch_line_ = fastpath_enabled_ ? line : ~0ull;
   std::uint32_t cycles = cfg_.l1i.hit_latency;
   if (!l1i_.access(addr, false).hit) {
     cycles += cfg_.l2.hit_latency;
@@ -46,13 +59,9 @@ std::uint32_t MemSystem::fetch_latency(std::uint64_t addr) {
   return cycles;
 }
 
-std::uint32_t MemSystem::data_latency(std::uint64_t addr, bool is_write) {
-  std::uint32_t cycles = cfg_.l1d.hit_latency;
-  const auto l1 = l1d_.access(addr, is_write);
-  if (!l1.hit) {
-    cycles += cfg_.l2.hit_latency;
-    if (!l2_.access(addr, is_write).hit) cycles += cfg_.dram_latency;
-  }
+std::uint32_t MemSystem::data_latency_miss(std::uint64_t addr, bool is_write) {
+  std::uint32_t cycles = cfg_.l1d.hit_latency + cfg_.l2.hit_latency;
+  if (!l2_.access(addr, is_write).hit) cycles += cfg_.dram_latency;
   return cycles;
 }
 
@@ -60,6 +69,7 @@ void MemSystem::reset_stats() noexcept {
   l1i_.reset_stats();
   l1d_.reset_stats();
   l2_.reset_stats();
+  pdc_.reset_stats();
 }
 
 void MemSystem::serialize(util::ByteWriter& w) const {
@@ -84,6 +94,7 @@ void MemSystem::serialize_timing(util::ByteWriter& w) const {
 }
 
 void MemSystem::deserialize_timing(util::ByteReader& r) {
+  fetch_line_ = ~0ull;  // the restored L1I need not hold the buffered line
   l1i_.deserialize(r);
   l1d_.deserialize(r);
   l2_.deserialize(r);

@@ -55,8 +55,22 @@ class MemSystem {
   AccessError fetch(std::uint64_t addr, std::uint32_t& word) const noexcept;
 
   // --- Timing (cycles) for the timing/pipelined CPU models ---
+  /// Both are header-inline: the L1-hit cases resolve via the caches' MRU
+  /// fast path, and fetch_latency additionally short-circuits sequential
+  /// fetches within the current I-line through a one-entry line buffer
+  /// (fetch_line_). Latencies and cache stats are identical to the layered
+  /// miss path, which handles everything else out of line.
   std::uint32_t fetch_latency(std::uint64_t addr);
   std::uint32_t data_latency(std::uint64_t addr, bool is_write);
+  /// Miss/disabled tail of fetch_latency (also re-arms the line buffer).
+  std::uint32_t fetch_latency_fill(std::uint64_t addr, std::uint64_t line);
+  /// L1D-miss tail of data_latency.
+  std::uint32_t data_latency_miss(std::uint64_t addr, bool is_write);
+
+  /// Gate for the timing fast lane's memory-side pieces (MRU hit paths in
+  /// all three caches + the fetch line buffer). Off = `--no-fastpath`
+  /// baseline; simulated timing and stats are identical either way.
+  void set_fastpath_enabled(bool enabled) noexcept;
 
   // --- predecoded-instruction fast path ---
   /// Cached Decoded for the instruction word at `pc`, filling pc's page on
@@ -107,6 +121,13 @@ class MemSystem {
   Cache l2_;
   isa::PredecodeCache pdc_;
   bool predecode_enabled_ = true;
+  bool fastpath_enabled_ = true;
+  // One-entry fetch line buffer: the I-line (addr / l1i.line_bytes) of the
+  // most recent fetch. While fetches stay in this line, the L1I lookup is a
+  // single compare plus an MRU touch. ~0 = empty; invalidated on
+  // deserialize_timing and while the fast path is disabled.
+  std::uint64_t fetch_line_ = ~0ull;
+  unsigned fetch_line_shift_ = 6;  // log2(l1i.line_bytes), set by the ctor
   std::uint64_t code_base_ = 0;
   std::uint64_t code_end_ = 0;
 };
@@ -122,6 +143,18 @@ inline const isa::Decoded* MemSystem::predecode(std::uint64_t pc) noexcept {
   const std::uint64_t version = phys_.page_version(page);
   if (const isa::Decoded* d = pdc_.lookup(pc, version)) return d;
   return predecode_fill(pc, page, version);
+}
+
+inline std::uint32_t MemSystem::fetch_latency(std::uint64_t addr) {
+  const std::uint64_t line = addr >> fetch_line_shift_;
+  if (line == fetch_line_ && l1i_.touch_read(addr)) return cfg_.l1i.hit_latency;
+  return fetch_latency_fill(addr, line);
+}
+
+inline std::uint32_t MemSystem::data_latency(std::uint64_t addr, bool is_write) {
+  const auto l1 = l1d_.access(addr, is_write);
+  if (l1.hit) return cfg_.l1d.hit_latency;
+  return data_latency_miss(addr, is_write);
 }
 
 }  // namespace gemfi::mem

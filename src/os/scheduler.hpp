@@ -58,6 +58,17 @@ class Scheduler {
     return quantum_used_ >= quantum_ ? 1 : quantum_ - quantum_used_;
   }
 
+  /// Ticks until the scheduler itself needs the per-tick loop to run —
+  /// the scheduler's half of the simulation's "next external event at tick
+  /// T" query that bounds stall-cycle warps. Preemption here is
+  /// commit-indexed (the quantum counts committed instructions, not ticks,
+  /// and commits_before_preempt() already bounds commit batches), so no
+  /// quantum expiry can land inside a window in which nothing commits:
+  /// always ~0 (no tick-based event). Kept as an explicit API so a future
+  /// tick-based timer slots into the existing warp bound instead of
+  /// silently breaking it.
+  [[nodiscard]] std::uint64_t ticks_before_tick_event() const noexcept { return ~0ull; }
+
   /// Force the current quantum to end (YIELD pseudo-op).
   void yield() noexcept { quantum_used_ = quantum_; }
 

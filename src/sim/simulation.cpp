@@ -1,5 +1,6 @@
 #include "sim/simulation.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <string>
 
@@ -35,6 +36,7 @@ Simulation::Simulation(SimConfig cfg, const assembler::Program& program)
     : cfg_(cfg), program_(program), ms_(cfg.mem), sched_(cfg.quantum_insts) {
   program_.load_into(ms_);
   ms_.set_predecode_enabled(cfg_.predecode);
+  ms_.set_fastpath_enabled(cfg_.fastpath);
   next_stack_top_ = ms_.phys().size() & ~15ull;
   make_cpu(cfg_.cpu);
 }
@@ -152,15 +154,27 @@ RunResult Simulation::run(std::uint64_t watchdog_ticks, double wall_deadline_sec
 
   ensure_thread_scheduled();
 
-  // The predecode fast path: with the cache on, no FI hooks and no commit
-  // observer, the atomic model dispatches instructions in batches straight
-  // from the predecoded pages — no per-tick virtual call, CycleResult or
-  // scheduler bookkeeping. Batch boundaries land exactly where the per-tick
-  // loop would act (quantum expiry, watchdog budget, wall-clock sampling
-  // points, traps, pseudo-ops), so the two loops are bit-identical in every
+  // Batched dispatch: with no FI hooks and no commit observer, the simple
+  // models run instructions in batches — no per-tick virtual call,
+  // CycleResult or scheduler bookkeeping. Atomic batches need the predecode
+  // cache (PC-indexed dispatch); TimingSimple batches additionally fold each
+  // instruction's cache-latency stall into one accumulation and belong to
+  // the fastpath gate. Batch boundaries land exactly where the per-tick loop
+  // would act (quantum expiry, watchdog budget, wall-clock sampling points,
+  // traps, pseudo-ops), so the two loops are bit-identical in every
   // architectural and statistical observable; the lockstep suite checks it.
-  const bool fast_eligible = cfg_.predecode && !cfg_.fi_enabled && !commit_observer_ &&
-                             active_cpu_ == CpuKind::AtomicSimple;
+  const bool fast_atomic = cfg_.predecode && !cfg_.fi_enabled && !commit_observer_ &&
+                           active_cpu_ == CpuKind::AtomicSimple;
+  const bool fast_timing = cfg_.fastpath && !cfg_.fi_enabled && !commit_observer_ &&
+                           active_cpu_ == CpuKind::TimingSimple;
+
+  // Warp attempts cost a virtual stall_cycles() call per tick, which is pure
+  // overhead on commit-dense code that never stalls. A stall window can only
+  // be entered through a commitless cycle, so the attempt is skipped right
+  // after a committing cycle (and right after a warp, whose next tick is by
+  // construction the stall-ending event). At worst this delays a warp by one
+  // tick; it never changes what warp() does, so tick-exactness is unaffected.
+  bool try_warp = true;
 
   while (!sched_.all_finished()) {
     if (tick_ >= deadline) {
@@ -174,10 +188,12 @@ RunResult Simulation::run(std::uint64_t watchdog_ticks, double wall_deadline_sec
       break;
     }
 
-    if (fast_eligible && !drain_for_switch_) {
+    if ((fast_atomic || fast_timing) && !drain_for_switch_) {
       std::uint64_t n = deadline - tick_;
       const std::uint64_t pre = sched_.commits_before_preempt();
-      if (pre < n) n = pre;
+      // Atomic retires one instruction per tick, so the commit bound is a
+      // tick bound too; the timing batch takes it separately.
+      if (fast_atomic && pre < n) n = pre;
       if (wall_limited) {
         // Stop on the next 4096-tick boundary so the wall clock is sampled
         // at the same cadence as the per-tick loop.
@@ -188,7 +204,8 @@ RunResult Simulation::run(std::uint64_t watchdog_ticks, double wall_deadline_sec
       }
       auto& scpu = static_cast<cpu::SimpleCpu&>(*cpu_);
       cpu::CommitEvent ev;
-      const cpu::BatchResult br = scpu.run_atomic_batch(n, ev);
+      const cpu::BatchResult br =
+          fast_atomic ? scpu.run_atomic_batch(n, ev) : scpu.run_timing_batch(n, pre, ev);
       tick_ += br.ticks;
       if (br.ticks != 0 || br.stopped) {
         bool need_switch = false;
@@ -234,6 +251,41 @@ RunResult Simulation::run(std::uint64_t watchdog_ticks, double wall_deadline_sec
       }
       // Batch could not engage (e.g. fetch gated); fall through to cycle().
     }
+
+    // Stall-cycle warping: when the CPU guarantees its next `stall` cycles
+    // are pure stall-counter decrements, advance the clock in one step
+    // instead of that many no-op cycle() calls — unless an external event
+    // lands in the window: the watchdog deadline, a wall-clock sampling
+    // boundary, a due register/PC fault (sticky tick-relative behaviors
+    // re-apply every tick, so their due tick caps the window), or a
+    // scheduler tick event (none today — preemption is commit-indexed).
+    // Works under FI and commit observers: neither can fire on a commitless
+    // pure-stall tick.
+    if (cfg_.fastpath && try_warp) {
+      if (const std::uint64_t stall = cpu_->stall_cycles(); stall != 0) {
+        std::uint64_t k = std::min(stall, deadline - tick_);
+        if (wall_limited) {
+          const std::uint64_t chunk = 0x1000 - (tick_ & 0xfffull);
+          if (chunk < k) k = chunk;
+        }
+        if (cfg_.fi_enabled && fm_.has_direct_faults()) {
+          // Warped ticks skip set_now + apply_direct_faults; stop short of
+          // the first tick at which an application could fire.
+          const std::uint64_t room = fm_.next_direct_fault_tick(tick_ + 1) - (tick_ + 1);
+          if (room < k) k = room;
+        }
+        if (const std::uint64_t room = sched_.ticks_before_tick_event(); room < k) k = room;
+        if (k != 0) {
+          cpu_->warp(k);
+          tick_ += k;
+          warped_ticks_ += k;
+          // A full warp lands on the stall-ending event; a clamped one
+          // leaves more warpable window.
+          try_warp = k != stall;
+          continue;
+        }
+      }
+    }
     ++tick_;
 
     if (cfg_.fi_enabled) {
@@ -246,6 +298,7 @@ RunResult Simulation::run(std::uint64_t watchdog_ticks, double wall_deadline_sec
     }
 
     const cpu::CycleResult cr = cpu_->cycle();
+    try_warp = !cr.commit;
     bool need_switch = false;
 
     if (cr.commit) {
@@ -318,6 +371,7 @@ std::string Simulation::stats_report() const {
   };
 
   put("sim.ticks", tick_);
+  put("sim.warped_ticks", warped_ticks_);
   put("sim.insts", total_committed());
   std::snprintf(line, sizeof line, "%-40s %20s\n", "cpu.model",
                 cpu_kind_name(active_cpu_));

@@ -43,6 +43,12 @@ struct SimConfig {
   bool fi_enabled = true;                // false = "unmodified gem5" baseline
   bool switch_to_atomic_after_fault = false;
   bool predecode = true;                 // page-granular predecoded-inst cache
+  // Timing-model fast lane: inline MRU cache hits + the fetch line buffer,
+  // stall-cycle warping, and the batched TimingSimple dispatch loop. Purely
+  // a host-side optimization — simulated ticks, outcomes and statistics are
+  // bit-identical either way (the lockstep suite proves it); false is the
+  // `--no-fastpath` A/B baseline.
+  bool fastpath = true;
 };
 
 enum class ExitReason : std::uint8_t {
@@ -163,6 +169,7 @@ class Simulation {
   CheckpointHandler checkpoint_handler_;
   CommitObserver commit_observer_;
   std::uint64_t tick_ = 0;
+  std::uint64_t warped_ticks_ = 0;  // ticks advanced by stall warps (fast lane)
   std::uint64_t next_stack_top_ = 0;
   bool drain_for_switch_ = false;
   bool mode_switch_done_ = false;

@@ -1,4 +1,4 @@
-// Lockstep differential tests for the predecode fast path: every guest app
+// Lockstep differential tests for the host-side fast paths: every guest app
 // on every CPU model, with the predecoded-instruction cache on and off, must
 // produce bit-identical commit traces — a running digest over the full
 // architectural state (PC + both register files) folded at every commit,
@@ -7,9 +7,19 @@
 // that corrupts a word whose page is already predecoded (the bypass path),
 // and self-modifying code that rewrites an already-cached instruction
 // (the page-version invalidation path).
+//
+// The second half proves the timing-model fast lane (MRU cache hits, the
+// fetch line buffer, stall-cycle warping and the batched TimingSimple loop)
+// tick-exact against the `--no-fastpath` per-tick reference: identical exit
+// reason, tick count, commit count, guest output, memory image AND the
+// L1I/L1D/L2 hit/miss/writeback counters — including under stage faults,
+// direct register/PC faults due inside a warped window, preemption, and a
+// watchdog that expires mid-stall.
 #include <gtest/gtest.h>
 
+#include <array>
 #include <string>
+#include <vector>
 
 #include "apps/app.hpp"
 #include "assembler/assembler.hpp"
@@ -39,6 +49,14 @@ struct Trace {
   sim::ExitReason reason = sim::ExitReason::AllThreadsExited;
   cpu::TrapKind trap = cpu::TrapKind::None;
 
+  // Timing-visible state, compared only by expect_tick_exact(): the timing
+  // fast lane must preserve these bit-for-bit, but they legitimately differ
+  // across CPU models (so they stay out of operator==, which also backs the
+  // cross-model assertions).
+  std::uint64_t ticks = 0;
+  std::array<std::uint64_t, 9> cache{};  // hits/misses/writebacks × L1I,L1D,L2
+  std::vector<std::string> fi_log;       // injection log; entries embed ticks
+
   // Architecturally observable state only: `bypasses` is a host-side cache
   // counter that legitimately differs between predecode on and off.
   bool operator==(const Trace& o) const {
@@ -47,9 +65,32 @@ struct Trace {
   }
 };
 
+/// The fast lane's full contract: the architectural trace of operator==,
+/// plus the simulated tick count, every cache counter, and the injection
+/// log (whose entries embed the tick at which each fault applied).
+void expect_tick_exact(const Trace& fast, const Trace& slow, const std::string& label) {
+  EXPECT_EQ(fast, slow) << label << ": architectural trace diverged";
+  EXPECT_EQ(fast.ticks, slow.ticks) << label << ": tick count diverged";
+  EXPECT_EQ(fast.cache, slow.cache) << label << ": cache counters diverged";
+  EXPECT_EQ(fast.fi_log, slow.fi_log) << label << ": injection log diverged";
+  EXPECT_EQ(fast.bypasses, slow.bypasses) << label;
+}
+
+/// A stall-heavy memory configuration: tiny caches so the timing models
+/// spend most ticks inside multi-cycle miss stalls — exactly the windows
+/// the fast lane warps over or batches through.
+void use_small_caches(mem::MemSysConfig& mem) {
+  mem.l1i = {.size_bytes = 1024, .line_bytes = 64, .ways = 2, .hit_latency = 1, .name = "l1i"};
+  mem.l1d = {.size_bytes = 1024, .line_bytes = 64, .ways = 2, .hit_latency = 2, .name = "l1d"};
+  mem.l2 = {.size_bytes = 4096, .line_bytes = 64, .ways = 4, .hit_latency = 10, .name = "l2"};
+}
+
 struct RunSpec {
   sim::CpuKind cpu = sim::CpuKind::AtomicSimple;
   bool predecode = true;
+  bool fastpath = true;
+  bool small_caches = false;
+  std::uint64_t watchdog = 500'000'000ull;
   std::vector<fi::Fault> faults;
   sim::Simulation::CheckpointHandler on_checkpoint;  // may be null
 };
@@ -58,6 +99,8 @@ Trace run_traced(const assembler::Program& prog, const RunSpec& spec) {
   sim::SimConfig cfg;
   cfg.cpu = spec.cpu;
   cfg.predecode = spec.predecode;
+  cfg.fastpath = spec.fastpath;
+  if (spec.small_caches) use_small_caches(cfg.mem);
   sim::Simulation s(cfg, prog);
   s.spawn_main_thread();
   if (spec.on_checkpoint) s.set_checkpoint_handler(spec.on_checkpoint);
@@ -74,12 +117,21 @@ Trace run_traced(const assembler::Program& prog, const RunSpec& spec) {
     t.state_hash = h;
   });
 
-  const sim::RunResult rr = s.run(500'000'000ull);
+  const sim::RunResult rr = s.run(spec.watchdog);
   t.mem_crc = util::crc32(s.memsys().phys().raw());
   t.bypasses = s.memsys().predecode_stats().bypasses;
   t.output = s.output(0);
   t.reason = rr.reason;
   t.trap = rr.trap.kind;
+  t.ticks = rr.ticks;
+  const mem::CacheStats* cs[3] = {&s.memsys().l1i_stats(), &s.memsys().l1d_stats(),
+                                  &s.memsys().l2_stats()};
+  for (std::size_t i = 0; i < 3; ++i) {
+    t.cache[i * 3 + 0] = cs[i]->hits;
+    t.cache[i * 3 + 1] = cs[i]->misses;
+    t.cache[i * 3 + 2] = cs[i]->writebacks;
+  }
+  t.fi_log = s.fault_manager().injection_log();
   return t;
 }
 
@@ -223,33 +275,51 @@ struct FastRun {
   sim::RunResult rr;
   std::vector<std::string> outputs;  // one per thread
   std::uint32_t mem_crc = 0;
-  std::uint64_t hits = 0;  // predecode-cache hits (0 when disabled)
+  std::uint64_t hits = 0;                // predecode-cache hits (0 when disabled)
+  std::array<std::uint64_t, 9> cache{};  // hits/misses/writebacks × L1I,L1D,L2
 };
 
-FastRun run_plain_atomic(const assembler::Program& prog, bool predecode,
-                         std::uint64_t quantum,
-                         const std::vector<std::uint64_t>& thread_args) {
+struct PlainSpec {
+  sim::CpuKind cpu = sim::CpuKind::AtomicSimple;
+  bool predecode = true;
+  bool fastpath = true;
+  bool small_caches = false;
+  std::uint64_t quantum = 50000;
+  std::uint64_t watchdog = 500'000'000ull;
+};
+
+FastRun run_plain(const assembler::Program& prog, const PlainSpec& spec,
+                  const std::vector<std::uint64_t>& thread_args) {
   sim::SimConfig cfg;
-  cfg.cpu = sim::CpuKind::AtomicSimple;
-  cfg.fi_enabled = false;  // no stage hooks: the fast path may engage
-  cfg.predecode = predecode;
-  cfg.quantum_insts = quantum;
+  cfg.cpu = spec.cpu;
+  cfg.fi_enabled = false;  // no stage hooks, no observer: batches may engage
+  cfg.predecode = spec.predecode;
+  cfg.fastpath = spec.fastpath;
+  cfg.quantum_insts = spec.quantum;
+  if (spec.small_caches) use_small_caches(cfg.mem);
   sim::Simulation s(cfg, prog);
   for (const std::uint64_t arg : thread_args) s.spawn_thread(prog.entry, {arg});
   FastRun fr;
-  fr.rr = s.run(500'000'000ull);
+  fr.rr = s.run(spec.watchdog);
   for (std::size_t t = 0; t < thread_args.size(); ++t)
     fr.outputs.push_back(s.output(t));
   fr.mem_crc = util::crc32(s.memsys().phys().raw());
   fr.hits = s.memsys().predecode_stats().hits;
+  const mem::CacheStats* cs[3] = {&s.memsys().l1i_stats(), &s.memsys().l1d_stats(),
+                                  &s.memsys().l2_stats()};
+  for (std::size_t i = 0; i < 3; ++i) {
+    fr.cache[i * 3 + 0] = cs[i]->hits;
+    fr.cache[i * 3 + 1] = cs[i]->misses;
+    fr.cache[i * 3 + 2] = cs[i]->writebacks;
+  }
   return fr;
 }
 
 TEST(LockstepFastDispatch, MatchesPerTickLoopOnAllApps) {
   for (const std::string& name : apps::app_names()) {
     const apps::App app = apps::build_app(name);
-    const FastRun fast = run_plain_atomic(app.program, true, 50000, {0});
-    const FastRun slow = run_plain_atomic(app.program, false, 50000, {0});
+    const FastRun fast = run_plain(app.program, {.predecode = true}, {0});
+    const FastRun slow = run_plain(app.program, {.predecode = false}, {0});
     ASSERT_EQ(fast.rr.reason, sim::ExitReason::AllThreadsExited) << name;
     EXPECT_EQ(fast.rr.reason, slow.rr.reason) << name;
     EXPECT_EQ(fast.rr.ticks, slow.rr.ticks) << name;
@@ -290,8 +360,8 @@ assembler::Program shared_counter_program() {
 TEST(LockstepFastDispatch, PreemptsOnTheExactSameInstruction) {
   const assembler::Program prog = shared_counter_program();
   for (const std::uint64_t quantum : {7ull, 50ull, 333ull}) {
-    const FastRun fast = run_plain_atomic(prog, true, quantum, {1, 2, 3});
-    const FastRun slow = run_plain_atomic(prog, false, quantum, {1, 2, 3});
+    const FastRun fast = run_plain(prog, {.predecode = true, .quantum = quantum}, {1, 2, 3});
+    const FastRun slow = run_plain(prog, {.predecode = false, .quantum = quantum}, {1, 2, 3});
     ASSERT_EQ(fast.rr.reason, sim::ExitReason::AllThreadsExited) << "q=" << quantum;
     EXPECT_EQ(fast.rr.ticks, slow.rr.ticks) << "q=" << quantum;
     EXPECT_EQ(fast.rr.committed, slow.rr.committed) << "q=" << quantum;
@@ -326,6 +396,214 @@ TEST(LockstepFastDispatch, WatchdogFiresAtTheSameTick) {
     EXPECT_EQ(rr.reason, sim::ExitReason::Watchdog) << predecode;
     EXPECT_EQ(rr.ticks, 12345u) << predecode;
     EXPECT_EQ(rr.committed, 12345u) << predecode;
+  }
+}
+
+// ---------------- the timing-model fast lane, fast vs slow ----------------
+//
+// cfg.fastpath gates the MRU cache hit path + fetch line buffer, stall-cycle
+// warping, and the batched TimingSimple dispatch loop; --no-fastpath reverts
+// all of them to the per-tick reference. run_traced() installs a commit
+// observer, so TimingSimple exercises the warp (not the batch) there; the
+// batch is covered by the observer-free run_plain() tests further down.
+
+constexpr sim::CpuKind kTimingModels[] = {sim::CpuKind::TimingSimple, sim::CpuKind::Pipelined};
+
+std::string lane_label(const std::string& what, sim::CpuKind cpu, bool small) {
+  return what + " on " + sim::cpu_kind_name(cpu) + (small ? " (small caches)" : "");
+}
+
+TEST(LockstepFastLane, AppsTickExactOnTimingModels) {
+  for (const std::string& name : apps::app_names()) {
+    const apps::App app = apps::build_app(name);
+    for (const sim::CpuKind cpu : kTimingModels) {
+      for (const bool small : {false, true}) {
+        RunSpec spec;
+        spec.cpu = cpu;
+        spec.small_caches = small;
+        const Trace fast = run_traced(app.program, spec);
+        spec.fastpath = false;
+        const Trace slow = run_traced(app.program, spec);
+        ASSERT_EQ(fast.reason, sim::ExitReason::AllThreadsExited)
+            << lane_label(name, cpu, small);
+        expect_tick_exact(fast, slow, lane_label(name, cpu, small));
+      }
+    }
+  }
+}
+
+TEST(LockstepFastLane, StageAndMemFaultsTickExact) {
+  // Fetch- and memory-stage faults fire from the instruction flow, which the
+  // fast lane never skips; the corrupted run must stay tick-exact even when
+  // the fault changes control flow, latencies, or ends in a crash. The
+  // LoadStore fault targets jacobi — pi's kernel is pure arithmetic and
+  // would never present a memory transaction to corrupt.
+  struct Case {
+    const char* app;
+    const char* line;
+  };
+  const Case cases[] = {
+      {"pi", "FetchStageInjectedFault Inst:50 Flip:3 Threadid:0 system.cpu0 occ:1"},
+      {"pi", "FetchStageInjectedFault Inst:400 Flip:26 Threadid:0 system.cpu0 occ:2"},
+      {"jacobi", "LoadStoreInjectedFault Inst:120 Flip:7 Threadid:0 system.cpu0 occ:1"},
+      {"pi", "ExecutionStageInjectedFault Inst:300 Xor:0xff Threadid:0 system.cpu0 occ:1"},
+  };
+  for (const auto& [app_name, line] : cases) {
+    const apps::App app = apps::build_app(app_name);
+    const fi::Fault f = fi::parse_fault(line);
+    for (const sim::CpuKind cpu : kTimingModels) {
+      RunSpec spec;
+      spec.cpu = cpu;
+      spec.small_caches = true;
+      spec.watchdog = 50'000'000ull;
+      spec.faults = {f};
+      const Trace fast = run_traced(app.program, spec);
+      spec.fastpath = false;
+      const Trace slow = run_traced(app.program, spec);
+      expect_tick_exact(fast, slow, lane_label(line, cpu, true));
+      EXPECT_FALSE(fast.fi_log.empty()) << lane_label(line, cpu, true) << ": fault never applied";
+    }
+  }
+}
+
+TEST(LockstepFastLane, DirectFaultsBoundWarpsTickExact) {
+  // Register/PC faults apply at tick boundaries — including ticks in the
+  // middle of a stall the fast lane would warp over. The warp horizon must
+  // stop exactly at each due tick: the injection log (whose entries embed
+  // the application tick) has to match the per-tick loop line for line.
+  // Tick:.. Imm is the sticky case — it re-applies on consecutive ticks
+  // until its occurrence budget drains, pinning the horizon tick by tick.
+  const apps::App app = apps::build_app("pi");
+  const char* lines[] = {
+      "RegisterInjectedFault Inst:200 Flip:21 Threadid:0 system.cpu0 occ:1 int 9",
+      "RegisterInjectedFault Tick:900 Flip:13 Threadid:0 system.cpu0 occ:1 int 3",
+      "RegisterInjectedFault Tick:1234 Imm:0xfeed Threadid:0 system.cpu0 occ:3 int 5",
+      "PCInjectedFault Inst:400 Flip:4 Threadid:0 system.cpu0 occ:1",
+  };
+  for (const char* line : lines) {
+    const fi::Fault f = fi::parse_fault(line);
+    for (const sim::CpuKind cpu : kTimingModels) {
+      RunSpec spec;
+      spec.cpu = cpu;
+      spec.small_caches = true;
+      // Tight enough that a fault-induced infinite loop doesn't dominate the
+      // suite; every injection lands within the first few thousand ticks.
+      spec.watchdog = 8'000'000ull;
+      spec.faults = {f};
+      const Trace fast = run_traced(app.program, spec);
+      spec.fastpath = false;
+      const Trace slow = run_traced(app.program, spec);
+      expect_tick_exact(fast, slow, lane_label(line, cpu, true));
+      EXPECT_FALSE(fast.fi_log.empty()) << lane_label(line, cpu, true) << ": fault never applied";
+    }
+  }
+}
+
+/// An endless 4 KiB-stride load walk starting at 2 MiB (mapped, far from
+/// both the image and the stacks): under the small-cache config every load
+/// misses to DRAM, so the run is almost entirely multi-cycle stall windows.
+assembler::Program dram_stride_program() {
+  Assembler as;
+  const Label entry = as.here("main");
+  as.li(reg::s2, 0x200000);
+  as.li(reg::t1, 4096);
+  const Label loop = as.here("loop");
+  as.ldq(reg::t0, 0, reg::s2);
+  as.addq(reg::s2, reg::t1, reg::s2);
+  as.br(loop);
+  return as.finalize(entry);
+}
+
+TEST(LockstepFastLane, WatchdogExpiresInsideWarpedStallTickExact) {
+  // Sweep 16 consecutive watchdog budgets: with ~72-cycle DRAM stalls most
+  // land strictly inside a stall the fast lane is warping (or batching)
+  // through. The run must still stop at exactly the budgeted tick.
+  const assembler::Program prog = dram_stride_program();
+  for (const sim::CpuKind cpu : kTimingModels) {
+    for (std::uint64_t wd = 600; wd < 616; ++wd) {
+      RunSpec spec;
+      spec.cpu = cpu;
+      spec.small_caches = true;
+      spec.watchdog = wd;
+      const Trace fast = run_traced(prog, spec);
+      spec.fastpath = false;
+      const Trace slow = run_traced(prog, spec);
+      ASSERT_EQ(fast.reason, sim::ExitReason::Watchdog) << lane_label("stride", cpu, true);
+      EXPECT_EQ(fast.ticks, wd) << lane_label("stride", cpu, true);
+      expect_tick_exact(fast, slow, lane_label("stride wd=" + std::to_string(wd), cpu, true));
+    }
+  }
+}
+
+// ---------------- the batched TimingSimple loop (observer-free) -----------
+
+TEST(LockstepTimingBatch, MatchesPerTickLoopOnAllApps) {
+  for (const std::string& name : apps::app_names()) {
+    const apps::App app = apps::build_app(name);
+    for (const bool small : {false, true}) {
+      PlainSpec base;
+      base.cpu = sim::CpuKind::TimingSimple;
+      base.small_caches = small;
+      PlainSpec off = base;
+      off.fastpath = false;
+      const FastRun fast = run_plain(app.program, base, {0});
+      const FastRun slow = run_plain(app.program, off, {0});
+      const std::string label = lane_label(name, sim::CpuKind::TimingSimple, small);
+      ASSERT_EQ(fast.rr.reason, sim::ExitReason::AllThreadsExited) << label;
+      EXPECT_EQ(fast.rr.reason, slow.rr.reason) << label;
+      EXPECT_EQ(fast.rr.ticks, slow.rr.ticks) << label;
+      EXPECT_EQ(fast.rr.committed, slow.rr.committed) << label;
+      EXPECT_EQ(fast.outputs, slow.outputs) << label;
+      EXPECT_EQ(fast.mem_crc, slow.mem_crc) << label;
+      EXPECT_EQ(fast.cache, slow.cache) << label << ": cache counters diverged";
+    }
+  }
+}
+
+TEST(LockstepTimingBatch, PreemptsOnTheExactSameInstruction) {
+  // The timing batch stops at the commit bound the scheduler hands it, so a
+  // context switch lands on the same instruction — and, because latency
+  // accrues with the instruction that incurs it, at the same tick — as the
+  // per-tick loop. The shared counter makes any drift architectural.
+  const assembler::Program prog = shared_counter_program();
+  for (const std::uint64_t quantum : {7ull, 50ull, 333ull}) {
+    PlainSpec base;
+    base.cpu = sim::CpuKind::TimingSimple;
+    base.small_caches = true;
+    base.quantum = quantum;
+    PlainSpec off = base;
+    off.fastpath = false;
+    const FastRun fast = run_plain(prog, base, {1, 2, 3});
+    const FastRun slow = run_plain(prog, off, {1, 2, 3});
+    ASSERT_EQ(fast.rr.reason, sim::ExitReason::AllThreadsExited) << "q=" << quantum;
+    EXPECT_EQ(fast.rr.ticks, slow.rr.ticks) << "q=" << quantum;
+    EXPECT_EQ(fast.rr.committed, slow.rr.committed) << "q=" << quantum;
+    EXPECT_EQ(fast.outputs, slow.outputs) << "q=" << quantum;
+    EXPECT_EQ(fast.mem_crc, slow.mem_crc) << "q=" << quantum;
+    EXPECT_EQ(fast.cache, slow.cache) << "q=" << quantum;
+  }
+}
+
+TEST(LockstepTimingBatch, WatchdogExpiresMidStall) {
+  // A batch boundary can land while an instruction's latency is still
+  // draining; the batch must park the residue (busy_ + the pending commit)
+  // exactly as the per-tick loop would, with the commit not yet counted.
+  const assembler::Program prog = dram_stride_program();
+  for (std::uint64_t wd = 600; wd < 616; ++wd) {
+    PlainSpec base;
+    base.cpu = sim::CpuKind::TimingSimple;
+    base.small_caches = true;
+    base.watchdog = wd;
+    PlainSpec off = base;
+    off.fastpath = false;
+    const FastRun fast = run_plain(prog, base, {0});
+    const FastRun slow = run_plain(prog, off, {0});
+    ASSERT_EQ(fast.rr.reason, sim::ExitReason::Watchdog) << "wd=" << wd;
+    EXPECT_EQ(fast.rr.reason, slow.rr.reason) << "wd=" << wd;
+    EXPECT_EQ(fast.rr.ticks, wd) << "wd=" << wd;
+    EXPECT_EQ(fast.rr.ticks, slow.rr.ticks) << "wd=" << wd;
+    EXPECT_EQ(fast.rr.committed, slow.rr.committed) << "wd=" << wd;
+    EXPECT_EQ(fast.cache, slow.cache) << "wd=" << wd;
   }
 }
 

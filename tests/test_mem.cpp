@@ -95,6 +95,29 @@ TEST(Cache, GeometryValidation) {
   EXPECT_NO_THROW(Cache({.size_bytes = 4096, .line_bytes = 64, .ways = 4}));
 }
 
+TEST(Cache, GeometryFromConfigRejections) {
+  // Every malformed-shape class from_config() guards, checked directly on
+  // the geometry math (no line array allocation involved).
+  // Non-power-of-two line size.
+  EXPECT_THROW(CacheGeometry::from_config({.size_bytes = 4096, .line_bytes = 48, .ways = 4}),
+               std::invalid_argument);
+  // Zero line size and zero ways.
+  EXPECT_THROW(CacheGeometry::from_config({.size_bytes = 4096, .line_bytes = 0, .ways = 4}),
+               std::invalid_argument);
+  EXPECT_THROW(CacheGeometry::from_config({.size_bytes = 4096, .line_bytes = 64, .ways = 0}),
+               std::invalid_argument);
+  // Size not divisible by line_bytes * ways.
+  EXPECT_THROW(CacheGeometry::from_config({.size_bytes = 1000, .line_bytes = 64, .ways = 2}),
+               std::invalid_argument);
+  // Divisible, but the resulting set count (3) is not a power of two.
+  EXPECT_THROW(CacheGeometry::from_config({.size_bytes = 64 * 2 * 3, .line_bytes = 64, .ways = 2}),
+               std::invalid_argument);
+  // Degenerate-but-legal single-set geometry.
+  const auto g = CacheGeometry::from_config({.size_bytes = 64 * 2, .line_bytes = 64, .ways = 2});
+  EXPECT_EQ(g.num_sets, 1u);
+  EXPECT_EQ(g.set_shift, 0u);
+}
+
 TEST(Cache, HitsMissesAndLineGranularity) {
   Cache c({.size_bytes = 4096, .line_bytes = 64, .ways = 2});
   EXPECT_FALSE(c.access(0x1000, false).hit);
@@ -148,6 +171,78 @@ TEST(Cache, SerializationRoundTrip) {
   }
 }
 
+TEST(Cache, SerializationRebuildsMruState) {
+  // The per-set MRU index is derived state — never serialized, rebuilt from
+  // the lru fields on deserialize. Continuing one random access sequence on
+  // the original and the restored cache must produce identical results
+  // access by access: any MRU divergence would surface as a differing
+  // hit/writeback outcome or counter.
+  Cache c({.size_bytes = 4096, .line_bytes = 64, .ways = 2});
+  util::Rng warm(7);
+  for (int i = 0; i < 2000; ++i) c.access(warm.below(1 << 15) & ~7ull, warm.chance(0.3));
+
+  util::ByteWriter w;
+  c.serialize(w);
+  Cache c2({.size_bytes = 4096, .line_bytes = 64, .ways = 2});
+  util::ByteReader r(w.bytes());
+  c2.deserialize(r);
+
+  util::Rng cont(11);
+  for (int i = 0; i < 4000; ++i) {
+    const std::uint64_t addr = cont.below(1 << 15) & ~7ull;
+    const bool write = cont.chance(0.3);
+    const auto a = c.access(addr, write);
+    const auto b = c2.access(addr, write);
+    ASSERT_EQ(a.hit, b.hit) << "access " << i;
+    ASSERT_EQ(a.writeback, b.writeback) << "access " << i;
+  }
+  EXPECT_EQ(c.stats().hits, c2.stats().hits);
+  EXPECT_EQ(c.stats().misses, c2.stats().misses);
+  EXPECT_EQ(c.stats().writebacks, c2.stats().writebacks);
+}
+
+TEST(Cache, MruFastPathIsObservationallyIdentical) {
+  // Differential fuzz of the inline MRU hit path against the ways-wide scan
+  // (`--no-fastpath`): same sequence, same observables, every access.
+  Cache fast({.size_bytes = 2048, .line_bytes = 64, .ways = 4});
+  Cache slow({.size_bytes = 2048, .line_bytes = 64, .ways = 4});
+  slow.set_mru_enabled(false);
+  util::Rng rng(13);
+  for (int i = 0; i < 20000; ++i) {
+    // Small address range so sets see heavy reuse (MRU hits) and conflict
+    // evictions in one run.
+    const std::uint64_t addr = rng.below(1 << 13) & ~7ull;
+    const bool write = rng.chance(0.4);
+    const auto a = fast.access(addr, write);
+    const auto b = slow.access(addr, write);
+    ASSERT_EQ(a.hit, b.hit) << "access " << i;
+    ASSERT_EQ(a.writeback, b.writeback) << "access " << i;
+  }
+  EXPECT_EQ(fast.stats().hits, slow.stats().hits);
+  EXPECT_EQ(fast.stats().misses, slow.stats().misses);
+  EXPECT_EQ(fast.stats().writebacks, slow.stats().writebacks);
+  for (std::uint64_t addr = 0; addr < (1 << 13); addr += 64)
+    ASSERT_EQ(fast.probe(addr), slow.probe(addr)) << addr;
+}
+
+TEST(Cache, TouchReadOnlyHitsTheMruWay) {
+  Cache c({.size_bytes = 4096, .line_bytes = 64, .ways = 2});
+  const std::uint64_t setstride = 32 * 64;
+  EXPECT_FALSE(c.touch_read(0x1000));  // cold: no state change, no counters
+  EXPECT_EQ(c.stats().accesses(), 0u);
+
+  c.access(0x1000, false);
+  EXPECT_TRUE(c.touch_read(0x1000));
+  EXPECT_TRUE(c.touch_read(0x1038));  // same line
+  EXPECT_EQ(c.stats().hits, 2u);
+
+  // Another line in the same set takes over the MRU way; the old line is
+  // still resident but touch_read must decline it (no scan fallback).
+  c.access(0x1000 + setstride, false);
+  EXPECT_FALSE(c.touch_read(0x1000));
+  EXPECT_TRUE(c.probe(0x1000));
+}
+
 TEST(MemSystem, PolicyChecks) {
   MemSystem ms;
   ms.set_code_region(0x2000, 0x3000);
@@ -194,6 +289,54 @@ TEST(MemSystem, StatsAccumulateAndReset) {
   EXPECT_GT(ms.l2_stats().misses, 0u);
   ms.reset_stats();
   EXPECT_EQ(ms.l1d_stats().accesses(), 0u);
+}
+
+TEST(MemSystem, ResetStatsAlsoClearsPredecodeCounters) {
+  // Regression: reset_stats() zeroed the cache counters but left the
+  // predecode-cache counters running, skewing post-reset stats reports.
+  MemSystem ms;
+  ASSERT_EQ(ms.write(0x8000, 4, 0x43ff0401u), AccessError::None);  // a valid word
+  ASSERT_NE(ms.predecode(0x8000), nullptr);                        // page fill
+  ASSERT_NE(ms.predecode(0x8000), nullptr);                        // hit
+  EXPECT_GT(ms.predecode_stats().fills, 0u);
+  EXPECT_GT(ms.predecode_stats().hits, 0u);
+  ms.reset_stats();
+  EXPECT_EQ(ms.predecode_stats().fills, 0u);
+  EXPECT_EQ(ms.predecode_stats().hits, 0u);
+  EXPECT_EQ(ms.predecode_stats().stale, 0u);
+  EXPECT_EQ(ms.predecode_stats().bypasses, 0u);
+}
+
+TEST(MemSystem, FetchLineBufferIsLatencyExact) {
+  // The one-entry fetch line buffer (fastpath) must charge exactly the
+  // latencies of the layered lookup, hit the same cache levels, and count
+  // the same stats — across sequential runs, line crossings, evictions and
+  // interleaved data traffic sharing the L2.
+  MemSysConfig cfg;
+  MemSystem fast(cfg);
+  MemSystem slow(cfg);
+  slow.set_fastpath_enabled(false);
+  util::Rng rng(17);
+  std::uint64_t pc = 0x2000;
+  for (int i = 0; i < 50000; ++i) {
+    if (rng.chance(0.1)) {
+      // Jump: sometimes far (new line/page), sometimes within the line.
+      pc = rng.chance(0.5) ? (0x2000 + (rng.below(1 << 18) & ~3ull)) : (pc & ~63ull);
+    }
+    ASSERT_EQ(fast.fetch_latency(pc), slow.fetch_latency(pc)) << "fetch " << i;
+    if (rng.chance(0.2)) {
+      const std::uint64_t addr = 0x40000 + (rng.below(1 << 18) & ~7ull);
+      const bool write = rng.chance(0.3);
+      ASSERT_EQ(fast.data_latency(addr, write), slow.data_latency(addr, write)) << "data " << i;
+    }
+    pc += 4;
+  }
+  EXPECT_EQ(fast.l1i_stats().hits, slow.l1i_stats().hits);
+  EXPECT_EQ(fast.l1i_stats().misses, slow.l1i_stats().misses);
+  EXPECT_EQ(fast.l1d_stats().hits, slow.l1d_stats().hits);
+  EXPECT_EQ(fast.l2_stats().hits, slow.l2_stats().hits);
+  EXPECT_EQ(fast.l2_stats().misses, slow.l2_stats().misses);
+  EXPECT_EQ(fast.l2_stats().writebacks, slow.l2_stats().writebacks);
 }
 
 TEST(MemSystem, SerializationPreservesMemoryAndCaches) {
