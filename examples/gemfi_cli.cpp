@@ -26,6 +26,13 @@
 //             [--ckpt-format=v1|v2]    checkpoint encoding (default v2)
 //             [--no-ckpt-compress]     v2: store pages raw (no RLE)
 //             [--no-shared-baseline]   full blob restore per experiment
+//             [--now-local=<n>]        run the campaign through the NoW
+//                                      dispatch service with n forked
+//                                      loopback worker processes (instead of
+//                                      in-process threads); see also
+//                                      gemfi_now_master / gemfi_now_worker
+//                                      for campaigns spanning real hosts
+//             [--slots=<k>]            experiment slots per --now-local worker
 //   gemfi_cli --app=<name> --replay=<index> --seed=<u64>
 //             re-run one campaign experiment in isolation from its JSONL
 //             record's (seed, index); prints the record to stdout.
@@ -44,6 +51,7 @@
 #include <string>
 
 #include "assembler/text_asm.hpp"
+#include "campaign/dispatch.hpp"
 #include "campaign/observer.hpp"
 #include "campaign/runner.hpp"
 
@@ -59,7 +67,7 @@ namespace {
                "       %s --app=<name> --campaign=<n> [--seed=<u64>] [--workers=<k>]\n"
                "           [--out=<file.jsonl>] [--progress] [--deadline=<sec>]\n"
                "           [--retries=<k>] [--ckpt-format=v1|v2] [--no-ckpt-compress]\n"
-               "           [--no-shared-baseline]\n"
+               "           [--no-shared-baseline] [--now-local=<n>] [--slots=<k>]\n"
                "       %s --app=<name> --replay=<index> --seed=<u64>\n",
                argv0, argv0, argv0);
   std::exit(2);
@@ -81,6 +89,8 @@ int main(int argc, char** argv) {
   std::uint64_t campaign_seed = 42;
   std::int64_t replay_index = -1;
   unsigned workers = 1;
+  unsigned now_local = 0;
+  unsigned slots = 1;
   unsigned retries = 2;
   double deadline = 0.0;
   chkpt::CheckpointFormat ckpt_format = chkpt::CheckpointFormat::V2;
@@ -117,6 +127,10 @@ int main(int argc, char** argv) {
       replay_index = std::strtoll(arg.c_str() + 9, nullptr, 10);
     } else if (arg.rfind("--workers=", 0) == 0) {
       workers = unsigned(std::strtoul(arg.c_str() + 10, nullptr, 10));
+    } else if (arg.rfind("--now-local=", 0) == 0) {
+      now_local = unsigned(std::strtoul(arg.c_str() + 12, nullptr, 10));
+    } else if (arg.rfind("--slots=", 0) == 0) {
+      slots = unsigned(std::strtoul(arg.c_str() + 8, nullptr, 10));
     } else if (arg.rfind("--retries=", 0) == 0) {
       retries = unsigned(std::strtoul(arg.c_str() + 10, nullptr, 10));
     } else if (arg.rfind("--deadline=", 0) == 0) {
@@ -271,9 +285,35 @@ int main(int argc, char** argv) {
 
     const auto fset = campaign::seeded_fault_set(campaign_seed, std::size_t(campaign_n),
                                                  ca.kernel_fetches);
-    const auto report = campaign::run_campaign(ca, fset, cfg);
+    campaign::CampaignReport report;
+    if (now_local > 0) {
+      // True multi-process NoW mode: a master plus forked loopback worker
+      // processes, each rebuilding the app from the shipped checkpoint.
+      campaign::DispatchConfig dcfg;
+      dcfg.handle_sigint = true;  // ^C drains gracefully, partial JSONL survives
+      campaign::DispatchReport dr;
+      try {
+        dr = campaign::run_campaign_service_local(ca, scale, fset, cfg, now_local,
+                                                  slots == 0 ? 1 : slots, dcfg);
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "%s\n", e.what());
+        return 2;
+      }
+      report = dr.campaign;
+      std::fprintf(stderr,
+                   "NoW service: %zu/%zu experiments, %u workers joined, %u lost, "
+                   "%llu requeued, %llu duplicates dropped, %.1f KiB checkpoint shipped%s\n",
+                   dr.completed, fset.size(), dr.workers_joined, dr.workers_lost,
+                   (unsigned long long)dr.requeued,
+                   (unsigned long long)dr.duplicate_results,
+                   double(dr.checkpoint_bytes_shipped) / 1024.0,
+                   dr.drained_early ? " (drained early)" : "");
+    } else {
+      report = campaign::run_campaign(ca, fset, cfg);
+    }
     std::fprintf(stderr, "campaign: %zu experiments in %.2fs (%u workers, seed %llu)\n",
-                 report.total(), report.wall_seconds, cfg.workers,
+                 report.total(), report.wall_seconds,
+                 now_local > 0 ? now_local : cfg.workers,
                  (unsigned long long)campaign_seed);
     for (unsigned o = 0; o < apps::kNumOutcomes; ++o) {
       const auto outcome = static_cast<apps::Outcome>(o);

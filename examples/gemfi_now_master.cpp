@@ -1,0 +1,163 @@
+// gemfi_now_master — campaign master for the NoW dispatch service (paper
+// Sec. III-E): calibrates the app locally, then serves the campaign to any
+// gemfi_now_worker processes that connect, shipping each one the checkpoint
+// and streaming experiments until every fault has exactly one result.
+//
+// Usage:
+//   gemfi_now_master --app=<name> --campaign=<n> [--seed=<u64>]
+//       [--bind=<addr>]        listen address (default 127.0.0.1;
+//                              0.0.0.0 to serve a real cluster)
+//       [--port=<p>]           listen port (default 0 = ephemeral, printed)
+//       [--local-workers=<n>]  additionally fork n loopback workers
+//       [--slots=<k>]          slots for the forked loopback workers
+//       [--worker-timeout=<s>] silence before a worker is declared dead
+//       [--slow-redispatch=<s>] re-dispatch an experiment stuck this long
+//       [--out=<file.jsonl>] [--progress]
+//       [--cpu=...] [--paper] [--deadline=<s>] [--retries=<k>] ...
+//
+// ^C drains gracefully: dispatch stops, in-flight results are collected,
+// workers are shut down, and the partial campaign is reported.
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "campaign/dispatch.hpp"
+#include "campaign/observer.hpp"
+#include "campaign/runner.hpp"
+
+using namespace gemfi;
+
+namespace {
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --app=<name> --campaign=<n> [--seed=<u64>] [--bind=<addr>]\n"
+               "           [--port=<p>] [--local-workers=<n>] [--slots=<k>]\n"
+               "           [--worker-timeout=<s>] [--slow-redispatch=<s>]\n"
+               "           [--out=<file.jsonl>] [--progress] [--cpu=atomic|timing|"
+               "pipelined]\n"
+               "           [--paper] [--deadline=<s>] [--retries=<k>] [--watchdog-mult=<k>]\n",
+               argv0);
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string app_name, out_path;
+  apps::AppScale scale;
+  campaign::CampaignConfig cfg;
+  campaign::DispatchConfig dcfg;
+  dcfg.handle_sigint = true;
+  std::uint64_t campaign_n = 0;
+  cfg.campaign_seed = 42;
+  unsigned local_workers = 0;
+  unsigned slots = 1;
+  bool progress = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--app=", 0) == 0) app_name = arg.substr(6);
+    else if (arg.rfind("--campaign=", 0) == 0)
+      campaign_n = std::strtoull(arg.c_str() + 11, nullptr, 10);
+    else if (arg.rfind("--seed=", 0) == 0)
+      cfg.campaign_seed = std::strtoull(arg.c_str() + 7, nullptr, 10);
+    else if (arg.rfind("--bind=", 0) == 0) dcfg.bind_address = arg.substr(7);
+    else if (arg.rfind("--port=", 0) == 0)
+      dcfg.port = std::uint16_t(std::strtoul(arg.c_str() + 7, nullptr, 10));
+    else if (arg.rfind("--local-workers=", 0) == 0)
+      local_workers = unsigned(std::strtoul(arg.c_str() + 16, nullptr, 10));
+    else if (arg.rfind("--slots=", 0) == 0)
+      slots = unsigned(std::strtoul(arg.c_str() + 8, nullptr, 10));
+    else if (arg.rfind("--worker-timeout=", 0) == 0)
+      dcfg.worker_timeout_s = std::strtod(arg.c_str() + 17, nullptr);
+    else if (arg.rfind("--slow-redispatch=", 0) == 0)
+      dcfg.slow_redispatch_s = std::strtod(arg.c_str() + 18, nullptr);
+    else if (arg.rfind("--out=", 0) == 0) out_path = arg.substr(6);
+    else if (arg == "--progress") progress = true;
+    else if (arg.rfind("--cpu=", 0) == 0) {
+      const std::string kind = arg.substr(6);
+      if (kind == "atomic") cfg.cpu = sim::CpuKind::AtomicSimple;
+      else if (kind == "timing") cfg.cpu = sim::CpuKind::TimingSimple;
+      else if (kind == "pipelined") cfg.cpu = sim::CpuKind::Pipelined;
+      else usage(argv[0]);
+    } else if (arg == "--paper") scale.paper = true;
+    else if (arg.rfind("--deadline=", 0) == 0)
+      cfg.deadline_seconds = std::strtod(arg.c_str() + 11, nullptr);
+    else if (arg.rfind("--retries=", 0) == 0)
+      cfg.max_retries = unsigned(std::strtoul(arg.c_str() + 10, nullptr, 10));
+    else if (arg.rfind("--watchdog-mult=", 0) == 0)
+      cfg.watchdog_mult = std::strtoull(arg.c_str() + 16, nullptr, 10);
+    else usage(argv[0]);
+  }
+  if (app_name.empty() || campaign_n == 0) usage(argv[0]);
+
+  std::fprintf(stderr, "calibrating %s...\n", app_name.c_str());
+  campaign::CalibratedApp ca;
+  try {
+    ca = campaign::calibrate(apps::build_app(app_name, scale), cfg);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 2;
+  }
+
+  campaign::TeeObserver tee;
+  std::unique_ptr<campaign::JsonlSink> sink;
+  std::unique_ptr<campaign::ProgressPrinter> reporter;
+  if (!out_path.empty()) {
+    try {
+      sink = std::make_unique<campaign::JsonlSink>(out_path);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "%s\n", e.what());
+      return 2;
+    }
+    tee.add(sink.get());
+  }
+  if (progress) {
+    reporter = std::make_unique<campaign::ProgressPrinter>(stderr);
+    tee.add(reporter.get());
+  }
+  cfg.observer = &tee;
+
+  const auto faults = campaign::seeded_fault_set(cfg.campaign_seed,
+                                                 std::size_t(campaign_n),
+                                                 ca.kernel_fetches);
+  try {
+    campaign::Master master(ca, scale, faults, cfg, dcfg);
+    std::fprintf(stderr, "master listening on %s:%u — start workers with:\n",
+                 dcfg.bind_address.c_str(), unsigned(master.port()));
+    std::fprintf(stderr, "  gemfi_now_worker --host=<this-host> --port=%u --slots=<k>\n",
+                 unsigned(master.port()));
+
+    campaign::LocalWorkerPool pool;
+    if (local_workers > 0)
+      pool = campaign::LocalWorkerPool::spawn(local_workers, master.port(), slots);
+
+    const campaign::DispatchReport dr = master.run();
+    pool.wait_all();
+
+    std::fprintf(stderr,
+                 "NoW service: %zu/%zu experiments in %.2fs — %u workers joined, "
+                 "%u lost, %llu requeued, %llu redispatched, %llu duplicates, "
+                 "%.1f KiB checkpoint shipped%s\n",
+                 dr.completed, faults.size(), dr.wall_seconds, dr.workers_joined,
+                 dr.workers_lost, (unsigned long long)dr.requeued,
+                 (unsigned long long)dr.redispatched,
+                 (unsigned long long)dr.duplicate_results,
+                 double(dr.checkpoint_bytes_shipped) / 1024.0,
+                 dr.drained_early ? " (drained early)" : "");
+    for (unsigned o = 0; o < apps::kNumOutcomes; ++o) {
+      const auto outcome = static_cast<apps::Outcome>(o);
+      std::printf("%-16s %6zu  %5.1f%%\n", apps::outcome_name(outcome),
+                  dr.campaign.counts[o], 100.0 * dr.campaign.fraction(outcome));
+    }
+    if (sink)
+      std::fprintf(stderr, "wrote %zu records to %s\n", sink->lines_written(),
+                   out_path.c_str());
+    return dr.completed == faults.size() ? 0 : 3;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 2;
+  }
+}

@@ -1,0 +1,666 @@
+#include "campaign/dispatch.hpp"
+
+#include <poll.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdio>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <unordered_map>
+
+#include "campaign/observer.hpp"
+#include "campaign/wire.hpp"
+#include "net/frame.hpp"
+#include "net/socket.hpp"
+
+namespace gemfi::campaign {
+
+namespace {
+
+using net::mono_seconds;
+
+std::vector<std::uint8_t> frame_for(wire::MsgType type,
+                                    std::span<const std::uint8_t> payload) {
+  return net::encode_frame(std::uint8_t(type), payload);
+}
+
+// --- SIGINT -> graceful drain plumbing (master CLIs opt in) ---
+std::atomic<net::SelfPipe*> g_sigint_pipe{nullptr};
+
+void sigint_handler(int) {
+  if (net::SelfPipe* pipe = g_sigint_pipe.load(std::memory_order_acquire))
+    pipe->notify();
+}
+
+/// Installs the handler for the lifetime of one Master::run() and restores
+/// the previous disposition afterwards.
+class ScopedSigint {
+ public:
+  ScopedSigint(net::SelfPipe* pipe, bool enabled) : enabled_(enabled) {
+    if (!enabled_) return;
+    g_sigint_pipe.store(pipe, std::memory_order_release);
+    struct sigaction sa{};
+    sa.sa_handler = sigint_handler;
+    sigemptyset(&sa.sa_mask);
+    ::sigaction(SIGINT, &sa, &previous_);
+  }
+  ~ScopedSigint() {
+    if (!enabled_) return;
+    ::sigaction(SIGINT, &previous_, nullptr);
+    g_sigint_pipe.store(nullptr, std::memory_order_release);
+  }
+
+ private:
+  bool enabled_;
+  struct sigaction previous_{};
+};
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Master
+// ---------------------------------------------------------------------------
+
+struct Master::Impl {
+  const CalibratedApp& ca;
+  std::vector<fi::Fault> faults;
+  CampaignConfig cfg;
+  DispatchConfig dcfg;
+
+  net::TcpListener listener;
+  net::SelfPipe wake;
+  std::atomic<bool> drain_requested{false};
+
+  // The Welcome frame is serialized once: every joining worker receives the
+  // same bytes (the NoW "checkpoint copy" shipped per workstation).
+  std::vector<std::uint8_t> welcome_frame;
+  std::size_t welcome_payload_bytes = 0;
+
+  struct WorkerConn {
+    unsigned id = 0;
+    net::TcpConn conn;
+    net::FrameReader reader;
+    unsigned slots = 0;
+    bool ready = false;  // Hello received, Welcome sent
+    double last_rx = 0.0;
+    double joined_at = 0.0;
+    std::unordered_map<std::uint64_t, double> inflight;  // index -> dispatch time
+
+    WorkerConn(net::TcpConn c, std::size_t max_frame, double now)
+        : conn(std::move(c)), reader(max_frame), last_rx(now), joined_at(now) {}
+  };
+  std::vector<std::unique_ptr<WorkerConn>> workers;
+  unsigned next_worker_id = 0;
+
+  std::deque<std::uint64_t> pending;
+  std::vector<std::uint8_t> done;
+  std::vector<std::uint8_t> redispatches;  // slow-path duplicates issued
+  std::vector<ExperimentResult> results;
+  std::size_t completed = 0;
+
+  DispatchReport stats;  // counters accumulate here during the run
+
+  Impl(const CalibratedApp& ca_in, const apps::AppScale& scale,
+       const std::vector<fi::Fault>& faults_in, const CampaignConfig& cfg_in,
+       const DispatchConfig& dcfg_in)
+      : ca(ca_in), faults(faults_in), cfg(cfg_in), dcfg(dcfg_in) {
+    const auto payload = wire::encode_welcome(wire::Welcome::from(ca, scale, cfg));
+    welcome_payload_bytes = payload.size();
+    welcome_frame = frame_for(wire::MsgType::Welcome, payload);
+    listener = net::TcpListener::bind_listen(dcfg.bind_address, dcfg.port);
+
+    done.assign(faults.size(), 0);
+    redispatches.assign(faults.size(), 0);
+    results.resize(faults.size());
+    for (std::uint64_t i = 0; i < faults.size(); ++i) pending.push_back(i);
+  }
+
+  [[nodiscard]] std::size_t total_inflight() const {
+    std::size_t n = 0;
+    for (const auto& w : workers) n += w->inflight.size();
+    return n;
+  }
+
+  void observe(std::uint64_t index, const ExperimentResult& er, unsigned worker_id) {
+    if (cfg.observer)
+      cfg.observer->on_experiment({std::size_t(index), worker_id,
+                                   experiment_seed(cfg.campaign_seed, index), er});
+  }
+
+  /// Forget `index` on every connection (a redispatched experiment may be in
+  /// flight on two workers when its first result lands).
+  void clear_inflight_everywhere(std::uint64_t index) {
+    for (const auto& w : workers) w->inflight.erase(index);
+  }
+
+  void handle_result(WorkerConn& w, const wire::ResultMsg& msg) {
+    if (msg.index >= faults.size())
+      throw net::ProtocolError("result for unknown experiment " +
+                               std::to_string(msg.index));
+    w.inflight.erase(msg.index);
+    if (done[msg.index]) {
+      // Exactly-once: a redispatch or a zombie worker replayed it; first
+      // result won, drop this one.
+      ++stats.duplicate_results;
+      return;
+    }
+    done[msg.index] = 1;
+    results[msg.index] = msg.result;
+    ++completed;
+    clear_inflight_everywhere(msg.index);
+    observe(msg.index, results[msg.index], w.id);
+  }
+
+  void handle_frame(WorkerConn& w, const net::Frame& f) {
+    switch (wire::MsgType(f.type)) {
+      case wire::MsgType::Hello: {
+        if (w.ready) throw net::ProtocolError("duplicate Hello");
+        const wire::Hello hello = wire::decode_hello(f.payload);
+        w.slots = hello.slots;
+        w.conn.send_all(welcome_frame);
+        w.ready = true;
+        ++stats.workers_joined;
+        stats.checkpoint_bytes_shipped += welcome_payload_bytes;
+        break;
+      }
+      case wire::MsgType::Result:
+        if (!w.ready) throw net::ProtocolError("Result before Hello");
+        handle_result(w, wire::decode_result(f.payload));
+        break;
+      case wire::MsgType::Heartbeat:
+        if (!w.ready) throw net::ProtocolError("Heartbeat before Hello");
+        wire::decode_heartbeat(f.payload);  // liveness is any valid frame
+        break;
+      default:
+        throw net::ProtocolError("unexpected message type " + std::to_string(f.type));
+    }
+  }
+
+  /// Drain readable bytes and process complete frames. Returns false if the
+  /// worker must be dropped (EOF or damage).
+  bool service_readable(WorkerConn& w, bool count_protocol_damage) {
+    std::uint8_t buf[64 * 1024];
+    try {
+      for (;;) {
+        const auto got = w.conn.recv_some(buf);
+        if (!got) return false;  // EOF
+        if (*got == 0) break;    // drained
+        w.last_rx = mono_seconds();
+        w.reader.feed(std::span<const std::uint8_t>(buf, *got));
+        while (auto f = w.reader.next()) handle_frame(w, *f);
+      }
+      return true;
+    } catch (const std::exception&) {
+      // ProtocolError, DeserializeError from a decoder, or a SocketError on
+      // the Welcome send: the peer is unusable either way.
+      if (count_protocol_damage) ++stats.frames_rejected;
+      return false;
+    }
+  }
+
+  void requeue_worker_inflight(WorkerConn& w) {
+    for (const auto& [index, since] : w.inflight) {
+      (void)since;
+      if (done[index]) continue;
+      bool elsewhere = false;
+      for (const auto& other : workers)
+        if (other.get() != &w && other->inflight.count(index)) elsewhere = true;
+      if (elsewhere) continue;  // the redispatched copy is still running
+      pending.push_front(index);
+      ++stats.requeued;
+    }
+    w.inflight.clear();
+  }
+
+  void drop_worker(std::size_t i, bool lost) {
+    WorkerConn& w = *workers[i];
+    if (lost && w.ready) ++stats.workers_lost;
+    requeue_worker_inflight(w);
+    workers.erase(workers.begin() + std::ptrdiff_t(i));
+  }
+
+  /// Ship up to `limit` pending experiments to worker `w`.
+  bool dispatch_to(WorkerConn& w, std::size_t limit) {
+    std::vector<wire::BatchItem> items;
+    const double now = mono_seconds();
+    while (items.size() < limit && !pending.empty()) {
+      const std::uint64_t index = pending.front();
+      pending.pop_front();
+      if (done[index]) continue;  // completed while queued for redispatch
+      items.push_back({index, faults[index].to_line()});
+      w.inflight.emplace(index, now);
+    }
+    if (items.empty()) return true;
+    try {
+      w.conn.send_all(frame_for(wire::MsgType::Batch, wire::encode_batch(items)));
+      return true;
+    } catch (const std::exception&) {
+      return false;
+    }
+  }
+
+  void dispatch_all() {
+    if (drain_requested.load(std::memory_order_relaxed)) return;
+    for (std::size_t i = 0; i < workers.size();) {
+      WorkerConn& w = *workers[i];
+      const std::size_t target = std::size_t(w.slots) * dcfg.pipeline_depth;
+      if (!w.ready || w.inflight.size() >= target || pending.empty()) {
+        ++i;
+        continue;
+      }
+      if (!dispatch_to(w, target - w.inflight.size())) {
+        drop_worker(i, /*lost=*/true);
+        continue;
+      }
+      ++i;
+    }
+  }
+
+  /// Slow-worker mitigation: an experiment stuck in flight past the
+  /// threshold is dispatched once more to a different worker with capacity;
+  /// dedup keeps whichever result lands first.
+  void redispatch_slow() {
+    if (dcfg.slow_redispatch_s <= 0.0) return;
+    const double now = mono_seconds();
+    for (const auto& slow : workers) {
+      if (!slow->ready) continue;
+      for (const auto& [index, since] : slow->inflight) {
+        if (done[index] || redispatches[index] != 0) continue;
+        if (now - since < dcfg.slow_redispatch_s) continue;
+        for (const auto& spare : workers) {
+          if (spare.get() == slow.get() || !spare->ready) continue;
+          if (spare->inflight.size() >= std::size_t(spare->slots) * dcfg.pipeline_depth)
+            continue;
+          std::vector<wire::BatchItem> one{{index, faults[index].to_line()}};
+          try {
+            spare->conn.send_all(
+                frame_for(wire::MsgType::Batch, wire::encode_batch(one)));
+            spare->inflight.emplace(index, now);
+            redispatches[index] = 1;
+            ++stats.redispatched;
+          } catch (const std::exception&) {
+            // The spare just died; the regular timeout path reaps it.
+          }
+          break;
+        }
+      }
+    }
+  }
+
+  void reap_silent_workers() {
+    const double now = mono_seconds();
+    for (std::size_t i = 0; i < workers.size();) {
+      const WorkerConn& w = *workers[i];
+      if (now - w.last_rx > dcfg.worker_timeout_s)
+        drop_worker(i, /*lost=*/true);
+      else
+        ++i;
+    }
+  }
+
+  void broadcast_shutdown() {
+    const auto frame = frame_for(wire::MsgType::Shutdown, {});
+    for (const auto& w : workers) {
+      try {
+        w->conn.send_all(frame, /*timeout_s=*/2.0);
+      } catch (const std::exception&) {
+        // Exiting anyway.
+      }
+    }
+  }
+
+  DispatchReport run() {
+    const double t0 = mono_seconds();
+    ScopedSigint sigint(&wake, dcfg.handle_sigint);
+    if (cfg.observer) cfg.observer->on_campaign_begin(faults.size());
+
+    const double first_worker_deadline = t0 + dcfg.first_worker_timeout_s;
+    while (completed < faults.size()) {
+      if (drain_requested.load(std::memory_order_relaxed) && total_inflight() == 0) {
+        stats.drained_early = true;
+        break;
+      }
+
+      std::vector<pollfd> fds;
+      fds.push_back({listener.fd(), POLLIN, 0});
+      fds.push_back({wake.read_fd(), POLLIN, 0});
+      for (const auto& w : workers) fds.push_back({w->conn.fd(), POLLIN, 0});
+      ::poll(fds.data(), nfds_t(fds.size()), int(dcfg.poll_interval_s * 1000.0) + 1);
+
+      if (fds[1].revents & POLLIN) {
+        wake.drain();
+        drain_requested.store(true, std::memory_order_relaxed);
+      }
+
+      if (fds[0].revents & POLLIN)
+        while (auto conn = listener.accept()) {
+          auto w = std::make_unique<WorkerConn>(std::move(*conn),
+                                                dcfg.max_worker_frame, mono_seconds());
+          w->id = next_worker_id++;
+          workers.push_back(std::move(w));
+        }
+
+      // fds[i + 2] belongs to workers[i] as the loop entered poll() (newly
+      // accepted connections only append); service back-to-front so
+      // drop_worker()'s erase cannot shift unvisited entries.
+      const std::size_t polled = fds.size() - 2;
+      for (std::size_t i = polled; i-- > 0;) {
+        if ((fds[i + 2].revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
+        if (!service_readable(*workers[i], /*count_protocol_damage=*/true))
+          drop_worker(i, /*lost=*/true);
+      }
+
+      reap_silent_workers();
+      redispatch_slow();
+      dispatch_all();
+
+      if (stats.workers_joined == 0 && mono_seconds() > first_worker_deadline)
+        throw std::runtime_error(
+            "campaign master: no worker joined within " +
+            std::to_string(dcfg.first_worker_timeout_s) + "s");
+    }
+
+    broadcast_shutdown();
+    listener.close();
+
+    stats.done = done;
+    stats.completed = completed;
+    stats.wall_seconds = mono_seconds() - t0;
+    stats.campaign.results = results;
+    for (std::size_t i = 0; i < results.size(); ++i)
+      if (done[i]) ++stats.campaign.counts[std::size_t(results[i].classification.outcome)];
+    stats.campaign.wall_seconds = stats.wall_seconds;
+    if (cfg.observer) cfg.observer->on_campaign_end(stats.campaign);
+    return std::move(stats);
+  }
+};
+
+Master::Master(const CalibratedApp& ca, const apps::AppScale& scale,
+               const std::vector<fi::Fault>& faults, const CampaignConfig& cfg,
+               const DispatchConfig& dcfg)
+    : impl_(std::make_unique<Impl>(ca, scale, faults, cfg, dcfg)) {}
+
+Master::~Master() = default;
+
+std::uint16_t Master::port() const noexcept { return impl_->listener.port(); }
+
+DispatchReport Master::run() { return impl_->run(); }
+
+void Master::request_drain() noexcept {
+  impl_->drain_requested.store(true, std::memory_order_relaxed);
+  impl_->wake.notify();
+}
+
+// ---------------------------------------------------------------------------
+// Worker
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Everything one established connection needs: the rebuilt app, the slot
+/// threads with their persistent Simulations, and the in/out queues between
+/// the socket loop and the slots.
+class WorkerSession {
+ public:
+  WorkerSession(const wire::Welcome& welcome, unsigned slots)
+      : ca_(welcome.rebuild_app()), cfg_(welcome.rebuild_config()) {
+    if (cfg_.use_checkpoint && cfg_.shared_baseline && !ca_.checkpoint.empty()) {
+      try {
+        baseline_.emplace(chkpt::CheckpointImage::parse(ca_.checkpoint));
+      } catch (const std::exception&) {
+        baseline_.reset();  // damaged: per-experiment path reports it
+      }
+    }
+    threads_.reserve(slots);
+    for (unsigned i = 0; i < slots; ++i) threads_.emplace_back([this] { slot_main(); });
+  }
+
+  ~WorkerSession() {
+    {
+      std::lock_guard lock(mutex_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    for (auto& t : threads_) t.join();
+  }
+
+  void enqueue(std::vector<std::pair<std::uint64_t, fi::Fault>> items) {
+    {
+      std::lock_guard lock(mutex_);
+      for (auto& it : items) in_.push_back(std::move(it));
+    }
+    cv_.notify_all();
+  }
+
+  std::vector<wire::ResultMsg> take_results() {
+    std::lock_guard lock(mutex_);
+    std::vector<wire::ResultMsg> out(std::make_move_iterator(out_.begin()),
+                                     std::make_move_iterator(out_.end()));
+    out_.clear();
+    return out;
+  }
+
+  [[nodiscard]] unsigned busy_slots() const noexcept {
+    return busy_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void slot_main() {
+    // One persistent Simulation per slot (the shared-baseline fast restore),
+    // exactly like a local run_campaign worker thread.
+    std::optional<ExperimentWorker> ew;
+    if (baseline_) ew.emplace(ca_, *baseline_, cfg_);
+    for (;;) {
+      std::pair<std::uint64_t, fi::Fault> item;
+      {
+        std::unique_lock lock(mutex_);
+        cv_.wait(lock, [this] { return stop_ || !in_.empty(); });
+        if (stop_) return;
+        item = std::move(in_.front());
+        in_.pop_front();
+      }
+      busy_.fetch_add(1, std::memory_order_relaxed);
+      wire::ResultMsg msg;
+      msg.index = item.first;
+      try {
+        msg.result = ew ? ew->run_with_retry(item.second)
+                        : run_experiment_with_retry(ca_, item.second, cfg_);
+      } catch (const std::exception& e) {
+        // run_with_retry contracts never to throw; belt and braces so one
+        // experiment cannot take the whole worker process down.
+        msg.result.fault = item.second;
+        msg.result.sim_error = e.what();
+        msg.result.exit_reason = sim::ExitReason::Crashed;
+        msg.result.classification.outcome = apps::Outcome::Crashed;
+      }
+      busy_.fetch_sub(1, std::memory_order_relaxed);
+      {
+        std::lock_guard lock(mutex_);
+        out_.push_back(std::move(msg));
+      }
+    }
+  }
+
+  CalibratedApp ca_;
+  CampaignConfig cfg_;
+  std::optional<chkpt::CheckpointImage> baseline_;
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  std::deque<std::pair<std::uint64_t, fi::Fault>> in_;
+  std::deque<wire::ResultMsg> out_;
+  std::atomic<unsigned> busy_{0};
+
+  std::vector<std::thread> threads_;
+};
+
+/// Outcome of one established connection.
+enum class SessionEnd { Shutdown, ConnectionLost };
+
+SessionEnd serve_connection(net::TcpConn& conn, const WorkerConfig& wcfg) {
+  conn.send_all(frame_for(wire::MsgType::Hello,
+                          wire::encode_hello({wire::kProtocolVersion, wcfg.slots})));
+
+  net::FrameReader reader(wcfg.max_master_frame);
+  std::uint8_t buf[64 * 1024];
+
+  // Wait for the Welcome (the checkpoint ship can take a moment on a LAN).
+  // The master may pipeline the first Batch right behind it; stop draining
+  // the reader as soon as the Welcome is out and let the main loop pick up
+  // whatever stayed buffered.
+  std::optional<wire::Welcome> welcome;
+  const double welcome_deadline = mono_seconds() + 60.0;
+  while (!welcome) {
+    if (mono_seconds() > welcome_deadline) return SessionEnd::ConnectionLost;
+    if (!conn.wait_readable(0.25)) continue;
+    const auto got = conn.recv_some(buf);
+    if (!got) return SessionEnd::ConnectionLost;
+    reader.feed(std::span<const std::uint8_t>(buf, *got));
+    if (auto f = reader.next()) {
+      if (wire::MsgType(f->type) == wire::MsgType::Shutdown) return SessionEnd::Shutdown;
+      if (wire::MsgType(f->type) != wire::MsgType::Welcome)
+        throw net::ProtocolError("expected Welcome");
+      welcome = wire::decode_welcome(f->payload);
+    }
+  }
+
+  WorkerSession session(*welcome, wcfg.slots);
+  double last_heartbeat = 0.0;
+  std::uint64_t heartbeat_seq = 0;
+  bool shutdown = false;
+
+  while (!shutdown) {
+    // Frames may already be buffered (pipelined behind the Welcome or from a
+    // previous oversized recv) — drain before blocking on the socket.
+    while (auto f = reader.next()) {
+      switch (wire::MsgType(f->type)) {
+        case wire::MsgType::Batch: {
+          std::vector<std::pair<std::uint64_t, fi::Fault>> items;
+          for (const wire::BatchItem& it : wire::decode_batch(f->payload))
+            items.emplace_back(it.index, fi::parse_fault(it.fault_line));
+          session.enqueue(std::move(items));
+          break;
+        }
+        case wire::MsgType::Shutdown:
+          shutdown = true;
+          break;
+        default:
+          throw net::ProtocolError("unexpected master message type " +
+                                   std::to_string(f->type));
+      }
+      if (shutdown) break;
+    }
+    if (shutdown) break;
+
+    for (const wire::ResultMsg& msg : session.take_results())
+      conn.send_all(frame_for(wire::MsgType::Result, wire::encode_result(msg)));
+
+    const double now = mono_seconds();
+    if (now - last_heartbeat >= wcfg.heartbeat_interval_s) {
+      last_heartbeat = now;
+      conn.send_all(frame_for(
+          wire::MsgType::Heartbeat,
+          wire::encode_heartbeat({heartbeat_seq++, session.busy_slots()})));
+    }
+
+    if (!conn.wait_readable(0.02)) continue;
+    const auto got = conn.recv_some(buf);
+    if (!got) return SessionEnd::ConnectionLost;
+    reader.feed(std::span<const std::uint8_t>(buf, *got));
+  }
+  return SessionEnd::Shutdown;
+}
+
+}  // namespace
+
+int run_worker(const WorkerConfig& wcfg) {
+  unsigned reconnects = 0;
+  for (;;) {
+    net::TcpConn conn;
+    try {
+      conn = net::TcpConn::connect(wcfg.host, wcfg.port, wcfg.connect_attempts,
+                                   wcfg.connect_backoff_s);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "gemfi worker: %s\n", e.what());
+      return 2;
+    }
+    try {
+      if (serve_connection(conn, wcfg) == SessionEnd::Shutdown) return 0;
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "gemfi worker: %s\n", e.what());
+    }
+    // Established connection lost: bounded reconnect (the master will requeue
+    // whatever we had in flight and greet us as a fresh worker).
+    if (++reconnects > wcfg.max_reconnects) return 1;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Forked loopback workers (--now-local and the chaos tests)
+// ---------------------------------------------------------------------------
+
+LocalWorkerPool LocalWorkerPool::spawn(unsigned workers, std::uint16_t port,
+                                       unsigned slots) {
+  LocalWorkerPool pool;
+  std::fflush(stdout);
+  std::fflush(stderr);
+  for (unsigned i = 0; i < workers; ++i) {
+    const pid_t pid = ::fork();
+    if (pid < 0) throw net::SocketError("fork failed");
+    if (pid == 0) {
+      WorkerConfig wcfg;
+      wcfg.host = "127.0.0.1";
+      wcfg.port = port;
+      wcfg.slots = slots == 0 ? 1 : slots;
+      // _exit: never unwind into the parent's atexit/gtest machinery.
+      ::_exit(run_worker(wcfg));
+    }
+    pool.pids_.push_back(int(pid));
+  }
+  return pool;
+}
+
+void LocalWorkerPool::kill_worker(std::size_t i, int signo) const {
+  if (i < pids_.size() && pids_[i] > 0) ::kill(pids_[i], signo);
+}
+
+int LocalWorkerPool::wait_all() {
+  int failures = 0;
+  for (int& pid : pids_) {
+    if (pid <= 0) continue;
+    int status = 0;
+    if (::waitpid(pid, &status, 0) == pid)
+      if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) ++failures;
+    pid = -1;
+  }
+  return failures;
+}
+
+DispatchReport run_campaign_service_local(const CalibratedApp& ca,
+                                          const apps::AppScale& scale,
+                                          const std::vector<fi::Fault>& faults,
+                                          const CampaignConfig& cfg, unsigned workers,
+                                          unsigned slots, DispatchConfig dcfg) {
+  dcfg.bind_address = "127.0.0.1";
+  Master master(ca, scale, faults, cfg, dcfg);
+  LocalWorkerPool pool =
+      LocalWorkerPool::spawn(workers == 0 ? 1 : workers, master.port(), slots);
+  try {
+    DispatchReport report = master.run();
+    pool.wait_all();
+    return report;
+  } catch (...) {
+    for (std::size_t i = 0; i < pool.pids().size(); ++i) pool.kill_worker(i, SIGKILL);
+    pool.wait_all();
+    throw;
+  }
+}
+
+}  // namespace gemfi::campaign

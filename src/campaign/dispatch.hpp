@@ -1,0 +1,178 @@
+// True multi-process NoW campaign dispatch (paper Sec. III-E, done for real).
+//
+// NowRunner models the paper's 27x4 cluster with in-process threads; this
+// layer actually distributes a campaign across process/host boundaries:
+//
+//   master                                 worker (xN processes/hosts)
+//   ------                                 ------
+//   bind/listen, serialize Welcome once    connect (bounded backoff)
+//                                    <---  Hello{version, slots}
+//   Welcome{app, config, checkpoint} --->  rebuild CalibratedApp, parse the
+//                                          CheckpointImage once, start one
+//                                          persistent-Simulation thread/slot
+//   Batch{(index, fault)...}         --->  run experiments
+//                                    <---  Result{index, ExperimentResult}  (streamed)
+//                                    <---  Heartbeat (liveness)
+//   Shutdown                         --->  join slots, exit
+//
+// Robustness is first-class: the master detects dead workers (EOF, send
+// failure, heartbeat silence) and slow workers (optional per-experiment
+// redispatch age), requeues or re-dispatches their in-flight experiments,
+// and deduplicates results by experiment id so every experiment completes
+// exactly once — first result wins, replays are counted and dropped. Fault
+// identity is preserved verbatim over the wire (Fault::to_line round-trip),
+// so the deterministic splitmix64 seeding and `--replay` work unchanged.
+// SIGINT (opt-in) drains gracefully: stop dispatching, collect in-flight
+// results, then shut workers down and report the partial campaign.
+//
+// Results stream into the existing CampaignObserver pipeline
+// (JsonlSink/ProgressPrinter) from the master's single event-loop thread as
+// they arrive — a distributed campaign is observable exactly like a local one.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "campaign/runner.hpp"
+
+namespace gemfi::campaign {
+
+/// Master-side service tuning.
+struct DispatchConfig {
+  std::string bind_address = "127.0.0.1";  // 0.0.0.0 to serve a real cluster
+  std::uint16_t port = 0;                  // 0 = ephemeral (see Master::port())
+
+  /// A worker that stays silent this long (no result, heartbeat, or any
+  /// other frame) is declared dead and its in-flight experiments requeued.
+  double worker_timeout_s = 15.0;
+
+  /// Heartbeat period workers are asked to keep (shipped implicitly: workers
+  /// default to a fraction of worker_timeout_s on their side).
+  double poll_interval_s = 0.05;  // master event-loop tick
+
+  /// > 0: an experiment in flight on one worker for longer than this is
+  /// additionally dispatched to another worker with spare capacity (at most
+  /// once per experiment); whichever result arrives first wins. 0 = off.
+  double slow_redispatch_s = 0.0;
+
+  /// Give up if no worker has ever joined within this window.
+  double first_worker_timeout_s = 60.0;
+
+  /// In-flight experiments per worker = slots * pipeline_depth (keeps slots
+  /// busy while batches are in transit).
+  unsigned pipeline_depth = 2;
+
+  /// Largest frame accepted *from* a worker (results are small; a peer
+  /// announcing a huge payload is dropped before any allocation).
+  std::size_t max_worker_frame = 1 << 20;
+
+  /// Install a SIGINT handler for the duration of run() that triggers the
+  /// graceful drain (CLIs set this; library callers usually do not).
+  bool handle_sigint = false;
+};
+
+/// What the service adds on top of the merged CampaignReport.
+struct DispatchReport {
+  CampaignReport campaign;          // results[i] valid where done[i] != 0
+  std::vector<std::uint8_t> done;   // per-experiment completion mask
+  std::size_t completed = 0;
+
+  unsigned workers_joined = 0;      // registrations (a reconnect counts again)
+  unsigned workers_lost = 0;        // EOF / timeout / protocol damage
+  std::uint64_t requeued = 0;       // in-flight experiments taken off dead workers
+  std::uint64_t redispatched = 0;   // slow-worker duplicate dispatches
+  std::uint64_t duplicate_results = 0;  // dropped by exactly-once dedup
+  std::uint64_t frames_rejected = 0;    // protocol-damaged peers dropped
+  std::uint64_t checkpoint_bytes_shipped = 0;  // Welcome payload total
+  bool drained_early = false;       // SIGINT drain: done[] is partial
+  double wall_seconds = 0.0;
+};
+
+/// The campaign master: owns the listening socket and runs the poll-based
+/// event loop to completion. Single-threaded; cfg.observer is invoked from
+/// the loop thread only.
+class Master {
+ public:
+  /// Binds and listens immediately (so workers spawned right after
+  /// construction can connect) but serves nothing until run().
+  Master(const CalibratedApp& ca, const apps::AppScale& scale,
+         const std::vector<fi::Fault>& faults, const CampaignConfig& cfg,
+         const DispatchConfig& dcfg);
+  ~Master();
+
+  Master(const Master&) = delete;
+  Master& operator=(const Master&) = delete;
+
+  [[nodiscard]] std::uint16_t port() const noexcept;
+
+  /// Serve the campaign until every experiment has exactly one result (or a
+  /// SIGINT drain). Throws std::runtime_error if no worker ever joins.
+  DispatchReport run();
+
+  /// Request a graceful drain programmatically (thread-safe, also callable
+  /// from an observer callback): stop dispatching, collect in-flight
+  /// results, shut down. run() then returns with drained_early set.
+  void request_drain() noexcept;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// Worker-side connection policy.
+struct WorkerConfig {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  unsigned slots = 1;  // parallel experiments in this worker process
+
+  double heartbeat_interval_s = 1.0;
+  /// Connect/reconnect budget: attempts per connect() call, with exponential
+  /// backoff starting at backoff_s; and how many times a *lost established*
+  /// connection may be re-established before the worker gives up.
+  unsigned connect_attempts = 20;
+  double connect_backoff_s = 0.1;
+  unsigned max_reconnects = 3;
+  /// Largest frame accepted from the master; must fit the Welcome (config +
+  /// checkpoint image).
+  std::size_t max_master_frame = std::size_t(1) << 31;
+};
+
+/// Run one worker process: connect, register, execute batches until the
+/// master sends Shutdown (returns 0), or until the connection/reconnect
+/// budget is exhausted (returns nonzero). Never throws.
+int run_worker(const WorkerConfig& wcfg);
+
+/// A pool of forked loopback worker processes (the --now-local mode and the
+/// chaos tests' crash targets).
+class LocalWorkerPool {
+ public:
+  /// Fork `workers` children, each running run_worker() against
+  /// 127.0.0.1:port with `slots` slots, then _exit(). Call before the parent
+  /// spawns threads (Master::run is single-threaded, so the natural order —
+  /// construct Master, spawn pool, run — is safe).
+  static LocalWorkerPool spawn(unsigned workers, std::uint16_t port, unsigned slots);
+
+  LocalWorkerPool() = default;
+  LocalWorkerPool(LocalWorkerPool&&) = default;
+  LocalWorkerPool& operator=(LocalWorkerPool&&) = default;
+
+  [[nodiscard]] const std::vector<int>& pids() const noexcept { return pids_; }
+  /// Send `signo` to worker i (SIGKILL in the chaos tests).
+  void kill_worker(std::size_t i, int signo) const;
+  /// Reap every child; returns how many exited nonzero or by signal.
+  int wait_all();
+
+ private:
+  std::vector<int> pids_;
+};
+
+/// One-call convenience for `--now-local N`: master plus N forked loopback
+/// workers with `slots` slots each, serving `faults` of the calibrated app.
+DispatchReport run_campaign_service_local(const CalibratedApp& ca,
+                                          const apps::AppScale& scale,
+                                          const std::vector<fi::Fault>& faults,
+                                          const CampaignConfig& cfg, unsigned workers,
+                                          unsigned slots, DispatchConfig dcfg = {});
+
+}  // namespace gemfi::campaign

@@ -1,6 +1,7 @@
 #include "campaign/jsonl.hpp"
 
 #include <cctype>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <stdexcept>
@@ -54,6 +55,9 @@ ObjectWriter& ObjectWriter::field(std::string_view key, std::uint64_t value) {
 }
 
 ObjectWriter& ObjectWriter::field(std::string_view key, double value) {
+  // JSON has no nan/inf literals; "%.17g" would emit them verbatim and
+  // corrupt the whole record. Non-finite telemetry values become null.
+  if (!std::isfinite(value)) return raw(key, "null");
   char buf[40];
   std::snprintf(buf, sizeof buf, "%.17g", value);
   return raw(key, buf);

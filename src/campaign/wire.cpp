@@ -1,0 +1,264 @@
+#include "campaign/wire.hpp"
+
+#include <limits>
+
+namespace gemfi::campaign::wire {
+
+namespace {
+
+using util::ByteReader;
+using util::ByteWriter;
+using util::DeserializeError;
+
+std::uint8_t checked_enum(ByteReader& r, unsigned count, const char* what) {
+  const std::uint8_t v = r.get_u8();
+  if (v >= count)
+    throw DeserializeError(std::string("out-of-range ") + what + " discriminator: " +
+                           std::to_string(v));
+  return v;
+}
+
+}  // namespace
+
+void put_result(ByteWriter& w, const ExperimentResult& er) {
+  w.put_u8(std::uint8_t(er.classification.outcome));
+  w.put_f64(er.classification.metric);
+  w.put_u8(std::uint8_t(er.exit_reason));
+  w.put_u8(std::uint8_t(er.trap));
+  w.put_string(er.fault.to_line());
+  w.put_bool(er.fault_applied);
+  w.put_f64(er.time_fraction);
+  w.put_u64(er.sim_ticks);
+  w.put_f64(er.wall_seconds);
+  w.put_u32(er.retries);
+  w.put_string(er.sim_error);
+  w.put_u8(er.ckpt_version);
+  w.put_u64(er.restore_pages);
+  w.put_u64(er.restore_bytes);
+}
+
+ExperimentResult get_result(ByteReader& r) {
+  ExperimentResult er;
+  er.classification.outcome =
+      static_cast<apps::Outcome>(checked_enum(r, apps::kNumOutcomes, "outcome"));
+  er.classification.metric = r.get_f64();
+  er.exit_reason = static_cast<sim::ExitReason>(
+      checked_enum(r, unsigned(sim::ExitReason::Deadline) + 1, "exit reason"));
+  er.trap = static_cast<cpu::TrapKind>(
+      checked_enum(r, unsigned(cpu::TrapKind::Halt) + 1, "trap kind"));
+  er.fault = fi::parse_fault(r.get_string());
+  er.fault_applied = r.get_bool();
+  er.time_fraction = r.get_f64();
+  er.sim_ticks = r.get_u64();
+  er.wall_seconds = r.get_f64();
+  er.retries = r.get_u32();
+  er.sim_error = r.get_string();
+  er.ckpt_version = r.get_u8();
+  er.restore_pages = r.get_u64();
+  er.restore_bytes = r.get_u64();
+  return er;
+}
+
+std::vector<std::uint8_t> encode_hello(const Hello& h) {
+  ByteWriter w;
+  w.put_u32(h.version);
+  w.put_u32(h.slots);
+  return w.take();
+}
+
+Hello decode_hello(std::span<const std::uint8_t> payload) {
+  ByteReader r(payload);
+  Hello h;
+  h.version = r.get_u32();
+  h.slots = r.get_u32();
+  if (h.version != kProtocolVersion)
+    throw DeserializeError("protocol version mismatch: worker speaks v" +
+                           std::to_string(h.version) + ", master v" +
+                           std::to_string(kProtocolVersion));
+  if (h.slots == 0 || h.slots > 1024)
+    throw DeserializeError("implausible worker slot count: " + std::to_string(h.slots));
+  if (!r.at_end()) throw DeserializeError("trailing bytes in Hello");
+  return h;
+}
+
+Welcome Welcome::from(const CalibratedApp& ca, const apps::AppScale& scale,
+                      const CampaignConfig& cfg) {
+  Welcome w;
+  w.app_name = ca.app.name;
+  w.paper_scale = scale.paper;
+  w.app_scale_seed = scale.seed;
+  w.golden_output = ca.app.golden_output;
+  w.golden_insts = ca.app.golden_insts;
+  w.golden_kernel_insts = ca.app.golden_kernel_insts;
+  w.app_golden_ticks = ca.app.golden_ticks;
+  w.golden_ticks = ca.golden_ticks;
+  w.golden_committed = ca.golden_committed;
+  w.kernel_fetches = ca.kernel_fetches;
+  w.ticks_to_checkpoint = ca.ticks_to_checkpoint;
+  w.checkpoint = ca.checkpoint.bytes();
+  w.cpu = std::uint8_t(cfg.cpu);
+  w.switch_to_atomic_after_fault = cfg.switch_to_atomic_after_fault;
+  w.use_checkpoint = cfg.use_checkpoint;
+  w.predecode = cfg.predecode;
+  w.fastpath = cfg.fastpath;
+  w.shared_baseline = cfg.shared_baseline;
+  w.watchdog_mult = cfg.watchdog_mult;
+  w.campaign_seed = cfg.campaign_seed;
+  w.deadline_seconds = cfg.deadline_seconds;
+  w.max_retries = cfg.max_retries;
+  w.retry_backoff = cfg.retry_backoff;
+  return w;
+}
+
+CalibratedApp Welcome::rebuild_app() const {
+  apps::AppScale scale;
+  scale.paper = paper_scale;
+  scale.seed = app_scale_seed;
+  CalibratedApp ca;
+  ca.app = apps::build_app(app_name, scale);
+  ca.app.golden_output = golden_output;
+  ca.app.golden_insts = golden_insts;
+  ca.app.golden_kernel_insts = golden_kernel_insts;
+  ca.app.golden_ticks = app_golden_ticks;
+  ca.checkpoint = chkpt::Checkpoint::from_bytes(checkpoint);
+  ca.golden_ticks = golden_ticks;
+  ca.golden_committed = golden_committed;
+  ca.kernel_fetches = kernel_fetches;
+  ca.ticks_to_checkpoint = ticks_to_checkpoint;
+  return ca;
+}
+
+CampaignConfig Welcome::rebuild_config() const {
+  CampaignConfig cfg;
+  cfg.cpu = static_cast<sim::CpuKind>(cpu);
+  cfg.switch_to_atomic_after_fault = switch_to_atomic_after_fault;
+  cfg.use_checkpoint = use_checkpoint;
+  cfg.predecode = predecode;
+  cfg.fastpath = fastpath;
+  cfg.shared_baseline = shared_baseline;
+  cfg.watchdog_mult = watchdog_mult;
+  cfg.campaign_seed = campaign_seed;
+  cfg.deadline_seconds = deadline_seconds;
+  cfg.max_retries = max_retries;
+  cfg.retry_backoff = retry_backoff;
+  return cfg;
+}
+
+std::vector<std::uint8_t> encode_welcome(const Welcome& w) {
+  ByteWriter b;
+  b.reserve(w.checkpoint.size() + w.golden_output.size() + 256);
+  b.put_string(w.app_name);
+  b.put_bool(w.paper_scale);
+  b.put_u64(w.app_scale_seed);
+  b.put_string(w.golden_output);
+  b.put_u64(w.golden_insts);
+  b.put_u64(w.golden_kernel_insts);
+  b.put_u64(w.app_golden_ticks);
+  b.put_u64(w.golden_ticks);
+  b.put_u64(w.golden_committed);
+  b.put_u64(w.kernel_fetches);
+  b.put_u64(w.ticks_to_checkpoint);
+  b.put_blob(w.checkpoint);
+  b.put_u8(w.cpu);
+  b.put_bool(w.switch_to_atomic_after_fault);
+  b.put_bool(w.use_checkpoint);
+  b.put_bool(w.predecode);
+  b.put_bool(w.fastpath);
+  b.put_bool(w.shared_baseline);
+  b.put_u64(w.watchdog_mult);
+  b.put_u64(w.campaign_seed);
+  b.put_f64(w.deadline_seconds);
+  b.put_u32(w.max_retries);
+  b.put_f64(w.retry_backoff);
+  return b.take();
+}
+
+Welcome decode_welcome(std::span<const std::uint8_t> payload) {
+  ByteReader r(payload);
+  Welcome w;
+  w.app_name = r.get_string();
+  w.paper_scale = r.get_bool();
+  w.app_scale_seed = r.get_u64();
+  w.golden_output = r.get_string();
+  w.golden_insts = r.get_u64();
+  w.golden_kernel_insts = r.get_u64();
+  w.app_golden_ticks = r.get_u64();
+  w.golden_ticks = r.get_u64();
+  w.golden_committed = r.get_u64();
+  w.kernel_fetches = r.get_u64();
+  w.ticks_to_checkpoint = r.get_u64();
+  w.checkpoint = r.get_blob();
+  w.cpu = checked_enum(r, unsigned(sim::CpuKind::Pipelined) + 1, "cpu kind");
+  w.switch_to_atomic_after_fault = r.get_bool();
+  w.use_checkpoint = r.get_bool();
+  w.predecode = r.get_bool();
+  w.fastpath = r.get_bool();
+  w.shared_baseline = r.get_bool();
+  w.watchdog_mult = r.get_u64();
+  w.campaign_seed = r.get_u64();
+  w.deadline_seconds = r.get_f64();
+  w.max_retries = r.get_u32();
+  w.retry_backoff = r.get_f64();
+  if (!r.at_end()) throw DeserializeError("trailing bytes in Welcome");
+  return w;
+}
+
+std::vector<std::uint8_t> encode_batch(const std::vector<BatchItem>& items) {
+  ByteWriter w;
+  w.put_u32(std::uint32_t(items.size()));
+  for (const BatchItem& it : items) {
+    w.put_u64(it.index);
+    w.put_string(it.fault_line);
+  }
+  return w.take();
+}
+
+std::vector<BatchItem> decode_batch(std::span<const std::uint8_t> payload) {
+  ByteReader r(payload);
+  const std::uint32_t count = r.get_u32();
+  if (count > 1u << 20) throw DeserializeError("implausible batch size");
+  std::vector<BatchItem> items;
+  items.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    BatchItem it;
+    it.index = r.get_u64();
+    it.fault_line = r.get_string();
+    items.push_back(std::move(it));
+  }
+  if (!r.at_end()) throw DeserializeError("trailing bytes in Batch");
+  return items;
+}
+
+std::vector<std::uint8_t> encode_result(const ResultMsg& msg) {
+  ByteWriter w;
+  w.put_u64(msg.index);
+  put_result(w, msg.result);
+  return w.take();
+}
+
+ResultMsg decode_result(std::span<const std::uint8_t> payload) {
+  ByteReader r(payload);
+  ResultMsg msg;
+  msg.index = r.get_u64();
+  msg.result = get_result(r);
+  if (!r.at_end()) throw DeserializeError("trailing bytes in Result");
+  return msg;
+}
+
+std::vector<std::uint8_t> encode_heartbeat(const Heartbeat& hb) {
+  ByteWriter w;
+  w.put_u64(hb.sequence);
+  w.put_u32(hb.busy_slots);
+  return w.take();
+}
+
+Heartbeat decode_heartbeat(std::span<const std::uint8_t> payload) {
+  ByteReader r(payload);
+  Heartbeat hb;
+  hb.sequence = r.get_u64();
+  hb.busy_slots = r.get_u32();
+  if (!r.at_end()) throw DeserializeError("trailing bytes in Heartbeat");
+  return hb;
+}
+
+}  // namespace gemfi::campaign::wire

@@ -1,0 +1,115 @@
+// Wire encoding of the NoW dispatch protocol messages (campaign/dispatch).
+//
+// Payloads are util/bytesio streams carried inside net::Frame envelopes.
+// Decoders validate every enum discriminator and length so a malicious or
+// version-skewed peer surfaces as util::DeserializeError (which the dispatch
+// layer treats exactly like a damaged frame: drop the peer, requeue its
+// work), never as undefined behavior inside the campaign.
+//
+// The Welcome message is the "checkpoint copy" step of the paper's NoW
+// protocol (Sec. III-E step 3): it carries the calibrated app's identity and
+// golden-run costs plus the sparse-v2 checkpoint blob, so a worker process
+// reconstructs a CalibratedApp without re-running calibration — the whole
+// point of shipping the checkpoint once per workstation.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "campaign/runner.hpp"
+#include "util/bytesio.hpp"
+
+namespace gemfi::campaign::wire {
+
+inline constexpr std::uint32_t kProtocolVersion = 1;
+
+enum class MsgType : std::uint8_t {
+  Hello = 1,      // worker -> master: version + slot count
+  Welcome = 2,    // master -> worker: campaign config + calibration + checkpoint
+  Batch = 3,      // master -> worker: experiment (index, fault) pairs
+  Result = 4,     // worker -> master: one finished experiment
+  Heartbeat = 5,  // worker -> master: liveness + busy-slot count
+  Shutdown = 6,   // master -> worker: campaign over, exit after current work
+};
+
+struct Hello {
+  std::uint32_t version = kProtocolVersion;
+  std::uint32_t slots = 1;
+};
+
+struct Welcome {
+  // Enough to rebuild the CalibratedApp: apps::build_app(app_name, scale)
+  // regenerates the program and classification closures deterministically;
+  // the golden-run numbers below are calibration outputs shipped verbatim.
+  std::string app_name;
+  bool paper_scale = false;
+  std::uint64_t app_scale_seed = 0;
+  std::string golden_output;
+  std::uint64_t golden_insts = 0;
+  std::uint64_t golden_kernel_insts = 0;
+  std::uint64_t app_golden_ticks = 0;
+  std::uint64_t golden_ticks = 0;
+  std::uint64_t golden_committed = 0;
+  std::uint64_t kernel_fetches = 0;
+  std::uint64_t ticks_to_checkpoint = 0;
+  std::vector<std::uint8_t> checkpoint;  // Checkpoint::bytes(), shipped once
+
+  // The CampaignConfig subset that affects experiment execution. Host-side
+  // policy (workers, observer) stays local to each end.
+  std::uint8_t cpu = 0;
+  bool switch_to_atomic_after_fault = true;
+  bool use_checkpoint = true;
+  bool predecode = true;
+  bool fastpath = true;
+  bool shared_baseline = true;
+  std::uint64_t watchdog_mult = 8;
+  std::uint64_t campaign_seed = 0;
+  double deadline_seconds = 0.0;
+  std::uint32_t max_retries = 2;
+  double retry_backoff = 2.0;
+
+  /// Split a master-side (CalibratedApp, AppScale, CampaignConfig) into the
+  /// wire form / reassemble the worker-side equivalents.
+  static Welcome from(const CalibratedApp& ca, const apps::AppScale& scale,
+                      const CampaignConfig& cfg);
+  [[nodiscard]] CalibratedApp rebuild_app() const;
+  [[nodiscard]] CampaignConfig rebuild_config() const;
+};
+
+struct BatchItem {
+  std::uint64_t index = 0;
+  std::string fault_line;  // fi::Fault::to_line(), reparsed on the worker
+};
+
+struct ResultMsg {
+  std::uint64_t index = 0;
+  ExperimentResult result;
+};
+
+struct Heartbeat {
+  std::uint64_t sequence = 0;
+  std::uint32_t busy_slots = 0;
+};
+
+// --- encoders (payload bytes only; framing is net::encode_frame) ---
+std::vector<std::uint8_t> encode_hello(const Hello& h);
+std::vector<std::uint8_t> encode_welcome(const Welcome& w);
+std::vector<std::uint8_t> encode_batch(const std::vector<BatchItem>& items);
+std::vector<std::uint8_t> encode_result(const ResultMsg& r);
+std::vector<std::uint8_t> encode_heartbeat(const Heartbeat& hb);
+
+// --- decoders; throw util::DeserializeError / std::invalid_argument on
+// malformed or out-of-range payloads ---
+Hello decode_hello(std::span<const std::uint8_t> payload);
+Welcome decode_welcome(std::span<const std::uint8_t> payload);
+std::vector<BatchItem> decode_batch(std::span<const std::uint8_t> payload);
+ResultMsg decode_result(std::span<const std::uint8_t> payload);
+Heartbeat decode_heartbeat(std::span<const std::uint8_t> payload);
+
+/// ExperimentResult as a bytesio stream (shared by Result messages and any
+/// future on-disk spill format).
+void put_result(util::ByteWriter& w, const ExperimentResult& er);
+ExperimentResult get_result(util::ByteReader& r);
+
+}  // namespace gemfi::campaign::wire

@@ -1,0 +1,63 @@
+#include "net/frame.hpp"
+
+#include <cstring>
+
+#include "util/bytesio.hpp"
+
+namespace gemfi::net {
+
+std::vector<std::uint8_t> encode_frame(std::uint8_t type,
+                                       std::span<const std::uint8_t> payload) {
+  util::ByteWriter w;
+  w.reserve(kFrameHeaderBytes + payload.size());
+  w.put_u32(kFrameMagic);
+  w.put_u8(type);
+  w.put_u32(std::uint32_t(payload.size()));
+  w.put_u32(util::crc32(payload));
+  w.put_bytes(payload);
+  return w.take();
+}
+
+void FrameReader::feed(std::span<const std::uint8_t> data) {
+  // Compact once the consumed prefix dominates, so a long-lived connection
+  // does not grow its buffer without bound.
+  if (pos_ > 0 && pos_ >= buf_.size() / 2) {
+    buf_.erase(buf_.begin(), buf_.begin() + std::ptrdiff_t(pos_));
+    pos_ = 0;
+  }
+  buf_.insert(buf_.end(), data.begin(), data.end());
+}
+
+std::optional<Frame> FrameReader::next() {
+  const std::size_t avail = buf_.size() - pos_;
+  if (avail < kFrameHeaderBytes) {
+    // Even a partial header can prove the stream is garbage: check whatever
+    // magic prefix has arrived so a junk peer is rejected at the first read.
+    for (std::size_t i = 0; i < std::min(avail, std::size_t(4)); ++i) {
+      const std::uint8_t expect = std::uint8_t(kFrameMagic >> (8 * i));
+      if (buf_[pos_ + i] != expect) throw ProtocolError("bad frame magic");
+    }
+    return std::nullopt;
+  }
+
+  std::uint32_t magic = 0, length = 0, crc = 0;
+  std::memcpy(&magic, buf_.data() + pos_, 4);
+  std::memcpy(&length, buf_.data() + pos_ + 5, 4);
+  std::memcpy(&crc, buf_.data() + pos_ + 9, 4);
+  if (magic != kFrameMagic) throw ProtocolError("bad frame magic");
+  if (length > max_payload_)
+    throw ProtocolError("frame payload of " + std::to_string(length) +
+                        " bytes exceeds the " + std::to_string(max_payload_) +
+                        "-byte limit");
+  if (avail < kFrameHeaderBytes + length) return std::nullopt;
+
+  Frame f;
+  f.type = buf_[pos_ + 4];
+  const std::uint8_t* body = buf_.data() + pos_ + kFrameHeaderBytes;
+  f.payload.assign(body, body + length);
+  if (util::crc32(f.payload) != crc) throw ProtocolError("frame CRC mismatch");
+  pos_ += kFrameHeaderBytes + length;
+  return f;
+}
+
+}  // namespace gemfi::net

@@ -1,0 +1,68 @@
+// Length-prefixed message framing for the campaign dispatch protocol.
+//
+// TCP is a byte stream; the dispatch protocol is message-oriented. Each
+// frame is
+//
+//   magic  u32  'GFNW' (0x47464e57)
+//   type   u8   message discriminator (dispatch.hpp's MsgType)
+//   length u32  payload byte count
+//   crc    u32  CRC32 of the payload (util::crc32, same polynomial as the
+//               checkpoint format)
+//   payload length bytes (a util/bytesio stream)
+//
+// FrameReader reassembles frames from arbitrary read chunks and rejects
+// damage *before* any payload is interpreted: a bad magic, an oversized
+// length or a CRC mismatch throws ProtocolError, and the dispatch layer
+// drops the peer instead of crashing the campaign — the chaos tests feed
+// garbage and truncated frames straight into this path.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+namespace gemfi::net {
+
+/// Thrown on malformed frames (bad magic, oversized payload, CRC mismatch).
+class ProtocolError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+inline constexpr std::uint32_t kFrameMagic = 0x47464e57;  // "GFNW"
+inline constexpr std::size_t kFrameHeaderBytes = 4 + 1 + 4 + 4;
+
+struct Frame {
+  std::uint8_t type = 0;
+  std::vector<std::uint8_t> payload;
+};
+
+/// Serialize one frame (header + CRC-guarded payload).
+std::vector<std::uint8_t> encode_frame(std::uint8_t type,
+                                       std::span<const std::uint8_t> payload);
+
+/// Incremental frame reassembler. feed() appends raw bytes; next() yields
+/// complete frames in order. Both throw ProtocolError the moment the buffered
+/// prefix cannot be a valid frame; the reader is unusable afterwards (the
+/// peer is compromised — drop the connection).
+class FrameReader {
+ public:
+  /// `max_payload` bounds a single frame (memory-exhaustion guard): a control
+  /// endpoint (the master) keeps this small, a worker expecting a checkpoint
+  /// image raises it.
+  explicit FrameReader(std::size_t max_payload) : max_payload_(max_payload) {}
+
+  void feed(std::span<const std::uint8_t> data);
+  std::optional<Frame> next();
+
+  [[nodiscard]] std::size_t buffered() const noexcept { return buf_.size() - pos_; }
+
+ private:
+  std::size_t max_payload_;
+  std::vector<std::uint8_t> buf_;
+  std::size_t pos_ = 0;  // consumed prefix, compacted lazily
+};
+
+}  // namespace gemfi::net

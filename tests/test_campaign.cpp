@@ -5,6 +5,8 @@
 // retry, per-experiment seeding, concurrent campaigns).
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
 #include <set>
 #include <sstream>
 #include <thread>
@@ -234,6 +236,21 @@ TEST(Jsonl, WriterAndParserRoundTrip) {
   EXPECT_TRUE(v.at("b").as_bool());
   EXPECT_THROW(campaign::jsonl::parse("{\"k\":}"), std::invalid_argument);
   EXPECT_THROW(campaign::jsonl::parse("{} trailing"), std::invalid_argument);
+}
+
+TEST(Jsonl, NonFiniteDoublesBecomeNull) {
+  // "%.17g" renders nan/inf verbatim, which is not JSON; the writer must
+  // emit null instead so one weird metric cannot corrupt a record.
+  campaign::jsonl::ObjectWriter w;
+  w.field("nan", std::nan(""))
+      .field("inf", std::numeric_limits<double>::infinity())
+      .field("ninf", -std::numeric_limits<double>::infinity())
+      .field("fine", 1.5);
+  const std::string line = w.str();
+  EXPECT_EQ(line, "{\"nan\":null,\"inf\":null,\"ninf\":null,\"fine\":1.5}");
+  const auto v = campaign::jsonl::parse(line);  // must parse as valid JSON
+  ASSERT_TRUE(v.is_object());
+  EXPECT_DOUBLE_EQ(v.at("fine").as_double(), 1.5);
 }
 
 TEST(Observers, JsonlStreamsOneValidRecordPerExperiment) {

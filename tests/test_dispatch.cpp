@@ -1,0 +1,287 @@
+// Chaos and correctness tests for the NoW dispatch service: a real master
+// socket, real forked worker processes over the loopback, and deliberately
+// hostile peers. The invariants under test are the tentpole's promises —
+// exactly-once experiment completion, bit-equivalent results to a local
+// run_campaign, and a master that survives worker death and protocol damage.
+#include <gtest/gtest.h>
+
+#include <signal.h>
+
+#include <algorithm>
+#include <atomic>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "campaign/dispatch.hpp"
+#include "campaign/observer.hpp"
+#include "campaign/runner.hpp"
+#include "net/frame.hpp"
+#include "net/socket.hpp"
+
+using namespace gemfi;
+
+namespace {
+
+/// Collects records and forwards each one to an optional hook (which runs on
+/// the master's event-loop thread — where chaos is injected mid-campaign).
+class CollectingObserver final : public campaign::CampaignObserver {
+ public:
+  std::function<void(const campaign::ExperimentRecord&)> hook;
+
+  void on_experiment(const campaign::ExperimentRecord& rec) override {
+    {
+      std::lock_guard lock(mutex_);
+      records_.push_back(rec);
+    }
+    if (hook) hook(rec);  // outside the lock: hooks may call count()
+  }
+
+  [[nodiscard]] std::vector<campaign::ExperimentRecord> records() const {
+    std::lock_guard lock(mutex_);
+    return records_;
+  }
+  [[nodiscard]] std::size_t count() const {
+    std::lock_guard lock(mutex_);
+    return records_.size();
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<campaign::ExperimentRecord> records_;
+};
+
+/// One record, stripped of everything host- or scheduling-dependent (which
+/// worker ran it, wall time, full-vs-dirty restore telemetry) and rendered
+/// as the deterministic JSON line the determinism suite compares.
+std::string normalized_json(campaign::ExperimentRecord rec) {
+  rec.worker = 0;
+  rec.result.wall_seconds = 0.0;
+  rec.result.restore_pages = 0;
+  rec.result.restore_bytes = 0;
+  return campaign::experiment_record_to_json(rec, /*include_host_timing=*/false);
+}
+
+std::vector<std::string> normalized_sorted(std::vector<campaign::ExperimentRecord> recs) {
+  std::sort(recs.begin(), recs.end(),
+            [](const auto& a, const auto& b) { return a.index < b.index; });
+  std::vector<std::string> lines;
+  lines.reserve(recs.size());
+  for (const auto& r : recs) lines.push_back(normalized_json(r));
+  return lines;
+}
+
+/// Shared calibration (atomic model for speed): calibrate is the expensive
+/// part of every dispatch test, so do it once per binary.
+struct Calibrated {
+  campaign::CampaignConfig cfg;
+  apps::AppScale scale;
+  campaign::CalibratedApp ca;
+};
+
+const Calibrated& calibrated() {
+  static const Calibrated c = [] {
+    Calibrated c;
+    c.cfg.cpu = sim::CpuKind::AtomicSimple;
+    c.cfg.campaign_seed = 1234;
+    c.ca = campaign::calibrate(apps::build_app("pi"), c.cfg);
+    return c;
+  }();
+  return c;
+}
+
+}  // namespace
+
+// The acceptance-criteria test: a 4-worker multi-process campaign over 200
+// experiments produces the same records as the in-process runner, modulo
+// ordering and host telemetry, with zero lost or duplicated experiments.
+TEST(Dispatch, FourWorkerGoldenEquivalence) {
+  const Calibrated& c = calibrated();
+  const std::size_t n = 200;
+  const auto faults =
+      campaign::seeded_fault_set(c.cfg.campaign_seed, n, c.ca.kernel_fetches);
+
+  // Reference: the in-process parallel runner.
+  campaign::CampaignConfig local_cfg = c.cfg;
+  CollectingObserver local_obs;
+  local_cfg.observer = &local_obs;
+  local_cfg.workers = 2;
+  const auto local_report = campaign::run_campaign(c.ca, faults, local_cfg);
+  ASSERT_EQ(local_report.total(), n);
+
+  // Subject: master + 4 forked loopback worker processes.
+  campaign::CampaignConfig now_cfg = c.cfg;
+  CollectingObserver now_obs;
+  now_cfg.observer = &now_obs;
+  const auto dr = campaign::run_campaign_service_local(c.ca, c.scale, faults, now_cfg,
+                                                       /*workers=*/4, /*slots=*/1);
+
+  EXPECT_EQ(dr.completed, n);
+  EXPECT_EQ(dr.workers_joined, 4u);
+  EXPECT_EQ(dr.workers_lost, 0u);
+  EXPECT_EQ(dr.duplicate_results, 0u);
+  EXPECT_FALSE(dr.drained_early);
+  EXPECT_GT(dr.checkpoint_bytes_shipped, 0u);
+  EXPECT_EQ(std::count(dr.done.begin(), dr.done.end(), 1), std::ptrdiff_t(n));
+  EXPECT_EQ(dr.campaign.total(), n);
+  EXPECT_EQ(now_obs.count(), n);
+
+  // Exactly-once: every index observed exactly once.
+  std::vector<unsigned> seen(n, 0);
+  for (const auto& rec : now_obs.records()) ++seen.at(rec.index);
+  EXPECT_TRUE(std::all_of(seen.begin(), seen.end(), [](unsigned k) { return k == 1; }));
+
+  // Record equivalence after sorting by experiment id.
+  EXPECT_EQ(normalized_sorted(local_obs.records()), normalized_sorted(now_obs.records()));
+  EXPECT_EQ(local_report.counts, dr.campaign.counts);
+}
+
+// A worker SIGKILLed mid-campaign: its in-flight experiments are requeued to
+// the survivors and every experiment still completes exactly once, with
+// records identical to an undisturbed run.
+TEST(Dispatch, WorkerSigkillMidCampaignLosesNothing) {
+  const Calibrated& c = calibrated();
+  const std::size_t n = 120;
+  const auto faults =
+      campaign::seeded_fault_set(c.cfg.campaign_seed, n, c.ca.kernel_fetches);
+
+  campaign::CampaignConfig ref_cfg = c.cfg;
+  CollectingObserver ref_obs;
+  ref_cfg.observer = &ref_obs;
+  ref_cfg.workers = 2;
+  campaign::run_campaign(c.ca, faults, ref_cfg);
+
+  campaign::CampaignConfig now_cfg = c.cfg;
+  CollectingObserver now_obs;
+  now_cfg.observer = &now_obs;
+
+  campaign::DispatchConfig dcfg;
+  dcfg.worker_timeout_s = 10.0;  // EOF detection should beat this by far
+
+  campaign::Master master(c.ca, c.scale, faults, now_cfg, dcfg);
+  auto pool = campaign::LocalWorkerPool::spawn(2, master.port(), /*slots=*/1);
+
+  // Kill worker 0 from the master's own loop thread once results are
+  // provably flowing — it dies with experiments in flight.
+  std::atomic<bool> killed{false};
+  now_obs.hook = [&](const campaign::ExperimentRecord&) {
+    if (!killed.exchange(true)) pool.kill_worker(0, SIGKILL);
+  };
+
+  const auto dr = master.run();
+  pool.wait_all();  // reaps the corpse too; its nonzero exit is expected
+
+  EXPECT_TRUE(killed.load());
+  EXPECT_EQ(dr.completed, n);
+  EXPECT_EQ(dr.workers_lost, 1u);
+  EXPECT_GE(dr.workers_joined, 2u);
+  EXPECT_EQ(std::count(dr.done.begin(), dr.done.end(), 1), std::ptrdiff_t(n));
+
+  std::vector<unsigned> seen(n, 0);
+  for (const auto& rec : now_obs.records()) ++seen.at(rec.index);
+  EXPECT_TRUE(std::all_of(seen.begin(), seen.end(), [](unsigned k) { return k == 1; }));
+
+  EXPECT_EQ(normalized_sorted(ref_obs.records()), normalized_sorted(now_obs.records()));
+}
+
+// Hostile peers: raw garbage and a truncated-then-abandoned frame. The
+// master must drop them and still finish the campaign with a real worker.
+TEST(Dispatch, GarbageAndTruncatedPeersDontCrashMaster) {
+  const Calibrated& c = calibrated();
+  const std::size_t n = 30;
+  const auto faults =
+      campaign::seeded_fault_set(c.cfg.campaign_seed, n, c.ca.kernel_fetches);
+
+  campaign::CampaignConfig now_cfg = c.cfg;
+  CollectingObserver now_obs;
+  now_cfg.observer = &now_obs;
+
+  campaign::Master master(c.ca, c.scale, faults, now_cfg, {});
+  // Fork before starting any threads in this process.
+  auto pool = campaign::LocalWorkerPool::spawn(1, master.port(), /*slots=*/1);
+
+  const std::uint16_t port = master.port();
+  std::thread hostiles([port] {
+    try {
+      // Peer 1: pure garbage — rejected at the first bad magic byte.
+      auto garbage = net::TcpConn::connect("127.0.0.1", port, 10, 0.05);
+      const char junk[] = "GET /experiments HTTP/1.1\r\nHost: not-a-worker\r\n\r\n";
+      garbage.send_all(std::span<const std::uint8_t>(
+          reinterpret_cast<const std::uint8_t*>(junk), sizeof junk - 1));
+
+      // Peer 2: a valid Hello frame truncated mid-payload, then EOF.
+      auto truncated = net::TcpConn::connect("127.0.0.1", port, 10, 0.05);
+      const auto hello = net::encode_frame(
+          1, std::vector<std::uint8_t>{1, 0, 0, 0, 1, 0, 0, 0});
+      truncated.send_all(
+          std::span<const std::uint8_t>(hello.data(), hello.size() - 3));
+      truncated.close();
+
+      // Peer 3: a frame whose announced length exceeds the master's cap.
+      auto oversized = net::TcpConn::connect("127.0.0.1", port, 10, 0.05);
+      std::vector<std::uint8_t> header = {'W', 'N', 'F', 'G'};  // magic, LE
+      header.push_back(1);                                      // type
+      for (const std::uint8_t b : {0xFF, 0xFF, 0xFF, 0x7F}) header.push_back(b);
+      for (int i = 0; i < 4; ++i) header.push_back(0);  // crc
+      oversized.send_all(header);
+      std::this_thread::sleep_for(std::chrono::milliseconds(200));
+    } catch (const std::exception&) {
+      // A hostile peer being dropped mid-send is the master working.
+    }
+  });
+
+  const auto dr = master.run();
+  hostiles.join();
+  pool.wait_all();
+
+  EXPECT_EQ(dr.completed, n);
+  EXPECT_GE(dr.frames_rejected, 1u);  // the garbage peer at minimum
+  EXPECT_EQ(now_obs.count(), n);
+}
+
+// request_drain(): the master stops dispatching, collects what is in
+// flight, shuts workers down cleanly, and reports a partial campaign.
+TEST(Dispatch, DrainStopsEarlyAndWorkersExitCleanly) {
+  const Calibrated& c = calibrated();
+  const std::size_t n = 100;
+  const auto faults =
+      campaign::seeded_fault_set(c.cfg.campaign_seed, n, c.ca.kernel_fetches);
+
+  campaign::CampaignConfig now_cfg = c.cfg;
+  CollectingObserver now_obs;
+  now_cfg.observer = &now_obs;
+
+  campaign::Master master(c.ca, c.scale, faults, now_cfg, {});
+  auto pool = campaign::LocalWorkerPool::spawn(2, master.port(), /*slots=*/1);
+
+  std::atomic<std::size_t> observed{0};
+  now_obs.hook = [&](const campaign::ExperimentRecord&) {
+    if (observed.fetch_add(1) + 1 == 3) master.request_drain();
+  };
+
+  const auto dr = master.run();
+  EXPECT_EQ(pool.wait_all(), 0);  // both workers got Shutdown and exited 0
+
+  EXPECT_TRUE(dr.drained_early);
+  EXPECT_GE(dr.completed, 3u);
+  EXPECT_LT(dr.completed, n);
+  EXPECT_EQ(std::count(dr.done.begin(), dr.done.end(), 1),
+            std::ptrdiff_t(dr.completed));
+  // Partial but still exactly-once and deterministic per record.
+  std::vector<unsigned> seen(n, 0);
+  for (const auto& rec : now_obs.records()) ++seen.at(rec.index);
+  EXPECT_TRUE(std::all_of(seen.begin(), seen.end(), [](unsigned k) { return k <= 1; }));
+}
+
+// The master gives up with a clear error if no worker ever joins.
+TEST(Dispatch, NoWorkerEverJoinsThrows) {
+  const Calibrated& c = calibrated();
+  const auto faults = campaign::seeded_fault_set(c.cfg.campaign_seed, 4,
+                                                 c.ca.kernel_fetches);
+  campaign::DispatchConfig dcfg;
+  dcfg.first_worker_timeout_s = 0.3;
+  campaign::CampaignConfig cfg = c.cfg;
+  campaign::Master master(c.ca, c.scale, faults, cfg, dcfg);
+  EXPECT_THROW(master.run(), std::runtime_error);
+}
