@@ -73,18 +73,19 @@ void print_header(const std::string& title) {
 }
 
 void print_outcome_legend() {
-  std::printf("%-22s %8s %8s %8s %8s %8s %8s %8s\n", "cell", "crash%", "nonprop%",
-              "strict%", "correct%", "sdc%", "tmout%", "n");
+  std::printf("%-22s %8s %8s %8s %8s %8s %8s %8s %8s\n", "cell", "crash%", "nonprop%",
+              "strict%", "correct%", "sdc%", "tmout%", "attack%", "n");
 }
 
 void print_outcome_row(const std::string& label, const campaign::CampaignReport& report) {
-  std::printf("%-22s %8.1f %8.1f %8.1f %8.1f %8.1f %8.1f %8zu\n", label.c_str(),
+  std::printf("%-22s %8.1f %8.1f %8.1f %8.1f %8.1f %8.1f %8.1f %8zu\n", label.c_str(),
               100.0 * report.fraction(apps::Outcome::Crashed),
               100.0 * report.fraction(apps::Outcome::NonPropagated),
               100.0 * report.fraction(apps::Outcome::StrictlyCorrect),
               100.0 * report.fraction(apps::Outcome::Correct),
               100.0 * report.fraction(apps::Outcome::SDC),
-              100.0 * report.fraction(apps::Outcome::Timeout), report.total());
+              100.0 * report.fraction(apps::Outcome::Timeout),
+              100.0 * report.fraction(apps::Outcome::AttackEffective), report.total());
   const struct {
     const char* metric;
     apps::Outcome outcome;
@@ -93,7 +94,8 @@ void print_outcome_row(const std::string& label, const campaign::CampaignReport&
               {"strict_pct", apps::Outcome::StrictlyCorrect},
               {"correct_pct", apps::Outcome::Correct},
               {"sdc_pct", apps::Outcome::SDC},
-              {"timeout_pct", apps::Outcome::Timeout}};
+              {"timeout_pct", apps::Outcome::Timeout},
+              {"attack_pct", apps::Outcome::AttackEffective}};
   for (const auto& c : cols) json_record(c.metric, 100.0 * report.fraction(c.outcome), "%", label);
   json_record("experiments", double(report.total()), "count", label);
   json_record("wall_seconds", report.wall_seconds, "s", label);

@@ -33,7 +33,7 @@ struct Options {
   bool quick = false;
   bool full = false;
   std::uint64_t n_override = 0;
-  std::vector<std::string> apps;  // empty = all six
+  std::vector<std::string> apps;  // empty = every registered app
   std::uint64_t seed = 20260706;
   unsigned workers = 0;  // 0 = hardware_concurrency
   bool predecode = true;

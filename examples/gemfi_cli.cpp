@@ -4,8 +4,17 @@
 //
 // Usage:
 //   gemfi_cli --program=<file.s>    run a user-written uAlpha assembly file
-//   gemfi_cli --app=<dct|jacobi|pi|knapsack|deblock|canneal>
+//   gemfi_cli --app=<dct|jacobi|pi|knapsack|deblock|canneal|aes>
 //             [--faults=<file>]        fault config, one Listing-1 line each
+//             [--fault=<line>]         one inline fault spec (repeatable);
+//                                      the grammar covers every model family:
+//                                        transient   Flip:21 ... occ:1
+//                                        stuck-at    StuckAt1:0x200000 ... occ:perm
+//                                        intermittent ... occ:perm duty:2/16
+//                                        burst       Burst:4+3 / RandK:3@0x1234
+//                                        attack      SkipInjectedFault occ:3, or
+//                                                    OpcodeInjectedFault ...
+//                                                    pcwin:0x2000-0x2040
 //             [--cpu=atomic|timing|pipelined]
 //             [--paper]                paper-scale inputs
 //             [--watchdog-mult=<k>]    watchdog = k * golden ticks
@@ -43,7 +52,9 @@
 //   ./gemfi_cli --app=dct --campaign=100 --seed=7 --workers=4
 //       --out=results.jsonl --progress
 //   ./gemfi_cli --app=dct --replay=17 --seed=7
+#include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <memory>
@@ -61,7 +72,8 @@ namespace {
 
 [[noreturn]] void usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s --app=<name> [--faults=<file>] [--cpu=atomic|timing|"
+               "usage: %s --app=<name> [--faults=<file>] [--fault=<line>] "
+               "[--cpu=atomic|timing|"
                "pipelined] [--paper] [--watchdog-mult=<k>] [--log] [--no-predecode]\n"
                "           [--no-fastpath]\n"
                "       %s --app=<name> --campaign=<n> [--seed=<u64>] [--workers=<k>]\n"
@@ -73,12 +85,44 @@ namespace {
   std::exit(2);
 }
 
+/// Checked numeric parsing: a malformed value aborts with a message naming
+/// the offending flag instead of silently becoming 0 (strtoull semantics).
+[[noreturn]] void bad_value(const char* flag, const std::string& text) {
+  std::fprintf(stderr, "invalid numeric value for --%s: '%s'\n", flag,
+               text.c_str());
+  std::exit(2);
+}
+
+std::uint64_t parse_u64_flag(const char* flag, const std::string& text) {
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long v = std::strtoull(text.c_str(), &end, 10);
+  if (text.empty() || text[0] == '-' || *end != '\0' || errno == ERANGE)
+    bad_value(flag, text);
+  return v;
+}
+
+unsigned parse_u32_flag(const char* flag, const std::string& text) {
+  const std::uint64_t v = parse_u64_flag(flag, text);
+  if (v > ~0u) bad_value(flag, text);
+  return unsigned(v);
+}
+
+double parse_f64_flag(const char* flag, const std::string& text) {
+  char* end = nullptr;
+  errno = 0;
+  const double v = std::strtod(text.c_str(), &end);
+  if (text.empty() || *end != '\0' || errno == ERANGE) bad_value(flag, text);
+  return v;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string app_name;
   std::string program_path;
   std::string fault_path;
+  std::vector<std::string> inline_faults;
   std::string out_path;
   sim::CpuKind cpu = sim::CpuKind::Pipelined;
   apps::AppScale scale;
@@ -107,6 +151,8 @@ int main(int argc, char** argv) {
       program_path = arg.substr(10);
     } else if (arg.rfind("--faults=", 0) == 0) {
       fault_path = arg.substr(9);
+    } else if (arg.rfind("--fault=", 0) == 0) {
+      inline_faults.push_back(arg.substr(8));
     } else if (arg.rfind("--cpu=", 0) == 0) {
       const std::string kind = arg.substr(6);
       if (kind == "atomic") cpu = sim::CpuKind::AtomicSimple;
@@ -116,25 +162,25 @@ int main(int argc, char** argv) {
     } else if (arg == "--paper") {
       scale.paper = true;
     } else if (arg.rfind("--watchdog-mult=", 0) == 0) {
-      watchdog_mult = std::strtoull(arg.c_str() + 16, nullptr, 10);
+      watchdog_mult = parse_u64_flag("watchdog-mult", arg.substr(16));
     } else if (arg == "--log") {
       show_log = true;
     } else if (arg.rfind("--campaign=", 0) == 0) {
-      campaign_n = std::strtoull(arg.c_str() + 11, nullptr, 10);
+      campaign_n = parse_u64_flag("campaign", arg.substr(11));
     } else if (arg.rfind("--seed=", 0) == 0) {
-      campaign_seed = std::strtoull(arg.c_str() + 7, nullptr, 10);
+      campaign_seed = parse_u64_flag("seed", arg.substr(7));
     } else if (arg.rfind("--replay=", 0) == 0) {
-      replay_index = std::strtoll(arg.c_str() + 9, nullptr, 10);
+      replay_index = std::int64_t(parse_u64_flag("replay", arg.substr(9)));
     } else if (arg.rfind("--workers=", 0) == 0) {
-      workers = unsigned(std::strtoul(arg.c_str() + 10, nullptr, 10));
+      workers = parse_u32_flag("workers", arg.substr(10));
     } else if (arg.rfind("--now-local=", 0) == 0) {
-      now_local = unsigned(std::strtoul(arg.c_str() + 12, nullptr, 10));
+      now_local = parse_u32_flag("now-local", arg.substr(12));
     } else if (arg.rfind("--slots=", 0) == 0) {
-      slots = unsigned(std::strtoul(arg.c_str() + 8, nullptr, 10));
+      slots = parse_u32_flag("slots", arg.substr(8));
     } else if (arg.rfind("--retries=", 0) == 0) {
-      retries = unsigned(std::strtoul(arg.c_str() + 10, nullptr, 10));
+      retries = parse_u32_flag("retries", arg.substr(10));
     } else if (arg.rfind("--deadline=", 0) == 0) {
-      deadline = std::strtod(arg.c_str() + 11, nullptr);
+      deadline = parse_f64_flag("deadline", arg.substr(11));
     } else if (arg.rfind("--out=", 0) == 0) {
       out_path = arg.substr(6);
     } else if (arg == "--progress") {
@@ -172,6 +218,14 @@ int main(int argc, char** argv) {
       faults = fi::parse_fault_file(body.str());
     } catch (const std::exception& e) {
       std::fprintf(stderr, "%s\n", e.what());
+      return 2;
+    }
+  }
+  for (const std::string& line : inline_faults) {
+    try {
+      faults.push_back(fi::parse_fault(line));
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "--fault=%s: %s\n", line.c_str(), e.what());
       return 2;
     }
   }
@@ -350,7 +404,8 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, " (%s at pc=0x%llx)", cpu::trap_name(rr.trap.kind),
                  (unsigned long long)rr.crash_pc);
   std::fprintf(stderr, "\noutcome: %s", apps::outcome_name(c.outcome));
-  if (c.outcome == apps::Outcome::Correct)
+  if (c.outcome == apps::Outcome::Correct ||
+      c.outcome == apps::Outcome::AttackEffective)
     std::fprintf(stderr, " (metric %.3f)", c.metric);
   std::fprintf(stderr, "\n");
   if (show_log)

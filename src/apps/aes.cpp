@@ -1,0 +1,307 @@
+// Toy AES — the canonical target of fault ATTACKS rather than accidental
+// SEUs. Differential fault analysis (Piret–Quisquater style) recovers key
+// material from a ciphertext pair that differs by a fault injected in the
+// last MixColumns rounds; the attack fault models (SkipInjectedFault,
+// OpcodeInjectedFault with a pcwin: window) reproduce exactly that setup,
+// and any ciphertext deviation is an attacker success — so `acceptable`
+// admits nothing but the bit-exact golden ciphertext.
+//
+// The cipher keeps the real AES round structure (SubBytes via a 256-entry
+// table, ShiftRows as a byte permutation, MixColumns over GF(2^8) with
+// xtime, AddRoundKey) over a 16-byte column-major state, but substitutes a
+// seeded random permutation for the Rijndael S-box and LCG-derived round
+// keys: the dataflow and fault-propagation characteristics match, without
+// pretending to be cryptanalytically meaningful.
+#include "apps/app.hpp"
+
+#include <array>
+#include <cstdio>
+#include <string>
+
+namespace gemfi::apps {
+
+namespace {
+
+constexpr unsigned kFullRounds = 4;  // + initial ARK + final round = 6 keys
+constexpr unsigned kNumRoundKeys = kFullRounds + 2;
+
+struct AesTables {
+  std::array<std::uint8_t, 256> sbox;
+  std::array<std::uint8_t, 16 * kNumRoundKeys> rk;
+};
+
+AesTables make_tables(std::uint64_t seed) {
+  AesTables t;
+  std::uint64_t state = seed ^ 0xae5ull;
+  for (unsigned i = 0; i < 256; ++i) t.sbox[i] = std::uint8_t(i);
+  for (unsigned i = 255; i > 0; --i) {
+    const auto j = unsigned(lcg_next(state) % (i + 1));
+    const std::uint8_t tmp = t.sbox[i];
+    t.sbox[i] = t.sbox[j];
+    t.sbox[j] = tmp;
+  }
+  for (auto& b : t.rk) b = std::uint8_t(lcg_next(state) >> 32);
+  return t;
+}
+
+constexpr std::uint8_t xtime(std::uint8_t a) noexcept {
+  return std::uint8_t((a << 1) ^ ((a >> 7) * 0x1b));
+}
+
+/// ShiftRows on the column-major state (index r + 4c): row r rotates left
+/// by r columns, i.e. new[r + 4c] = old[r + 4((c + r) % 4)].
+constexpr unsigned shift_perm(unsigned i) noexcept {
+  const unsigned r = i % 4, c = i / 4;
+  return r + 4 * ((c + r) % 4);
+}
+
+constexpr std::uint8_t plaintext_byte(std::uint64_t block, unsigned i) noexcept {
+  return std::uint8_t((block * 16 + i) * 17 + 3);
+}
+
+/// Host twin of the guest kernel: must match operation-for-operation.
+std::string golden_aes(const AesTables& t, std::uint64_t blocks) {
+  std::string out;
+  for (std::uint64_t b = 0; b < blocks; ++b) {
+    std::uint8_t st[16], tmp[16];
+    for (unsigned i = 0; i < 16; ++i) st[i] = plaintext_byte(b, i);
+    for (unsigned i = 0; i < 16; ++i) st[i] ^= t.rk[i];
+    for (unsigned round = 1; round <= kFullRounds + 1; ++round) {
+      for (unsigned i = 0; i < 16; ++i) st[i] = t.sbox[st[i]];
+      for (unsigned i = 0; i < 16; ++i) tmp[i] = st[shift_perm(i)];
+      for (unsigned i = 0; i < 16; ++i) st[i] = tmp[i];
+      if (round <= kFullRounds) {
+        for (unsigned c = 0; c < 4; ++c) {
+          std::uint8_t* col = st + 4 * c;
+          const std::uint8_t a0 = col[0], a1 = col[1], a2 = col[2], a3 = col[3];
+          col[0] = std::uint8_t(xtime(a0) ^ a1 ^ xtime(a1) ^ a2 ^ a3);
+          col[1] = std::uint8_t(a0 ^ xtime(a1) ^ a2 ^ xtime(a2) ^ a3);
+          col[2] = std::uint8_t(a0 ^ a1 ^ xtime(a2) ^ a3 ^ xtime(a3));
+          col[3] = std::uint8_t(a0 ^ xtime(a0) ^ a1 ^ a2 ^ xtime(a3));
+        }
+      }
+      for (unsigned i = 0; i < 16; ++i) st[i] ^= t.rk[round * 16 + i];
+    }
+    char buf[8];
+    for (unsigned i = 0; i < 16; ++i) {
+      std::snprintf(buf, sizeof buf, "%u ", unsigned(st[i]));
+      out += buf;
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace
+
+App build_aes(const AppScale& scale) {
+  using namespace assembler;
+  const std::uint64_t blocks = scale.paper ? 8 : 2;
+  const AesTables tables = make_tables(scale.seed);
+
+  Assembler as;
+  const Label entry = as.here("main");
+  emit_boot(as);
+
+  // Tables live in the data section, one byte per u64 word so every access
+  // is a plain s8addq-indexed LDQ/STQ.
+  std::array<std::uint64_t, 256> sbox64;
+  for (unsigned i = 0; i < 256; ++i) sbox64[i] = tables.sbox[i];
+  std::array<std::uint64_t, 16 * kNumRoundKeys> rk64;
+  for (unsigned i = 0; i < rk64.size(); ++i) rk64[i] = tables.rk[i];
+  std::array<std::uint64_t, 16> perm64;
+  for (unsigned i = 0; i < 16; ++i) perm64[i] = shift_perm(i);
+  const DataRef sbox_d = as.data_u64(std::span<const std::uint64_t>(sbox64));
+  const DataRef rk_d = as.data_u64(std::span<const std::uint64_t>(rk64));
+  const DataRef perm_d = as.data_u64(std::span<const std::uint64_t>(perm64));
+  const DataRef state_d = as.data_zeros(16 * 8);
+  const DataRef tmp_d = as.data_zeros(16 * 8);
+
+  // --- init phase (pre-checkpoint): pin the invariant table pointers ---
+  as.la(reg::s2, sbox_d);
+  as.li(reg::s5, 0x1b);  // GF(2^8) reduction polynomial for xtime
+
+  const auto emit_sub_bytes = [&] {
+    as.la(reg::t0, state_d);
+    as.li(reg::t1, 16);
+    const Label loop = as.here();
+    as.ldq(reg::t2, 0, reg::t0);
+    as.s8addq(reg::t2, reg::s2, reg::t3);
+    as.ldq(reg::t3, 0, reg::t3);
+    as.stq(reg::t3, 0, reg::t0);
+    as.lda(reg::t0, 8, reg::t0);
+    as.subq_i(reg::t1, 1, reg::t1);
+    as.bne(reg::t1, loop);
+  };
+
+  const auto emit_shift_rows = [&] {
+    as.la(reg::t0, perm_d);
+    as.la(reg::t1, state_d);
+    as.la(reg::t2, tmp_d);
+    as.li(reg::t3, 16);
+    const Label gather = as.here();
+    as.ldq(reg::t4, 0, reg::t0);
+    as.s8addq(reg::t4, reg::t1, reg::t5);
+    as.ldq(reg::t5, 0, reg::t5);
+    as.stq(reg::t5, 0, reg::t2);
+    as.lda(reg::t0, 8, reg::t0);
+    as.lda(reg::t2, 8, reg::t2);
+    as.subq_i(reg::t3, 1, reg::t3);
+    as.bne(reg::t3, gather);
+    as.la(reg::t1, state_d);
+    as.la(reg::t2, tmp_d);
+    as.li(reg::t3, 16);
+    const Label copy = as.here();
+    as.ldq(reg::t4, 0, reg::t2);
+    as.stq(reg::t4, 0, reg::t1);
+    as.lda(reg::t1, 8, reg::t1);
+    as.lda(reg::t2, 8, reg::t2);
+    as.subq_i(reg::t3, 1, reg::t3);
+    as.bne(reg::t3, copy);
+  };
+
+  // xt(src) -> dst, clobbering a3. dst = ((src << 1) ^ ((src >> 7) * 0x1b)) & 0xff.
+  const auto emit_xtime = [&](unsigned src, unsigned dst) {
+    as.sll_i(src, 1, dst);
+    as.srl_i(src, 7, reg::a3);
+    as.mulq(reg::a3, reg::s5, reg::a3);
+    as.xor_(dst, reg::a3, dst);
+    as.and_i(dst, 0xff, dst);
+  };
+
+  const auto emit_mix_columns = [&] {
+    as.la(reg::t0, state_d);
+    as.li(reg::t1, 4);
+    const Label col = as.here();
+    as.ldq(reg::t2, 0, reg::t0);   // a0
+    as.ldq(reg::t3, 8, reg::t0);   // a1
+    as.ldq(reg::t4, 16, reg::t0);  // a2
+    as.ldq(reg::t5, 24, reg::t0);  // a3
+    emit_xtime(reg::t2, reg::t6);
+    emit_xtime(reg::t3, reg::t7);
+    emit_xtime(reg::t4, reg::t8);
+    emit_xtime(reg::t5, reg::t9);
+    // new0 = xt0 ^ a1 ^ xt1 ^ a2 ^ a3
+    as.xor_(reg::t6, reg::t3, reg::t10);
+    as.xor_(reg::t10, reg::t7, reg::t10);
+    as.xor_(reg::t10, reg::t4, reg::t10);
+    as.xor_(reg::t10, reg::t5, reg::t10);
+    // new1 = a0 ^ xt1 ^ a2 ^ xt2 ^ a3
+    as.xor_(reg::t2, reg::t7, reg::t11);
+    as.xor_(reg::t11, reg::t4, reg::t11);
+    as.xor_(reg::t11, reg::t8, reg::t11);
+    as.xor_(reg::t11, reg::t5, reg::t11);
+    // new2 = a0 ^ a1 ^ xt2 ^ a3 ^ xt3
+    as.xor_(reg::t2, reg::t3, reg::a1);
+    as.xor_(reg::a1, reg::t8, reg::a1);
+    as.xor_(reg::a1, reg::t5, reg::a1);
+    as.xor_(reg::a1, reg::t9, reg::a1);
+    // new3 = a0 ^ xt0 ^ a1 ^ a2 ^ xt3
+    as.xor_(reg::t2, reg::t6, reg::a2);
+    as.xor_(reg::a2, reg::t3, reg::a2);
+    as.xor_(reg::a2, reg::t4, reg::a2);
+    as.xor_(reg::a2, reg::t9, reg::a2);
+    as.stq(reg::t10, 0, reg::t0);
+    as.stq(reg::t11, 8, reg::t0);
+    as.stq(reg::a1, 16, reg::t0);
+    as.stq(reg::a2, 24, reg::t0);
+    as.lda(reg::t0, 32, reg::t0);
+    as.subq_i(reg::t1, 1, reg::t1);
+    as.bne(reg::t1, col);
+  };
+
+  const auto emit_add_round_key = [&](unsigned round) {
+    as.la(reg::t0, state_d);
+    as.la(reg::t1, rk_d);
+    as.lda(reg::t1, std::int16_t(round * 16 * 8), reg::t1);
+    as.li(reg::t2, 16);
+    const Label loop = as.here();
+    as.ldq(reg::t3, 0, reg::t0);
+    as.ldq(reg::t4, 0, reg::t1);
+    as.xor_(reg::t3, reg::t4, reg::t3);
+    as.stq(reg::t3, 0, reg::t0);
+    as.lda(reg::t0, 8, reg::t0);
+    as.lda(reg::t1, 8, reg::t1);
+    as.subq_i(reg::t2, 1, reg::t2);
+    as.bne(reg::t2, loop);
+  };
+
+  as.fi_read_init();  // checkpoint boundary
+  as.mov_i(0, reg::a0);
+  as.fi_activate();   // FI on, thread id 0
+
+  as.li(reg::s0, 0);  // block counter
+  const Label block_loop = as.here("block");
+
+  // state[i] = plaintext_byte(b, i) = ((b*16 + i)*17 + 3) & 0xff
+  as.la(reg::t0, state_d);
+  as.li(reg::t1, 0);
+  const Label init = as.here();
+  as.sll_i(reg::s0, 4, reg::t2);
+  as.addq(reg::t2, reg::t1, reg::t2);
+  as.sll_i(reg::t2, 4, reg::t3);  // *17 = x + (x << 4)
+  as.addq(reg::t2, reg::t3, reg::t2);
+  as.addq_i(reg::t2, 3, reg::t2);
+  as.and_i(reg::t2, 0xff, reg::t2);
+  as.stq(reg::t2, 0, reg::t0);
+  as.lda(reg::t0, 8, reg::t0);
+  as.addq_i(reg::t1, 1, reg::t1);
+  as.cmplt_i(reg::t1, 16, reg::t2);
+  as.bne(reg::t2, init);
+
+  emit_add_round_key(0);
+  for (unsigned round = 1; round <= kFullRounds; ++round) {
+    emit_sub_bytes();
+    emit_shift_rows();
+    emit_mix_columns();
+    emit_add_round_key(round);
+  }
+  emit_sub_bytes();
+  emit_shift_rows();
+  emit_add_round_key(kFullRounds + 1);
+
+  // Print the ciphertext block as decimal bytes.
+  as.la(reg::s1, state_d);
+  as.li(reg::s3, 16);
+  const Label print = as.here();
+  as.ldq(reg::a0, 0, reg::s1);
+  as.print_int();
+  as.mov_i(' ', reg::a0);
+  as.print_char();
+  as.lda(reg::s1, 8, reg::s1);
+  as.subq_i(reg::s3, 1, reg::s3);
+  as.bne(reg::s3, print);
+  emit_newline(as);
+
+  as.addq_i(reg::s0, 1, reg::s0);
+  as.li(reg::t0, std::int64_t(blocks));
+  as.cmplt(reg::s0, reg::t0, reg::t1);
+  as.bne(reg::t1, block_loop);
+
+  as.mov_i(0, reg::a0);
+  as.fi_activate();  // FI off
+
+  as.mov_i(0, reg::a0);
+  as.exit_();
+
+  App app;
+  app.name = "aes";
+  app.program = as.finalize(entry);
+
+  const std::string golden = golden_aes(tables, blocks);
+  // Crypto has no quality margin: any ciphertext deviation is an attacker
+  // success (DFA needs exactly one faulty ciphertext), so only the bit-exact
+  // golden output is acceptable. `metric` reports the differing-byte count.
+  app.acceptable = [golden](const std::string& out, double& metric) {
+    std::size_t diff = out.size() > golden.size() ? out.size() - golden.size()
+                                                  : golden.size() - out.size();
+    const std::size_t common = out.size() < golden.size() ? out.size() : golden.size();
+    for (std::size_t i = 0; i < common; ++i) diff += out[i] != golden[i];
+    metric = double(diff);
+    return diff == 0;
+  };
+  app.golden_output = golden;  // provisional; calibrate() overwrites with a real run
+  return app;
+}
+
+}  // namespace gemfi::apps

@@ -12,6 +12,7 @@ const char* outcome_name(Outcome o) noexcept {
     case Outcome::Correct: return "correct";
     case Outcome::SDC: return "SDC";
     case Outcome::Timeout: return "timeout";
+    case Outcome::AttackEffective: return "attack-effective";
   }
   return "?";
 }
@@ -65,7 +66,7 @@ void emit_newline(assembler::Assembler& as) {
 }
 
 std::vector<std::string> app_names() {
-  return {"dct", "jacobi", "pi", "knapsack", "deblock", "canneal"};
+  return {"dct", "jacobi", "pi", "knapsack", "deblock", "canneal", "aes"};
 }
 
 App build_app(const std::string& name, const AppScale& scale) {
@@ -75,6 +76,7 @@ App build_app(const std::string& name, const AppScale& scale) {
   if (name == "knapsack") return build_knapsack(scale);
   if (name == "deblock") return build_deblock(scale);
   if (name == "canneal") return build_canneal(scale);
+  if (name == "aes") return build_aes(scale);
   throw std::invalid_argument("unknown app: " + name);
 }
 

@@ -29,6 +29,10 @@ namespace gemfi::apps {
 /// off by the tick watchdog or the wall-clock deadline. The paper folds
 /// these into "Crashed"; we keep them separate so fault-induced livelocks
 /// are distinguishable from genuine traps in campaign statistics.
+/// AttackEffective covers deliberate-fault experiments (instruction skip,
+/// opcode corruption): the attack landed and the program ran to completion
+/// with an altered output — the adversary's success case, which would
+/// otherwise be indistinguishable from an accidental SDC.
 enum class Outcome : std::uint8_t {
   Crashed,
   NonPropagated,
@@ -36,8 +40,9 @@ enum class Outcome : std::uint8_t {
   Correct,
   SDC,
   Timeout,
+  AttackEffective,
 };
-inline constexpr unsigned kNumOutcomes = 6;
+inline constexpr unsigned kNumOutcomes = 7;
 
 const char* outcome_name(Outcome o) noexcept;
 
@@ -81,6 +86,7 @@ App build_dct(const AppScale& scale = {});
 App build_knapsack(const AppScale& scale = {});
 App build_deblock(const AppScale& scale = {});
 App build_canneal(const AppScale& scale = {});
+App build_aes(const AppScale& scale = {});
 
 /// All six, in the paper's presentation order.
 std::vector<std::string> app_names();

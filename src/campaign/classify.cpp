@@ -2,6 +2,22 @@
 
 namespace gemfi::campaign {
 
+namespace {
+
+/// Did a deliberate attack fault (instruction skip / opcode corruption)
+/// actually land in this run?
+bool attack_applied(const fi::FaultManager& fm) noexcept {
+  for (const auto& fs : fm.states()) {
+    const auto loc = fs.fault.location;
+    if (fs.applied > 0 && (loc == fi::FaultLocation::Skip ||
+                           loc == fi::FaultLocation::Opcode))
+      return true;
+  }
+  return false;
+}
+
+}  // namespace
+
 Classification classify(const apps::App& app, const sim::RunResult& rr,
                         const fi::FaultManager& fm, const std::string& output) {
   Classification c;
@@ -19,6 +35,14 @@ Classification classify(const apps::App& app, const sim::RunResult& rr,
   if (app.outputs_strictly_equal(output)) {
     c.outcome = fm.any_propagated() ? apps::Outcome::StrictlyCorrect
                                     : apps::Outcome::NonPropagated;
+    return c;
+  }
+  // A normally-terminating run whose output diverged under an applied
+  // deliberate fault is the attacker's success case — report it as such
+  // rather than folding it into the accidental Correct/SDC classes.
+  if (attack_applied(fm)) {
+    if (app.acceptable) app.acceptable(output, c.metric);  // still report quality
+    c.outcome = apps::Outcome::AttackEffective;
     return c;
   }
   c.outcome = app.acceptable && app.acceptable(output, c.metric) ? apps::Outcome::Correct

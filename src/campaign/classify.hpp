@@ -11,7 +11,11 @@
 //   StrictlyCorrect  — fault propagated but the output is bit-wise identical
 //                      to the error-free execution;
 //   Correct          — output within the application's acceptable margin;
-//   SDC              — terminated normally with an unacceptable output.
+//   SDC              — terminated normally with an unacceptable output;
+//   AttackEffective  — a deliberate fault (SkipInjectedFault /
+//                      OpcodeInjectedFault) was applied and the program
+//                      terminated normally with an altered output — the
+//                      success criterion of fault-attack experiments.
 #pragma once
 
 #include "apps/app.hpp"

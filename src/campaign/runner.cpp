@@ -183,13 +183,62 @@ fi::Fault random_fault(util::Rng& rng, fi::FaultLocation location,
     case fi::FaultLocation::PC:
       f.operand = rng.below(64);
       break;
+    case fi::FaultLocation::Skip:
+      f.operand = 0;
+      break;
+    case fi::FaultLocation::Opcode:
+      f.operand = rng.below(6);
+      break;
   }
   return f;
 }
 
 fi::Fault random_fault_any(util::Rng& rng, std::uint64_t kernel_fetches) {
-  const auto loc = static_cast<fi::FaultLocation>(rng.below(fi::kNumFaultLocations));
+  // Uniform over the SEU-prone structures only; Skip/Opcode model deliberate
+  // attacks and would skew the paper-style outcome distributions.
+  const auto loc = static_cast<fi::FaultLocation>(rng.below(fi::kNumSeuFaultLocations));
   return random_fault(rng, loc, kernel_fetches);
+}
+
+fi::Fault random_model_fault(util::Rng& rng, fi::FaultModelKind kind,
+                             std::uint64_t kernel_fetches) {
+  if (kind == fi::FaultModelKind::Attack) {
+    const auto loc =
+        rng.chance(0.5) ? fi::FaultLocation::Skip : fi::FaultLocation::Opcode;
+    fi::Fault f = random_fault(rng, loc, kernel_fetches);
+    if (loc == fi::FaultLocation::Skip) f.occurrences = 1 + rng.below(4);
+    return f;
+  }
+
+  fi::Fault f = random_fault_any(rng, kernel_fetches);
+  const unsigned width = fi::fault_target_width(f.location);
+  switch (kind) {
+    case fi::FaultModelKind::Transient:
+      break;  // random_fault_any already is the paper's SEU
+    case fi::FaultModelKind::StuckAt: {
+      const std::uint64_t mask = 1ull << (f.operand % 64);
+      f.behavior =
+          rng.chance(0.5) ? fi::FaultBehavior::StuckOne : fi::FaultBehavior::StuckZero;
+      f.operand = mask;
+      f.occurrences = fi::kPermanent;
+      break;
+    }
+    case fi::FaultModelKind::Intermittent:
+      f.occurrences = fi::kPermanent;
+      f.duty_period = 8ull << rng.below(6);  // period 8 .. 256 instructions
+      f.duty_active = 1 + rng.below(f.duty_period / 2);
+      break;
+    case fi::FaultModelKind::Burst: {
+      const unsigned len = 2 + unsigned(rng.below(3));  // 2..4 adjacent bits
+      const unsigned start = unsigned(rng.below(width >= len ? width - len + 1 : 1));
+      f.behavior = fi::FaultBehavior::Burst;
+      f.operand = fi::Fault::burst_operand(start, len);
+      break;
+    }
+    case fi::FaultModelKind::Attack:
+      break;  // handled above
+  }
+  return f;
 }
 
 fi::Fault seeded_fault_any(std::uint64_t campaign_seed, std::uint64_t index,

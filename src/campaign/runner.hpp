@@ -88,8 +88,16 @@ CalibratedApp calibrate(apps::App app, const CampaignConfig& cfg);
 fi::Fault random_fault(util::Rng& rng, fi::FaultLocation location,
                        std::uint64_t kernel_fetches);
 
-/// Uniform over all locations as well.
+/// Uniform over the SEU locations as well (Skip/Opcode excluded: attacks
+/// are sampled explicitly via random_model_fault, never by SEU campaigns).
 fi::Fault random_fault_any(util::Rng& rng, std::uint64_t kernel_fetches);
+
+/// A fault drawn from one of the extended model families: transient SEU
+/// (= random_fault_any), permanent stuck-at bit, duty-cycled intermittent,
+/// contiguous multi-bit burst, or an attack (instruction skip / opcode
+/// corruption). Used by model-taxonomy campaigns and benches.
+fi::Fault random_model_fault(util::Rng& rng, fi::FaultModelKind kind,
+                             std::uint64_t kernel_fetches);
 
 /// The RNG seed of experiment `index` in a campaign rooted at
 /// `campaign_seed`: splitmix64(campaign_seed ^ index). Deterministic and

@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "util/bits.hpp"
+#include "util/rng.hpp"
 
 namespace gemfi::fi {
 
@@ -18,6 +19,8 @@ const char* fault_location_name(FaultLocation l) noexcept {
     case FaultLocation::Execute: return "ExecutionStageInjectedFault";
     case FaultLocation::LoadStore: return "LoadStoreInjectedFault";
     case FaultLocation::PC: return "PCInjectedFault";
+    case FaultLocation::Skip: return "SkipInjectedFault";
+    case FaultLocation::Opcode: return "OpcodeInjectedFault";
   }
   return "?";
 }
@@ -29,9 +32,74 @@ const char* fault_behavior_name(FaultBehavior b) noexcept {
     case FaultBehavior::Imm: return "Imm";
     case FaultBehavior::AllZero: return "AllZero";
     case FaultBehavior::AllOne: return "AllOne";
+    case FaultBehavior::StuckZero: return "StuckAt0";
+    case FaultBehavior::StuckOne: return "StuckAt1";
+    case FaultBehavior::Burst: return "Burst";
+    case FaultBehavior::RandK: return "RandK";
   }
   return "?";
 }
+
+const char* fault_model_kind_name(FaultModelKind k) noexcept {
+  switch (k) {
+    case FaultModelKind::Transient: return "transient";
+    case FaultModelKind::StuckAt: return "stuck-at";
+    case FaultModelKind::Intermittent: return "intermittent";
+    case FaultModelKind::Burst: return "burst";
+    case FaultModelKind::Attack: return "attack";
+  }
+  return "?";
+}
+
+unsigned fault_target_width(FaultLocation l) noexcept {
+  switch (l) {
+    case FaultLocation::IntReg:
+    case FaultLocation::FpReg:
+    case FaultLocation::Execute:
+    case FaultLocation::LoadStore:
+    case FaultLocation::PC: return 64;
+    case FaultLocation::Fetch:
+    case FaultLocation::Skip: return 32;  // the fetched instruction word
+    case FaultLocation::Decode: return 5;  // a register-selection field
+    case FaultLocation::Opcode: return 6;  // the opcode field [31:26]
+  }
+  return 64;
+}
+
+namespace {
+
+/// Contiguous flip mask for Burst: `len` bits starting at `start`, clamped
+/// into [0, width) so every shift stays well-defined for any operand.
+std::uint64_t burst_mask(std::uint64_t operand, unsigned width) noexcept {
+  if (width == 0) return 0;
+  const unsigned start = unsigned(operand & 0xff) % width;
+  unsigned len = unsigned((operand >> 8) & 0xff);
+  if (len > width - start) len = width - start;
+  if (len == 0) return 0;
+  const std::uint64_t run = len >= 64 ? ~0ull : (1ull << len) - 1;
+  return run << start;
+}
+
+/// k distinct pseudo-random bit positions in [0, width), derived only from
+/// the operand's seed field — deterministic across runs and replay.
+std::uint64_t randk_mask(std::uint64_t operand, unsigned width) noexcept {
+  if (width == 0) return 0;
+  unsigned k = unsigned(operand & 0xff);
+  if (k > width) k = width;
+  std::uint64_t seed = operand >> 8;
+  std::uint64_t mask = 0;
+  unsigned set = 0;
+  for (unsigned guard = 0; set < k && guard < 1024; ++guard) {
+    const unsigned pos = unsigned(util::splitmix64(seed) % width);
+    if (((mask >> pos) & 1ull) == 0) {
+      mask |= 1ull << pos;
+      ++set;
+    }
+  }
+  return mask;
+}
+
+}  // namespace
 
 std::uint64_t Fault::corrupt(std::uint64_t value, unsigned width) const noexcept {
   const std::uint64_t mask = width >= 64 ? ~0ull : (1ull << width) - 1;
@@ -42,30 +110,51 @@ std::uint64_t Fault::corrupt(std::uint64_t value, unsigned width) const noexcept
     case FaultBehavior::Imm: v = operand; break;
     case FaultBehavior::AllZero: v = 0; break;
     case FaultBehavior::AllOne: v = ~0ull; break;
+    case FaultBehavior::StuckZero: v &= ~operand; break;
+    case FaultBehavior::StuckOne: v |= operand; break;
+    case FaultBehavior::Burst: v ^= burst_mask(operand, width); break;
+    case FaultBehavior::RandK: v ^= randk_mask(operand, width); break;
   }
   return v & mask;
 }
 
 std::string Fault::to_line() const {
-  char buf[256];
+  char t[64];
   std::string behavior_tok;
   switch (behavior) {
     case FaultBehavior::Flip: behavior_tok = "Flip:" + std::to_string(operand); break;
-    case FaultBehavior::Xor: {
-      char t[32];
+    case FaultBehavior::Xor:
       std::snprintf(t, sizeof t, "Xor:0x%" PRIx64, operand);
       behavior_tok = t;
       break;
-    }
-    case FaultBehavior::Imm: {
-      char t[32];
+    case FaultBehavior::Imm:
       std::snprintf(t, sizeof t, "Imm:0x%" PRIx64, operand);
       behavior_tok = t;
       break;
-    }
     case FaultBehavior::AllZero: behavior_tok = "AllZero"; break;
     case FaultBehavior::AllOne: behavior_tok = "AllOne"; break;
+    case FaultBehavior::StuckZero:
+      std::snprintf(t, sizeof t, "StuckAt0:0x%" PRIx64, operand);
+      behavior_tok = t;
+      break;
+    case FaultBehavior::StuckOne:
+      std::snprintf(t, sizeof t, "StuckAt1:0x%" PRIx64, operand);
+      behavior_tok = t;
+      break;
+    case FaultBehavior::Burst:
+      std::snprintf(t, sizeof t, "Burst:%u+%u", unsigned(operand & 0xff),
+                    unsigned((operand >> 8) & 0xff));
+      behavior_tok = t;
+      break;
+    case FaultBehavior::RandK:
+      std::snprintf(t, sizeof t, "RandK:%u@0x%" PRIx64, unsigned(operand & 0xff),
+                    operand >> 8);
+      behavior_tok = t;
+      break;
   }
+  // A skipped instruction has no value to corrupt: Skip carries no behavior.
+  if (location == FaultLocation::Skip) behavior_tok.clear();
+
   const std::string occ_tok =
       occurrences == kPermanent ? "occ:perm" : "occ:" + std::to_string(occurrences);
   std::string suffix;
@@ -75,10 +164,21 @@ std::string Fault::to_line() const {
     static const char* kFields[] = {"ra", "rb", "rc"};
     suffix = std::string(" field ") + kFields[unsigned(decode_field)];
   }
-  std::snprintf(buf, sizeof buf, "%s %s:%" PRIu64 " %s Threadid:%d system.cpu%u %s%s",
+  if (duty_period != 0) {
+    std::snprintf(t, sizeof t, " duty:%" PRIu64 "/%" PRIu64, duty_active, duty_period);
+    suffix += t;
+  }
+  if (pc_hi != 0) {
+    std::snprintf(t, sizeof t, " pcwin:0x%" PRIx64 "-0x%" PRIx64, pc_lo, pc_hi);
+    suffix += t;
+  }
+
+  char buf[256];
+  std::snprintf(buf, sizeof buf, "%s %s:%" PRIu64 "%s%s Threadid:%d system.cpu%u %s%s",
                 fault_location_name(location),
                 time_kind == FaultTimeKind::Instruction ? "Inst" : "Tick", time,
-                behavior_tok.c_str(), thread_id, core, occ_tok.c_str(), suffix.c_str());
+                behavior_tok.empty() ? "" : " ", behavior_tok.c_str(), thread_id, core,
+                occ_tok.c_str(), suffix.c_str());
   return buf;
 }
 
@@ -118,9 +218,16 @@ Fault parse_fault(const std::string& line) {
     f.location = FaultLocation::Execute;
   } else if (type == "LoadStoreInjectedFault") {
     f.location = FaultLocation::LoadStore;
+  } else if (type == "SkipInjectedFault") {
+    f.location = FaultLocation::Skip;
+  } else if (type == "OpcodeInjectedFault") {
+    f.location = FaultLocation::Opcode;
   } else {
     bad(line, "unknown fault type '" + type + "'");
   }
+  const bool fetch_path = f.location == FaultLocation::Fetch ||
+                          f.location == FaultLocation::Skip ||
+                          f.location == FaultLocation::Opcode;
 
   bool have_time = false;
   bool have_behavior = false;
@@ -158,6 +265,50 @@ Fault parse_fault(const std::string& line) {
     } else if (t == "AllOne") {
       f.behavior = FaultBehavior::AllOne;
       have_behavior = true;
+    } else if (t.rfind("StuckAt0:", 0) == 0) {
+      f.behavior = FaultBehavior::StuckZero;
+      f.operand = parse_u64(line, t.substr(9));
+      have_behavior = true;
+    } else if (t.rfind("StuckAt1:", 0) == 0) {
+      f.behavior = FaultBehavior::StuckOne;
+      f.operand = parse_u64(line, t.substr(9));
+      have_behavior = true;
+    } else if (t.rfind("Burst:", 0) == 0) {
+      const std::string v = t.substr(6);
+      const auto plus = v.find('+');
+      if (plus == std::string::npos) bad(line, "Burst needs <start>+<len>");
+      const std::uint64_t start = parse_u64(line, v.substr(0, plus));
+      const std::uint64_t len = parse_u64(line, v.substr(plus + 1));
+      if (start > 255 || len > 255) bad(line, "Burst start/len out of range");
+      f.behavior = FaultBehavior::Burst;
+      f.operand = Fault::burst_operand(unsigned(start), unsigned(len));
+      have_behavior = true;
+    } else if (t.rfind("RandK:", 0) == 0) {
+      const std::string v = t.substr(6);
+      const auto at = v.find('@');
+      if (at == std::string::npos) bad(line, "RandK needs <k>@<seed>");
+      const std::uint64_t k = parse_u64(line, v.substr(0, at));
+      const std::uint64_t seed = parse_u64(line, v.substr(at + 1));
+      if (k > 255) bad(line, "RandK k out of range");
+      f.behavior = FaultBehavior::RandK;
+      f.operand = Fault::randk_operand(unsigned(k), seed);
+      have_behavior = true;
+    } else if (t.rfind("duty:", 0) == 0) {
+      const std::string v = t.substr(5);
+      const auto slash = v.find('/');
+      if (slash == std::string::npos) bad(line, "duty needs <active>/<period>");
+      f.duty_active = parse_u64(line, v.substr(0, slash));
+      f.duty_period = parse_u64(line, v.substr(slash + 1));
+      if (f.duty_period == 0 || f.duty_active == 0 || f.duty_active > f.duty_period)
+        bad(line, "duty needs 1 <= active <= period");
+    } else if (t.rfind("pcwin:", 0) == 0) {
+      if (!fetch_path) bad(line, "'pcwin' only valid for fetch-path faults");
+      const std::string v = t.substr(6);
+      const auto dash = v.find('-');
+      if (dash == std::string::npos) bad(line, "pcwin needs 0x<lo>-0x<hi>");
+      f.pc_lo = parse_u64(line, v.substr(0, dash));
+      f.pc_hi = parse_u64(line, v.substr(dash + 1));
+      if (f.pc_hi == 0 || f.pc_lo > f.pc_hi) bad(line, "pcwin needs lo <= hi, hi > 0");
     } else if (t.rfind("Threadid:", 0) == 0) {
       f.thread_id = int(parse_u64(line, t.substr(9)));
     } else if (t.rfind("system.cpu", 0) == 0) {
@@ -191,7 +342,14 @@ Fault parse_fault(const std::string& line) {
   }
 
   if (!have_time) bad(line, "missing Inst:/Tick: time attribute");
-  if (!have_behavior) bad(line, "missing behavior attribute");
+  // Skip replaces the instruction wholesale; there is no value to corrupt,
+  // so the behavior attribute is meaningless (and ignored when present).
+  if (!have_behavior && f.location != FaultLocation::Skip)
+    bad(line, "missing behavior attribute");
+  if (f.location == FaultLocation::Skip) {
+    f.behavior = FaultBehavior::Flip;
+    f.operand = 0;
+  }
   if (type == "RegisterInjectedFault" && !have_reg)
     bad(line, "register fault needs 'int N' or 'float N'");
   return f;

@@ -11,6 +11,17 @@
 //   ExecutionStageInjectedFault Inst:400 AllOne Threadid:0 system.cpu0 occ:3
 //   LoadStoreInjectedFault Inst:77 Flip:31 Threadid:0 system.cpu0 occ:1
 //   PCInjectedFault Inst:1200 Flip:4 Threadid:0 system.cpu0 occ:1
+//
+// Beyond the paper's transient bit flips, the grammar covers the fault
+// models of the successor tools (CHAOS-style stuck-at/intermittent faults,
+// InjectV-style attacks):
+//
+//   RegisterInjectedFault Inst:100 StuckAt1:0x200000 Threadid:0 system.cpu0 occ:perm int 1
+//   FetchStageInjectedFault Inst:50 Burst:4+3 Threadid:0 system.cpu0 occ:1
+//   RegisterInjectedFault Inst:10 RandK:3@0x1234 Threadid:0 system.cpu0 occ:1 int 5
+//   RegisterInjectedFault Inst:10 Flip:21 Threadid:0 system.cpu0 occ:perm int 1 duty:2/16
+//   SkipInjectedFault Inst:500 Threadid:0 system.cpu0 occ:3
+//   OpcodeInjectedFault Inst:1 Xor:0x3f Threadid:0 system.cpu0 occ:1 pcwin:0x2000-0x2040
 #pragma once
 
 #include <cstdint>
@@ -19,7 +30,10 @@
 
 namespace gemfi::fi {
 
-/// Micro-architectural fault location (paper Sec. III-A-1 / Fig. 1).
+/// Micro-architectural fault location (paper Sec. III-A-1 / Fig. 1). The
+/// first seven are the paper's SEU-prone structures; Skip and Opcode model
+/// deliberate InjectV-style attacks on the fetch path and are excluded from
+/// uniform SEU sampling.
 enum class FaultLocation : std::uint8_t {
   IntReg,     // integer register file
   FpReg,      // floating-point register file
@@ -28,8 +42,11 @@ enum class FaultLocation : std::uint8_t {
   Execute,    // result / effective address at the execution stage
   LoadStore,  // data value of a memory transaction
   PC,         // program counter
+  Skip,       // attack: fetched instruction replaced with a NOP
+  Opcode,     // attack: the opcode field [31:26] of the fetched word
 };
-inline constexpr unsigned kNumFaultLocations = 7;
+inline constexpr unsigned kNumSeuFaultLocations = 7;  // SEU-samplable prefix
+inline constexpr unsigned kNumFaultLocations = 9;
 
 const char* fault_location_name(FaultLocation l) noexcept;
 
@@ -38,16 +55,38 @@ enum class FaultTimeKind : std::uint8_t {
   Tick,         // Tick:N — simulation ticks since fi_activate_inst()
 };
 
-/// How the targeted value is corrupted (Sec. III-A-4).
+/// How the targeted value is corrupted (Sec. III-A-4), extended with
+/// stuck-at masks and multi-bit bursts.
 enum class FaultBehavior : std::uint8_t {
-  Flip,     // flip bit `operand`
-  Xor,      // XOR with mask `operand`
-  Imm,      // overwrite with immediate `operand`
-  AllZero,  // set every bit to 0
-  AllOne,   // set every bit to 1
+  Flip,       // flip bit `operand`
+  Xor,        // XOR with mask `operand`
+  Imm,        // overwrite with immediate `operand`
+  AllZero,    // set every bit to 0
+  AllOne,     // set every bit to 1
+  StuckZero,  // force the bits in mask `operand` to 0 (stuck-at-0)
+  StuckOne,   // force the bits in mask `operand` to 1 (stuck-at-1)
+  Burst,      // flip a contiguous run: operand = start | (length << 8)
+  RandK,      // flip k pseudo-random bits: operand = k | (seed << 8)
 };
+inline constexpr unsigned kNumFaultBehaviors = 9;
 
 const char* fault_behavior_name(FaultBehavior b) noexcept;
+
+/// Families of the extended fault models: how a sampled fault presents over
+/// time, orthogonal to where it lands. Used by the reliability model and
+/// campaign/bench parameterization.
+enum class FaultModelKind : std::uint8_t {
+  Transient,     // single upset, occ:1 (the paper's SEU)
+  StuckAt,       // permanent stuck-at-0/1 bit, re-asserted until the end
+  Intermittent,  // duty-cycled upset with active/inactive windows
+  Burst,         // one multi-bit corruption (contiguous or random-k)
+  Attack,        // deliberate instruction skip / opcode corruption
+};
+inline constexpr unsigned kNumFaultModelKinds = 5;
+const char* fault_model_kind_name(FaultModelKind k) noexcept;
+
+/// Bit width of the value a fault at location `l` corrupts.
+unsigned fault_target_width(FaultLocation l) noexcept;
 
 /// Decode-stage sub-target: which register-selection field is corrupted.
 enum class DecodeField : std::uint8_t { Ra = 0, Rb = 1, Rc = 2 };
@@ -65,6 +104,47 @@ struct Fault {
   FaultBehavior behavior = FaultBehavior::Flip;
   std::uint64_t operand = 0;                // bit index / mask / immediate
   std::uint64_t occurrences = 1;            // kPermanent = until program end
+
+  /// Intermittent duty cycling ("duty:A/P"): once triggered, the fault is
+  /// active only while (phase % duty_period) < duty_active, where the phase
+  /// index is the per-thread fetched-instruction counter — deterministic
+  /// under --replay. duty_period == 0 means always active (the default).
+  std::uint64_t duty_period = 0;
+  std::uint64_t duty_active = 0;
+
+  /// Attack PC window ("pcwin:0xLO-0xHI"): fetch-path faults (Fetch, Skip,
+  /// Opcode) fire only while pc_lo <= pc <= pc_hi. pc_hi == 0 disables the
+  /// window (the default).
+  std::uint64_t pc_lo = 0;
+  std::uint64_t pc_hi = 0;
+
+  [[nodiscard]] bool duty_cycled() const noexcept { return duty_period != 0; }
+  [[nodiscard]] bool duty_on(std::uint64_t phase) const noexcept {
+    return duty_period == 0 || phase % duty_period < duty_active;
+  }
+  [[nodiscard]] bool has_pc_window() const noexcept { return pc_hi != 0; }
+  [[nodiscard]] bool pc_in_window(std::uint64_t pc) const noexcept {
+    return pc_hi == 0 || (pc >= pc_lo && pc <= pc_hi);
+  }
+
+  /// Sticky behaviors model a persistent defect: idempotent under
+  /// re-application, so the manager re-asserts them on every boundary while
+  /// the fault is live instead of marking them per instruction.
+  [[nodiscard]] static constexpr bool sticky_behavior(FaultBehavior b) noexcept {
+    return b == FaultBehavior::Imm || b == FaultBehavior::AllZero ||
+           b == FaultBehavior::AllOne || b == FaultBehavior::StuckZero ||
+           b == FaultBehavior::StuckOne;
+  }
+
+  /// Operand encodings for the multi-bit behaviors (start/len/k <= 255).
+  [[nodiscard]] static constexpr std::uint64_t burst_operand(unsigned start,
+                                                             unsigned len) noexcept {
+    return (start & 0xffu) | (std::uint64_t(len & 0xffu) << 8);
+  }
+  [[nodiscard]] static constexpr std::uint64_t randk_operand(unsigned k,
+                                                             std::uint64_t seed) noexcept {
+    return (k & 0xffu) | (seed << 8);
+  }
 
   /// Apply the behavior to a value of `width` bits.
   [[nodiscard]] std::uint64_t corrupt(std::uint64_t value, unsigned width) const noexcept;

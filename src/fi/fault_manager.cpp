@@ -4,11 +4,34 @@
 #include <cinttypes>
 #include <cstdio>
 
+#include "isa/encoding.hpp"
 #include "isa/registers.hpp"
 #include "util/bits.hpp"
 #include "util/log.hpp"
 
 namespace gemfi::fi {
+
+namespace {
+
+/// End of a fault's live window: f.time + f.occurrences, saturating.
+/// Plain addition wraps for finite occurrence counts near kPermanent
+/// (e.g. occ = kPermanent - 1), silently deactivating a fault that should
+/// stay live for the rest of the run.
+constexpr std::uint64_t sat_add(std::uint64_t a, std::uint64_t b) noexcept {
+  const std::uint64_t s = a + b;
+  return s < a ? ~0ull : s;
+}
+
+/// The canonical uAlpha NOP (bis r31, r31, r31): what a skip attack leaves
+/// in place of the fetched instruction.
+constexpr std::uint32_t kNopWord = isa::encode_operate(isa::Opcode::INTL, 0x20, 31, 31, 31);
+
+/// Bound injection-log growth: a permanent stuck-at fault re-asserts every
+/// tick for the rest of the run, which would otherwise accumulate one log
+/// line per tick. Applications beyond the cap still count in FaultState.
+constexpr std::size_t kMaxLogEntries = 4096;
+
+}  // namespace
 
 void FaultManager::load_faults(std::vector<Fault> faults) {
   config_ = std::move(faults);
@@ -34,7 +57,9 @@ void FaultManager::reset_campaign_state() {
   q_direct_.clear();
   for (std::size_t i = 0; i < states_.size(); ++i) {
     switch (states_[i].fault.location) {
-      case FaultLocation::Fetch: q_fetch_.push_back(i); break;
+      case FaultLocation::Fetch:
+      case FaultLocation::Skip:
+      case FaultLocation::Opcode: q_fetch_.push_back(i); break;
       case FaultLocation::Decode: q_decode_.push_back(i); break;
       case FaultLocation::Execute: q_execute_.push_back(i); break;
       case FaultLocation::LoadStore: q_mem_.push_back(i); break;
@@ -92,8 +117,9 @@ bool FaultManager::mem_triggers(const FaultState& fs, std::uint64_t fi_seq) cons
   const Fault& f = fs.fault;
   if (cur_ == nullptr || f.thread_id != cur_->user_id || f.core != core_id_) return false;
   if (f.occurrences != kPermanent && fs.applied >= f.occurrences) return false;
-  if (f.time_kind == FaultTimeKind::Instruction) return fi_seq >= f.time;
-  return now_ - cur_->activation_tick >= f.time;
+  if (f.time_kind == FaultTimeKind::Instruction)
+    return fi_seq >= f.time && f.duty_on(fi_seq - f.time);
+  return now_ - cur_->activation_tick >= f.time && f.duty_on(fi_seq);
 }
 
 bool FaultManager::stage_triggers(const FaultState& fs, std::uint64_t fi_seq) const noexcept {
@@ -102,9 +128,17 @@ bool FaultManager::stage_triggers(const FaultState& fs, std::uint64_t fi_seq) co
   if (f.occurrences != kPermanent && fs.applied >= f.occurrences) return false;
   if (f.time_kind == FaultTimeKind::Instruction) {
     if (fi_seq < f.time) return false;
-    return f.occurrences == kPermanent || fi_seq < f.time + f.occurrences;
+    // Duty cycling is phased off the per-thread fetch counter relative to
+    // the trigger: deterministic under replay, and the first duty_active
+    // instructions after the trigger are the first active window.
+    if (!f.duty_on(fi_seq - f.time)) return false;
+    // A PC-windowed attack waits for the target window instead of firing on
+    // consecutive fetches; the applied count alone bounds its occurrences.
+    if (f.has_pc_window()) return true;
+    return f.occurrences == kPermanent || fi_seq < sat_add(f.time, f.occurrences);
   }
-  return now_ - cur_->activation_tick >= f.time;
+  if (now_ - cur_->activation_tick < f.time) return false;
+  return f.duty_on(fi_seq);
 }
 
 void FaultManager::record(FaultState& fs, std::uint64_t fi_seq, std::uint64_t pc,
@@ -117,6 +151,7 @@ void FaultManager::record(FaultState& fs, std::uint64_t fi_seq, std::uint64_t pc
     fs.corrupted_value = after;
   }
   if (before != after) fs.value_changed = true;
+  if (log_.size() >= kMaxLogEntries) return;
   char buf[256];
   std::snprintf(buf, sizeof buf,
                 "tick=%" PRIu64 " pc=0x%" PRIx64 " seq=%" PRIu64
@@ -133,10 +168,35 @@ FaultManager::FetchResult FaultManager::on_fetch(std::uint64_t pc, std::uint32_t
   for (const std::size_t i : q_fetch_) {
     FaultState& fs = states_[i];
     if (!stage_triggers(fs, seq) || fs.last_marker == seq) continue;
+    if (!fs.fault.pc_in_window(pc)) continue;  // attack waits for its window
     fs.last_marker = seq;
-    const std::uint32_t corrupted = std::uint32_t(fs.fault.corrupt(word, 32));
-    fs.affected_disasm = isa::disassemble(isa::decode(corrupted), pc);
-    record(fs, seq, pc, "instruction-word '" + fs.affected_disasm + "'", word, corrupted);
+    std::uint32_t corrupted;
+    const char* what;
+    switch (fs.fault.location) {
+      case FaultLocation::Skip:
+        // Attack model: the targeted instruction is replaced wholesale with
+        // a NOP, as if the fault suppressed its issue (InjectV-style skip).
+        corrupted = kNopWord;
+        what = "skipped-instruction '";
+        break;
+      case FaultLocation::Opcode:
+        // Attack model: only the opcode field [31:26] is corrupted, turning
+        // the instruction into a different operation on the same operands.
+        corrupted = std::uint32_t(
+            util::insert_bits(word, 26, 6, fs.fault.corrupt(util::bits(word, 26, 6), 6)));
+        what = "opcode-field '";
+        break;
+      default:
+        corrupted = std::uint32_t(fs.fault.corrupt(word, 32));
+        what = "instruction-word '";
+        break;
+    }
+    // For the attack models the victim instruction is the forensically
+    // interesting one; for plain fetch corruption, what now executes.
+    const std::uint32_t shown =
+        fs.fault.location == FaultLocation::Skip ? word : corrupted;
+    fs.affected_disasm = isa::disassemble(isa::decode(shown), pc);
+    record(fs, seq, pc, what + fs.affected_disasm + "'", word, corrupted);
     word = corrupted;
   }
   return {word, seq};
@@ -236,14 +296,18 @@ std::uint64_t FaultManager::next_direct_fault_tick(std::uint64_t from) const noe
     if (f.time_kind == FaultTimeKind::Instruction) {
       // Keyed on the fetched-instruction index, which is frozen during a
       // stall: armed-and-unapplied fires immediately, everything else not
-      // before the next fetch.
+      // before the next fetch. The duty phase is keyed on the same frozen
+      // counter, so an inactive phase stays inactive for the whole stall.
       if (cur_->fetched < f.time) continue;
-      if (f.occurrences != kPermanent && cur_->fetched >= f.time + f.occurrences) continue;
+      if (f.occurrences != kPermanent &&
+          cur_->fetched >= sat_add(f.time, f.occurrences))
+        continue;
+      if (!f.duty_on(cur_->fetched - f.time)) continue;
       if (fs.last_marker == cur_->fetched) continue;
       return from;
     }
-    const bool instruction_marked =
-        f.behavior == FaultBehavior::Flip || f.behavior == FaultBehavior::Xor;
+    if (!f.duty_on(cur_->fetched)) continue;
+    const bool instruction_marked = !Fault::sticky_behavior(f.behavior);
     if (instruction_marked && fs.last_marker == cur_->fetched) continue;
     const std::uint64_t due = cur_->activation_tick + f.time;
     next = std::min(next, due > from ? due : from);
@@ -262,19 +326,22 @@ bool FaultManager::apply_direct_faults(cpu::ArchState& st) {
 
     // Timing: instruction-relative faults fire once per new fetched index;
     // tick-relative faults fire once per tick. Sticky behaviors (Imm,
-    // AllZero, AllOne) model stuck-at faults when reapplied; Flip/Xor are
-    // applied at instruction boundaries so a "permanent" flip does not
-    // cancel itself out within one instruction.
+    // AllZero, AllOne, StuckAt0/1) model persistent defects when reapplied;
+    // self-inverting behaviors (Flip, Xor, Burst, RandK) are applied at
+    // instruction boundaries so a "permanent" flip does not cancel itself
+    // out within one instruction.
     std::uint64_t marker;
     if (f.time_kind == FaultTimeKind::Instruction) {
       if (cur_->fetched < f.time) continue;
-      if (f.occurrences != kPermanent && cur_->fetched >= f.time + f.occurrences) continue;
+      if (f.occurrences != kPermanent &&
+          cur_->fetched >= sat_add(f.time, f.occurrences))
+        continue;
+      if (!f.duty_on(cur_->fetched - f.time)) continue;
       marker = cur_->fetched;
     } else {
       if (now_ - cur_->activation_tick < f.time) continue;
-      marker = f.behavior == FaultBehavior::Flip || f.behavior == FaultBehavior::Xor
-                   ? cur_->fetched
-                   : now_;
+      if (!f.duty_on(cur_->fetched)) continue;
+      marker = Fault::sticky_behavior(f.behavior) ? now_ : cur_->fetched;
     }
     if (fs.last_marker == marker) continue;
     fs.last_marker = marker;
@@ -316,6 +383,8 @@ void FaultManager::on_commit(const isa::Decoded& d, std::uint64_t pc, std::uint6
       case FaultLocation::Decode:
       case FaultLocation::Execute:
       case FaultLocation::LoadStore:
+      case FaultLocation::Skip:
+      case FaultLocation::Opcode:
         if (!fs.consumed && !fs.squashed && fs.affected_seq == fi_seq && fi_seq != 0)
           fs.consumed = true;
         break;
@@ -326,9 +395,14 @@ void FaultManager::on_commit(const isa::Decoded& d, std::uint64_t pc, std::uint6
         const unsigned r = fs.fault.reg;
         const bool reads = (d.src1 == r && d.src1_fp == fp) ||
                            (d.src2 == r && d.src2_fp == fp);
+        // A still-live sticky fault (stuck-at) re-asserts after any
+        // overwrite, so the overwrite does not end its ability to propagate.
+        const bool live_sticky =
+            Fault::sticky_behavior(fs.fault.behavior) &&
+            (fs.fault.occurrences == kPermanent || fs.applied < fs.fault.occurrences);
         if (reads) {
           fs.consumed = true;
-        } else if (d.dst == r && d.dst_fp == fp) {
+        } else if (d.dst == r && d.dst_fp == fp && !live_sticky) {
           fs.overwritten = true;
         }
         break;
@@ -347,6 +421,8 @@ void FaultManager::on_squash(std::uint64_t fi_seq) {
       case FaultLocation::Decode:
       case FaultLocation::Execute:
       case FaultLocation::LoadStore:
+      case FaultLocation::Skip:
+      case FaultLocation::Opcode:
         if (fs.applied > 0 && !fs.consumed && fs.affected_seq == fi_seq) fs.squashed = true;
         break;
       default:
@@ -377,6 +453,8 @@ bool FaultManager::safe_to_switch_cpu() const noexcept {
       case FaultLocation::Decode:
       case FaultLocation::Execute:
       case FaultLocation::LoadStore:
+      case FaultLocation::Skip:
+      case FaultLocation::Opcode:
         // Paper: continue detailed until the affected instruction commits
         // or squashes.
         if (!fs.consumed && !fs.squashed) return false;

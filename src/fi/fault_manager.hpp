@@ -102,10 +102,12 @@ class FaultManager final : public cpu::StageHooks {
   /// instruction fetches (and hence no fetched-index advance, activation or
   /// context switch) happen before then — exactly the invariant inside a
   /// pure-stall window. ~0 when nothing can fire. Sticky tick-relative
-  /// behaviors (Imm/AllZero/AllOne) re-apply and log every tick once due, so
-  /// they pin the horizon to their due tick; Flip/Xor and
-  /// instruction-relative faults already applied at the current fetch index
-  /// impose no bound.
+  /// behaviors (Imm/AllZero/AllOne/StuckAt0/StuckAt1) re-apply every tick
+  /// once due, so they pin the horizon to their due tick; self-inverting
+  /// behaviors (Flip/Xor/Burst/RandK) and instruction-relative faults
+  /// already applied at the current fetch index impose no bound. Duty
+  /// cycling is phased off the fetch counter, which is frozen during a
+  /// stall, so an inactive phase imposes no bound either.
   [[nodiscard]] std::uint64_t next_direct_fault_tick(std::uint64_t from) const noexcept;
 
   // --- cpu::StageHooks ---

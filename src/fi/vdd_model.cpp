@@ -2,13 +2,77 @@
 
 #include <cmath>
 
+#include "isa/registers.hpp"
+
 namespace gemfi::fi {
 
+namespace {
+
+double base_rate(const VddModelConfig& cfg, double vdd) noexcept {
+  if (vdd >= cfg.vnom) return 0.0;
+  const double span = cfg.vnom - cfg.vmin;
+  const double x = span <= 0.0 ? 0.0 : (vdd - cfg.vmin) / span;
+  return cfg.rate_at_vmin * std::exp(-cfg.beta * x);
+}
+
+double mean_structure_weight(const VddModelConfig& cfg) noexcept {
+  double sum = 0.0;
+  for (const double w : cfg.structure_weight) sum += w;
+  return sum / double(kNumSeuFaultLocations);
+}
+
+/// Draw an index in [0, n) proportionally to non-negative weights.
+std::size_t weighted_draw(util::Rng& rng, const double* w, std::size_t n) {
+  double total = 0.0;
+  for (std::size_t i = 0; i < n; ++i) total += w[i];
+  if (total <= 0.0) return 0;
+  double x = rng.uniform() * total;
+  for (std::size_t i = 0; i < n; ++i) {
+    x -= w[i];
+    if (x < 0.0) return i;
+  }
+  return n - 1;
+}
+
+}  // namespace
+
+std::size_t poisson_sample(util::Rng& rng, double lambda) {
+  if (!(lambda > 0.0)) return 0;
+  // Knuth's product method consumes one uniform per event: fine while
+  // lambda is small, but exp(-lambda) underflows to 0 near lambda ~ 745 and
+  // the loop then spins until the product itself denormalizes — returning a
+  // count pinned at ~1075 no matter how large lambda really is.
+  constexpr double kNormalThreshold = 32.0;
+  if (lambda < kNormalThreshold) {
+    const double limit = std::exp(-lambda);
+    std::size_t count = 0;
+    double p = 1.0;
+    for (;;) {
+      p *= rng.uniform();
+      if (p <= limit) break;
+      ++count;
+      if (count > 100000) break;  // defensive cap; unreachable below threshold
+    }
+    return count;
+  }
+  // Normal approximation N(lambda, lambda) with continuity correction;
+  // Box-Muller from two uniforms keeps the draw deterministic per Rng state.
+  const double u1 = 1.0 - rng.uniform();  // (0, 1]: log stays finite
+  const double u2 = rng.uniform();
+  constexpr double kTwoPi = 6.283185307179586;
+  const double z = std::sqrt(-2.0 * std::log(u1)) * std::cos(kTwoPi * u2);
+  const double x = lambda + std::sqrt(lambda) * z + 0.5;
+  return x <= 0.0 ? 0 : std::size_t(x);
+}
+
 double VddModel::error_rate(double vdd) const noexcept {
-  if (vdd >= cfg_.vnom) return 0.0;
-  const double span = cfg_.vnom - cfg_.vmin;
-  const double x = span <= 0.0 ? 0.0 : (vdd - cfg_.vmin) / span;
-  return cfg_.rate_at_vmin * std::exp(-cfg_.beta * x);
+  return base_rate(cfg_, vdd) * cfg_.duty_cycle * mean_structure_weight(cfg_);
+}
+
+double VddModel::error_rate(double vdd, FaultLocation loc) const noexcept {
+  const unsigned i = unsigned(loc);
+  const double w = i < kNumSeuFaultLocations ? cfg_.structure_weight[i] : 0.0;
+  return base_rate(cfg_, vdd) * cfg_.duty_cycle * w;
 }
 
 double VddModel::relative_power(double vdd) const noexcept {
@@ -18,18 +82,7 @@ double VddModel::relative_power(double vdd) const noexcept {
 std::vector<Fault> VddModel::sample_faults(util::Rng& rng, double vdd,
                                            std::uint64_t kernel_insts) const {
   const double lambda = error_rate(vdd) * double(kernel_insts);
-  // Knuth Poisson sampling; lambda stays small (<= tens) for any sane sweep.
-  std::size_t count = 0;
-  if (lambda > 0.0) {
-    const double limit = std::exp(-lambda);
-    double p = 1.0;
-    for (;;) {
-      p *= rng.uniform();
-      if (p <= limit) break;
-      ++count;
-      if (count > 10000) break;  // defensive cap for absurd configurations
-    }
-  }
+  const std::size_t count = poisson_sample(rng, lambda);
 
   std::vector<Fault> faults;
   faults.reserve(count);
@@ -41,38 +94,60 @@ std::vector<Fault> VddModel::sample_faults(util::Rng& rng, double vdd,
     f.time_kind = FaultTimeKind::Instruction;
     f.time = 1 + rng.below(kernel_insts);
     f.behavior = FaultBehavior::Flip;
-    switch (static_cast<FaultLocation>(rng.below(kNumFaultLocations))) {
-      case FaultLocation::IntReg:
-        f.location = FaultLocation::IntReg;
-        f.reg = unsigned(rng.below(32));
-        f.operand = rng.below(64);
+
+    const double mix[kNumFaultModelKinds] = {cfg_.mix_transient, cfg_.mix_stuck,
+                                             cfg_.mix_intermittent, cfg_.mix_burst,
+                                             cfg_.mix_attack};
+    const auto kind =
+        static_cast<FaultModelKind>(weighted_draw(rng, mix, kNumFaultModelKinds));
+
+    if (kind == FaultModelKind::Attack) {
+      // Deliberate corruption of the fetch path: skip a short run of
+      // instructions or flip a bit of the opcode field.
+      if (rng.chance(0.5)) {
+        f.location = FaultLocation::Skip;
+        f.occurrences = 1 + rng.below(4);
+      } else {
+        f.location = FaultLocation::Opcode;
+        f.operand = rng.below(6);
+      }
+      faults.push_back(f);
+      continue;
+    }
+
+    f.location = static_cast<FaultLocation>(
+        weighted_draw(rng, cfg_.structure_weight, kNumSeuFaultLocations));
+    const unsigned width = fault_target_width(f.location);
+    if (f.location == FaultLocation::IntReg || f.location == FaultLocation::FpReg)
+      f.reg = unsigned(rng.below(32));
+    if (f.location == FaultLocation::Decode)
+      f.decode_field = static_cast<DecodeField>(rng.below(3));
+    f.operand = rng.below(width);
+
+    switch (kind) {
+      case FaultModelKind::Transient:
+        break;  // single uniform flip, occ:1 — the paper's SEU
+      case FaultModelKind::StuckAt: {
+        const std::uint64_t mask = 1ull << (f.operand % 64);
+        f.behavior = rng.chance(0.5) ? FaultBehavior::StuckOne : FaultBehavior::StuckZero;
+        f.operand = mask;
+        f.occurrences = kPermanent;
         break;
-      case FaultLocation::FpReg:
-        f.location = FaultLocation::FpReg;
-        f.reg = unsigned(rng.below(32));
-        f.operand = rng.below(64);
+      }
+      case FaultModelKind::Intermittent:
+        f.occurrences = kPermanent;
+        f.duty_period = 8ull << rng.below(6);  // 8 .. 256 instructions
+        f.duty_active = 1 + rng.below(f.duty_period / 2);
         break;
-      case FaultLocation::Fetch:
-        f.location = FaultLocation::Fetch;
-        f.operand = rng.below(32);
+      case FaultModelKind::Burst: {
+        const unsigned len = 2 + unsigned(rng.below(3));  // 2..4 adjacent bits
+        const unsigned start = unsigned(rng.below(width >= len ? width - len + 1 : 1));
+        f.behavior = FaultBehavior::Burst;
+        f.operand = Fault::burst_operand(start, len);
         break;
-      case FaultLocation::Decode:
-        f.location = FaultLocation::Decode;
-        f.decode_field = static_cast<DecodeField>(rng.below(3));
-        f.operand = rng.below(5);
-        break;
-      case FaultLocation::Execute:
-        f.location = FaultLocation::Execute;
-        f.operand = rng.below(64);
-        break;
-      case FaultLocation::LoadStore:
-        f.location = FaultLocation::LoadStore;
-        f.operand = rng.below(64);
-        break;
-      case FaultLocation::PC:
-        f.location = FaultLocation::PC;
-        f.operand = rng.below(64);
-        break;
+      }
+      case FaultModelKind::Attack:
+        break;  // handled above
     }
     faults.push_back(f);
   }

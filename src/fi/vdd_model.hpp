@@ -1,4 +1,4 @@
-// Supply-voltage fault-rate model — the extension the paper's conclusion
+// Supply-voltage reliability model — the extension the paper's conclusion
 // plans: "enhance [GemFI] with realistic fault models, associating the
 // supply voltage (Vdd) with the error rate in different system components
 // ... to study the limits of aggressively reducing power consumption at the
@@ -11,9 +11,22 @@
 //     rate(vdd) = rate_at_vmin * exp(-beta * (vdd - vmin) / (vnom - vmin))
 //
 // and dynamic power scales ~ Vdd^2 (the energy-proxy the sweep reports).
-// Fault counts for a window of N instructions are Poisson(rate * N), and
-// each fault is a uniform single-bit flip across the supported locations —
-// exactly the SEU methodology of Sec. IV-B, now with a physical knob.
+//
+// The model generalizes the per-instruction rate into
+// f(Vdd, structure, duty cycle):
+//   * `duty_cycle` scales the whole rate — a structure clocked a fraction
+//     of the time accumulates proportionally fewer upsets;
+//   * `structure_weight[loc]` scales the relative susceptibility of each
+//     micro-architectural location (an FP register file in a different
+//     voltage domain, a hardened PC, ...);
+//   * the mix_* weights choose which fault model each sampled upset
+//     presents as (transient SEU, permanent stuck-at, duty-cycled
+//     intermittent, multi-bit burst, or an attack-style corruption), so
+//     sample_faults can emit any of the extended models.
+//
+// Fault counts for a window of N instructions are Poisson(rate * N); the
+// default configuration reproduces the paper-style methodology exactly:
+// uniform single-bit transient flips across the SEU locations.
 #pragma once
 
 #include <vector>
@@ -28,20 +41,44 @@ struct VddModelConfig {
   double vmin = 0.6;           // lowest modeled supply
   double rate_at_vmin = 1e-3;  // upsets per instruction at vmin
   double beta = 12.0;          // exponential steepness
+
+  /// Fraction of cycles the modeled structures are clocked; scales the
+  /// error rate linearly (1.0 = always active).
+  double duty_cycle = 1.0;
+
+  /// Relative susceptibility per SEU location (FaultLocation order:
+  /// IntReg, FpReg, Fetch, Decode, Execute, LoadStore, PC). A zero weight
+  /// excludes the location from sampling.
+  double structure_weight[kNumSeuFaultLocations] = {1, 1, 1, 1, 1, 1, 1};
+
+  /// Relative weights of the fault-model families sampled faults present
+  /// as; normalized at sampling time. Default: all transient (the paper).
+  double mix_transient = 1.0;
+  double mix_stuck = 0.0;
+  double mix_intermittent = 0.0;
+  double mix_burst = 0.0;
+  double mix_attack = 0.0;
 };
 
 class VddModel {
  public:
   explicit VddModel(const VddModelConfig& cfg = {}) : cfg_(cfg) {}
 
-  /// Expected upsets per instruction at the given supply voltage.
+  /// Expected upsets per instruction at the given supply voltage, averaged
+  /// over the structures (duty-cycle scaled).
   [[nodiscard]] double error_rate(double vdd) const noexcept;
+
+  /// Expected upsets per instruction attributable to one structure:
+  /// error_rate scaled by its susceptibility weight.
+  [[nodiscard]] double error_rate(double vdd, FaultLocation loc) const noexcept;
 
   /// Relative dynamic power vs nominal (~ Vdd^2).
   [[nodiscard]] double relative_power(double vdd) const noexcept;
 
   /// Sample a fault configuration for a kernel of `kernel_insts`
-  /// instructions at supply `vdd`: Poisson-many uniform SEUs.
+  /// instructions at supply `vdd`: Poisson-many upsets, each landing in a
+  /// structure drawn by susceptibility weight and presenting as a fault
+  /// model drawn from the mix.
   [[nodiscard]] std::vector<Fault> sample_faults(util::Rng& rng, double vdd,
                                                  std::uint64_t kernel_insts) const;
 
@@ -50,5 +87,11 @@ class VddModel {
  private:
   VddModelConfig cfg_;
 };
+
+/// Poisson(lambda) sample. Knuth's product method for small lambda; above
+/// a threshold — where exp(-lambda) underflows to 0 and the product loop
+/// would spin for ~lambda iterations — a normal approximation with
+/// continuity correction (exact enough for any campaign-scale use).
+std::size_t poisson_sample(util::Rng& rng, double lambda);
 
 }  // namespace gemfi::fi

@@ -73,6 +73,151 @@ TEST(FaultParser, FileParserSkipsCommentsAndBlanks) {
   EXPECT_EQ(faults[1].location, fi::FaultLocation::PC);
 }
 
+// ---------- extended grammar ----------
+
+TEST(FaultParser, ExtendedModelLinesParse) {
+  const char* lines[] = {
+      "RegisterInjectedFault Inst:100 StuckAt1:0x200000 Threadid:0 system.cpu0 "
+      "occ:perm int 1",
+      "RegisterInjectedFault Inst:100 StuckAt0:0x1 Threadid:0 system.cpu0 occ:perm int 2",
+      "FetchStageInjectedFault Inst:50 Burst:4+3 Threadid:0 system.cpu0 occ:1",
+      "RegisterInjectedFault Inst:10 RandK:3@0x1234 Threadid:0 system.cpu0 occ:1 int 5",
+      "RegisterInjectedFault Inst:10 Flip:21 Threadid:0 system.cpu0 occ:perm int 1 "
+      "duty:2/16",
+      "SkipInjectedFault Inst:500 Threadid:0 system.cpu0 occ:3",
+      "OpcodeInjectedFault Inst:1 Xor:0x3f Threadid:0 system.cpu0 occ:1 "
+      "pcwin:0x2000-0x2040",
+  };
+  for (const char* line : lines) {
+    const fi::Fault f = fi::parse_fault(line);
+    EXPECT_EQ(fi::parse_fault(f.to_line()).to_line(), f.to_line()) << line;
+  }
+  const fi::Fault stuck = fi::parse_fault(lines[0]);
+  EXPECT_EQ(stuck.behavior, fi::FaultBehavior::StuckOne);
+  EXPECT_EQ(stuck.operand, 0x200000u);
+  EXPECT_EQ(stuck.occurrences, fi::kPermanent);
+  const fi::Fault duty = fi::parse_fault(lines[4]);
+  EXPECT_EQ(duty.duty_active, 2u);
+  EXPECT_EQ(duty.duty_period, 16u);
+  EXPECT_TRUE(duty.duty_cycled());
+  const fi::Fault skip = fi::parse_fault(lines[5]);
+  EXPECT_EQ(skip.location, fi::FaultLocation::Skip);
+  EXPECT_EQ(skip.behavior, fi::FaultBehavior::Flip);  // normalized
+  EXPECT_EQ(skip.occurrences, 3u);
+  const fi::Fault opc = fi::parse_fault(lines[6]);
+  EXPECT_EQ(opc.location, fi::FaultLocation::Opcode);
+  EXPECT_EQ(opc.pc_lo, 0x2000u);
+  EXPECT_EQ(opc.pc_hi, 0x2040u);
+  EXPECT_TRUE(opc.has_pc_window());
+}
+
+TEST(FaultParser, ExtendedGrammarValidation) {
+  // duty: active must satisfy 1 <= active <= period.
+  EXPECT_THROW(fi::parse_fault("PCInjectedFault Inst:1 Flip:0 Threadid:0 "
+                               "system.cpu0 occ:1 duty:0/8"),
+               std::invalid_argument);
+  EXPECT_THROW(fi::parse_fault("PCInjectedFault Inst:1 Flip:0 Threadid:0 "
+                               "system.cpu0 occ:1 duty:9/8"),
+               std::invalid_argument);
+  // pcwin: fetch-path locations only, and lo <= hi with hi > 0.
+  EXPECT_THROW(fi::parse_fault("RegisterInjectedFault Inst:1 Flip:0 Threadid:0 "
+                               "system.cpu0 occ:1 int 1 pcwin:0x10-0x20"),
+               std::invalid_argument);
+  EXPECT_THROW(fi::parse_fault("FetchStageInjectedFault Inst:1 Flip:0 Threadid:0 "
+                               "system.cpu0 occ:1 pcwin:0x20-0x10"),
+               std::invalid_argument);
+  // Burst start/length are byte-sized.
+  EXPECT_THROW(fi::parse_fault("FetchStageInjectedFault Inst:1 Burst:300+2 "
+                               "Threadid:0 system.cpu0 occ:1"),
+               std::invalid_argument);
+}
+
+TEST(FaultParser, EveryLocationBehaviorTimeKindRoundTrips) {
+  // Serialize -> parse -> serialize must be byte-identical for the whole
+  // fault-model cross product (Skip carries no behavior token and is pinned
+  // to its normalized Flip/0 form).
+  for (unsigned li = 0; li < fi::kNumFaultLocations; ++li) {
+    for (unsigned bi = 0; bi < fi::kNumFaultBehaviors; ++bi) {
+      for (const auto tk : {fi::FaultTimeKind::Instruction, fi::FaultTimeKind::Tick}) {
+        for (const std::uint64_t occ : {std::uint64_t(1), fi::kPermanent}) {
+          fi::Fault f;
+          f.location = static_cast<fi::FaultLocation>(li);
+          f.behavior = static_cast<fi::FaultBehavior>(bi);
+          f.time_kind = tk;
+          f.time = 123;
+          f.occurrences = occ;
+          f.thread_id = 1;
+          f.core = 2;
+          if (f.location == fi::FaultLocation::IntReg ||
+              f.location == fi::FaultLocation::FpReg)
+            f.reg = 5;
+          switch (f.behavior) {
+            case fi::FaultBehavior::Flip: f.operand = 4; break;
+            case fi::FaultBehavior::Xor:
+            case fi::FaultBehavior::Imm:
+            case fi::FaultBehavior::StuckZero:
+            case fi::FaultBehavior::StuckOne: f.operand = 0x21; break;
+            case fi::FaultBehavior::AllZero:
+            case fi::FaultBehavior::AllOne: f.operand = 0; break;
+            case fi::FaultBehavior::Burst:
+              f.operand = fi::Fault::burst_operand(2, 3);
+              break;
+            case fi::FaultBehavior::RandK:
+              f.operand = fi::Fault::randk_operand(3, 0x5eed);
+              break;
+          }
+          if (f.location == fi::FaultLocation::Skip) {
+            f.behavior = fi::FaultBehavior::Flip;  // the only canonical form
+            f.operand = 0;
+          }
+          // Exercise the optional suffixes on half the cross product.
+          if (bi % 2 == 0) {
+            f.duty_period = 16;
+            f.duty_active = 4;
+          }
+          if (li >= unsigned(fi::FaultLocation::Fetch) &&
+              (f.location == fi::FaultLocation::Fetch ||
+               f.location == fi::FaultLocation::Skip ||
+               f.location == fi::FaultLocation::Opcode)) {
+            f.pc_lo = 0x2000;
+            f.pc_hi = 0x3000;
+          }
+          const std::string once = f.to_line();
+          const std::string twice = fi::parse_fault(once).to_line();
+          EXPECT_EQ(once, twice) << once;
+        }
+      }
+    }
+  }
+}
+
+TEST(FaultParser, TruncatedLinesNeverCrash) {
+  // Fuzz every prefix of representative lines (including mid-token cuts of
+  // "occ:perm" and the duty/pcwin suffixes): each prefix must either parse
+  // or throw std::invalid_argument — nothing else.
+  const char* lines[] = {
+      "RegisterInjectedFault Inst:2457 Flip:21 Threadid:0 system.cpu1 occ:1 int 1",
+      "RegisterInjectedFault Inst:100 StuckAt1:0x200000 Threadid:0 system.cpu0 "
+      "occ:perm int 1",
+      "FetchStageInjectedFault Inst:50 Burst:4+3 Threadid:0 system.cpu0 occ:perm",
+      "RegisterInjectedFault Inst:10 RandK:3@0x1234 Threadid:0 system.cpu0 occ:1 int 5",
+      "SkipInjectedFault Inst:500 Threadid:0 system.cpu0 occ:3",
+      "OpcodeInjectedFault Inst:1 Xor:0x3f Threadid:0 system.cpu0 occ:1 "
+      "pcwin:0x2000-0x2040",
+      "PCInjectedFault Inst:1 Flip:0 Threadid:0 system.cpu0 occ:perm duty:2/16",
+  };
+  for (const char* full : lines) {
+    const std::string line = full;
+    for (std::size_t cut = 0; cut <= line.size(); ++cut) {
+      try {
+        (void)fi::parse_fault(line.substr(0, cut));
+      } catch (const std::invalid_argument&) {
+        // expected for most prefixes
+      }
+    }
+  }
+}
+
 // ---------- behaviors ----------
 
 TEST(FaultBehavior, CorruptSemantics) {
@@ -95,6 +240,60 @@ TEST(FaultBehavior, CorruptSemantics) {
   f.behavior = fi::FaultBehavior::Flip;
   f.operand = 35;
   EXPECT_EQ(f.corrupt(0, 32), 1ull << 3);
+}
+
+TEST(FaultBehavior, StuckAtSemantics) {
+  fi::Fault f;
+  f.behavior = fi::FaultBehavior::StuckZero;
+  f.operand = 0x0f;
+  EXPECT_EQ(f.corrupt(0xff, 64), 0xf0u);
+  EXPECT_EQ(f.corrupt(0xf0, 64), 0xf0u);  // idempotent
+  f.behavior = fi::FaultBehavior::StuckOne;
+  f.operand = 0x0f;
+  EXPECT_EQ(f.corrupt(0x00, 64), 0x0fu);
+  EXPECT_EQ(f.corrupt(0x0f, 64), 0x0fu);  // idempotent
+  EXPECT_TRUE(fi::Fault::sticky_behavior(fi::FaultBehavior::StuckZero));
+  EXPECT_TRUE(fi::Fault::sticky_behavior(fi::FaultBehavior::StuckOne));
+  EXPECT_FALSE(fi::Fault::sticky_behavior(fi::FaultBehavior::Flip));
+  EXPECT_FALSE(fi::Fault::sticky_behavior(fi::FaultBehavior::Burst));
+}
+
+TEST(FaultBehavior, BurstSemantics) {
+  fi::Fault f;
+  f.behavior = fi::FaultBehavior::Burst;
+  f.operand = fi::Fault::burst_operand(4, 3);
+  EXPECT_EQ(f.corrupt(0, 64), 0x70u);  // bits 4..6 flipped
+  EXPECT_EQ(f.corrupt(0x70, 64), 0u);  // self-inverting
+  // Runs clamp at the target width, including the full-width edge cases
+  // (shift-by-64 must not be evaluated).
+  f.operand = fi::Fault::burst_operand(30, 10);
+  EXPECT_EQ(f.corrupt(0, 32), 0xc0000000u);  // clamped to bits 30..31
+  f.operand = fi::Fault::burst_operand(0, 64);
+  EXPECT_EQ(f.corrupt(0, 64), ~0ull);
+  f.operand = fi::Fault::burst_operand(0, 255);
+  EXPECT_EQ(f.corrupt(0, 64), ~0ull);
+  // Start wraps into the width like Flip does.
+  f.operand = fi::Fault::burst_operand(33, 2);
+  EXPECT_EQ(f.corrupt(0, 32), 0x6u);
+}
+
+TEST(FaultBehavior, RandKFlipsExactlyKDistinctBits) {
+  for (unsigned k = 1; k <= 8; ++k) {
+    fi::Fault f;
+    f.behavior = fi::FaultBehavior::RandK;
+    f.operand = fi::Fault::randk_operand(k, 0x1234 + k);
+    const std::uint64_t mask = f.corrupt(0, 64);
+    EXPECT_EQ(unsigned(__builtin_popcountll(mask)), k) << "k=" << k;
+    // Deterministic: the same (k, seed) always produces the same mask, and
+    // re-application undoes it.
+    EXPECT_EQ(f.corrupt(0, 64), mask);
+    EXPECT_EQ(f.corrupt(mask, 64), 0u);
+  }
+  // k clamps to the target width.
+  fi::Fault f;
+  f.behavior = fi::FaultBehavior::RandK;
+  f.operand = fi::Fault::randk_operand(200, 7);
+  EXPECT_EQ(unsigned(__builtin_popcountll(f.corrupt(0, 32))), 32u);
 }
 
 // ---------- guest-visible injection ----------

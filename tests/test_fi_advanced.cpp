@@ -6,6 +6,7 @@
 
 #include "assembler/assembler.hpp"
 #include "campaign/runner.hpp"
+#include "isa/encoding.hpp"
 #include "sim/simulation.hpp"
 
 namespace {
@@ -121,6 +122,203 @@ TEST(PersistentFaults, PermanentStuckAtDominatesTransient) {
     (void)s.run(10'000'000);
     EXPECT_EQ(s.output(0), "99");
   }
+}
+
+TEST(PersistentFaults, OccurrenceWindowNearPermanentDoesNotOverflow) {
+  // Regression: with occurrences = kPermanent - 1 the trigger-window bound
+  // `time + occurrences` used to wrap around and the fault never fired; the
+  // bound must saturate instead, making a near-kPermanent count behave like
+  // a permanent fault.
+  Assembler as;
+  const Label entry = as.here("main");
+  as.mov_i(100, reg::s0);
+  as.mov_i(0, reg::a0);
+  as.fi_activate();
+  for (int i = 0; i < 10; ++i) as.addq_i(reg::t0, 1, reg::t0);
+  as.mov(reg::s0, reg::s1);
+  as.mov_i(0, reg::a0);
+  as.fi_activate();
+  as.print_int_r(reg::s1);
+  as.mov_i(0, reg::a0);
+  as.exit_();
+
+  sim::SimConfig cfg;
+  cfg.cpu = sim::CpuKind::AtomicSimple;
+  sim::Simulation s(cfg, as.finalize(entry));
+  s.spawn_main_thread();
+  fi::Fault f;
+  f.location = fi::FaultLocation::IntReg;
+  f.reg = 9;  // s0
+  f.time = 2;
+  f.behavior = fi::FaultBehavior::Flip;
+  f.operand = 3;
+  f.occurrences = fi::kPermanent - 1;
+  s.fault_manager().load_faults({f});
+  const auto rr = s.run(1'000'000);
+  EXPECT_EQ(rr.reason, sim::ExitReason::AllThreadsExited);
+  EXPECT_TRUE(s.fault_manager().any_applied());
+  EXPECT_EQ(s.output(0), "108");  // 100 ^ 8
+}
+
+// ---- stuck-at / intermittent / attack models ----
+
+class ModelFaultsBothCpus : public ::testing::TestWithParam<sim::CpuKind> {};
+
+TEST_P(ModelFaultsBothCpus, StuckAtReassertsAfterOverwrite) {
+  // Guest zeroes s3 and immediately accumulates it, 10 times. A transient
+  // write would be wiped by the `li s3, 0`; a permanent stuck-at-1 of bit 1
+  // must re-assert at every instruction boundary, so every addq sees 2.
+  Assembler as;
+  const Label entry = as.here("main");
+  as.mov_i(0, reg::a0);
+  as.fi_activate();
+  as.li(reg::s0, 0);
+  as.li(reg::s1, 10);
+  const Label loop = as.here("loop");
+  as.li(reg::s3, 0);                     // overwrite the faulted register
+  as.addq(reg::s0, reg::s3, reg::s0);    // ...but the defect re-asserts
+  as.subq_i(reg::s1, 1, reg::s1);
+  as.bne(reg::s1, loop);
+  as.mov_i(0, reg::a0);
+  as.fi_activate();
+  as.print_int_r(reg::s0);
+  as.mov_i(0, reg::a0);
+  as.exit_();
+
+  sim::SimConfig cfg;
+  cfg.cpu = GetParam();
+  sim::Simulation s(cfg, as.finalize(entry));
+  s.spawn_main_thread();
+  s.fault_manager().load_faults({fi::parse_fault(
+      "RegisterInjectedFault Inst:1 StuckAt1:0x2 Threadid:0 system.cpu0 occ:perm int 12")});
+  const auto rr = s.run(10'000'000);
+  EXPECT_EQ(rr.reason, sim::ExitReason::AllThreadsExited);
+  EXPECT_EQ(s.output(0), "20");
+  // A live sticky fault is never classified overwritten.
+  EXPECT_FALSE(s.fault_manager().states()[0].overwritten);
+  EXPECT_TRUE(s.fault_manager().any_propagated());
+}
+
+TEST_P(ModelFaultsBothCpus, SkipAttackRemovesInstructions) {
+  // s0 = 100 plus eight increments = 108; skipping two of them gives 106.
+  Assembler as;
+  const Label entry = as.here("main");
+  as.mov_i(100, reg::s0);
+  as.mov_i(0, reg::a0);
+  as.fi_activate();
+  for (int i = 0; i < 8; ++i) as.addq_i(reg::s0, 1, reg::s0);
+  as.mov_i(0, reg::a0);
+  as.fi_activate();
+  as.print_int_r(reg::s0);
+  as.mov_i(0, reg::a0);
+  as.exit_();
+
+  sim::SimConfig cfg;
+  cfg.cpu = GetParam();
+  sim::Simulation s(cfg, as.finalize(entry));
+  s.spawn_main_thread();
+  s.fault_manager().load_faults({fi::parse_fault(
+      "SkipInjectedFault Inst:3 Threadid:0 system.cpu0 occ:2")});
+  const auto rr = s.run(10'000'000);
+  EXPECT_EQ(rr.reason, sim::ExitReason::AllThreadsExited);
+  EXPECT_EQ(s.output(0), "106");
+  EXPECT_EQ(s.fault_manager().states()[0].applied, 2u);
+}
+
+TEST_P(ModelFaultsBothCpus, PcWindowRestrictsSkipAttack) {
+  // Same probe as above; code starts at 0x2000, so the eight addq_i sit at
+  // 0x200c..0x2028. A window over exactly one of them must skip that one
+  // (107); a window outside the code must never fire (108).
+  Assembler as;
+  const Label entry = as.here("main");
+  as.mov_i(100, reg::s0);   // 0x2000
+  as.mov_i(0, reg::a0);     // 0x2004
+  as.fi_activate();         // 0x2008
+  for (int i = 0; i < 8; ++i) as.addq_i(reg::s0, 1, reg::s0);  // 0x200c + 4i
+  as.mov_i(0, reg::a0);
+  as.fi_activate();
+  as.print_int_r(reg::s0);
+  as.mov_i(0, reg::a0);
+  as.exit_();
+  const Program prog = as.finalize(entry);
+
+  {
+    sim::SimConfig cfg;
+    cfg.cpu = GetParam();
+    sim::Simulation s(cfg, prog);
+    s.spawn_main_thread();
+    s.fault_manager().load_faults({fi::parse_fault(
+        "SkipInjectedFault Inst:1 Threadid:0 system.cpu0 occ:1 pcwin:0x2014-0x2014")});
+    const auto rr = s.run(10'000'000);
+    EXPECT_EQ(rr.reason, sim::ExitReason::AllThreadsExited);
+    EXPECT_EQ(s.output(0), "107");
+    EXPECT_EQ(s.fault_manager().states()[0].applied, 1u);
+  }
+  {
+    sim::SimConfig cfg;
+    cfg.cpu = GetParam();
+    sim::Simulation s(cfg, prog);
+    s.spawn_main_thread();
+    s.fault_manager().load_faults({fi::parse_fault(
+        "SkipInjectedFault Inst:1 Threadid:0 system.cpu0 occ:1 pcwin:0x100-0x104")});
+    const auto rr = s.run(10'000'000);
+    EXPECT_EQ(rr.reason, sim::ExitReason::AllThreadsExited);
+    EXPECT_EQ(s.output(0), "108");
+    EXPECT_FALSE(s.fault_manager().any_applied());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Models, ModelFaultsBothCpus,
+                         ::testing::Values(sim::CpuKind::AtomicSimple,
+                                           sim::CpuKind::Pipelined),
+                         [](const auto& info) {
+                           return info.param == sim::CpuKind::AtomicSimple ? "Atomic"
+                                                                           : "Pipelined";
+                         });
+
+TEST(IntermittentFaults, DutyCycleGatesApplicationsAtWindowBoundaries) {
+  // Unit-level check of the duty phase arithmetic: a fetch-stage fault with
+  // time 2 and duty:1/4 is active exactly at fi_seq 2, 6, 10, ... — the
+  // first fetch of each period — and inactive at every boundary around them.
+  fi::FaultManager fm;
+  fm.load_faults({fi::parse_fault(
+      "FetchStageInjectedFault Inst:2 Flip:13 Threadid:0 system.cpu0 occ:perm duty:1/4")});
+  fm.on_fi_activate(0x1000, 0);
+  const std::uint32_t word = isa::encode_operate(isa::Opcode::INTA, 0x20, 1, 1, 1);
+  std::vector<std::uint64_t> applied_at;
+  for (std::uint64_t seq = 1; seq <= 14; ++seq) {
+    const auto before = fm.states()[0].applied;
+    (void)fm.on_fetch(0x2000, word);
+    if (fm.states()[0].applied > before) applied_at.push_back(seq);
+  }
+  EXPECT_EQ(applied_at, (std::vector<std::uint64_t>{2, 6, 10, 14}));
+}
+
+TEST(IntermittentFaults, DutyFractionScalesApplicationCount) {
+  // Behavioral check over a real guest: a duty:2/8 intermittent fetch fault
+  // on a harmless SBZ bit applies on ~1/4 of the kernel's fetches.
+  Assembler as;
+  const Label entry = as.here("main");
+  as.mov_i(0, reg::a0);
+  as.fi_activate();
+  as.li(reg::t1, 3);
+  for (int i = 0; i < 80; ++i) as.addq(reg::t1, reg::t1, reg::t0);
+  as.mov_i(0, reg::a0);
+  as.fi_activate();
+  as.mov_i(0, reg::a0);
+  as.exit_();
+
+  sim::SimConfig cfg;
+  cfg.cpu = sim::CpuKind::AtomicSimple;
+  sim::Simulation s(cfg, as.finalize(entry));
+  s.spawn_main_thread();
+  s.fault_manager().load_faults({fi::parse_fault(
+      "FetchStageInjectedFault Inst:1 Flip:13 Threadid:0 system.cpu0 occ:perm duty:2/8")});
+  const auto rr = s.run(10'000'000);
+  EXPECT_EQ(rr.reason, sim::ExitReason::AllThreadsExited);
+  const auto applied = s.fault_manager().states()[0].applied;
+  EXPECT_GE(applied, 18u);
+  EXPECT_LE(applied, 24u);
 }
 
 // ---- model-switch equivalence (Sec. IV-B-1 methodology) ----

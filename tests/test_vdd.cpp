@@ -69,4 +69,123 @@ TEST(VddModel, NominalVoltageSamplesNothing) {
   for (int i = 0; i < 20; ++i) EXPECT_TRUE(m.sample_faults(rng, 1.0, 1 << 20).empty());
 }
 
+TEST(VddModel, ExtremeVddPoissonDoesNotUnderflow) {
+  // Regression: Knuth's product method compares a uniform product against
+  // exp(-lambda), which underflows to 0 near lambda ~ 745; the sampler then
+  // returned a count pinned at ~1075 no matter how much larger lambda grew.
+  // Above the threshold the normal approximation must track lambda itself.
+  for (const double lambda : {1000.0, 20000.0, 3e6}) {
+    util::Rng rng(5);
+    double total = 0;
+    const int trials = 200;
+    for (int i = 0; i < trials; ++i) total += double(fi::poisson_sample(rng, lambda));
+    const double mean = total / trials;
+    EXPECT_NEAR(mean, lambda, 5.0 * std::sqrt(lambda / trials) + 1.0) << lambda;
+  }
+  // End-to-end: an aggressive configuration at deep undervolt — a kernel
+  // long enough that exp(-lambda) is exactly 0.0 in double precision.
+  fi::VddModelConfig cfg;
+  cfg.rate_at_vmin = 0.01;
+  const VddModel m(cfg);
+  util::Rng rng(77);
+  const double lambda = m.error_rate(cfg.vmin) * 200000.0;
+  ASSERT_GT(lambda, 1500.0);
+  const auto faults = m.sample_faults(rng, cfg.vmin, 200000);
+  EXPECT_GT(double(faults.size()), lambda * 0.9);
+  EXPECT_LT(double(faults.size()), lambda * 1.1);
+}
+
+TEST(VddModel, SmallLambdaStreamUnchangedByFallback) {
+  // The normal-approximation fallback must not perturb the small-lambda
+  // regime: same seed, same draw sequence as the classic Knuth sampler.
+  util::Rng a(11), b(11);
+  for (int i = 0; i < 100; ++i) {
+    const std::size_t n = fi::poisson_sample(a, 3.0);
+    std::size_t count = 0;
+    const double limit = std::exp(-3.0);
+    double p = 1.0;
+    for (;;) {
+      p *= b.uniform();
+      if (p <= limit) break;
+      ++count;
+    }
+    EXPECT_EQ(n, count);
+  }
+}
+
+TEST(VddModel, ModelMixSynthesizesRequestedFamilies) {
+  fi::VddModelConfig cfg;
+  cfg.rate_at_vmin = 1e-3;
+  cfg.mix_transient = 0.0;
+  cfg.mix_stuck = 1.0;
+  VddModel stuck(cfg);
+  util::Rng rng(13);
+  bool saw_any = false;
+  for (int i = 0; i < 50; ++i) {
+    for (const fi::Fault& f : stuck.sample_faults(rng, 0.62, 5000)) {
+      saw_any = true;
+      EXPECT_TRUE(f.behavior == fi::FaultBehavior::StuckZero ||
+                  f.behavior == fi::FaultBehavior::StuckOne);
+      EXPECT_EQ(f.occurrences, fi::kPermanent);
+      EXPECT_EQ(fi::parse_fault(f.to_line()).to_line(), f.to_line());
+    }
+  }
+  EXPECT_TRUE(saw_any);
+
+  cfg.mix_stuck = 0.0;
+  cfg.mix_intermittent = 1.0;
+  VddModel inter(cfg);
+  for (int i = 0; i < 50; ++i) {
+    for (const fi::Fault& f : inter.sample_faults(rng, 0.62, 5000)) {
+      EXPECT_TRUE(f.duty_cycled());
+      EXPECT_GE(f.duty_active, 1u);
+      EXPECT_LE(f.duty_active, f.duty_period);
+      EXPECT_EQ(f.occurrences, fi::kPermanent);
+      EXPECT_EQ(fi::parse_fault(f.to_line()).to_line(), f.to_line());
+    }
+  }
+
+  cfg.mix_intermittent = 0.0;
+  cfg.mix_attack = 1.0;
+  VddModel attack(cfg);
+  for (int i = 0; i < 50; ++i) {
+    for (const fi::Fault& f : attack.sample_faults(rng, 0.62, 5000)) {
+      EXPECT_TRUE(f.location == fi::FaultLocation::Skip ||
+                  f.location == fi::FaultLocation::Opcode);
+      EXPECT_EQ(fi::parse_fault(f.to_line()).to_line(), f.to_line());
+    }
+  }
+}
+
+TEST(VddModel, StructureWeightZeroExcludesLocation) {
+  // Only the integer register file is susceptible: every sampled fault must
+  // land there, and its per-location rate carries the full weight.
+  fi::VddModelConfig cfg;
+  cfg.rate_at_vmin = 1e-3;
+  for (unsigned i = 1; i < fi::kNumSeuFaultLocations; ++i) cfg.structure_weight[i] = 0.0;
+  const VddModel m(cfg);
+  util::Rng rng(17);
+  bool saw_any = false;
+  for (int i = 0; i < 100; ++i) {
+    for (const fi::Fault& f : m.sample_faults(rng, 0.62, 5000)) {
+      saw_any = true;
+      EXPECT_EQ(f.location, fi::FaultLocation::IntReg);
+    }
+  }
+  EXPECT_TRUE(saw_any);
+  EXPECT_EQ(m.error_rate(0.7, fi::FaultLocation::FpReg), 0.0);
+  EXPECT_GT(m.error_rate(0.7, fi::FaultLocation::IntReg), 0.0);
+  // The averaged rate scales with the mean structure weight (1/7 here).
+  const VddModel base;
+  EXPECT_NEAR(m.error_rate(0.7), base.error_rate(0.7) / 7.0, 1e-15);
+}
+
+TEST(VddModel, DutyCycleScalesRateLinearly) {
+  fi::VddModelConfig cfg;
+  cfg.duty_cycle = 0.25;
+  const VddModel quarter(cfg);
+  const VddModel full;
+  EXPECT_NEAR(quarter.error_rate(0.7), 0.25 * full.error_rate(0.7), 1e-15);
+}
+
 }  // namespace
