@@ -86,10 +86,11 @@ int main(int argc, char** argv) {
                                : 0;
     // Measured effective parallelism: serial work done by the worker
     // processes divided by the service's wall time (bounded by host cores).
-    double meas_work = 0;
-    for (const auto& er : meas.campaign.results) meas_work += er.wall_seconds;
-    const double meas_par =
-        meas.wall_seconds > 0 ? meas_work / meas.wall_seconds : 0;
+    // The dispatch master streams results without retaining them, so the
+    // serial-work sum comes from its incremental accumulator.
+    const double meas_par = meas.wall_seconds > 0
+                                ? meas.experiment_wall_seconds / meas.wall_seconds
+                                : 0;
     const double init_frac = double(ca.ticks_to_checkpoint) / double(ca.golden_ticks);
     std::printf("%-10s %12.2f %12.2f %9.1fx %14.3f %9.1fx %12.2f %9.1fx %12.2f\n",
                 name.c_str(), no_ff.wall_seconds, ff.wall_seconds, ckpt_speedup,

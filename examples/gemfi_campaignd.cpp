@@ -1,0 +1,120 @@
+// gemfi_campaignd — the campaign-manager daemon: multi-tenant FI-as-a-Service.
+//
+// One long-running process owns a worker fleet and serves many clients at
+// once. Clients (gemfi_submit) submit campaign specs, poll status, cancel,
+// and stream results; gemfi_now_worker processes join the shared fleet
+// unchanged and are leased to campaigns by per-tenant fair share. Every
+// accepted spec and completed experiment is journaled, so killing the daemon
+// (even SIGKILL) and restarting it on the same --journal directory resumes
+// every in-flight campaign from its high-water mark with exactly-once
+// results.
+//
+// Usage:
+//   gemfi_campaignd --journal=<dir>
+//       [--bind=<addr>]         listen address (default 127.0.0.1)
+//       [--port=<p>]            listen port (default 0 = ephemeral, printed)
+//       [--local-workers=<n>]   additionally fork n loopback workers
+//       [--slots=<k>]           slots for the forked loopback workers
+//       [--worker-timeout=<s>] [--frame-grace=<s>]
+//       [--status-interval=<s>] per-campaign status block period (default 5)
+//       [--rebalance-interval=<s>]
+//
+// ^C stops gracefully: workers get Shutdown, live campaigns stay journaled
+// and resume on the next start.
+#include <cstdio>
+#include <string>
+
+#include "campaign/dispatch.hpp"
+#include "campaign/service/service.hpp"
+#include "flag_parse.hpp"
+
+using namespace gemfi;
+using namespace gemfi::cliflags;
+
+namespace {
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --journal=<dir> [--bind=<addr>] [--port=<p>]\n"
+               "           [--local-workers=<n>] [--slots=<k>] [--worker-timeout=<s>]\n"
+               "           [--frame-grace=<s>] [--status-interval=<s>]\n"
+               "           [--rebalance-interval=<s>]\n",
+               argv0);
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  campaign::service::ServiceConfig scfg;
+  scfg.handle_sigint = true;
+  scfg.status_interval_s = 5.0;
+  unsigned local_workers = 0;
+  unsigned slots = 1;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--journal=", 0) == 0) scfg.journal_dir = arg.substr(10);
+    else if (arg.rfind("--bind=", 0) == 0) scfg.bind_address = arg.substr(7);
+    else if (arg.rfind("--port=", 0) == 0)
+      scfg.port = parse_u16_flag("port", arg.substr(7));
+    else if (arg.rfind("--local-workers=", 0) == 0)
+      local_workers = parse_u32_flag("local-workers", arg.substr(16));
+    else if (arg.rfind("--slots=", 0) == 0)
+      slots = parse_u32_flag("slots", arg.substr(8));
+    else if (arg.rfind("--worker-timeout=", 0) == 0)
+      scfg.worker_timeout_s = parse_f64_flag("worker-timeout", arg.substr(17));
+    else if (arg.rfind("--frame-grace=", 0) == 0)
+      scfg.frame_grace_s = parse_f64_flag("frame-grace", arg.substr(14));
+    else if (arg.rfind("--status-interval=", 0) == 0)
+      scfg.status_interval_s = parse_f64_flag("status-interval", arg.substr(18));
+    else if (arg.rfind("--rebalance-interval=", 0) == 0)
+      scfg.rebalance_interval_s =
+          parse_f64_flag("rebalance-interval", arg.substr(21));
+    else usage(argv[0]);
+  }
+  if (scfg.journal_dir.empty()) usage(argv[0]);
+
+  try {
+    campaign::service::CampaignService svc(scfg);
+    const unsigned port = svc.port();
+    std::fprintf(stderr,
+                 "campaignd listening on %s:%u (journal %s) — submit with:\n"
+                 "  gemfi_submit --port=%u --app=<name> --experiments=<n>\n"
+                 "and join workers with:\n"
+                 "  gemfi_now_worker --host=<this-host> --port=%u --reconnects=1000000\n",
+                 scfg.bind_address.c_str(), port, scfg.journal_dir.c_str(), port,
+                 port);
+
+    // The service leases workers by closing their connection and letting
+    // them reconnect, so fleet workers need an effectively unbounded
+    // reconnect budget.
+    campaign::LocalWorkerPool pool;
+    if (local_workers > 0)
+      pool = campaign::LocalWorkerPool::spawn(local_workers, svc.port(), slots,
+                                              /*max_reconnects=*/1u << 30);
+
+    const campaign::service::ServiceReport r = svc.run();
+    pool.wait_all();
+
+    std::fprintf(stderr,
+                 "campaignd: %llu submitted, %llu recovered, %llu done, "
+                 "%llu cancelled, %llu failed; %llu results journaled "
+                 "(%llu duplicates dropped), %u workers joined, %u lost, "
+                 "%llu requeued, %llu rebalance moves, %u clients, %.1fs\n",
+                 (unsigned long long)r.campaigns_submitted,
+                 (unsigned long long)r.campaigns_recovered,
+                 (unsigned long long)r.campaigns_done,
+                 (unsigned long long)r.campaigns_cancelled,
+                 (unsigned long long)r.campaigns_failed,
+                 (unsigned long long)r.results_journaled,
+                 (unsigned long long)r.duplicate_results, r.workers_joined,
+                 r.workers_lost, (unsigned long long)r.requeued,
+                 (unsigned long long)r.rebalance_moves, r.clients_served,
+                 r.wall_seconds);
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "campaignd: %s\n", e.what());
+    return 2;
+  }
+}

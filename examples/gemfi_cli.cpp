@@ -65,6 +65,7 @@
 #include "campaign/dispatch.hpp"
 #include "campaign/observer.hpp"
 #include "campaign/runner.hpp"
+#include "flag_parse.hpp"
 
 using namespace gemfi;
 
@@ -85,36 +86,10 @@ namespace {
   std::exit(2);
 }
 
-/// Checked numeric parsing: a malformed value aborts with a message naming
-/// the offending flag instead of silently becoming 0 (strtoull semantics).
-[[noreturn]] void bad_value(const char* flag, const std::string& text) {
-  std::fprintf(stderr, "invalid numeric value for --%s: '%s'\n", flag,
-               text.c_str());
-  std::exit(2);
-}
-
-std::uint64_t parse_u64_flag(const char* flag, const std::string& text) {
-  char* end = nullptr;
-  errno = 0;
-  const unsigned long long v = std::strtoull(text.c_str(), &end, 10);
-  if (text.empty() || text[0] == '-' || *end != '\0' || errno == ERANGE)
-    bad_value(flag, text);
-  return v;
-}
-
-unsigned parse_u32_flag(const char* flag, const std::string& text) {
-  const std::uint64_t v = parse_u64_flag(flag, text);
-  if (v > ~0u) bad_value(flag, text);
-  return unsigned(v);
-}
-
-double parse_f64_flag(const char* flag, const std::string& text) {
-  char* end = nullptr;
-  errno = 0;
-  const double v = std::strtod(text.c_str(), &end);
-  if (text.empty() || *end != '\0' || errno == ERANGE) bad_value(flag, text);
-  return v;
-}
+using cliflags::bad_value;
+using cliflags::parse_f64_flag;
+using cliflags::parse_u32_flag;
+using cliflags::parse_u64_flag;
 
 }  // namespace
 

@@ -25,8 +25,10 @@
 #include "campaign/dispatch.hpp"
 #include "campaign/observer.hpp"
 #include "campaign/runner.hpp"
+#include "flag_parse.hpp"
 
 using namespace gemfi;
+using namespace gemfi::cliflags;
 
 namespace {
 
@@ -60,20 +62,20 @@ int main(int argc, char** argv) {
     const std::string arg = argv[i];
     if (arg.rfind("--app=", 0) == 0) app_name = arg.substr(6);
     else if (arg.rfind("--campaign=", 0) == 0)
-      campaign_n = std::strtoull(arg.c_str() + 11, nullptr, 10);
+      campaign_n = parse_u64_flag("campaign", arg.substr(11));
     else if (arg.rfind("--seed=", 0) == 0)
-      cfg.campaign_seed = std::strtoull(arg.c_str() + 7, nullptr, 10);
+      cfg.campaign_seed = parse_u64_flag("seed", arg.substr(7));
     else if (arg.rfind("--bind=", 0) == 0) dcfg.bind_address = arg.substr(7);
     else if (arg.rfind("--port=", 0) == 0)
-      dcfg.port = std::uint16_t(std::strtoul(arg.c_str() + 7, nullptr, 10));
+      dcfg.port = parse_u16_flag("port", arg.substr(7));
     else if (arg.rfind("--local-workers=", 0) == 0)
-      local_workers = unsigned(std::strtoul(arg.c_str() + 16, nullptr, 10));
+      local_workers = parse_u32_flag("local-workers", arg.substr(16));
     else if (arg.rfind("--slots=", 0) == 0)
-      slots = unsigned(std::strtoul(arg.c_str() + 8, nullptr, 10));
+      slots = parse_u32_flag("slots", arg.substr(8));
     else if (arg.rfind("--worker-timeout=", 0) == 0)
-      dcfg.worker_timeout_s = std::strtod(arg.c_str() + 17, nullptr);
+      dcfg.worker_timeout_s = parse_f64_flag("worker-timeout", arg.substr(17));
     else if (arg.rfind("--slow-redispatch=", 0) == 0)
-      dcfg.slow_redispatch_s = std::strtod(arg.c_str() + 18, nullptr);
+      dcfg.slow_redispatch_s = parse_f64_flag("slow-redispatch", arg.substr(18));
     else if (arg.rfind("--out=", 0) == 0) out_path = arg.substr(6);
     else if (arg == "--progress") progress = true;
     else if (arg.rfind("--cpu=", 0) == 0) {
@@ -84,11 +86,11 @@ int main(int argc, char** argv) {
       else usage(argv[0]);
     } else if (arg == "--paper") scale.paper = true;
     else if (arg.rfind("--deadline=", 0) == 0)
-      cfg.deadline_seconds = std::strtod(arg.c_str() + 11, nullptr);
+      cfg.deadline_seconds = parse_f64_flag("deadline", arg.substr(11));
     else if (arg.rfind("--retries=", 0) == 0)
-      cfg.max_retries = unsigned(std::strtoul(arg.c_str() + 10, nullptr, 10));
+      cfg.max_retries = parse_u32_flag("retries", arg.substr(10));
     else if (arg.rfind("--watchdog-mult=", 0) == 0)
-      cfg.watchdog_mult = std::strtoull(arg.c_str() + 16, nullptr, 10);
+      cfg.watchdog_mult = parse_u64_flag("watchdog-mult", arg.substr(16));
     else usage(argv[0]);
   }
   if (app_name.empty() || campaign_n == 0) usage(argv[0]);

@@ -15,8 +15,10 @@
 #include <string>
 
 #include "campaign/dispatch.hpp"
+#include "flag_parse.hpp"
 
 using namespace gemfi;
+using namespace gemfi::cliflags;
 
 namespace {
 
@@ -36,15 +38,15 @@ int main(int argc, char** argv) {
     const std::string arg = argv[i];
     if (arg.rfind("--host=", 0) == 0) wcfg.host = arg.substr(7);
     else if (arg.rfind("--port=", 0) == 0)
-      wcfg.port = std::uint16_t(std::strtoul(arg.c_str() + 7, nullptr, 10));
+      wcfg.port = parse_u16_flag("port", arg.substr(7));
     else if (arg.rfind("--slots=", 0) == 0)
-      wcfg.slots = unsigned(std::strtoul(arg.c_str() + 8, nullptr, 10));
+      wcfg.slots = parse_u32_flag("slots", arg.substr(8));
     else if (arg.rfind("--reconnects=", 0) == 0)
-      wcfg.max_reconnects = unsigned(std::strtoul(arg.c_str() + 13, nullptr, 10));
+      wcfg.max_reconnects = parse_u32_flag("reconnects", arg.substr(13));
     else if (arg.rfind("--connect-attempts=", 0) == 0)
-      wcfg.connect_attempts = unsigned(std::strtoul(arg.c_str() + 19, nullptr, 10));
+      wcfg.connect_attempts = parse_u32_flag("connect-attempts", arg.substr(19));
     else if (arg.rfind("--connect-backoff=", 0) == 0)
-      wcfg.connect_backoff_s = std::strtod(arg.c_str() + 18, nullptr);
+      wcfg.connect_backoff_s = parse_f64_flag("connect-backoff", arg.substr(18));
     else usage(argv[0]);
   }
   if (wcfg.port == 0) usage(argv[0]);

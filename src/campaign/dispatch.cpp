@@ -17,6 +17,7 @@
 #include "campaign/observer.hpp"
 #include "campaign/wire.hpp"
 #include "net/frame.hpp"
+#include "net/sigint.hpp"
 #include "net/socket.hpp"
 
 namespace gemfi::campaign {
@@ -29,37 +30,6 @@ std::vector<std::uint8_t> frame_for(wire::MsgType type,
                                     std::span<const std::uint8_t> payload) {
   return net::encode_frame(std::uint8_t(type), payload);
 }
-
-// --- SIGINT -> graceful drain plumbing (master CLIs opt in) ---
-std::atomic<net::SelfPipe*> g_sigint_pipe{nullptr};
-
-void sigint_handler(int) {
-  if (net::SelfPipe* pipe = g_sigint_pipe.load(std::memory_order_acquire))
-    pipe->notify();
-}
-
-/// Installs the handler for the lifetime of one Master::run() and restores
-/// the previous disposition afterwards.
-class ScopedSigint {
- public:
-  ScopedSigint(net::SelfPipe* pipe, bool enabled) : enabled_(enabled) {
-    if (!enabled_) return;
-    g_sigint_pipe.store(pipe, std::memory_order_release);
-    struct sigaction sa{};
-    sa.sa_handler = sigint_handler;
-    sigemptyset(&sa.sa_mask);
-    ::sigaction(SIGINT, &sa, &previous_);
-  }
-  ~ScopedSigint() {
-    if (!enabled_) return;
-    ::sigaction(SIGINT, &previous_, nullptr);
-    g_sigint_pipe.store(nullptr, std::memory_order_release);
-  }
-
- private:
-  bool enabled_;
-  struct sigaction previous_{};
-};
 
 }  // namespace
 
@@ -88,20 +58,25 @@ struct Master::Impl {
     net::FrameReader reader;
     unsigned slots = 0;
     bool ready = false;  // Hello received, Welcome sent
-    double last_rx = 0.0;
+    net::FrameLiveness liveness;
     double joined_at = 0.0;
     std::unordered_map<std::uint64_t, double> inflight;  // index -> dispatch time
 
     WorkerConn(net::TcpConn c, std::size_t max_frame, double now)
-        : conn(std::move(c)), reader(max_frame), last_rx(now), joined_at(now) {}
+        : conn(std::move(c)), reader(max_frame), joined_at(now) {
+      liveness.reset(now);
+    }
   };
   std::vector<std::unique_ptr<WorkerConn>> workers;
   unsigned next_worker_id = 0;
 
+  // Completed results stream straight to cfg.observer (JSONL sink, progress
+  // printer) and are not retained: only these bitmaps scale with the
+  // campaign, so a million-experiment campaign costs the master two bytes
+  // per experiment, not a full ExperimentResult each.
   std::deque<std::uint64_t> pending;
   std::vector<std::uint8_t> done;
   std::vector<std::uint8_t> redispatches;  // slow-path duplicates issued
-  std::vector<ExperimentResult> results;
   std::size_t completed = 0;
 
   DispatchReport stats;  // counters accumulate here during the run
@@ -117,7 +92,6 @@ struct Master::Impl {
 
     done.assign(faults.size(), 0);
     redispatches.assign(faults.size(), 0);
-    results.resize(faults.size());
     for (std::uint64_t i = 0; i < faults.size(); ++i) pending.push_back(i);
   }
 
@@ -151,10 +125,11 @@ struct Master::Impl {
       return;
     }
     done[msg.index] = 1;
-    results[msg.index] = msg.result;
     ++completed;
+    ++stats.campaign.counts[std::size_t(msg.result.classification.outcome)];
+    stats.experiment_wall_seconds += msg.result.wall_seconds;
     clear_inflight_everywhere(msg.index);
-    observe(msg.index, results[msg.index], w.id);
+    observe(msg.index, msg.result, w.id);
   }
 
   void handle_frame(WorkerConn& w, const net::Frame& f) {
@@ -191,9 +166,13 @@ struct Master::Impl {
         const auto got = w.conn.recv_some(buf);
         if (!got) return false;  // EOF
         if (*got == 0) break;    // drained
-        w.last_rx = mono_seconds();
         w.reader.feed(std::span<const std::uint8_t>(buf, *got));
-        while (auto f = w.reader.next()) handle_frame(w, *f);
+        bool frame_completed = false;
+        while (auto f = w.reader.next()) {
+          frame_completed = true;
+          handle_frame(w, *f);
+        }
+        w.liveness.on_read(mono_seconds(), frame_completed, w.reader.buffered());
       }
       return true;
     } catch (const std::exception&) {
@@ -297,10 +276,12 @@ struct Master::Impl {
     const double now = mono_seconds();
     for (std::size_t i = 0; i < workers.size();) {
       const WorkerConn& w = *workers[i];
-      if (now - w.last_rx > dcfg.worker_timeout_s)
+      if (w.liveness.expired(now, dcfg.worker_timeout_s, dcfg.frame_grace_s)) {
+        ++stats.peers_timed_out;
         drop_worker(i, /*lost=*/true);
-      else
+      } else {
         ++i;
+      }
     }
   }
 
@@ -317,7 +298,7 @@ struct Master::Impl {
 
   DispatchReport run() {
     const double t0 = mono_seconds();
-    ScopedSigint sigint(&wake, dcfg.handle_sigint);
+    net::ScopedSigint sigint(&wake, dcfg.handle_sigint);
     if (cfg.observer) cfg.observer->on_campaign_begin(faults.size());
 
     const double first_worker_deadline = t0 + dcfg.first_worker_timeout_s;
@@ -372,9 +353,6 @@ struct Master::Impl {
     stats.done = done;
     stats.completed = completed;
     stats.wall_seconds = mono_seconds() - t0;
-    stats.campaign.results = results;
-    for (std::size_t i = 0; i < results.size(); ++i)
-      if (done[i]) ++stats.campaign.counts[std::size_t(results[i].classification.outcome)];
     stats.campaign.wall_seconds = stats.wall_seconds;
     if (cfg.observer) cfg.observer->on_campaign_end(stats.campaign);
     return std::move(stats);
@@ -607,7 +585,7 @@ int run_worker(const WorkerConfig& wcfg) {
 // ---------------------------------------------------------------------------
 
 LocalWorkerPool LocalWorkerPool::spawn(unsigned workers, std::uint16_t port,
-                                       unsigned slots) {
+                                       unsigned slots, unsigned max_reconnects) {
   LocalWorkerPool pool;
   std::fflush(stdout);
   std::fflush(stderr);
@@ -619,6 +597,7 @@ LocalWorkerPool LocalWorkerPool::spawn(unsigned workers, std::uint16_t port,
       wcfg.host = "127.0.0.1";
       wcfg.port = port;
       wcfg.slots = slots == 0 ? 1 : slots;
+      wcfg.max_reconnects = max_reconnects;
       // _exit: never unwind into the parent's atexit/gtest machinery.
       ::_exit(run_worker(wcfg));
     }

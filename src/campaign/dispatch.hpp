@@ -43,9 +43,17 @@ struct DispatchConfig {
   std::string bind_address = "127.0.0.1";  // 0.0.0.0 to serve a real cluster
   std::uint16_t port = 0;                  // 0 = ephemeral (see Master::port())
 
-  /// A worker that stays silent this long (no result, heartbeat, or any
-  /// other frame) is declared dead and its in-flight experiments requeued.
+  /// A worker that completes no frame for this long is declared dead and its
+  /// in-flight experiments requeued. Raw bytes do NOT count as liveness: a
+  /// peer drip-feeding bytes without ever finishing a frame is reaped too
+  /// (see frame_grace_s).
   double worker_timeout_s = 15.0;
+
+  /// Extra budget for a partial frame in flight: once a peer is idle past
+  /// worker_timeout_s (no complete frame), a half-received frame keeps it
+  /// alive for at most this long from the moment the frame started arriving.
+  /// Protects a slow worker mid-large-frame without opening the trickle hole.
+  double frame_grace_s = 10.0;
 
   /// Heartbeat period workers are asked to keep (shipped implicitly: workers
   /// default to a fraction of worker_timeout_s on their side).
@@ -73,10 +81,16 @@ struct DispatchConfig {
 };
 
 /// What the service adds on top of the merged CampaignReport.
+///
+/// Results are streamed to cfg.observer as they arrive and are NOT retained:
+/// campaign.results stays empty so a million-experiment campaign holds only
+/// the done/redispatch bitmaps in master memory. campaign.counts and the
+/// aggregate timings below are accumulated incrementally instead.
 struct DispatchReport {
-  CampaignReport campaign;          // results[i] valid where done[i] != 0
+  CampaignReport campaign;          // counts/wall only; results intentionally empty
   std::vector<std::uint8_t> done;   // per-experiment completion mask
   std::size_t completed = 0;
+  double experiment_wall_seconds = 0.0;  // sum of per-result wall_seconds
 
   unsigned workers_joined = 0;      // registrations (a reconnect counts again)
   unsigned workers_lost = 0;        // EOF / timeout / protocol damage
@@ -84,6 +98,7 @@ struct DispatchReport {
   std::uint64_t redispatched = 0;   // slow-worker duplicate dispatches
   std::uint64_t duplicate_results = 0;  // dropped by exactly-once dedup
   std::uint64_t frames_rejected = 0;    // protocol-damaged peers dropped
+  std::uint64_t peers_timed_out = 0;    // reaped by the liveness deadline
   std::uint64_t checkpoint_bytes_shipped = 0;  // Welcome payload total
   bool drained_early = false;       // SIGINT drain: done[] is partial
   double wall_seconds = 0.0;
@@ -150,8 +165,12 @@ class LocalWorkerPool {
   /// Fork `workers` children, each running run_worker() against
   /// 127.0.0.1:port with `slots` slots, then _exit(). Call before the parent
   /// spawns threads (Master::run is single-threaded, so the natural order —
-  /// construct Master, spawn pool, run — is safe).
-  static LocalWorkerPool spawn(unsigned workers, std::uint16_t port, unsigned slots);
+  /// construct Master, spawn pool, run — is safe). `max_reconnects` is the
+  /// per-worker budget for re-establishing a lost connection: the campaign
+  /// service leases workers by closing and letting them reconnect, so its
+  /// pools need a far larger budget than a one-shot master's.
+  static LocalWorkerPool spawn(unsigned workers, std::uint16_t port, unsigned slots,
+                               unsigned max_reconnects = 3);
 
   LocalWorkerPool() = default;
   LocalWorkerPool(LocalWorkerPool&&) = default;

@@ -1,0 +1,74 @@
+#include "campaign/service/scheduler.hpp"
+
+#include <map>
+
+namespace gemfi::campaign::service {
+
+namespace {
+
+bool runnable(const SchedEntry& e) {
+  return e.pending > 0 &&
+         (e.max_workers == 0 || e.workers < e.max_workers);
+}
+
+/// Per-tenant totals across runnable campaigns. Workers leased to campaigns
+/// that are no longer runnable still count toward the tenant's share: a
+/// tenant can't dodge accounting by having some leases winding down.
+struct TenantLoad {
+  std::uint64_t weight = 0;
+  std::uint64_t workers = 0;
+};
+
+std::map<std::string, TenantLoad> tenant_loads(const std::vector<SchedEntry>& entries) {
+  std::map<std::string, TenantLoad> loads;
+  for (const SchedEntry& e : entries) {
+    TenantLoad& t = loads[e.tenant];
+    t.workers += e.workers;
+    if (runnable(e)) t.weight += e.weight;
+  }
+  return loads;
+}
+
+}  // namespace
+
+std::uint64_t pick_campaign_for_worker(const std::vector<SchedEntry>& entries) {
+  const auto loads = tenant_loads(entries);
+  const SchedEntry* best = nullptr;
+  // Tenant score = workers / weight, compared as cross products to stay in
+  // integers: a/b < c/d  <=>  a*d < c*b (weights are small, no overflow risk).
+  auto tenant_less = [&](const SchedEntry& x, const SchedEntry& y) {
+    const TenantLoad& tx = loads.at(x.tenant);
+    const TenantLoad& ty = loads.at(y.tenant);
+    const std::uint64_t lhs = tx.workers * ty.weight;
+    const std::uint64_t rhs = ty.workers * tx.weight;
+    if (lhs != rhs) return lhs < rhs;
+    // Same tenant score: fewest leased workers, then lowest id.
+    if (x.workers != y.workers) return x.workers < y.workers;
+    return x.id < y.id;
+  };
+  for (const SchedEntry& e : entries) {
+    if (!runnable(e)) continue;
+    if (best == nullptr || tenant_less(e, *best)) best = &e;
+  }
+  return best ? best->id : 0;
+}
+
+std::uint64_t pick_rebalance_donor(const std::vector<SchedEntry>& entries) {
+  const SchedEntry* donor = nullptr;
+  for (const SchedEntry& e : entries) {
+    const bool can_spare = e.workers >= 2 || (e.workers >= 1 && e.pending == 0);
+    if (!can_spare) continue;
+    if (donor == nullptr || e.workers > donor->workers ||
+        (e.workers == donor->workers && e.id < donor->id))
+      donor = &e;
+  }
+  return donor ? donor->id : 0;
+}
+
+bool has_starved_campaign(const std::vector<SchedEntry>& entries) {
+  for (const SchedEntry& e : entries)
+    if (e.pending > 0 && e.workers == 0) return true;
+  return false;
+}
+
+}  // namespace gemfi::campaign::service

@@ -1,0 +1,50 @@
+// Fair-share worker-lease scheduler for the campaign service.
+//
+// The service multiplexes one worker fleet across many campaigns at
+// worker-lease granularity: each connected worker is leased to exactly one
+// campaign (its Welcome fixed the app it can run), and scheduling decisions
+// are "which campaign gets this free worker?". Fairness is per TENANT, the
+// paper's multi-user NoW setting: a tenant's share score is
+// (workers leased to the tenant) / (sum of its runnable campaigns' weights),
+// and a free worker goes to the tenant with the lowest score, then within
+// the tenant to the runnable campaign with the fewest workers (ties broken
+// by lowest id, so the order is deterministic and testable).
+//
+// These are pure functions over a snapshot vector so they unit-test without
+// sockets; the service builds the snapshot from its campaign table each time
+// a worker needs (re)assignment.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace gemfi::campaign::service {
+
+/// Scheduler's view of one campaign.
+struct SchedEntry {
+  std::uint64_t id = 0;
+  std::string tenant;
+  std::uint32_t weight = 1;
+  std::uint32_t max_workers = 0;  // 0 = unlimited
+  std::uint64_t pending = 0;      // experiments not yet dispatched or done
+  std::uint32_t workers = 0;      // workers currently leased
+};
+
+/// Pick the campaign a free worker should be leased to, honoring per-tenant
+/// fair share and per-campaign quotas. Only campaigns with pending work and
+/// headroom under max_workers are eligible. Returns the campaign id, or 0 if
+/// nothing is runnable (the worker stays parked).
+std::uint64_t pick_campaign_for_worker(const std::vector<SchedEntry>& entries);
+
+/// When some runnable campaign is starved (pending work, zero workers) and no
+/// free worker exists, pick a campaign to take one worker from: the one with
+/// the most workers among those that can spare one (>= 2 workers, or >= 1
+/// with no pending work left). Returns the donor campaign id, or 0 if no one
+/// can spare a worker (then the starved campaign waits for a completion).
+std::uint64_t pick_rebalance_donor(const std::vector<SchedEntry>& entries);
+
+/// True if some campaign has pending work and zero leased workers.
+bool has_starved_campaign(const std::vector<SchedEntry>& entries);
+
+}  // namespace gemfi::campaign::service

@@ -22,15 +22,33 @@
 
 namespace gemfi::campaign::wire {
 
-inline constexpr std::uint32_t kProtocolVersion = 1;
+/// v1 is the original master/worker dispatch protocol; v2 adds the campaign-
+/// service control plane (message types 10+ below). The worker-facing
+/// messages are bit-identical across both versions, and masters accept any
+/// Hello version in [1, kProtocolVersion], so v1 workers join v2 services
+/// unchanged on the wire.
+inline constexpr std::uint32_t kProtocolVersion = 2;
 
 enum class MsgType : std::uint8_t {
+  // --- worker plane (unchanged since v1) ---
   Hello = 1,      // worker -> master: version + slot count
   Welcome = 2,    // master -> worker: campaign config + calibration + checkpoint
   Batch = 3,      // master -> worker: experiment (index, fault) pairs
   Result = 4,     // worker -> master: one finished experiment
   Heartbeat = 5,  // worker -> master: liveness + busy-slot count
   Shutdown = 6,   // master -> worker: campaign over, exit after current work
+
+  // --- control plane (v2, client <-> campaign service; codecs live in
+  // campaign/service/control.hpp) ---
+  SubmitCampaign = 10,  // client -> service: CampaignSpec
+  SubmitReply = 11,     // service -> client: assigned id or error
+  StatusRequest = 12,   // client -> service: one campaign id or 0 = all
+  StatusReply = 13,     // service -> client: per-campaign status records
+  CancelCampaign = 14,  // client -> service: stop dispatching a campaign
+  CancelReply = 15,     // service -> client: ack or error
+  StreamResults = 16,   // client -> service: subscribe to a campaign's JSONL
+  ResultLines = 17,     // service -> client: a batch of JSONL record lines
+  StreamEnd = 18,       // service -> client: campaign reached a terminal state
 };
 
 struct Hello {

@@ -17,6 +17,7 @@
 // garbage and truncated frames straight into this path.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <optional>
 #include <span>
@@ -42,6 +43,42 @@ struct Frame {
 /// Serialize one frame (header + CRC-guarded payload).
 std::vector<std::uint8_t> encode_frame(std::uint8_t type,
                                        std::span<const std::uint8_t> payload);
+
+/// Liveness accounting for a framed peer. The naive rule — "any received
+/// byte proves the peer alive" — lets a hostile peer drip-feed one byte per
+/// heartbeat interval and never be timed out; the opposite rule — "only a
+/// complete frame counts" — falsely kills a slow worker in the middle of one
+/// large frame. This tracker keeps both deadlines: idleness is measured from
+/// the last *complete* frame, and a partial frame in the reassembly buffer
+/// buys at most `frame_grace` seconds from the moment it started arriving.
+struct FrameLiveness {
+  double last_frame = 0.0;     // time of the last complete frame (or connect)
+  double partial_since = 0.0;  // start of the pending partial frame; 0 = none
+
+  void reset(double now) noexcept {
+    last_frame = now;
+    partial_since = 0.0;
+  }
+
+  /// Call after feeding received bytes and draining complete frames.
+  /// `frame_completed` = at least one frame was produced by this read;
+  /// `buffered` = bytes of partial frame still in the reassembly buffer.
+  void on_read(double now, bool frame_completed, std::size_t buffered) noexcept {
+    if (frame_completed) last_frame = now;
+    if (buffered == 0)
+      partial_since = 0.0;
+    else if (frame_completed || partial_since == 0.0)
+      partial_since = now;
+  }
+
+  /// Dead if idle past `idle_timeout` since the last complete frame, unless
+  /// a partial frame is in flight and still within its `frame_grace` budget.
+  [[nodiscard]] bool expired(double now, double idle_timeout,
+                             double frame_grace) const noexcept {
+    if (now - last_frame <= idle_timeout) return false;
+    return partial_since == 0.0 || now - partial_since > frame_grace;
+  }
+};
 
 /// Incremental frame reassembler. feed() appends raw bytes; next() yields
 /// complete frames in order. Both throw ProtocolError the moment the buffered

@@ -1,0 +1,56 @@
+#include "net/sigint.hpp"
+
+#include <signal.h>
+
+#include <atomic>
+#include <mutex>
+#include <stdexcept>
+
+namespace gemfi::net {
+
+namespace {
+
+// The handler walks this table, so entries are atomics; registration and
+// deregistration (normal, non-signal context) serialize on the mutex, which
+// also guards the install/restore of the previous disposition.
+constexpr int kMaxSlots = 16;
+std::atomic<SelfPipe*> g_slots[kMaxSlots] = {};
+std::mutex g_mutex;
+int g_registered = 0;
+struct sigaction g_previous {};
+
+void sigint_handler(int) {
+  for (auto& slot : g_slots)
+    if (SelfPipe* pipe = slot.load(std::memory_order_acquire)) pipe->notify();
+}
+
+}  // namespace
+
+ScopedSigint::ScopedSigint(SelfPipe* pipe, bool enabled) {
+  if (!enabled || pipe == nullptr) return;
+  std::lock_guard lock(g_mutex);
+  for (int i = 0; i < kMaxSlots; ++i) {
+    if (g_slots[i].load(std::memory_order_relaxed) != nullptr) continue;
+    slot_ = i;
+    g_slots[i].store(pipe, std::memory_order_release);
+    break;
+  }
+  if (slot_ < 0)
+    throw std::runtime_error("ScopedSigint: all " + std::to_string(kMaxSlots) +
+                             " SIGINT registration slots in use");
+  if (g_registered++ == 0) {
+    struct sigaction sa {};
+    sa.sa_handler = sigint_handler;
+    sigemptyset(&sa.sa_mask);
+    ::sigaction(SIGINT, &sa, &g_previous);
+  }
+}
+
+ScopedSigint::~ScopedSigint() {
+  if (slot_ < 0) return;
+  std::lock_guard lock(g_mutex);
+  g_slots[slot_].store(nullptr, std::memory_order_release);
+  if (--g_registered == 0) ::sigaction(SIGINT, &g_previous, nullptr);
+}
+
+}  // namespace gemfi::net

@@ -274,6 +274,110 @@ TEST(Dispatch, DrainStopsEarlyAndWorkersExitCleanly) {
   EXPECT_TRUE(std::all_of(seen.begin(), seen.end(), [](unsigned k) { return k <= 1; }));
 }
 
+// A trickling peer — one valid Hello, then a frame header dripped one byte
+// at a time forever — used to reset the master's idle clock on every byte
+// and squat a connection indefinitely. With frame-level liveness the drip
+// only buys the bounded partial-frame grace: the peer is reaped, counted in
+// peers_timed_out, and the campaign still completes with the real worker.
+TEST(Dispatch, DripFeedingPeerIsReapedNotImmortal) {
+  const Calibrated& c = calibrated();
+  const std::size_t n = 40;
+  const auto faults =
+      campaign::seeded_fault_set(c.cfg.campaign_seed, n, c.ca.kernel_fetches);
+
+  campaign::CampaignConfig now_cfg = c.cfg;
+  CollectingObserver now_obs;
+  now_cfg.observer = &now_obs;
+
+  // Workers heartbeat every 1s, so 2.5s of idle means a dead (or hostile)
+  // peer; the dripped partial frame only adds the 0.5s grace. The observer
+  // hook below paces the campaign so it always outlives the ~3s reap point.
+  campaign::DispatchConfig dcfg;
+  dcfg.worker_timeout_s = 2.5;
+  dcfg.frame_grace_s = 0.5;
+  now_obs.hook = [](const campaign::ExperimentRecord&) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  };
+
+  campaign::Master master(c.ca, c.scale, faults, now_cfg, dcfg);
+  auto pool = campaign::LocalWorkerPool::spawn(1, master.port(), /*slots=*/1);
+
+  const std::uint16_t port = master.port();
+  std::atomic<bool> dripping{true};
+  std::thread dripper([port, &dripping] {
+    try {
+      auto conn = net::TcpConn::connect("127.0.0.1", port, 10, 0.05);
+      // A complete, valid Hello: the peer is now a bona fide worker whose
+      // silence would be measured — then a valid Heartbeat frame dripped one
+      // byte at a time, never finished, to hold a partial frame in flight.
+      const auto hello = net::encode_frame(
+          1, std::vector<std::uint8_t>{2, 0, 0, 0, 1, 0, 0, 0});
+      conn.send_all(hello);
+      const auto drip = net::encode_frame(5, std::vector<std::uint8_t>(12, 0));
+      std::size_t sent = 0;
+      while (dripping.load()) {
+        if (sent + 1 < drip.size())  // never complete the frame
+          conn.send_all(std::span<const std::uint8_t>(&drip[sent++], 1));
+        std::this_thread::sleep_for(std::chrono::milliseconds(150));
+      }
+    } catch (const std::exception&) {
+      // The master closing the drip-feed connection is the fix working.
+    }
+  });
+
+  const auto dr = master.run();
+  dripping.store(false);
+  dripper.join();
+  pool.wait_all();
+
+  EXPECT_EQ(dr.completed, n);
+  EXPECT_GE(dr.peers_timed_out, 1u);
+  EXPECT_EQ(now_obs.count(), n);
+}
+
+// Two masters in one process, both with handle_sigint: one SIGINT must
+// drain BOTH loops (the old single-global handler slot let the second
+// registration clobber the first, leaving one master uninterruptible).
+TEST(Dispatch, SigintDrainsEveryConcurrentMaster) {
+  const Calibrated& c = calibrated();
+  const std::size_t n = 400;  // big enough that neither finishes first
+  const auto faults =
+      campaign::seeded_fault_set(c.cfg.campaign_seed, n, c.ca.kernel_fetches);
+
+  campaign::CampaignConfig cfg_a = c.cfg;
+  campaign::CampaignConfig cfg_b = c.cfg;
+  CollectingObserver obs_a, obs_b;
+  cfg_a.observer = &obs_a;
+  cfg_b.observer = &obs_b;
+  campaign::DispatchConfig dcfg;
+  dcfg.handle_sigint = true;
+
+  campaign::Master master_a(c.ca, c.scale, faults, cfg_a, dcfg);
+  campaign::Master master_b(c.ca, c.scale, faults, cfg_b, dcfg);
+  // Fork every worker before this process spawns threads.
+  auto pool_a = campaign::LocalWorkerPool::spawn(1, master_a.port(), /*slots=*/1);
+  auto pool_b = campaign::LocalWorkerPool::spawn(1, master_b.port(), /*slots=*/1);
+
+  campaign::DispatchReport dr_a, dr_b;
+  std::thread run_a([&] { dr_a = master_a.run(); });
+  std::thread run_b([&] { dr_b = master_b.run(); });
+
+  // Interrupt once both campaigns are provably mid-flight.
+  while (obs_a.count() < 3 || obs_b.count() < 3)
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  raise(SIGINT);
+
+  run_a.join();
+  run_b.join();
+  EXPECT_EQ(pool_a.wait_all(), 0);
+  EXPECT_EQ(pool_b.wait_all(), 0);
+
+  EXPECT_TRUE(dr_a.drained_early);
+  EXPECT_TRUE(dr_b.drained_early);
+  EXPECT_LT(dr_a.completed, n);
+  EXPECT_LT(dr_b.completed, n);
+}
+
 // The master gives up with a clear error if no worker ever joins.
 TEST(Dispatch, NoWorkerEverJoinsThrows) {
   const Calibrated& c = calibrated();
