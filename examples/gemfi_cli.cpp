@@ -6,6 +6,11 @@
 //   gemfi_cli --program=<file.s>    run a user-written uAlpha assembly file
 //   gemfi_cli --app=<dct|jacobi|pi|knapsack|deblock|canneal|aes>
 //             [--faults=<file>]        fault config, one Listing-1 line each
+//             [--syscall-fault=<line>] one syscall fault plan (repeatable):
+//                                        write@idx:3 errno:EIO
+//                                        read@idx:2-5 tid:0 partial:0.5
+//                                        * p:0.01@0x1234 latency:2000
+//                                        recv corrupt:3@0xbeef
 //             [--fault=<line>]         one inline fault spec (repeatable);
 //                                      the grammar covers every model family:
 //                                        transient   Flip:21 ... occ:1
@@ -27,6 +32,10 @@
 //                                      batched TimingSimple loop)
 //   gemfi_cli --app=<name> --campaign=<n>   seeded random-fault campaign
 //             [--seed=<u64>]           campaign seed (default 42)
+//             [--random-syscall-faults] additionally arm one seeded random
+//                                      syscall plan per experiment (plus any
+//                                      --syscall-fault= lines, which apply to
+//                                      every experiment)
 //             [--workers=<k>]          parallel experiments (default 1)
 //             [--out=<file.jsonl>]     stream one JSON record per experiment
 //             [--progress]             periodic progress lines on stderr
@@ -74,13 +83,14 @@ namespace {
 [[noreturn]] void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s --app=<name> [--faults=<file>] [--fault=<line>] "
-               "[--cpu=atomic|timing|"
+               "[--syscall-fault=<line>] [--cpu=atomic|timing|"
                "pipelined] [--paper] [--watchdog-mult=<k>] [--log] [--no-predecode]\n"
                "           [--no-fastpath]\n"
                "       %s --app=<name> --campaign=<n> [--seed=<u64>] [--workers=<k>]\n"
                "           [--out=<file.jsonl>] [--progress] [--deadline=<sec>]\n"
                "           [--retries=<k>] [--ckpt-format=v1|v2] [--no-ckpt-compress]\n"
                "           [--no-shared-baseline] [--now-local=<n>] [--slots=<k>]\n"
+               "           [--syscall-fault=<line>] [--random-syscall-faults]\n"
                "       %s --app=<name> --replay=<index> --seed=<u64>\n",
                argv0, argv0, argv0);
   std::exit(2);
@@ -98,6 +108,8 @@ int main(int argc, char** argv) {
   std::string program_path;
   std::string fault_path;
   std::vector<std::string> inline_faults;
+  std::vector<std::string> inline_syscall_faults;
+  bool random_syscall_faults = false;
   std::string out_path;
   sim::CpuKind cpu = sim::CpuKind::Pipelined;
   apps::AppScale scale;
@@ -128,6 +140,10 @@ int main(int argc, char** argv) {
       fault_path = arg.substr(9);
     } else if (arg.rfind("--fault=", 0) == 0) {
       inline_faults.push_back(arg.substr(8));
+    } else if (arg.rfind("--syscall-fault=", 0) == 0) {
+      inline_syscall_faults.push_back(arg.substr(16));
+    } else if (arg == "--random-syscall-faults") {
+      random_syscall_faults = true;
     } else if (arg.rfind("--cpu=", 0) == 0) {
       const std::string kind = arg.substr(6);
       if (kind == "atomic") cpu = sim::CpuKind::AtomicSimple;
@@ -204,6 +220,15 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
+  std::vector<fi::SyscallFaultPlan> syscall_plans;
+  for (const std::string& line : inline_syscall_faults) {
+    try {
+      syscall_plans.push_back(fi::parse_syscall_plan(line));
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "--syscall-fault=%s: %s\n", line.c_str(), e.what());
+      return 2;
+    }
+  }
 
   campaign::CampaignConfig cfg;
   cfg.cpu = cpu;
@@ -218,6 +243,8 @@ int main(int argc, char** argv) {
   cfg.shared_baseline = shared_baseline;
   cfg.predecode = predecode;
   cfg.fastpath = fastpath;
+  cfg.syscall_plans = syscall_plans;
+  cfg.random_syscall_faults = random_syscall_faults;
 
   if (!program_path.empty()) {
     // User-supplied .s file: assemble, run (with faults, if any), report.
@@ -235,6 +262,7 @@ int main(int argc, char** argv) {
     sim::Simulation s(scfg, prog);
     s.spawn_main_thread();
     s.fault_manager().load_faults(faults);
+    for (const fi::SyscallFaultPlan& p : syscall_plans) s.syscall_injector().add_plan(p);
     const sim::RunResult rr = s.run(500'000'000ull);
     std::printf("%s", s.output(0).c_str());
     std::fprintf(stderr, "exit: %s", sim::exit_reason_name(rr.reason));
@@ -283,10 +311,14 @@ int main(int argc, char** argv) {
     // JSONL record regenerate the identical fault deterministically.
     const std::uint64_t index = std::uint64_t(replay_index);
     const fi::Fault f = campaign::seeded_fault_any(campaign_seed, index, ca.kernel_fetches);
-    const auto er = campaign::run_experiment_with_retry(ca, f, cfg);
+    const auto plans = campaign::plans_for_experiment(cfg, index);
+    const auto er = campaign::run_experiment_with_retry(ca, f, cfg, &plans);
     const campaign::ExperimentRecord rec{
         std::size_t(index), 0, campaign::experiment_seed(campaign_seed, index), er};
-    std::printf("%s\n", campaign::experiment_record_to_json(rec).c_str());
+    // Deterministic form (no host timing): two replays of the same (seed,
+    // index, plans) print byte-identical records.
+    std::printf("%s\n",
+                campaign::experiment_record_to_json(rec, /*include_host_timing=*/false).c_str());
     std::fprintf(stderr, "replay %llu: %s (exit %s)\n", (unsigned long long)index,
                  apps::outcome_name(er.classification.outcome),
                  sim::exit_reason_name(er.exit_reason));
@@ -349,13 +381,25 @@ int main(int argc, char** argv) {
       std::printf("%-16s %6zu  %5.1f%%\n", apps::outcome_name(outcome),
                   report.counts[o], 100.0 * report.fraction(outcome));
     }
+    if (!cfg.syscall_plans.empty() || cfg.random_syscall_faults) {
+      std::printf("syscall-fault taxonomy:\n");
+      for (unsigned o = 0; o < campaign::kNumSyscallOutcomes; ++o) {
+        const auto so = static_cast<campaign::SyscallOutcome>(o);
+        std::printf("  %-18s %6zu  %5.1f%%\n", campaign::syscall_outcome_name(so),
+                    report.syscall_counts[o],
+                    report.total() == 0
+                        ? 0.0
+                        : 100.0 * double(report.syscall_counts[o]) / double(report.total()));
+      }
+      std::printf("  max cascade length %u\n", report.max_cascade);
+    }
     if (sink)
       std::fprintf(stderr, "wrote %zu records to %s\n", sink->lines_written(),
                    out_path.c_str());
     return 0;
   }
 
-  if (faults.empty()) {
+  if (faults.empty() && syscall_plans.empty()) {
     std::printf("%s", ca.app.golden_output.c_str());
     std::fprintf(stderr, "no faults configured: golden output above\n");
     return 0;
@@ -370,6 +414,7 @@ int main(int argc, char** argv) {
   s.spawn_main_thread();
   ca.checkpoint.restore_into(s);
   s.fault_manager().load_faults(faults);
+  for (const fi::SyscallFaultPlan& p : syscall_plans) s.syscall_injector().add_plan(p);
   const sim::RunResult rr = s.run(watchdog_mult * ca.golden_ticks + 1'000'000);
   const auto c = campaign::classify(ca.app, rr, s.fault_manager(), s.output(0));
 
@@ -383,6 +428,16 @@ int main(int argc, char** argv) {
       c.outcome == apps::Outcome::AttackEffective)
     std::fprintf(stderr, " (metric %.3f)", c.metric);
   std::fprintf(stderr, "\n");
+  if (!syscall_plans.empty()) {
+    bool unhandled = rr.reason != sim::ExitReason::AllThreadsExited;
+    for (std::uint64_t tid = 0; tid < s.scheduler().thread_count(); ++tid)
+      if (s.scheduler().thread(tid).exit_code != 0) unhandled = true;
+    const auto sc = campaign::classify_syscalls(s.syscalls().full_trace(), unhandled);
+    std::fprintf(stderr, "syscalls: %s (cascade %u, %llu injected%s)\n",
+                 campaign::syscall_outcome_name(sc.outcome), sc.cascade_len,
+                 (unsigned long long)s.syscalls().injected_calls(),
+                 sc.unrealistic ? ", unrealistic errno" : "");
+  }
   if (show_log)
     for (const auto& line : s.fault_manager().injection_log())
       std::fprintf(stderr, "inject: %s\n", line.c_str());

@@ -66,7 +66,7 @@ void emit_newline(assembler::Assembler& as) {
 }
 
 std::vector<std::string> app_names() {
-  return {"dct", "jacobi", "pi", "knapsack", "deblock", "canneal", "aes"};
+  return {"dct", "jacobi", "pi", "knapsack", "deblock", "canneal", "aes", "logwriter"};
 }
 
 App build_app(const std::string& name, const AppScale& scale) {
@@ -77,6 +77,7 @@ App build_app(const std::string& name, const AppScale& scale) {
   if (name == "deblock") return build_deblock(scale);
   if (name == "canneal") return build_canneal(scale);
   if (name == "aes") return build_aes(scale);
+  if (name == "logwriter") return build_logwriter(scale);
   throw std::invalid_argument("unknown app: " + name);
 }
 

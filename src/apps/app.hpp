@@ -87,8 +87,9 @@ App build_knapsack(const AppScale& scale = {});
 App build_deblock(const AppScale& scale = {});
 App build_canneal(const AppScale& scale = {});
 App build_aes(const AppScale& scale = {});
+App build_logwriter(const AppScale& scale = {});
 
-/// All six, in the paper's presentation order.
+/// All apps, in the paper's presentation order.
 std::vector<std::string> app_names();
 App build_app(const std::string& name, const AppScale& scale = {});
 

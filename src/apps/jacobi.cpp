@@ -100,19 +100,35 @@ App build_jacobi(const AppScale& scale) {
   const std::uint64_t seed = scale.seed ^ 0x1acb;
 
   Assembler as;
-  const DataRef a_ref = as.data_zeros(std::size_t(n) * n * 8);
-  const DataRef b_ref = as.data_zeros(n * 8);
-  const DataRef x_ref = as.data_zeros(n * 8);
-  const DataRef xn_ref = as.data_zeros(n * 8);
 
   const Label entry = as.here("main");
   emit_boot(as);
 
   // ---------------- init phase (pre-checkpoint) ----------------
+  // The work buffers live on the kernel heap (sys_alloc) instead of the
+  // static data section, with the error paths a real program would have:
+  // an ABI-version mismatch or a failed allocation prints a diagnostic and
+  // exits nonzero rather than scribbling through a -errno "pointer".
+  const Label sys_fail = as.make_label("sys_fail");
+  const auto sys = [&](std::uint64_t no) {
+    as.li(reg::v0, std::int64_t(no));
+    as.syscall_();
+  };
+  sys(10);  // sys_version
+  as.li(reg::t0, 1);
+  as.cmpeq(reg::v0, reg::t0, reg::t0);
+  as.beq(reg::t0, sys_fail);
+  const auto alloc_into = [&](std::uint64_t bytes, unsigned dst) {
+    as.li(reg::a0, std::int64_t(bytes));
+    sys(1);  // sys_alloc
+    as.blt(reg::v0, sys_fail);
+    as.mov(reg::v0, dst);
+  };
+  alloc_into(std::size_t(n) * n * 8, reg::s2);  // A
+  alloc_into(n * 8, reg::s3);                   // b
+
   // Generates A, b with the shared LCG and establishes diagonal dominance.
   as.li_u(reg::s1, seed);  // LCG state
-  as.la(reg::s2, a_ref);   // &A
-  as.la(reg::s3, b_ref);   // &b
   as.li(reg::s0, 0);       // i
 
   const Label init_i = as.here("init_i");
@@ -179,14 +195,28 @@ App build_jacobi(const AppScale& scale) {
     as.bne(reg::t0, init_i);
   }
 
+  // x and xn are allocated after the init loops (which use s4 as a loop
+  // counter) and zeroed explicitly: the data section was implicitly zeroed,
+  // the heap is not guaranteed to be.
+  alloc_into(n * 8, reg::s4);  // x
+  alloc_into(n * 8, reg::s5);  // xn
+  as.mov(reg::s4, reg::t2);
+  as.mov(reg::s5, reg::t3);
+  as.li(reg::t0, std::int64_t(n));
+  const Label zero_loop = as.here("zero_x");
+  as.stq(reg::zero, 0, reg::t2);
+  as.stq(reg::zero, 0, reg::t3);
+  as.lda(reg::t2, 8, reg::t2);
+  as.lda(reg::t3, 8, reg::t3);
+  as.subq_i(reg::t0, 1, reg::t0);
+  as.bne(reg::t0, zero_loop);
+
   as.fi_read_init();  // checkpoint boundary
   as.mov_i(0, reg::a0);
   as.fi_activate();
 
   // ---------------- kernel ----------------
-  // s0=iter, s2=&A, s3=&b, s4=&x, s5=&xn, f10=eps
-  as.la(reg::s4, x_ref);
-  as.la(reg::s5, xn_ref);
+  // s0=iter, s2=&A, s3=&b, s4=&x, s5=&xn (heap pointers from init), f10=eps
   as.fli(10, eps);
   as.li(reg::s0, 0);  // iteration counter
 
@@ -301,6 +331,13 @@ App build_jacobi(const AppScale& scale) {
     as.bne(reg::t0, out_loop);
   }
   as.mov_i(0, reg::a0);
+  as.exit_();
+
+  // Syscall error path: never reached fault-free; under injected alloc or
+  // version failures the run ends here with a distinct output and exit code.
+  as.bind(sys_fail);
+  as.print_str("E:sys\n");
+  as.mov_i(1, reg::a0);
   as.exit_();
 
   App app;

@@ -1,0 +1,304 @@
+// Log-structured record writer: the syscall-fault taxonomy workload.
+//
+// The app is built around the OS surface (Sysno table) rather than around
+// arithmetic: it appends fixed-size checksummed records to a capacity-bounded
+// in-memory file through sys_write, re-opens and scans the log back through
+// sys_read validating each record, and round-trips a summary through a
+// message channel (sys_send/sys_recv). Every syscall result is checked and
+// has a recovery policy:
+//   * a short or failed record write is retried up to twice, then the record
+//     is dropped (and counted) — the error-masking path that turns a single
+//     injected errno into "masked-by-handler";
+//   * an injected partial write leaves torn bytes in the log, so the tail
+//     records no longer fit: their writes fail naturally (short write, then
+//     ENOSPC on the retries) — the failure chain the campaign classifier
+//     measures as cascade(N);
+//   * the read-back scan treats anything that fails its checksum as data
+//     loss, not as a crash, and reports honest degradation counts.
+//
+// Output (one counter per line, fixed order):
+//   written=W dropped=D valid=V sum=S echo=E
+// Acceptability: well-formed output with written+dropped == R and echo==sum
+// (the app never lies about what it persisted); metric = fraction of records
+// lost. Fault-free runs are bit-exact against the host twin.
+#include "apps/app.hpp"
+
+#include <cstdio>
+#include <string>
+
+namespace gemfi::apps {
+
+namespace {
+
+constexpr std::uint64_t kMagic = 0x4c4f475245437631ull;  // "LOGRECv1"
+constexpr unsigned kRecordBytes = 32;  // magic, seq, payload, xor-checksum
+
+struct LogwriterParams {
+  unsigned records = 0;
+  std::uint64_t seed = 0;
+};
+
+/// Host twin of the fault-free guest: every write lands in full (callers
+/// must give the simulation a file capacity >= records * 32 bytes), every
+/// record validates on read-back and the channel echoes the sum.
+std::string golden_logwriter(const LogwriterParams& p) {
+  std::uint64_t state = p.seed;
+  std::uint64_t sum = 0;
+  for (unsigned i = 0; i < p.records; ++i) sum += lcg_next(state);
+  char buf[160];
+  std::snprintf(buf, sizeof buf,
+                "written=%u\ndropped=0\nvalid=%u\nsum=%lld\necho=%lld\n",
+                p.records, p.records, static_cast<long long>(sum),
+                static_cast<long long>(sum));
+  return buf;
+}
+
+/// Parse "key=<int>\n" lines in the fixed output order; false on any
+/// malformation (missing line, junk, wrong order).
+bool parse_counters(const std::string& out, long long v[5]) {
+  static const char* keys[5] = {"written=", "dropped=", "valid=", "sum=", "echo="};
+  std::size_t pos = 0;
+  for (int i = 0; i < 5; ++i) {
+    const std::string key = keys[i];
+    if (out.compare(pos, key.size(), key) != 0) return false;
+    pos += key.size();
+    const std::size_t nl = out.find('\n', pos);
+    if (nl == std::string::npos || nl == pos) return false;
+    try {
+      std::size_t used = 0;
+      v[i] = std::stoll(out.substr(pos, nl - pos), &used);
+      if (used != nl - pos) return false;
+    } catch (...) {
+      return false;
+    }
+    pos = nl + 1;
+  }
+  return pos == out.size();
+}
+
+}  // namespace
+
+App build_logwriter(const AppScale& scale) {
+  using namespace assembler;
+  LogwriterParams p;
+  p.records = scale.paper ? 200 : 48;
+  p.seed = scale.seed ^ 0x10f;
+
+  Assembler as;
+  const Label entry = as.here("main");
+  emit_boot(as);
+
+  const Label sys_fail = as.make_label("sys_fail");
+  const auto sys = [&](std::uint64_t no) {
+    as.li(reg::v0, std::int64_t(no));
+    as.syscall_();
+  };
+
+  // ---------------- init phase (pre-checkpoint) ----------------
+  sys(10);  // sys_version
+  as.li(reg::t0, 1);
+  as.cmpeq(reg::v0, reg::t0, reg::t0);
+  as.beq(reg::t0, sys_fail);
+
+  as.li(reg::a0, kRecordBytes);
+  sys(1);  // sys_alloc: record staging buffer
+  as.blt(reg::v0, sys_fail);
+  as.mov(reg::v0, reg::s2);
+
+  as.li(reg::a0, 0);  // file id 0
+  as.li(reg::a1, 1 | 2 | 4);  // write|create|trunc
+  sys(3);  // sys_open
+  as.blt(reg::v0, sys_fail);
+  as.mov(reg::v0, reg::s0);  // fd
+
+  as.fi_read_init();  // checkpoint boundary
+  as.mov_i(0, reg::a0);
+  as.fi_activate();
+
+  // ---------------- kernel: append phase ----------------
+  // s0=fd s1=LCG state s2=&record s3=written s4=dropped s5=seq t10=attempts
+  as.li_u(reg::s1, p.seed);
+  as.li(reg::s3, 0);
+  as.li(reg::s4, 0);
+  as.li(reg::s5, 0);
+  const Label rec_loop = as.here("rec");
+  {
+    emit_lcg_step(as, reg::s1, reg::t0);  // payload = next LCG value
+    as.li_u(reg::t0, kMagic);
+    as.stq(reg::t0, 0, reg::s2);
+    as.stq(reg::s5, 8, reg::s2);
+    as.stq(reg::s1, 16, reg::s2);
+    as.xor_(reg::t0, reg::s5, reg::t1);  // checksum = magic ^ seq ^ payload
+    as.xor_(reg::t1, reg::s1, reg::t1);
+    as.stq(reg::t1, 24, reg::s2);
+
+    as.li(reg::t10, 0);  // attempts
+    const Label wr = as.here("wr");
+    as.mov(reg::s0, reg::a0);
+    as.mov(reg::s2, reg::a1);
+    as.li(reg::a2, kRecordBytes);
+    sys(5);  // sys_write
+    const Label wr_ok = as.make_label("wr_ok");
+    const Label rec_next = as.make_label("rec_next");
+    as.cmpeq_i(reg::v0, kRecordBytes, reg::t0);
+    as.bne(reg::t0, wr_ok);
+    // Short write or error: retry the whole record up to twice, then drop.
+    as.addq_i(reg::t10, 1, reg::t10);
+    as.cmplt_i(reg::t10, 3, reg::t0);
+    as.bne(reg::t0, wr);
+    as.addq_i(reg::s4, 1, reg::s4);  // dropped
+    as.br(rec_next);
+    as.bind(wr_ok);
+    as.addq_i(reg::s3, 1, reg::s3);  // written
+    as.bind(rec_next);
+    as.addq_i(reg::s5, 1, reg::s5);
+    as.li(reg::t0, std::int64_t(p.records));
+    as.cmplt(reg::s5, reg::t0, reg::t0);
+    as.bne(reg::t0, rec_loop);
+  }
+  as.mov(reg::s0, reg::a0);
+  sys(6);  // sys_close (result deliberately ignored: nothing left to undo)
+
+  // ---------------- kernel: read-back scan ----------------
+  // Re-open read-only and scan quadword by quadword for record headers; a
+  // record counts as valid only if its checksum matches. Torn bytes from a
+  // partial write simply fail the scan at that point — data loss, not UB.
+  as.li(reg::a0, 0);
+  as.li(reg::a1, 0);
+  sys(3);  // sys_open (read)
+  as.blt(reg::v0, sys_fail);
+  as.mov(reg::v0, reg::s0);
+
+  as.li(reg::s1, 0);   // valid records
+  as.li(reg::fp, 0);   // payload sum
+  as.li(reg::t9, 0);   // read retries
+  const Label rd = as.here("rd");
+  const Label rd_done = as.make_label("rd_done");
+  {
+    as.mov(reg::s0, reg::a0);
+    as.mov(reg::s2, reg::a1);
+    as.li(reg::a2, 8);
+    sys(4);  // sys_read: next header quadword
+    const Label got = as.make_label("got");
+    as.cmpeq_i(reg::v0, 8, reg::t0);
+    as.bne(reg::t0, got);
+    as.bge(reg::v0, rd_done);  // 0..7 bytes: end of log / torn tail
+    as.addq_i(reg::t9, 1, reg::t9);  // negative: transient error, retry
+    as.cmplt_i(reg::t9, 3, reg::t0);
+    as.bne(reg::t0, rd);
+    as.br(rd_done);
+    as.bind(got);
+    as.li(reg::t9, 0);
+    as.ldq(reg::t0, 0, reg::s2);
+    as.li_u(reg::t1, kMagic);
+    as.cmpeq(reg::t0, reg::t1, reg::t0);
+    as.beq(reg::t0, rd);  // not a record header: keep scanning
+    // Header found: pull the remaining three quadwords in one read.
+    as.mov(reg::s0, reg::a0);
+    as.lda(reg::a1, 8, reg::s2);  // a1 = &buf[8]
+    as.li(reg::a2, 24);
+    sys(4);
+    as.cmpeq_i(reg::v0, 24, reg::t0);
+    as.beq(reg::t0, rd_done);  // truncated record at end of log
+    as.ldq(reg::t3, 8, reg::s2);   // seq
+    as.ldq(reg::t4, 16, reg::s2);  // payload
+    as.ldq(reg::t5, 24, reg::s2);  // stored checksum
+    as.li_u(reg::t1, kMagic);
+    as.xor_(reg::t1, reg::t3, reg::t6);
+    as.xor_(reg::t6, reg::t4, reg::t6);
+    as.cmpeq(reg::t6, reg::t5, reg::t0);
+    as.beq(reg::t0, rd);  // checksum mismatch: corrupted record, skip
+    as.addq_i(reg::s1, 1, reg::s1);
+    as.addq(reg::fp, reg::t4, reg::fp);
+    as.br(rd);
+  }
+  as.bind(rd_done);
+  as.mov(reg::s0, reg::a0);
+  sys(6);  // sys_close
+
+  // ---------------- kernel: channel round-trip ----------------
+  // Send the payload sum through channel 0 and receive it back; EAGAIN is
+  // retried a bounded number of times, any terminal failure reports -1.
+  as.stq(reg::fp, 0, reg::s2);
+  as.li(reg::s5, -1);  // echo value (stays -1 on terminal failure)
+  as.li(reg::t10, 0);
+  const Label snd = as.here("snd");
+  const Label echo_done = as.make_label("echo_done");
+  {
+    as.li(reg::a0, 0);
+    as.mov(reg::s2, reg::a1);
+    as.li(reg::a2, 8);
+    sys(7);  // sys_send
+    const Label snd_ok = as.make_label("snd_ok");
+    as.bge(reg::v0, snd_ok);
+    as.addq_i(reg::t10, 1, reg::t10);
+    as.cmplt_i(reg::t10, 3, reg::t0);
+    as.bne(reg::t0, snd);
+    as.br(echo_done);
+    as.bind(snd_ok);
+    as.li(reg::t10, 0);
+    const Label rcv = as.here("rcv");
+    as.li(reg::a0, 0);
+    as.mov(reg::s2, reg::a1);
+    as.li(reg::a2, 8);
+    sys(8);  // sys_recv
+    const Label rcv_ok = as.make_label("rcv_ok");
+    as.bge(reg::v0, rcv_ok);
+    as.addq_i(reg::t10, 1, reg::t10);
+    as.cmplt_i(reg::t10, 3, reg::t0);
+    as.bne(reg::t0, rcv);
+    as.br(echo_done);
+    as.bind(rcv_ok);
+    as.ldq(reg::s5, 0, reg::s2);  // echoed sum
+  }
+  as.bind(echo_done);
+
+  as.mov_i(0, reg::a0);
+  as.fi_activate();  // FI off
+
+  // ---------------- output ----------------
+  const auto line = [&](const char* key, unsigned r) {
+    as.print_str(key);
+    as.print_int_r(r);
+    emit_newline(as);
+  };
+  line("written=", reg::s3);
+  line("dropped=", reg::s4);
+  line("valid=", reg::s1);
+  line("sum=", reg::fp);
+  line("echo=", reg::s5);
+  as.mov_i(0, reg::a0);
+  as.exit_();
+
+  as.bind(sys_fail);
+  as.print_str("E:sys\n");
+  as.mov_i(1, reg::a0);
+  as.exit_();
+
+  App app;
+  app.name = "logwriter";
+  app.program = as.finalize(entry);
+  app.golden_output = golden_logwriter(p);
+
+  const unsigned records = p.records;
+  // Correct: the app may lose records under faults, but it must terminate
+  // with a well-formed, internally consistent report — every record either
+  // written or accounted as dropped, read-back no better than what was
+  // written, and the channel echo matching the sum it sent. The metric is
+  // the fraction of records lost.
+  app.acceptable = [records](const std::string& out, double& metric) {
+    long long v[5];
+    if (!parse_counters(out, v)) return false;
+    const long long written = v[0], dropped = v[1], valid = v[2], sum = v[3],
+                    echo = v[4];
+    if (written < 0 || dropped < 0 || valid < 0) return false;
+    if (written + dropped != static_cast<long long>(records)) return false;
+    if (valid > written) return false;
+    if (echo != sum) return false;
+    metric = 1.0 - double(valid) / double(records);
+    return true;
+  };
+  return app;
+}
+
+}  // namespace gemfi::apps

@@ -193,6 +193,7 @@ class Assembler {
   void print_fp() { pal_(isa::Opcode::PSEUDO, 5); }
   void instret() { pal_(isa::Opcode::PSEUDO, 6); }
   void yield() { pal_(isa::Opcode::PSEUDO, 7); }
+  void syscall_() { pal_(isa::Opcode::PSEUDO, 8); }
   void halt() { pal_(isa::Opcode::CALL_PAL, std::uint32_t(isa::PalFunc::HALT)); }
 
   // ---- constant / address materialization ----

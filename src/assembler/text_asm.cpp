@@ -162,6 +162,7 @@ const std::map<std::string, std::function<void(Assembler&)>>& noarg_table() {
       {"print_fp", [](Assembler& a) { a.print_fp(); }},
       {"instret", [](Assembler& a) { a.instret(); }},
       {"yield", [](Assembler& a) { a.yield(); }},
+      {"syscall", [](Assembler& a) { a.syscall_(); }},
       {"halt", [](Assembler& a) { a.halt(); }},
       {"ret", [](Assembler& a) { a.ret(); }},
   };

@@ -50,4 +50,60 @@ Classification classify(const apps::App& app, const sim::RunResult& rr,
   return c;
 }
 
+const char* syscall_outcome_name(SyscallOutcome o) noexcept {
+  switch (o) {
+    case SyscallOutcome::None: return "none";
+    case SyscallOutcome::MaskedByHandler: return "masked-by-handler";
+    case SyscallOutcome::Cascade: return "cascade";
+    case SyscallOutcome::UnhandledError: return "unhandled-error";
+  }
+  return "?";
+}
+
+SyscallClassification classify_syscalls(
+    const std::vector<std::pair<std::uint64_t, os::SyscallTraceEntry>>& trace,
+    bool unhandled) {
+  SyscallClassification c;
+  // Cascade length is measured per thread — a failure can only propagate
+  // through the state of the thread that saw it — and the run reports the
+  // longest chain. The trace is thread-major, so one pass with a reset at
+  // each tid boundary suffices.
+  std::uint64_t cur_tid = ~0ull;
+  bool seen_injected = false;  // on the current thread
+  unsigned chain = 0;
+  const auto flush = [&] {
+    if (chain > c.cascade_len) c.cascade_len = chain;
+    chain = 0;
+    seen_injected = false;
+  };
+  for (const auto& [tid, e] : trace) {
+    if (tid != cur_tid) {
+      flush();
+      cur_tid = tid;
+    }
+    if (e.injected) {
+      c.injected = true;
+      if (e.err != 0 &&
+          !os::errno_realistic(static_cast<os::Sysno>(e.sysno),
+                               std::uint16_t(e.err)))
+        c.unrealistic = true;
+      // Only the first injected call starts the chain; later injected calls
+      // on the same thread are injector activity, not propagation.
+      seen_injected = true;
+    } else if (seen_injected && e.err != 0) {
+      ++chain;
+    }
+  }
+  flush();
+
+  if (!c.injected) return c;  // None (cascade_len stays 0 by construction)
+  if (unhandled)
+    c.outcome = SyscallOutcome::UnhandledError;
+  else if (c.cascade_len >= 1)
+    c.outcome = SyscallOutcome::Cascade;
+  else
+    c.outcome = SyscallOutcome::MaskedByHandler;
+  return c;
+}
+
 }  // namespace gemfi::campaign

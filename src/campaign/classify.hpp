@@ -20,6 +20,7 @@
 
 #include "apps/app.hpp"
 #include "fi/fault_manager.hpp"
+#include "os/syscall.hpp"
 #include "sim/simulation.hpp"
 
 namespace gemfi::campaign {
@@ -31,5 +32,49 @@ struct Classification {
 
 Classification classify(const apps::App& app, const sim::RunResult& rr,
                         const fi::FaultManager& fm, const std::string& output);
+
+// --- syscall-fault outcome taxonomy (failure-propagation analysis) ---
+//
+// Orthogonal to the paper's output-based classes above: it reports how far
+// an injected syscall failure travelled through the guest's error-handling
+// before the run ended, measured on the per-thread syscall/errno trace the
+// OS layer records.
+//   None             — no injection fired (golden runs, missed windows);
+//   MaskedByHandler  — an injection fired and no later syscall failed: the
+//                      guest's recovery path (retry, fallback) absorbed it;
+//   Cascade          — N >= 1 subsequent *non-injected* syscalls failed
+//                      after the first injected call on the same thread:
+//                      the failure propagated through guest state (e.g. torn
+//                      log bytes turning later writes into ENOSPC);
+//   UnhandledError   — the run crashed or a thread exited nonzero after an
+//                      injection: the guest gave up (or died) instead of
+//                      recovering.
+enum class SyscallOutcome : std::uint8_t {
+  None,
+  MaskedByHandler,
+  Cascade,
+  UnhandledError,
+};
+inline constexpr unsigned kNumSyscallOutcomes = 4;
+
+const char* syscall_outcome_name(SyscallOutcome o) noexcept;
+
+struct SyscallClassification {
+  SyscallOutcome outcome = SyscallOutcome::None;
+  unsigned cascade_len = 0;  // N: failed non-injected calls after injection
+  bool injected = false;     // any injection fired
+  // Error-realism flag: an injected errno the real table could never return
+  // through that syscall (e.g. ENOSPC from sys_recv) — the experiment
+  // exercised a path no real execution reaches, so treat results with care.
+  bool unrealistic = false;
+};
+
+/// Classify the failure propagation of one run from the flat syscall trace
+/// (thread-major, as SyscallLayer::full_trace() returns it).
+/// `unhandled` is the caller's verdict that the guest did not recover: it
+/// crashed, timed out after the injection, or a thread exited nonzero.
+SyscallClassification classify_syscalls(
+    const std::vector<std::pair<std::uint64_t, os::SyscallTraceEntry>>& trace,
+    bool unhandled);
 
 }  // namespace gemfi::campaign

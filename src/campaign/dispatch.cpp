@@ -127,6 +127,9 @@ struct Master::Impl {
     done[msg.index] = 1;
     ++completed;
     ++stats.campaign.counts[std::size_t(msg.result.classification.outcome)];
+    ++stats.campaign.syscall_counts[std::size_t(msg.result.syscall_class.outcome)];
+    if (msg.result.syscall_class.cascade_len > stats.campaign.max_cascade)
+      stats.campaign.max_cascade = msg.result.syscall_class.cascade_len;
     stats.experiment_wall_seconds += msg.result.wall_seconds;
     clear_inflight_everywhere(msg.index);
     observe(msg.index, msg.result, w.id);
@@ -447,8 +450,10 @@ class WorkerSession {
       wire::ResultMsg msg;
       msg.index = item.first;
       try {
-        msg.result = ew ? ew->run_with_retry(item.second)
-                        : run_experiment_with_retry(ca_, item.second, cfg_);
+        const std::vector<fi::SyscallFaultPlan> plans =
+            plans_for_experiment(cfg_, item.first);
+        msg.result = ew ? ew->run_with_retry(item.second, &plans)
+                        : run_experiment_with_retry(ca_, item.second, cfg_, &plans);
       } catch (const std::exception& e) {
         // run_with_retry contracts never to throw; belt and braces so one
         // experiment cannot take the whole worker process down.

@@ -92,8 +92,9 @@ NowReport run_campaign_now(const CalibratedApp& ca, const std::vector<fi::Fault>
     for (;;) {
       const auto index = share.pull();
       if (!index) return;
-      ExperimentResult er = ew ? ew->run_with_retry(faults[*index])
-                               : run_experiment_with_retry(ca, faults[*index], cfg);
+      const std::vector<fi::SyscallFaultPlan> plans = plans_for_experiment(cfg, *index);
+      ExperimentResult er = ew ? ew->run_with_retry(faults[*index], &plans)
+                               : run_experiment_with_retry(ca, faults[*index], cfg, &plans);
       if (obs)
         obs->on_experiment(
             {*index, id, experiment_seed(cfg.campaign_seed, *index), er});
@@ -107,8 +108,12 @@ NowReport run_campaign_now(const CalibratedApp& ca, const std::vector<fi::Fault>
   for (auto& t : pool) t.join();
 
   report.campaign.results = share.take_results();
-  for (const ExperimentResult& er : report.campaign.results)
+  for (const ExperimentResult& er : report.campaign.results) {
     ++report.campaign.counts[std::size_t(er.classification.outcome)];
+    ++report.campaign.syscall_counts[std::size_t(er.syscall_class.outcome)];
+    if (er.syscall_class.cascade_len > report.campaign.max_cascade)
+      report.campaign.max_cascade = er.syscall_class.cascade_len;
+  }
   report.measured_wall_seconds =
       std::chrono::duration<double>(Clock::now() - t0).count();
   report.campaign.wall_seconds = report.measured_wall_seconds;

@@ -40,6 +40,20 @@ std::string experiment_record_to_json(const ExperimentRecord& rec, bool include_
         .field("restore_pages", er.restore_pages)
         .field("restore_bytes", er.restore_bytes);
   }
+  if (!er.syscall_plans.empty()) {
+    // All armed plans, '; '-joined in their canonical grammar so a replay
+    // can re-parse the exact set from the record alone.
+    std::string plans;
+    for (const fi::SyscallFaultPlan& p : er.syscall_plans) {
+      if (!plans.empty()) plans += "; ";
+      plans += p.to_line();
+    }
+    w.field("syscall_plan", plans)
+        .field("syscall_outcome", syscall_outcome_name(er.syscall_class.outcome))
+        .field("cascade", std::uint64_t(er.syscall_class.cascade_len))
+        .field("syscalls_injected", er.syscalls_injected);
+    if (er.syscall_class.unrealistic) w.field("unrealistic_errno", true);
+  }
   if (!er.sim_error.empty()) w.field("error", er.sim_error);
   return w.str();
 }

@@ -29,21 +29,26 @@ sim::SimConfig make_sim_config(const CampaignConfig& cfg) {
   scfg.switch_to_atomic_after_fault = cfg.switch_to_atomic_after_fault;
   scfg.predecode = cfg.predecode;
   scfg.fastpath = cfg.fastpath;
+  if (cfg.sys_file_capacity != 0) scfg.sys_file_capacity = cfg.sys_file_capacity;
   return scfg;
 }
 
 /// Everything after the simulation is positioned (fresh or restored): arm
-/// the fault, run under the watchdog, classify. Shared by the per-experiment
-/// and the persistent-worker paths. Does not fill wall_seconds.
+/// the fault and the syscall plans, run under the watchdog, classify.
+/// Shared by the per-experiment and the persistent-worker paths. Does not
+/// fill wall_seconds.
 ExperimentResult execute_faulted_run(sim::Simulation& s, const CalibratedApp& ca,
                                      const fi::Fault& fault, const CampaignConfig& cfg,
-                                     std::uint64_t start_ticks) {
+                                     std::uint64_t start_ticks,
+                                     const std::vector<fi::SyscallFaultPlan>& plans) {
   ExperimentResult er;
   er.fault = fault;
   er.time_fraction = ca.kernel_fetches == 0
                          ? 0.0
                          : double(fault.time) / double(ca.kernel_fetches);
   s.fault_manager().load_faults({fault});
+  s.syscall_injector().clear();
+  for (const fi::SyscallFaultPlan& p : plans) s.syscall_injector().add_plan(p);
 
   const std::uint64_t watchdog =
       cfg.watchdog_mult * ca.golden_ticks + 1'000'000;
@@ -59,6 +64,18 @@ ExperimentResult execute_faulted_run(sim::Simulation& s, const CalibratedApp& ca
   assert(rr.ticks >= start_ticks && "experiment ended before its checkpoint tick");
   er.sim_ticks = rr.ticks >= start_ticks ? rr.ticks - start_ticks : 0;
   er.classification = classify(ca.app, rr, s.fault_manager(), s.output(0));
+
+  if (!plans.empty()) {
+    er.syscall_plans = plans;
+    er.syscalls_injected = s.syscalls().injected_calls();
+    // "The guest did not recover": it never terminated on its own, a trap
+    // killed it, or a thread bailed out through its error-exit path.
+    bool unhandled = rr.reason != sim::ExitReason::AllThreadsExited;
+    const os::Scheduler& sched = s.scheduler();
+    for (std::uint64_t tid = 0; tid < sched.thread_count(); ++tid)
+      if (sched.thread(tid).exit_code != 0) unhandled = true;
+    er.syscall_class = classify_syscalls(s.syscalls().full_trace(), unhandled);
+  }
   return er;
 }
 
@@ -241,6 +258,69 @@ fi::Fault random_model_fault(util::Rng& rng, fi::FaultModelKind kind,
   return f;
 }
 
+fi::SyscallFaultPlan random_syscall_plan(util::Rng& rng) {
+  fi::SyscallFaultPlan p;
+  // Uniform over the eight injectable syscalls (Version is deliberately
+  // excluded: it is the ABI handshake every app checks before any error
+  // handling exists, so failing it only measures the boot path).
+  p.target = static_cast<os::Sysno>(1 + rng.below(8));
+  // A single firing call index: syscall counts per (thread, sysno) are small
+  // (a handful of allocs, tens of writes), so a 1..24 window covers the
+  // interesting lifetimes without drawing mostly-missed indices.
+  p.idx_lo = p.idx_hi = 1 + rng.below(24);
+  switch (rng.below(4)) {
+    case 0: {
+      // Biased 80/20 toward errnos the target could really return, so most
+      // experiments exercise reachable handler paths while a measured
+      // minority probes the unrealistic-errno flag.
+      static constexpr std::uint16_t kErrnos[] = {
+          os::kENOENT, os::kEIO,    os::kEBADF,  os::kEAGAIN,
+          os::kENOMEM, os::kEFAULT, os::kEEXIST, os::kEINVAL,
+          os::kEMFILE, os::kENOSPC, os::kENOSYS, os::kEMSGSIZE};
+      constexpr std::size_t kNumErrnos = sizeof(kErrnos) / sizeof(kErrnos[0]);
+      std::uint16_t err = kErrnos[rng.below(kNumErrnos)];
+      if (rng.chance(0.8)) {
+        while (!os::errno_realistic(p.target, err))
+          err = kErrnos[rng.below(kNumErrnos)];
+      }
+      p.has_errno = true;
+      p.errno_code = err;
+      break;
+    }
+    case 1:
+      p.has_latency = true;
+      p.latency_ticks = 1 + rng.below(5000);
+      break;
+    case 2:
+      p.has_partial = true;
+      p.partial_ppm = 125'000 * (1 + rng.below(7));  // 1/8 .. 7/8
+      break;
+    default:
+      p.has_corrupt = true;
+      p.corrupt_bits = std::uint8_t(1 + rng.below(4));
+      p.corrupt_seed = rng.next();
+      break;
+  }
+  return p;
+}
+
+fi::SyscallFaultPlan seeded_syscall_plan(std::uint64_t campaign_seed,
+                                         std::uint64_t index) {
+  // Independent of the architectural-fault draw: a distinct stream derived
+  // from the same per-experiment seed, so arming syscall plans never shifts
+  // which register fault an index maps to (and vice versa).
+  util::Rng rng(experiment_seed(campaign_seed, index) ^ 0x5ca11fa017ull);
+  return random_syscall_plan(rng);
+}
+
+std::vector<fi::SyscallFaultPlan> plans_for_experiment(const CampaignConfig& cfg,
+                                                       std::uint64_t index) {
+  std::vector<fi::SyscallFaultPlan> plans = cfg.syscall_plans;
+  if (cfg.random_syscall_faults)
+    plans.push_back(seeded_syscall_plan(cfg.campaign_seed, index));
+  return plans;
+}
+
 fi::Fault seeded_fault_any(std::uint64_t campaign_seed, std::uint64_t index,
                            std::uint64_t kernel_fetches) {
   util::Rng rng(experiment_seed(campaign_seed, index));
@@ -257,7 +337,8 @@ std::vector<fi::Fault> seeded_fault_set(std::uint64_t campaign_seed, std::size_t
 }
 
 ExperimentResult run_experiment(const CalibratedApp& ca, const fi::Fault& fault,
-                                const CampaignConfig& cfg) {
+                                const CampaignConfig& cfg,
+                                const std::vector<fi::SyscallFaultPlan>* syscall_plans) {
   const auto t0 = Clock::now();
   sim::Simulation s(make_sim_config(cfg), ca.app.program);
   s.spawn_main_thread();
@@ -265,7 +346,9 @@ ExperimentResult run_experiment(const CalibratedApp& ca, const fi::Fault& fault,
       cfg.use_checkpoint ? ca.ticks_to_checkpoint : 0;
   if (cfg.use_checkpoint) ca.checkpoint.restore_into(s);
 
-  ExperimentResult er = execute_faulted_run(s, ca, fault, cfg, start_ticks);
+  ExperimentResult er =
+      execute_faulted_run(s, ca, fault, cfg, start_ticks,
+                          syscall_plans ? *syscall_plans : cfg.syscall_plans);
   if (cfg.use_checkpoint) {
     er.ckpt_version = std::uint8_t(ca.checkpoint.format());
     er.restore_pages = s.memsys().phys().page_count();
@@ -276,11 +359,12 @@ ExperimentResult run_experiment(const CalibratedApp& ca, const fi::Fault& fault,
 }
 
 ExperimentResult run_experiment_with_retry(const CalibratedApp& ca, const fi::Fault& fault,
-                                           const CampaignConfig& cfg) {
+                                           const CampaignConfig& cfg,
+                                           const std::vector<fi::SyscallFaultPlan>* syscall_plans) {
   return retry_policy(
       ca, fault, cfg,
       [&](const CampaignConfig& attempt_cfg) {
-        return run_experiment(ca, fault, attempt_cfg);
+        return run_experiment(ca, fault, attempt_cfg, syscall_plans);
       },
       [] {});
 }
@@ -293,7 +377,8 @@ ExperimentWorker::ExperimentWorker(const CalibratedApp& ca,
 ExperimentWorker::~ExperimentWorker() = default;
 
 ExperimentResult ExperimentWorker::run_attempt(const fi::Fault& fault,
-                                               const CampaignConfig& attempt_cfg) {
+                                               const CampaignConfig& attempt_cfg,
+                                               const std::vector<fi::SyscallFaultPlan>* syscall_plans) {
   std::uint64_t pages = 0;
   if (!sim_) {
     sim_ = std::make_unique<sim::Simulation>(make_sim_config(cfg_), ca_.app.program);
@@ -304,17 +389,19 @@ ExperimentResult ExperimentWorker::run_attempt(const fi::Fault& fault,
   }
 
   ExperimentResult er =
-      execute_faulted_run(*sim_, ca_, fault, attempt_cfg, ca_.ticks_to_checkpoint);
+      execute_faulted_run(*sim_, ca_, fault, attempt_cfg, ca_.ticks_to_checkpoint,
+                          syscall_plans ? *syscall_plans : cfg_.syscall_plans);
   er.ckpt_version = std::uint8_t(image_.stats().format);
   er.restore_pages = pages;
   er.restore_bytes = pages * mem::PhysMem::kPageBytes;
   return er;
 }
 
-ExperimentResult ExperimentWorker::run(const fi::Fault& fault) {
+ExperimentResult ExperimentWorker::run(const fi::Fault& fault,
+                                       const std::vector<fi::SyscallFaultPlan>* syscall_plans) {
   const auto t0 = Clock::now();
   try {
-    ExperimentResult er = run_attempt(fault, cfg_);
+    ExperimentResult er = run_attempt(fault, cfg_, syscall_plans);
     er.wall_seconds = seconds_since(t0);
     return er;
   } catch (...) {
@@ -325,10 +412,13 @@ ExperimentResult ExperimentWorker::run(const fi::Fault& fault) {
   }
 }
 
-ExperimentResult ExperimentWorker::run_with_retry(const fi::Fault& fault) {
+ExperimentResult ExperimentWorker::run_with_retry(const fi::Fault& fault,
+                                                  const std::vector<fi::SyscallFaultPlan>* syscall_plans) {
   return retry_policy(
       ca_, fault, cfg_,
-      [&](const CampaignConfig& attempt_cfg) { return run_attempt(fault, attempt_cfg); },
+      [&](const CampaignConfig& attempt_cfg) {
+        return run_attempt(fault, attempt_cfg, syscall_plans);
+      },
       [&] { sim_.reset(); });
 }
 
@@ -374,8 +464,11 @@ CampaignReport run_campaign(const CalibratedApp& ca, const std::vector<fi::Fault
     for (;;) {
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= faults.size()) return;
-      ExperimentResult er = ew ? ew->run_with_retry(faults[i])
-                               : run_experiment_with_retry(ca, faults[i], cfg);
+      // Per-experiment syscall plan synthesis: every fixed plan plus one
+      // seeded draw, regenerable from (campaign_seed, i) alone for --replay.
+      const std::vector<fi::SyscallFaultPlan> plans = plans_for_experiment(cfg, i);
+      ExperimentResult er = ew ? ew->run_with_retry(faults[i], &plans)
+                               : run_experiment_with_retry(ca, faults[i], cfg, &plans);
       if (obs)
         obs->on_experiment(
             {i, worker_id, experiment_seed(cfg.campaign_seed, i), er});
@@ -392,8 +485,12 @@ CampaignReport run_campaign(const CalibratedApp& ca, const std::vector<fi::Fault
     for (auto& t : pool) t.join();
   }
 
-  for (const ExperimentResult& er : report.results)
+  for (const ExperimentResult& er : report.results) {
     ++report.counts[std::size_t(er.classification.outcome)];
+    ++report.syscall_counts[std::size_t(er.syscall_class.outcome)];
+    if (er.syscall_class.cascade_len > report.max_cascade)
+      report.max_cascade = er.syscall_class.cascade_len;
+  }
   report.wall_seconds = seconds_since(t0);
   if (obs) obs->on_campaign_end(report);
   return report;

@@ -13,6 +13,7 @@
 #include "campaign/classify.hpp"
 #include "chkpt/checkpoint.hpp"
 #include "fi/fault.hpp"
+#include "fi/syscall_fault.hpp"
 #include "util/rng.hpp"
 
 namespace gemfi::campaign {
@@ -62,6 +63,23 @@ struct CampaignConfig {
   /// Telemetry sink; not owned, may be null. See observer.hpp for the
   /// thread-safety contract.
   CampaignObserver* observer = nullptr;
+
+  /// Syscall-fault plans armed for every experiment (on top of the per-
+  /// experiment register/PC fault). Single-run and A/B configurations.
+  std::vector<fi::SyscallFaultPlan> syscall_plans;
+
+  /// Syscall-fault campaign mode: each experiment additionally arms
+  /// seeded_syscall_plan(campaign_seed, index) — synthesized from the same
+  /// per-experiment seed as the register fault, so a --replay regenerates
+  /// the exact plan from (campaign_seed, index) alone.
+  bool random_syscall_faults = false;
+
+  /// Override the guest file-store capacity in bytes (0 = simulator
+  /// default). Shrinking the slack below an app's output size is how the
+  /// taxonomy benches make torn writes displace later ones into ENOSPC —
+  /// the cascade scenario. Applied at calibration too, so the checkpoint
+  /// (which serializes the OS layer, capacity included) stays consistent.
+  std::uint64_t sys_file_capacity = 0;
 };
 
 /// An app plus everything calibration learned about its fault-free run.
@@ -113,6 +131,23 @@ fi::Fault random_model_fault(util::Rng& rng, fi::FaultModelKind kind,
 fi::Fault seeded_fault_any(std::uint64_t campaign_seed, std::uint64_t index,
                            std::uint64_t kernel_fetches);
 
+/// Random syscall-fault plan: a uniformly drawn injectable syscall, a single
+/// firing call index, and one of the four behaviors (errno — biased toward
+/// errnos realistic for the target —, latency, partial, corrupt).
+fi::SyscallFaultPlan random_syscall_plan(util::Rng& rng);
+
+/// The syscall plan experiment `index` draws when cfg.random_syscall_faults
+/// is set; regenerates bit-for-bit from (campaign_seed, index).
+fi::SyscallFaultPlan seeded_syscall_plan(std::uint64_t campaign_seed,
+                                         std::uint64_t index);
+
+/// The full plan set experiment `index` runs under `cfg`: the fixed
+/// cfg.syscall_plans plus, in random_syscall_faults mode, the index's seeded
+/// draw. The one source of truth shared by local workers, the NoW dispatch
+/// paths and --replay, so every path arms identical plans for an index.
+std::vector<fi::SyscallFaultPlan> plans_for_experiment(const CampaignConfig& cfg,
+                                                       std::uint64_t index);
+
 /// The first `n` seeded faults of a campaign, i.e. seeded_fault_any(seed, i)
 /// for i in [0, n).
 std::vector<fi::Fault> seeded_fault_set(std::uint64_t campaign_seed, std::size_t n,
@@ -135,12 +170,20 @@ struct ExperimentResult {
   std::uint8_t ckpt_version = 0;     // CheckpointFormat that seeded the run
   std::uint64_t restore_pages = 0;   // pages materialized by the restore
   std::uint64_t restore_bytes = 0;   // bytes copied/decoded by the restore
+
+  // Syscall-fault telemetry (empty/None when no plans were armed).
+  std::vector<fi::SyscallFaultPlan> syscall_plans;  // plans armed for the run
+  SyscallClassification syscall_class;
+  std::uint64_t syscalls_injected = 0;  // calls that saw an injection fire
 };
 
 /// Run one fault-injection experiment (single attempt, no retry; simulator-
-/// internal errors propagate as exceptions).
+/// internal errors propagate as exceptions). `syscall_plans` overrides
+/// cfg.syscall_plans for this run when non-null (campaign per-experiment
+/// plan synthesis); null means "use cfg.syscall_plans".
 ExperimentResult run_experiment(const CalibratedApp& ca, const fi::Fault& fault,
-                                const CampaignConfig& cfg);
+                                const CampaignConfig& cfg,
+                                const std::vector<fi::SyscallFaultPlan>* syscall_plans = nullptr);
 
 /// Run one experiment with the campaign robustness policy: up to
 /// cfg.max_retries re-runs on simulator-internal exceptions or wall-clock
@@ -148,7 +191,8 @@ ExperimentResult run_experiment(const CalibratedApp& ca, const fi::Fault& fault,
 /// Never throws on simulator errors: after the last retry the result carries
 /// the message in sim_error and classifies as Crashed.
 ExperimentResult run_experiment_with_retry(const CalibratedApp& ca, const fi::Fault& fault,
-                                           const CampaignConfig& cfg);
+                                           const CampaignConfig& cfg,
+                                           const std::vector<fi::SyscallFaultPlan>* syscall_plans = nullptr);
 
 /// A campaign worker's persistent experiment context for the shared-baseline
 /// fast restore path (tentpole of the v2 checkpoint format).
@@ -170,13 +214,16 @@ class ExperimentWorker {
 
   /// Single attempt; simulator-internal errors propagate as exceptions
   /// (the cached Simulation is invalidated first).
-  ExperimentResult run(const fi::Fault& fault);
+  ExperimentResult run(const fi::Fault& fault,
+                       const std::vector<fi::SyscallFaultPlan>* syscall_plans = nullptr);
 
   /// Retry policy of run_experiment_with_retry on top of run().
-  ExperimentResult run_with_retry(const fi::Fault& fault);
+  ExperimentResult run_with_retry(const fi::Fault& fault,
+                                  const std::vector<fi::SyscallFaultPlan>* syscall_plans = nullptr);
 
  private:
-  ExperimentResult run_attempt(const fi::Fault& fault, const CampaignConfig& attempt_cfg);
+  ExperimentResult run_attempt(const fi::Fault& fault, const CampaignConfig& attempt_cfg,
+                               const std::vector<fi::SyscallFaultPlan>* syscall_plans);
 
   const CalibratedApp& ca_;
   const chkpt::CheckpointImage& image_;
@@ -196,6 +243,11 @@ struct CampaignReport {
   std::array<std::size_t, apps::kNumOutcomes> counts{};  // by Outcome
   std::vector<ExperimentResult> results;
   double wall_seconds = 0.0;  // whole campaign, host wall time
+
+  // Syscall-fault taxonomy tallies, indexed by SyscallOutcome. Runs where no
+  // injection fired (plans missed, or none were armed) land in [None].
+  std::array<std::size_t, kNumSyscallOutcomes> syscall_counts{};
+  unsigned max_cascade = 0;  // longest observed failure chain
 
   [[nodiscard]] std::size_t total() const noexcept;
   [[nodiscard]] double fraction(apps::Outcome o) const noexcept;

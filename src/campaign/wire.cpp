@@ -35,6 +35,13 @@ void put_result(ByteWriter& w, const ExperimentResult& er) {
   w.put_u8(er.ckpt_version);
   w.put_u64(er.restore_pages);
   w.put_u64(er.restore_bytes);
+  w.put_u32(std::uint32_t(er.syscall_plans.size()));
+  for (const fi::SyscallFaultPlan& p : er.syscall_plans) w.put_string(p.to_line());
+  w.put_u8(std::uint8_t(er.syscall_class.outcome));
+  w.put_u32(er.syscall_class.cascade_len);
+  w.put_bool(er.syscall_class.injected);
+  w.put_bool(er.syscall_class.unrealistic);
+  w.put_u64(er.syscalls_injected);
 }
 
 ExperimentResult get_result(ByteReader& r) {
@@ -56,6 +63,17 @@ ExperimentResult get_result(ByteReader& r) {
   er.ckpt_version = r.get_u8();
   er.restore_pages = r.get_u64();
   er.restore_bytes = r.get_u64();
+  const std::uint32_t n_plans = r.get_u32();
+  if (n_plans > 1u << 16) throw DeserializeError("implausible syscall plan count");
+  er.syscall_plans.reserve(n_plans);
+  for (std::uint32_t i = 0; i < n_plans; ++i)
+    er.syscall_plans.push_back(fi::parse_syscall_plan(r.get_string()));
+  er.syscall_class.outcome = static_cast<SyscallOutcome>(
+      checked_enum(r, kNumSyscallOutcomes, "syscall outcome"));
+  er.syscall_class.cascade_len = r.get_u32();
+  er.syscall_class.injected = r.get_bool();
+  er.syscall_class.unrealistic = r.get_bool();
+  er.syscalls_injected = r.get_u64();
   return er;
 }
 
@@ -107,6 +125,10 @@ Welcome Welcome::from(const CalibratedApp& ca, const apps::AppScale& scale,
   w.deadline_seconds = cfg.deadline_seconds;
   w.max_retries = cfg.max_retries;
   w.retry_backoff = cfg.retry_backoff;
+  w.syscall_plan_lines.reserve(cfg.syscall_plans.size());
+  for (const fi::SyscallFaultPlan& p : cfg.syscall_plans)
+    w.syscall_plan_lines.push_back(p.to_line());
+  w.random_syscall_faults = cfg.random_syscall_faults;
   return w;
 }
 
@@ -141,6 +163,10 @@ CampaignConfig Welcome::rebuild_config() const {
   cfg.deadline_seconds = deadline_seconds;
   cfg.max_retries = max_retries;
   cfg.retry_backoff = retry_backoff;
+  cfg.syscall_plans.reserve(syscall_plan_lines.size());
+  for (const std::string& line : syscall_plan_lines)
+    cfg.syscall_plans.push_back(fi::parse_syscall_plan(line));
+  cfg.random_syscall_faults = random_syscall_faults;
   return cfg;
 }
 
@@ -170,6 +196,9 @@ std::vector<std::uint8_t> encode_welcome(const Welcome& w) {
   b.put_f64(w.deadline_seconds);
   b.put_u32(w.max_retries);
   b.put_f64(w.retry_backoff);
+  b.put_u32(std::uint32_t(w.syscall_plan_lines.size()));
+  for (const std::string& line : w.syscall_plan_lines) b.put_string(line);
+  b.put_bool(w.random_syscall_faults);
   return b.take();
 }
 
@@ -199,6 +228,12 @@ Welcome decode_welcome(std::span<const std::uint8_t> payload) {
   w.deadline_seconds = r.get_f64();
   w.max_retries = r.get_u32();
   w.retry_backoff = r.get_f64();
+  const std::uint32_t n_plans = r.get_u32();
+  if (n_plans > 1u << 16) throw DeserializeError("implausible syscall plan count");
+  w.syscall_plan_lines.reserve(n_plans);
+  for (std::uint32_t i = 0; i < n_plans; ++i)
+    w.syscall_plan_lines.push_back(r.get_string());
+  w.random_syscall_faults = r.get_bool();
   if (!r.at_end()) throw DeserializeError("trailing bytes in Welcome");
   return w;
 }

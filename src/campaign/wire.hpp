@@ -23,11 +23,11 @@
 namespace gemfi::campaign::wire {
 
 /// v1 is the original master/worker dispatch protocol; v2 adds the campaign-
-/// service control plane (message types 10+ below). The worker-facing
-/// messages are bit-identical across both versions, and masters accept any
-/// Hello version in [1, kProtocolVersion], so v1 workers join v2 services
-/// unchanged on the wire.
-inline constexpr std::uint32_t kProtocolVersion = 2;
+/// service control plane (message types 10+ below); v3 appends the syscall-
+/// fault fields to Welcome and Result, so pre-v3 peers reject those frames as
+/// malformed (trailing bytes) instead of silently dropping the plans. Masters
+/// accept any Hello version in [1, kProtocolVersion].
+inline constexpr std::uint32_t kProtocolVersion = 3;
 
 enum class MsgType : std::uint8_t {
   // --- worker plane (unchanged since v1) ---
@@ -86,6 +86,12 @@ struct Welcome {
   double deadline_seconds = 0.0;
   std::uint32_t max_retries = 2;
   double retry_backoff = 2.0;
+
+  // Syscall-fault campaign setup (v3). Plans travel in their canonical
+  // grammar lines; the worker re-parses them, so the grammar is the wire
+  // format and a hostile line is rejected by the same validation the CLI uses.
+  std::vector<std::string> syscall_plan_lines;
+  bool random_syscall_faults = false;
 
   /// Split a master-side (CalibratedApp, AppScale, CampaignConfig) into the
   /// wire form / reassemble the worker-side equivalents.

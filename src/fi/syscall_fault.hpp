@@ -1,0 +1,103 @@
+// Syscall fault plans: the OS-level half of the fault-spec grammar.
+//
+// Where the architectural grammar (fault.hpp) describes bit-level upsets,
+// a syscall plan describes a software fault injected at the kernel boundary
+// — the kretprobes idea: pick calls by metadata (syscall name, per-thread
+// call-index window, thread id, firing probability) and fail them with a
+// forced errno, extra latency, a short read/write or a corrupted buffer.
+// One line per plan:
+//
+//   write@idx:3 errno:EIO
+//   read@idx:2-5 tid:0 partial:0.5
+//   * p:0.01@0x1234 latency:2000
+//   recv corrupt:3@0xbeef
+//   write@idx:4 latency:500 partial:0.25
+//
+// to_line() renders the canonical form and round-trips byte-exactly through
+// parse_syscall_plan(); firing decisions are pure hashes of
+// (plan seed, syscall, thread, call index), so a campaign --replay re-fires
+// exactly the same calls.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "os/syscall.hpp"
+
+namespace gemfi::fi {
+
+struct SyscallFaultPlan {
+  os::Sysno target = os::Sysno::Invalid;  // Invalid == any syscall ("*")
+  std::uint64_t idx_lo = 1;               // 1-based per-(thread,syscall) window
+  std::uint64_t idx_hi = ~0ull;
+  std::int64_t tid = -1;                  // -1 == any thread
+  std::uint64_t prob_ppm = 1'000'000;     // firing probability, parts-per-million
+  std::uint64_t prob_seed = 0;
+
+  bool has_errno = false;
+  std::uint16_t errno_code = 0;
+  bool has_latency = false;
+  std::uint64_t latency_ticks = 0;
+  bool has_partial = false;
+  std::uint64_t partial_ppm = 0;          // transfer length scale, ppm
+  bool has_corrupt = false;
+  std::uint8_t corrupt_bits = 1;
+  std::uint64_t corrupt_seed = 0;
+
+  [[nodiscard]] bool matches_any_syscall() const noexcept {
+    return target == os::Sysno::Invalid;
+  }
+  /// Would the injected errno be one the real call could return? (Plans
+  /// matching any syscall are judged per call site by the classifier.)
+  [[nodiscard]] bool realistic_for(os::Sysno s) const noexcept {
+    return !has_errno || os::errno_realistic(s, errno_code);
+  }
+
+  /// Canonical one-line rendering; parse_syscall_plan() round-trips it
+  /// byte-exactly.
+  [[nodiscard]] std::string to_line() const;
+};
+
+/// Parse one plan line. Throws std::invalid_argument with a descriptive
+/// message on malformed input (unknown syscall or errno name, empty
+/// behavior list, fraction out of [0,1], ...).
+SyscallFaultPlan parse_syscall_plan(const std::string& line);
+
+/// Deterministic, stateless-per-call injector. decide() is evaluated exactly
+/// once per logical syscall (the OS layer's call-index contract) and the
+/// result is a pure function of (plans, syscall, thread, call index) — no
+/// hidden RNG state, so replays and checkpoint restarts can never skew.
+class SyscallFaultInjector {
+ public:
+  void add_plan(const SyscallFaultPlan& p) {
+    plans_.push_back(p);
+    applied_.push_back(0);
+  }
+  void clear() {
+    plans_.clear();
+    applied_.clear();
+  }
+  [[nodiscard]] bool empty() const noexcept { return plans_.empty(); }
+  [[nodiscard]] const std::vector<SyscallFaultPlan>& plans() const noexcept {
+    return plans_;
+  }
+  /// Per-plan count of calls the plan fired on.
+  [[nodiscard]] const std::vector<std::uint64_t>& applied() const noexcept {
+    return applied_;
+  }
+  [[nodiscard]] std::uint64_t total_applied() const noexcept;
+  /// Re-arm for a fresh experiment (plans kept, counters cleared).
+  void reset_applied() noexcept;
+
+  /// Resolve the combined injection for one logical call. Matching plans
+  /// all contribute: the first forced errno wins, latencies take the max,
+  /// the first partial/corrupt clause applies.
+  os::SyscallInjection decide(os::Sysno s, std::uint64_t call_index, std::uint64_t tid);
+
+ private:
+  std::vector<SyscallFaultPlan> plans_;
+  std::vector<std::uint64_t> applied_;
+};
+
+}  // namespace gemfi::fi

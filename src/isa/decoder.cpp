@@ -198,10 +198,15 @@ Decoded decode(Word w) noexcept {
                   d.palcode == std::uint32_t(PalFunc::CALLSYS);
       } else {  // PSEUDO
         d.klass = InstClass::Pseudo;
-        d.valid = d.palcode <= std::uint32_t(PseudoFunc::YIELD);
+        d.valid = d.palcode <= std::uint32_t(PseudoFunc::SYSCALL);
         // Pseudo-ops consume a0 (and f16 for PRINT_FP) and some write v0.
         d.src1 = kRegA0;
         if (d.palcode == std::uint32_t(PseudoFunc::GET_INSTRET)) d.dst = kRegV0;
+        // SYSCALL reads the call number from v0 and writes the result there.
+        if (d.palcode == std::uint32_t(PseudoFunc::SYSCALL)) {
+          d.src2 = kRegV0;
+          d.dst = kRegV0;
+        }
       }
       break;
     }

@@ -152,6 +152,7 @@ const char* pseudo_name(std::uint32_t n) {
     case PseudoFunc::PRINT_FP: return "m5_print_fp";
     case PseudoFunc::GET_INSTRET: return "m5_instret";
     case PseudoFunc::YIELD: return "m5_yield";
+    case PseudoFunc::SYSCALL: return "sys_call";
   }
   return "pseudo?";
 }

@@ -156,6 +156,7 @@ enum class PseudoFunc : std::uint32_t {
   PRINT_FP = 5,       // emit f16 as %.17g
   GET_INSTRET = 6,    // v0 = committed instruction count of this thread
   YIELD = 7,          // voluntarily end the thread's scheduling quantum
+  SYSCALL = 8,        // kernel syscall: number in v0, args a0..a2, result v0
 };
 
 }  // namespace gemfi::isa

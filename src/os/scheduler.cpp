@@ -22,7 +22,7 @@ bool Scheduler::all_finished() const noexcept {
 std::size_t Scheduler::runnable_count() const noexcept {
   std::size_t n = 0;
   for (const Thread& t : threads_)
-    if (!t.finished) ++n;
+    if (t.runnable()) ++n;
   return n;
 }
 
@@ -46,12 +46,55 @@ void Scheduler::finish_current(int exit_code) {
   current().exit_code = exit_code;
 }
 
+void Scheduler::sleep_current(std::uint64_t wake_tick) {
+  if (current_ < 0) throw std::logic_error("no running thread to sleep");
+  Thread& t = current();
+  if (t.finished || t.sleeping) throw std::logic_error("thread cannot sleep");
+  t.sleeping = true;
+  t.wake_tick = wake_tick;
+  ++sleepers_;
+}
+
+std::uint64_t Scheduler::next_wake_tick() const noexcept {
+  std::uint64_t wake = ~0ull;
+  for (const Thread& t : threads_)
+    if (t.sleeping && t.wake_tick < wake) wake = t.wake_tick;
+  return wake;
+}
+
+void Scheduler::wake_sleepers(std::uint64_t now, std::vector<std::uint64_t>& woken) {
+  if (sleepers_ == 0) return;
+  for (Thread& t : threads_) {
+    if (t.sleeping && t.wake_tick <= now) {
+      t.sleeping = false;
+      t.wake_tick = 0;
+      --sleepers_;
+      woken.push_back(t.tid);
+    }
+  }
+}
+
+void Scheduler::deschedule_current(cpu::CpuModel& cpu) {
+  if (current_ < 0 || parked_) throw std::logic_error("no running thread to deschedule");
+  Thread& t = current();
+  if (!t.finished) t.ctx = cpu.arch();  // save context now, not at the next switch
+  parked_ = true;
+}
+
+void Scheduler::retire_current() {
+  if (current_ < 0 || parked_) throw std::logic_error("no running thread to retire");
+  if (!current().finished) throw std::logic_error("retire of an unfinished thread");
+  parked_ = true;  // finished: nothing to save, nothing to clobber
+}
+
 ContextSwitchEvent Scheduler::switch_to_next(cpu::CpuModel& cpu) {
   ContextSwitchEvent ev;
   if (current_ >= 0) {
     Thread& old = current();
     ev.old_pcb = old.pcb_addr;
-    if (!old.finished) old.ctx = cpu.arch();  // save context
+    // A parked thread already saved its context (and a wakeup may have
+    // deposited a syscall result into it since) — don't clobber it.
+    if (!old.finished && !parked_) old.ctx = cpu.arch();  // save context
   }
 
   // Round-robin from the thread after the current one.
@@ -60,9 +103,10 @@ ContextSwitchEvent Scheduler::switch_to_next(cpu::CpuModel& cpu) {
   std::size_t start = current_ >= 0 ? std::size_t(current_ + 1) : 0;
   for (std::size_t i = 0; i < n; ++i) {
     const std::size_t idx = (start + i) % n;
-    if (!threads_[idx].finished) {
+    if (threads_[idx].runnable()) {
       current_ = std::int64_t(idx);
       quantum_used_ = 0;
+      parked_ = false;
       Thread& next = threads_[idx];
       cpu.arch() = next.ctx;
       cpu.flush_and_redirect(next.ctx.pc());
@@ -80,6 +124,7 @@ void Scheduler::serialize(util::ByteWriter& w) const {
   w.put_i64(current_);
   w.put_u64(quantum_);
   w.put_u64(quantum_used_);
+  w.put_bool(parked_);
 }
 
 void Scheduler::deserialize(util::ByteReader& r) {
@@ -89,6 +134,10 @@ void Scheduler::deserialize(util::ByteReader& r) {
   current_ = r.get_i64();
   quantum_ = r.get_u64();
   quantum_used_ = r.get_u64();
+  parked_ = r.get_bool();
+  sleepers_ = 0;
+  for (const Thread& t : threads_)
+    if (t.sleeping) ++sleepers_;
 }
 
 }  // namespace gemfi::os

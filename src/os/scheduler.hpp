@@ -33,7 +33,10 @@ class Scheduler {
   [[nodiscard]] Thread& thread(std::uint64_t tid) { return threads_.at(tid); }
   [[nodiscard]] const Thread& thread(std::uint64_t tid) const { return threads_.at(tid); }
 
-  [[nodiscard]] bool has_current() const noexcept { return current_ >= 0; }
+  /// True when a thread is actively scheduled on the CPU. A thread that
+  /// parked itself (deschedule_current) keeps current_ as the round-robin
+  /// anchor but is no longer "on" the CPU.
+  [[nodiscard]] bool has_current() const noexcept { return current_ >= 0 && !parked_; }
   [[nodiscard]] Thread& current() { return threads_.at(std::size_t(current_)); }
   [[nodiscard]] const Thread& current() const { return threads_.at(std::size_t(current_)); }
 
@@ -60,20 +63,46 @@ class Scheduler {
 
   /// Ticks until the scheduler itself needs the per-tick loop to run —
   /// the scheduler's half of the simulation's "next external event at tick
-  /// T" query that bounds stall-cycle warps. Preemption here is
-  /// commit-indexed (the quantum counts committed instructions, not ticks,
-  /// and commits_before_preempt() already bounds commit batches), so no
-  /// quantum expiry can land inside a window in which nothing commits:
-  /// always ~0 (no tick-based event). Kept as an explicit API so a future
-  /// tick-based timer slots into the existing warp bound instead of
-  /// silently breaking it.
-  [[nodiscard]] std::uint64_t ticks_before_tick_event() const noexcept { return ~0ull; }
+  /// T" query that bounds stall-cycle warps. Preemption is commit-indexed
+  /// (the quantum counts committed instructions and
+  /// commits_before_preempt() already bounds commit batches), so the only
+  /// tick-based event is a sleeper's wake: distance from `now` to the
+  /// earliest wake_tick, ~0 when nobody sleeps.
+  [[nodiscard]] std::uint64_t ticks_before_tick_event(std::uint64_t now) const noexcept {
+    if (sleepers_ == 0) return ~0ull;
+    const std::uint64_t wake = next_wake_tick();
+    return wake > now ? wake - now : 0;
+  }
 
   /// Force the current quantum to end (YIELD pseudo-op).
   void yield() noexcept { quantum_used_ = quantum_; }
 
   /// Mark the running thread finished (EXIT pseudo-op / trap).
   void finish_current(int exit_code);
+
+  // --- sleeping (latency-delayed syscalls) ---
+  /// Park the running thread until `wake_tick`; it stops being runnable and
+  /// the simulation must context-switch away (or idle-advance the clock).
+  void sleep_current(std::uint64_t wake_tick);
+  [[nodiscard]] bool has_sleepers() const noexcept { return sleepers_ != 0; }
+  /// Earliest wake among sleepers; ~0 when none sleep.
+  [[nodiscard]] std::uint64_t next_wake_tick() const noexcept;
+  /// Wake every sleeper with wake_tick <= now, appending their tids (in tid
+  /// order — replay determinism) to `woken`.
+  void wake_sleepers(std::uint64_t now, std::vector<std::uint64_t>& woken);
+
+  /// Take the (just-slept) current thread off the CPU, saving its context
+  /// now so a wakeup can deposit a syscall result into it before the next
+  /// switch. current_ stays put as the round-robin anchor; has_current()
+  /// reports false until switch_to_next() schedules somebody.
+  void deschedule_current(cpu::CpuModel& cpu);
+
+  /// Take a just-finished current thread off the CPU when nobody is
+  /// runnable, so the run loop can idle-advance the clock to the next wake
+  /// instead of switching (switch_to_next() would have no thread to pick —
+  /// the exit-while-everyone-sleeps case). current_ stays put as the
+  /// round-robin anchor; has_current() reports false.
+  void retire_current();
 
   /// Swap out the current thread (saving `cpu.arch()`), pick the next
   /// runnable one round-robin, load its context into the CPU and redirect
@@ -88,6 +117,8 @@ class Scheduler {
   std::int64_t current_ = -1;
   std::uint64_t quantum_;
   std::uint64_t quantum_used_ = 0;
+  std::size_t sleepers_ = 0;
+  bool parked_ = false;  // current_ thread descheduled (context already saved)
 };
 
 }  // namespace gemfi::os

@@ -1,0 +1,458 @@
+#include "os/syscall.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <span>
+#include <stdexcept>
+#include <string>
+
+#include "util/rng.hpp"
+
+namespace gemfi::os {
+
+namespace {
+
+constexpr std::uint64_t kPpm = 1'000'000;
+
+struct ErrnoName {
+  std::uint16_t code;
+  const char* name;
+};
+constexpr ErrnoName kErrnoNames[] = {
+    {kENOENT, "ENOENT"}, {kEIO, "EIO"},       {kEBADF, "EBADF"},
+    {kEAGAIN, "EAGAIN"}, {kENOMEM, "ENOMEM"}, {kEFAULT, "EFAULT"},
+    {kEEXIST, "EEXIST"}, {kEINVAL, "EINVAL"}, {kEMFILE, "EMFILE"},
+    {kENOSPC, "ENOSPC"}, {kENOSYS, "ENOSYS"}, {kEMSGSIZE, "EMSGSIZE"},
+};
+
+constexpr const char* kSysnoNames[kNumSysnos] = {
+    nullptr, "alloc", "free", "open", "read", "write",
+    "close", "send",  "recv", "errno", "version",
+};
+
+/// Requested transfer length after an injected short read/write.
+std::uint64_t effective_len(std::uint64_t len, const SyscallInjection& inj) noexcept {
+  return inj.has_partial ? len * inj.partial_ppm / kPpm : len;
+}
+
+/// Flip `bits` pseudo-random bits of `data`, deterministically in
+/// (seed, salt). The salt is the call index so repeated corruptions of the
+/// same plan land on different bits each call.
+void corrupt_buffer(std::span<std::uint8_t> data, unsigned bits, std::uint64_t seed,
+                    std::uint64_t salt) {
+  if (data.empty() || bits == 0) return;
+  std::uint64_t st = seed ^ (salt * 0x9e3779b97f4a7c15ull);
+  for (unsigned i = 0; i < bits; ++i) {
+    const std::uint64_t bit = util::splitmix64(st) % (data.size() * 8);
+    data[bit >> 3] ^= std::uint8_t(1u << (bit & 7));
+  }
+}
+
+}  // namespace
+
+const char* sysno_name(Sysno s) noexcept {
+  const auto i = static_cast<unsigned>(s);
+  return i < kNumSysnos ? kSysnoNames[i] : nullptr;
+}
+
+Sysno sysno_from_name(const char* name) noexcept {
+  if (name == nullptr) return Sysno::Invalid;
+  for (unsigned i = 1; i < kNumSysnos; ++i)
+    if (std::strcmp(name, kSysnoNames[i]) == 0) return static_cast<Sysno>(i);
+  return Sysno::Invalid;
+}
+
+const char* errno_name(std::uint16_t err) noexcept {
+  for (const ErrnoName& e : kErrnoNames)
+    if (e.code == err) return e.name;
+  return nullptr;
+}
+
+std::uint16_t errno_from_name(const char* name) noexcept {
+  if (name == nullptr) return 0;
+  for (const ErrnoName& e : kErrnoNames)
+    if (std::strcmp(name, e.name) == 0) return e.code;
+  return 0;
+}
+
+bool errno_realistic(Sysno s, std::uint16_t err) noexcept {
+  if (err == 0) return true;
+  switch (s) {
+    case Sysno::Alloc: return err == kENOMEM || err == kEINVAL;
+    case Sysno::Free: return err == kEINVAL;
+    case Sysno::Open:
+      return err == kENOENT || err == kEMFILE || err == kEEXIST || err == kEINVAL;
+    case Sysno::Read:
+      return err == kEBADF || err == kEFAULT || err == kEINVAL || err == kEIO;
+    case Sysno::Write:
+      return err == kEBADF || err == kEFAULT || err == kEINVAL || err == kEIO ||
+             err == kENOSPC;
+    case Sysno::Close: return err == kEBADF || err == kEIO;
+    case Sysno::Send:
+      return err == kEINVAL || err == kEFAULT || err == kEAGAIN || err == kEMSGSIZE;
+    case Sysno::Recv: return err == kEINVAL || err == kEFAULT || err == kEAGAIN;
+    case Sysno::Errno:
+    case Sysno::Version: return false;  // these calls cannot fail
+    case Sysno::Invalid: return err == kENOSYS;
+  }
+  return false;
+}
+
+SyscallLayer::PerThread& SyscallLayer::per_thread(std::uint64_t tid) {
+  if (tid >= threads_.size()) threads_.resize(tid + 1);
+  return threads_[tid];
+}
+
+const SyscallLayer::PerThread* SyscallLayer::per_thread_or_null(
+    std::uint64_t tid) const noexcept {
+  return tid < threads_.size() ? &threads_[tid] : nullptr;
+}
+
+std::uint64_t SyscallLayer::next_call_index(std::uint64_t tid, Sysno s) {
+  PerThread& pt = per_thread(tid);
+  const auto i = static_cast<unsigned>(s);
+  return ++pt.calls[i < kNumSysnos ? i : 0];
+}
+
+void SyscallLayer::record(PerThread& pt, Sysno s, std::uint16_t err, bool injected,
+                          std::uint64_t call_index) {
+  pt.err = err;
+  ++total_calls_;
+  if (err != 0) ++total_errors_;
+  if (injected) ++injected_calls_;
+  if (pt.trace.size() >= kTraceRingCap) {
+    pt.trace.erase(pt.trace.begin());
+    ++pt.trace_dropped;
+  }
+  SyscallTraceEntry e;
+  e.sysno = static_cast<std::uint8_t>(s);
+  e.err = err;
+  e.injected = injected;
+  e.call_index = call_index;
+  pt.trace.push_back(e);
+}
+
+std::int64_t SyscallLayer::execute(std::uint64_t tid, Sysno s, const std::uint64_t args[3],
+                                   std::uint64_t call_index, const SyscallInjection& inj,
+                                   mem::PhysMem& pm) {
+  const std::int64_t result = do_call(tid, s, args, call_index, inj, pm);
+  const std::uint16_t err = result < 0 ? std::uint16_t(-result) : 0;
+  record(per_thread(tid), s, err, inj.fired, call_index);
+  return result;
+}
+
+std::int64_t SyscallLayer::do_call(std::uint64_t tid, Sysno s, const std::uint64_t args[3],
+                                   std::uint64_t call_index, const SyscallInjection& inj,
+                                   mem::PhysMem& pm) {
+  if (inj.force_errno != 0) return -std::int64_t(inj.force_errno);
+  // Thread the call index through as the corruption salt.
+  SyscallInjection salted = inj;
+  salted.corrupt_seed = inj.corrupt_seed ^ (call_index * 0x2545f4914f6cdd1dull);
+  switch (s) {
+    case Sysno::Alloc: return op_alloc(args[0]);
+    case Sysno::Free: return op_free(args[0]);
+    case Sysno::Open: return op_open(args[0], args[1]);
+    case Sysno::Read: return op_read(args[0], args[1], args[2], salted, pm);
+    case Sysno::Write: return op_write(args[0], args[1], args[2], salted, pm);
+    case Sysno::Close: return op_close(args[0]);
+    case Sysno::Send: return op_send(args[0], args[1], args[2], salted, pm);
+    case Sysno::Recv: return op_recv(args[0], args[1], args[2], salted, pm);
+    case Sysno::Errno: return std::int64_t(per_thread(tid).err);
+    case Sysno::Version: return std::int64_t(kSyscallAbiVersion);
+    case Sysno::Invalid: break;
+  }
+  return -std::int64_t(kENOSYS);
+}
+
+std::int64_t SyscallLayer::op_alloc(std::uint64_t bytes) {
+  if (bytes == 0 || cfg_.heap_bytes == 0) return -std::int64_t(kEINVAL);
+  const std::uint64_t size = (bytes + 15) & ~15ull;
+  if (size < bytes || size > cfg_.heap_bytes) return -std::int64_t(kENOMEM);
+  // First fit over the gaps between the addr-sorted allocated blocks.
+  std::uint64_t candidate = cfg_.heap_base;
+  std::size_t insert_at = 0;
+  for (; insert_at < heap_.size(); ++insert_at) {
+    const HeapBlock& b = heap_[insert_at];
+    if (b.addr - candidate >= size) break;
+    candidate = b.addr + b.size;
+  }
+  if (insert_at == heap_.size() &&
+      cfg_.heap_base + cfg_.heap_bytes - candidate < size)
+    return -std::int64_t(kENOMEM);
+  heap_.insert(heap_.begin() + std::ptrdiff_t(insert_at), HeapBlock{candidate, size});
+  return std::int64_t(candidate);
+}
+
+std::int64_t SyscallLayer::op_free(std::uint64_t addr) {
+  for (std::size_t i = 0; i < heap_.size(); ++i) {
+    if (heap_[i].addr == addr) {
+      heap_.erase(heap_.begin() + std::ptrdiff_t(i));
+      return 0;
+    }
+  }
+  return -std::int64_t(kEINVAL);
+}
+
+std::int64_t SyscallLayer::op_open(std::uint64_t file_id, std::uint64_t flags) {
+  if (file_id >= kMaxFiles || (flags & ~(kOpenWrite | kOpenCreate | kOpenTrunc | kOpenExcl)))
+    return -std::int64_t(kEINVAL);
+  File& f = files_[file_id];
+  if (!f.exists && !(flags & kOpenCreate)) return -std::int64_t(kENOENT);
+  if (f.exists && (flags & kOpenCreate) && (flags & kOpenExcl))
+    return -std::int64_t(kEEXIST);
+  unsigned fd = kMaxFds;
+  for (unsigned i = 0; i < kMaxFds; ++i) {
+    if (!fds_[i].open) {
+      fd = i;
+      break;
+    }
+  }
+  if (fd == kMaxFds) return -std::int64_t(kEMFILE);
+  f.exists = true;
+  if ((flags & kOpenTrunc) && (flags & kOpenWrite)) f.data.clear();
+  fds_[fd] = Fd{true, std::uint32_t(file_id), 0, (flags & kOpenWrite) != 0};
+  return std::int64_t(fd);
+}
+
+std::int64_t SyscallLayer::op_read(std::uint64_t fd, std::uint64_t buf, std::uint64_t len,
+                                   const SyscallInjection& inj, mem::PhysMem& pm) {
+  if (fd >= kMaxFds || !fds_[fd].open) return -std::int64_t(kEBADF);
+  if (len == 0) return 0;
+  if (!pm.in_bounds(buf, len)) return -std::int64_t(kEFAULT);
+  Fd& d = fds_[fd];
+  const File& f = files_[d.file];
+  const std::uint64_t eff = effective_len(len, inj);
+  const std::uint64_t avail = d.pos < f.data.size() ? f.data.size() - d.pos : 0;
+  const std::uint64_t n = std::min(eff, avail);
+  if (n != 0) {
+    std::vector<std::uint8_t> tmp(f.data.begin() + std::ptrdiff_t(d.pos),
+                                  f.data.begin() + std::ptrdiff_t(d.pos + n));
+    corrupt_buffer(tmp, inj.corrupt_bits, inj.corrupt_seed, 1);
+    pm.write_block(buf, tmp);
+    d.pos += n;
+  }
+  return std::int64_t(n);
+}
+
+std::int64_t SyscallLayer::op_write(std::uint64_t fd, std::uint64_t buf, std::uint64_t len,
+                                    const SyscallInjection& inj, mem::PhysMem& pm) {
+  if (fd >= kMaxFds || !fds_[fd].open || !fds_[fd].writable)
+    return -std::int64_t(kEBADF);
+  if (len == 0) return 0;
+  if (!pm.in_bounds(buf, len)) return -std::int64_t(kEFAULT);
+  Fd& d = fds_[fd];
+  File& f = files_[d.file];
+  const std::uint64_t eff = effective_len(len, inj);
+  const std::uint64_t avail = d.pos < cfg_.file_capacity ? cfg_.file_capacity - d.pos : 0;
+  const std::uint64_t n = std::min(eff, avail);
+  if (eff != 0 && n == 0) return -std::int64_t(kENOSPC);
+  if (n != 0) {
+    std::vector<std::uint8_t> tmp(n);
+    pm.read_block(buf, tmp);
+    corrupt_buffer(tmp, inj.corrupt_bits, inj.corrupt_seed, 2);
+    if (f.data.size() < d.pos + n) f.data.resize(d.pos + n);
+    std::copy(tmp.begin(), tmp.end(), f.data.begin() + std::ptrdiff_t(d.pos));
+    d.pos += n;
+  }
+  return std::int64_t(n);
+}
+
+std::int64_t SyscallLayer::op_close(std::uint64_t fd) {
+  if (fd >= kMaxFds || !fds_[fd].open) return -std::int64_t(kEBADF);
+  fds_[fd] = Fd{};
+  return 0;
+}
+
+std::int64_t SyscallLayer::op_send(std::uint64_t chan, std::uint64_t buf, std::uint64_t len,
+                                   const SyscallInjection& inj, mem::PhysMem& pm) {
+  if (chan >= kNumChannels) return -std::int64_t(kEINVAL);
+  if (len > cfg_.chan_capacity) return -std::int64_t(kEMSGSIZE);
+  if (len != 0 && !pm.in_bounds(buf, len)) return -std::int64_t(kEFAULT);
+  Channel& c = chans_[chan];
+  const std::uint64_t eff = effective_len(len, inj);
+  if (c.bytes + eff > cfg_.chan_capacity) return -std::int64_t(kEAGAIN);
+  std::vector<std::uint8_t> msg(eff);
+  if (eff != 0) pm.read_block(buf, msg);
+  corrupt_buffer(msg, inj.corrupt_bits, inj.corrupt_seed, 3);
+  c.bytes += eff;
+  c.msgs.push_back(std::move(msg));
+  return std::int64_t(eff);
+}
+
+std::int64_t SyscallLayer::op_recv(std::uint64_t chan, std::uint64_t buf, std::uint64_t cap,
+                                   const SyscallInjection& inj, mem::PhysMem& pm) {
+  if (chan >= kNumChannels) return -std::int64_t(kEINVAL);
+  Channel& c = chans_[chan];
+  if (c.msgs.empty()) return -std::int64_t(kEAGAIN);
+  if (cap != 0 && !pm.in_bounds(buf, cap)) return -std::int64_t(kEFAULT);
+  std::vector<std::uint8_t> msg = std::move(c.msgs.front());
+  c.msgs.erase(c.msgs.begin());
+  c.bytes -= msg.size();
+  const std::uint64_t n = effective_len(std::min<std::uint64_t>(cap, msg.size()), inj);
+  if (n != 0) {
+    msg.resize(n);
+    corrupt_buffer(msg, inj.corrupt_bits, inj.corrupt_seed, 4);
+    pm.write_block(buf, msg);
+  }
+  return std::int64_t(n);
+}
+
+void SyscallLayer::park(std::uint64_t tid, Sysno s, const std::uint64_t args[3],
+                        std::uint64_t call_index, const SyscallInjection& inj) {
+  PerThread& pt = per_thread(tid);
+  if (pt.pending.valid) throw std::logic_error("thread already has a pending syscall");
+  pt.pending.valid = true;
+  pt.pending.sysno = s;
+  std::copy(args, args + 3, pt.pending.args);
+  pt.pending.call_index = call_index;
+  pt.pending.inj = inj;
+}
+
+bool SyscallLayer::has_pending(std::uint64_t tid) const noexcept {
+  const PerThread* pt = per_thread_or_null(tid);
+  return pt != nullptr && pt->pending.valid;
+}
+
+std::int64_t SyscallLayer::complete_pending(std::uint64_t tid, mem::PhysMem& pm) {
+  PerThread& pt = per_thread(tid);
+  if (!pt.pending.valid) throw std::logic_error("no pending syscall to complete");
+  const PendingSyscall p = pt.pending;
+  pt.pending = PendingSyscall{};
+  return execute(tid, p.sysno, p.args, p.call_index, p.inj, pm);
+}
+
+std::uint64_t SyscallLayer::last_errno(std::uint64_t tid) const noexcept {
+  const PerThread* pt = per_thread_or_null(tid);
+  return pt != nullptr ? pt->err : 0;
+}
+
+const std::vector<SyscallTraceEntry>& SyscallLayer::trace(std::uint64_t tid) const {
+  static const std::vector<SyscallTraceEntry> kEmpty;
+  const PerThread* pt = per_thread_or_null(tid);
+  return pt != nullptr ? pt->trace : kEmpty;
+}
+
+std::vector<std::pair<std::uint64_t, SyscallTraceEntry>> SyscallLayer::full_trace() const {
+  std::vector<std::pair<std::uint64_t, SyscallTraceEntry>> out;
+  for (std::uint64_t tid = 0; tid < threads_.size(); ++tid)
+    for (const SyscallTraceEntry& e : threads_[tid].trace) out.emplace_back(tid, e);
+  return out;
+}
+
+std::vector<std::uint8_t> SyscallLayer::file_content(unsigned file_id) const {
+  if (file_id >= kMaxFiles || !files_[file_id].exists) return {};
+  return files_[file_id].data;
+}
+
+bool SyscallLayer::file_exists(unsigned file_id) const noexcept {
+  return file_id < kMaxFiles && files_[file_id].exists;
+}
+
+void SyscallLayer::serialize(util::ByteWriter& w) const {
+  w.put_u64(cfg_.heap_base);
+  w.put_u64(cfg_.heap_bytes);
+  w.put_u64(cfg_.file_capacity);
+  w.put_u64(cfg_.chan_capacity);
+  w.put_u64(heap_.size());
+  for (const HeapBlock& b : heap_) {
+    w.put_u64(b.addr);
+    w.put_u64(b.size);
+  }
+  for (const File& f : files_) {
+    w.put_bool(f.exists);
+    w.put_blob(f.data);
+  }
+  for (const Fd& d : fds_) {
+    w.put_bool(d.open);
+    w.put_u32(d.file);
+    w.put_u64(d.pos);
+    w.put_bool(d.writable);
+  }
+  for (const Channel& c : chans_) {
+    w.put_u64(c.msgs.size());
+    for (const auto& m : c.msgs) w.put_blob(m);
+  }
+  w.put_u64(threads_.size());
+  for (const PerThread& pt : threads_) {
+    w.put_u64(pt.err);
+    for (const std::uint64_t c : pt.calls) w.put_u64(c);
+    w.put_u64(pt.trace.size());
+    for (const SyscallTraceEntry& e : pt.trace) e.serialize(w);
+    w.put_u64(pt.trace_dropped);
+    w.put_bool(pt.pending.valid);
+    if (pt.pending.valid) {
+      w.put_u8(static_cast<std::uint8_t>(pt.pending.sysno));
+      for (const std::uint64_t a : pt.pending.args) w.put_u64(a);
+      w.put_u64(pt.pending.call_index);
+      const SyscallInjection& inj = pt.pending.inj;
+      w.put_bool(inj.fired);
+      w.put_u16(inj.force_errno);
+      w.put_u64(inj.latency);
+      w.put_bool(inj.has_partial);
+      w.put_u64(inj.partial_ppm);
+      w.put_u8(inj.corrupt_bits);
+      w.put_u64(inj.corrupt_seed);
+    }
+  }
+  w.put_u64(total_calls_);
+  w.put_u64(total_errors_);
+  w.put_u64(injected_calls_);
+}
+
+void SyscallLayer::deserialize(util::ByteReader& r) {
+  cfg_.heap_base = r.get_u64();
+  cfg_.heap_bytes = r.get_u64();
+  cfg_.file_capacity = r.get_u64();
+  cfg_.chan_capacity = r.get_u64();
+  heap_.resize(r.get_u64());
+  for (HeapBlock& b : heap_) {
+    b.addr = r.get_u64();
+    b.size = r.get_u64();
+  }
+  for (File& f : files_) {
+    f.exists = r.get_bool();
+    f.data = r.get_blob();
+  }
+  for (Fd& d : fds_) {
+    d.open = r.get_bool();
+    d.file = r.get_u32();
+    d.pos = r.get_u64();
+    d.writable = r.get_bool();
+  }
+  for (Channel& c : chans_) {
+    c.msgs.resize(r.get_u64());
+    c.bytes = 0;
+    for (auto& m : c.msgs) {
+      m = r.get_blob();
+      c.bytes += m.size();
+    }
+  }
+  threads_.resize(r.get_u64());
+  for (PerThread& pt : threads_) {
+    pt.err = r.get_u64();
+    for (std::uint64_t& c : pt.calls) c = r.get_u64();
+    pt.trace.resize(r.get_u64());
+    for (SyscallTraceEntry& e : pt.trace) e.deserialize(r);
+    pt.trace_dropped = r.get_u64();
+    pt.pending = PendingSyscall{};
+    pt.pending.valid = r.get_bool();
+    if (pt.pending.valid) {
+      pt.pending.sysno = static_cast<Sysno>(r.get_u8());
+      for (std::uint64_t& a : pt.pending.args) a = r.get_u64();
+      pt.pending.call_index = r.get_u64();
+      SyscallInjection& inj = pt.pending.inj;
+      inj.fired = r.get_bool();
+      inj.force_errno = r.get_u16();
+      inj.latency = r.get_u64();
+      inj.has_partial = r.get_bool();
+      inj.partial_ppm = r.get_u64();
+      inj.corrupt_bits = r.get_u8();
+      inj.corrupt_seed = r.get_u64();
+    }
+  }
+  total_calls_ = r.get_u64();
+  total_errors_ = r.get_u64();
+  injected_calls_ = r.get_u64();
+}
+
+}  // namespace gemfi::os

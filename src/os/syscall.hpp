@@ -1,0 +1,250 @@
+// The guest-visible syscall surface of the lightweight in-simulator kernel.
+//
+// The paper's guests run on a full Linux kernel; ours get a small, versioned
+// syscall table instead — a guest heap (sys_alloc/sys_free), file-ish I/O
+// against an in-memory filesystem (sys_open/sys_read/sys_write/sys_close)
+// and bounded message channels (sys_send/sys_recv) — reached through the
+// SYSCALL pseudo-op with the call number in v0, arguments in a0..a2 and the
+// result in v0 (negative results are -errno, Linux style). Each thread keeps
+// its own errno (sys_errno) and a syscall/errno trace ring that the campaign
+// classifier walks to measure how far an injected failure cascades.
+//
+// Fault injection happens at this boundary (the kretprobes idea from the
+// related OS-level injectors): the simulation resolves a SyscallInjection —
+// forced errno, extra latency, short read/write, corrupted buffer — exactly
+// once per logical call, keyed by the per-thread call index, and the layer
+// applies it. The call-index keying is what makes a preemption or a latency
+// sleep in the middle of a call unable to double-apply an injection.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "mem/physmem.hpp"
+#include "util/bytesio.hpp"
+
+namespace gemfi::os {
+
+/// Bump when the table below changes incompatibly; guests can query it with
+/// sys_version and bail out on a mismatch instead of misusing the table.
+inline constexpr std::uint64_t kSyscallAbiVersion = 1;
+
+/// Syscall numbers (passed in v0). 0 is deliberately invalid.
+enum class Sysno : std::uint8_t {
+  Invalid = 0,
+  Alloc = 1,    // a0=bytes            -> address            | ENOMEM, EINVAL
+  Free = 2,     // a0=address          -> 0                  | EINVAL
+  Open = 3,     // a0=file_id a1=flags -> fd                 | ENOENT, EMFILE, EEXIST, EINVAL
+  Read = 4,     // a0=fd a1=buf a2=len -> bytes read         | EBADF, EFAULT, EINVAL, EIO
+  Write = 5,    // a0=fd a1=buf a2=len -> bytes written      | EBADF, EFAULT, EINVAL, EIO, ENOSPC
+  Close = 6,    // a0=fd               -> 0                  | EBADF, EIO
+  Send = 7,     // a0=chan a1=buf a2=len -> len              | EINVAL, EFAULT, EAGAIN, EMSGSIZE
+  Recv = 8,     // a0=chan a1=buf a2=cap -> bytes received   | EINVAL, EFAULT, EAGAIN
+  Errno = 9,    // -> this thread's last errno (never fails)
+  Version = 10, // -> kSyscallAbiVersion (never fails)
+};
+inline constexpr unsigned kNumSysnos = 11;  // including Invalid
+
+/// Lower-case name used by the fault-plan grammar ("write", "open", ...);
+/// nullptr for Invalid/out-of-range.
+const char* sysno_name(Sysno s) noexcept;
+/// Inverse of sysno_name(); Sysno::Invalid when unknown.
+Sysno sysno_from_name(const char* name) noexcept;
+
+// --- guest errno values (Linux numbering so guests read naturally) ---
+inline constexpr std::uint16_t kENOENT = 2;
+inline constexpr std::uint16_t kEIO = 5;
+inline constexpr std::uint16_t kEBADF = 9;
+inline constexpr std::uint16_t kEAGAIN = 11;
+inline constexpr std::uint16_t kENOMEM = 12;
+inline constexpr std::uint16_t kEFAULT = 14;
+inline constexpr std::uint16_t kEEXIST = 17;
+inline constexpr std::uint16_t kEINVAL = 22;
+inline constexpr std::uint16_t kEMFILE = 24;
+inline constexpr std::uint16_t kENOSPC = 28;
+inline constexpr std::uint16_t kENOSYS = 38;
+inline constexpr std::uint16_t kEMSGSIZE = 90;
+
+/// Symbolic name ("EIO") of a guest errno; "E?<n>" rendered by callers for
+/// unknown values (returns nullptr).
+const char* errno_name(std::uint16_t err) noexcept;
+/// Inverse of errno_name(); 0 when unknown.
+std::uint16_t errno_from_name(const char* name) noexcept;
+
+/// Error-realism: could syscall `s` return `err` through the real table
+/// above (the per-syscall errno sets documented in the Sysno enum)? An
+/// injected errno outside this set is flagged by the classifier — the
+/// experiment stressed a path no real execution could reach.
+bool errno_realistic(Sysno s, std::uint16_t err) noexcept;
+
+// --- sys_open flags (a1) ---
+inline constexpr std::uint64_t kOpenWrite = 1;   // open for writing
+inline constexpr std::uint64_t kOpenCreate = 2;  // create if missing
+inline constexpr std::uint64_t kOpenTrunc = 4;   // truncate to empty
+inline constexpr std::uint64_t kOpenExcl = 8;    // with Create: fail if exists
+
+/// Injection actions resolved for one logical syscall. Produced by the FI
+/// layer (fi::SyscallFaultInjector) exactly once per call; the OS layer only
+/// consumes it. Default-constructed == "no injection".
+struct SyscallInjection {
+  bool fired = false;           // any plan selected this call
+  std::uint16_t force_errno = 0;  // != 0: fail the call with this errno
+  std::uint64_t latency = 0;      // extra ticks before the call completes
+  bool has_partial = false;
+  std::uint64_t partial_ppm = 0;  // requested length scaled to len*ppm/1e6
+  std::uint8_t corrupt_bits = 0;  // != 0: flip this many bits in the buffer
+  std::uint64_t corrupt_seed = 0; // deterministic bit selection
+};
+
+/// One completed syscall as the classifier sees it.
+struct SyscallTraceEntry {
+  std::uint8_t sysno = 0;
+  std::uint16_t err = 0;        // 0 on success
+  bool injected = false;        // an injection fired on this call
+  std::uint64_t call_index = 0; // 1-based per-(thread, syscall) index
+
+  void serialize(util::ByteWriter& w) const {
+    w.put_u8(sysno);
+    w.put_u16(err);
+    w.put_bool(injected);
+    w.put_u64(call_index);
+  }
+  void deserialize(util::ByteReader& r) {
+    sysno = r.get_u8();
+    err = r.get_u16();
+    injected = r.get_bool();
+    call_index = r.get_u64();
+  }
+};
+
+/// A latency-delayed call parked while its thread sleeps. The injection
+/// decisions were resolved at dispatch; completion reuses them verbatim, so
+/// nothing is ever decided (or applied) twice for one logical call.
+struct PendingSyscall {
+  bool valid = false;
+  Sysno sysno = Sysno::Invalid;
+  std::uint64_t args[3] = {0, 0, 0};
+  std::uint64_t call_index = 0;
+  SyscallInjection inj;
+};
+
+struct SyscallLayerConfig {
+  std::uint64_t heap_base = 0;       // guest heap region managed by sys_alloc
+  std::uint64_t heap_bytes = 0;
+  std::uint64_t file_capacity = 16 * 1024;  // per-file size bound (ENOSPC)
+  std::uint64_t chan_capacity = 4096;       // per-channel byte budget (EAGAIN)
+};
+
+inline constexpr unsigned kMaxFiles = 64;   // file ids 0..63
+inline constexpr unsigned kMaxFds = 16;     // per-system open-file table
+inline constexpr unsigned kNumChannels = 4;
+inline constexpr unsigned kTraceRingCap = 512;  // per-thread, drop-oldest
+
+class SyscallLayer {
+ public:
+  SyscallLayer() = default;
+  explicit SyscallLayer(const SyscallLayerConfig& cfg) : cfg_(cfg) {}
+
+  void configure(const SyscallLayerConfig& cfg) { cfg_ = cfg; }
+  [[nodiscard]] const SyscallLayerConfig& config() const noexcept { return cfg_; }
+
+  /// Execute one syscall for thread `tid` with resolved injection actions.
+  /// Returns the guest result (>= 0 success, < 0 is -errno) and records the
+  /// trace entry. `call_index` must come from next_call_index() for this
+  /// call — the layer never advances counters itself, so a preempted or
+  /// slept-through call cannot be double-counted.
+  std::int64_t execute(std::uint64_t tid, Sysno s, const std::uint64_t args[3],
+                       std::uint64_t call_index, const SyscallInjection& inj,
+                       mem::PhysMem& pm);
+
+  /// Advance and return the 1-based call index of the next `s` call by
+  /// `tid`. Called exactly once per logical syscall, at first dispatch.
+  std::uint64_t next_call_index(std::uint64_t tid, Sysno s);
+
+  // --- latency-delayed calls ---
+  void park(std::uint64_t tid, Sysno s, const std::uint64_t args[3],
+            std::uint64_t call_index, const SyscallInjection& inj);
+  [[nodiscard]] bool has_pending(std::uint64_t tid) const noexcept;
+  /// Execute the parked call with its stored decisions; returns the result.
+  std::int64_t complete_pending(std::uint64_t tid, mem::PhysMem& pm);
+
+  // --- per-thread introspection (classifier / tests) ---
+  [[nodiscard]] std::uint64_t last_errno(std::uint64_t tid) const noexcept;
+  [[nodiscard]] const std::vector<SyscallTraceEntry>& trace(std::uint64_t tid) const;
+  /// Flat trace across all threads, thread-major (tid order): what the
+  /// campaign classifier consumes along with per-entry thread ids.
+  [[nodiscard]] std::vector<std::pair<std::uint64_t, SyscallTraceEntry>> full_trace() const;
+  [[nodiscard]] std::uint64_t total_calls() const noexcept { return total_calls_; }
+  [[nodiscard]] std::uint64_t total_errors() const noexcept { return total_errors_; }
+  [[nodiscard]] std::uint64_t injected_calls() const noexcept { return injected_calls_; }
+
+  // --- host-side test hooks ---
+  /// Direct read of file `file_id` content (empty when absent).
+  [[nodiscard]] std::vector<std::uint8_t> file_content(unsigned file_id) const;
+  [[nodiscard]] bool file_exists(unsigned file_id) const noexcept;
+
+  void serialize(util::ByteWriter& w) const;
+  void deserialize(util::ByteReader& r);
+
+ private:
+  struct HeapBlock {
+    std::uint64_t addr = 0;
+    std::uint64_t size = 0;
+  };
+  struct File {
+    bool exists = false;
+    std::vector<std::uint8_t> data;
+  };
+  struct Fd {
+    bool open = false;
+    std::uint32_t file = 0;
+    std::uint64_t pos = 0;
+    bool writable = false;
+  };
+  struct Channel {
+    std::vector<std::vector<std::uint8_t>> msgs;  // FIFO
+    std::uint64_t bytes = 0;                      // sum of msg sizes
+  };
+  struct PerThread {
+    std::uint64_t err = 0;  // last errno (0 after a success)
+    std::array<std::uint64_t, kNumSysnos> calls{};
+    std::vector<SyscallTraceEntry> trace;  // ring, kTraceRingCap entries
+    std::uint64_t trace_dropped = 0;
+    PendingSyscall pending;
+  };
+
+  PerThread& per_thread(std::uint64_t tid);
+  [[nodiscard]] const PerThread* per_thread_or_null(std::uint64_t tid) const noexcept;
+  void record(PerThread& pt, Sysno s, std::uint16_t err, bool injected,
+              std::uint64_t call_index);
+  std::int64_t do_call(std::uint64_t tid, Sysno s, const std::uint64_t args[3],
+                       std::uint64_t call_index, const SyscallInjection& inj,
+                       mem::PhysMem& pm);
+
+  // The raw operations (no injection, no tracing); return >=0 or -errno.
+  std::int64_t op_alloc(std::uint64_t bytes);
+  std::int64_t op_free(std::uint64_t addr);
+  std::int64_t op_open(std::uint64_t file_id, std::uint64_t flags);
+  std::int64_t op_read(std::uint64_t fd, std::uint64_t buf, std::uint64_t len,
+                       const SyscallInjection& inj, mem::PhysMem& pm);
+  std::int64_t op_write(std::uint64_t fd, std::uint64_t buf, std::uint64_t len,
+                        const SyscallInjection& inj, mem::PhysMem& pm);
+  std::int64_t op_close(std::uint64_t fd);
+  std::int64_t op_send(std::uint64_t chan, std::uint64_t buf, std::uint64_t len,
+                       const SyscallInjection& inj, mem::PhysMem& pm);
+  std::int64_t op_recv(std::uint64_t chan, std::uint64_t buf, std::uint64_t cap,
+                       const SyscallInjection& inj, mem::PhysMem& pm);
+
+  SyscallLayerConfig cfg_;
+  std::vector<HeapBlock> heap_;  // allocated blocks, sorted by addr
+  std::array<File, kMaxFiles> files_;
+  std::array<Fd, kMaxFds> fds_;
+  std::array<Channel, kNumChannels> chans_;
+  std::vector<PerThread> threads_;  // indexed by tid, grown on demand
+  std::uint64_t total_calls_ = 0;
+  std::uint64_t total_errors_ = 0;
+  std::uint64_t injected_calls_ = 0;
+};
+
+}  // namespace gemfi::os

@@ -25,15 +25,21 @@ struct Thread {
   std::uint64_t pcb_addr = 0;  // unique PCB address (GemFI's thread identity)
   cpu::ArchState ctx;          // saved context while descheduled
   bool finished = false;
+  bool sleeping = false;       // blocked in a latency-delayed syscall
+  std::uint64_t wake_tick = 0; // earliest tick the sleeper becomes runnable
   int exit_code = 0;
   std::string output;          // bytes emitted via the print pseudo-ops
   std::uint64_t committed = 0; // committed instruction count
+
+  [[nodiscard]] bool runnable() const noexcept { return !finished && !sleeping; }
 
   void serialize(util::ByteWriter& w) const {
     w.put_u64(tid);
     w.put_u64(pcb_addr);
     ctx.serialize(w);
     w.put_bool(finished);
+    w.put_bool(sleeping);
+    w.put_u64(wake_tick);
     w.put_u64(std::uint64_t(std::int64_t(exit_code)));
     w.put_string(output);
     w.put_u64(committed);
@@ -44,6 +50,8 @@ struct Thread {
     pcb_addr = r.get_u64();
     ctx.deserialize(r);
     finished = r.get_bool();
+    sleeping = r.get_bool();
+    wake_tick = r.get_u64();
     exit_code = int(std::int64_t(r.get_u64()));
     output = r.get_string();
     committed = r.get_u64();

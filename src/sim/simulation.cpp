@@ -38,6 +38,18 @@ Simulation::Simulation(SimConfig cfg, const assembler::Program& program)
   ms_.set_predecode_enabled(cfg_.predecode);
   ms_.set_fastpath_enabled(cfg_.fastpath);
   next_stack_top_ = ms_.phys().size() & ~15ull;
+  // The sys_alloc heap sits above the apps' 256 KiB boot arena; clamp it so
+  // handed-out addresses can never reach the first thread's stack.
+  os::SyscallLayerConfig scfg;
+  scfg.heap_base = program_.heap_base() + 256 * 1024;
+  const std::uint64_t heap_lim =
+      ms_.phys().size() > cfg_.stack_bytes ? ms_.phys().size() - cfg_.stack_bytes : 0;
+  scfg.heap_bytes = scfg.heap_base < heap_lim
+                        ? std::min(cfg_.sys_heap_bytes, heap_lim - scfg.heap_base)
+                        : 0;
+  scfg.file_capacity = cfg_.sys_file_capacity;
+  scfg.chan_capacity = cfg_.sys_chan_capacity;
+  sys_.configure(scfg);
   make_cpu(cfg_.cpu);
 }
 
@@ -91,7 +103,9 @@ std::uint64_t Simulation::total_committed() const noexcept {
 }
 
 void Simulation::ensure_thread_scheduled() {
-  if (!sched_.has_current() && !sched_.all_finished()) perform_context_switch();
+  // Only switch when somebody is runnable; if every live thread sleeps, the
+  // run loop's idle path advances the clock to the next wake instead.
+  if (!sched_.has_current() && sched_.runnable_count() != 0) perform_context_switch();
 }
 
 void Simulation::perform_context_switch() {
@@ -139,6 +153,51 @@ void Simulation::dispatch_pseudo(const cpu::CommitEvent& ev) {
     case PseudoFunc::YIELD:
       sched_.yield();
       break;
+    case PseudoFunc::SYSCALL:
+      dispatch_syscall(t);
+      break;
+  }
+}
+
+void Simulation::dispatch_syscall(os::Thread& t) {
+  const std::uint64_t raw = cpu_->arch().ireg(isa::kRegV0);
+  const os::Sysno s =
+      raw < os::kNumSysnos ? static_cast<os::Sysno>(raw) : os::Sysno::Invalid;
+  const std::uint64_t args[3] = {cpu_->arch().ireg(isa::kRegA0),
+                                 cpu_->arch().ireg(isa::kRegA0 + 1),
+                                 cpu_->arch().ireg(isa::kRegA0 + 2)};
+  // The call index advances exactly once per logical call, here at first
+  // dispatch, and the injection is resolved against it in the same step —
+  // a preemption or latency sleep mid-call can never re-roll the decision
+  // or double-apply a partial write on resume.
+  const std::uint64_t idx = sys_.next_call_index(t.tid, s);
+  os::SyscallInjection inj;
+  if (!sysfi_.empty()) inj = sysfi_.decide(s, idx, t.tid);
+  if (inj.latency != 0) {
+    // Park the call; it completes (with these exact decisions) when the
+    // thread wakes, writing the result into the saved context's v0. The
+    // commit stream is identical to the zero-latency run — only ticks move.
+    // The SYSCALL instruction's own commit is accounted here because the
+    // run loop's post-dispatch on_commit() is skipped for a parked thread.
+    sched_.on_commit();
+    sys_.park(t.tid, s, args, idx, inj);
+    sched_.sleep_current(tick_ + inj.latency);
+    sched_.deschedule_current(*cpu_);
+    return;
+  }
+  const std::int64_t res = sys_.execute(t.tid, s, args, idx, inj, ms_.phys());
+  cpu_->arch().set_ireg(isa::kRegV0, std::uint64_t(res));
+}
+
+void Simulation::service_wakeups() {
+  // Wake in tid order and complete each parked call with its stored
+  // decisions, depositing the result in the sleeper's saved v0.
+  std::vector<std::uint64_t> woken;
+  sched_.wake_sleepers(tick_, woken);
+  for (const std::uint64_t tid : woken) {
+    if (!sys_.has_pending(tid)) continue;
+    const std::int64_t res = sys_.complete_pending(tid, ms_.phys());
+    sched_.thread(tid).ctx.set_ireg(isa::kRegV0, std::uint64_t(res));
   }
 }
 
@@ -188,12 +247,39 @@ RunResult Simulation::run(std::uint64_t watchdog_ticks, double wall_deadline_sec
       break;
     }
 
+    // Latency-delayed syscalls: wake due sleepers (completing their parked
+    // calls) before any budget below is computed, then — if the CPU is empty
+    // because its thread parked itself — reschedule, or idle the clock
+    // forward to the earliest wake when every live thread sleeps. One branch
+    // on the hot path when nobody sleeps.
+    if (sched_.has_sleepers() || !sched_.has_current()) {
+      service_wakeups();
+      if (!sched_.has_current()) {
+        if (sched_.runnable_count() != 0) {
+          perform_context_switch();
+        } else {
+          std::uint64_t target = std::min(sched_.next_wake_tick(), deadline);
+          // Honor the wall-clock sampling cadence across the idle gap.
+          if (wall_limited) target = std::min<std::uint64_t>(target, (tick_ | 0xfffull) + 1);
+          idle_ticks_ += target - tick_;
+          tick_ = target;
+          continue;  // deadline/wall checks re-run, then the wake services
+        }
+      }
+    }
+
     if ((fast_atomic || fast_timing) && !drain_for_switch_) {
       std::uint64_t n = deadline - tick_;
       const std::uint64_t pre = sched_.commits_before_preempt();
       // Atomic retires one instruction per tick, so the commit bound is a
       // tick bound too; the timing batch takes it separately.
       if (fast_atomic && pre < n) n = pre;
+      if (sched_.has_sleepers()) {
+        // End the batch exactly at the earliest wake so the sleeper resumes
+        // on the same tick as in the per-tick loop (>0: due wakes serviced).
+        const std::uint64_t room = sched_.ticks_before_tick_event(tick_);
+        if (room < n) n = room;
+      }
       if (wall_limited) {
         // Stop on the next 4096-tick boundary so the wall clock is sampled
         // at the same cadence as the per-tick loop.
@@ -216,7 +302,8 @@ RunResult Simulation::run(std::uint64_t watchdog_ticks, double wall_deadline_sec
           if (ev.trap.kind == cpu::TrapKind::Halt) {
             sched_.finish_current(0);
             cpu_->flush_and_redirect(cpu_->arch().pc());
-            if (!sched_.all_finished()) perform_context_switch();
+            if (sched_.runnable_count() != 0) perform_context_switch();
+            else if (!sched_.all_finished()) sched_.retire_current();
             continue;
           }
           result.reason = ExitReason::Crashed;
@@ -231,8 +318,12 @@ RunResult Simulation::run(std::uint64_t watchdog_ticks, double wall_deadline_sec
           need_switch = sched_.on_commits(br.commits - 1);
           cpu_->flush_and_redirect(cpu_->arch().pc());
           dispatch_pseudo(ev);
+          // A latency-injected syscall parked the thread (its commit was
+          // accounted inside the dispatch); the loop top reschedules.
+          if (!sched_.has_current()) continue;
           if (sched_.current().finished) {
-            if (!sched_.all_finished()) perform_context_switch();
+            if (sched_.runnable_count() != 0) perform_context_switch();
+            else if (!sched_.all_finished()) sched_.retire_current();
             continue;
           }
           if (sched_.on_commit()) need_switch = true;
@@ -274,7 +365,8 @@ RunResult Simulation::run(std::uint64_t watchdog_ticks, double wall_deadline_sec
           const std::uint64_t room = fm_.next_direct_fault_tick(tick_ + 1) - (tick_ + 1);
           if (room < k) k = room;
         }
-        if (const std::uint64_t room = sched_.ticks_before_tick_event(); room < k) k = room;
+        if (const std::uint64_t room = sched_.ticks_before_tick_event(tick_); room < k)
+          k = room;
         if (k != 0) {
           cpu_->warp(k);
           tick_ += k;
@@ -307,7 +399,8 @@ RunResult Simulation::run(std::uint64_t watchdog_ticks, double wall_deadline_sec
         if (ev.trap.kind == cpu::TrapKind::Halt) {
           sched_.finish_current(0);
           cpu_->flush_and_redirect(cpu_->arch().pc());
-          if (!sched_.all_finished()) perform_context_switch();
+          if (sched_.runnable_count() != 0) perform_context_switch();
+          else if (!sched_.all_finished()) sched_.retire_current();
           continue;
         }
         result.reason = ExitReason::Crashed;
@@ -322,8 +415,12 @@ RunResult Simulation::run(std::uint64_t watchdog_ticks, double wall_deadline_sec
         // machine, then dispatch (fi_read_init_all may capture a checkpoint).
         cpu_->flush_and_redirect(cpu_->arch().pc());
         dispatch_pseudo(ev);
+        // A latency-injected syscall parked the thread (its commit was
+        // accounted inside the dispatch); the loop top reschedules.
+        if (!sched_.has_current()) continue;
         if (sched_.current().finished) {
-          if (!sched_.all_finished()) perform_context_switch();
+          if (sched_.runnable_count() != 0) perform_context_switch();
+          else if (!sched_.all_finished()) sched_.retire_current();
           continue;
         }
       }
@@ -372,6 +469,7 @@ std::string Simulation::stats_report() const {
 
   put("sim.ticks", tick_);
   put("sim.warped_ticks", warped_ticks_);
+  put("sim.idle_ticks", idle_ticks_);
   put("sim.insts", total_committed());
   std::snprintf(line, sizeof line, "%-40s %20s\n", "cpu.model",
                 cpu_kind_name(active_cpu_));
@@ -420,6 +518,7 @@ std::string Simulation::stats_report() const {
 void Simulation::serialize_tail(util::ByteWriter& w) const {
   cpu_->serialize(w);
   sched_.serialize(w);
+  sys_.serialize(w);
   w.put_u64(tick_);
   w.put_u64(next_stack_top_);
   w.put_bool(mode_switch_done_);
@@ -428,6 +527,7 @@ void Simulation::serialize_tail(util::ByteWriter& w) const {
 void Simulation::deserialize_tail(util::ByteReader& r) {
   cpu_->deserialize(r);
   sched_.deserialize(r);
+  sys_.deserialize(r);
   tick_ = r.get_u64();
   next_stack_top_ = r.get_u64();
   mode_switch_done_ = r.get_bool();
@@ -435,8 +535,10 @@ void Simulation::deserialize_tail(util::ByteReader& r) {
   cpu_->flush_and_redirect(cpu_->arch().pc());
   cpu_->set_fetch_enabled(true);
   // Paper contract: restoring a checkpoint resets all GemFI bookkeeping so
-  // the fault configuration file can be re-read for a fresh experiment.
+  // the fault configuration file can be re-read for a fresh experiment —
+  // syscall-fault fired counters included.
   fm_.reset_campaign_state();
+  sysfi_.reset_applied();
   fm_.set_now(tick_);
 }
 

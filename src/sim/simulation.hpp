@@ -26,7 +26,9 @@
 #include "cpu/atomic_cpu.hpp"
 #include "cpu/pipelined_cpu.hpp"
 #include "fi/fault_manager.hpp"
+#include "fi/syscall_fault.hpp"
 #include "os/scheduler.hpp"
+#include "os/syscall.hpp"
 
 namespace gemfi::sim {
 
@@ -49,6 +51,12 @@ struct SimConfig {
   // bit-identical either way (the lockstep suite proves it); false is the
   // `--no-fastpath` A/B baseline.
   bool fastpath = true;
+  // OS syscall surface: sys_alloc heap carved above the apps' boot arena,
+  // per-file capacity of the in-memory FS (ENOSPC bound) and per-channel
+  // byte budget of the message channels (EAGAIN bound).
+  std::uint64_t sys_heap_bytes = 256 * 1024;
+  std::uint64_t sys_file_capacity = 16 * 1024;
+  std::uint64_t sys_chan_capacity = 4096;
 };
 
 enum class ExitReason : std::uint8_t {
@@ -109,6 +117,12 @@ class Simulation {
   // --- component access ---
   [[nodiscard]] fi::FaultManager& fault_manager() noexcept { return fm_; }
   [[nodiscard]] const fi::FaultManager& fault_manager() const noexcept { return fm_; }
+  [[nodiscard]] os::SyscallLayer& syscalls() noexcept { return sys_; }
+  [[nodiscard]] const os::SyscallLayer& syscalls() const noexcept { return sys_; }
+  [[nodiscard]] fi::SyscallFaultInjector& syscall_injector() noexcept { return sysfi_; }
+  [[nodiscard]] const fi::SyscallFaultInjector& syscall_injector() const noexcept {
+    return sysfi_;
+  }
   [[nodiscard]] os::Scheduler& scheduler() noexcept { return sched_; }
   [[nodiscard]] const os::Scheduler& scheduler() const noexcept { return sched_; }
   [[nodiscard]] mem::MemSystem& memsys() noexcept { return ms_; }
@@ -155,9 +169,11 @@ class Simulation {
   void serialize_tail(util::ByteWriter& w) const;
   void deserialize_tail(util::ByteReader& r);
   void dispatch_pseudo(const cpu::CommitEvent& ev);
+  void dispatch_syscall(os::Thread& t);
   void make_cpu(CpuKind kind);
   void ensure_thread_scheduled();
   void perform_context_switch();
+  void service_wakeups();
 
   SimConfig cfg_;
   assembler::Program program_;
@@ -166,10 +182,13 @@ class Simulation {
   CpuKind active_cpu_ = CpuKind::Pipelined;
   os::Scheduler sched_;
   fi::FaultManager fm_;
+  os::SyscallLayer sys_;
+  fi::SyscallFaultInjector sysfi_;
   CheckpointHandler checkpoint_handler_;
   CommitObserver commit_observer_;
   std::uint64_t tick_ = 0;
   std::uint64_t warped_ticks_ = 0;  // ticks advanced by stall warps (fast lane)
+  std::uint64_t idle_ticks_ = 0;    // ticks skipped while every thread slept
   std::uint64_t next_stack_top_ = 0;
   bool drain_for_switch_ = false;
   bool mode_switch_done_ = false;

@@ -83,6 +83,38 @@ TEST(CampaignDeterminism, SeededCampaignIsByteIdenticalAcrossRunsAndReplay) {
   }
 }
 
+TEST(CampaignDeterminism, SyscallFaultCampaignIsByteIdenticalAcrossRunsAndReplay) {
+  // Syscall plans ride the same determinism contract: a campaign mixing a
+  // fixed plan with per-experiment seeded random plans must stream identical
+  // canonical records run over run, and the --replay path must rebuild the
+  // exact plan set for an index from (campaign_seed, index) alone.
+  CampaignConfig cfg = base_config(/*predecode=*/true);
+  cfg.syscall_plans.push_back(fi::parse_syscall_plan("write@idx:3 errno:EIO"));
+  cfg.random_syscall_faults = true;
+  const CalibratedApp ca = calibrate(apps::build_app("logwriter"), cfg);
+
+  const std::vector<std::string> first = run_campaign_canonical(ca, cfg);
+  const std::vector<std::string> second = run_campaign_canonical(ca, cfg);
+  ASSERT_EQ(first.size(), kExperiments);
+  ASSERT_EQ(second.size(), kExperiments);
+  for (std::size_t i = 0; i < kExperiments; ++i)
+    EXPECT_EQ(first[i], second[i]) << "record " << i << " drifted between runs";
+  // The plans actually reached the records (the run wasn't vacuously golden).
+  for (std::size_t i = 0; i < kExperiments; ++i)
+    EXPECT_NE(first[i].find("\"syscall_plan\""), std::string::npos)
+        << "record " << i << " carries no syscall plan";
+
+  for (const std::size_t index : {std::size_t(0), kExperiments - 1}) {
+    const fi::Fault f = seeded_fault_any(kSeed, index, ca.kernel_fetches);
+    const std::vector<fi::SyscallFaultPlan> plans = plans_for_experiment(cfg, index);
+    ASSERT_EQ(plans.size(), 2u);  // the fixed plan + the seeded random draw
+    const ExperimentResult er = run_experiment_with_retry(ca, f, cfg, &plans);
+    const ExperimentRecord rec{index, 0, experiment_seed(kSeed, index), er};
+    EXPECT_EQ(experiment_record_to_json(rec, /*include_host_timing=*/false), first[index])
+        << "replay of experiment " << index << " diverged from the campaign record";
+  }
+}
+
 TEST(CampaignDeterminism, PredecodeDoesNotChangeCampaignRecords) {
   // The fast path must be invisible in every simulated-state field:
   // outcomes, classification metrics, sim_ticks, applied flags — the whole

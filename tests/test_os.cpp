@@ -1,9 +1,15 @@
 // Kernel-layer tests: thread creation, PCB uniqueness, round-robin
-// preemption, context-switch events, yield/exit semantics, and scheduler
-// serialization.
+// preemption, context-switch events, yield/exit semantics, scheduler
+// serialization, and the preemption-during-syscall contract — a thread
+// preempted or parked in the middle of an injected sys_write must not
+// double-apply the injection when it resumes.
 #include <gtest/gtest.h>
 
+#include <tuple>
+#include <vector>
+
 #include "assembler/assembler.hpp"
+#include "fi/syscall_fault.hpp"
 #include "os/scheduler.hpp"
 #include "sim/simulation.hpp"
 
@@ -175,6 +181,131 @@ TEST(GuestThreads, StacksAreDisjoint) {
   EXPECT_EQ(s.output(0), "1");
   EXPECT_EQ(s.output(1), "2");
   EXPECT_EQ(s.output(2), "3");
+}
+
+// A two-thread guest where thread 0 appends three 8-byte records through
+// sys_write while thread 1 spins under an aggressive preemption quantum.
+// Shared by the regression tests below.
+Program make_writer_spinner() {
+  Assembler as;
+  const Label entry = as.here("main");
+  const Label spin = as.make_label("spin");
+  const Label fail = as.make_label("fail");
+  as.bne(reg::a0, spin);  // a0 = role: 0 writes, nonzero spins
+
+  // Writer: alloc an 8-byte staging buffer, open file 0, write it 3 times,
+  // printing each sys_write result — the observable record of how many
+  // bytes each *logical* call transferred.
+  as.li(reg::a0, 8);
+  as.li(reg::v0, 1);  // sys_alloc
+  as.syscall_();
+  as.blt(reg::v0, fail);
+  as.mov(reg::v0, reg::s2);
+  as.li_u(reg::t0, 0x0807060504030201ull);
+  as.stq(reg::t0, 0, reg::s2);
+
+  as.li(reg::a0, 0);          // file id 0
+  as.li(reg::a1, 1 | 2 | 4);  // write|create|trunc
+  as.li(reg::v0, 3);          // sys_open
+  as.syscall_();
+  as.blt(reg::v0, fail);
+  as.mov(reg::v0, reg::s0);
+
+  for (int i = 0; i < 3; ++i) {
+    as.mov(reg::s0, reg::a0);
+    as.mov(reg::s2, reg::a1);
+    as.li(reg::a2, 8);
+    as.li(reg::v0, 5);  // sys_write
+    as.syscall_();
+    as.print_int_r(reg::v0);
+  }
+  as.mov(reg::s0, reg::a0);
+  as.li(reg::v0, 6);  // sys_close
+  as.syscall_();
+  as.mov_i(0, reg::a0);
+  as.exit_();
+
+  // Spinner: enough work to stay runnable across the writer's parked call.
+  as.bind(spin);
+  as.li(reg::t0, 400);
+  const Label loop = as.here("loop");
+  as.subq_i(reg::t0, 1, reg::t0);
+  as.bne(reg::t0, loop);
+  as.mov_i(0, reg::a0);
+  as.exit_();
+
+  as.bind(fail);
+  as.mov_i(1, reg::a0);
+  as.exit_();
+  return as.finalize(entry);
+}
+
+// The double-apply regression: write call #2 gets latency + a half-length
+// partial, so the call parks mid-quantum, the spinner (and the round-robin
+// quantum) preempt the writer, and the parked call completes on wakeup.
+// The injection must land exactly once: one short result, one torn record's
+// worth of missing bytes, one trace entry — not a re-rolled decision or a
+// second application on resume.
+TEST(GuestThreads, PreemptedInjectedWriteAppliesExactlyOnce) {
+  const Program prog = make_writer_spinner();
+  sim::SimConfig cfg;
+  cfg.quantum_insts = 3;  // preempt constantly, including around syscalls
+  sim::Simulation s(cfg, prog);
+  s.spawn_main_thread({0});
+  s.spawn_thread(prog.entry, {1});
+  s.syscall_injector().add_plan(
+      fi::parse_syscall_plan("write@idx:2 latency:600 partial:0.5"));
+
+  const auto rr = s.run(10'000'000);
+  ASSERT_EQ(rr.reason, sim::ExitReason::AllThreadsExited);
+  EXPECT_EQ(s.scheduler().thread(0).exit_code, 0);
+  EXPECT_EQ(s.scheduler().thread(1).exit_code, 0);
+
+  // Results as the guest saw them: full, half, full.
+  EXPECT_EQ(s.output(0), "848");
+  // Bytes as the file saw them: 8 + 4 + 8. A double-applied partial (or a
+  // replayed write) would change the total.
+  EXPECT_EQ(s.syscalls().file_content(0).size(), 20u);
+  EXPECT_EQ(s.syscalls().injected_calls(), 1u);
+
+  // Exactly one trace entry per logical write, with sequential call indices
+  // — the once-per-call counter did not advance across park/resume.
+  std::vector<os::SyscallTraceEntry> writes;
+  for (const auto& e : s.syscalls().trace(0))
+    if (e.sysno == std::uint8_t(os::Sysno::Write)) writes.push_back(e);
+  ASSERT_EQ(writes.size(), 3u);
+  for (std::size_t i = 0; i < writes.size(); ++i) {
+    EXPECT_EQ(writes[i].call_index, i + 1);
+    EXPECT_EQ(writes[i].err, 0u);  // a short write is not an error
+    EXPECT_EQ(writes[i].injected, i == 1);
+  }
+}
+
+// The same interleaving with a latency-only plan: preemption around a parked
+// call must not change what the guest or the file observes — only ticks.
+TEST(GuestThreads, PreemptedLatencyOnlyWriteIsTransparent) {
+  const Program prog = make_writer_spinner();
+  const auto run = [&](bool inject) {
+    sim::SimConfig cfg;
+    cfg.quantum_insts = 3;
+    sim::Simulation s(cfg, prog);
+    s.spawn_main_thread({0});
+    s.spawn_thread(prog.entry, {1});
+    if (inject)
+      s.syscall_injector().add_plan(
+          fi::parse_syscall_plan("write@idx:2 latency:900"));
+    const auto rr = s.run(10'000'000);
+    EXPECT_EQ(rr.reason, sim::ExitReason::AllThreadsExited);
+    return std::tuple(s.output(0), s.syscalls().file_content(0).size(),
+                      s.syscalls().total_errors(), rr.ticks);
+  };
+  const auto [golden_out, golden_size, golden_errs, golden_ticks] = run(false);
+  const auto [out, size, errs, ticks] = run(true);
+  EXPECT_EQ(golden_out, "888");
+  EXPECT_EQ(out, golden_out);
+  EXPECT_EQ(size, golden_size);
+  EXPECT_EQ(errs, golden_errs);
+  EXPECT_GT(ticks, golden_ticks);
 }
 
 }  // namespace

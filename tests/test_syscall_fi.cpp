@@ -1,0 +1,596 @@
+// Syscall fault-injection tests: the plan grammar, the deterministic
+// injector, the failure-propagation classifier, the OS-layer injection
+// mechanics, and — the core differential — golden-vs-injected runs across
+// all three CPU models:
+//   * every errno:/latency:/partial:/corrupt: plan armed with probability 0
+//     must leave the run bit-identical to golden (commit-trace digest, final
+//     memory image, output, ticks, cache counters, FI log);
+//   * a firing latency: plan must change ticks and nothing else — the
+//     architectural trace, the guest output and the FI log stay identical.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "apps/app.hpp"
+#include "campaign/classify.hpp"
+#include "fi/syscall_fault.hpp"
+#include "mem/physmem.hpp"
+#include "os/syscall.hpp"
+#include "sim/simulation.hpp"
+#include "util/bytesio.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace gemfi;
+
+// ---------------------------------------------------------------- grammar --
+
+// Canonical lines: to_line() output must parse back to an identical line.
+const char* const kCanonicalLines[] = {
+    "write errno:EIO",
+    "write@idx:3 errno:EIO",
+    "read@idx:2-5 tid:0 partial:0.5",
+    "* p:0.01@0x1234 latency:2000",
+    "recv corrupt:3@0xbeef",
+    "write@idx:4 latency:500 partial:0.25",
+    "open@idx:2 errno:ENOENT",
+    "alloc errno:ENOMEM",
+    "send tid:3 p:0.5@0xdeadbeef errno:EMSGSIZE",
+    "close@idx:1-7 errno:EIO latency:12 partial:0.125 corrupt:1@0x1",
+    "* errno:ENOSYS",
+    "free p:0@0x0 errno:EINVAL",
+};
+
+TEST(SyscallPlanGrammar, RoundTripByteIdentity) {
+  for (const char* line : kCanonicalLines) {
+    const fi::SyscallFaultPlan p1 = fi::parse_syscall_plan(line);
+    const std::string rendered = p1.to_line();
+    EXPECT_EQ(rendered, line) << "not canonical";
+    const fi::SyscallFaultPlan p2 = fi::parse_syscall_plan(rendered);
+    EXPECT_EQ(p2.to_line(), rendered) << "parse -> render not a fixed point";
+  }
+}
+
+TEST(SyscallPlanGrammar, ParsedFieldsMatchSpec) {
+  const fi::SyscallFaultPlan p =
+      fi::parse_syscall_plan("read@idx:2-5 tid:0 p:0.25@0xabc partial:0.5");
+  EXPECT_EQ(p.target, os::Sysno::Read);
+  EXPECT_EQ(p.idx_lo, 2u);
+  EXPECT_EQ(p.idx_hi, 5u);
+  EXPECT_EQ(p.tid, 0);
+  EXPECT_EQ(p.prob_ppm, 250'000u);
+  EXPECT_EQ(p.prob_seed, 0xabcu);
+  EXPECT_TRUE(p.has_partial);
+  EXPECT_EQ(p.partial_ppm, 500'000u);
+  EXPECT_FALSE(p.has_errno);
+  EXPECT_FALSE(p.has_latency);
+  EXPECT_FALSE(p.has_corrupt);
+
+  const fi::SyscallFaultPlan any = fi::parse_syscall_plan("* errno:EIO");
+  EXPECT_TRUE(any.matches_any_syscall());
+  EXPECT_EQ(any.idx_lo, 1u);
+  EXPECT_EQ(any.idx_hi, ~0ull);
+  EXPECT_EQ(any.tid, -1);
+  EXPECT_EQ(any.prob_ppm, 1'000'000u);
+  EXPECT_TRUE(any.has_errno);
+  EXPECT_EQ(any.errno_code, os::kEIO);
+}
+
+TEST(SyscallPlanGrammar, RejectsMalformedInput) {
+  const char* const kBad[] = {
+      "",                            // empty
+      "write",                       // no behavior clause
+      "chdir errno:EIO",             // unknown syscall
+      "write errno:EWOULDBLOCK",     // unknown errno name
+      "write errno:",                // empty errno
+      "write partial:1.5",           // fraction out of [0, 1]
+      "write partial:-0.5",          // negative fraction
+      "write p:2 errno:EIO",         // probability out of range
+      "write p:0.5@1234 errno:EIO",  // seed must be 0x-hex
+      "write@idx: errno:EIO",        // empty index window
+      "write@idx:5-2 errno:EIO",     // inverted window
+      "write@idx:abc errno:EIO",     // non-numeric index
+      "write latency:abc",           // non-numeric latency
+      "write corrupt:0x2 errno:EIO", // corrupt count is decimal
+      "write bogus:1",               // unknown clause
+      "write errno:EIO trailing",    // trailing junk
+  };
+  for (const char* line : kBad)
+    EXPECT_THROW((void)fi::parse_syscall_plan(line), std::invalid_argument)
+        << "accepted: '" << line << "'";
+}
+
+// Every prefix of a valid line must either parse cleanly or throw
+// std::invalid_argument — never crash, never throw anything else.
+TEST(SyscallPlanGrammar, TruncationFuzzNeverCrashes) {
+  for (const char* line : kCanonicalLines) {
+    const std::string full(line);
+    for (std::size_t n = 0; n <= full.size(); ++n) {
+      const std::string prefix = full.substr(0, n);
+      try {
+        const fi::SyscallFaultPlan p = fi::parse_syscall_plan(prefix);
+        // Accepted prefixes must still round-trip.
+        EXPECT_EQ(fi::parse_syscall_plan(p.to_line()).to_line(), p.to_line());
+      } catch (const std::invalid_argument&) {
+        // Expected for malformed prefixes.
+      }
+    }
+  }
+}
+
+// Seeded hostile mutations: splice random bytes into valid lines. The parser
+// must stay total (parse or invalid_argument), and accepted mutants must
+// round-trip through their canonical rendering.
+TEST(SyscallPlanGrammar, MutationFuzzNeverCrashes) {
+  util::Rng rng(0xfeedfacecafeull);
+  const char kCharset[] = "abcdefghijklmnopqrstuvwxyz0123456789:@-.*% \t";
+  for (int iter = 0; iter < 4000; ++iter) {
+    std::string s = kCanonicalLines[rng.below(std::size(kCanonicalLines))];
+    const unsigned edits = 1 + unsigned(rng.below(4));
+    for (unsigned e = 0; e < edits; ++e) {
+      const std::size_t pos = s.empty() ? 0 : rng.below(s.size());
+      switch (rng.below(3)) {
+        case 0:  // overwrite
+          if (!s.empty()) s[pos] = kCharset[rng.below(std::size(kCharset) - 1)];
+          break;
+        case 1:  // insert
+          s.insert(s.begin() + pos, kCharset[rng.below(std::size(kCharset) - 1)]);
+          break;
+        default:  // delete
+          if (!s.empty()) s.erase(s.begin() + pos);
+          break;
+      }
+    }
+    try {
+      const fi::SyscallFaultPlan p = fi::parse_syscall_plan(s);
+      EXPECT_EQ(fi::parse_syscall_plan(p.to_line()).to_line(), p.to_line())
+          << "mutant '" << s << "' broke round-trip";
+    } catch (const std::invalid_argument&) {
+    }
+  }
+}
+
+// --------------------------------------------------------------- injector --
+
+TEST(SyscallInjector, DecisionsArePureFunctionsOfThePlan) {
+  const char* const kPlans[] = {
+      "write@idx:3 errno:EIO",
+      "read p:0.3@0x77 partial:0.5",
+      "* p:0.01@0x1234 latency:2000",
+  };
+  fi::SyscallFaultInjector a, b;
+  for (const char* line : kPlans) {
+    a.add_plan(fi::parse_syscall_plan(line));
+    b.add_plan(fi::parse_syscall_plan(line));
+  }
+  std::uint64_t fired = 0;
+  for (std::uint64_t tid = 0; tid < 3; ++tid) {
+    for (unsigned sn = 1; sn < os::kNumSysnos; ++sn) {
+      for (std::uint64_t idx = 1; idx <= 40; ++idx) {
+        const auto s = static_cast<os::Sysno>(sn);
+        const os::SyscallInjection ia = a.decide(s, idx, tid);
+        const os::SyscallInjection ib = b.decide(s, idx, tid);
+        EXPECT_EQ(ia.fired, ib.fired);
+        EXPECT_EQ(ia.force_errno, ib.force_errno);
+        EXPECT_EQ(ia.latency, ib.latency);
+        EXPECT_EQ(ia.has_partial, ib.has_partial);
+        EXPECT_EQ(ia.partial_ppm, ib.partial_ppm);
+        EXPECT_EQ(ia.corrupt_bits, ib.corrupt_bits);
+        EXPECT_EQ(ia.corrupt_seed, ib.corrupt_seed);
+        if (ia.fired) ++fired;
+      }
+    }
+  }
+  // The deterministic windowed plan alone guarantees some activity, and the
+  // probabilistic plans must not fire on (nearly) everything.
+  EXPECT_GT(fired, 0u);
+  EXPECT_LT(fired, 3u * (os::kNumSysnos - 1) * 40u);
+  EXPECT_EQ(a.total_applied(), b.total_applied());
+}
+
+TEST(SyscallInjector, ProbabilityZeroNeverFiresProbabilityOneAlwaysFires) {
+  fi::SyscallFaultInjector never, always;
+  never.add_plan(fi::parse_syscall_plan("write p:0 errno:EIO"));
+  always.add_plan(fi::parse_syscall_plan("write errno:EIO"));
+  for (std::uint64_t idx = 1; idx <= 1000; ++idx) {
+    EXPECT_FALSE(never.decide(os::Sysno::Write, idx, 0).fired);
+    EXPECT_TRUE(always.decide(os::Sysno::Write, idx, 0).fired);
+  }
+  EXPECT_EQ(never.total_applied(), 0u);
+  EXPECT_EQ(always.total_applied(), 1000u);
+}
+
+TEST(SyscallInjector, WindowThreadAndTargetFiltersSelect) {
+  fi::SyscallFaultInjector inj;
+  inj.add_plan(fi::parse_syscall_plan("write@idx:3-5 tid:1 errno:EIO"));
+  EXPECT_FALSE(inj.decide(os::Sysno::Write, 2, 1).fired);  // below window
+  EXPECT_TRUE(inj.decide(os::Sysno::Write, 3, 1).fired);
+  EXPECT_TRUE(inj.decide(os::Sysno::Write, 5, 1).fired);
+  EXPECT_FALSE(inj.decide(os::Sysno::Write, 6, 1).fired);  // above window
+  EXPECT_FALSE(inj.decide(os::Sysno::Write, 4, 0).fired);  // wrong thread
+  EXPECT_FALSE(inj.decide(os::Sysno::Read, 4, 1).fired);   // wrong syscall
+}
+
+TEST(SyscallInjector, MatchingPlansCombine) {
+  fi::SyscallFaultInjector inj;
+  inj.add_plan(fi::parse_syscall_plan("write latency:100"));
+  inj.add_plan(fi::parse_syscall_plan("write latency:700 partial:0.5"));
+  inj.add_plan(fi::parse_syscall_plan("* errno:EIO"));
+  const os::SyscallInjection d = inj.decide(os::Sysno::Write, 1, 0);
+  EXPECT_TRUE(d.fired);
+  EXPECT_EQ(d.latency, 700u);  // max of the latencies
+  EXPECT_TRUE(d.has_partial);
+  EXPECT_EQ(d.partial_ppm, 500'000u);
+  EXPECT_EQ(d.force_errno, os::kEIO);
+}
+
+// ------------------------------------------------------------- classifier --
+
+using TraceVec = std::vector<std::pair<std::uint64_t, os::SyscallTraceEntry>>;
+
+os::SyscallTraceEntry entry(os::Sysno s, std::uint16_t err, bool injected,
+                            std::uint64_t idx) {
+  os::SyscallTraceEntry e;
+  e.sysno = std::uint8_t(s);
+  e.err = err;
+  e.injected = injected;
+  e.call_index = idx;
+  return e;
+}
+
+TEST(SyscallClassifier, NoInjectionIsNoneEvenWhenUnhandled) {
+  const TraceVec empty;
+  EXPECT_EQ(campaign::classify_syscalls(empty, false).outcome,
+            campaign::SyscallOutcome::None);
+  // A crash without any injection is an architectural-fault story, not a
+  // syscall-fault one.
+  EXPECT_EQ(campaign::classify_syscalls(empty, true).outcome,
+            campaign::SyscallOutcome::None);
+
+  const TraceVec errors_only = {
+      {0, entry(os::Sysno::Write, os::kENOSPC, false, 1)},
+      {0, entry(os::Sysno::Write, os::kENOSPC, false, 2)},
+  };
+  const auto c = campaign::classify_syscalls(errors_only, true);
+  EXPECT_EQ(c.outcome, campaign::SyscallOutcome::None);
+  EXPECT_FALSE(c.injected);
+  EXPECT_EQ(c.cascade_len, 0u);
+}
+
+TEST(SyscallClassifier, InjectedWithNoLaterFailureIsMasked) {
+  const TraceVec t = {
+      {0, entry(os::Sysno::Write, os::kEIO, true, 3)},
+      {0, entry(os::Sysno::Write, 0, false, 4)},  // the retry succeeded
+  };
+  const auto c = campaign::classify_syscalls(t, false);
+  EXPECT_EQ(c.outcome, campaign::SyscallOutcome::MaskedByHandler);
+  EXPECT_TRUE(c.injected);
+  EXPECT_EQ(c.cascade_len, 0u);  // the N = 0 side of the boundary
+  EXPECT_FALSE(c.unrealistic);
+}
+
+TEST(SyscallClassifier, SingleLaterFailureIsCascadeOfExactlyOne) {
+  const TraceVec t = {
+      {0, entry(os::Sysno::Write, 0, true, 2)},  // injected partial, err 0
+      {0, entry(os::Sysno::Write, os::kENOSPC, false, 3)},
+  };
+  const auto c = campaign::classify_syscalls(t, false);
+  EXPECT_EQ(c.outcome, campaign::SyscallOutcome::Cascade);
+  EXPECT_EQ(c.cascade_len, 1u);  // the N = 1 side of the boundary
+}
+
+TEST(SyscallClassifier, PreInjectionErrorsDoNotCount) {
+  const TraceVec t = {
+      {0, entry(os::Sysno::Open, os::kENOENT, false, 1)},  // before injection
+      {0, entry(os::Sysno::Write, os::kEIO, true, 1)},
+      {0, entry(os::Sysno::Write, os::kENOSPC, false, 2)},
+      {0, entry(os::Sysno::Write, os::kENOSPC, false, 3)},
+  };
+  const auto c = campaign::classify_syscalls(t, false);
+  EXPECT_EQ(c.outcome, campaign::SyscallOutcome::Cascade);
+  EXPECT_EQ(c.cascade_len, 2u);
+}
+
+TEST(SyscallClassifier, LaterInjectedEntriesDoNotExtendTheChain) {
+  const TraceVec t = {
+      {0, entry(os::Sysno::Write, os::kEIO, true, 1)},
+      {0, entry(os::Sysno::Write, os::kENOSPC, false, 2)},
+      {0, entry(os::Sysno::Write, os::kEIO, true, 3)},  // injector activity
+      {0, entry(os::Sysno::Write, os::kENOSPC, false, 4)},
+  };
+  const auto c = campaign::classify_syscalls(t, false);
+  EXPECT_EQ(c.outcome, campaign::SyscallOutcome::Cascade);
+  EXPECT_EQ(c.cascade_len, 2u);
+}
+
+TEST(SyscallClassifier, ChainsAreProperlyPerThread) {
+  // tid 1's errors must not chain onto tid 0's injection; the run reports
+  // the longest chain across threads.
+  const TraceVec t = {
+      {0, entry(os::Sysno::Write, os::kEIO, true, 1)},
+      {1, entry(os::Sysno::Write, os::kENOSPC, false, 1)},
+      {1, entry(os::Sysno::Write, os::kENOSPC, false, 2)},
+      {2, entry(os::Sysno::Read, os::kEIO, true, 1)},
+      {2, entry(os::Sysno::Read, os::kEIO, false, 2)},
+  };
+  const auto c = campaign::classify_syscalls(t, false);
+  EXPECT_EQ(c.outcome, campaign::SyscallOutcome::Cascade);
+  EXPECT_EQ(c.cascade_len, 1u);  // tid 2's chain; tid 1 never chains
+}
+
+TEST(SyscallClassifier, UnhandledTakesPrecedenceOverCascade) {
+  const TraceVec t = {
+      {0, entry(os::Sysno::Write, os::kEIO, true, 1)},
+      {0, entry(os::Sysno::Write, os::kENOSPC, false, 2)},
+  };
+  const auto c = campaign::classify_syscalls(t, true);
+  EXPECT_EQ(c.outcome, campaign::SyscallOutcome::UnhandledError);
+  EXPECT_EQ(c.cascade_len, 1u);  // the chain length is still reported
+}
+
+TEST(SyscallClassifier, UnrealisticErrnoIsFlagged) {
+  // ENOSPC out of sys_recv: no real execution reaches that path.
+  const TraceVec unreal = {{0, entry(os::Sysno::Recv, os::kENOSPC, true, 1)}};
+  EXPECT_TRUE(campaign::classify_syscalls(unreal, false).unrealistic);
+
+  // ENOSPC out of sys_write is in the real table.
+  const TraceVec real = {{0, entry(os::Sysno::Write, os::kENOSPC, true, 1)}};
+  EXPECT_FALSE(campaign::classify_syscalls(real, false).unrealistic);
+
+  // A successful injected call (latency-only) carries no errno to judge.
+  const TraceVec latency = {{0, entry(os::Sysno::Recv, 0, true, 1)}};
+  EXPECT_FALSE(campaign::classify_syscalls(latency, false).unrealistic);
+}
+
+TEST(SyscallClassifier, OutcomeNamesAreStable) {
+  EXPECT_STREQ(campaign::syscall_outcome_name(campaign::SyscallOutcome::None), "none");
+  EXPECT_STREQ(campaign::syscall_outcome_name(campaign::SyscallOutcome::MaskedByHandler),
+               "masked-by-handler");
+  EXPECT_STREQ(campaign::syscall_outcome_name(campaign::SyscallOutcome::Cascade),
+               "cascade");
+  EXPECT_STREQ(campaign::syscall_outcome_name(campaign::SyscallOutcome::UnhandledError),
+               "unhandled-error");
+}
+
+// --------------------------------------------------------- OS-layer mechanics --
+
+TEST(SyscallLayerInjection, PartialWriteAppliesExactlyOnce) {
+  os::SyscallLayer sys;
+  mem::PhysMem pm(64 * 1024);
+  const std::uint64_t buf = 4096;
+  for (unsigned i = 0; i < 8; ++i) pm.raw()[buf + i] = std::uint8_t('a' + i);
+
+  const std::uint64_t open_args[3] = {7, os::kOpenWrite | os::kOpenCreate, 0};
+  const std::int64_t fd =
+      sys.execute(0, os::Sysno::Open, open_args,
+                  sys.next_call_index(0, os::Sysno::Open), {}, pm);
+  ASSERT_GE(fd, 0);
+
+  os::SyscallInjection inj;
+  inj.fired = true;
+  inj.has_partial = true;
+  inj.partial_ppm = 500'000;  // half of the requested length
+  const std::uint64_t wargs[3] = {std::uint64_t(fd), buf, 8};
+  const std::int64_t wrote =
+      sys.execute(0, os::Sysno::Write, wargs,
+                  sys.next_call_index(0, os::Sysno::Write), inj, pm);
+  EXPECT_EQ(wrote, 4);  // a short write, not an error
+  const auto content = sys.file_content(7);
+  ASSERT_EQ(content.size(), 4u);
+  EXPECT_EQ(0, std::memcmp(content.data(), "abcd", 4));
+
+  // The short transfer is a success at the ABI level; the entry still
+  // carries the injected mark the classifier keys on.
+  const auto& trace = sys.trace(0);
+  ASSERT_EQ(trace.size(), 2u);
+  EXPECT_EQ(trace[1].err, 0u);
+  EXPECT_TRUE(trace[1].injected);
+  EXPECT_EQ(sys.injected_calls(), 1u);
+}
+
+TEST(SyscallLayerInjection, ParkedCallCompletesOnceWithStoredDecisions) {
+  os::SyscallLayer sys;
+  mem::PhysMem pm(64 * 1024);
+  const std::uint64_t buf = 4096;
+  for (unsigned i = 0; i < 8; ++i) pm.raw()[buf + i] = std::uint8_t('0' + i);
+
+  const std::uint64_t open_args[3] = {3, os::kOpenWrite | os::kOpenCreate, 0};
+  const std::int64_t fd =
+      sys.execute(0, os::Sysno::Open, open_args,
+                  sys.next_call_index(0, os::Sysno::Open), {}, pm);
+  ASSERT_GE(fd, 0);
+
+  // A latency+partial injection parks at dispatch (decisions resolved once)
+  // and completes later with the stored decisions — the sequence a thread
+  // preempted or slept mid-call goes through.
+  os::SyscallInjection inj;
+  inj.fired = true;
+  inj.latency = 500;
+  inj.has_partial = true;
+  inj.partial_ppm = 250'000;
+  const std::uint64_t wargs[3] = {std::uint64_t(fd), buf, 8};
+  const std::uint64_t idx = sys.next_call_index(0, os::Sysno::Write);
+  sys.park(0, os::Sysno::Write, wargs, idx, inj);
+  EXPECT_TRUE(sys.has_pending(0));
+  EXPECT_TRUE(sys.file_content(3).empty());  // nothing applied at park time
+
+  const std::int64_t wrote = sys.complete_pending(0, pm);
+  EXPECT_EQ(wrote, 2);  // 8 * 0.25
+  EXPECT_FALSE(sys.has_pending(0));
+  EXPECT_EQ(sys.file_content(3).size(), 2u);
+  EXPECT_EQ(sys.trace(0).size(), 2u);  // open + exactly one write entry
+
+  // The next logical write gets the next index: the once-per-call counter
+  // advanced exactly once through the park/complete round trip.
+  EXPECT_EQ(sys.next_call_index(0, os::Sysno::Write), idx + 1);
+}
+
+TEST(SyscallLayerInjection, CallIndicesArePerThreadPerSyscall) {
+  os::SyscallLayer sys;
+  EXPECT_EQ(sys.next_call_index(0, os::Sysno::Write), 1u);
+  EXPECT_EQ(sys.next_call_index(0, os::Sysno::Write), 2u);
+  EXPECT_EQ(sys.next_call_index(0, os::Sysno::Read), 1u);  // separate stream
+  EXPECT_EQ(sys.next_call_index(1, os::Sysno::Write), 1u); // separate thread
+  EXPECT_EQ(sys.next_call_index(0, os::Sysno::Write), 3u);
+}
+
+// ------------------------------------- golden-vs-injected differential --
+
+constexpr std::uint64_t kFoldMul = 6364136223846793005ull;
+constexpr std::uint64_t kFoldAdd = 1442695040888963407ull;
+
+std::uint64_t fold(std::uint64_t h, std::uint64_t v) noexcept {
+  return (h ^ v) * kFoldMul + kFoldAdd;
+}
+
+/// Everything a run can observably produce, digested for equality checks
+/// (the lockstep harness shape, plus the syscall-layer counters).
+struct Trace {
+  std::uint64_t commits = 0;
+  std::uint64_t state_hash = 0;  // per-commit fold of PC + all registers
+  std::uint32_t mem_crc = 0;     // final physical-memory image
+  std::string output;
+  sim::ExitReason reason = sim::ExitReason::AllThreadsExited;
+  std::uint64_t ticks = 0;
+  std::array<std::uint64_t, 9> cache{};  // hits/misses/writebacks × L1I,L1D,L2
+  std::vector<std::string> fi_log;
+  std::uint64_t syscalls = 0;
+  std::uint64_t syscall_errors = 0;
+  std::uint64_t injected = 0;
+};
+
+Trace run_with_plans(const assembler::Program& prog, sim::CpuKind cpu,
+                     const std::vector<fi::SyscallFaultPlan>& plans) {
+  sim::SimConfig cfg;
+  cfg.cpu = cpu;
+  sim::Simulation s(cfg, prog);
+  s.spawn_main_thread();
+  for (const fi::SyscallFaultPlan& p : plans) s.syscall_injector().add_plan(p);
+
+  Trace t;
+  s.set_commit_observer([&t](const cpu::CommitEvent& ev, const cpu::ArchState& arch) {
+    ++t.commits;
+    std::uint64_t h = t.state_hash;
+    h = fold(h, ev.pc);
+    h = fold(h, arch.pc());
+    for (unsigned r = 0; r < 31; ++r) h = fold(h, arch.ireg(r));
+    for (unsigned r = 0; r < 31; ++r) h = fold(h, arch.freg_bits(r));
+    t.state_hash = h;
+  });
+
+  const sim::RunResult rr = s.run(500'000'000ull);
+  t.mem_crc = util::crc32(s.memsys().phys().raw());
+  t.output = s.output(0);
+  t.reason = rr.reason;
+  t.ticks = rr.ticks;
+  const mem::CacheStats* cs[3] = {&s.memsys().l1i_stats(), &s.memsys().l1d_stats(),
+                                  &s.memsys().l2_stats()};
+  for (std::size_t i = 0; i < 3; ++i) {
+    t.cache[i * 3 + 0] = cs[i]->hits;
+    t.cache[i * 3 + 1] = cs[i]->misses;
+    t.cache[i * 3 + 2] = cs[i]->writebacks;
+  }
+  t.fi_log = s.fault_manager().injection_log();
+  t.syscalls = s.syscalls().total_calls();
+  t.syscall_errors = s.syscalls().total_errors();
+  t.injected = s.syscalls().injected_calls();
+  return t;
+}
+
+/// Bit-identity across everything, ticks and cache counters included.
+void expect_identical(const Trace& a, const Trace& b, const std::string& label) {
+  EXPECT_EQ(a.commits, b.commits) << label;
+  EXPECT_EQ(a.state_hash, b.state_hash) << label << ": commit digest diverged";
+  EXPECT_EQ(a.mem_crc, b.mem_crc) << label << ": memory image diverged";
+  EXPECT_EQ(a.output, b.output) << label << ": guest output diverged";
+  EXPECT_EQ(a.reason, b.reason) << label;
+  EXPECT_EQ(a.ticks, b.ticks) << label << ": tick count diverged";
+  EXPECT_EQ(a.cache, b.cache) << label << ": cache counters diverged";
+  EXPECT_EQ(a.fi_log, b.fi_log) << label << ": FI log diverged";
+  EXPECT_EQ(a.syscalls, b.syscalls) << label;
+  EXPECT_EQ(a.syscall_errors, b.syscall_errors) << label;
+}
+
+constexpr sim::CpuKind kModels[] = {sim::CpuKind::AtomicSimple, sim::CpuKind::TimingSimple,
+                                    sim::CpuKind::Pipelined};
+
+// Probability-0 plans of every behavior family: armed but never firing, the
+// run must be bit-identical to golden on every CPU model — the FI layer's
+// observe-without-perturb contract at the syscall boundary.
+TEST(SyscallGoldenDifferential, ProbabilityZeroPlansAreBitIdenticalToGolden) {
+  const char* const kNeverFire[] = {
+      "write p:0@0x1 errno:EIO",
+      "write p:0@0x2 latency:2000",
+      "write p:0@0x3 partial:0.5",
+      "read p:0@0x4 corrupt:2@0xbeef",
+      "* p:0@0x5 errno:ENOSYS",
+  };
+  const apps::App app = apps::build_app("logwriter");
+  for (const sim::CpuKind cpu : kModels) {
+    const Trace golden = run_with_plans(app.program, cpu, {});
+    ASSERT_EQ(golden.reason, sim::ExitReason::AllThreadsExited)
+        << sim::cpu_kind_name(cpu);
+    ASSERT_GT(golden.syscalls, 0u) << "logwriter must exercise the syscall ABI";
+    for (const char* line : kNeverFire) {
+      const Trace t =
+          run_with_plans(app.program, cpu, {fi::parse_syscall_plan(line)});
+      expect_identical(t, golden,
+                       std::string(sim::cpu_kind_name(cpu)) + " / " + line);
+      EXPECT_EQ(t.injected, 0u) << line << ": a p:0 plan fired";
+    }
+  }
+}
+
+// A firing latency: plan changes the tick count and nothing else — commits,
+// memory, output, FI log and the syscall error trace all stay golden.
+TEST(SyscallGoldenDifferential, LatencyPlansChangeTicksOnly) {
+  const apps::App app = apps::build_app("logwriter");
+  const std::vector<fi::SyscallFaultPlan> plans = {
+      fi::parse_syscall_plan("write@idx:3 latency:2000")};
+  for (const sim::CpuKind cpu : kModels) {
+    const Trace golden = run_with_plans(app.program, cpu, {});
+    const Trace t = run_with_plans(app.program, cpu, plans);
+    const std::string label = sim::cpu_kind_name(cpu);
+    EXPECT_EQ(t.commits, golden.commits) << label;
+    EXPECT_EQ(t.state_hash, golden.state_hash) << label << ": commit digest diverged";
+    EXPECT_EQ(t.mem_crc, golden.mem_crc) << label << ": memory image diverged";
+    EXPECT_EQ(t.output, golden.output) << label << ": guest output diverged";
+    EXPECT_EQ(t.reason, golden.reason) << label;
+    EXPECT_EQ(t.fi_log, golden.fi_log) << label << ": FI log diverged";
+    EXPECT_EQ(t.syscalls, golden.syscalls) << label;
+    EXPECT_EQ(t.syscall_errors, golden.syscall_errors) << label;
+    EXPECT_EQ(t.injected, 1u) << label << ": the latency plan must fire once";
+    EXPECT_GT(t.ticks, golden.ticks) << label << ": latency must cost ticks";
+  }
+}
+
+// A forced one-shot errno on the retrying writer is absorbed by its bounded
+// retry loop: output identical to golden, classified masked-by-handler.
+TEST(SyscallGoldenDifferential, ForcedErrnoIsMaskedByTheRetryHandler) {
+  const apps::App app = apps::build_app("logwriter");
+  const std::vector<fi::SyscallFaultPlan> plans = {
+      fi::parse_syscall_plan("write@idx:3 errno:EIO")};
+  for (const sim::CpuKind cpu : kModels) {
+    sim::SimConfig cfg;
+    cfg.cpu = cpu;
+    sim::Simulation s(cfg, app.program);
+    s.spawn_main_thread();
+    for (const fi::SyscallFaultPlan& p : plans) s.syscall_injector().add_plan(p);
+    const sim::RunResult rr = s.run(500'000'000ull);
+    const std::string label = sim::cpu_kind_name(cpu);
+    ASSERT_EQ(rr.reason, sim::ExitReason::AllThreadsExited) << label;
+    EXPECT_EQ(s.scheduler().thread(0).exit_code, 0u) << label;
+    EXPECT_EQ(s.syscalls().injected_calls(), 1u) << label;
+    const auto c = campaign::classify_syscalls(s.syscalls().full_trace(), false);
+    EXPECT_EQ(c.outcome, campaign::SyscallOutcome::MaskedByHandler) << label;
+    EXPECT_FALSE(c.unrealistic) << label;
+  }
+}
+
+}  // namespace
