@@ -19,6 +19,7 @@ campaign::CampaignConfig Options::campaign_config() const {
   cfg.workers = workers == 0 ? std::max(1u, std::thread::hardware_concurrency()) : workers;
   cfg.predecode = predecode;
   cfg.fastpath = fastpath;
+  cfg.fastmode = fastmode;
   return cfg;
 }
 
@@ -44,6 +45,8 @@ Options parse_options(int argc, char** argv) {
       opt.predecode = false;
     } else if (arg == "--no-fastpath") {
       opt.fastpath = false;
+    } else if (arg == "--no-fastmode") {
+      opt.fastmode = false;
     } else if (arg.rfind("--json=", 0) == 0) {
       opt.json = arg.substr(7);
     } else if (arg.rfind("--apps=", 0) == 0) {
@@ -58,7 +61,7 @@ Options parse_options(int argc, char** argv) {
       std::printf(
           "options: --quick | --full | --n=<count> | --apps=a,b,c | "
           "--seed=<u64> | --workers=<k> | --no-predecode | --no-fastpath | "
-          "--json=<path>\n");
+          "--no-fastmode | --json=<path>\n");
       std::exit(0);
     } else {
       std::fprintf(stderr, "unknown option: %s (try --help)\n", arg.c_str());

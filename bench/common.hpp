@@ -14,6 +14,9 @@
 //   --no-fastpath  disable the timing-model fast lane — MRU cache hits, the
 //                  fetch line buffer, stall-cycle warping and the batched
 //                  TimingSimple loop (A/B check: tick-identical results)
+//   --no-fastmode  disable golden-path fast mode — the superblock
+//                  (threaded-code) tier above the atomic interpreter
+//                  (A/B check: digest-, tick- and fi-log-identical results)
 //   --json=<path>  additionally write every reported metric as a
 //                  BENCH_<name>.json machine-readable record
 // Default (no flags) is sized to finish on one core in a few minutes while
@@ -38,6 +41,7 @@ struct Options {
   unsigned workers = 0;  // 0 = hardware_concurrency
   bool predecode = true;
   bool fastpath = true;
+  bool fastmode = true;
   std::string json;  // empty = no JSON output
 
   /// Experiments per cell for a given default/quick/full sizing.

@@ -30,6 +30,10 @@
 //             [--no-fastpath]          disable the timing-model fast lane
 //                                      (MRU cache hits, stall warping, the
 //                                      batched TimingSimple loop)
+//             [--no-fastmode]          disable the golden-path superblock
+//                                      tier (threaded-code traces on the
+//                                      atomic model while the fault manager
+//                                      is quiescent); the A/B baseline
 //   gemfi_cli --app=<name> --campaign=<n>   seeded random-fault campaign
 //             [--seed=<u64>]           campaign seed (default 42)
 //             [--random-syscall-faults] additionally arm one seeded random
@@ -51,9 +55,17 @@
 //                                      gemfi_now_master / gemfi_now_worker
 //                                      for campaigns spanning real hosts
 //             [--slots=<k>]            experiment slots per --now-local worker
-//   gemfi_cli --app=<name> --replay=<index> --seed=<u64>
+//   gemfi_cli --app=<name> --replay=<index> --seed=<u64> [--record=<file.jsonl>]
 //             re-run one campaign experiment in isolation from its JSONL
-//             record's (seed, index); prints the record to stdout.
+//             record's (seed, index); prints the record to stdout. The
+//             record's "fastmode" field names the engine tier of the
+//             original run — pass --no-fastmode iff it says false. With
+//             --record, the original campaign JSONL is read and the replay
+//             asserts (exit 3) that the requested tier matches the record's
+//             "fastmode" field and that the re-run's canonical record is
+//             byte-identical to the original's (host-timing and checkpoint-
+//             restore-telemetry fields aside — those describe the host, not
+//             the simulated machine).
 //
 // Examples:
 //   echo 'RegisterInjectedFault Inst:2457 Flip:21 Threadid:0 system.cpu0 occ:1 int 1' > f.cfg
@@ -61,6 +73,7 @@
 //   ./gemfi_cli --app=dct --campaign=100 --seed=7 --workers=4
 //       --out=results.jsonl --progress
 //   ./gemfi_cli --app=dct --replay=17 --seed=7
+#include <cctype>
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
@@ -85,13 +98,14 @@ namespace {
                "usage: %s --app=<name> [--faults=<file>] [--fault=<line>] "
                "[--syscall-fault=<line>] [--cpu=atomic|timing|"
                "pipelined] [--paper] [--watchdog-mult=<k>] [--log] [--no-predecode]\n"
-               "           [--no-fastpath]\n"
+               "           [--no-fastpath] [--no-fastmode]\n"
                "       %s --app=<name> --campaign=<n> [--seed=<u64>] [--workers=<k>]\n"
                "           [--out=<file.jsonl>] [--progress] [--deadline=<sec>]\n"
                "           [--retries=<k>] [--ckpt-format=v1|v2] [--no-ckpt-compress]\n"
                "           [--no-shared-baseline] [--now-local=<n>] [--slots=<k>]\n"
                "           [--syscall-fault=<line>] [--random-syscall-faults]\n"
-               "       %s --app=<name> --replay=<index> --seed=<u64>\n",
+               "       %s --app=<name> --replay=<index> --seed=<u64> "
+               "[--record=<file.jsonl>]\n",
                argv0, argv0, argv0);
   std::exit(2);
 }
@@ -100,6 +114,61 @@ using cliflags::bad_value;
 using cliflags::parse_f64_flag;
 using cliflags::parse_u32_flag;
 using cliflags::parse_u64_flag;
+
+/// The campaign JSONL line of experiment `index` in `path`, or empty.
+/// Event/header records (no "index" field) are skipped.
+std::string find_record_line(const std::string& path, std::uint64_t index) {
+  std::ifstream in(path);
+  if (!in) return {};
+  const std::string key = "{\"index\":" + std::to_string(index) + ",";
+  std::string line;
+  while (std::getline(in, line))
+    if (line.rfind(key, 0) == 0) return line;
+  return {};
+}
+
+/// The value of a bool field in a JSONL record line; `fallback` if absent.
+bool record_bool_field(const std::string& line, const std::string& name, bool fallback) {
+  const std::string key = "\"" + name + "\":";
+  const std::size_t pos = line.find(key);
+  if (pos == std::string::npos) return fallback;
+  return line.compare(pos + key.size(), 4, "true") == 0;
+}
+
+/// A full record line reduced to the canonical (host-timing-free) form:
+/// the wall_seconds and fastmode fields are adjacent by construction
+/// (experiment_record_to_json emits them together), so one splice drops
+/// both. Returns the line unchanged when the fields are absent (the line
+/// was already canonical).
+std::string canonical_form(const std::string& line) {
+  const std::size_t begin = line.find(",\"wall_seconds\":");
+  if (begin == std::string::npos) return line;
+  const std::size_t end = line.find(",\"retries\":", begin);
+  if (end == std::string::npos) return line;
+  return line.substr(0, begin) + line.substr(end);
+}
+
+/// Reduce a canonical record to the fields a replay can reproduce, for the
+/// divergence check: drops the worker id (which campaign thread picked the
+/// experiment up — host scheduling) and the checkpoint-restore telemetry
+/// block (ckpt_format/restore_pages/restore_bytes — a shared-baseline
+/// campaign restore legitimately reports different costs than the isolated
+/// full restore a replay performs). Every simulated-outcome field stays.
+std::string replay_comparable(std::string line) {
+  const std::size_t wbegin = line.find(",\"worker\":");
+  if (wbegin != std::string::npos) {
+    std::size_t wend = wbegin + std::strlen(",\"worker\":");
+    while (wend < line.size() && std::isdigit(static_cast<unsigned char>(line[wend]))) ++wend;
+    line = line.substr(0, wbegin) + line.substr(wend);
+  }
+  const std::size_t begin = line.find(",\"ckpt_format\":");
+  if (begin == std::string::npos) return line;
+  std::size_t end = line.find(",\"restore_bytes\":", begin);
+  if (end == std::string::npos) return line;
+  end += std::strlen(",\"restore_bytes\":");
+  while (end < line.size() && std::isdigit(static_cast<unsigned char>(line[end]))) ++end;
+  return line.substr(0, begin) + line.substr(end);
+}
 
 }  // namespace
 
@@ -119,6 +188,7 @@ int main(int argc, char** argv) {
   std::uint64_t campaign_n = 0;
   std::uint64_t campaign_seed = 42;
   std::int64_t replay_index = -1;
+  std::string record_path;  // --replay: original campaign JSONL to check against
   unsigned workers = 1;
   unsigned now_local = 0;
   unsigned slots = 1;
@@ -129,6 +199,7 @@ int main(int argc, char** argv) {
   bool shared_baseline = true;
   bool predecode = true;
   bool fastpath = true;
+  bool fastmode = true;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -162,6 +233,8 @@ int main(int argc, char** argv) {
       campaign_seed = parse_u64_flag("seed", arg.substr(7));
     } else if (arg.rfind("--replay=", 0) == 0) {
       replay_index = std::int64_t(parse_u64_flag("replay", arg.substr(9)));
+    } else if (arg.rfind("--record=", 0) == 0) {
+      record_path = arg.substr(9);
     } else if (arg.rfind("--workers=", 0) == 0) {
       workers = parse_u32_flag("workers", arg.substr(10));
     } else if (arg.rfind("--now-local=", 0) == 0) {
@@ -189,6 +262,8 @@ int main(int argc, char** argv) {
       predecode = false;
     } else if (arg == "--no-fastpath") {
       fastpath = false;
+    } else if (arg == "--no-fastmode") {
+      fastmode = false;
     } else {
       usage(argv[0]);
     }
@@ -243,6 +318,7 @@ int main(int argc, char** argv) {
   cfg.shared_baseline = shared_baseline;
   cfg.predecode = predecode;
   cfg.fastpath = fastpath;
+  cfg.fastmode = fastmode;
   cfg.syscall_plans = syscall_plans;
   cfg.random_syscall_faults = random_syscall_faults;
 
@@ -259,6 +335,7 @@ int main(int argc, char** argv) {
     scfg.cpu = cpu;
     scfg.predecode = predecode;
     scfg.fastpath = fastpath;
+    scfg.fastmode = fastmode;
     sim::Simulation s(scfg, prog);
     s.spawn_main_thread();
     s.fault_manager().load_faults(faults);
@@ -310,18 +387,48 @@ int main(int argc, char** argv) {
     // Re-run one campaign experiment in isolation: (seed, index) from its
     // JSONL record regenerate the identical fault deterministically.
     const std::uint64_t index = std::uint64_t(replay_index);
+    // With --record, the original record's "fastmode" field names the
+    // engine tier that produced it; the replay must be forced onto the
+    // identical tier (the presence/absence of --no-fastmode) before it
+    // runs, or it is not a replay of the same machine.
+    std::string original;
+    if (!record_path.empty()) {
+      original = find_record_line(record_path, index);
+      if (original.empty()) {
+        std::fprintf(stderr, "replay %llu: no record with that index in %s\n",
+                     (unsigned long long)index, record_path.c_str());
+        return 2;
+      }
+      const bool recorded = record_bool_field(original, "fastmode", cfg.fastmode);
+      if (recorded != cfg.fastmode) {
+        std::fprintf(stderr,
+                     "replay %llu: engine tier mismatch (record ran fastmode=%d, "
+                     "requested %d; pass --no-fastmode iff the record says false)\n",
+                     (unsigned long long)index, int(recorded), int(cfg.fastmode));
+        return 3;
+      }
+    }
     const fi::Fault f = campaign::seeded_fault_any(campaign_seed, index, ca.kernel_fetches);
     const auto plans = campaign::plans_for_experiment(cfg, index);
     const auto er = campaign::run_experiment_with_retry(ca, f, cfg, &plans);
     const campaign::ExperimentRecord rec{
         std::size_t(index), 0, campaign::experiment_seed(campaign_seed, index), er};
     // Deterministic form (no host timing): two replays of the same (seed,
-    // index, plans) print byte-identical records.
-    std::printf("%s\n",
-                campaign::experiment_record_to_json(rec, /*include_host_timing=*/false).c_str());
-    std::fprintf(stderr, "replay %llu: %s (exit %s)\n", (unsigned long long)index,
+    // index, plans) print byte-identical records — fast mode on or off.
+    const std::string canonical =
+        campaign::experiment_record_to_json(rec, /*include_host_timing=*/false);
+    if (!original.empty() &&
+        replay_comparable(canonical) != replay_comparable(canonical_form(original))) {
+      std::fprintf(stderr, "replay %llu: record diverged from the original\n  ran: %s\n  was: %s\n",
+                   (unsigned long long)index, canonical.c_str(),
+                   canonical_form(original).c_str());
+      return 3;
+    }
+    std::printf("%s\n", canonical.c_str());
+    std::fprintf(stderr, "replay %llu: %s (exit %s, fastmode=%d)\n",
+                 (unsigned long long)index,
                  apps::outcome_name(er.classification.outcome),
-                 sim::exit_reason_name(er.exit_reason));
+                 sim::exit_reason_name(er.exit_reason), int(er.fastmode));
     return 0;
   }
 
@@ -336,6 +443,9 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "%s\n", e.what());
         return 2;
       }
+      // Calibration header: the golden-run costs and wall time, plus the
+      // engine tier, as the stream's first record.
+      sink->write_line(campaign::calibration_record_to_json(app_name, ca, cfg.fastmode));
       tee.add(sink.get());
     }
     if (progress) {
@@ -410,6 +520,7 @@ int main(int argc, char** argv) {
   scfg.switch_to_atomic_after_fault = faults.size() == 1;
   scfg.predecode = predecode;
   scfg.fastpath = fastpath;
+  scfg.fastmode = fastmode;
   sim::Simulation s(scfg, ca.app.program);
   s.spawn_main_thread();
   ca.checkpoint.restore_into(s);

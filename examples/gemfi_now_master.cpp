@@ -13,6 +13,9 @@
 //       [--worker-timeout=<s>] silence before a worker is declared dead
 //       [--slow-redispatch=<s>] re-dispatch an experiment stuck this long
 //       [--out=<file.jsonl>] [--progress]
+//       [--no-fastmode]        disable the golden-path superblock tier for
+//                              calibration and every worker (A/B baseline;
+//                              the flag ships to workers in the Welcome)
 //       [--cpu=...] [--paper] [--deadline=<s>] [--retries=<k>] ...
 //
 // ^C drains gracefully: dispatch stops, in-flight results are collected,
@@ -39,7 +42,8 @@ namespace {
                "           [--worker-timeout=<s>] [--slow-redispatch=<s>]\n"
                "           [--out=<file.jsonl>] [--progress] [--cpu=atomic|timing|"
                "pipelined]\n"
-               "           [--paper] [--deadline=<s>] [--retries=<k>] [--watchdog-mult=<k>]\n",
+               "           [--paper] [--deadline=<s>] [--retries=<k>] [--watchdog-mult=<k>]\n"
+               "           [--no-fastmode]\n",
                argv0);
   std::exit(2);
 }
@@ -91,6 +95,7 @@ int main(int argc, char** argv) {
       cfg.max_retries = parse_u32_flag("retries", arg.substr(10));
     else if (arg.rfind("--watchdog-mult=", 0) == 0)
       cfg.watchdog_mult = parse_u64_flag("watchdog-mult", arg.substr(16));
+    else if (arg == "--no-fastmode") cfg.fastmode = false;
     else usage(argv[0]);
   }
   if (app_name.empty() || campaign_n == 0) usage(argv[0]);
@@ -114,6 +119,7 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "%s\n", e.what());
       return 2;
     }
+    sink->write_line(campaign::calibration_record_to_json(app_name, ca, cfg.fastmode));
     tee.add(sink.get());
   }
   if (progress) {

@@ -35,7 +35,7 @@ namespace {
       "           [--tenant=<t>] [--name=<label>] [--seed=<u64>] [--weight=<k>]\n"
       "           [--max-workers=<k>] [--cpu=atomic|timing|pipelined] [--paper]\n"
       "           [--deadline=<s>] [--retries=<k>] [--watchdog-mult=<k>]\n"
-      "           [--wait] [--out=<file.jsonl>]\n"
+      "           [--no-fastmode] [--wait] [--out=<file.jsonl>]\n"
       "       %s --port=<p> --status[=<id>]\n"
       "       %s --port=<p> --cancel=<id>\n"
       "       %s --port=<p> --watch=<id> [--out=<file.jsonl>]\n",
@@ -116,6 +116,7 @@ int main(int argc, char** argv) {
       spec.max_retries = parse_u32_flag("retries", arg.substr(10));
     else if (arg.rfind("--watchdog-mult=", 0) == 0)
       spec.watchdog_mult = parse_u64_flag("watchdog-mult", arg.substr(16));
+    else if (arg == "--no-fastmode") spec.fastmode = false;
     else if (arg == "--status") do_status = true;
     else if (arg.rfind("--status=", 0) == 0) {
       do_status = true;

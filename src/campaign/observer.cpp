@@ -32,7 +32,8 @@ std::string experiment_record_to_json(const ExperimentRecord& rec, bool include_
       .field("applied", er.fault_applied)
       .field("time_fraction", er.time_fraction)
       .field("sim_ticks", er.sim_ticks);
-  if (include_host_timing) w.field("wall_seconds", er.wall_seconds);
+  if (include_host_timing)
+    w.field("wall_seconds", er.wall_seconds).field("fastmode", er.fastmode);
   w.field("retries", std::uint64_t(er.retries));
   if (er.ckpt_version != 0) {
     w.field("ckpt_format",
@@ -58,6 +59,19 @@ std::string experiment_record_to_json(const ExperimentRecord& rec, bool include_
   return w.str();
 }
 
+std::string calibration_record_to_json(const std::string& app_name, const CalibratedApp& ca,
+                                       bool fastmode) {
+  jsonl::ObjectWriter w;
+  w.field("event", "calibrated")
+      .field("app", app_name)
+      .field("golden_insts", ca.golden_committed)
+      .field("kernel_fetches", ca.kernel_fetches)
+      .field("golden_ticks", ca.golden_ticks)
+      .field("calib_wall_seconds", ca.calib_wall_seconds)
+      .field("fastmode", fastmode);
+  return w.str();
+}
+
 JsonlSink::JsonlSink(const std::string& path)
     : owned_(path, std::ios::out | std::ios::trunc), os_(&owned_) {
   if (!owned_) throw std::runtime_error("cannot open JSONL output file: " + path);
@@ -66,7 +80,10 @@ JsonlSink::JsonlSink(const std::string& path)
 JsonlSink::JsonlSink(std::ostream& os) : os_(&os) {}
 
 void JsonlSink::on_experiment(const ExperimentRecord& rec) {
-  const std::string line = experiment_record_to_json(rec);
+  write_line(experiment_record_to_json(rec));
+}
+
+void JsonlSink::write_line(const std::string& line) {
   std::lock_guard lock(mutex_);
   *os_ << line << '\n';
   os_->flush();

@@ -26,12 +26,20 @@ namespace gemfi::campaign {
 /// fi::parse_fault(), and (seed, index) regenerate the fault via
 /// seeded_fault_any() when the campaign used seeded generation.
 ///
-/// With `include_host_timing` false, the host-dependent fields (wall_seconds)
-/// are omitted; every remaining field is a pure function of the seeded
-/// simulation, so two runs of the same campaign produce byte-identical lines
-/// — the form the determinism regression tests compare.
+/// With `include_host_timing` false, the host-side fields (wall_seconds, and
+/// the fast-mode flag recording which engine tier produced the run) are
+/// omitted; every remaining field is a pure function of the seeded
+/// simulation, so two runs of the same campaign — fast mode on or off —
+/// produce byte-identical lines, the form the determinism regression tests
+/// and `--replay` compare.
 std::string experiment_record_to_json(const ExperimentRecord& rec,
                                       bool include_host_timing = true);
+
+/// One "calibrated" header line for a campaign JSONL stream: the golden-run
+/// costs, the host wall time calibration took, and the engine tier that
+/// produced it. Emitted before the experiment records by the campaign CLIs.
+std::string calibration_record_to_json(const std::string& app_name, const CalibratedApp& ca,
+                                       bool fastmode);
 
 class CampaignObserver {
  public:
@@ -52,6 +60,9 @@ class JsonlSink final : public CampaignObserver {
   explicit JsonlSink(std::ostream& os);
 
   void on_experiment(const ExperimentRecord& rec) override;
+
+  /// Append one pre-rendered JSON line (e.g. the calibration header record).
+  void write_line(const std::string& line);
 
   [[nodiscard]] std::size_t lines_written() const noexcept { return lines_; }
 

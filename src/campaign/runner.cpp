@@ -29,6 +29,7 @@ sim::SimConfig make_sim_config(const CampaignConfig& cfg) {
   scfg.switch_to_atomic_after_fault = cfg.switch_to_atomic_after_fault;
   scfg.predecode = cfg.predecode;
   scfg.fastpath = cfg.fastpath;
+  scfg.fastmode = cfg.fastmode;
   if (cfg.sys_file_capacity != 0) scfg.sys_file_capacity = cfg.sys_file_capacity;
   return scfg;
 }
@@ -43,6 +44,7 @@ ExperimentResult execute_faulted_run(sim::Simulation& s, const CalibratedApp& ca
                                      const std::vector<fi::SyscallFaultPlan>& plans) {
   ExperimentResult er;
   er.fault = fault;
+  er.fastmode = cfg.fastmode;
   er.time_fraction = ca.kernel_fetches == 0
                          ? 0.0
                          : double(fault.time) / double(ca.kernel_fetches);
@@ -132,6 +134,7 @@ ExperimentResult retry_policy(const CalibratedApp& ca, const fi::Fault& fault,
 
 CalibratedApp calibrate(apps::App app, const CampaignConfig& cfg) {
   CalibratedApp ca;
+  const auto t0 = Clock::now();
 
   sim::Simulation s(make_sim_config(cfg), app.program);
   s.spawn_main_thread();
@@ -162,6 +165,7 @@ CalibratedApp calibrate(apps::App app, const CampaignConfig& cfg) {
   ca.kernel_fetches = s.fault_manager().last_deactivated_fetched();
   ca.ticks_to_checkpoint = ticks_at_ckpt;
   ca.checkpoint = std::move(ckpt);
+  ca.calib_wall_seconds = seconds_since(t0);
   ca.app = std::move(app);
   if (ca.kernel_fetches == 0)
     throw std::runtime_error("app '" + ca.app.name + "' has an empty FI window");

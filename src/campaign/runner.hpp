@@ -26,6 +26,7 @@ struct CampaignConfig {
   bool use_checkpoint = true;                // Sec. III-D fast-forwarding
   bool predecode = true;                     // predecoded-instruction cache
   bool fastpath = true;                      // timing-model fast lane (A/B)
+  bool fastmode = true;                      // superblock golden-path tier (A/B)
   unsigned workers = 1;                      // local experiment parallelism
   std::uint64_t watchdog_mult = 8;           // watchdog = mult * golden ticks
 
@@ -90,6 +91,7 @@ struct CalibratedApp {
   std::uint64_t golden_committed = 0;
   std::uint64_t kernel_fetches = 0;      // fetches inside the FI window
   std::uint64_t ticks_to_checkpoint = 0; // pre-checkpoint (init+boot) ticks
+  double calib_wall_seconds = 0.0;       // host wall time of the golden run
 };
 
 /// Run the app fault-free on the campaign CPU model, capture the checkpoint
@@ -163,6 +165,8 @@ struct ExperimentResult {
   std::uint64_t sim_ticks = 0;  // simulated ticks consumed by the experiment
   double wall_seconds = 0.0;    // host wall time (all attempts)
   unsigned retries = 0;         // attempts beyond the first (see max_retries)
+  bool fastmode = true;         // golden-path tier armed for this run (replay
+                                // must force the identical engagement decision)
   std::string sim_error;        // simulator-internal failure, retries exhausted
 
   // Checkpoint-restore telemetry (0/absent when the experiment ran from

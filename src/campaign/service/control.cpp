@@ -43,6 +43,7 @@ std::vector<std::uint8_t> encode_submit(const CampaignSpec& spec) {
   w.put_f64(spec.retry_backoff);
   w.put_bool(spec.predecode);
   w.put_bool(spec.fastpath);
+  w.put_bool(spec.fastmode);  // v4
   return w.take();
 }
 
@@ -65,6 +66,7 @@ CampaignSpec decode_submit(std::span<const std::uint8_t> payload) {
   s.retry_backoff = r.get_f64();
   s.predecode = r.get_bool();
   s.fastpath = r.get_bool();
+  s.fastmode = r.get_bool();  // v4
   expect_end(r, "SubmitCampaign");
   s.validate();  // std::invalid_argument on an unusable spec
   return s;

@@ -74,6 +74,9 @@ Journal::Journal(std::string root) : root_(std::move(root)) {
         } else if (event == "done" || event == "cancelled" || event == "failed") {
           const auto it = table.find(id);
           if (it != table.end()) it->second.terminal = true;
+        } else if (event == "calibrated") {
+          // Informational (calibration cost); the restarted service
+          // recalibrates anyway, so nothing to replay.
         } else {
           ++recovered_.skipped_lines;
         }
@@ -137,6 +140,16 @@ void Journal::record_submit(std::uint64_t id, const CampaignSpec& spec) {
   line += ',';
   line += spec_json.substr(1);  // skip '{'
   append_event_line(line);
+}
+
+void Journal::record_calibrated(std::uint64_t id, double calib_wall_seconds,
+                                bool fastmode) {
+  jsonl::ObjectWriter w;
+  w.field("event", "calibrated")
+      .field("id", id)
+      .field("calib_wall_seconds", calib_wall_seconds)
+      .field("fastmode", fastmode);
+  append_event_line(w.str());
 }
 
 void Journal::record_terminal(std::uint64_t id, CampaignState state,

@@ -180,7 +180,8 @@ struct CampaignService::Impl {
           std::to_string(job.spec.app_scale_seed) + "|" +
           std::to_string(job.spec.cpu) + "|" +
           std::to_string(job.spec.watchdog_mult) + "|" +
-          (job.spec.predecode ? "d" : "-") + (job.spec.fastpath ? "f" : "-");
+          (job.spec.predecode ? "d" : "-") + (job.spec.fastpath ? "f" : "-") +
+          (job.spec.fastmode ? "m" : "-");
       try {
         auto it = cache.find(key);
         if (it == cache.end()) {
@@ -228,6 +229,9 @@ struct CampaignService::Impl {
       }
       c.ca = std::move(d.ca);
       c.cfg = c.spec.to_campaign_config();
+      // Durable calibration cost record: a restarted service recalibrates, so
+      // the journal keeps one "calibrated" line per completed calibration.
+      journal.record_calibrated(c.id, c.ca.calib_wall_seconds, c.cfg.fastmode);
       const auto payload =
           wire::encode_welcome(wire::Welcome::from(c.ca, c.spec.to_scale(), c.cfg));
       c.welcome_payload_bytes = payload.size();

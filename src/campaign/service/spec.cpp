@@ -25,6 +25,7 @@ CampaignConfig CampaignSpec::to_campaign_config() const {
   cfg.retry_backoff = retry_backoff;
   cfg.predecode = predecode;
   cfg.fastpath = fastpath;
+  cfg.fastmode = fastmode;
   return cfg;
 }
 
@@ -52,7 +53,8 @@ std::string CampaignSpec::to_json() const {
       .field("retries", std::uint64_t(max_retries))
       .field("retry_backoff", retry_backoff)
       .field("predecode", predecode)
-      .field("fastpath", fastpath);
+      .field("fastpath", fastpath)
+      .field("fastmode", fastmode);
   return w.str();
 }
 
@@ -76,6 +78,7 @@ CampaignSpec CampaignSpec::from_json(const jsonl::Value& v) {
   if (v.has("retry_backoff")) s.retry_backoff = v.at("retry_backoff").as_double();
   if (v.has("predecode")) s.predecode = v.at("predecode").as_bool();
   if (v.has("fastpath")) s.fastpath = v.at("fastpath").as_bool();
+  if (v.has("fastmode")) s.fastmode = v.at("fastmode").as_bool();
   s.validate();
   return s;
 }

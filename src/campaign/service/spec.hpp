@@ -43,6 +43,7 @@ struct CampaignSpec {
   double retry_backoff = 2.0;
   bool predecode = true;
   bool fastpath = true;
+  bool fastmode = true;  // superblock golden-path tier (A/B knob)
 
   /// Throws std::invalid_argument on an unusable spec (no app, zero
   /// experiments, out-of-range cpu kind, empty tenant, zero weight).

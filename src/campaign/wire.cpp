@@ -42,6 +42,7 @@ void put_result(ByteWriter& w, const ExperimentResult& er) {
   w.put_bool(er.syscall_class.injected);
   w.put_bool(er.syscall_class.unrealistic);
   w.put_u64(er.syscalls_injected);
+  w.put_bool(er.fastmode);  // v4
 }
 
 ExperimentResult get_result(ByteReader& r) {
@@ -74,6 +75,7 @@ ExperimentResult get_result(ByteReader& r) {
   er.syscall_class.injected = r.get_bool();
   er.syscall_class.unrealistic = r.get_bool();
   er.syscalls_injected = r.get_u64();
+  er.fastmode = r.get_bool();  // v4
   return er;
 }
 
@@ -119,6 +121,7 @@ Welcome Welcome::from(const CalibratedApp& ca, const apps::AppScale& scale,
   w.use_checkpoint = cfg.use_checkpoint;
   w.predecode = cfg.predecode;
   w.fastpath = cfg.fastpath;
+  w.fastmode = cfg.fastmode;
   w.shared_baseline = cfg.shared_baseline;
   w.watchdog_mult = cfg.watchdog_mult;
   w.campaign_seed = cfg.campaign_seed;
@@ -157,6 +160,7 @@ CampaignConfig Welcome::rebuild_config() const {
   cfg.use_checkpoint = use_checkpoint;
   cfg.predecode = predecode;
   cfg.fastpath = fastpath;
+  cfg.fastmode = fastmode;
   cfg.shared_baseline = shared_baseline;
   cfg.watchdog_mult = watchdog_mult;
   cfg.campaign_seed = campaign_seed;
@@ -199,6 +203,7 @@ std::vector<std::uint8_t> encode_welcome(const Welcome& w) {
   b.put_u32(std::uint32_t(w.syscall_plan_lines.size()));
   for (const std::string& line : w.syscall_plan_lines) b.put_string(line);
   b.put_bool(w.random_syscall_faults);
+  b.put_bool(w.fastmode);  // v4: appended so a v3 decoder sees trailing bytes
   return b.take();
 }
 
@@ -234,6 +239,7 @@ Welcome decode_welcome(std::span<const std::uint8_t> payload) {
   for (std::uint32_t i = 0; i < n_plans; ++i)
     w.syscall_plan_lines.push_back(r.get_string());
   w.random_syscall_faults = r.get_bool();
+  w.fastmode = r.get_bool();  // v4
   if (!r.at_end()) throw DeserializeError("trailing bytes in Welcome");
   return w;
 }

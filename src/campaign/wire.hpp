@@ -25,9 +25,12 @@ namespace gemfi::campaign::wire {
 /// v1 is the original master/worker dispatch protocol; v2 adds the campaign-
 /// service control plane (message types 10+ below); v3 appends the syscall-
 /// fault fields to Welcome and Result, so pre-v3 peers reject those frames as
-/// malformed (trailing bytes) instead of silently dropping the plans. Masters
-/// accept any Hello version in [1, kProtocolVersion].
-inline constexpr std::uint32_t kProtocolVersion = 3;
+/// malformed (trailing bytes) instead of silently dropping the plans; v4
+/// appends the golden-path fast-mode flag to both Welcome (so every worker
+/// runs the same engine tier as the master decided) and Result (so replay can
+/// force the identical engagement decision). Masters accept any Hello version
+/// in [1, kProtocolVersion].
+inline constexpr std::uint32_t kProtocolVersion = 4;
 
 enum class MsgType : std::uint8_t {
   // --- worker plane (unchanged since v1) ---
@@ -80,6 +83,7 @@ struct Welcome {
   bool use_checkpoint = true;
   bool predecode = true;
   bool fastpath = true;
+  bool fastmode = true;  // superblock golden-path tier (v4)
   bool shared_baseline = true;
   std::uint64_t watchdog_mult = 8;
   std::uint64_t campaign_seed = 0;

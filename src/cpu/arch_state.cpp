@@ -12,6 +12,11 @@ void ArchState::deserialize(util::ByteReader& r) {
   for (auto& reg : iregs_) reg = r.get_u64();
   for (auto& reg : fregs_) reg = r.get_u64();
   pc_ = r.get_u64();
+  // A corrupt checkpoint must not break the raw-file invariant the
+  // superblock executor relies on (slot 31 == 0); the accessors already
+  // read these slots as zero, so this changes no observable state.
+  iregs_[isa::kZeroReg] = 0;
+  fregs_[isa::kFpZeroReg] = 0;
 }
 
 }  // namespace gemfi::cpu

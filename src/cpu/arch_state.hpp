@@ -41,6 +41,13 @@ class ArchState {
   [[nodiscard]] std::uint64_t pc() const noexcept { return pc_; }
   void set_pc(std::uint64_t pc) noexcept { pc_ = pc; }
 
+  // Raw 32-slot register files for the superblock executor's inner loop.
+  // Invariant: slot 31 of each file is always zero — the accessor setters
+  // never write it, deserialize() re-zeroes it, and the trace executor skips
+  // dst==31 writebacks — so reads need no zero-register branch.
+  [[nodiscard]] std::uint64_t* iregs_raw() noexcept { return iregs_; }
+  [[nodiscard]] std::uint64_t* fregs_raw() noexcept { return fregs_; }
+
   /// Generic access used by the register-file fault injector.
   /// reg in [0,32) -> integer file, [32,64) -> FP file (bits).
   [[nodiscard]] std::uint64_t reg_by_flat_index(unsigned idx) const noexcept {

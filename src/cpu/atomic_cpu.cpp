@@ -97,61 +97,63 @@ void SimpleCpu::exec_one(CommitEvent& ev) {
   ++stats_.committed;
 }
 
+void SimpleCpu::make_stop_event(CommitEvent& ev, const isa::Decoded* d, std::uint64_t pc,
+                                const TrapInfo& trap, bool is_pseudo) noexcept {
+  ev = CommitEvent{};
+  if (d != nullptr) ev.d = *d;  // null only on a fetch fault
+  ev.pc = pc;
+  ev.trap = trap;
+  ev.is_pseudo = is_pseudo;
+}
+
+bool SimpleCpu::atomic_batch_step(BatchResult& br, CommitEvent& ev) {
+  ++br.ticks;
+  const std::uint64_t pc = arch_.pc();
+  const isa::Decoded* d = ms_.predecode(pc);
+  isa::Decoded live;
+  if (d == nullptr) {
+    // Cache miss path: disabled cache, unmapped/misaligned PC. Fetch and
+    // decode live, reproducing the exact AccessError on a bad PC.
+    std::uint32_t word = 0;
+    const mem::AccessError fe = ms_.fetch(pc, word);
+    if (fe != mem::AccessError::None) {
+      make_stop_event(ev, nullptr, pc, {TrapKind::FetchFault, fe, pc}, false);
+      br.stopped = true;
+      return false;
+    }
+    live = isa::decode(word);
+    d = &live;
+  }
+  const Operands ops = read_operands(*d, arch_);
+  ExecOut out = execute(*d, ops, pc);
+  if (out.trap.pending()) {
+    make_stop_event(ev, d, pc, out.trap, false);
+    br.stopped = true;
+    return false;
+  }
+  if (d->is_mem_access()) {
+    const TrapInfo mt = do_mem(*d, out, ms_);
+    if (mt.pending()) {
+      make_stop_event(ev, d, pc, mt, false);
+      br.stopped = true;
+      return false;
+    }
+  }
+  writeback(*d, out, arch_);
+  ++br.commits;
+  if (out.is_pseudo) {
+    make_stop_event(ev, d, pc, TrapInfo{}, true);
+    br.stopped = true;
+    return false;
+  }
+  return true;
+}
+
 BatchResult SimpleCpu::run_atomic_batch(std::uint64_t max_ticks, CommitEvent& ev) {
   BatchResult br;
   if (timing_ || hooks_ != nullptr || !fetch_enabled_ || busy_ != 0 || pending_) return br;
-  while (br.ticks < max_ticks) {
-    ++br.ticks;
-    const std::uint64_t pc = arch_.pc();
-    const isa::Decoded* d = ms_.predecode(pc);
-    isa::Decoded live;
-    if (d == nullptr) {
-      // Cache miss path: disabled cache, unmapped/misaligned PC. Fetch and
-      // decode live, reproducing the exact AccessError on a bad PC.
-      std::uint32_t word = 0;
-      const mem::AccessError fe = ms_.fetch(pc, word);
-      if (fe != mem::AccessError::None) {
-        ev = CommitEvent{};
-        ev.pc = pc;
-        ev.trap = {TrapKind::FetchFault, fe, pc};
-        br.stopped = true;
-        break;
-      }
-      live = isa::decode(word);
-      d = &live;
-    }
-    const Operands ops = read_operands(*d, arch_);
-    ExecOut out = execute(*d, ops, pc);
-    if (out.trap.pending()) {
-      ev = CommitEvent{};
-      ev.d = *d;
-      ev.pc = pc;
-      ev.trap = out.trap;
-      br.stopped = true;
-      break;
-    }
-    if (d->is_mem_access()) {
-      const TrapInfo mt = do_mem(*d, out, ms_);
-      if (mt.pending()) {
-        ev = CommitEvent{};
-        ev.d = *d;
-        ev.pc = pc;
-        ev.trap = mt;
-        br.stopped = true;
-        break;
-      }
-    }
-    writeback(*d, out, arch_);
-    ++br.commits;
-    if (out.is_pseudo) {
-      ev = CommitEvent{};
-      ev.d = *d;
-      ev.pc = pc;
-      ev.is_pseudo = true;
-      br.stopped = true;
-      break;
-    }
-  }
+  while (br.ticks < max_ticks)
+    if (!atomic_batch_step(br, ev)) break;
   stats_.ticks += br.ticks;
   stats_.fetched += br.ticks;
   stats_.committed += br.commits;
@@ -235,10 +237,7 @@ BatchResult SimpleCpu::run_timing_batch(std::uint64_t max_ticks, std::uint64_t m
       continue;
     }
     CommitEvent cev;
-    cev.pc = pc;
-    if (pre != nullptr) cev.d = *pre;  // null only on a fetch fault
-    cev.trap = trap;
-    cev.is_pseudo = is_pseudo;
+    make_stop_event(cev, pre, pc, trap, is_pseudo);
     if (cost > avail) {
       // The stall crosses the batch boundary: consume what is left and park
       // the event exactly as the per-tick loop stands mid-stall (commit not

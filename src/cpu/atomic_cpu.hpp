@@ -49,6 +49,21 @@ class SimpleCpu final : public CpuModel {
   BatchResult run_timing_batch(std::uint64_t max_ticks, std::uint64_t max_commits,
                                CommitEvent& ev);
 
+  /// Superblock (threaded-code) tier above run_atomic_batch: execute up to
+  /// `max_ticks` instructions through lowered straight-line traces served by
+  /// the MemSystem's superblock cache, falling back to single interpreter
+  /// steps (atomic_batch_step) for untraceable entries. Tick/commit/trap
+  /// accounting is bit-identical to run_atomic_batch — each instruction is
+  /// one tick, a trapping instruction consumes its tick without committing
+  /// and leaves the architectural PC at the trapping instruction.
+  ///
+  /// The tier itself never calls stage hooks: the caller (Simulation::run)
+  /// may only dispatch here while the fault manager is provably quiescent
+  /// and owns the bulk FI fetch-window accounting for the batch. Only
+  /// engages in atomic mode with fetch enabled; otherwise returns an empty
+  /// result.
+  BatchResult run_trace_batch(std::uint64_t max_ticks, CommitEvent& ev);
+
   /// Timing mode spends busy_ ticks idling per instruction; all but the
   /// last (which surfaces the queued commit) are warpable.
   [[nodiscard]] std::uint64_t stall_cycles() const noexcept override {
@@ -72,6 +87,16 @@ class SimpleCpu final : public CpuModel {
  private:
   CommitEvent step_one();
   void exec_one(CommitEvent& ev);
+
+  /// Shared batch-exit boundary: materialize the stop event every batch
+  /// flavor (atomic, timing, trace) hands back to the simulation loop for
+  /// its trap / pseudo-op / preemption / watchdog handling.
+  static void make_stop_event(CommitEvent& ev, const isa::Decoded* d, std::uint64_t pc,
+                              const TrapInfo& trap, bool is_pseudo) noexcept;
+  /// One hookless interpreter step inside a batch: counts the tick and the
+  /// commit in `br`, and on a trap/pseudo-op fills `ev`, sets br.stopped and
+  /// returns false.
+  bool atomic_batch_step(BatchResult& br, CommitEvent& ev);
 
   bool timing_;
   bool fetch_enabled_ = true;

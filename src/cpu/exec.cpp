@@ -1,7 +1,8 @@
 #include "cpu/exec.hpp"
 
 #include <bit>
-#include <cmath>
+
+#include "cpu/exec_units.hpp"
 
 namespace gemfi::cpu {
 
@@ -11,152 +12,9 @@ using isa::Decoded;
 using isa::InstClass;
 using isa::Opcode;
 
-constexpr std::uint64_t sext32(std::uint64_t v) noexcept {
-  return std::uint64_t(std::int64_t(std::int32_t(v)));
-}
-
-constexpr double as_f64(std::uint64_t bits) noexcept { return std::bit_cast<double>(bits); }
-constexpr std::uint64_t as_bits(double v) noexcept { return std::bit_cast<std::uint64_t>(v); }
-
-std::uint64_t exec_inta(unsigned func, std::uint64_t a, std::uint64_t b) noexcept {
-  using isa::IntaFunc;
-  const auto sa = std::int64_t(a);
-  const auto sb = std::int64_t(b);
-  switch (static_cast<IntaFunc>(func)) {
-    case IntaFunc::ADDL: return sext32(a + b);
-    case IntaFunc::SUBL: return sext32(a - b);
-    case IntaFunc::ADDQ: return a + b;
-    case IntaFunc::SUBQ: return a - b;
-    case IntaFunc::S4ADDQ: return a * 4 + b;
-    case IntaFunc::S8ADDQ: return a * 8 + b;
-    case IntaFunc::CMPEQ: return a == b ? 1 : 0;
-    case IntaFunc::CMPLT: return sa < sb ? 1 : 0;
-    case IntaFunc::CMPLE: return sa <= sb ? 1 : 0;
-    case IntaFunc::CMPULT: return a < b ? 1 : 0;
-    case IntaFunc::CMPULE: return a <= b ? 1 : 0;
-  }
-  return 0;
-}
-
-std::uint64_t exec_intl(unsigned func, std::uint64_t a, std::uint64_t b,
-                        std::uint64_t old_dst) noexcept {
-  using isa::IntlFunc;
-  const auto sa = std::int64_t(a);
-  switch (static_cast<IntlFunc>(func)) {
-    case IntlFunc::AND: return a & b;
-    case IntlFunc::BIC: return a & ~b;
-    case IntlFunc::BIS: return a | b;
-    case IntlFunc::ORNOT: return a | ~b;
-    case IntlFunc::XOR: return a ^ b;
-    case IntlFunc::EQV: return a ^ ~b;
-    case IntlFunc::CMOVEQ: return a == 0 ? b : old_dst;
-    case IntlFunc::CMOVNE: return a != 0 ? b : old_dst;
-    case IntlFunc::CMOVLT: return sa < 0 ? b : old_dst;
-    case IntlFunc::CMOVGE: return sa >= 0 ? b : old_dst;
-    case IntlFunc::CMOVLE: return sa <= 0 ? b : old_dst;
-    case IntlFunc::CMOVGT: return sa > 0 ? b : old_dst;
-    case IntlFunc::CMOVLBS: return (a & 1) != 0 ? b : old_dst;
-    case IntlFunc::CMOVLBC: return (a & 1) == 0 ? b : old_dst;
-  }
-  return 0;
-}
-
-std::uint64_t exec_ints(unsigned func, std::uint64_t a, std::uint64_t b) noexcept {
-  using isa::IntsFunc;
-  const unsigned sh = unsigned(b & 63);
-  switch (static_cast<IntsFunc>(func)) {
-    case IntsFunc::SLL: return a << sh;
-    case IntsFunc::SRL: return a >> sh;
-    case IntsFunc::SRA: return std::uint64_t(std::int64_t(a) >> sh);
-  }
-  return 0;
-}
-
-std::uint64_t exec_intm(unsigned func, std::uint64_t a, std::uint64_t b,
-                        TrapInfo& trap) noexcept {
-  using isa::IntmFunc;
-  switch (static_cast<IntmFunc>(func)) {
-    case IntmFunc::MULL: return sext32(std::uint64_t(std::uint32_t(a) * std::uint32_t(b)));
-    case IntmFunc::MULQ: return a * b;
-    case IntmFunc::UMULH:
-      return std::uint64_t((unsigned __int128)(a) * (unsigned __int128)(b) >> 64);
-    case IntmFunc::DIVQ:
-    case IntmFunc::REMQ: {
-      if (b == 0) {
-        trap.kind = TrapKind::Arithmetic;
-        return 0;
-      }
-      const auto sa = std::int64_t(a);
-      const auto sb = std::int64_t(b);
-      if (sa == INT64_MIN && sb == -1)  // overflow: wrap like hardware would
-        return func == unsigned(IntmFunc::DIVQ) ? std::uint64_t(INT64_MIN) : 0;
-      return std::uint64_t(func == unsigned(IntmFunc::DIVQ) ? sa / sb : sa % sb);
-    }
-  }
-  return 0;
-}
-
-std::uint64_t exec_flti(unsigned func, std::uint64_t abits, std::uint64_t bbits) noexcept {
-  using isa::FltiFunc;
-  const double a = as_f64(abits);
-  const double b = as_f64(bbits);
-  constexpr double kTrue = 2.0;  // Alpha FP compares write 2.0 / +0.0
-  switch (static_cast<FltiFunc>(func)) {
-    case FltiFunc::ADDT: return as_bits(a + b);
-    case FltiFunc::SUBT: return as_bits(a - b);
-    case FltiFunc::MULT: return as_bits(a * b);
-    case FltiFunc::DIVT: return as_bits(a / b);
-    case FltiFunc::CMPTUN: return as_bits(std::isnan(a) || std::isnan(b) ? kTrue : 0.0);
-    case FltiFunc::CMPTEQ: return as_bits(a == b ? kTrue : 0.0);
-    case FltiFunc::CMPTLT: return as_bits(a < b ? kTrue : 0.0);
-    case FltiFunc::CMPTLE: return as_bits(a <= b ? kTrue : 0.0);
-    case FltiFunc::SQRTT: return as_bits(std::sqrt(b));
-    case FltiFunc::CVTTQ: {
-      // double -> int64, truncating; out-of-range and NaN produce INT64_MIN
-      // (a defined result: fault-corrupted FP values must not be host UB).
-      if (std::isnan(b) || b >= 9.2233720368547758e18 || b <= -9.2233720368547758e18)
-        return std::uint64_t(INT64_MIN);
-      return std::uint64_t(std::int64_t(b));
-    }
-    case FltiFunc::CVTQT: return as_bits(double(std::int64_t(bbits)));
-  }
-  return 0;
-}
-
-std::uint64_t exec_fltl(unsigned func, std::uint64_t abits, std::uint64_t bbits,
-                        std::uint64_t old_dst) noexcept {
-  using isa::FltlFunc;
-  constexpr std::uint64_t kSign = 0x8000000000000000ull;
-  switch (static_cast<FltlFunc>(func)) {
-    case FltlFunc::CPYS: return (abits & kSign) | (bbits & ~kSign);
-    case FltlFunc::CPYSN: return (~abits & kSign) | (bbits & ~kSign);
-    case FltlFunc::FCMOVEQ: return as_f64(abits) == 0.0 ? bbits : old_dst;
-    case FltlFunc::FCMOVNE: return as_f64(abits) != 0.0 ? bbits : old_dst;
-  }
-  return 0;
-}
-
-bool branch_cond(Opcode op, std::uint64_t s1) noexcept {
-  const auto sv = std::int64_t(s1);
-  const double fv = as_f64(s1);
-  switch (op) {
-    case Opcode::BEQ: return s1 == 0;
-    case Opcode::BNE: return s1 != 0;
-    case Opcode::BLT: return sv < 0;
-    case Opcode::BLE: return sv <= 0;
-    case Opcode::BGT: return sv > 0;
-    case Opcode::BGE: return sv >= 0;
-    case Opcode::BLBS: return (s1 & 1) != 0;
-    case Opcode::BLBC: return (s1 & 1) == 0;
-    case Opcode::FBEQ: return fv == 0.0;
-    case Opcode::FBNE: return fv != 0.0;
-    case Opcode::FBLT: return fv < 0.0;
-    case Opcode::FBLE: return fv <= 0.0;
-    case Opcode::FBGE: return fv >= 0.0;
-    case Opcode::FBGT: return fv > 0.0;
-    default: return false;
-  }
-}
+using alu::as_bits;
+using alu::as_f64;
+using alu::sext32;
 
 }  // namespace
 
@@ -184,10 +42,10 @@ ExecOut execute(const Decoded& d, const Operands& ops, std::uint64_t pc) noexcep
     case InstClass::IntOp:
       out.writes_dst = true;
       switch (d.opcode) {
-        case Opcode::INTA: out.value = exec_inta(d.func, ops.s1, s2); break;
-        case Opcode::INTL: out.value = exec_intl(d.func, ops.s1, s2, ops.old_dst); break;
-        case Opcode::INTS: out.value = exec_ints(d.func, ops.s1, s2); break;
-        case Opcode::INTM: out.value = exec_intm(d.func, ops.s1, s2, out.trap); break;
+        case Opcode::INTA: out.value = alu::exec_inta(d.func, ops.s1, s2); break;
+        case Opcode::INTL: out.value = alu::exec_intl(d.func, ops.s1, s2, ops.old_dst); break;
+        case Opcode::INTS: out.value = alu::exec_ints(d.func, ops.s1, s2); break;
+        case Opcode::INTM: out.value = alu::exec_intm(d.func, ops.s1, s2, out.trap); break;
         default: break;
       }
       break;
@@ -195,9 +53,9 @@ ExecOut execute(const Decoded& d, const Operands& ops, std::uint64_t pc) noexcep
     case InstClass::FpOp:
       out.writes_dst = true;
       if (d.opcode == Opcode::FLTI)
-        out.value = exec_flti(d.func, ops.s1, ops.s2);
+        out.value = alu::exec_flti(d.func, ops.s1, ops.s2);
       else
-        out.value = exec_fltl(d.func, ops.s1, ops.s2, ops.old_dst);
+        out.value = alu::exec_fltl(d.func, ops.s1, ops.s2, ops.old_dst);
       break;
 
     case InstClass::FpMove:
@@ -225,7 +83,7 @@ ExecOut execute(const Decoded& d, const Operands& ops, std::uint64_t pc) noexcep
       break;
 
     case InstClass::CondBranch:
-      out.branch_taken = branch_cond(d.opcode, ops.s1);
+      out.branch_taken = alu::branch_cond(d.opcode, ops.s1);
       if (out.branch_taken) out.next_pc = pc + 4 + 4 * std::uint64_t(std::int64_t(d.disp));
       break;
 

@@ -468,4 +468,38 @@ bool FaultManager::safe_to_switch_cpu() const noexcept {
   return true;
 }
 
+bool FaultManager::fastmode_quiescent() const noexcept {
+  for (const FaultState& fs : states_) {
+    const Fault& f = fs.fault;
+    // (a) In-window with a live fault: on_fetch/stage/mem triggers and
+    // apply_direct_faults all require cur_ != nullptr, so out of the window
+    // nothing can fire — but inside it, any fault with occurrences left
+    // could trigger at some fetch index or tick inside the batch.
+    const bool live = f.occurrences == kPermanent || fs.applied < f.occurrences;
+    if (cur_ != nullptr && live) return false;
+    if (fs.applied == 0) continue;  // on_commit skips un-applied faults
+    switch (f.location) {
+      case FaultLocation::Fetch:
+      case FaultLocation::Decode:
+      case FaultLocation::Execute:
+      case FaultLocation::LoadStore:
+      case FaultLocation::Skip:
+      case FaultLocation::Opcode:
+        // (b) The affected instruction has not committed or squashed yet:
+        // on_commit would latch `consumed` when its fi_seq retires.
+        if (!fs.consumed && !fs.squashed) return false;
+        break;
+      case FaultLocation::IntReg:
+      case FaultLocation::FpReg:
+        // (c) Commit-side read/overwrite propagation tracking runs on every
+        // commit regardless of the FI window; pending until one resolves it.
+        if (!fs.consumed && !fs.overwritten) return false;
+        break;
+      case FaultLocation::PC:
+        break;  // consumed at injection; rule (a) is the only gate
+    }
+  }
+  return true;
+}
+
 }  // namespace gemfi::fi

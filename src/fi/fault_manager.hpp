@@ -142,6 +142,27 @@ class FaultManager final : public cpu::StageHooks {
   /// the simulation may switch from the detailed to the atomic CPU model.
   [[nodiscard]] bool safe_to_switch_cpu() const noexcept;
 
+  /// True when skipping every per-instruction hook over a whole batch is
+  /// provably unobservable — the gate for the superblock fast tier while FI
+  /// is compiled in. Quiescence fails if (a) the running thread is inside an
+  /// FI window and *any* configured fault is still live (it could trigger at
+  /// any fetch index or tick inside the batch), or if commit-side propagation
+  /// tracking is still pending: (b) an applied stage fault not yet consumed
+  /// or squashed, (c) an applied register fault not yet consumed or
+  /// overwritten (that tracking runs on every commit, even outside the FI
+  /// window). PC faults are consumed at injection, so only rule (a) can hold
+  /// them. The caller still owns bulk fetch-window accounting
+  /// (add_window_fetches) for any batch it runs under this gate.
+  [[nodiscard]] bool fastmode_quiescent() const noexcept;
+
+  /// Bulk equivalent of the per-fetch `++cur_->fetched` bookkeeping for a
+  /// hook-free batch of `n` fetches, keeping calibration's fetched-index
+  /// sampling space exact. Faulting fetch attempts never reach on_fetch, so
+  /// the caller must not count them here.
+  void add_window_fetches(std::uint64_t n) noexcept {
+    if (cur_ != nullptr) cur_->fetched += n;
+  }
+
  private:
   ThreadEnabledFault* find_thread(std::uint64_t pcb) noexcept;
   bool stage_triggers(const FaultState& fs, std::uint64_t fi_seq) const noexcept;

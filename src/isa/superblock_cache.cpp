@@ -1,0 +1,189 @@
+#include "isa/superblock_cache.hpp"
+
+namespace gemfi::isa {
+
+namespace {
+
+// Map a Decoded register index (32 = "none") onto the executor's raw-array
+// convention, where slot 31 of each file is pinned to zero.
+constexpr std::uint8_t map_reg(std::uint8_t r) noexcept { return r >= 32 ? 31 : r; }
+
+Lowered lower_intop(const Decoded& d, SbOp& op) noexcept {
+  switch (d.opcode) {
+    case Opcode::INTA:
+      switch (static_cast<IntaFunc>(d.func)) {
+        case IntaFunc::ADDL: op.kind = SbKind::AddL; return Lowered::Mid;
+        case IntaFunc::SUBL: op.kind = SbKind::SubL; return Lowered::Mid;
+        case IntaFunc::ADDQ: op.kind = SbKind::AddQ; return Lowered::Mid;
+        case IntaFunc::SUBQ: op.kind = SbKind::SubQ; return Lowered::Mid;
+        case IntaFunc::S4ADDQ: op.kind = SbKind::S4AddQ; return Lowered::Mid;
+        case IntaFunc::S8ADDQ: op.kind = SbKind::S8AddQ; return Lowered::Mid;
+        case IntaFunc::CMPEQ: op.kind = SbKind::CmpEq; return Lowered::Mid;
+        case IntaFunc::CMPLT: op.kind = SbKind::CmpLt; return Lowered::Mid;
+        case IntaFunc::CMPLE: op.kind = SbKind::CmpLe; return Lowered::Mid;
+        case IntaFunc::CMPULT: op.kind = SbKind::CmpULt; return Lowered::Mid;
+        case IntaFunc::CMPULE: op.kind = SbKind::CmpULe; return Lowered::Mid;
+      }
+      return Lowered::No;
+    case Opcode::INTL:
+      switch (static_cast<IntlFunc>(d.func)) {
+        case IntlFunc::AND: op.kind = SbKind::And; return Lowered::Mid;
+        case IntlFunc::BIC: op.kind = SbKind::Bic; return Lowered::Mid;
+        case IntlFunc::BIS: op.kind = SbKind::Bis; return Lowered::Mid;
+        case IntlFunc::ORNOT: op.kind = SbKind::OrNot; return Lowered::Mid;
+        case IntlFunc::XOR: op.kind = SbKind::Xor; return Lowered::Mid;
+        case IntlFunc::EQV: op.kind = SbKind::Eqv; return Lowered::Mid;
+        case IntlFunc::CMOVEQ: op.kind = SbKind::CmovEq; return Lowered::Mid;
+        case IntlFunc::CMOVNE: op.kind = SbKind::CmovNe; return Lowered::Mid;
+        case IntlFunc::CMOVLT: op.kind = SbKind::CmovLt; return Lowered::Mid;
+        case IntlFunc::CMOVGE: op.kind = SbKind::CmovGe; return Lowered::Mid;
+        case IntlFunc::CMOVLE: op.kind = SbKind::CmovLe; return Lowered::Mid;
+        case IntlFunc::CMOVGT: op.kind = SbKind::CmovGt; return Lowered::Mid;
+        case IntlFunc::CMOVLBS: op.kind = SbKind::CmovLbs; return Lowered::Mid;
+        case IntlFunc::CMOVLBC: op.kind = SbKind::CmovLbc; return Lowered::Mid;
+      }
+      return Lowered::No;
+    case Opcode::INTS:
+      switch (static_cast<IntsFunc>(d.func)) {
+        case IntsFunc::SLL: op.kind = SbKind::Sll; return Lowered::Mid;
+        case IntsFunc::SRL: op.kind = SbKind::Srl; return Lowered::Mid;
+        case IntsFunc::SRA: op.kind = SbKind::Sra; return Lowered::Mid;
+      }
+      return Lowered::No;
+    case Opcode::INTM:
+      switch (static_cast<IntmFunc>(d.func)) {
+        case IntmFunc::MULL: op.kind = SbKind::MulL; return Lowered::Mid;
+        case IntmFunc::MULQ: op.kind = SbKind::MulQ; return Lowered::Mid;
+        case IntmFunc::UMULH: op.kind = SbKind::UMulH; return Lowered::Mid;
+        case IntmFunc::DIVQ: op.kind = SbKind::DivQ; return Lowered::Mid;
+        case IntmFunc::REMQ: op.kind = SbKind::RemQ; return Lowered::Mid;
+      }
+      return Lowered::No;
+    default:
+      return Lowered::No;
+  }
+}
+
+Lowered lower_fpop(const Decoded& d, SbOp& op) noexcept {
+  if (d.opcode == Opcode::FLTI) {
+    switch (static_cast<FltiFunc>(d.func)) {
+      case FltiFunc::ADDT: op.kind = SbKind::AddT; return Lowered::Mid;
+      case FltiFunc::SUBT: op.kind = SbKind::SubT; return Lowered::Mid;
+      case FltiFunc::MULT: op.kind = SbKind::MulT; return Lowered::Mid;
+      case FltiFunc::DIVT: op.kind = SbKind::DivT; return Lowered::Mid;
+      case FltiFunc::CMPTUN: op.kind = SbKind::CmpTUn; return Lowered::Mid;
+      case FltiFunc::CMPTEQ: op.kind = SbKind::CmpTEq; return Lowered::Mid;
+      case FltiFunc::CMPTLT: op.kind = SbKind::CmpTLt; return Lowered::Mid;
+      case FltiFunc::CMPTLE: op.kind = SbKind::CmpTLe; return Lowered::Mid;
+      case FltiFunc::SQRTT: op.kind = SbKind::SqrtT; return Lowered::Mid;
+      case FltiFunc::CVTTQ: op.kind = SbKind::CvtTQ; return Lowered::Mid;
+      case FltiFunc::CVTQT: op.kind = SbKind::CvtQT; return Lowered::Mid;
+    }
+    return Lowered::No;
+  }
+  switch (static_cast<FltlFunc>(d.func)) {
+    case FltlFunc::CPYS: op.kind = SbKind::CpyS; return Lowered::Mid;
+    case FltlFunc::CPYSN: op.kind = SbKind::CpySN; return Lowered::Mid;
+    case FltlFunc::FCMOVEQ: op.kind = SbKind::FCmovEq; return Lowered::Mid;
+    case FltlFunc::FCMOVNE: op.kind = SbKind::FCmovNe; return Lowered::Mid;
+  }
+  return Lowered::No;
+}
+
+}  // namespace
+
+Lowered lower_to_sbop(const Decoded& d, SbOp& op) noexcept {
+  if (!d.valid) return Lowered::No;
+  op = SbOp{};
+  op.a = map_reg(d.src1);
+  op.dst = map_reg(d.dst);
+  if (d.is_literal) {
+    op.lit = d.literal;
+    op.flags |= kSbLitB;
+  } else {
+    op.b = map_reg(d.src2);
+  }
+
+  switch (d.klass) {
+    case InstClass::IntOp:
+      return lower_intop(d, op);
+
+    case InstClass::FpOp:
+      return lower_fpop(d, op);
+
+    case InstClass::FpMove:
+      op.kind = d.opcode == Opcode::ITOF ? SbKind::Itof : SbKind::Ftoi;
+      return Lowered::Mid;
+
+    case InstClass::Lda:
+      op.kind = SbKind::Lda;
+      op.disp = d.opcode == Opcode::LDA ? std::int64_t(d.disp)
+                                        : std::int64_t(d.disp) << 16;
+      return Lowered::Mid;
+
+    case InstClass::Load:
+    case InstClass::FpLoad:
+      switch (d.opcode) {
+        case Opcode::LDL: op.kind = SbKind::LdL; break;
+        case Opcode::LDQ: op.kind = SbKind::LdQ; break;
+        case Opcode::LDS: op.kind = SbKind::LdS; break;
+        case Opcode::LDT: op.kind = SbKind::LdT; break;
+        default: return Lowered::No;
+      }
+      op.disp = std::int64_t(d.disp);
+      return Lowered::Mid;
+
+    case InstClass::Store:
+    case InstClass::FpStore:
+      switch (d.opcode) {
+        case Opcode::STL: op.kind = SbKind::StL; break;
+        case Opcode::STQ: op.kind = SbKind::StQ; break;
+        case Opcode::STS: op.kind = SbKind::StS; break;
+        case Opcode::STT: op.kind = SbKind::StT; break;
+        default: return Lowered::No;
+      }
+      // Store data travels in b (Decoded::src2); a is the address base.
+      op.disp = std::int64_t(d.disp);
+      return Lowered::Mid;
+
+    case InstClass::CondBranch:
+      op.kind = d.src1_fp ? SbKind::CondBrF : SbKind::CondBrI;
+      op.func = std::uint16_t(d.opcode);  // branch_cond dispatches on this
+      op.disp = 4 + 4 * std::int64_t(d.disp);
+      return Lowered::Terminal;
+
+    case InstClass::Br:
+      op.kind = SbKind::Br;
+      op.disp = 4 + 4 * std::int64_t(d.disp);
+      return Lowered::Terminal;
+
+    case InstClass::Jump:
+      op.kind = SbKind::Jump;
+      return Lowered::Terminal;
+
+    case InstClass::Pal:
+    case InstClass::Pseudo:
+    case InstClass::Illegal:
+      // Traps, syscalls and FI pseudo-boundaries belong to the interpreter.
+      return Lowered::No;
+  }
+  return Lowered::No;
+}
+
+const Superblock& SuperblockCache::insert(Superblock&& sb) {
+  ++stats_.builds;
+  if (traces_.size() >= kMaxTraces && traces_.find(sb.entry_pc) == traces_.end()) {
+    stats_.evictions += traces_.size();
+    traces_.clear();
+  }
+  auto [it, inserted] = traces_.insert_or_assign(sb.entry_pc, std::move(sb));
+  (void)inserted;
+  return it->second;
+}
+
+void SuperblockCache::invalidate_all() noexcept {
+  stats_.evictions += traces_.size();
+  traces_.clear();
+}
+
+}  // namespace gemfi::isa

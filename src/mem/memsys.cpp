@@ -49,6 +49,55 @@ const isa::Decoded* MemSystem::predecode_fill(std::uint64_t pc, std::uint64_t pa
   return pdc_.fill(pc, version, phys_.page(page));
 }
 
+const isa::Superblock* MemSystem::superblock(std::uint64_t pc) {
+  // Same gate as predecode(): anything fetch() would reject belongs to the
+  // interpreter slow path, which owns the precise AccessError.
+  if (!predecode_enabled_) return nullptr;
+  if ((pc & 3) != 0 || pc < cfg_.null_guard || !phys_.in_bounds(pc, 4)) return nullptr;
+
+  if (isa::Superblock* sb = sbc_.find(pc)) {
+    bool fresh = true;
+    for (unsigned i = 0; i < sb->npages; ++i)
+      if (phys_.page_version(sb->pages[i]) != sb->versions[i]) {
+        fresh = false;
+        break;
+      }
+    if (fresh) {
+      sbc_.note_hit();
+      return sb;
+    }
+    sbc_.note_stale();  // fall through: rebuild replaces the stale entry
+  }
+
+  isa::Superblock nsb;
+  nsb.entry_pc = pc;
+  std::uint64_t p = pc;
+  while (nsb.ops.size() < isa::SuperblockCache::kMaxOps) {
+    if (!phys_.in_bounds(p, 4)) break;
+    const std::uint64_t page = p >> PhysMem::kPageShift;
+    if (!nsb.covers_page(page)) {
+      if (nsb.npages == 2) break;  // traces span at most two guard pages
+      // Stamp the guard before reading the page so a mutation racing the
+      // build can only make the trace look stale, never fresh.
+      nsb.pages[nsb.npages] = page;
+      nsb.versions[nsb.npages] = phys_.page_version(page);
+      ++nsb.npages;
+    }
+    const isa::Decoded* d = predecode(p);
+    if (d == nullptr) break;
+    isa::SbOp op;
+    const isa::Lowered l = isa::lower_to_sbop(*d, op);
+    if (l == isa::Lowered::No) break;
+    nsb.ops.push_back(op);
+    if (l == isa::Lowered::Terminal) break;
+    p += 4;
+  }
+  // Empty ops => cached negative entry: the guard on pc's page keeps us from
+  // re-walking an untraceable entry every dispatch, and any store into the
+  // page invalidates the negative result along with everything else.
+  return &sbc_.insert(std::move(nsb));
+}
+
 std::uint32_t MemSystem::fetch_latency_fill(std::uint64_t addr, std::uint64_t line) {
   fetch_line_ = fastpath_enabled_ ? line : ~0ull;
   std::uint32_t cycles = cfg_.l1i.hit_latency;
@@ -70,6 +119,7 @@ void MemSystem::reset_stats() noexcept {
   l1d_.reset_stats();
   l2_.reset_stats();
   pdc_.reset_stats();
+  sbc_.reset_stats();
 }
 
 void MemSystem::serialize(util::ByteWriter& w) const {
@@ -80,9 +130,11 @@ void MemSystem::serialize(util::ByteWriter& w) const {
 void MemSystem::deserialize(util::ByteReader& r) {
   phys_.deserialize(r);
   deserialize_timing(r);
-  // The predecode cache is deliberately not serialized: drop it wholesale
-  // (the version bumps from phys_.deserialize already make it unservable).
+  // The predecode and superblock caches are deliberately not serialized:
+  // drop them wholesale (the version bumps from phys_.deserialize already
+  // make every cached page and trace unservable).
   pdc_.invalidate_all();
+  sbc_.invalidate_all();
 }
 
 void MemSystem::serialize_timing(util::ByteWriter& w) const {

@@ -15,6 +15,7 @@
 #include <memory>
 
 #include "isa/predecode_cache.hpp"
+#include "isa/superblock_cache.hpp"
 #include "mem/cache.hpp"
 #include "mem/physmem.hpp"
 
@@ -97,7 +98,26 @@ class MemSystem {
   void note_predecode_bypass() noexcept { pdc_.note_bypass(); }
   /// Drop all predecoded pages (checkpoint-restore hygiene; versions already
   /// guarantee staleness is never served).
-  void invalidate_predecode() noexcept { pdc_.invalidate_all(); }
+  void invalidate_predecode() noexcept {
+    pdc_.invalidate_all();
+    sbc_.invalidate_all();
+  }
+
+  // --- superblock (threaded-code) tier ---
+  /// Version-fresh lowered trace entered at `pc`, building (or rebuilding)
+  /// it on demand from predecoded instructions. Returns nullptr when the
+  /// tier does not apply at all (predecode disabled, pc misaligned, in the
+  /// null guard, or out of bounds); returns a trace with empty ops — a
+  /// cached negative entry — when pc's instruction itself cannot be lowered.
+  /// Either way the caller falls back to the interpreter for that pc.
+  [[nodiscard]] const isa::Superblock* superblock(std::uint64_t pc);
+  void note_superblock_exec(std::uint64_t insts) noexcept { sbc_.note_exec(insts); }
+  [[nodiscard]] const isa::SuperblockStats& superblock_stats() const noexcept {
+    return sbc_.stats();
+  }
+  [[nodiscard]] std::size_t superblock_traces() const noexcept {
+    return sbc_.cached_traces();
+  }
 
   [[nodiscard]] const CacheStats& l1i_stats() const noexcept { return l1i_.stats(); }
   [[nodiscard]] const CacheStats& l1d_stats() const noexcept { return l1d_.stats(); }
@@ -120,6 +140,7 @@ class MemSystem {
   Cache l1d_;
   Cache l2_;
   isa::PredecodeCache pdc_;
+  isa::SuperblockCache sbc_;
   bool predecode_enabled_ = true;
   bool fastpath_enabled_ = true;
   // One-entry fetch line buffer: the I-line (addr / l1i.line_bytes) of the

@@ -222,8 +222,13 @@ RunResult Simulation::run(std::uint64_t watchdog_ticks, double wall_deadline_sec
   // would act (quantum expiry, watchdog budget, wall-clock sampling points,
   // traps, pseudo-ops), so the two loops are bit-identical in every
   // architectural and statistical observable; the lockstep suite checks it.
-  const bool fast_atomic = cfg_.predecode && !cfg_.fi_enabled && !commit_observer_ &&
-                           active_cpu_ == CpuKind::AtomicSimple;
+  // With fi_enabled the atomic model may additionally batch through the
+  // superblock tier (cfg_.fastmode) whenever the FaultManager is provably
+  // quiescent — no armed fault could fire and no propagation tracking is
+  // pending — with the fetch-window bookkeeping applied in bulk after the
+  // batch. That gate changes as faults arm, fire and resolve, and the active
+  // model itself can switch mid-run, so atomic engagement is re-decided
+  // every iteration; the timing gate's inputs are all run-constant.
   const bool fast_timing = cfg_.fastpath && !cfg_.fi_enabled && !commit_observer_ &&
                            active_cpu_ == CpuKind::TimingSimple;
 
@@ -268,6 +273,12 @@ RunResult Simulation::run(std::uint64_t watchdog_ticks, double wall_deadline_sec
       }
     }
 
+    const bool fast_atomic =
+        cfg_.predecode && !commit_observer_ && active_cpu_ == CpuKind::AtomicSimple &&
+        (!cfg_.fi_enabled || (cfg_.fastmode && fm_.fastmode_quiescent()));
+    // fast_atomic under fi_enabled implies fastmode, so the hook-refusing
+    // plain batch (the `--no-fastmode` baseline) only runs with FI off.
+    const bool use_trace = fast_atomic && cfg_.fastmode;
     if ((fast_atomic || fast_timing) && !drain_for_switch_) {
       std::uint64_t n = deadline - tick_;
       const std::uint64_t pre = sched_.commits_before_preempt();
@@ -291,8 +302,20 @@ RunResult Simulation::run(std::uint64_t watchdog_ticks, double wall_deadline_sec
       auto& scpu = static_cast<cpu::SimpleCpu&>(*cpu_);
       cpu::CommitEvent ev;
       const cpu::BatchResult br =
-          fast_atomic ? scpu.run_atomic_batch(n, ev) : scpu.run_timing_batch(n, pre, ev);
+          fast_atomic ? (use_trace ? scpu.run_trace_batch(n, ev) : scpu.run_atomic_batch(n, ev))
+                      : scpu.run_timing_batch(n, pre, ev);
       tick_ += br.ticks;
+      if (cfg_.fi_enabled && br.ticks != 0) {
+        // Bulk FI bookkeeping for the hook-free batch: every executed tick
+        // was one fetch attempt, but a faulting fetch never reaches
+        // on_fetch's counter in the per-tick loop, so it is not counted
+        // here either. Resync now_ before any dispatch below can consult it
+        // (fi_activate records its activation tick from it).
+        std::uint64_t fetches = br.ticks;
+        if (br.stopped && ev.trap.kind == cpu::TrapKind::FetchFault) --fetches;
+        fm_.add_window_fetches(fetches);
+        fm_.set_now(tick_);
+      }
       if (br.ticks != 0 || br.stopped) {
         bool need_switch = false;
         if (br.stopped && ev.trap.pending()) {
@@ -502,6 +525,13 @@ std::string Simulation::stats_report() const {
   put("mem.predecode.fills", pd.fills);
   put("mem.predecode.stale", pd.stale);
   put("mem.predecode.bypasses", pd.bypasses);
+  const isa::SuperblockStats& sb = ms_.superblock_stats();
+  put("mem.superblock.hits", sb.hits);
+  put("mem.superblock.builds", sb.builds);
+  put("mem.superblock.stale", sb.stale);
+  put("mem.superblock.evictions", sb.evictions);
+  put("mem.superblock.exec_insts", sb.exec_insts);
+  put("mem.superblock.traces", ms_.superblock_traces());
   for (std::uint64_t tid = 0; tid < sched_.thread_count(); ++tid) {
     const os::Thread& t = sched_.thread(tid);
     char key[64];  // separate buffer: put() renders into `line`

@@ -51,6 +51,15 @@ struct SimConfig {
   // bit-identical either way (the lockstep suite proves it); false is the
   // `--no-fastpath` A/B baseline.
   bool fastpath = true;
+  // Golden-path fast mode: the superblock (threaded-code) tier above the
+  // atomic interpreter. Engages only while no FI machinery could observe a
+  // per-instruction hook (no fault plan armed in-window, no pending
+  // propagation tracking) and disengages at every trap, syscall, watchdog
+  // deadline and scheduling boundary. Purely a host-side optimization —
+  // digests, ticks, statistics and fi_log are bit-identical either way
+  // (the fastmode lockstep suite proves it); false is the `--no-fastmode`
+  // A/B baseline.
+  bool fastmode = true;
   // OS syscall surface: sys_alloc heap carved above the apps' boot arena,
   // per-file capacity of the in-memory FS (ENOSPC bound) and per-channel
   // byte budget of the message channels (EAGAIN bound).
