@@ -16,13 +16,27 @@
 // restoring the shipped checkpoint). On a many-core host the measured
 // column approaches workers x slots; on the paper's 27x4 cluster the same
 // service is what would deliver the ~108x.
+// A fourth section, "sequential sizing", reproduces the statistical side of
+// campaign cost (EXPERIMENTS.md): the fixed design runs
+// util::required_sample_size(...) experiments (Leveugle's worst-case p=0.5
+// formula); the sequential rule (campaign::Aggregator, --stop-ci) stops the
+// same seeded campaign at the first index-ordered prefix whose
+// finite-population-corrected Wilson half-widths all fit eps@conf. The bench
+// runs the full fixed campaign once, replays it through the aggregator to
+// find the stop index, and reports experiments saved plus the worst-case
+// disagreement between the stop-prefix and full-campaign proportions.
+// GEMFI_SEQ_SIZING=EPS@CONF overrides the per-mode default (quick/default:
+// 0.05@0.95; --full: the paper-scale 0.01@0.99).
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
 
+#include "campaign/analytics/aggregator.hpp"
 #include "campaign/dispatch.hpp"
 #include "campaign/observer.hpp"
 #include "common.hpp"
+#include "util/stats.hpp"
 
 using namespace gemfi;
 
@@ -38,6 +52,21 @@ int main(int argc, char** argv) {
   std::printf("%-10s %12s %12s %10s %14s %10s %12s %10s %12s\n", "app", "no-ff(s)",
               "ckpt(s)", "speedup", "now-model(s)", "now-par", "now-meas(s)",
               "meas-par", "init-frac");
+
+  // Sequential-sizing policy: paper precision under --full, a CI-sized
+  // 95%/5% otherwise; GEMFI_SEQ_SIZING=EPS@CONF overrides either.
+  campaign::StopPolicy seq_policy;
+  if (const char* env = std::getenv("GEMFI_SEQ_SIZING")) {
+    seq_policy = campaign::parse_stop_ci(env);
+  } else {
+    seq_policy = opt.full ? campaign::parse_stop_ci("0.01@0.99")
+                          : campaign::parse_stop_ci("0.05@0.95");
+  }
+  // Fixed comparator: Leveugle's worst-case (p = 0.5) sample size over an
+  // effectively unbounded fault space (fetch x bit x cycle); 1e9 is within
+  // 0.02% of the infinite-population (t/2e)^2.
+  const std::size_t seq_fixed_n = util::required_sample_size(
+      1'000'000'000ull, seq_policy.eps, seq_policy.confidence);
 
   auto cfg = opt.campaign_config();
   // GEMFI_JSONL=<path-prefix> streams per-experiment telemetry records from
@@ -114,6 +143,48 @@ int main(int argc, char** argv) {
         break;
       }
     }
+
+    // --- Sequential sizing: run the fixed-size campaign once, replay it in
+    // index order through the aggregator, and compare the stop prefix's
+    // answer with the full campaign's. The bench pays the full fixed cost to
+    // *validate* agreement; production campaigns stop at seq-n.
+    const auto seq_faults =
+        campaign::seeded_fault_set(app_seed, seq_fixed_n, ca.kernel_fetches);
+    const auto seq = campaign::run_campaign(ca, seq_faults, ff_cfg);
+    campaign::Aggregator agg(seq_policy, seq_faults.size());
+    double stop_wall = 0.0;
+    for (std::size_t i = 0; i < seq.results.size(); ++i) {
+      campaign::ExperimentRecord rec;
+      rec.index = i;
+      rec.seed = campaign::experiment_seed(ff_cfg.campaign_seed, i);
+      rec.result = seq.results[i];
+      agg.add(rec);
+      if (!agg.should_stop()) stop_wall += seq.results[i].wall_seconds;
+    }
+    const std::uint64_t stop_n =
+        agg.should_stop() ? agg.stop_index() : std::uint64_t(seq_fixed_n);
+    const double saved_frac =
+        seq_fixed_n ? 1.0 - double(stop_n) / double(seq_fixed_n) : 0.0;
+    // Worst-case disagreement between the stop prefix's proportions and the
+    // full fixed campaign's — the quantity the rule bounds by eps @ conf.
+    double max_err = 0.0;
+    for (unsigned o = 0; o < apps::kNumOutcomes; ++o) {
+      const double p_stop = stop_n ? double(agg.prefix_counts()[o]) / double(stop_n) : 0;
+      const double p_full =
+          agg.n() ? double(agg.outcome_counts()[o]) / double(agg.n()) : 0;
+      max_err = std::max(max_err, std::fabs(p_stop - p_full));
+    }
+    const bool within = max_err <= seq_policy.eps;
+    std::printf(
+        "  seq-sizing %s: fixed n=%zu (%.3g@%.3g) -> stop at %llu (%.1f%% saved, "
+        "%.2fs wall), max |p_stop - p_full| = %.4f %s eps\n",
+        name.c_str(), seq_fixed_n, seq_policy.eps, seq_policy.confidence,
+        (unsigned long long)stop_n, 100.0 * saved_frac, stop_wall, max_err,
+        within ? "<=" : "EXCEEDS");
+    bench::json_record("seq_fixed_n", double(seq_fixed_n), "count", name);
+    bench::json_record("seq_stop_n", double(stop_n), "count", name);
+    bench::json_record("seq_saved_frac", saved_frac, "x", name);
+    bench::json_record("seq_agreement_err", max_err, "frac", name);
   }
   std::printf(
       "\n  paper: checkpoint fast-forwarding gives 3x-244x (avg 64.5x), governed by\n"

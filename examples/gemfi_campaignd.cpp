@@ -98,13 +98,15 @@ int main(int argc, char** argv) {
     pool.wait_all();
 
     std::fprintf(stderr,
-                 "campaignd: %llu submitted, %llu recovered, %llu done, "
+                 "campaignd: %llu submitted, %llu recovered, %llu done "
+                 "(%llu stopped early), "
                  "%llu cancelled, %llu failed; %llu results journaled "
                  "(%llu duplicates dropped), %u workers joined, %u lost, "
                  "%llu requeued, %llu rebalance moves, %u clients, %.1fs\n",
                  (unsigned long long)r.campaigns_submitted,
                  (unsigned long long)r.campaigns_recovered,
                  (unsigned long long)r.campaigns_done,
+                 (unsigned long long)r.campaigns_stopped_early,
                  (unsigned long long)r.campaigns_cancelled,
                  (unsigned long long)r.campaigns_failed,
                  (unsigned long long)r.results_journaled,

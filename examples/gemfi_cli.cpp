@@ -55,6 +55,14 @@
 //                                      gemfi_now_master / gemfi_now_worker
 //                                      for campaigns spanning real hosts
 //             [--slots=<k>]            experiment slots per --now-local worker
+//             [--now-unix=<path>]      serve the local fleet over an AF_UNIX
+//                                      socket instead of loopback TCP
+//             [--stop-ci=EPS[@CONF]]   sequential early stop: end the campaign
+//                                      once every outcome CI half-width is
+//                                      below EPS at CONF (default 0.99)
+//             [--autoscale=MIN:MAX]    grow/retire forked workers elastically
+//                                      from the dispatch backlog
+//             [--colstore=<file.gfcs>] columnar result store for gemfi_query
 //   gemfi_cli --app=<name> --replay=<index> --seed=<u64> [--record=<file.jsonl>]
 //             re-run one campaign experiment in isolation from its JSONL
 //             record's (seed, index); prints the record to stdout. The
@@ -84,6 +92,7 @@
 #include <string>
 
 #include "assembler/text_asm.hpp"
+#include "campaign/analytics/colstore.hpp"
 #include "campaign/dispatch.hpp"
 #include "campaign/observer.hpp"
 #include "campaign/runner.hpp"
@@ -103,6 +112,9 @@ namespace {
                "           [--out=<file.jsonl>] [--progress] [--deadline=<sec>]\n"
                "           [--retries=<k>] [--ckpt-format=v1|v2] [--no-ckpt-compress]\n"
                "           [--no-shared-baseline] [--now-local=<n>] [--slots=<k>]\n"
+               "           [--now-unix=<path>] [--stop-ci=EPS[@CONF]] "
+               "[--autoscale=MIN:MAX]\n"
+               "           [--colstore=<file.gfcs>]\n"
                "           [--syscall-fault=<line>] [--random-syscall-faults]\n"
                "       %s --app=<name> --replay=<index> --seed=<u64> "
                "[--record=<file.jsonl>]\n",
@@ -191,6 +203,10 @@ int main(int argc, char** argv) {
   std::string record_path;  // --replay: original campaign JSONL to check against
   unsigned workers = 1;
   unsigned now_local = 0;
+  std::string now_unix;       // --now-unix: AF_UNIX path for the local fleet
+  std::string colstore_path;  // --colstore: columnar result store
+  campaign::StopPolicy stop_policy;
+  unsigned autoscale_min = 0, autoscale_max = 0;
   unsigned slots = 1;
   unsigned retries = 2;
   double deadline = 0.0;
@@ -239,6 +255,24 @@ int main(int argc, char** argv) {
       workers = parse_u32_flag("workers", arg.substr(10));
     } else if (arg.rfind("--now-local=", 0) == 0) {
       now_local = parse_u32_flag("now-local", arg.substr(12));
+    } else if (arg.rfind("--now-unix=", 0) == 0) {
+      now_unix = arg.substr(11);
+    } else if (arg.rfind("--stop-ci=", 0) == 0) {
+      try {
+        stop_policy = campaign::parse_stop_ci(arg.substr(10));
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "%s\n", e.what());
+        return 2;
+      }
+    } else if (arg.rfind("--autoscale=", 0) == 0) {
+      const std::string spec = arg.substr(12);
+      const auto colon = spec.find(':');
+      if (colon == std::string::npos) usage(argv[0]);
+      autoscale_min = parse_u32_flag("autoscale", spec.substr(0, colon));
+      autoscale_max = parse_u32_flag("autoscale", spec.substr(colon + 1));
+      if (autoscale_max < autoscale_min) usage(argv[0]);
+    } else if (arg.rfind("--colstore=", 0) == 0) {
+      colstore_path = arg.substr(11);
     } else if (arg.rfind("--slots=", 0) == 0) {
       slots = parse_u32_flag("slots", arg.substr(8));
     } else if (arg.rfind("--retries=", 0) == 0) {
@@ -270,6 +304,11 @@ int main(int argc, char** argv) {
   }
   if (app_name.empty() == program_path.empty()) usage(argv[0]);  // exactly one
   if (campaign_n != 0 && replay_index >= 0) usage(argv[0]);
+  // Early stopping, elasticity and the unix transport live in the NoW
+  // dispatch layer; they need the multi-process path.
+  if ((stop_policy.enabled() || autoscale_max > 0 || !now_unix.empty()) &&
+      now_local == 0)
+    usage(argv[0]);
 
   std::vector<fi::Fault> faults;
   if (!fault_path.empty()) {
@@ -435,6 +474,7 @@ int main(int argc, char** argv) {
   if (campaign_n != 0) {
     campaign::TeeObserver tee;
     std::unique_ptr<campaign::JsonlSink> sink;
+    std::unique_ptr<campaign::ColstoreSink> colstore;
     std::unique_ptr<campaign::ProgressPrinter> reporter;
     if (!out_path.empty()) {
       try {
@@ -447,6 +487,15 @@ int main(int argc, char** argv) {
       // engine tier, as the stream's first record.
       sink->write_line(campaign::calibration_record_to_json(app_name, ca, cfg.fastmode));
       tee.add(sink.get());
+    }
+    if (!colstore_path.empty()) {
+      try {
+        colstore = std::make_unique<campaign::ColstoreSink>(colstore_path);
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "%s\n", e.what());
+        return 2;
+      }
+      tee.add(colstore.get());
     }
     if (progress) {
       reporter = std::make_unique<campaign::ProgressPrinter>(stderr);
@@ -462,6 +511,10 @@ int main(int argc, char** argv) {
       // processes, each rebuilding the app from the shipped checkpoint.
       campaign::DispatchConfig dcfg;
       dcfg.handle_sigint = true;  // ^C drains gracefully, partial JSONL survives
+      dcfg.stop = stop_policy;
+      dcfg.unix_path = now_unix;
+      dcfg.autoscale.min_workers = autoscale_min;
+      dcfg.autoscale.max_workers = autoscale_max;
       campaign::DispatchReport dr;
       try {
         dr = campaign::run_campaign_service_local(ca, scale, fset, cfg, now_local,
@@ -479,6 +532,15 @@ int main(int argc, char** argv) {
                    (unsigned long long)dr.duplicate_results,
                    double(dr.checkpoint_bytes_shipped) / 1024.0,
                    dr.drained_early ? " (drained early)" : "");
+      if (dr.stopped_early)
+        std::fprintf(stderr,
+                     "sequential stop at prefix %llu/%zu (%llu cancelled, "
+                     "%u workers spawned, %u retired)\n",
+                     (unsigned long long)dr.stop_index, fset.size(),
+                     (unsigned long long)dr.cancelled, dr.workers_spawned,
+                     dr.workers_retired);
+      if (!dr.aggregate_summary.empty())
+        std::printf("%s\n", dr.aggregate_summary.c_str());
     } else {
       report = campaign::run_campaign(ca, fset, cfg);
     }
@@ -506,6 +568,17 @@ int main(int argc, char** argv) {
     if (sink)
       std::fprintf(stderr, "wrote %zu records to %s\n", sink->lines_written(),
                    out_path.c_str());
+    if (colstore) {
+      try {
+        colstore->finish();
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "%s\n", e.what());
+        return 2;
+      }
+      std::fprintf(stderr, "wrote %llu rows to %s\n",
+                   (unsigned long long)colstore->rows_written(),
+                   colstore_path.c_str());
+    }
     return 0;
   }
 

@@ -13,6 +13,15 @@
 //       [--worker-timeout=<s>] silence before a worker is declared dead
 //       [--slow-redispatch=<s>] re-dispatch an experiment stuck this long
 //       [--out=<file.jsonl>] [--progress]
+//       [--colstore=<file.gfcs>] columnar result store for gemfi_query
+//       [--unix=<path>]        also serve same-host workers over an AF_UNIX
+//                              socket (forked --local-workers use it too)
+//       [--stop-ci=EPS[@CONF]] sequential early stop: end the campaign once
+//                              every outcome CI half-width is below EPS at
+//                              CONF confidence (default 0.99); deterministic
+//                              across worker counts and schedulings
+//       [--autoscale=MIN:MAX]  elastic local fleet: grow/retire forked
+//                              workers between MIN and MAX from the backlog
 //       [--no-fastmode]        disable the golden-path superblock tier for
 //                              calibration and every worker (A/B baseline;
 //                              the flag ships to workers in the Welcome)
@@ -25,6 +34,7 @@
 #include <memory>
 #include <string>
 
+#include "campaign/analytics/colstore.hpp"
 #include "campaign/dispatch.hpp"
 #include "campaign/observer.hpp"
 #include "campaign/runner.hpp"
@@ -42,6 +52,8 @@ namespace {
                "           [--worker-timeout=<s>] [--slow-redispatch=<s>]\n"
                "           [--out=<file.jsonl>] [--progress] [--cpu=atomic|timing|"
                "pipelined]\n"
+               "           [--colstore=<file.gfcs>] [--unix=<path>] [--stop-ci=EPS[@CONF]]\n"
+               "           [--autoscale=MIN:MAX]\n"
                "           [--paper] [--deadline=<s>] [--retries=<k>] [--watchdog-mult=<k>]\n"
                "           [--no-fastmode]\n",
                argv0);
@@ -51,7 +63,7 @@ namespace {
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::string app_name, out_path;
+  std::string app_name, out_path, colstore_path;
   apps::AppScale scale;
   campaign::CampaignConfig cfg;
   campaign::DispatchConfig dcfg;
@@ -81,7 +93,26 @@ int main(int argc, char** argv) {
     else if (arg.rfind("--slow-redispatch=", 0) == 0)
       dcfg.slow_redispatch_s = parse_f64_flag("slow-redispatch", arg.substr(18));
     else if (arg.rfind("--out=", 0) == 0) out_path = arg.substr(6);
-    else if (arg == "--progress") progress = true;
+    else if (arg.rfind("--colstore=", 0) == 0) colstore_path = arg.substr(11);
+    else if (arg.rfind("--unix=", 0) == 0) dcfg.unix_path = arg.substr(7);
+    else if (arg.rfind("--stop-ci=", 0) == 0) {
+      try {
+        dcfg.stop = campaign::parse_stop_ci(arg.substr(10));
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "%s\n", e.what());
+        return 2;
+      }
+    } else if (arg.rfind("--autoscale=", 0) == 0) {
+      const std::string spec = arg.substr(12);
+      const auto colon = spec.find(':');
+      if (colon == std::string::npos) usage(argv[0]);
+      dcfg.autoscale.min_workers =
+          parse_u32_flag("autoscale", spec.substr(0, colon));
+      dcfg.autoscale.max_workers =
+          parse_u32_flag("autoscale", spec.substr(colon + 1));
+      if (dcfg.autoscale.max_workers < dcfg.autoscale.min_workers)
+        usage(argv[0]);
+    } else if (arg == "--progress") progress = true;
     else if (arg.rfind("--cpu=", 0) == 0) {
       const std::string kind = arg.substr(6);
       if (kind == "atomic") cfg.cpu = sim::CpuKind::AtomicSimple;
@@ -111,6 +142,7 @@ int main(int argc, char** argv) {
 
   campaign::TeeObserver tee;
   std::unique_ptr<campaign::JsonlSink> sink;
+  std::unique_ptr<campaign::ColstoreSink> colstore;
   std::unique_ptr<campaign::ProgressPrinter> reporter;
   if (!out_path.empty()) {
     try {
@@ -121,6 +153,15 @@ int main(int argc, char** argv) {
     }
     sink->write_line(campaign::calibration_record_to_json(app_name, ca, cfg.fastmode));
     tee.add(sink.get());
+  }
+  if (!colstore_path.empty()) {
+    try {
+      colstore = std::make_unique<campaign::ColstoreSink>(colstore_path);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "%s\n", e.what());
+      return 2;
+    }
+    tee.add(colstore.get());
   }
   if (progress) {
     reporter = std::make_unique<campaign::ProgressPrinter>(stderr);
@@ -139,11 +180,27 @@ int main(int argc, char** argv) {
                  unsigned(master.port()));
 
     campaign::LocalWorkerPool pool;
+    const bool over_unix = !dcfg.unix_path.empty();
+    if (dcfg.autoscale.enabled() &&
+        local_workers > dcfg.autoscale.max_workers)
+      local_workers = dcfg.autoscale.max_workers;
     if (local_workers > 0)
-      pool = campaign::LocalWorkerPool::spawn(local_workers, master.port(), slots);
+      pool = over_unix ? campaign::LocalWorkerPool::spawn_unix(
+                             local_workers, dcfg.unix_path, slots)
+                       : campaign::LocalWorkerPool::spawn(local_workers,
+                                                          master.port(), slots);
+    if (dcfg.autoscale.enabled()) {
+      const std::uint16_t port = master.port();
+      const std::string unix_path = dcfg.unix_path;
+      master.set_spawn_callback([&pool, port, unix_path, slots](unsigned n) {
+        if (!unix_path.empty()) pool.grow_unix(n, unix_path, slots);
+        else pool.grow(n, port, slots);
+      });
+    }
 
     const campaign::DispatchReport dr = master.run();
     pool.wait_all();
+    if (colstore) colstore->finish();
 
     std::fprintf(stderr,
                  "NoW service: %zu/%zu experiments in %.2fs — %u workers joined, "
@@ -155,6 +212,15 @@ int main(int argc, char** argv) {
                  (unsigned long long)dr.duplicate_results,
                  double(dr.checkpoint_bytes_shipped) / 1024.0,
                  dr.drained_early ? " (drained early)" : "");
+    if (dr.stopped_early)
+      std::fprintf(stderr,
+                   "sequential stop: rule satisfied at prefix %llu/%zu "
+                   "(%llu queued experiments cancelled, %u spawned, %u retired)\n",
+                   (unsigned long long)dr.stop_index, faults.size(),
+                   (unsigned long long)dr.cancelled, dr.workers_spawned,
+                   dr.workers_retired);
+    if (!dr.aggregate_summary.empty())
+      std::printf("%s\n", dr.aggregate_summary.c_str());
     for (unsigned o = 0; o < apps::kNumOutcomes; ++o) {
       const auto outcome = static_cast<apps::Outcome>(o);
       std::printf("%-16s %6zu  %5.1f%%\n", apps::outcome_name(outcome),
@@ -163,7 +229,9 @@ int main(int argc, char** argv) {
     if (sink)
       std::fprintf(stderr, "wrote %zu records to %s\n", sink->lines_written(),
                    out_path.c_str());
-    return dr.completed == faults.size() ? 0 : 3;
+    // A sequential stop is a successful campaign: the answer is in, within
+    // the requested error bound, with the tail of the fault list unspent.
+    return dr.completed == faults.size() || dr.stopped_early ? 0 : 3;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "%s\n", e.what());
     return 2;

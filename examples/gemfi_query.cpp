@@ -1,0 +1,178 @@
+// gemfi_query — slice a columnar campaign result store (--colstore output)
+// without re-parsing JSONL.
+//
+// Usage:
+//   gemfi_query <file.gfcs>                     outcome histogram (default)
+//   gemfi_query <file.gfcs> --by=outcome|location|behavior|family|timing|worker
+//   gemfi_query <file.gfcs> --where=<col>=<value> [--where=...]  filter rows
+//       columns: outcome, location, behavior, family (by dictionary name),
+//                worker, applied (0/1), index
+//   gemfi_query <file.gfcs> --count               just the row count
+//   gemfi_query <file.gfcs> --rows [--limit=<n>]  dump matching rows as TSV
+//
+// Filters AND together. Exit codes: 0 ok, 2 bad usage or unreadable store.
+#include <cstdio>
+#include <cstring>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "campaign/analytics/aggregator.hpp"
+#include "campaign/analytics/colstore.hpp"
+#include "flag_parse.hpp"
+
+using namespace gemfi;
+using campaign::ColstoreFile;
+using campaign::ColstoreRow;
+
+namespace {
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s <file.gfcs> [--by=outcome|location|behavior|family|"
+               "timing|worker]\n"
+               "          [--where=<col>=<value>]... [--count] [--rows] "
+               "[--limit=<n>]\n",
+               argv0);
+  std::exit(2);
+}
+
+/// Resolve a dictionary name to its code; exits with the valid names on a miss.
+std::uint8_t code_for(const std::vector<std::string>& dict,
+                      const std::string& name, const char* col) {
+  for (std::size_t i = 0; i < dict.size(); ++i)
+    if (dict[i] == name) return std::uint8_t(i);
+  std::fprintf(stderr, "unknown %s '%s'; one of:", col, name.c_str());
+  for (const std::string& d : dict) std::fprintf(stderr, " %s", d.c_str());
+  std::fprintf(stderr, "\n");
+  std::exit(2);
+}
+
+const char* dict_name(const std::vector<std::string>& dict, std::uint8_t code) {
+  return code < dict.size() ? dict[code].c_str() : "?";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string path, by = "outcome";
+  std::vector<std::pair<std::string, std::string>> wheres;
+  bool count_only = false, dump_rows = false;
+  std::uint64_t limit = ~0ull;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--by=", 0) == 0) by = arg.substr(5);
+    else if (arg.rfind("--where=", 0) == 0) {
+      const std::string w = arg.substr(8);
+      const auto eq = w.find('=');
+      if (eq == std::string::npos) usage(argv[0]);
+      wheres.emplace_back(w.substr(0, eq), w.substr(eq + 1));
+    } else if (arg == "--count") count_only = true;
+    else if (arg == "--rows") dump_rows = true;
+    else if (arg.rfind("--limit=", 0) == 0)
+      limit = cliflags::parse_u64_flag("limit", arg.substr(8));
+    else if (arg.rfind("--", 0) == 0) usage(argv[0]);
+    else if (path.empty()) path = arg;
+    else usage(argv[0]);
+  }
+  if (path.empty()) usage(argv[0]);
+
+  ColstoreFile store;
+  try {
+    store = campaign::read_colstore(path);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "gemfi_query: %s: %s\n", path.c_str(), e.what());
+    return 2;
+  }
+
+  // Compile the filters against the dictionaries once, up front.
+  std::vector<std::function<bool(const ColstoreRow&)>> filters;
+  for (const auto& [col, value] : wheres) {
+    if (col == "outcome") {
+      const std::uint8_t c = code_for(store.outcome_names, value, "outcome");
+      filters.emplace_back([c](const ColstoreRow& r) { return r.outcome == c; });
+    } else if (col == "location") {
+      const std::uint8_t c = code_for(store.location_names, value, "location");
+      filters.emplace_back([c](const ColstoreRow& r) { return r.location == c; });
+    } else if (col == "behavior") {
+      const std::uint8_t c = code_for(store.behavior_names, value, "behavior");
+      filters.emplace_back([c](const ColstoreRow& r) { return r.behavior == c; });
+    } else if (col == "family") {
+      const std::uint8_t c = code_for(store.family_names, value, "family");
+      filters.emplace_back([c](const ColstoreRow& r) { return r.family == c; });
+    } else if (col == "worker") {
+      const unsigned w = cliflags::parse_u32_flag("where", value);
+      filters.emplace_back([w](const ColstoreRow& r) { return r.worker == w; });
+    } else if (col == "applied") {
+      const bool a = cliflags::parse_u32_flag("where", value) != 0;
+      filters.emplace_back([a](const ColstoreRow& r) { return r.applied == a; });
+    } else if (col == "index") {
+      const std::uint64_t idx = cliflags::parse_u64_flag("where", value);
+      filters.emplace_back([idx](const ColstoreRow& r) { return r.index == idx; });
+    } else {
+      usage(argv[0]);
+    }
+  }
+
+  std::vector<const ColstoreRow*> rows;
+  rows.reserve(store.rows.size());
+  for (const ColstoreRow& r : store.rows) {
+    bool keep = true;
+    for (const auto& f : filters)
+      if (!f(r)) { keep = false; break; }
+    if (keep) rows.push_back(&r);
+  }
+
+  if (count_only) {
+    std::printf("%zu\n", rows.size());
+    return 0;
+  }
+  if (dump_rows) {
+    std::printf("index\tworker\toutcome\tlocation\tbehavior\tfamily\tapplied\t"
+                "retries\ttime_fraction\tmetric\tsim_ticks\n");
+    std::uint64_t printed = 0;
+    for (const ColstoreRow* r : rows) {
+      if (printed++ >= limit) break;
+      std::printf("%llu\t%u\t%s\t%s\t%s\t%s\t%d\t%u\t%.6f\t%.6f\t%llu\n",
+                  (unsigned long long)r->index, r->worker,
+                  dict_name(store.outcome_names, r->outcome),
+                  dict_name(store.location_names, r->location),
+                  dict_name(store.behavior_names, r->behavior),
+                  dict_name(store.family_names, r->family), int(r->applied),
+                  r->retries, r->time_fraction, r->metric,
+                  (unsigned long long)r->sim_ticks);
+    }
+    return 0;
+  }
+
+  // Histogram over the requested dimension, dictionary-named where one exists.
+  std::map<std::string, std::uint64_t> hist;
+  for (const ColstoreRow* r : rows) {
+    std::string key;
+    if (by == "outcome") key = dict_name(store.outcome_names, r->outcome);
+    else if (by == "location") key = dict_name(store.location_names, r->location);
+    else if (by == "behavior") key = dict_name(store.behavior_names, r->behavior);
+    else if (by == "family") key = dict_name(store.family_names, r->family);
+    else if (by == "worker") key = "worker " + std::to_string(r->worker);
+    else if (by == "timing") {
+      const double tf = r->time_fraction;
+      unsigned bin = tf >= 1.0 ? campaign::kNumTimingBins - 1
+                     : tf < 0.0 ? 0
+                                : unsigned(tf * campaign::kNumTimingBins);
+      char buf[16];
+      std::snprintf(buf, sizeof buf, "%.1f-%.1f",
+                    double(bin) / campaign::kNumTimingBins,
+                    double(bin + 1) / campaign::kNumTimingBins);
+      key = buf;
+    } else usage(argv[0]);
+    ++hist[key];
+  }
+  for (const auto& [key, n] : hist)
+    std::printf("%-20s %8llu  %5.1f%%\n", key.c_str(), (unsigned long long)n,
+                rows.empty() ? 0.0 : 100.0 * double(n) / double(rows.size()));
+  std::fprintf(stderr, "%zu/%zu rows (%zu groups)\n", rows.size(),
+               store.rows.size(), hist.size());
+  return 0;
+}

@@ -19,6 +19,7 @@
 #include <fstream>
 #include <string>
 
+#include "campaign/analytics/aggregator.hpp"
 #include "campaign/service/client.hpp"
 #include "flag_parse.hpp"
 
@@ -35,6 +36,7 @@ namespace {
       "           [--tenant=<t>] [--name=<label>] [--seed=<u64>] [--weight=<k>]\n"
       "           [--max-workers=<k>] [--cpu=atomic|timing|pipelined] [--paper]\n"
       "           [--deadline=<s>] [--retries=<k>] [--watchdog-mult=<k>]\n"
+      "           [--stop-ci=EPS[@CONF]] sequential early stop for this campaign\n"
       "           [--no-fastmode] [--wait] [--out=<file.jsonl>]\n"
       "       %s --port=<p> --status[=<id>]\n"
       "       %s --port=<p> --cancel=<id>\n"
@@ -117,7 +119,16 @@ int main(int argc, char** argv) {
     else if (arg.rfind("--watchdog-mult=", 0) == 0)
       spec.watchdog_mult = parse_u64_flag("watchdog-mult", arg.substr(16));
     else if (arg == "--no-fastmode") spec.fastmode = false;
-    else if (arg == "--status") do_status = true;
+    else if (arg.rfind("--stop-ci=", 0) == 0) {
+      try {
+        const campaign::StopPolicy p = campaign::parse_stop_ci(arg.substr(10));
+        spec.stop_eps = p.eps;
+        spec.stop_conf = p.confidence;
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "%s\n", e.what());
+        return 2;
+      }
+    } else if (arg == "--status") do_status = true;
     else if (arg.rfind("--status=", 0) == 0) {
       do_status = true;
       status_id = parse_u64_flag("status", arg.substr(9));

@@ -1,0 +1,218 @@
+#include "campaign/analytics/aggregator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+#include "campaign/jsonl.hpp"
+
+namespace gemfi::campaign {
+
+StopPolicy parse_stop_ci(const std::string& spec) {
+  StopPolicy p;
+  std::string eps_text = spec;
+  std::string conf_text;
+  bool has_conf = false;
+  if (const auto at = spec.find('@'); at != std::string::npos) {
+    eps_text = spec.substr(0, at);
+    conf_text = spec.substr(at + 1);
+    has_conf = true;  // "EPS@" with nothing after is malformed, not a default
+  }
+  const auto parse_part = [&](const std::string& text, const char* what) {
+    std::size_t used = 0;
+    double v = 0.0;
+    try {
+      v = std::stod(text, &used);
+    } catch (const std::exception&) {
+      used = 0;
+    }
+    if (used != text.size() || text.empty())
+      throw std::invalid_argument("invalid --stop-ci " + std::string(what) + ": '" +
+                                  text + "' (expected EPS or EPS@CONF, e.g. 0.01@0.99)");
+    return v;
+  };
+  p.eps = parse_part(eps_text, "eps");
+  if (has_conf) p.confidence = parse_part(conf_text, "confidence");
+  if (!(p.eps > 0.0) || p.eps > 0.5)
+    throw std::invalid_argument("--stop-ci eps must be in (0, 0.5], got '" + eps_text +
+                                "'");
+  if (!(p.confidence > 0.5) || !(p.confidence < 1.0))
+    throw std::invalid_argument("--stop-ci confidence must be in (0.5, 1), got '" +
+                                conf_text + "'");
+  return p;
+}
+
+fi::FaultModelKind fault_family(const fi::Fault& f) noexcept {
+  if (f.location == fi::FaultLocation::Skip || f.location == fi::FaultLocation::Opcode)
+    return fi::FaultModelKind::Attack;
+  if (f.duty_cycled()) return fi::FaultModelKind::Intermittent;
+  if (f.behavior == fi::FaultBehavior::StuckZero ||
+      f.behavior == fi::FaultBehavior::StuckOne)
+    return fi::FaultModelKind::StuckAt;
+  if (f.behavior == fi::FaultBehavior::Burst || f.behavior == fi::FaultBehavior::RandK)
+    return fi::FaultModelKind::Burst;
+  return fi::FaultModelKind::Transient;
+}
+
+Aggregator::Aggregator(StopPolicy policy, std::size_t total_experiments)
+    : policy_(policy), total_(total_experiments) {}
+
+bool Aggregator::add(const ExperimentRecord& rec) {
+  const auto outcome = static_cast<unsigned>(rec.result.classification.outcome);
+  ++n_;
+  if (outcome < apps::kNumOutcomes) ++outcome_counts_[outcome];
+  const auto loc = static_cast<unsigned>(rec.result.fault.location);
+  if (loc < fi::kNumFaultLocations) ++location_counts_[loc];
+  ++family_counts_[static_cast<unsigned>(fault_family(rec.result.fault))];
+  const double tf = std::clamp(rec.result.time_fraction, 0.0, 1.0);
+  const auto bin = std::min<unsigned>(kNumTimingBins - 1,
+                                      static_cast<unsigned>(tf * kNumTimingBins));
+  ++timing_counts_[bin];
+
+  // Advance the contiguous index-ordered prefix through the reorder buffer
+  // and re-test the stop rule once per newly absorbed prefix element. The
+  // rule is tested at every prefix length (not just the final one), so the
+  // first satisfying k is found even when one arriving record unlocks a
+  // whole buffered run.
+  if (stop_index_.has_value()) return false;  // draining: prefix is frozen
+  pending_.emplace(rec.index, static_cast<std::uint8_t>(outcome));
+  evaluate_prefix_rule();
+  return stop_index_.has_value();
+}
+
+void Aggregator::evaluate_prefix_rule() {
+  for (auto it = pending_.begin(); it != pending_.end() && it->first == prefix_n_;
+       it = pending_.erase(it)) {
+    if (it->second < apps::kNumOutcomes) ++prefix_counts_[it->second];
+    ++prefix_n_;
+    if (policy_.enabled() && prefix_rule_holds()) {
+      // Freeze the prefix at the first satisfying k: one arriving record can
+      // unlock a whole buffered run, and absorbing past k would make the
+      // stop-prefix counts depend on arrival order. prefix_counts_ must stay
+      // exactly the counts over [0, stop_index_).
+      stop_index_ = prefix_n_;
+      pending_.erase(it);
+      return;
+    }
+  }
+}
+
+bool Aggregator::prefix_rule_holds() const {
+  if (prefix_n_ < policy_.min_n) return false;
+  // Finite-population correction: the campaign plan is the population and the
+  // index prefix samples it without replacement, so the standard error of
+  // "how far can the full campaign's proportion still be from the prefix's"
+  // shrinks by sqrt((N-n)/(N-1)). With an unknown population (total_ == 0)
+  // the factor is 1 and the rule is the classical infinite-population test.
+  double fpc = 1.0;
+  if (total_ > 1 && prefix_n_ <= total_) {
+    fpc = std::sqrt(double(total_ - prefix_n_) / double(total_ - 1));
+  }
+  for (unsigned o = 0; o < apps::kNumOutcomes; ++o) {
+    const auto ci =
+        util::wilson_interval(prefix_counts_[o], prefix_n_, policy_.confidence);
+    if (ci.half_width() * fpc >= policy_.eps) return false;
+  }
+  return true;
+}
+
+util::ProportionInterval Aggregator::wilson(apps::Outcome o) const {
+  return util::wilson_interval(outcome_counts_[static_cast<unsigned>(o)], n_,
+                               policy_.confidence);
+}
+
+util::ProportionInterval Aggregator::clopper_pearson(apps::Outcome o) const {
+  return util::clopper_pearson_interval(outcome_counts_[static_cast<unsigned>(o)], n_,
+                                        policy_.confidence);
+}
+
+double Aggregator::max_half_width() const {
+  double w = n_ == 0 ? 0.5 : 0.0;
+  for (unsigned o = 0; o < apps::kNumOutcomes; ++o)
+    w = std::max(w, wilson(apps::Outcome(o)).half_width());
+  return w;
+}
+
+namespace {
+
+// Deterministic double rendering matching jsonl::ObjectWriter ("%.17g",
+// non-finite -> null), reused for the nested summary blocks ObjectWriter's
+// flat API cannot express.
+std::string json_double(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string Aggregator::summary_json(std::string_view kind) const {
+  // Over the stop prefix when the rule fired (the deterministic view), else
+  // over everything seen.
+  const bool stopped = stop_index_.has_value();
+  const std::uint64_t n = stopped ? *stop_index_ : n_;
+  const auto& counts = stopped ? prefix_counts_ : outcome_counts_;
+
+  std::string out = "{\"type\":\"";
+  out += jsonl::escape(kind);
+  out += "\",\"n\":" + std::to_string(n);
+  out += ",\"total\":" + std::to_string(total_);
+  out += ",\"stopped_early\":";
+  out += stopped ? "true" : "false";
+  if (stopped) out += ",\"stop_index\":" + std::to_string(*stop_index_);
+  out += ",\"eps\":" + json_double(policy_.eps);
+  out += ",\"confidence\":" + json_double(policy_.confidence);
+
+  out += ",\"outcomes\":{";
+  for (unsigned o = 0; o < apps::kNumOutcomes; ++o) {
+    const std::uint64_t k = counts[o];
+    const auto wi = util::wilson_interval(k, n, policy_.confidence);
+    const auto cp = util::clopper_pearson_interval(k, n, policy_.confidence);
+    if (o) out += ',';
+    out += '"';
+    out += apps::outcome_name(apps::Outcome(o));
+    out += "\":{\"count\":" + std::to_string(k);
+    out += ",\"fraction\":" + json_double(n ? double(k) / double(n) : 0.0);
+    out += ",\"wilson_lo\":" + json_double(wi.lo);
+    out += ",\"wilson_hi\":" + json_double(wi.hi);
+    out += ",\"cp_lo\":" + json_double(cp.lo);
+    out += ",\"cp_hi\":" + json_double(cp.hi);
+    out += '}';
+  }
+  out += '}';
+
+  // The histogram marginals are order-independent counts over everything
+  // added, so they are deterministic too once the campaign's record set is
+  // fixed — which the stop prefix view does not fix. To keep the whole
+  // summary byte-identical across schedulings they are also restricted to
+  // nothing beyond what every run must have seen: emitted only in the
+  // non-stopped (complete-set) summary.
+  if (!stopped) {
+    out += ",\"locations\":{";
+    for (unsigned l = 0; l < fi::kNumFaultLocations; ++l) {
+      if (l) out += ',';
+      out += '"';
+      out += fi::fault_location_name(fi::FaultLocation(l));
+      out += "\":" + std::to_string(location_counts_[l]);
+    }
+    out += "},\"families\":{";
+    for (unsigned f = 0; f < fi::kNumFaultModelKinds; ++f) {
+      if (f) out += ',';
+      out += '"';
+      out += fi::fault_model_kind_name(fi::FaultModelKind(f));
+      out += "\":" + std::to_string(family_counts_[f]);
+    }
+    out += "},\"timing_deciles\":[";
+    for (unsigned b = 0; b < kNumTimingBins; ++b) {
+      if (b) out += ',';
+      out += std::to_string(timing_counts_[b]);
+    }
+    out += ']';
+  }
+  out += '}';
+  return out;
+}
+
+}  // namespace gemfi::campaign

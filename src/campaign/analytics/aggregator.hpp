@@ -1,0 +1,163 @@
+// Streaming campaign analytics (the "campaign cost" lens of ZOFI/CHAOS,
+// PAPERS.md): instead of writing JSONL nobody reads until the campaign
+// joins, the Aggregator consumes each ExperimentRecord as the master/service
+// receives it and maintains, online:
+//
+//  * outcome counts and binomial confidence intervals (Wilson + exact
+//    Clopper-Pearson) per outcome class;
+//  * per-fault-location, per-fault-family and per-injection-time-decile
+//    histograms (the marginals behind Figs. 4-6);
+//  * a sequential early-stop decision: once every outcome proportion's
+//    Wilson CI half-width is below the policy's eps at the policy's
+//    confidence, the remaining experiments cannot change the answer beyond
+//    the stated error bound — the campaign can stop and save the fleet.
+//
+// Determinism of the stop decision is the load-bearing property. Results
+// arrive in nondeterministic order (workers race), so the stop rule is NOT
+// evaluated on arrival order: records are run through a reorder buffer and
+// the rule is tested only on ever-growing index-ordered prefixes [0, k).
+// The first k satisfying the rule is a pure function of the fault list, so
+// the stop index and the stop-time summary are byte-identical across worker
+// counts, schedulings, transports and --replay.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "campaign/observer.hpp"
+#include "campaign/runner.hpp"
+#include "util/stats.hpp"
+
+namespace gemfi::campaign {
+
+/// Sequential early-stop rule: stop once every outcome proportion's Wilson
+/// interval half-width is below `eps` at `confidence`, evaluated on
+/// index-ordered prefixes of at least `min_n` results. eps == 0 disables
+/// stopping (the aggregator still aggregates).
+///
+/// When the campaign's total experiment count is known (total_experiments
+/// > 0), the half-width carries the finite-population correction
+/// sqrt((N-n)/(N-1)): the campaign plan *is* the population, and running its
+/// seeded index prefix is sampling without replacement, so the rule certifies
+/// agreement with what the full planned campaign would report — the
+/// remaining experiments cannot move any outcome proportion beyond eps at
+/// the stated confidence. With total_experiments == 0 the correction
+/// vanishes and the rule is the classical infinite-population one.
+struct StopPolicy {
+  double eps = 0.0;
+  double confidence = 0.99;
+  std::uint64_t min_n = 64;
+
+  [[nodiscard]] bool enabled() const noexcept { return eps > 0.0; }
+};
+
+/// Parse the CLI form "EPS@CONF" (e.g. "0.01@0.99"); a bare "EPS" keeps the
+/// default 99% confidence. Throws std::invalid_argument naming the flag on
+/// malformed input, eps outside (0, 0.5] or confidence outside (0.5, 1).
+StopPolicy parse_stop_ci(const std::string& spec);
+
+/// Infer the fault-model family a concrete Fault belongs to (the inverse of
+/// random_model_fault's synthesis): attacks by location, intermittents by
+/// duty cycling, stuck-ats by sticky mask behavior, bursts by multi-bit
+/// behavior, everything else transient SEU.
+fi::FaultModelKind fault_family(const fi::Fault& f) noexcept;
+
+inline constexpr unsigned kNumTimingBins = 10;  // deciles of time_fraction
+
+/// Online campaign statistics + sequential stop rule. Thread-safe as a
+/// CampaignObserver (per-call mutex); the direct add()/query API is NOT
+/// synchronized and is meant for single-threaded consumers (the Master's
+/// poll loop, the service, tests).
+class Aggregator final : public CampaignObserver {
+ public:
+  explicit Aggregator(StopPolicy policy = {}, std::size_t total_experiments = 0);
+
+  /// Consume one result (any arrival order; duplicate indices are the
+  /// caller's problem — the dispatch layer dedups before observing).
+  /// Returns true if this record newly satisfied the stop rule.
+  bool add(const ExperimentRecord& rec);
+
+  // --- arrival-order totals (order-independent: counts over the set seen) ---
+  [[nodiscard]] std::uint64_t n() const noexcept { return n_; }
+  [[nodiscard]] const std::array<std::uint64_t, apps::kNumOutcomes>& outcome_counts()
+      const noexcept {
+    return outcome_counts_;
+  }
+  [[nodiscard]] const std::array<std::uint64_t, fi::kNumFaultLocations>&
+  location_counts() const noexcept {
+    return location_counts_;
+  }
+  [[nodiscard]] const std::array<std::uint64_t, fi::kNumFaultModelKinds>&
+  family_counts() const noexcept {
+    return family_counts_;
+  }
+  [[nodiscard]] const std::array<std::uint64_t, kNumTimingBins>& timing_counts()
+      const noexcept {
+    return timing_counts_;
+  }
+
+  [[nodiscard]] util::ProportionInterval wilson(apps::Outcome o) const;
+  [[nodiscard]] util::ProportionInterval clopper_pearson(apps::Outcome o) const;
+
+  /// Widest Wilson half-width across all outcome classes over everything
+  /// seen so far (the quantity the stop rule drives to eps).
+  [[nodiscard]] double max_half_width() const;
+
+  // --- sequential stop rule (index-ordered prefix; deterministic) ---
+  [[nodiscard]] const StopPolicy& policy() const noexcept { return policy_; }
+  [[nodiscard]] bool should_stop() const noexcept { return stop_index_.has_value(); }
+  /// Prefix length [0, k) at which the rule first held; meaningful only
+  /// when should_stop().
+  [[nodiscard]] std::uint64_t stop_index() const noexcept {
+    return stop_index_.value_or(0);
+  }
+  /// Length of the contiguous index-ordered prefix received so far.
+  [[nodiscard]] std::uint64_t prefix_n() const noexcept { return prefix_n_; }
+  /// Outcome counts over the contiguous prefix [0, prefix_n()) — frozen at
+  /// [0, stop_index()) once the rule fires.
+  [[nodiscard]] const std::array<std::uint64_t, apps::kNumOutcomes>& prefix_counts()
+      const noexcept {
+    return prefix_counts_;
+  }
+
+  /// One deterministic single-line JSON summary record. When the rule fired,
+  /// the per-outcome block is computed over the stop prefix [0, stop_index)
+  /// — byte-identical across schedulings; otherwise over everything seen.
+  /// `kind` is the record's "type" field (e.g. "stopped_early", "summary").
+  [[nodiscard]] std::string summary_json(std::string_view kind) const;
+
+  // CampaignObserver adapter (locks; usable in a TeeObserver chain).
+  void on_experiment(const ExperimentRecord& rec) override {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    add(rec);
+  }
+
+ private:
+  void evaluate_prefix_rule();
+  [[nodiscard]] bool prefix_rule_holds() const;
+
+  StopPolicy policy_;
+  std::size_t total_ = 0;
+
+  std::uint64_t n_ = 0;
+  std::array<std::uint64_t, apps::kNumOutcomes> outcome_counts_{};
+  std::array<std::uint64_t, fi::kNumFaultLocations> location_counts_{};
+  std::array<std::uint64_t, fi::kNumFaultModelKinds> family_counts_{};
+  std::array<std::uint64_t, kNumTimingBins> timing_counts_{};
+
+  // Reorder buffer: outcomes of records whose index is beyond the contiguous
+  // prefix. Bounded by the dispatch in-flight window (slots x pipeline
+  // depth), so it stays tiny even on wide fleets.
+  std::map<std::uint64_t, std::uint8_t> pending_;
+  std::uint64_t prefix_n_ = 0;
+  std::array<std::uint64_t, apps::kNumOutcomes> prefix_counts_{};
+  std::optional<std::uint64_t> stop_index_;
+
+  std::mutex mutex_;  // observer adapter only
+};
+
+}  // namespace gemfi::campaign

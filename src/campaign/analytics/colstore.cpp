@@ -1,0 +1,316 @@
+#include "campaign/analytics/colstore.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <iterator>
+
+#include "campaign/analytics/aggregator.hpp"
+#include "util/bytesio.hpp"
+
+namespace gemfi::campaign {
+
+namespace {
+
+constexpr char kHeaderMagic[4] = {'G', 'F', 'C', 'S'};
+constexpr char kTrailerMagic[4] = {'G', 'F', 'C', 'E'};
+constexpr std::size_t kHeaderSize = 8;   // magic + u32 version
+constexpr std::size_t kTrailerSize = 12;  // u32 footer_len + u32 crc + magic
+
+// Minimal byte width that can hold `maxv` (1, 2, 4 or 8).
+std::uint8_t width_for(std::uint64_t maxv) {
+  if (maxv <= 0xffu) return 1;
+  if (maxv <= 0xffffu) return 2;
+  if (maxv <= 0xffffffffu) return 4;
+  return 8;
+}
+
+// Packed integer column: u8 width, then rows x width little-endian bytes.
+template <typename Get>
+void put_packed(util::ByteWriter& w, const std::vector<ColstoreRow>& rows, Get get) {
+  std::uint64_t maxv = 0;
+  for (const auto& r : rows) maxv = std::max(maxv, static_cast<std::uint64_t>(get(r)));
+  const std::uint8_t width = width_for(maxv);
+  w.put_u8(width);
+  for (const auto& r : rows) {
+    const std::uint64_t v = static_cast<std::uint64_t>(get(r));
+    for (unsigned b = 0; b < width; ++b) w.put_u8(std::uint8_t(v >> (8 * b)));
+  }
+}
+
+template <typename Set>
+void get_packed(util::ByteReader& r, std::vector<ColstoreRow>& rows, Set set) {
+  const std::uint8_t width = r.get_u8();
+  if (width != 1 && width != 2 && width != 4 && width != 8)
+    throw util::DeserializeError("colstore: bad packed column width " +
+                                 std::to_string(width));
+  for (auto& row : rows) {
+    std::uint64_t v = 0;
+    for (unsigned b = 0; b < width; ++b)
+      v |= std::uint64_t(r.get_u8()) << (8 * b);
+    set(row, v);
+  }
+}
+
+void put_bools(util::ByteWriter& w, const std::vector<ColstoreRow>& rows) {
+  std::uint8_t byte = 0;
+  unsigned bit = 0;
+  for (const auto& r : rows) {
+    if (r.applied) byte |= std::uint8_t(1u << bit);
+    if (++bit == 8) {
+      w.put_u8(byte);
+      byte = 0;
+      bit = 0;
+    }
+  }
+  if (bit != 0) w.put_u8(byte);
+}
+
+void get_bools(util::ByteReader& r, std::vector<ColstoreRow>& rows) {
+  std::uint8_t byte = 0;
+  unsigned bit = 8;
+  for (auto& row : rows) {
+    if (bit == 8) {
+      byte = r.get_u8();
+      bit = 0;
+    }
+    row.applied = (byte >> bit) & 1u;
+    ++bit;
+  }
+}
+
+template <typename Get>
+void put_f64s(util::ByteWriter& w, const std::vector<ColstoreRow>& rows, Get get) {
+  for (const auto& r : rows) w.put_f64(get(r));
+}
+
+template <typename Set>
+void get_f64s(util::ByteReader& r, std::vector<ColstoreRow>& rows, Set set) {
+  for (auto& row : rows) set(row, r.get_f64());
+}
+
+std::vector<std::uint8_t> encode_group(const std::vector<ColstoreRow>& rows) {
+  util::ByteWriter w;
+  w.put_u32(std::uint32_t(rows.size()));
+  put_packed(w, rows, [](const ColstoreRow& r) { return r.index; });
+  put_packed(w, rows, [](const ColstoreRow& r) { return r.worker; });
+  put_packed(w, rows, [](const ColstoreRow& r) { return r.seed; });
+  put_packed(w, rows, [](const ColstoreRow& r) { return r.outcome; });
+  put_packed(w, rows, [](const ColstoreRow& r) { return r.location; });
+  put_packed(w, rows, [](const ColstoreRow& r) { return r.behavior; });
+  put_packed(w, rows, [](const ColstoreRow& r) { return r.family; });
+  put_bools(w, rows);
+  put_packed(w, rows, [](const ColstoreRow& r) { return r.retries; });
+  put_f64s(w, rows, [](const ColstoreRow& r) { return r.time_fraction; });
+  put_f64s(w, rows, [](const ColstoreRow& r) { return r.metric; });
+  put_packed(w, rows, [](const ColstoreRow& r) { return r.sim_ticks; });
+  return w.take();
+}
+
+void decode_group(util::ByteReader& r, std::vector<ColstoreRow>& out,
+                  std::uint32_t expected_rows) {
+  const std::uint32_t n = r.get_u32();
+  if (n != expected_rows)
+    throw util::DeserializeError("colstore: group row count mismatch");
+  std::vector<ColstoreRow> rows(n);
+  get_packed(r, rows, [](ColstoreRow& row, std::uint64_t v) { row.index = v; });
+  get_packed(r, rows,
+             [](ColstoreRow& row, std::uint64_t v) { row.worker = std::uint32_t(v); });
+  get_packed(r, rows, [](ColstoreRow& row, std::uint64_t v) { row.seed = v; });
+  get_packed(r, rows,
+             [](ColstoreRow& row, std::uint64_t v) { row.outcome = std::uint8_t(v); });
+  get_packed(r, rows,
+             [](ColstoreRow& row, std::uint64_t v) { row.location = std::uint8_t(v); });
+  get_packed(r, rows,
+             [](ColstoreRow& row, std::uint64_t v) { row.behavior = std::uint8_t(v); });
+  get_packed(r, rows,
+             [](ColstoreRow& row, std::uint64_t v) { row.family = std::uint8_t(v); });
+  get_bools(r, rows);
+  get_packed(r, rows,
+             [](ColstoreRow& row, std::uint64_t v) { row.retries = std::uint32_t(v); });
+  get_f64s(r, rows, [](ColstoreRow& row, double v) { row.time_fraction = v; });
+  get_f64s(r, rows, [](ColstoreRow& row, double v) { row.metric = v; });
+  get_packed(r, rows, [](ColstoreRow& row, std::uint64_t v) { row.sim_ticks = v; });
+  out.insert(out.end(), rows.begin(), rows.end());
+}
+
+void put_dictionary(util::ByteWriter& w, const std::vector<std::string>& names) {
+  w.put_u32(std::uint32_t(names.size()));
+  for (const auto& s : names) w.put_string(s);
+}
+
+std::vector<std::string> get_dictionary(util::ByteReader& r) {
+  const std::uint32_t n = r.get_u32();
+  if (n > 256) throw util::DeserializeError("colstore: oversized dictionary");
+  std::vector<std::string> names;
+  names.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) names.push_back(r.get_string());
+  return names;
+}
+
+template <typename Name>
+std::vector<std::string> enum_names(unsigned count, Name name) {
+  std::vector<std::string> out;
+  out.reserve(count);
+  for (unsigned i = 0; i < count; ++i) out.emplace_back(name(i));
+  return out;
+}
+
+}  // namespace
+
+ColstoreRow ColstoreRow::from_record(const ExperimentRecord& rec) {
+  ColstoreRow row;
+  row.index = rec.index;
+  row.worker = rec.worker;
+  row.seed = rec.seed;
+  row.outcome = std::uint8_t(rec.result.classification.outcome);
+  row.location = std::uint8_t(rec.result.fault.location);
+  row.behavior = std::uint8_t(rec.result.fault.behavior);
+  row.family = std::uint8_t(fault_family(rec.result.fault));
+  row.applied = rec.result.fault_applied;
+  row.retries = rec.result.retries;
+  row.time_fraction = rec.result.time_fraction;
+  row.metric = rec.result.classification.metric;
+  row.sim_ticks = rec.result.sim_ticks;
+  return row;
+}
+
+ColstoreWriter::ColstoreWriter(const std::string& path, std::uint32_t rows_per_group)
+    : path_(path), rows_per_group_(std::max(1u, rows_per_group)) {
+  os_.open(path, std::ios::binary | std::ios::trunc);
+  if (!os_) throw std::runtime_error("colstore: cannot open " + path + " for writing");
+  util::ByteWriter w;
+  w.put_bytes(std::span<const std::uint8_t>(
+      reinterpret_cast<const std::uint8_t*>(kHeaderMagic), 4));
+  w.put_u32(kColstoreVersion);
+  os_.write(reinterpret_cast<const char*>(w.bytes().data()),
+            std::streamsize(w.size()));
+  offset_ = w.size();
+}
+
+ColstoreWriter::~ColstoreWriter() {
+  try {
+    finish();
+  } catch (...) {
+  }
+}
+
+void ColstoreWriter::append(const ColstoreRow& row) {
+  if (finished_) throw std::logic_error("colstore: append after finish");
+  group_.push_back(row);
+  ++total_rows_;
+  if (group_.size() >= rows_per_group_) flush_group();
+}
+
+void ColstoreWriter::flush_group() {
+  if (group_.empty()) return;
+  const auto bytes = encode_group(group_);
+  groups_.push_back({offset_, std::uint32_t(group_.size())});
+  os_.write(reinterpret_cast<const char*>(bytes.data()), std::streamsize(bytes.size()));
+  offset_ += bytes.size();
+  group_.clear();
+}
+
+void ColstoreWriter::finish() {
+  if (finished_) return;
+  flush_group();
+
+  util::ByteWriter footer;
+  footer.put_u32(std::uint32_t(groups_.size()));
+  for (const auto& g : groups_) {
+    footer.put_u64(g.offset);
+    footer.put_u32(g.rows);
+  }
+  footer.put_u64(total_rows_);
+  put_dictionary(footer, enum_names(apps::kNumOutcomes, [](unsigned i) {
+                   return apps::outcome_name(apps::Outcome(i));
+                 }));
+  put_dictionary(footer, enum_names(fi::kNumFaultLocations, [](unsigned i) {
+                   return fi::fault_location_name(fi::FaultLocation(i));
+                 }));
+  put_dictionary(footer, enum_names(fi::kNumFaultBehaviors, [](unsigned i) {
+                   return fi::fault_behavior_name(fi::FaultBehavior(i));
+                 }));
+  put_dictionary(footer, enum_names(fi::kNumFaultModelKinds, [](unsigned i) {
+                   return fi::fault_model_kind_name(fi::FaultModelKind(i));
+                 }));
+
+  util::ByteWriter trailer;
+  trailer.put_u32(std::uint32_t(footer.size()));
+  trailer.put_u32(util::crc32(footer.bytes()));
+  trailer.put_bytes(std::span<const std::uint8_t>(
+      reinterpret_cast<const std::uint8_t*>(kTrailerMagic), 4));
+
+  os_.write(reinterpret_cast<const char*>(footer.bytes().data()),
+            std::streamsize(footer.size()));
+  os_.write(reinterpret_cast<const char*>(trailer.bytes().data()),
+            std::streamsize(trailer.size()));
+  os_.flush();
+  if (!os_) throw std::runtime_error("colstore: write failed for " + path_);
+  os_.close();
+  finished_ = true;
+}
+
+ColstoreFile decode_colstore(std::span<const std::uint8_t> image) {
+  if (image.size() < kHeaderSize + kTrailerSize)
+    throw util::DeserializeError("colstore: file too short");
+  if (std::memcmp(image.data(), kHeaderMagic, 4) != 0)
+    throw util::DeserializeError("colstore: bad header magic");
+  {
+    util::ByteReader hdr(image.subspan(4, 4));
+    const std::uint32_t version = hdr.get_u32();
+    if (version != kColstoreVersion)
+      throw util::DeserializeError("colstore: unsupported version " +
+                                   std::to_string(version));
+  }
+  const auto trailer = image.subspan(image.size() - kTrailerSize);
+  if (std::memcmp(trailer.data() + 8, kTrailerMagic, 4) != 0)
+    throw util::DeserializeError("colstore: bad trailer magic (truncated file?)");
+  util::ByteReader tr(trailer.first(8));
+  const std::uint32_t footer_len = tr.get_u32();
+  const std::uint32_t footer_crc = tr.get_u32();
+  if (footer_len > image.size() - kHeaderSize - kTrailerSize)
+    throw util::DeserializeError("colstore: footer length out of bounds");
+  const auto footer =
+      image.subspan(image.size() - kTrailerSize - footer_len, footer_len);
+  if (util::crc32(footer) != footer_crc)
+    throw util::DeserializeError("colstore: footer CRC mismatch");
+
+  ColstoreFile file;
+  util::ByteReader fr(footer);
+  const std::uint32_t group_count = fr.get_u32();
+  std::vector<std::pair<std::uint64_t, std::uint32_t>> groups;
+  groups.reserve(group_count);
+  for (std::uint32_t i = 0; i < group_count; ++i) {
+    const std::uint64_t off = fr.get_u64();
+    const std::uint32_t rows = fr.get_u32();
+    groups.emplace_back(off, rows);
+  }
+  const std::uint64_t total_rows = fr.get_u64();
+  file.outcome_names = get_dictionary(fr);
+  file.location_names = get_dictionary(fr);
+  file.behavior_names = get_dictionary(fr);
+  file.family_names = get_dictionary(fr);
+  if (!fr.at_end()) throw util::DeserializeError("colstore: trailing footer bytes");
+
+  const std::size_t data_end = image.size() - kTrailerSize - footer_len;
+  file.rows.reserve(total_rows);
+  for (const auto& [off, rows] : groups) {
+    if (off < kHeaderSize || off >= data_end)
+      throw util::DeserializeError("colstore: group offset out of bounds");
+    util::ByteReader gr(image.subspan(off, data_end - off));
+    decode_group(gr, file.rows, rows);
+  }
+  if (file.rows.size() != total_rows)
+    throw util::DeserializeError("colstore: row count mismatch");
+  return file;
+}
+
+ColstoreFile read_colstore(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw util::DeserializeError("colstore: cannot open " + path);
+  std::vector<std::uint8_t> image((std::istreambuf_iterator<char>(is)),
+                                  std::istreambuf_iterator<char>());
+  return decode_colstore(image);
+}
+
+}  // namespace gemfi::campaign

@@ -1,0 +1,131 @@
+// Compact columnar result store ("GFCS"), written alongside the JSONL
+// telemetry stream. JSONL is the replayable source of truth; the colstore is
+// the analytic view: multi-million-record campaigns compress to a few bytes
+// per experiment and slice in milliseconds from `gemfi_query`, without
+// re-parsing JSON.
+//
+// Layout (all little-endian, util::ByteWriter primitives):
+//
+//   header   "GFCS" magic + u32 format version
+//   groups   row groups of up to `rows_per_group` records; each column of a
+//            group is stored contiguously ("per-field packed columns"):
+//            integer columns as minimal-byte-width packed arrays (1/2/4/8,
+//            chosen per column per group), enum columns as u8 dictionary
+//            codes, bools bit-packed, doubles as raw f64
+//   footer   group directory (offset + row count per group), total rows,
+//            and the enum dictionaries (code -> name), making the file
+//            self-describing
+//   trailer  u32 footer length + u32 CRC32 of the footer bytes + "GFCE"
+//
+// The reader seeks the trailer first: a truncated, torn or corrupted file
+// fails the magic/CRC/bounds checks with util::DeserializeError instead of
+// decoding garbage (the same contract as checkpoint streams).
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "campaign/observer.hpp"
+#include "campaign/runner.hpp"
+
+namespace gemfi::campaign {
+
+inline constexpr std::uint32_t kColstoreVersion = 1;
+
+/// One experiment, projected onto the columns worth slicing by.
+struct ColstoreRow {
+  std::uint64_t index = 0;
+  std::uint32_t worker = 0;
+  std::uint64_t seed = 0;
+  std::uint8_t outcome = 0;   // apps::Outcome code
+  std::uint8_t location = 0;  // fi::FaultLocation code
+  std::uint8_t behavior = 0;  // fi::FaultBehavior code
+  std::uint8_t family = 0;    // fi::FaultModelKind code (fault_family())
+  bool applied = false;
+  std::uint32_t retries = 0;
+  double time_fraction = 0.0;
+  double metric = 0.0;
+  std::uint64_t sim_ticks = 0;
+
+  [[nodiscard]] static ColstoreRow from_record(const ExperimentRecord& rec);
+};
+
+/// Streaming writer: append rows, then finish(). finish() is idempotent and
+/// also runs from the destructor (best-effort, errors swallowed there —
+/// call finish() explicitly when you need the error).
+class ColstoreWriter {
+ public:
+  explicit ColstoreWriter(const std::string& path, std::uint32_t rows_per_group = 4096);
+  ~ColstoreWriter();
+
+  ColstoreWriter(const ColstoreWriter&) = delete;
+  ColstoreWriter& operator=(const ColstoreWriter&) = delete;
+
+  void append(const ColstoreRow& row);
+  /// Flush the open group, write footer + trailer, close the file.
+  void finish();
+
+  [[nodiscard]] std::uint64_t rows_written() const noexcept { return total_rows_; }
+
+ private:
+  void flush_group();
+
+  std::ofstream os_;
+  std::string path_;
+  std::uint32_t rows_per_group_;
+  std::vector<ColstoreRow> group_;
+  struct GroupEntry {
+    std::uint64_t offset;
+    std::uint32_t rows;
+  };
+  std::vector<GroupEntry> groups_;
+  std::uint64_t offset_ = 0;
+  std::uint64_t total_rows_ = 0;
+  bool finished_ = false;
+};
+
+/// The parsed store: every row plus the enum dictionaries from the footer.
+struct ColstoreFile {
+  std::vector<ColstoreRow> rows;
+  std::vector<std::string> outcome_names;
+  std::vector<std::string> location_names;
+  std::vector<std::string> behavior_names;
+  std::vector<std::string> family_names;
+};
+
+/// Read and fully validate a colstore file. Throws util::DeserializeError on
+/// truncation, bad magic, version or CRC mismatch, or malformed columns.
+ColstoreFile read_colstore(const std::string& path);
+
+/// Decode from an in-memory image (fuzz tests, artifact validation).
+ColstoreFile decode_colstore(std::span<const std::uint8_t> image);
+
+/// CampaignObserver adapter: one row per experiment record. Call finish()
+/// (or let the campaign CLI do it) after the campaign joins.
+class ColstoreSink final : public CampaignObserver {
+ public:
+  explicit ColstoreSink(const std::string& path) : writer_(path) {}
+
+  void on_experiment(const ExperimentRecord& rec) override {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    writer_.append(ColstoreRow::from_record(rec));
+  }
+
+  void finish() {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    writer_.finish();
+  }
+  [[nodiscard]] std::uint64_t rows_written() const noexcept {
+    return writer_.rows_written();
+  }
+
+ private:
+  std::mutex mutex_;
+  ColstoreWriter writer_;
+};
+
+}  // namespace gemfi::campaign

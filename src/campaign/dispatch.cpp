@@ -33,6 +33,24 @@ std::vector<std::uint8_t> frame_for(wire::MsgType type,
 
 }  // namespace
 
+Autoscaler::Decision Autoscaler::tick(double now, std::size_t backlog,
+                                      std::size_t capacity_slots, unsigned workers) {
+  Decision d;
+  if (!cfg_.enabled()) return d;
+  if (now - last_action_ < cfg_.cooldown_s) return d;
+  const double load =
+      double(backlog) / double(std::max<std::size_t>(1, capacity_slots));
+  if (workers < cfg_.min_workers) {
+    d.spawn = cfg_.min_workers - workers;
+  } else if (load > cfg_.high_watermark && workers < cfg_.max_workers) {
+    d.spawn = std::min(cfg_.step, cfg_.max_workers - workers);
+  } else if (load < cfg_.low_watermark && workers > cfg_.min_workers) {
+    d.retire = std::min(cfg_.step, workers - cfg_.min_workers);
+  }
+  if (d.spawn != 0 || d.retire != 0) last_action_ = now;
+  return d;
+}
+
 // ---------------------------------------------------------------------------
 // Master
 // ---------------------------------------------------------------------------
@@ -44,8 +62,23 @@ struct Master::Impl {
   DispatchConfig dcfg;
 
   net::TcpListener listener;
+  net::UnixListener unix_listener;  // valid only when dcfg.unix_path set
   net::SelfPipe wake;
   std::atomic<bool> drain_requested{false};
+
+  // Streaming analytics + the sequential stop rule (v5). The aggregator
+  // always runs (it is cheap); the stop rule only fires when dcfg.stop is
+  // enabled. `stopping` latches once so the cancel fan-out happens exactly
+  // once.
+  Aggregator agg;
+  bool stopping = false;
+
+  // Elastic fleet. spawned_not_joined counts workers the spawn callback
+  // started that have not sent Hello yet, so the policy does not re-spawn
+  // for the same backlog every cooldown period.
+  Autoscaler scaler;
+  std::function<void(unsigned)> spawn_cb;
+  unsigned spawned_not_joined = 0;
 
   // The Welcome frame is serialized once: every joining worker receives the
   // same bytes (the NoW "checkpoint copy" shipped per workstation).
@@ -57,7 +90,9 @@ struct Master::Impl {
     net::TcpConn conn;
     net::FrameReader reader;
     unsigned slots = 0;
-    bool ready = false;  // Hello received, Welcome sent
+    bool ready = false;     // Hello received, Welcome sent
+    bool retiring = false;  // autoscaler sent Shutdown; EOF is expected, not a loss
+    std::uint32_t busy_slots = 0;  // last Heartbeat's occupancy
     net::FrameLiveness liveness;
     double joined_at = 0.0;
     std::unordered_map<std::uint64_t, double> inflight;  // index -> dispatch time
@@ -84,11 +119,14 @@ struct Master::Impl {
   Impl(const CalibratedApp& ca_in, const apps::AppScale& scale,
        const std::vector<fi::Fault>& faults_in, const CampaignConfig& cfg_in,
        const DispatchConfig& dcfg_in)
-      : ca(ca_in), faults(faults_in), cfg(cfg_in), dcfg(dcfg_in) {
+      : ca(ca_in), faults(faults_in), cfg(cfg_in), dcfg(dcfg_in),
+        agg(dcfg_in.stop, faults_in.size()), scaler(dcfg_in.autoscale) {
     const auto payload = wire::encode_welcome(wire::Welcome::from(ca, scale, cfg));
     welcome_payload_bytes = payload.size();
     welcome_frame = frame_for(wire::MsgType::Welcome, payload);
     listener = net::TcpListener::bind_listen(dcfg.bind_address, dcfg.port);
+    if (!dcfg.unix_path.empty())
+      unix_listener = net::UnixListener::bind_listen(dcfg.unix_path);
 
     done.assign(faults.size(), 0);
     redispatches.assign(faults.size(), 0);
@@ -102,9 +140,35 @@ struct Master::Impl {
   }
 
   void observe(std::uint64_t index, const ExperimentResult& er, unsigned worker_id) {
-    if (cfg.observer)
-      cfg.observer->on_experiment({std::size_t(index), worker_id,
-                                   experiment_seed(cfg.campaign_seed, index), er});
+    const ExperimentRecord rec{std::size_t(index), worker_id,
+                               experiment_seed(cfg.campaign_seed, index), er};
+    if (cfg.observer) cfg.observer->on_experiment(rec);
+    if (agg.add(rec)) start_early_stop();
+  }
+
+  /// The stop rule just held on the index-ordered prefix: stop dispatching,
+  /// reclaim every queued experiment (master-side queue + CancelQueue to the
+  /// workers), and emit the deterministic stopped_early summary. In-flight
+  /// experiments finish normally; the drain condition in run() does the rest.
+  void start_early_stop() {
+    if (stopping) return;
+    stopping = true;
+    stats.stopped_early = true;
+    stats.stop_index = agg.stop_index();
+    drain_requested.store(true, std::memory_order_relaxed);
+    stats.cancelled += pending.size();
+    pending.clear();
+    const auto frame = frame_for(wire::MsgType::CancelQueue, {});
+    for (const auto& w : workers) {
+      if (!w->ready) continue;
+      try {
+        w->conn.send_all(frame, /*timeout_s=*/2.0);
+      } catch (const std::exception&) {
+        // The regular liveness path reaps it; its queue dies with it.
+      }
+    }
+    stats.aggregate_summary = agg.summary_json("stopped_early");
+    if (cfg.observer) cfg.observer->on_campaign_summary(stats.aggregate_summary);
   }
 
   /// Forget `index` on every connection (a redispatched experiment may be in
@@ -144,6 +208,7 @@ struct Master::Impl {
         w.conn.send_all(welcome_frame);
         w.ready = true;
         ++stats.workers_joined;
+        if (spawned_not_joined > 0) --spawned_not_joined;
         stats.checkpoint_bytes_shipped += welcome_payload_bytes;
         break;
       }
@@ -153,8 +218,18 @@ struct Master::Impl {
         break;
       case wire::MsgType::Heartbeat:
         if (!w.ready) throw net::ProtocolError("Heartbeat before Hello");
-        wire::decode_heartbeat(f.payload);  // liveness is any valid frame
+        w.busy_slots = wire::decode_heartbeat(f.payload).busy_slots;
         break;
+      case wire::MsgType::CancelAck: {
+        if (!w.ready) throw net::ProtocolError("CancelAck before Hello");
+        // The worker dropped these queued-not-started experiments; they are
+        // uniquely owned (never redispatched after the stop), so forgetting
+        // them here lets the drain finish after only the running ones.
+        for (const std::uint64_t index : wire::decode_cancel_ack(f.payload).dropped)
+          if (index < faults.size() && !done[index] && w.inflight.erase(index) != 0)
+            ++stats.cancelled;
+        break;
+      }
       default:
         throw net::ProtocolError("unexpected message type " + std::to_string(f.type));
     }
@@ -202,7 +277,7 @@ struct Master::Impl {
 
   void drop_worker(std::size_t i, bool lost) {
     WorkerConn& w = *workers[i];
-    if (lost && w.ready) ++stats.workers_lost;
+    if (lost && w.ready && !w.retiring) ++stats.workers_lost;
     requeue_worker_inflight(w);
     workers.erase(workers.begin() + std::ptrdiff_t(i));
   }
@@ -232,7 +307,7 @@ struct Master::Impl {
     for (std::size_t i = 0; i < workers.size();) {
       WorkerConn& w = *workers[i];
       const std::size_t target = std::size_t(w.slots) * dcfg.pipeline_depth;
-      if (!w.ready || w.inflight.size() >= target || pending.empty()) {
+      if (!w.ready || w.retiring || w.inflight.size() >= target || pending.empty()) {
         ++i;
         continue;
       }
@@ -256,7 +331,7 @@ struct Master::Impl {
         if (done[index] || redispatches[index] != 0) continue;
         if (now - since < dcfg.slow_redispatch_s) continue;
         for (const auto& spare : workers) {
-          if (spare.get() == slow.get() || !spare->ready) continue;
+          if (spare.get() == slow.get() || !spare->ready || spare->retiring) continue;
           if (spare->inflight.size() >= std::size_t(spare->slots) * dcfg.pipeline_depth)
             continue;
           std::vector<wire::BatchItem> one{{index, faults[index].to_line()}};
@@ -288,6 +363,48 @@ struct Master::Impl {
     }
   }
 
+  /// Elastic fleet tick: sample backlog/capacity, apply the watermark
+  /// policy. Growth goes through the spawn callback; retirement picks idle
+  /// (inflight-empty) ready workers and shuts them down gracefully — never
+  /// counted as lost, never taking work down with them.
+  void autoscale_tick() {
+    if (!dcfg.autoscale.enabled()) return;
+    if (stopping || drain_requested.load(std::memory_order_relaxed)) return;
+
+    std::size_t capacity = 0;
+    unsigned active = 0;
+    for (const auto& w : workers) {
+      if (!w->ready || w->retiring) continue;
+      ++active;
+      capacity += w->slots;
+    }
+    const std::size_t backlog = pending.size() + total_inflight();
+    const auto d = scaler.tick(mono_seconds(), backlog, capacity,
+                               active + spawned_not_joined);
+
+    if (d.spawn != 0 && spawn_cb) {
+      spawn_cb(d.spawn);
+      spawned_not_joined += d.spawn;
+      stats.workers_spawned += d.spawn;
+    }
+    if (d.retire != 0) {
+      const auto frame = frame_for(wire::MsgType::Shutdown, {});
+      unsigned remaining = d.retire;
+      for (const auto& w : workers) {
+        if (remaining == 0) break;
+        if (!w->ready || w->retiring || !w->inflight.empty()) continue;
+        try {
+          w->conn.send_all(frame, /*timeout_s=*/2.0);
+        } catch (const std::exception&) {
+          continue;  // dying anyway; the liveness path reaps it
+        }
+        w->retiring = true;
+        ++stats.workers_retired;
+        --remaining;
+      }
+    }
+  }
+
   void broadcast_shutdown() {
     const auto frame = frame_for(wire::MsgType::Shutdown, {});
     for (const auto& w : workers) {
@@ -314,6 +431,8 @@ struct Master::Impl {
       std::vector<pollfd> fds;
       fds.push_back({listener.fd(), POLLIN, 0});
       fds.push_back({wake.read_fd(), POLLIN, 0});
+      if (unix_listener.valid()) fds.push_back({unix_listener.fd(), POLLIN, 0});
+      const std::size_t base = fds.size();
       for (const auto& w : workers) fds.push_back({w->conn.fd(), POLLIN, 0});
       ::poll(fds.data(), nfds_t(fds.size()), int(dcfg.poll_interval_s * 1000.0) + 1);
 
@@ -322,26 +441,30 @@ struct Master::Impl {
         drain_requested.store(true, std::memory_order_relaxed);
       }
 
+      const auto adopt = [&](std::optional<net::TcpConn> conn) {
+        auto w = std::make_unique<WorkerConn>(std::move(*conn),
+                                              dcfg.max_worker_frame, mono_seconds());
+        w->id = next_worker_id++;
+        workers.push_back(std::move(w));
+      };
       if (fds[0].revents & POLLIN)
-        while (auto conn = listener.accept()) {
-          auto w = std::make_unique<WorkerConn>(std::move(*conn),
-                                                dcfg.max_worker_frame, mono_seconds());
-          w->id = next_worker_id++;
-          workers.push_back(std::move(w));
-        }
+        while (auto conn = listener.accept()) adopt(std::move(conn));
+      if (unix_listener.valid() && (fds[2].revents & POLLIN))
+        while (auto conn = unix_listener.accept()) adopt(std::move(conn));
 
-      // fds[i + 2] belongs to workers[i] as the loop entered poll() (newly
-      // accepted connections only append); service back-to-front so
+      // fds[i + base] belongs to workers[i] as the loop entered poll()
+      // (newly accepted connections only append); service back-to-front so
       // drop_worker()'s erase cannot shift unvisited entries.
-      const std::size_t polled = fds.size() - 2;
+      const std::size_t polled = fds.size() - base;
       for (std::size_t i = polled; i-- > 0;) {
-        if ((fds[i + 2].revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
+        if ((fds[i + base].revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
         if (!service_readable(*workers[i], /*count_protocol_damage=*/true))
           drop_worker(i, /*lost=*/true);
       }
 
       reap_silent_workers();
       redispatch_slow();
+      autoscale_tick();
       dispatch_all();
 
       if (stats.workers_joined == 0 && mono_seconds() > first_worker_deadline)
@@ -352,11 +475,20 @@ struct Master::Impl {
 
     broadcast_shutdown();
     listener.close();
+    unix_listener.close();
 
     stats.done = done;
     stats.completed = completed;
     stats.wall_seconds = mono_seconds() - t0;
     stats.campaign.wall_seconds = stats.wall_seconds;
+    // Final aggregate summary: only for --stop-ci campaigns that completed
+    // in full (the stopped_early record was already emitted at the stop;
+    // a second summary over the nondeterministic straggler set would break
+    // byte-identity between replays).
+    if (dcfg.stop.enabled() && !stats.stopped_early && completed == faults.size()) {
+      stats.aggregate_summary = agg.summary_json("summary");
+      if (cfg.observer) cfg.observer->on_campaign_summary(stats.aggregate_summary);
+    }
     if (cfg.observer) cfg.observer->on_campaign_end(stats.campaign);
     return std::move(stats);
   }
@@ -376,6 +508,10 @@ DispatchReport Master::run() { return impl_->run(); }
 void Master::request_drain() noexcept {
   impl_->drain_requested.store(true, std::memory_order_relaxed);
   impl_->wake.notify();
+}
+
+void Master::set_spawn_callback(std::function<void(unsigned)> spawn) {
+  impl_->spawn_cb = std::move(spawn);
 }
 
 // ---------------------------------------------------------------------------
@@ -425,6 +561,21 @@ class WorkerSession {
                                      std::make_move_iterator(out_.end()));
     out_.clear();
     return out;
+  }
+
+  /// Drop every queued-not-started experiment (CancelQueue); returns the
+  /// dropped indices for the CancelAck. Experiments already claimed by a
+  /// slot keep running and report normally.
+  std::vector<std::uint64_t> cancel_queued() {
+    std::lock_guard lock(mutex_);
+    std::vector<std::uint64_t> dropped;
+    dropped.reserve(in_.size());
+    for (const auto& [index, fault] : in_) {
+      (void)fault;
+      dropped.push_back(index);
+    }
+    in_.clear();
+    return dropped;
   }
 
   [[nodiscard]] unsigned busy_slots() const noexcept {
@@ -534,6 +685,13 @@ SessionEnd serve_connection(net::TcpConn& conn, const WorkerConfig& wcfg) {
         case wire::MsgType::Shutdown:
           shutdown = true;
           break;
+        case wire::MsgType::CancelQueue: {
+          wire::CancelAck ack;
+          ack.dropped = session.cancel_queued();
+          conn.send_all(
+              frame_for(wire::MsgType::CancelAck, wire::encode_cancel_ack(ack)));
+          break;
+        }
         default:
           throw net::ProtocolError("unexpected master message type " +
                                    std::to_string(f->type));
@@ -568,8 +726,11 @@ int run_worker(const WorkerConfig& wcfg) {
   for (;;) {
     net::TcpConn conn;
     try {
-      conn = net::TcpConn::connect(wcfg.host, wcfg.port, wcfg.connect_attempts,
-                                   wcfg.connect_backoff_s);
+      conn = wcfg.unix_path.empty()
+                 ? net::TcpConn::connect(wcfg.host, wcfg.port, wcfg.connect_attempts,
+                                         wcfg.connect_backoff_s)
+                 : net::TcpConn::connect_unix(wcfg.unix_path, wcfg.connect_attempts,
+                                              wcfg.connect_backoff_s);
     } catch (const std::exception& e) {
       std::fprintf(stderr, "gemfi worker: %s\n", e.what());
       return 2;
@@ -589,9 +750,11 @@ int run_worker(const WorkerConfig& wcfg) {
 // Forked loopback workers (--now-local and the chaos tests)
 // ---------------------------------------------------------------------------
 
-LocalWorkerPool LocalWorkerPool::spawn(unsigned workers, std::uint16_t port,
-                                       unsigned slots, unsigned max_reconnects) {
-  LocalWorkerPool pool;
+namespace {
+
+void fork_workers(std::vector<int>& pids, unsigned workers, std::uint16_t port,
+                  const std::string& unix_path, unsigned slots,
+                  unsigned max_reconnects) {
   std::fflush(stdout);
   std::fflush(stderr);
   for (unsigned i = 0; i < workers; ++i) {
@@ -601,14 +764,40 @@ LocalWorkerPool LocalWorkerPool::spawn(unsigned workers, std::uint16_t port,
       WorkerConfig wcfg;
       wcfg.host = "127.0.0.1";
       wcfg.port = port;
+      wcfg.unix_path = unix_path;
       wcfg.slots = slots == 0 ? 1 : slots;
       wcfg.max_reconnects = max_reconnects;
       // _exit: never unwind into the parent's atexit/gtest machinery.
       ::_exit(run_worker(wcfg));
     }
-    pool.pids_.push_back(int(pid));
+    pids.push_back(int(pid));
   }
+}
+
+}  // namespace
+
+LocalWorkerPool LocalWorkerPool::spawn(unsigned workers, std::uint16_t port,
+                                       unsigned slots, unsigned max_reconnects) {
+  LocalWorkerPool pool;
+  fork_workers(pool.pids_, workers, port, {}, slots, max_reconnects);
   return pool;
+}
+
+LocalWorkerPool LocalWorkerPool::spawn_unix(unsigned workers, const std::string& path,
+                                            unsigned slots, unsigned max_reconnects) {
+  LocalWorkerPool pool;
+  fork_workers(pool.pids_, workers, 0, path, slots, max_reconnects);
+  return pool;
+}
+
+void LocalWorkerPool::grow(unsigned workers, std::uint16_t port, unsigned slots,
+                           unsigned max_reconnects) {
+  fork_workers(pids_, workers, port, {}, slots, max_reconnects);
+}
+
+void LocalWorkerPool::grow_unix(unsigned workers, const std::string& path,
+                                unsigned slots, unsigned max_reconnects) {
+  fork_workers(pids_, workers, 0, path, slots, max_reconnects);
 }
 
 void LocalWorkerPool::kill_worker(std::size_t i, int signo) const {
@@ -634,8 +823,24 @@ DispatchReport run_campaign_service_local(const CalibratedApp& ca,
                                           unsigned slots, DispatchConfig dcfg) {
   dcfg.bind_address = "127.0.0.1";
   Master master(ca, scale, faults, cfg, dcfg);
+  const bool over_unix = !dcfg.unix_path.empty();
+  unsigned initial = workers == 0 ? 1 : workers;
+  if (dcfg.autoscale.enabled())
+    initial = std::max(1u, std::min(initial, dcfg.autoscale.max_workers));
   LocalWorkerPool pool =
-      LocalWorkerPool::spawn(workers == 0 ? 1 : workers, master.port(), slots);
+      over_unix ? LocalWorkerPool::spawn_unix(initial, dcfg.unix_path, slots)
+                : LocalWorkerPool::spawn(initial, master.port(), slots);
+  if (dcfg.autoscale.enabled()) {
+    // Elastic growth: the master's autoscaler forks additional loopback
+    // workers into the same pool. Called from the run() loop thread; the
+    // pool is only ever touched from that thread until wait_all below.
+    const std::uint16_t port = master.port();
+    const std::string unix_path = dcfg.unix_path;
+    master.set_spawn_callback([&pool, port, unix_path, slots](unsigned n) {
+      if (unix_path.empty()) pool.grow(n, port, slots);
+      else pool.grow_unix(n, unix_path, slots);
+    });
+  }
   try {
     DispatchReport report = master.run();
     pool.wait_all();

@@ -31,12 +31,59 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
+#include "campaign/analytics/aggregator.hpp"
 #include "campaign/runner.hpp"
 
 namespace gemfi::campaign {
+
+/// Elastic worker-fleet policy: grow when the backlog per slot crosses the
+/// high watermark, retire idle workers when it falls under the low one.
+/// max_workers == 0 disables autoscaling entirely.
+struct AutoscaleConfig {
+  unsigned min_workers = 0;
+  unsigned max_workers = 0;
+
+  /// Watermarks are backlog-per-slot (pending + in-flight experiments over
+  /// total fleet slots). With pipeline_depth 2 a saturated fleet sits near
+  /// 2, so growth starts well above that and retirement well below.
+  double high_watermark = 4.0;
+  double low_watermark = 1.0;
+
+  /// Minimum seconds between scaling actions — the hysteresis that keeps a
+  /// load hovering at a watermark from flapping spawn/retire.
+  double cooldown_s = 1.0;
+  unsigned step = 1;  // workers per scaling action
+
+  [[nodiscard]] bool enabled() const noexcept { return max_workers > 0; }
+};
+
+/// Pure watermark-hysteresis policy, separated from the Master so the
+/// no-oscillation property is unit-testable without sockets or forks. The
+/// caller samples (backlog, capacity, workers) and applies the decision;
+/// `workers` must include spawns still connecting, or every cooldown period
+/// would re-spawn for the same backlog.
+class Autoscaler {
+ public:
+  explicit Autoscaler(const AutoscaleConfig& cfg) : cfg_(cfg) {}
+
+  struct Decision {
+    unsigned spawn = 0;
+    unsigned retire = 0;
+  };
+
+  Decision tick(double now, std::size_t backlog, std::size_t capacity_slots,
+                unsigned workers);
+
+  [[nodiscard]] const AutoscaleConfig& config() const noexcept { return cfg_; }
+
+ private:
+  AutoscaleConfig cfg_;
+  double last_action_ = -1e300;
+};
 
 /// Master-side service tuning.
 struct DispatchConfig {
@@ -78,6 +125,22 @@ struct DispatchConfig {
   /// Install a SIGINT handler for the duration of run() that triggers the
   /// graceful drain (CLIs set this; library callers usually do not).
   bool handle_sigint = false;
+
+  /// Sequential early-stop rule (--stop-ci). When enabled, every result
+  /// feeds a streaming Aggregator; once the index-ordered prefix satisfies
+  /// the rule the master cancels the queue (its own and, via CancelQueue
+  /// frames, the workers'), drains in-flight work, and emits a
+  /// `stopped_early` summary record through the observer.
+  StopPolicy stop;
+
+  /// Non-empty: additionally listen on this AF_UNIX stream socket, so
+  /// same-host workers can skip the loopback TCP stack. The TCP listener
+  /// stays up regardless ('gfnw' framing is transport-agnostic).
+  std::string unix_path;
+
+  /// Elastic fleet policy; requires a spawn callback (see
+  /// Master::set_spawn_callback) for the growth half.
+  AutoscaleConfig autoscale;
 };
 
 /// What the service adds on top of the merged CampaignReport.
@@ -100,8 +163,18 @@ struct DispatchReport {
   std::uint64_t frames_rejected = 0;    // protocol-damaged peers dropped
   std::uint64_t peers_timed_out = 0;    // reaped by the liveness deadline
   std::uint64_t checkpoint_bytes_shipped = 0;  // Welcome payload total
-  bool drained_early = false;       // SIGINT drain: done[] is partial
+  bool drained_early = false;       // drain (SIGINT or early stop): done[] partial
   double wall_seconds = 0.0;
+
+  // Sequential early stop (v5).
+  bool stopped_early = false;       // the stop rule fired
+  std::uint64_t stop_index = 0;     // prefix length that satisfied the rule
+  std::uint64_t cancelled = 0;      // queued experiments reclaimed unrun
+  std::string aggregate_summary;    // last summary JSON emitted ("" if none)
+
+  // Elastic fleet.
+  unsigned workers_spawned = 0;     // autoscale growth actions (workers forked)
+  unsigned workers_retired = 0;     // idle workers gracefully shut down
 };
 
 /// The campaign master: owns the listening socket and runs the poll-based
@@ -130,6 +203,12 @@ class Master {
   /// results, shut down. run() then returns with drained_early set.
   void request_drain() noexcept;
 
+  /// Provide the autoscaler's growth mechanism: called from the run() loop
+  /// thread with the number of workers to start (fork a process, start a
+  /// remote ssh job, ...); the new workers connect back like any other.
+  /// Without a callback, grow decisions are dropped (retire still works).
+  void set_spawn_callback(std::function<void(unsigned)> spawn);
+
  private:
   struct Impl;
   std::unique_ptr<Impl> impl_;
@@ -139,6 +218,9 @@ class Master {
 struct WorkerConfig {
   std::string host = "127.0.0.1";
   std::uint16_t port = 0;
+  /// Non-empty: connect to the master's AF_UNIX socket at this path instead
+  /// of host:port (same-host workers; see DispatchConfig::unix_path).
+  std::string unix_path;
   unsigned slots = 1;  // parallel experiments in this worker process
 
   double heartbeat_interval_s = 1.0;
@@ -171,6 +253,16 @@ class LocalWorkerPool {
   /// pools need a far larger budget than a one-shot master's.
   static LocalWorkerPool spawn(unsigned workers, std::uint16_t port, unsigned slots,
                                unsigned max_reconnects = 3);
+
+  /// Same, but the children connect over the master's AF_UNIX socket.
+  static LocalWorkerPool spawn_unix(unsigned workers, const std::string& path,
+                                    unsigned slots, unsigned max_reconnects = 3);
+
+  /// Fork more workers into an existing pool (the autoscaler's growth hook).
+  void grow(unsigned workers, std::uint16_t port, unsigned slots,
+            unsigned max_reconnects = 3);
+  void grow_unix(unsigned workers, const std::string& path, unsigned slots,
+                 unsigned max_reconnects = 3);
 
   LocalWorkerPool() = default;
   LocalWorkerPool(LocalWorkerPool&&) = default;

@@ -48,6 +48,12 @@ class CampaignObserver {
   virtual void on_campaign_begin(std::size_t /*total_experiments*/) {}
   virtual void on_experiment(const ExperimentRecord& /*rec*/) {}
   virtual void on_campaign_end(const CampaignReport& /*report*/) {}
+
+  /// One pre-rendered single-line JSON summary record (e.g. the
+  /// `stopped_early` record the sequential stop rule emits, or the final
+  /// aggregate). Called from the campaign's dispatch/control thread, at most
+  /// a handful of times per campaign. JsonlSink appends it to the stream.
+  virtual void on_campaign_summary(const std::string& /*line*/) {}
 };
 
 /// Streams one JSON line per completed experiment, flushed per record so a
@@ -60,6 +66,7 @@ class JsonlSink final : public CampaignObserver {
   explicit JsonlSink(std::ostream& os);
 
   void on_experiment(const ExperimentRecord& rec) override;
+  void on_campaign_summary(const std::string& line) override { write_line(line); }
 
   /// Append one pre-rendered JSON line (e.g. the calibration header record).
   void write_line(const std::string& line);
@@ -111,6 +118,9 @@ class TeeObserver final : public CampaignObserver {
   }
   void on_campaign_end(const CampaignReport& report) override {
     for (CampaignObserver* o : observers_) o->on_campaign_end(report);
+  }
+  void on_campaign_summary(const std::string& line) override {
+    for (CampaignObserver* o : observers_) o->on_campaign_summary(line);
   }
 
  private:

@@ -44,6 +44,8 @@ std::vector<std::uint8_t> encode_submit(const CampaignSpec& spec) {
   w.put_bool(spec.predecode);
   w.put_bool(spec.fastpath);
   w.put_bool(spec.fastmode);  // v4
+  w.put_f64(spec.stop_eps);   // v5
+  w.put_f64(spec.stop_conf);  // v5
   return w.take();
 }
 
@@ -67,6 +69,8 @@ CampaignSpec decode_submit(std::span<const std::uint8_t> payload) {
   s.predecode = r.get_bool();
   s.fastpath = r.get_bool();
   s.fastmode = r.get_bool();  // v4
+  s.stop_eps = r.get_f64();   // v5
+  s.stop_conf = r.get_f64();  // v5
   expect_end(r, "SubmitCampaign");
   s.validate();  // std::invalid_argument on an unusable spec
   return s;

@@ -12,6 +12,7 @@
 #include <thread>
 #include <unordered_map>
 
+#include "campaign/analytics/aggregator.hpp"
 #include "campaign/observer.hpp"
 #include "campaign/service/control.hpp"
 #include "campaign/service/journal.hpp"
@@ -74,6 +75,12 @@ struct CampaignService::Impl {
     std::uint64_t completed = 0;
     std::uint64_t dispatched = 0;  // shipped to workers (share metric)
     std::array<std::uint64_t, apps::kNumOutcomes> counts{};
+
+    // Sequential early-stop (spec.stop_eps > 0): the streaming aggregator
+    // evaluates the prefix rule on every result; `stopping` marks the drain
+    // window between the rule firing and the last in-flight result landing.
+    std::unique_ptr<Aggregator> agg;
+    bool stopping = false;
 
     std::vector<unsigned> subscribers;  // peer ids streaming this campaign
   };
@@ -240,6 +247,14 @@ struct CampaignService::Impl {
                                   std::size_t(c.spec.experiments),
                                   c.ca.kernel_fetches);
       c.done.assign(c.faults.size(), 0);
+      if (c.spec.stop_eps > 0.0) {
+        // Recovered campaigns keep the aggregator too: journaled-done indices
+        // are never fed to it, so the contiguous-prefix rule simply cannot
+        // fire past them and the campaign conservatively runs to completion.
+        c.agg = std::make_unique<Aggregator>(
+            StopPolicy{c.spec.stop_eps, c.spec.stop_conf},
+            c.faults.size());
+      }
       for (const std::uint64_t idx : c.recovered_done) {
         if (idx >= c.done.size() || c.done[idx]) continue;
         c.done[idx] = 1;
@@ -369,15 +384,65 @@ struct CampaignService::Impl {
     const auto it = campaigns.find(w.lease);
     if (it != campaigns.end() && !is_terminal(it->second.state)) {
       Campaign& c = it->second;
-      for (const auto& [index, since] : w.inflight) {
-        (void)since;
-        if (index < c.done.size() && !c.done[index]) {
-          c.pending.push_front(index);
-          ++stats.requeued;
+      // A stopping campaign wants fewer results, not replacements: dropping
+      // a dead worker's in-flight work just shortens the drain.
+      if (!c.stopping) {
+        for (const auto& [index, since] : w.inflight) {
+          (void)since;
+          if (index < c.done.size() && !c.done[index]) {
+            c.pending.push_front(index);
+            ++stats.requeued;
+          }
         }
       }
     }
     w.inflight.clear();
+    if (it != campaigns.end()) maybe_finish_stopped(it->second);
+  }
+
+  /// Journal a campaign-scoped JSON line and fan it out to streaming
+  /// subscribers. Summary lines ride the same path as result lines; journal
+  /// recovery skips any line without an "index" field, so they are inert
+  /// across restarts.
+  void broadcast_line(Campaign& c, const std::string& line) {
+    journal.append_result(c.id, line);
+    if (c.subscribers.empty()) return;
+    ResultLines rl;
+    rl.id = c.id;
+    rl.lines.push_back(line);
+    const auto rl_frame =
+        frame_for(wire::MsgType::ResultLines, encode_result_lines(rl));
+    for (const unsigned peer_id : c.subscribers) {
+      Peer* p = find_peer(peer_id);
+      if (p != nullptr && !p->defunct) send_to_client(*p, rl_frame);
+    }
+  }
+
+  void maybe_finish_stopped(Campaign& c) {
+    if (!c.stopping || is_terminal(c.state)) return;
+    if (campaign_inflight(c.id) == 0) finish_campaign(c, CampaignState::Done, "");
+  }
+
+  /// The sequential stop rule newly fired: freeze the queue, tell leased
+  /// workers to drop their queued batches (CancelQueue), and emit the
+  /// deterministic stopped_early summary. The campaign finishes Done once
+  /// its in-flight experiments drain (results still journal on arrival).
+  void stop_campaign_early(Campaign& c) {
+    c.stopping = true;
+    c.pending.clear();
+    ++stats.campaigns_stopped_early;
+    broadcast_line(c, c.agg->summary_json("stopped_early"));
+    const auto cancel = frame_for(wire::MsgType::CancelQueue, {});
+    for (const auto& p : peers) {
+      if (p->kind != PeerKind::Worker || p->defunct || p->lease != c.id)
+        continue;
+      try {
+        p->conn.send_all(cancel, /*timeout_s=*/2.0);
+      } catch (const std::exception&) {
+        p->defunct = true;
+      }
+    }
+    maybe_finish_stopped(c);
   }
 
   void handle_result(Peer& w, const wire::ResultMsg& msg) {
@@ -402,23 +467,23 @@ struct CampaignService::Impl {
     ExperimentRecord rec{std::size_t(msg.index), w.id,
                          experiment_seed(c.spec.campaign_seed, msg.index),
                          msg.result};
-    const std::string line = experiment_record_to_json(rec);
-    journal.append_result(c.id, line);  // durable before any ack leaves
+    // Journal first (durable before any ack leaves), then stream.
+    broadcast_line(c, experiment_record_to_json(rec));
     ++stats.results_journaled;
 
-    if (!c.subscribers.empty()) {
-      ResultLines rl;
-      rl.id = c.id;
-      rl.lines.push_back(line);
-      const auto rl_frame =
-          frame_for(wire::MsgType::ResultLines, encode_result_lines(rl));
-      for (const unsigned peer_id : c.subscribers) {
-        Peer* p = find_peer(peer_id);
-        if (p != nullptr && !p->defunct) send_to_client(*p, rl_frame);
-      }
+    if (c.agg != nullptr && c.agg->add(rec)) {
+      stop_campaign_early(c);
+      return;
     }
-
-    if (c.completed == c.done.size()) finish_campaign(c, CampaignState::Done, "");
+    if (c.completed == c.done.size()) {
+      // Full-run summary only when the aggregator saw every experiment (a
+      // recovered campaign's aggregate is partial by construction).
+      if (c.agg != nullptr && !c.stopping && c.agg->n() == c.done.size())
+        broadcast_line(c, c.agg->summary_json("summary"));
+      finish_campaign(c, CampaignState::Done, "");
+      return;
+    }
+    maybe_finish_stopped(c);
   }
 
   /// Lease parked workers to campaigns by tenant fair share, then top up
@@ -641,6 +706,16 @@ struct CampaignService::Impl {
         case wire::MsgType::Heartbeat:
           wire::decode_heartbeat(f.payload);  // liveness is any valid frame
           return;
+        case wire::MsgType::CancelAck: {
+          // Queued-but-never-run experiments the worker dropped on
+          // CancelQueue: no result will come, so clear them from in-flight
+          // accounting and re-check whether the stopping campaign drained.
+          const wire::CancelAck ack = wire::decode_cancel_ack(f.payload);
+          for (const std::uint64_t index : ack.dropped) p.inflight.erase(index);
+          if (const auto it = campaigns.find(p.lease); it != campaigns.end())
+            maybe_finish_stopped(it->second);
+          return;
+        }
         default:
           throw net::ProtocolError("unexpected worker message type " +
                                    std::to_string(f.type));

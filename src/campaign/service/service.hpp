@@ -68,6 +68,7 @@ struct ServiceReport {
   std::uint64_t campaigns_done = 0;
   std::uint64_t campaigns_cancelled = 0;
   std::uint64_t campaigns_failed = 0;
+  std::uint64_t campaigns_stopped_early = 0;  // sequential stop rule fired
   std::uint64_t results_journaled = 0;    // lines appended this run
   std::uint64_t duplicate_results = 0;    // dropped by exactly-once dedup
   unsigned workers_joined = 0;

@@ -13,6 +13,10 @@ void CampaignSpec::validate() const {
   if (cpu > std::uint8_t(sim::CpuKind::Pipelined))
     throw std::invalid_argument("campaign spec: out-of-range cpu kind " +
                                 std::to_string(cpu));
+  if (stop_eps < 0.0 || stop_eps > 0.5)
+    throw std::invalid_argument("campaign spec: stop_eps out of [0, 0.5]");
+  if (stop_eps > 0.0 && (stop_conf <= 0.5 || stop_conf >= 1.0))
+    throw std::invalid_argument("campaign spec: stop_conf out of (0.5, 1)");
 }
 
 CampaignConfig CampaignSpec::to_campaign_config() const {
@@ -54,7 +58,9 @@ std::string CampaignSpec::to_json() const {
       .field("retry_backoff", retry_backoff)
       .field("predecode", predecode)
       .field("fastpath", fastpath)
-      .field("fastmode", fastmode);
+      .field("fastmode", fastmode)
+      .field("stop_eps", stop_eps)
+      .field("stop_conf", stop_conf);
   return w.str();
 }
 
@@ -79,6 +85,8 @@ CampaignSpec CampaignSpec::from_json(const jsonl::Value& v) {
   if (v.has("predecode")) s.predecode = v.at("predecode").as_bool();
   if (v.has("fastpath")) s.fastpath = v.at("fastpath").as_bool();
   if (v.has("fastmode")) s.fastmode = v.at("fastmode").as_bool();
+  if (v.has("stop_eps")) s.stop_eps = v.at("stop_eps").as_double();
+  if (v.has("stop_conf")) s.stop_conf = v.at("stop_conf").as_double();
   s.validate();
   return s;
 }

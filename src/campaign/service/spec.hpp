@@ -45,6 +45,12 @@ struct CampaignSpec {
   bool fastpath = true;
   bool fastmode = true;  // superblock golden-path tier (A/B knob)
 
+  /// Sequential early-stop rule (v5): stop once every outcome proportion's
+  /// Wilson CI half-width is below stop_eps at stop_conf confidence,
+  /// evaluated on index-ordered prefixes. 0 disables (run all experiments).
+  double stop_eps = 0.0;
+  double stop_conf = 0.99;
+
   /// Throws std::invalid_argument on an unusable spec (no app, zero
   /// experiments, out-of-range cpu kind, empty tenant, zero weight).
   void validate() const;

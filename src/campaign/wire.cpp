@@ -302,4 +302,24 @@ Heartbeat decode_heartbeat(std::span<const std::uint8_t> payload) {
   return hb;
 }
 
+std::vector<std::uint8_t> encode_cancel_ack(const CancelAck& ack) {
+  ByteWriter w;
+  w.put_u32(std::uint32_t(ack.dropped.size()));
+  for (const std::uint64_t idx : ack.dropped) w.put_u64(idx);
+  return w.take();
+}
+
+CancelAck decode_cancel_ack(std::span<const std::uint8_t> payload) {
+  ByteReader r(payload);
+  const std::uint32_t n = r.get_u32();
+  // A worker's queue is bounded by slots x pipeline depth; anything huge is
+  // a hostile or corrupted frame, not a real ack.
+  if (n > 1u << 20) throw DeserializeError("CancelAck count out of range");
+  CancelAck ack;
+  ack.dropped.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) ack.dropped.push_back(r.get_u64());
+  if (!r.at_end()) throw DeserializeError("trailing bytes in CancelAck");
+  return ack;
+}
+
 }  // namespace gemfi::campaign::wire

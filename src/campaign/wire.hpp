@@ -28,9 +28,13 @@ namespace gemfi::campaign::wire {
 /// malformed (trailing bytes) instead of silently dropping the plans; v4
 /// appends the golden-path fast-mode flag to both Welcome (so every worker
 /// runs the same engine tier as the master decided) and Result (so replay can
-/// force the identical engagement decision). Masters accept any Hello version
-/// in [1, kProtocolVersion].
-inline constexpr std::uint32_t kProtocolVersion = 4;
+/// force the identical engagement decision); v5 adds the sequential
+/// early-stop plane — CancelQueue/CancelAck so a statistically satisfied
+/// master can reclaim queued-but-unstarted experiments from workers instead
+/// of waiting them out, and AggregateUpdate so service clients can stream
+/// the online aggregate. Masters accept any Hello version in
+/// [1, kProtocolVersion].
+inline constexpr std::uint32_t kProtocolVersion = 5;
 
 enum class MsgType : std::uint8_t {
   // --- worker plane (unchanged since v1) ---
@@ -40,6 +44,10 @@ enum class MsgType : std::uint8_t {
   Result = 4,     // worker -> master: one finished experiment
   Heartbeat = 5,  // worker -> master: liveness + busy-slot count
   Shutdown = 6,   // master -> worker: campaign over, exit after current work
+
+  // --- sequential early-stop plane (v5) ---
+  CancelQueue = 7,  // master -> worker: drop queued-not-started experiments
+  CancelAck = 8,    // worker -> master: indices it dropped (still uniquely owned)
 
   // --- control plane (v2, client <-> campaign service; codecs live in
   // campaign/service/control.hpp) ---
@@ -52,6 +60,7 @@ enum class MsgType : std::uint8_t {
   StreamResults = 16,   // client -> service: subscribe to a campaign's JSONL
   ResultLines = 17,     // service -> client: a batch of JSONL record lines
   StreamEnd = 18,       // service -> client: campaign reached a terminal state
+  AggregateUpdate = 19,  // service -> client: online aggregate summary JSON (v5)
 };
 
 struct Hello {
@@ -120,12 +129,19 @@ struct Heartbeat {
   std::uint32_t busy_slots = 0;
 };
 
+/// CancelAck payload: the queued experiment indices the worker dropped in
+/// response to CancelQueue. (CancelQueue itself carries an empty payload.)
+struct CancelAck {
+  std::vector<std::uint64_t> dropped;
+};
+
 // --- encoders (payload bytes only; framing is net::encode_frame) ---
 std::vector<std::uint8_t> encode_hello(const Hello& h);
 std::vector<std::uint8_t> encode_welcome(const Welcome& w);
 std::vector<std::uint8_t> encode_batch(const std::vector<BatchItem>& items);
 std::vector<std::uint8_t> encode_result(const ResultMsg& r);
 std::vector<std::uint8_t> encode_heartbeat(const Heartbeat& hb);
+std::vector<std::uint8_t> encode_cancel_ack(const CancelAck& ack);
 
 // --- decoders; throw util::DeserializeError / std::invalid_argument on
 // malformed or out-of-range payloads ---
@@ -134,6 +150,7 @@ Welcome decode_welcome(std::span<const std::uint8_t> payload);
 std::vector<BatchItem> decode_batch(std::span<const std::uint8_t> payload);
 ResultMsg decode_result(std::span<const std::uint8_t> payload);
 Heartbeat decode_heartbeat(std::span<const std::uint8_t> payload);
+CancelAck decode_cancel_ack(std::span<const std::uint8_t> payload);
 
 /// ExperimentResult as a bytesio stream (shared by Result messages and any
 /// future on-disk spill format).

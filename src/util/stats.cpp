@@ -110,4 +110,100 @@ double percent_overhead(double a, double b) {
   return 100.0 * (a - b) / b;
 }
 
+ProportionInterval wilson_interval(std::uint64_t successes, std::uint64_t trials,
+                                   double confidence) {
+  if (trials == 0) return {};
+  const double n = static_cast<double>(trials);
+  const double phat = static_cast<double>(successes) / n;
+  const double z = normal_critical(confidence);
+  const double z2 = z * z;
+  const double denom = 1.0 + z2 / n;
+  const double center = phat + z2 / (2.0 * n);
+  const double margin = z * std::sqrt(phat * (1.0 - phat) / n + z2 / (4.0 * n * n));
+  ProportionInterval ci;
+  ci.lo = std::max(0.0, (center - margin) / denom);
+  ci.hi = std::min(1.0, (center + margin) / denom);
+  return ci;
+}
+
+namespace {
+
+double ln_gamma(double x) { return std::lgamma(x); }
+
+// Continued-fraction core of I_x(a, b) (modified Lentz), valid for
+// x < (a + 1) / (a + b + 2); callers use the symmetry relation otherwise.
+double beta_cf(double a, double b, double x) {
+  constexpr int kMaxIter = 300;
+  constexpr double kEps = 3e-15;
+  constexpr double kTiny = 1e-300;
+  const double qab = a + b;
+  const double qap = a + 1.0;
+  const double qam = a - 1.0;
+  double c = 1.0;
+  double d = 1.0 - qab * x / qap;
+  if (std::fabs(d) < kTiny) d = kTiny;
+  d = 1.0 / d;
+  double h = d;
+  for (int m = 1; m <= kMaxIter; ++m) {
+    const int m2 = 2 * m;
+    double aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+    d = 1.0 + aa * d;
+    if (std::fabs(d) < kTiny) d = kTiny;
+    c = 1.0 + aa / c;
+    if (std::fabs(c) < kTiny) c = kTiny;
+    d = 1.0 / d;
+    h *= d * c;
+    aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+    d = 1.0 + aa * d;
+    if (std::fabs(d) < kTiny) d = kTiny;
+    c = 1.0 + aa / c;
+    if (std::fabs(c) < kTiny) c = kTiny;
+    d = 1.0 / d;
+    const double del = d * c;
+    h *= del;
+    if (std::fabs(del - 1.0) < kEps) break;
+  }
+  return h;
+}
+
+// Smallest p in [0, 1] with I_p(a, b) >= target, by bisection. The beta CDF
+// is monotone in p, so 90 halvings pin the root to ~1e-27 — far below the
+// 1e-12 the interval tests compare against.
+double beta_cdf_inverse(double a, double b, double target) {
+  double lo = 0.0, hi = 1.0;
+  for (int i = 0; i < 90; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    if (regularized_incomplete_beta(a, b, mid) < target) lo = mid;
+    else hi = mid;
+  }
+  return 0.5 * (lo + hi);
+}
+
+}  // namespace
+
+double regularized_incomplete_beta(double a, double b, double x) {
+  if (x <= 0.0) return 0.0;
+  if (x >= 1.0) return 1.0;
+  const double ln_front = ln_gamma(a + b) - ln_gamma(a) - ln_gamma(b) +
+                          a * std::log(x) + b * std::log1p(-x);
+  const double front = std::exp(ln_front);
+  if (x < (a + 1.0) / (a + b + 2.0)) return front * beta_cf(a, b, x) / a;
+  return 1.0 - front * beta_cf(b, a, 1.0 - x) / b;
+}
+
+ProportionInterval clopper_pearson_interval(std::uint64_t successes,
+                                            std::uint64_t trials, double confidence) {
+  if (trials == 0) return {};
+  const double alpha = 1.0 - confidence;
+  const double k = static_cast<double>(successes);
+  const double n = static_cast<double>(trials);
+  ProportionInterval ci;
+  // Lower bound: Beta(k, n - k + 1) quantile at alpha/2; exactly 0 when k = 0.
+  ci.lo = successes == 0 ? 0.0 : beta_cdf_inverse(k, n - k + 1.0, alpha / 2.0);
+  // Upper bound: Beta(k + 1, n - k) quantile at 1 - alpha/2; exactly 1 at k = n.
+  ci.hi = successes == trials ? 1.0
+                              : beta_cdf_inverse(k + 1.0, n - k, 1.0 - alpha / 2.0);
+  return ci;
+}
+
 }  // namespace gemfi::util

@@ -50,6 +50,31 @@ std::size_t required_sample_size(std::uint64_t population, double error_margin,
 /// Relative overhead (a vs b) in percent: 100 * (a - b) / b.
 double percent_overhead(double a, double b);
 
+/// Two-sided binomial confidence interval [lo, hi] for a proportion, from
+/// `successes` out of `trials`. Both bounds are clamped to [0, 1].
+struct ProportionInterval {
+  double lo = 0.0;
+  double hi = 1.0;
+  [[nodiscard]] double half_width() const noexcept { return (hi - lo) / 2.0; }
+};
+
+/// Wilson score interval (Wilson 1927): the default for streaming campaign
+/// analytics — closed-form, well-behaved at p near 0/1 and small n, and the
+/// interval every sequential stop rule in the campaign layer evaluates.
+/// trials == 0 yields the vacuous [0, 1].
+ProportionInterval wilson_interval(std::uint64_t successes, std::uint64_t trials,
+                                   double confidence);
+
+/// Clopper-Pearson "exact" interval (1934), inverted from the Beta
+/// distribution. Strictly conservative (coverage >= confidence); used to
+/// cross-check Wilson in analytics summaries. trials == 0 yields [0, 1].
+ProportionInterval clopper_pearson_interval(std::uint64_t successes,
+                                            std::uint64_t trials, double confidence);
+
+/// Regularized incomplete beta function I_x(a, b) for a, b > 0 and x in
+/// [0, 1], via the Lentz continued fraction. Exposed for tests.
+double regularized_incomplete_beta(double a, double b, double x);
+
 /// Online (Welford-style) mean for streaming telemetry: campaign observers
 /// feed per-experiment wall times in as they complete and read the running
 /// mean for ETA estimates without storing the sample.

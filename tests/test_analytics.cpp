@@ -1,0 +1,392 @@
+// Unit tests for the streaming campaign analytics layer: the Aggregator's
+// online counts and confidence intervals, the determinism of the sequential
+// stop rule under adversarial arrival orders, the Autoscaler's watermark
+// hysteresis, and the columnar result store's round-trip and truncation
+// rejection. Everything here is synthetic — no simulator, no sockets — so
+// the properties are tested in isolation from scheduling noise.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <random>
+#include <vector>
+
+#include "campaign/analytics/aggregator.hpp"
+#include "campaign/analytics/colstore.hpp"
+#include "campaign/dispatch.hpp"
+#include "campaign/runner.hpp"
+#include "util/bytesio.hpp"
+#include "util/stats.hpp"
+
+using namespace gemfi;
+namespace fs = std::filesystem;
+
+namespace {
+
+/// Deterministic synthetic record: a real seeded fault (so location/family
+/// histograms see realistic variety) with a caller-chosen outcome.
+campaign::ExperimentRecord make_rec(std::size_t index, apps::Outcome o) {
+  campaign::ExperimentRecord rec;
+  rec.index = index;
+  rec.seed = campaign::experiment_seed(99, index);
+  rec.result.fault = campaign::seeded_fault_any(99, index, 4096);
+  rec.result.classification.outcome = o;
+  rec.result.classification.metric = double(index % 37) / 7.0;
+  rec.result.time_fraction = double(index % 100) / 100.0;
+  rec.result.sim_ticks = 1000 + index;
+  return rec;
+}
+
+/// A fixed multinomial-ish outcome pattern: deterministic, aperiodic enough
+/// that no arrival order can reconstruct it by accident.
+apps::Outcome outcome_at(std::size_t i) {
+  const std::uint64_t h = (i + 1) * 0x9e3779b97f4a7c15ull;
+  return apps::Outcome((h >> 33) % apps::kNumOutcomes);
+}
+
+std::vector<campaign::ExperimentRecord> synthetic_campaign(std::size_t n) {
+  std::vector<campaign::ExperimentRecord> recs;
+  recs.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) recs.push_back(make_rec(i, outcome_at(i)));
+  return recs;
+}
+
+}  // namespace
+
+// --- parse_stop_ci ---
+
+TEST(ParseStopCi, AcceptsEpsAndEpsAtConf) {
+  const auto p1 = campaign::parse_stop_ci("0.01@0.99");
+  EXPECT_DOUBLE_EQ(p1.eps, 0.01);
+  EXPECT_DOUBLE_EQ(p1.confidence, 0.99);
+  EXPECT_TRUE(p1.enabled());
+
+  const auto p2 = campaign::parse_stop_ci("0.05");
+  EXPECT_DOUBLE_EQ(p2.eps, 0.05);
+  EXPECT_DOUBLE_EQ(p2.confidence, 0.99);  // default confidence
+}
+
+TEST(ParseStopCi, RejectsMalformedAndOutOfRange) {
+  EXPECT_THROW(campaign::parse_stop_ci("half"), std::invalid_argument);
+  EXPECT_THROW(campaign::parse_stop_ci(""), std::invalid_argument);
+  EXPECT_THROW(campaign::parse_stop_ci("0.01@"), std::invalid_argument);
+  EXPECT_THROW(campaign::parse_stop_ci("0.01@bad"), std::invalid_argument);
+  EXPECT_THROW(campaign::parse_stop_ci("0.7"), std::invalid_argument);     // eps > 0.5
+  EXPECT_THROW(campaign::parse_stop_ci("0"), std::invalid_argument);       // eps == 0
+  EXPECT_THROW(campaign::parse_stop_ci("-0.01"), std::invalid_argument);
+  EXPECT_THROW(campaign::parse_stop_ci("0.01@0.3"), std::invalid_argument);  // conf
+  EXPECT_THROW(campaign::parse_stop_ci("0.01@1.0"), std::invalid_argument);
+}
+
+// --- Aggregator: online == post-hoc, independent of arrival order ---
+
+TEST(Aggregator, OnlineTotalsMatchPostHocInAnyArrivalOrder) {
+  const auto recs = synthetic_campaign(500);
+
+  campaign::Aggregator in_order, reversed, shuffled;
+  for (const auto& r : recs) in_order.add(r);
+  for (auto it = recs.rbegin(); it != recs.rend(); ++it) reversed.add(*it);
+  auto perm = recs;
+  std::shuffle(perm.begin(), perm.end(), std::mt19937_64(42));
+  for (const auto& r : perm) shuffled.add(r);
+
+  EXPECT_EQ(in_order.n(), recs.size());
+  EXPECT_EQ(in_order.outcome_counts(), reversed.outcome_counts());
+  EXPECT_EQ(in_order.outcome_counts(), shuffled.outcome_counts());
+  EXPECT_EQ(in_order.location_counts(), shuffled.location_counts());
+  EXPECT_EQ(in_order.family_counts(), shuffled.family_counts());
+  EXPECT_EQ(in_order.timing_counts(), shuffled.timing_counts());
+
+  // The no-stop summary covers the full record set, so it must be
+  // byte-identical no matter how the records arrived.
+  EXPECT_EQ(in_order.summary_json("summary"), reversed.summary_json("summary"));
+  EXPECT_EQ(in_order.summary_json("summary"), shuffled.summary_json("summary"));
+}
+
+TEST(Aggregator, IntervalsMatchUtilStats) {
+  campaign::Aggregator agg(campaign::StopPolicy{0.0, 0.95});
+  for (std::size_t i = 0; i < 100; ++i)
+    agg.add(make_rec(i, i < 25 ? apps::Outcome::SDC : apps::Outcome::NonPropagated));
+
+  const auto w = agg.wilson(apps::Outcome::SDC);
+  const auto w_ref = util::wilson_interval(25, 100, 0.95);
+  EXPECT_DOUBLE_EQ(w.lo, w_ref.lo);
+  EXPECT_DOUBLE_EQ(w.hi, w_ref.hi);
+
+  const auto cp = agg.clopper_pearson(apps::Outcome::SDC);
+  const auto cp_ref = util::clopper_pearson_interval(25, 100, 0.95);
+  EXPECT_DOUBLE_EQ(cp.lo, cp_ref.lo);
+  EXPECT_DOUBLE_EQ(cp.hi, cp_ref.hi);
+}
+
+// --- Aggregator: sequential stop determinism ---
+
+// The stop rule must be a pure function of the fault list: same stop index
+// and a byte-identical stopped_early summary whether records arrive in
+// order, in reverse (one unlock cascade at the end), or block-swapped.
+TEST(Aggregator, StopIndexAndSummaryIdenticalAcrossArrivalOrders) {
+  // 10% SDC / 90% masked: tight proportions, so the rule fires well before
+  // the campaign end even without the finite-population correction.
+  const std::size_t n = 400;
+  std::vector<campaign::ExperimentRecord> recs;
+  for (std::size_t i = 0; i < n; ++i)
+    recs.push_back(
+        make_rec(i, i % 10 == 0 ? apps::Outcome::SDC : apps::Outcome::NonPropagated));
+
+  const campaign::StopPolicy policy{0.05, 0.95};
+  campaign::Aggregator in_order(policy, n), reversed(policy, n), swapped(policy, n);
+
+  bool fired_in_order = false;
+  for (const auto& r : recs) fired_in_order |= in_order.add(r);
+  for (auto it = recs.rbegin(); it != recs.rend(); ++it) reversed.add(*it);
+  // Arrival pattern of a 2-worker race: odd indices first, then even.
+  for (std::size_t i = 1; i < n; i += 2) swapped.add(recs[i]);
+  for (std::size_t i = 0; i < n; i += 2) swapped.add(recs[i]);
+
+  ASSERT_TRUE(fired_in_order);
+  ASSERT_TRUE(in_order.should_stop());
+  ASSERT_TRUE(reversed.should_stop());
+  ASSERT_TRUE(swapped.should_stop());
+  EXPECT_EQ(in_order.stop_index(), reversed.stop_index());
+  EXPECT_EQ(in_order.stop_index(), swapped.stop_index());
+  EXPECT_GE(in_order.stop_index(), policy.min_n);
+  EXPECT_LT(in_order.stop_index(), n);
+
+  EXPECT_EQ(in_order.summary_json("stopped_early"),
+            reversed.summary_json("stopped_early"));
+  EXPECT_EQ(in_order.summary_json("stopped_early"),
+            swapped.summary_json("stopped_early"));
+}
+
+// Once the rule fires the stop prefix is frozen: later arrivals still count
+// toward the order-independent totals but must not leak into the prefix
+// counts (one late record can unlock a whole buffered run — absorbing past
+// the stop index would make the summary depend on arrival order).
+TEST(Aggregator, StopPrefixIsFrozenAtFirstSatisfyingK) {
+  const std::size_t n = 400;
+  const campaign::StopPolicy policy{0.05, 0.95};
+  campaign::Aggregator agg(policy, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const bool fired = agg.add(
+        make_rec(i, i % 10 == 0 ? apps::Outcome::SDC : apps::Outcome::NonPropagated));
+    if (agg.should_stop() && !fired)
+      EXPECT_FALSE(fired) << "add() must return false while draining";
+  }
+  ASSERT_TRUE(agg.should_stop());
+  std::uint64_t prefix_total = 0;
+  for (const auto c : agg.prefix_counts()) prefix_total += c;
+  EXPECT_EQ(prefix_total, agg.stop_index());
+  EXPECT_EQ(agg.n(), n);  // totals still cover everything seen
+}
+
+// The finite-population correction: with the campaign plan as the population
+// the rule certifies agreement with the full campaign's answer, so a 50/50
+// split — hopeless for the infinite-population rule at eps=0.05 and n ~ 100
+// — still stops once few enough experiments remain to move the proportions.
+TEST(Aggregator, FinitePopulationCorrectionStopsWhatInfiniteCannot) {
+  const std::size_t n = 110;
+  const campaign::StopPolicy policy{0.05, 0.95};
+
+  campaign::Aggregator finite(policy, n);   // knows the campaign size
+  campaign::Aggregator infinite(policy, 0); // population unknown
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto o = i % 2 ? apps::Outcome::SDC : apps::Outcome::NonPropagated;
+    finite.add(make_rec(i, o));
+    infinite.add(make_rec(i, o));
+  }
+  EXPECT_TRUE(finite.should_stop());
+  EXPECT_LT(finite.stop_index(), n);
+  EXPECT_FALSE(infinite.should_stop());
+}
+
+// --- Autoscaler watermark hysteresis ---
+
+TEST(Autoscaler, GrowsAboveHighWatermarkRespectingCooldownAndMax) {
+  campaign::AutoscaleConfig cfg;
+  cfg.min_workers = 1;
+  cfg.max_workers = 3;
+  cfg.cooldown_s = 1.0;
+  campaign::Autoscaler sc(cfg);
+
+  // Huge backlog on a 1-worker/1-slot fleet: one spawn per cooldown period,
+  // never past max_workers.
+  auto d = sc.tick(0.0, 100, 1, 1);
+  EXPECT_EQ(d.spawn, 1u);
+  EXPECT_EQ(d.retire, 0u);
+  d = sc.tick(0.5, 100, 1, 2);  // inside cooldown: no action
+  EXPECT_EQ(d.spawn, 0u);
+  d = sc.tick(1.5, 100, 2, 2);
+  EXPECT_EQ(d.spawn, 1u);
+  d = sc.tick(3.0, 100, 3, 3);  // at max: no growth
+  EXPECT_EQ(d.spawn, 0u);
+}
+
+TEST(Autoscaler, RetiresBelowLowWatermarkNeverUnderMin) {
+  campaign::AutoscaleConfig cfg;
+  cfg.min_workers = 1;
+  cfg.max_workers = 4;
+  cfg.cooldown_s = 1.0;
+  campaign::Autoscaler sc(cfg);
+
+  auto d = sc.tick(0.0, 0, 4, 4);
+  EXPECT_EQ(d.retire, 1u);
+  d = sc.tick(1.5, 0, 3, 3);
+  EXPECT_EQ(d.retire, 1u);
+  d = sc.tick(3.0, 0, 2, 2);
+  EXPECT_EQ(d.retire, 1u);
+  d = sc.tick(4.5, 0, 1, 1);  // at min: keep the last worker
+  EXPECT_EQ(d.retire, 0u);
+  EXPECT_EQ(d.spawn, 0u);
+}
+
+// The no-oscillation property the watermark gap + cooldown buy: a load that
+// sits anywhere inside [low, high] produces no decisions at all, and the
+// load shift caused by a scaling action itself (capacity change moving
+// backlog-per-slot across the band) cannot trigger the opposite action.
+TEST(Autoscaler, NoSpawnRetireOscillation) {
+  campaign::AutoscaleConfig cfg;
+  cfg.min_workers = 1;
+  cfg.max_workers = 8;
+  cfg.high_watermark = 4.0;
+  cfg.low_watermark = 1.0;
+  cfg.cooldown_s = 1.0;
+  campaign::Autoscaler sc(cfg);
+
+  // Dead zone: no action no matter how long it sits there.
+  for (int t = 0; t < 20; ++t) {
+    const auto d = sc.tick(double(t), /*backlog=*/6, /*capacity=*/3, /*workers=*/3);
+    EXPECT_EQ(d.spawn, 0u);
+    EXPECT_EQ(d.retire, 0u);
+  }
+
+  // A spawn that lands the new load inside the band must not be followed by
+  // a retire (or another spawn) while the backlog is unchanged.
+  unsigned workers = 2;
+  std::size_t backlog = 9;  // load 4.5 on 2 slots: grow
+  auto d = sc.tick(100.0, backlog, workers, workers);
+  EXPECT_EQ(d.spawn, 1u);
+  workers += d.spawn;  // caller counts the spawn immediately (not-yet-joined)
+  for (int t = 1; t <= 10; ++t) {
+    d = sc.tick(100.0 + t, backlog, workers, workers);  // load 3.0: dead zone
+    EXPECT_EQ(d.spawn, 0u) << "re-spawned for the same backlog";
+    EXPECT_EQ(d.retire, 0u) << "retired the worker it just spawned";
+  }
+}
+
+TEST(Autoscaler, DisabledPolicyNeverActs) {
+  campaign::Autoscaler sc(campaign::AutoscaleConfig{});  // max_workers == 0
+  const auto d = sc.tick(0.0, 1000, 1, 1);
+  EXPECT_EQ(d.spawn, 0u);
+  EXPECT_EQ(d.retire, 0u);
+}
+
+// --- Colstore ---
+
+namespace {
+
+std::vector<campaign::ColstoreRow> synthetic_rows(std::size_t n) {
+  std::vector<campaign::ColstoreRow> rows;
+  rows.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    campaign::ColstoreRow r;
+    r.index = i * 977;  // forces wider packed-int widths as i grows
+    r.worker = std::uint32_t(i % 5);
+    r.seed = campaign::experiment_seed(7, i);
+    r.outcome = std::uint8_t(i % apps::kNumOutcomes);
+    r.location = std::uint8_t(i % fi::kNumFaultLocations);
+    r.behavior = std::uint8_t(i % 3);
+    r.family = std::uint8_t(i % fi::kNumFaultModelKinds);
+    r.applied = (i % 3) != 0;
+    r.retries = std::uint32_t(i % 2);
+    r.time_fraction = double(i % 100) / 100.0;
+    r.metric = (i % 7 == 0 ? -1.0 : 1.0) * double(i) * 0.125;
+    r.sim_ticks = (std::uint64_t(1) << (i % 40)) + i;
+    rows.push_back(r);
+  }
+  return rows;
+}
+
+fs::path temp_store(const char* tag) {
+  return fs::temp_directory_path() /
+         (std::string("gemfi_colstore_") + tag + "_" + std::to_string(::getpid()) +
+          ".gfcs");
+}
+
+}  // namespace
+
+TEST(Colstore, RoundTripsAcrossMultipleRowGroups) {
+  const auto rows = synthetic_rows(1000);
+  const fs::path path = temp_store("roundtrip");
+  {
+    campaign::ColstoreWriter w(path.string(), /*rows_per_group=*/64);
+    for (const auto& r : rows) w.append(r);
+    w.finish();
+    EXPECT_EQ(w.rows_written(), rows.size());
+  }
+
+  const auto store = campaign::read_colstore(path.string());
+  ASSERT_EQ(store.rows.size(), rows.size());
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto& a = rows[i];
+    const auto& b = store.rows[i];
+    EXPECT_EQ(a.index, b.index);
+    EXPECT_EQ(a.worker, b.worker);
+    EXPECT_EQ(a.seed, b.seed);
+    EXPECT_EQ(a.outcome, b.outcome);
+    EXPECT_EQ(a.location, b.location);
+    EXPECT_EQ(a.behavior, b.behavior);
+    EXPECT_EQ(a.family, b.family);
+    EXPECT_EQ(a.applied, b.applied);
+    EXPECT_EQ(a.retries, b.retries);
+    EXPECT_DOUBLE_EQ(a.time_fraction, b.time_fraction);
+    EXPECT_DOUBLE_EQ(a.metric, b.metric);
+    EXPECT_EQ(a.sim_ticks, b.sim_ticks);
+  }
+  // Self-describing: the footer dictionaries carry every enum name.
+  EXPECT_EQ(store.outcome_names.size(), apps::kNumOutcomes);
+  EXPECT_EQ(store.location_names.size(), fi::kNumFaultLocations);
+  EXPECT_EQ(store.family_names.size(), fi::kNumFaultModelKinds);
+  fs::remove(path);
+}
+
+TEST(Colstore, EmptyStoreRoundTrips) {
+  const fs::path path = temp_store("empty");
+  {
+    campaign::ColstoreWriter w(path.string());
+    w.finish();
+  }
+  const auto store = campaign::read_colstore(path.string());
+  EXPECT_TRUE(store.rows.empty());
+  EXPECT_EQ(store.outcome_names.size(), apps::kNumOutcomes);
+  fs::remove(path);
+}
+
+// Truncation fuzz: every proper prefix of a valid store must be rejected by
+// the magic/CRC/bounds checks — never decoded as a shorter-but-plausible
+// store and never crash.
+TEST(Colstore, EveryTruncationIsRejected) {
+  const auto rows = synthetic_rows(100);
+  const fs::path path = temp_store("trunc");
+  {
+    campaign::ColstoreWriter w(path.string(), /*rows_per_group=*/16);
+    for (const auto& r : rows) w.append(r);
+    w.finish();
+  }
+  std::ifstream is(path, std::ios::binary);
+  std::vector<std::uint8_t> image((std::istreambuf_iterator<char>(is)),
+                                  std::istreambuf_iterator<char>());
+  is.close();
+  fs::remove(path);
+  ASSERT_GT(image.size(), 64u);
+
+  // The full image decodes; every prefix throws.
+  EXPECT_EQ(campaign::decode_colstore(image).rows.size(), rows.size());
+  for (std::size_t len = 0; len < image.size(); ++len) {
+    EXPECT_THROW(campaign::decode_colstore(
+                     std::span<const std::uint8_t>(image.data(), len)),
+                 util::DeserializeError)
+        << "prefix of " << len << " bytes was not rejected";
+  }
+}

@@ -6,21 +6,44 @@
 #include <gtest/gtest.h>
 
 #include <signal.h>
+#include <unistd.h>
 
 #include <algorithm>
 #include <atomic>
+#include <filesystem>
 #include <functional>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
+#include "campaign/analytics/aggregator.hpp"
 #include "campaign/dispatch.hpp"
 #include "campaign/observer.hpp"
 #include "campaign/runner.hpp"
 #include "net/frame.hpp"
 #include "net/socket.hpp"
+#include "test_env.hpp"
 
 using namespace gemfi;
+using testenv::scaled_ms;
+using testenv::scaled_s;
+
+// Sanitized builds run every experiment several times slower, and the forked
+// worker processes are sanitized too — on an oversubscribed runner they
+// serialize with the master. The early-stop and autoscale tests scale their
+// campaign length down under a sanitizer (the invariants are unchanged; the
+// stop rule still fires well before the end at the smaller n).
+#if defined(__SANITIZE_THREAD__) || defined(__SANITIZE_ADDRESS__)
+#define GEMFI_SANITIZED 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer) || __has_feature(address_sanitizer)
+#define GEMFI_SANITIZED 1
+#endif
+#endif
+#ifndef GEMFI_SANITIZED
+#define GEMFI_SANITIZED 0
+#endif
 
 namespace {
 
@@ -157,7 +180,7 @@ TEST(Dispatch, WorkerSigkillMidCampaignLosesNothing) {
   now_cfg.observer = &now_obs;
 
   campaign::DispatchConfig dcfg;
-  dcfg.worker_timeout_s = 10.0;  // EOF detection should beat this by far
+  dcfg.worker_timeout_s = scaled_s(10.0);  // EOF detection should beat this by far
 
   campaign::Master master(c.ca, c.scale, faults, now_cfg, dcfg);
   auto pool = campaign::LocalWorkerPool::spawn(2, master.port(), /*slots=*/1);
@@ -293,10 +316,10 @@ TEST(Dispatch, DripFeedingPeerIsReapedNotImmortal) {
   // peer; the dripped partial frame only adds the 0.5s grace. The observer
   // hook below paces the campaign so it always outlives the ~3s reap point.
   campaign::DispatchConfig dcfg;
-  dcfg.worker_timeout_s = 2.5;
-  dcfg.frame_grace_s = 0.5;
+  dcfg.worker_timeout_s = scaled_s(2.5);
+  dcfg.frame_grace_s = scaled_s(0.5);
   now_obs.hook = [](const campaign::ExperimentRecord&) {
-    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    std::this_thread::sleep_for(scaled_ms(100));
   };
 
   campaign::Master master(c.ca, c.scale, faults, now_cfg, dcfg);
@@ -318,7 +341,7 @@ TEST(Dispatch, DripFeedingPeerIsReapedNotImmortal) {
       while (dripping.load()) {
         if (sent + 1 < drip.size())  // never complete the frame
           conn.send_all(std::span<const std::uint8_t>(&drip[sent++], 1));
-        std::this_thread::sleep_for(std::chrono::milliseconds(150));
+        std::this_thread::sleep_for(scaled_ms(150));
       }
     } catch (const std::exception&) {
       // The master closing the drip-feed connection is the fix working.
@@ -378,13 +401,124 @@ TEST(Dispatch, SigintDrainsEveryConcurrentMaster) {
   EXPECT_LT(dr_b.completed, n);
 }
 
+// The same campaign over the AF_UNIX transport: identical records, identical
+// exactly-once guarantees — 'gfnw' framing is transport-agnostic.
+TEST(Dispatch, UnixTransportGoldenEquivalence) {
+  const Calibrated& c = calibrated();
+  const std::size_t n = 60;
+  const auto faults =
+      campaign::seeded_fault_set(c.cfg.campaign_seed, n, c.ca.kernel_fetches);
+
+  campaign::CampaignConfig tcp_cfg = c.cfg;
+  CollectingObserver tcp_obs;
+  tcp_cfg.observer = &tcp_obs;
+  const auto tcp_dr = campaign::run_campaign_service_local(c.ca, c.scale, faults,
+                                                           tcp_cfg, 2, /*slots=*/1);
+  ASSERT_EQ(tcp_dr.completed, n);
+
+  campaign::CampaignConfig ux_cfg = c.cfg;
+  CollectingObserver ux_obs;
+  ux_cfg.observer = &ux_obs;
+  campaign::DispatchConfig dcfg;
+  dcfg.unix_path = (std::filesystem::temp_directory_path() /
+                    ("gemfi_dispatch_ux_" + std::to_string(::getpid()) + ".sock"))
+                       .string();
+  const auto ux_dr = campaign::run_campaign_service_local(c.ca, c.scale, faults,
+                                                          ux_cfg, 2, /*slots=*/1, dcfg);
+
+  EXPECT_EQ(ux_dr.completed, n);
+  EXPECT_EQ(ux_dr.workers_lost, 0u);
+  EXPECT_EQ(ux_dr.duplicate_results, 0u);
+  EXPECT_EQ(ux_obs.count(), n);
+  EXPECT_EQ(normalized_sorted(tcp_obs.records()), normalized_sorted(ux_obs.records()));
+  EXPECT_EQ(tcp_dr.campaign.counts, ux_dr.campaign.counts);
+  // The listener's socket file is unlinked when the master goes away.
+  EXPECT_FALSE(std::filesystem::exists(dcfg.unix_path));
+}
+
+// The load-bearing property of the sequential stop rule: the stop index and
+// the stopped_early summary are byte-identical across worker counts,
+// schedulings and transports, because the rule is evaluated on index-ordered
+// prefixes — not arrival order.
+TEST(Dispatch, EarlyStopDeterministicAcrossWorkerCountsAndTransports) {
+  const Calibrated& c = calibrated();
+  const std::size_t n = GEMFI_SANITIZED ? 120 : 300;
+  const auto faults =
+      campaign::seeded_fault_set(c.cfg.campaign_seed, n, c.ca.kernel_fetches);
+
+  const auto run_with = [&](unsigned workers, const std::string& unix_path) {
+    campaign::CampaignConfig cfg = c.cfg;
+    campaign::DispatchConfig dcfg;
+    dcfg.stop = campaign::parse_stop_ci("0.08@0.95");
+    dcfg.unix_path = unix_path;
+    return campaign::run_campaign_service_local(c.ca, c.scale, faults, cfg, workers,
+                                                /*slots=*/1, dcfg);
+  };
+
+  const auto one = run_with(1, "");
+  const auto three = run_with(3, "");
+  const auto ux = run_with(2, (std::filesystem::temp_directory_path() /
+                               ("gemfi_dispatch_stop_" + std::to_string(::getpid()) +
+                                ".sock"))
+                                  .string());
+
+  ASSERT_TRUE(one.stopped_early);
+  ASSERT_TRUE(three.stopped_early);
+  ASSERT_TRUE(ux.stopped_early);
+  EXPECT_TRUE(one.drained_early);
+  EXPECT_GT(one.stop_index, 0u);
+  EXPECT_LT(one.stop_index, n);
+  EXPECT_EQ(one.stop_index, three.stop_index);
+  EXPECT_EQ(one.stop_index, ux.stop_index);
+  EXPECT_FALSE(one.aggregate_summary.empty());
+  EXPECT_EQ(one.aggregate_summary, three.aggregate_summary);
+  EXPECT_EQ(one.aggregate_summary, ux.aggregate_summary);
+
+  // The stop saves real dispatch work: completions cover the prefix plus the
+  // drained in-flight tail, and the cancelled queue accounts for the rest.
+  EXPECT_GE(one.completed, one.stop_index);
+  EXPECT_LT(one.completed, n);
+  EXPECT_EQ(one.completed + one.cancelled, n);
+}
+
+// Elastic fleet: a queue-heavy campaign starting from one worker grows the
+// fleet through the spawn callback, completes exactly once, and reports the
+// scaling actions. Hysteresis (no spawn/retire oscillation) is unit-tested
+// in test_analytics; this is the end-to-end growth path.
+TEST(Dispatch, AutoscaleGrowsFleetAndCampaignCompletes) {
+  const Calibrated& c = calibrated();
+  const std::size_t n = GEMFI_SANITIZED ? 100 : 200;
+  const auto faults =
+      campaign::seeded_fault_set(c.cfg.campaign_seed, n, c.ca.kernel_fetches);
+
+  campaign::CampaignConfig cfg = c.cfg;
+  CollectingObserver obs;
+  cfg.observer = &obs;
+  campaign::DispatchConfig dcfg;
+  dcfg.autoscale.min_workers = 1;
+  dcfg.autoscale.max_workers = 3;
+  dcfg.autoscale.high_watermark = 2.0;  // a 200-deep queue on 1 slot: grow fast
+  dcfg.autoscale.cooldown_s = 0.1;
+  const auto dr = campaign::run_campaign_service_local(c.ca, c.scale, faults, cfg,
+                                                       /*workers=*/1, /*slots=*/1, dcfg);
+
+  EXPECT_EQ(dr.completed, n);
+  EXPECT_GE(dr.workers_spawned, 1u);
+  EXPECT_GE(dr.workers_joined, 2u);
+  EXPECT_EQ(dr.duplicate_results, 0u);
+  EXPECT_EQ(obs.count(), n);
+  std::vector<unsigned> seen(n, 0);
+  for (const auto& rec : obs.records()) ++seen.at(rec.index);
+  EXPECT_TRUE(std::all_of(seen.begin(), seen.end(), [](unsigned k) { return k == 1; }));
+}
+
 // The master gives up with a clear error if no worker ever joins.
 TEST(Dispatch, NoWorkerEverJoinsThrows) {
   const Calibrated& c = calibrated();
   const auto faults = campaign::seeded_fault_set(c.cfg.campaign_seed, 4,
                                                  c.ca.kernel_fetches);
   campaign::DispatchConfig dcfg;
-  dcfg.first_worker_timeout_s = 0.3;
+  dcfg.first_worker_timeout_s = scaled_s(0.3);
   campaign::CampaignConfig cfg = c.cfg;
   campaign::Master master(c.ca, c.scale, faults, cfg, dcfg);
   EXPECT_THROW(master.run(), std::runtime_error);

@@ -1,0 +1,45 @@
+// Shared timing knobs for the networked test suites (test_net, test_dispatch,
+// test_service).
+//
+// These tests pick short liveness timeouts so the chaos scenarios (worker
+// reaping, drip-feed peers, first-worker deadlines) finish in seconds on a
+// developer machine — but a loaded CI runner can stall a healthy worker past
+// a 2.5 s heartbeat deadline and flake the suite. GEMFI_TEST_TIMEOUT_MS, when
+// set, is a floor (in milliseconds) for the suite's base liveness timeout of
+// 2500 ms; every timing knob below derives from the same scale factor, so the
+// relative order the scenarios depend on — heartbeat < reap point < campaign
+// length — survives any slowdown. Unset or smaller than the base, the tests
+// run at their fast defaults. CI sets GEMFI_TEST_TIMEOUT_MS=10000.
+#pragma once
+
+#include <chrono>
+#include <cstdlib>
+
+namespace gemfi::testenv {
+
+/// Base liveness timeout the scale is expressed against, milliseconds.
+inline constexpr double kBaseTimeoutMs = 2500.0;
+
+/// Multiplier applied to every timing knob: 1.0 by default, larger when
+/// GEMFI_TEST_TIMEOUT_MS asks for a slower (more load-tolerant) suite.
+inline double timeout_scale() {
+  static const double scale = [] {
+    if (const char* env = std::getenv("GEMFI_TEST_TIMEOUT_MS")) {
+      const double ms = std::atof(env);
+      if (ms > kBaseTimeoutMs) return ms / kBaseTimeoutMs;
+    }
+    return 1.0;
+  }();
+  return scale;
+}
+
+/// A timeout in seconds, scaled.
+inline double scaled_s(double dflt_s) { return dflt_s * timeout_scale(); }
+
+/// A delay in milliseconds, scaled (for pacing sleeps that must keep their
+/// ratio to the scaled timeouts).
+inline std::chrono::milliseconds scaled_ms(long dflt_ms) {
+  return std::chrono::milliseconds(static_cast<long>(dflt_ms * timeout_scale()));
+}
+
+}  // namespace gemfi::testenv

@@ -26,6 +26,7 @@
 #include "campaign/service/client.hpp"
 #include "campaign/service/service.hpp"
 #include "net/socket.hpp"
+#include "test_env.hpp"
 
 using namespace gemfi;
 namespace service = gemfi::campaign::service;
@@ -173,6 +174,7 @@ double now_seconds() {
 /// Reconnects the polling client as needed; fails the test on deadline.
 template <typename Pred>
 void wait_for_status(std::uint16_t port, double deadline_s, Pred pred) {
+  deadline_s = testenv::scaled_s(deadline_s);  // GEMFI_TEST_TIMEOUT_MS floor
   const double t0 = now_seconds();
   while (now_seconds() - t0 < deadline_s) {
     try {
@@ -200,7 +202,7 @@ std::pair<std::vector<std::string>, service::CampaignState> stream_all(
   std::vector<std::string> lines;
   const service::CampaignState end = c.stream(
       id, [&](const std::string& line) { lines.push_back(line); },
-      /*timeout_s=*/120.0);
+      /*timeout_s=*/testenv::scaled_s(120.0));
   return {std::move(lines), end};
 }
 
@@ -471,5 +473,79 @@ TEST(Service, SigkillRestartLosesNothing) {
   EXPECT_TRUE(WIFEXITED(status));
   EXPECT_EQ(WEXITSTATUS(status), 0);
   EXPECT_EQ(pool.wait_all(), 0);
+  fs::remove_all(dir);
+}
+
+// A tenant opts into sequential early-stopping (spec.stop_eps > 0): the
+// campaign reaches Done having run fewer experiments than planned, the
+// result stream carries exactly one deterministic stopped_early summary
+// line, and the service report counts the stop.
+TEST(Service, StopCiCampaignStopsEarlyWithOneSummaryRecord) {
+  const fs::path dir = fresh_dir("stopci");
+  service::ServiceConfig scfg;
+  scfg.journal_dir = dir.string();
+  service::CampaignService svc(scfg);
+  const std::uint16_t port = svc.port();
+  auto pool = campaign::LocalWorkerPool::spawn(2, port, /*slots=*/1,
+                                               /*max_reconnects=*/1u << 20);
+  FleetGuard fleet{pool};
+  service::ServiceReport report;
+  std::thread server([&] { report = svc.run(); });
+
+  // Sanitized builds: smaller plan (the rule still fires well before n —
+  // the finite-population correction tightens as the prefix covers it).
+  const std::uint64_t n = GEMFI_SANITIZED ? 240 : 400;
+  service::CampaignSpec spec = pi_spec("alice", n, 1234);
+  spec.stop_eps = 0.05;
+  spec.stop_conf = 0.95;
+  std::uint64_t id = 0;
+  {
+    service::Client client = service::Client::connect("127.0.0.1", port);
+    id = client.submit(spec);
+  }
+  ASSERT_NE(id, 0u);
+
+  wait_for_status(port, 120.0, [&](const auto& all) {
+    const auto* s = find_status(all, id);
+    return s && s->state == service::CampaignState::Done;
+  });
+
+  const auto [lines, end] = stream_all(port, id);
+  EXPECT_EQ(end, service::CampaignState::Done);
+
+  // Split the stream into experiment records and summary records.
+  std::vector<std::string> results;
+  std::vector<std::string> summaries;
+  std::uint64_t stop_index = 0;
+  for (const auto& line : lines) {
+    const auto v = campaign::jsonl::parse(line);
+    if (v.has("type") && v.at("type").text == "stopped_early") {
+      summaries.push_back(line);
+      EXPECT_TRUE(v.at("stopped_early").boolean);
+      stop_index = v.at("stop_index").as_u64();
+    } else {
+      results.push_back(line);
+    }
+  }
+  ASSERT_EQ(summaries.size(), 1u) << "exactly one stopped_early summary";
+  EXPECT_GT(stop_index, 0u);
+  EXPECT_LT(stop_index, n);
+  // The stop saved real work: fewer experiments ran than were planned, and
+  // every result that did run covers the certified prefix exactly once.
+  EXPECT_LT(results.size(), n);
+  EXPECT_GE(results.size(), stop_index);
+  std::vector<unsigned> seen(n, 0);
+  for (const auto& line : results)
+    ++seen.at(std::size_t(campaign::jsonl::parse(line).at("index").as_u64()));
+  for (std::uint64_t i = 0; i < stop_index; ++i)
+    EXPECT_EQ(seen[std::size_t(i)], 1u) << "prefix index " << i;
+  EXPECT_TRUE(std::all_of(seen.begin(), seen.end(), [](unsigned k) { return k <= 1; }));
+
+  svc.request_stop();
+  server.join();
+  EXPECT_EQ(pool.wait_all(), 0);
+  EXPECT_EQ(report.campaigns_done, 1u);
+  EXPECT_EQ(report.campaigns_stopped_early, 1u);
+  EXPECT_EQ(report.duplicate_results, 0u);
   fs::remove_all(dir);
 }

@@ -1,0 +1,180 @@
+#!/usr/bin/env python3
+"""Compare BENCH_*.json artifacts against checked-in baselines.
+
+The perfsmoke CI job runs the perfsmoke-labeled benches, which each emit a
+machine-readable document:
+
+    {"bench": "BENCH_<name>", "records": [
+        {"metric": "...", "value": 1.25, "unit": "x", "config": "pi"}, ...]}
+
+This script diffs those documents against ``bench/baselines/*.json`` and
+fails (exit 1) when a gated metric regressed by more than ``--threshold``
+(default 20%). It always prints a full Markdown delta table (suitable for
+``$GITHUB_STEP_SUMMARY``), covering gated and informational rows alike.
+
+Direction is inferred from the record's unit:
+
+  * ``s``/``ms``/``us``/``ns`` (durations): lower is better. Raw wall times
+    vary wildly between CI hosts, so duration rows are *informational* by
+    default and only gated when ``--gate-units`` includes their unit.
+  * ``x`` (dimensionless ratios: speedups, effective parallelism,
+    experiments-saved factors): higher is better. Ratios divide out the
+    host's absolute speed, so they are the default gated unit.
+  * anything else (counts, fractions, bytes): informational.
+
+A metric present in the current run but absent from the baseline is reported
+as NEW and never fails the build (add it with ``--update``). A baselined
+metric missing from the current run fails: a silently vanished benchmark is
+itself a regression.
+
+Usage:
+    bench_compare.py --baseline bench/baselines --current build/bench
+    bench_compare.py --baseline bench/baselines --current build/bench --update
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+LOWER_IS_BETTER_UNITS = {"s", "ms", "us", "ns"}
+HIGHER_IS_BETTER_UNITS = {"x"}
+
+
+def load_documents(directory: Path) -> dict[str, dict[tuple[str, str], dict]]:
+    """Map bench name -> {(metric, config) -> record} for every BENCH_*.json."""
+    out: dict[str, dict[tuple[str, str], dict]] = {}
+    for path in sorted(directory.glob("BENCH_*.json")):
+        try:
+            doc = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            raise SystemExit(f"bench_compare: unreadable {path}: {exc}")
+        bench = doc.get("bench", path.stem)
+        records = out.setdefault(bench, {})
+        for rec in doc.get("records", []):
+            key = (str(rec.get("metric", "")), str(rec.get("config", "")))
+            records[key] = rec
+    return out
+
+
+def direction(unit: str) -> int:
+    """+1 higher-is-better, -1 lower-is-better, 0 informational."""
+    if unit in HIGHER_IS_BETTER_UNITS:
+        return 1
+    if unit in LOWER_IS_BETTER_UNITS:
+        return -1
+    return 0
+
+
+def regression_fraction(base: float, cur: float, sign: int) -> float:
+    """How much worse the current value is, as a fraction of the baseline.
+
+    Positive = regressed, negative = improved, 0 for degenerate baselines.
+    """
+    if base == 0:
+        return 0.0
+    if sign > 0:  # higher is better: a drop is a regression
+        return (base - cur) / abs(base)
+    return (cur - base) / abs(base)  # lower is better: a rise is a regression
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--baseline", type=Path, required=True,
+                    help="directory of checked-in BENCH_*.json baselines")
+    ap.add_argument("--current", type=Path, required=True,
+                    help="directory of freshly produced BENCH_*.json files")
+    ap.add_argument("--threshold", type=float, default=0.20,
+                    help="fail when a gated metric regresses more than this "
+                         "fraction (default 0.20)")
+    ap.add_argument("--gate-units", default="x",
+                    help="comma-separated units that fail the build on "
+                         "regression (default: x)")
+    ap.add_argument("--update", action="store_true",
+                    help="copy current artifacts over the baselines instead "
+                         "of comparing")
+    args = ap.parse_args()
+
+    if args.update:
+        args.baseline.mkdir(parents=True, exist_ok=True)
+        copied = 0
+        for path in sorted(args.current.glob("BENCH_*.json")):
+            (args.baseline / path.name).write_text(path.read_text())
+            copied += 1
+        print(f"bench_compare: refreshed {copied} baseline file(s) in "
+              f"{args.baseline}")
+        return 0
+
+    gated_units = {u.strip() for u in args.gate_units.split(",") if u.strip()}
+    baselines = load_documents(args.baseline)
+    currents = load_documents(args.current)
+
+    rows: list[tuple[str, str, str, str, str, str, str]] = []
+    failures: list[str] = []
+    new_metrics = 0
+
+    for bench, base_records in sorted(baselines.items()):
+        cur_records = currents.get(bench, {})
+        for (metric, config), base_rec in sorted(base_records.items()):
+            unit = str(base_rec.get("unit", ""))
+            base_val = float(base_rec.get("value", 0.0))
+            cur_rec = cur_records.get((metric, config))
+            gate = unit in gated_units and direction(unit) != 0
+            if cur_rec is None:
+                status = "MISSING"
+                if gate:
+                    failures.append(f"{bench}/{metric}[{config}]: metric "
+                                    f"disappeared from the current run")
+                rows.append((bench, metric, config, f"{base_val:.4g}", "—",
+                             "—", status))
+                continue
+            cur_val = float(cur_rec.get("value", 0.0))
+            reg = regression_fraction(base_val, cur_val, direction(unit))
+            delta = f"{reg * +100 if direction(unit) < 0 else -reg * 100:+.1f}%"
+            if not gate:
+                status = "info"
+            elif reg > args.threshold:
+                status = f"FAIL (> {args.threshold:.0%})"
+                failures.append(
+                    f"{bench}/{metric}[{config}]: {base_val:.4g} -> "
+                    f"{cur_val:.4g} {unit} ({reg:+.1%} worse)")
+            else:
+                status = "ok"
+            rows.append((bench, metric, config, f"{base_val:.4g}",
+                         f"{cur_val:.4g}", delta, status))
+
+    for bench, cur_records in sorted(currents.items()):
+        base_records = baselines.get(bench, {})
+        for (metric, config), cur_rec in sorted(cur_records.items()):
+            if (metric, config) in base_records:
+                continue
+            new_metrics += 1
+            rows.append((bench, metric, config, "—",
+                         f"{float(cur_rec.get('value', 0.0)):.4g}", "—", "NEW"))
+
+    print("## Bench comparison\n")
+    print(f"threshold {args.threshold:.0%}, gated units: "
+          f"{', '.join(sorted(gated_units)) or '(none)'}\n")
+    print("| bench | metric | config | baseline | current | delta | status |")
+    print("|---|---|---|---|---|---|---|")
+    for row in rows:
+        print("| " + " | ".join(row) + " |")
+    print()
+    if new_metrics:
+        print(f"{new_metrics} new metric(s) without a baseline — refresh with "
+              f"`tools/bench_compare.py --update` when intentional.\n")
+
+    if failures:
+        print(f"{len(failures)} regression(s) beyond threshold:",
+              file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    print("no gated regressions.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
